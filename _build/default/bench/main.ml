@@ -1,0 +1,102 @@
+(** Benchmark harness.
+
+    - `bench/main.exe` (no args): regenerate every paper table and figure,
+      printing the same rows/series the paper reports.
+    - `bench/main.exe <id> [...]`: run selected experiments (ids: fig1,
+      table1, table2, fig8..fig16).
+    - `bench/main.exe micro`: Bechamel micro-benchmarks, one per
+      table/figure kernel.
+    - `bench/main.exe list`: list experiment ids.
+
+    CLARA_FULL=1 enlarges training sets and sweeps. *)
+
+let usage () =
+  print_endline "usage: main.exe [list | micro | <experiment id>...]";
+  print_endline "experiments:";
+  List.iter
+    (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
+    Experiments.Registry.all
+
+(* -- Bechamel micro-benchmarks: one kernel per table/figure -- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let spec = { Workload.default with Workload.n_packets = 200; Workload.proto = Workload.Mixed } in
+  let mazu = Nf_lang.Corpus.find "Mazu-NAT" in
+  let ported = Nicsim.Nic.port mazu spec in
+  let demand = ported.Nicsim.Nic.demand in
+  let ir = Nf_frontend.Lower.lower_element (Nf_lang.Corpus.find "iplookup_256") in
+  let vocab = Clara.Vocab.create () in
+  let prep = Clara.Prepare.prepare vocab mazu in
+  let tokens =
+    match List.filter (fun b -> Array.length b.Clara.Prepare.tokens > 4) prep.Clara.Prepare.blocks with
+    | b :: _ -> b.Clara.Prepare.tokens
+    | [] -> [| 1; 2; 3; 4 |]
+  in
+  let lstm = Mlkit.Lstm.create ~vocab:64 99 in
+  let stats = Synth.Ast_stats.of_corpus (Nf_lang.Corpus.table2 ()) in
+  let packets = Workload.generate spec in
+  let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:10 ()) () in
+  [ Test.make ~name:"fig1:port+measure Mazu-NAT"
+      (Staged.stage (fun () -> ignore (Nicsim.Nic.measure ~cores:8 ported)));
+    Test.make ~name:"table1:synthesize program"
+      (Staged.stage (fun () -> ignore (Synth.Generator.generate ~stats ~seed:77 "bench_syn")));
+    Test.make ~name:"table2:prepare element"
+      (Staged.stage (fun () -> ignore (Clara.Prepare.prepare (Clara.Vocab.create ()) mazu)));
+    Test.make ~name:"fig8:lstm inference"
+      (Staged.stage (fun () -> ignore (Mlkit.Lstm.predict lstm tokens)));
+    Test.make ~name:"fig9:classify element"
+      (Staged.stage (fun () -> ignore (Clara.Algo_id.classify algo mazu)));
+    Test.make ~name:"fig10:nfcc compile iplookup"
+      (Staged.stage (fun () -> ignore (Nicsim.Nfcc.compile ir)));
+    Test.make ~name:"fig11:core sweep"
+      (Staged.stage (fun () -> ignore (Nicsim.Multicore.sweep demand)));
+    Test.make ~name:"fig12:placement ILP"
+      (Staged.stage (fun () -> ignore (Clara.Placement.solve mazu ported)));
+    Test.make ~name:"fig13:coalescing suggest"
+      (Staged.stage (fun () -> ignore (Clara.Coalesce.suggest mazu ported.Nicsim.Nic.profile)));
+    Test.make ~name:"fig14:colocate pair"
+      (Staged.stage (fun () -> ignore (Nicsim.Colocate.colocate demand demand)));
+    Test.make ~name:"fig15:reconfigure placement"
+      (Staged.stage (fun () -> ignore (Nicsim.Nic.reconfigure ported Nicsim.Nic.naive_port)));
+    Test.make ~name:"fig16:host interp 200 pkts"
+      (Staged.stage (fun () ->
+           let interp = Nf_lang.Interp.create ~mode:Nf_lang.State.Nic mazu in
+           ignore (Nf_lang.Interp.run interp packets))) ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  print_endline "Bechamel micro-benchmarks (monotonic clock, ns/run):";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"clara" [ test ]) in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ ns ] -> Printf.printf "  %-45s %14.0f ns/run\n%!" name ns
+          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        results)
+    (micro_tests ())
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+    Experiments.Registry.run_all ();
+    print_newline ();
+    print_endline "All experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."
+  | _ :: [ "list" ] -> usage ()
+  | _ :: [ "micro" ] -> run_micro ()
+  | _ :: ids ->
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | Some e -> e.Experiments.Registry.run ()
+        | None ->
+          Printf.printf "unknown experiment %s\n" id;
+          usage ();
+          exit 1)
+      ids

@@ -1,0 +1,166 @@
+(** clara — command-line front-end for the Clara reproduction.
+
+    Subcommands:
+    - [list]                      corpus inventory
+    - [show NF]                   pretty-print an element and its stats
+    - [analyze NF]                train (quick) and print insights
+    - [port NF]                   measure naive vs Clara-configured port
+    - [sweep NF]                  print the core-count sweep
+    - [experiment ID...]          run paper experiments (or 'all') *)
+
+open Cmdliner
+
+let workload_conv =
+  let parse s =
+    match s with
+    | "mixed" -> Ok { Workload.default with Workload.proto = Workload.Mixed; Workload.n_packets = 800 }
+    | "large" -> Ok { Workload.large_flows with Workload.n_packets = 800 }
+    | "small" -> Ok { Workload.small_flows with Workload.n_packets = 800 }
+    | _ -> Error (`Msg "workload must be one of: mixed, large, small")
+  in
+  let print fmt (w : Workload.spec) = Format.fprintf fmt "%s" w.Workload.name in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(value & opt workload_conv { Workload.default with Workload.proto = Workload.Mixed; Workload.n_packets = 800 }
+       & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Traffic profile: mixed, large or small flows.")
+
+let nf_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc:"Corpus element name (see 'clara list').")
+
+(* -- list -- *)
+
+let list_cmd =
+  let run () =
+    Util.Table.print ~align:Util.Table.Left
+      ~header:[ "name"; "LoC"; "stateful"; "structures" ]
+      (List.map
+         (fun e ->
+           [ e.Nf_lang.Ast.name;
+             string_of_int (Nf_lang.Pp.loc e);
+             (if Nf_lang.Ast.is_stateful e then "yes" else "no");
+             string_of_int (List.length e.Nf_lang.Ast.state) ])
+         (Nf_lang.Corpus.all ()))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the NF corpus") Term.(const run $ const ())
+
+(* -- show -- *)
+
+let show_cmd =
+  let run name =
+    let elt = Nf_lang.Corpus.find name in
+    print_endline (Nf_lang.Pp.to_string elt);
+    let v = Clara.Vocab.create () in
+    let prep = Clara.Prepare.prepare v elt in
+    Printf.printf
+      "\n; %d LoC, %d IR instructions (%d compute, %d stateful memory), %d API call sites, %d blocks\n"
+      prep.Clara.Prepare.loc
+      (Nf_ir.Ir.count_total prep.Clara.Prepare.ir)
+      (Nf_ir.Ir.count_compute prep.Clara.Prepare.ir)
+      (Nf_ir.Ir.count_stateful_mem prep.Clara.Prepare.ir)
+      (Nf_ir.Ir.count_api prep.Clara.Prepare.ir)
+      (List.length prep.Clara.Prepare.blocks)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print an element and its IR statistics")
+    Term.(const run $ nf_arg)
+
+(* -- analyze -- *)
+
+let analyze_cmd =
+  let run name spec full =
+    let elt = Nf_lang.Corpus.find name in
+    Printf.printf "Training Clara (%s mode)...\n%!" (if full then "full" else "quick");
+    let models = Clara.Pipeline.train ~quick:(not full) () in
+    print_endline (Clara.Pipeline.report models elt spec);
+    Printf.printf "\nPrediction quality vs the NIC compiler: WMAPE %.1f%%, memory accuracy %.1f%%\n"
+      (100.0 *. Clara.Predictor.wmape_on_element models.Clara.Pipeline.predictor elt)
+      (100.0 *. Clara.Predictor.memory_accuracy elt)
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Use full-size training sets.") in
+  Cmd.v (Cmd.info "analyze" ~doc:"Generate offloading insights for an unported NF")
+    Term.(const run $ nf_arg $ workload_arg $ full)
+
+(* -- port -- *)
+
+let port_cmd =
+  let run name spec =
+    let elt = Nf_lang.Corpus.find name in
+    let naive = Nicsim.Nic.port elt spec in
+    let placement, placed = Clara.Placement.apply elt spec in
+    let packs, _ = Clara.Coalesce.apply elt spec in
+    let config =
+      { Nicsim.Nic.accel_apis = []; placement = Some placement; packs }
+    in
+    let clara = Nicsim.Nic.port ~config elt spec in
+    let show label p =
+      let peak = Nicsim.Nic.peak p in
+      Printf.printf "%-12s peak %.2f Mpps at %d cores, latency %.2f us\n" label
+        peak.Nicsim.Multicore.throughput_mpps peak.Nicsim.Multicore.cores
+        peak.Nicsim.Multicore.latency_us
+    in
+    show "naive:" naive;
+    ignore placed;
+    show "clara:" clara;
+    List.iter
+      (fun (s, l) -> Printf.printf "  place %s -> %s\n" s (Nicsim.Mem.level_name l))
+      placement;
+    List.iter (fun p -> Printf.printf "  pack {%s}\n" (String.concat ", " p)) packs
+  in
+  Cmd.v (Cmd.info "port" ~doc:"Measure naive vs Clara-configured ports on the simulated NIC")
+    Term.(const run $ nf_arg $ workload_arg)
+
+(* -- sweep -- *)
+
+let sweep_cmd =
+  let run name spec =
+    let ported = Nicsim.Nic.port (Nf_lang.Corpus.find name) spec in
+    Util.Table.print ~header:[ "cores"; "Th (Mpps)"; "Lat (us)"; "Th/Lat" ]
+      (List.filter_map
+         (fun (p : Nicsim.Multicore.point) ->
+           if p.Nicsim.Multicore.cores mod 4 = 0 || p.Nicsim.Multicore.cores = 1 then
+             Some
+               [ string_of_int p.Nicsim.Multicore.cores;
+                 Printf.sprintf "%.2f" p.Nicsim.Multicore.throughput_mpps;
+                 Printf.sprintf "%.2f" p.Nicsim.Multicore.latency_us;
+                 Printf.sprintf "%.1f"
+                   (p.Nicsim.Multicore.throughput_mpps /. max 1e-9 p.Nicsim.Multicore.latency_us) ]
+           else None)
+         (Nicsim.Nic.sweep ported));
+    Printf.printf "knee (max Th/Lat): %d cores\n" (Nicsim.Nic.optimal_cores ported)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Core-count sweep for an NF under a workload")
+    Term.(const run $ nf_arg $ workload_arg)
+
+(* -- profile -- *)
+
+let profile_cmd =
+  let run name spec =
+    let elt = Nf_lang.Corpus.find name in
+    let interp = Nf_lang.Interp.create ~mode:Nf_lang.State.Nic elt in
+    let profile = Nf_lang.Interp.run interp (Workload.generate spec) in
+    print_string (Nf_lang.Profile_report.render elt profile)
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Run an NF over a workload and print its execution profile")
+    Term.(const run $ nf_arg $ workload_arg)
+
+(* -- experiment -- *)
+
+let experiment_cmd =
+  let run ids =
+    match ids with
+    | [] | [ "all" ] -> Experiments.Registry.run_all ()
+    | ids ->
+      List.iter
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e.Experiments.Registry.run ()
+          | None -> Printf.printf "unknown experiment: %s\n" id)
+        ids
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (fig1..fig16, table1, table2) or 'all'.") in
+  Cmd.v (Cmd.info "experiment" ~doc:"Run paper experiments") Term.(const run $ ids)
+
+let () =
+  let doc = "Clara: automated SmartNIC offloading insights (SOSP'21 reproduction)" in
+  let info = Cmd.info "clara" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; analyze_cmd; port_cmd; sweep_cmd; profile_cmd; experiment_cmd ]))

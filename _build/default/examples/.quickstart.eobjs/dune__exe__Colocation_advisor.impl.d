@@ -1,0 +1,1 @@
+examples/colocation_advisor.ml: Array Clara Colocate List Multicore Nf_lang Nic Nicsim Printf Synth Util Workload

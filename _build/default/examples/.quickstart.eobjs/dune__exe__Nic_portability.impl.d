@@ -1,0 +1,1 @@
+examples/nic_portability.ml: List Nf_lang Nicsim Printf Util Workload

@@ -1,0 +1,1 @@
+examples/offload_advisor.ml: Clara List Multicore Nf_lang Nic Nicsim Printf Util Workload

@@ -1,0 +1,1 @@
+examples/partial_offload.ml: Clara List Nf_lang Printf Util Workload

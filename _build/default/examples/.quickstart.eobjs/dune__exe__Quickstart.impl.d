@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clara List Nf_lang Printf String Workload

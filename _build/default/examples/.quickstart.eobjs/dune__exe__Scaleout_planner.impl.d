@@ -1,0 +1,1 @@
+examples/scaleout_planner.ml: Clara List Multicore Nf_lang Nic Nicsim Printf Util Workload

@@ -1,0 +1,1 @@
+examples/scaleout_planner.mli:

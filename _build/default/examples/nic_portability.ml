@@ -1,0 +1,38 @@
+(** SmartNIC portability study (§6 extension).
+
+    Run with: dune exec examples/nic_portability.exe
+
+    The same unported NF targets three SoC-SmartNIC profiles.  Clara's
+    schedule (core-count) suggestions are platform-specific: the knee of
+    the latency curve moves with the core complex and memory fabric. *)
+
+let nfs = [ "Mazu-NAT"; "flowmonitor"; "loadbalancer"; "dpi" ]
+
+let () =
+  print_endline "== SmartNIC portability study ==";
+  let spec =
+    { Workload.default with
+      Workload.n_packets = 500;
+      Workload.proto = Workload.Mixed;
+      Workload.n_flows = 8192 }
+  in
+  List.iter
+    (fun profile ->
+      Printf.printf "\n%s\n" profile.Nicsim.Profiles.name;
+      let rows =
+        List.map
+          (fun name ->
+            let d = (Nicsim.Nic.port (Nf_lang.Corpus.find name) spec).Nicsim.Nic.demand in
+            let knee = Nicsim.Profiles.optimal_cores profile d in
+            let at_knee = Nicsim.Profiles.measure profile d ~cores:knee in
+            [ name; string_of_int knee;
+              Printf.sprintf "%.2f" at_knee.Nicsim.Multicore.throughput_mpps;
+              Printf.sprintf "%.2f" at_knee.Nicsim.Multicore.latency_us ])
+          nfs
+      in
+      Util.Table.print ~align:Util.Table.Left
+        ~header:[ "NF"; "knee (cores)"; "Th@knee (Mpps)"; "Lat@knee (us)" ]
+        rows)
+    Nicsim.Profiles.all;
+  print_endline
+    "\nA schedule tuned for the Agilio (many wimpy cores) is wrong for a\nBlueField-like part (few fast cores) — the reason Clara retrains its\ncost models per platform (§6)."

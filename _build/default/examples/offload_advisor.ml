@@ -1,0 +1,57 @@
+(** Offload advisor: apply Clara's insights and measure the payoff.
+
+    Run with: dune exec examples/offload_advisor.exe
+
+    For a set of NFs, this example compares a naive port (faithful
+    translation, all state in EMEM, no accelerators) against the port
+    Clara's insight bundle suggests — accelerator rewrites, ILP state
+    placement and coalesced variable packs — on the simulated SmartNIC. *)
+
+open Nicsim
+
+let nfs = [ "cmsketch"; "UDPCount"; "webtcp"; "firewall" ]
+
+(* the accelerated rewrite of an NF, when the corpus provides one *)
+let accel_variant name =
+  match name with "cmsketch" -> Some "cmsketch_accel" | "wepdecap" -> Some "wepdecap_accel" | _ -> None
+
+let () =
+  print_endline "== Clara offload advisor ==";
+  print_endline "Training models (quick mode, no scale-out model)...";
+  let models = Clara.Pipeline.train ~quick:true ~with_scaleout:false () in
+  let spec =
+    { Workload.default with
+      Workload.n_packets = 800;
+      Workload.proto = Workload.Mixed;
+      Workload.n_flows = 4096 }
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let elt = Nf_lang.Corpus.find name in
+        let insight = Clara.Pipeline.analyze models elt spec in
+        (* build the Clara port: detected accelerators pick the rewritten
+           element variant; placement and packs come from the bundle *)
+        let config = Clara.Insights.to_port_config insight in
+        let clara_elt =
+          match (insight.Clara.Insights.accel, accel_variant name) with
+          | _ :: _, Some variant -> Nf_lang.Corpus.find variant
+          | _ -> elt
+        in
+        let naive = Nic.port elt spec in
+        let clara = Nic.port ~config clara_elt spec in
+        let n = Nic.peak naive and c = Nic.peak clara in
+        Printf.printf "\n--- %s ---\n%s\n" name (Clara.Insights.render insight);
+        [ name;
+          Printf.sprintf "%.2f" n.Multicore.throughput_mpps;
+          Printf.sprintf "%.2f" c.Multicore.throughput_mpps;
+          Printf.sprintf "%.2fx" (c.Multicore.throughput_mpps /. n.Multicore.throughput_mpps);
+          Printf.sprintf "%.2f" n.Multicore.latency_us;
+          Printf.sprintf "%.2f" c.Multicore.latency_us ])
+      nfs
+  in
+  print_newline ();
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "NF"; "naive Th"; "Clara Th"; "gain"; "naive Lat"; "Clara Lat" ]
+    rows;
+  print_endline "\n(Th in Mpps at the peak operating point; Lat in microseconds.)"

@@ -1,0 +1,31 @@
+(** Quickstart: train Clara and analyze one unported NF.
+
+    Run with: dune exec examples/quickstart.exe
+
+    This is the paper's headline workflow (Figure 2): take a legacy Click
+    element that has never been ported, and produce offloading insights —
+    predicted performance parameters plus porting strategies — without
+    touching the (simulated) SmartNIC. *)
+
+let () =
+  print_endline "== Clara quickstart ==";
+  print_endline "Training Clara's models on synthesized NF programs (quick mode)...";
+  let models = Clara.Pipeline.train ~quick:true () in
+  (* The NF under study: the Mazu-NAT element, unported. *)
+  let nat = Nf_lang.Corpus.find "Mazu-NAT" in
+  Printf.printf "\nUnported input (%d LoC of Click-style source):\n\n" (Nf_lang.Pp.loc nat);
+  (* show the first lines of the element source *)
+  let lines = String.split_on_char '\n' (Nf_lang.Pp.to_string nat) in
+  List.iteri (fun k line -> if k < 12 then print_endline ("  " ^ line)) lines;
+  Printf.printf "  ... (%d more lines)\n\n" (max 0 (List.length lines - 12));
+  (* analyze under a mixed workload *)
+  let spec =
+    { Workload.default with Workload.n_packets = 600; Workload.proto = Workload.Mixed }
+  in
+  print_endline (Clara.Pipeline.report models nat spec);
+  (* validate the prediction against the "hardware" ground truth *)
+  let wmape = Clara.Predictor.wmape_on_element models.Clara.Pipeline.predictor nat in
+  let mem_acc = Clara.Predictor.memory_accuracy nat in
+  Printf.printf
+    "\nValidation against the NIC compiler: per-block compute WMAPE %.1f%%, memory-count accuracy %.1f%%\n"
+    (100.0 *. wmape) (100.0 *. mem_acc)

@@ -1,0 +1,44 @@
+(** Scale-out planner: pick core counts without sweeping the hardware.
+
+    Run with: dune exec examples/scaleout_planner.exe
+
+    Trains Clara's GBDT cost model on synthesized NFs (the TVM-style
+    'separate the algorithm from the schedule' phase, §4.2), then plans
+    core assignments for real NFs under two traffic profiles and compares
+    each suggestion against an exhaustive hardware sweep. *)
+
+open Nicsim
+
+let nfs = [ "Mazu-NAT"; "UDPCount"; "WebGen"; "firewall"; "dpi" ]
+
+let () =
+  print_endline "== Clara scale-out planner ==";
+  print_endline "Training the GBDT cost model on synthesized deployments...";
+  let samples = Clara.Scaleout.training_samples ~n_programs:25 () in
+  let model = Clara.Scaleout.train ~samples () in
+  let plan spec_name spec =
+    Printf.printf "\nWorkload: %s\n" spec_name;
+    let rows =
+      List.map
+        (fun name ->
+          let ported = Nic.port (Nf_lang.Corpus.find name) spec in
+          let suggested = Clara.Scaleout.suggest model ported.Nic.demand in
+          let optimal = Multicore.optimal_cores ported.Nic.demand in
+          let at n = Nic.measure ~cores:n ported in
+          let s = at suggested and o = at optimal in
+          [ name; string_of_int suggested; string_of_int optimal;
+            Printf.sprintf "%.2f" s.Multicore.throughput_mpps;
+            Printf.sprintf "%.2f" o.Multicore.throughput_mpps;
+            Printf.sprintf "%.1f%%"
+              (100.0 *. abs_float (s.Multicore.throughput_mpps -. o.Multicore.throughput_mpps)
+              /. max 1e-9 o.Multicore.throughput_mpps) ])
+        nfs
+    in
+    Util.Table.print ~align:Util.Table.Left
+      ~header:[ "NF"; "Clara cores"; "optimal"; "Th@Clara"; "Th@optimal"; "Th gap" ]
+      rows
+  in
+  plan "large flows (cache-friendly)" { Workload.large_flows with Workload.n_packets = 500 };
+  plan "small flows (cache-hostile)" { Workload.small_flows with Workload.n_packets = 500 };
+  print_endline
+    "\nThe planner's value: each row of 'optimal' required a 60-point hardware sweep;\nClara's suggestion needed only the (simulated) program analysis."

@@ -1,0 +1,1 @@
+lib/core/algo_corpus.ml: Build Corpus List Nf_lang Synth

@@ -1,0 +1,1 @@
+lib/core/algo_corpus.mli: Nf_lang

@@ -1,0 +1,1 @@
+lib/core/algo_id.ml: Algo_corpus Array Ast Hashtbl Ir List Mlkit Nf_frontend Nf_ir Nf_lang Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/algo_id.mli: Algo_corpus Hashtbl Mlkit Nf_lang

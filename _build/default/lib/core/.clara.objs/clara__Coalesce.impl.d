@@ -1,0 +1,1 @@
+lib/core/coalesce.ml: Array Ast Hashtbl Interp List Mlkit Nf_lang Nicsim Option Workload

@@ -1,0 +1,1 @@
+lib/core/colocation.ml: Array List Mlkit Nicsim Util

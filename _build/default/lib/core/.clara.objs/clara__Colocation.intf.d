@@ -1,0 +1,1 @@
+lib/core/colocation.mli: Mlkit Nicsim

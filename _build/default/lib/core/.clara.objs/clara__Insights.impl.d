@@ -1,0 +1,1 @@
+lib/core/insights.ml: Algo_corpus Ast Buffer List Nf_lang Nicsim Printf String

@@ -1,0 +1,1 @@
+lib/core/insights.mli: Algo_corpus Nf_lang Nicsim

@@ -1,0 +1,1 @@
+lib/core/partial.ml: Ast Build List Nf_frontend Nf_ir Nf_lang Nicsim Printf String Workload

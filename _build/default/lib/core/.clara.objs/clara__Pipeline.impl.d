@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Algo_corpus Algo_id Ast Coalesce Insights List Nf_lang Nicsim Option Placement Predictor Prepare Scaleout Workload

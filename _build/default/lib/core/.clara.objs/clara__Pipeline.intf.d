@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Algo_id Insights Nf_lang Predictor Scaleout Workload

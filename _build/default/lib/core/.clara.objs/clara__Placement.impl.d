@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Ast Ilp List Nf_lang Nicsim Option Workload

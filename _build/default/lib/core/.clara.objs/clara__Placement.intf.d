@@ -1,0 +1,1 @@
+lib/core/placement.mli: Nf_lang Nicsim Workload

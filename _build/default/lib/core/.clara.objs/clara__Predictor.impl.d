@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Array Ast Ir List Mlkit Nf_frontend Nf_ir Nf_lang Nicsim Prepare Synth Util Vocab

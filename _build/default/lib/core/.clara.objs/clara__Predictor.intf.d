@@ -1,0 +1,1 @@
+lib/core/predictor.mli: Mlkit Nf_lang Vocab

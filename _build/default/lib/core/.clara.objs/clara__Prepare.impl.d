@@ -1,0 +1,1 @@
+lib/core/prepare.ml: Array Ast Ir List Nf_frontend Nf_ir Nf_lang Pp Vocab

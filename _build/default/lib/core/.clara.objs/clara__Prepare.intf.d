@@ -1,0 +1,1 @@
+lib/core/prepare.mli: Nf_ir Nf_lang Vocab

@@ -1,0 +1,1 @@
+lib/core/scaleout.ml: Array Ast Float List Mlkit Nf_lang Nicsim Synth Util Workload

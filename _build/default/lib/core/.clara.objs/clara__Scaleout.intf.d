@@ -1,0 +1,1 @@
+lib/core/scaleout.mli: Mlkit Nf_lang Nicsim Workload

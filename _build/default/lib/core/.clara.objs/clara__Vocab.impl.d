@@ -1,0 +1,1 @@
+lib/core/vocab.ml: Array Hashtbl Ir List Nf_ir String

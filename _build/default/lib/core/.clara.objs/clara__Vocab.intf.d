@@ -1,0 +1,1 @@
+lib/core/vocab.mli: Hashtbl Nf_ir

@@ -1,0 +1,216 @@
+(** Labeled corpus of accelerator-algorithm implementations (§4.1).
+
+    The paper's insight: the same algorithm is written many different ways
+    (CRC with different widths, polynomials, bit orders, lookup tables;
+    LPM with range/Patricia tries or linear scans), but its inherent
+    logical workflow shows distinct features under the ML lens.  This
+    module generates those implementation variants as NF elements so the
+    classifier trains across implementation diversity, standing in for the
+    paper's 600+ Click elements and 9000+ crawled programs. *)
+
+open Nf_lang
+
+type label = Crc | Lpm | Checksum | Other
+
+let label_name = function Crc -> "CRC" | Lpm -> "LPM" | Checksum -> "Checksum" | Other -> "none"
+
+(* -- CRC variants -- *)
+
+(** Bitwise CRC, LSB-first (reflected). *)
+let crc_reflected ~width ~poly ~bytes name =
+  let mask = (1 lsl width) - 1 in
+  let open Build in
+  element name
+    ~state:[ scalar "crc_out" ]
+    [ let_ "crc" (i mask);
+      for_ "ci" (i 0) (i bytes)
+        [ let_ "crc" (l "crc" lxor payload (l "ci"));
+          for_ "cb" (i 0) (i 8)
+            [ let_ "lsb" (l "crc" land i 1);
+              let_ "crc" (l "crc" lsr i 1);
+              when_ (l "lsb" <> i 0) [ let_ "crc" (l "crc" lxor i poly) ] ] ];
+      set_g "crc_out" (l "crc" land i mask);
+      emit 0 ]
+
+(** Bitwise CRC, MSB-first: shifts left and tests the top bit. *)
+let crc_msb_first ~width ~poly ~bytes name =
+  let top = 1 lsl (width - 1) in
+  let mask = (1 lsl width) - 1 in
+  let width_minus_8 = width - 8 in
+  let open Build in
+  element name
+    ~state:[ scalar "crc_out" ]
+    [ let_ "crc" (i 0);
+      for_ "ci" (i 0) (i bytes)
+        [ let_ "crc" (l "crc" lxor (payload (l "ci") lsl i width_minus_8));
+          for_ "cb" (i 0) (i 8)
+            [ let_ "hi" (l "crc" land i top);
+              let_ "crc" ((l "crc" lsl i 1) land i mask);
+              when_ (l "hi" <> i 0) [ let_ "crc" (l "crc" lxor i poly) ] ] ];
+      set_g "crc_out" (l "crc");
+      emit 0 ]
+
+(** Table-driven CRC: one lookup + xor/shift per byte. *)
+let crc_table_driven ~bytes name =
+  let open Build in
+  element name
+    ~state:[ array "crc_table" 256; scalar "crc_out" ]
+    [ let_ "crc" (i 0xffff);
+      for_ "ci" (i 0) (i bytes)
+        [ let_ "idx" ((l "crc" lxor payload (l "ci")) land i 255);
+          let_ "crc" ((l "crc" lsr i 8) lxor arr_get "crc_table" (l "idx")) ];
+      set_g "crc_out" (l "crc" lxor i 0xffff);
+      emit 0 ]
+
+(** CRC with explicit zero padding of a trailing partial chunk. *)
+let crc_padded ~bytes name =
+  let open Build in
+  element name
+    ~state:[ scalar "crc_out" ]
+    [ let_ "crc" (i 0xffffffff);
+      let_ "padded_len" ((i bytes + i 3) land not_ (i 3) land i 0xff);
+      for_ "ci" (i 0) (l "padded_len")
+        [ let_ "byte" (i 0);
+          when_ (l "ci" < i bytes) [ let_ "byte" (payload (l "ci")) ];
+          let_ "crc" (l "crc" lxor l "byte");
+          for_ "cb" (i 0) (i 8)
+            [ let_ "lsb" (l "crc" land i 1);
+              let_ "crc" (l "crc" lsr i 1);
+              when_ (l "lsb" <> i 0) [ let_ "crc" (l "crc" lxor i 0xedb88320) ] ] ];
+      set_g "crc_out" (l "crc");
+      emit 0 ]
+
+let crc_variants () =
+  [ crc_reflected ~width:32 ~poly:0xedb88320 ~bytes:8 "crc32_refl_8";
+    crc_reflected ~width:32 ~poly:0xedb88320 ~bytes:16 "crc32_refl_16";
+    crc_reflected ~width:16 ~poly:0xa001 ~bytes:8 "crc16_refl_8";
+    crc_reflected ~width:16 ~poly:0x8408 ~bytes:12 "crc16_ccitt_12";
+    crc_reflected ~width:8 ~poly:0xab ~bytes:8 "crc8_refl_8";
+    crc_msb_first ~width:32 ~poly:0x04c11db7 ~bytes:8 "crc32_msb_8";
+    crc_msb_first ~width:16 ~poly:0x1021 ~bytes:8 "crc16_msb_8";
+    crc_msb_first ~width:16 ~poly:0x8005 ~bytes:16 "crc16_msb_16";
+    crc_table_driven ~bytes:8 "crc_table_8";
+    crc_table_driven ~bytes:16 "crc_table_16";
+    crc_table_driven ~bytes:24 "crc_table_24";
+    crc_padded ~bytes:10 "crc32_padded_10";
+    crc_padded ~bytes:6 "crc32_padded_6" ]
+
+(* -- LPM variants -- *)
+
+(** Binary (Patricia-style) trie walk: pointer chasing over child arrays. *)
+let lpm_binary_trie ~depth name =
+  let open Build in
+  element name
+    ~state:[ array "left" 1024; array "right" 1024; array "nexthop" 1024; scalar "result" ]
+    [ let_ "addr" (hdr Ip_dst);
+      let_ "node" (i 0);
+      let_ "best" (i 0);
+      for_ "bit" (i 0) (i depth)
+        [ let_ "nh" (arr_get "nexthop" (l "node"));
+          when_ (l "nh" <> i 0) [ let_ "best" (l "nh") ];
+          if_
+            (((l "addr" lsr (i 31 - l "bit")) land i 1) = i 0)
+            [ let_ "node" (arr_get "left" (l "node")) ]
+            [ let_ "node" (arr_get "right" (l "node")) ] ];
+      set_g "result" (l "best");
+      emit 0 ]
+
+(** Multibit-stride trie: wider child fan-out, fewer levels. *)
+let lpm_multibit ~stride ~levels name =
+  let chunk_mask = (1 lsl stride) - 1 in
+  let open Build in
+  element name
+    ~state:[ array "children" 4096; array "prefixes" 4096; scalar "result" ]
+    [ let_ "addr" (hdr Ip_dst);
+      let_ "node" (i 0);
+      let_ "best" (i 0);
+      for_ "lvl" (i 0) (i levels)
+        [ let_ "chunk" ((l "addr" lsr (i 32 - ((l "lvl" + i 1) * i stride))) land i chunk_mask);
+          let_ "slot" ((l "node" lsl i stride) + l "chunk");
+          let_ "pfx" (arr_get "prefixes" (l "slot" land i 4095));
+          when_ (l "pfx" <> i 0) [ let_ "best" (l "pfx") ];
+          let_ "node" (arr_get "children" (l "slot" land i 4095)) ];
+      set_g "result" (l "best");
+      emit 0 ]
+
+(** Linear scan over (prefix, mask, nexthop) rule arrays, longest wins. *)
+let lpm_linear_scan ~rules name =
+  let open Build in
+  element name
+    ~state:
+      [ array "rule_prefix" rules; array "rule_mask" rules; array "rule_nh" rules;
+        scalar "result" ]
+    [ let_ "addr" (hdr Ip_dst);
+      let_ "best_len" (i 0);
+      let_ "best" (i 0);
+      for_ "ri" (i 0) (i rules)
+        [ let_ "m" (arr_get "rule_mask" (l "ri"));
+          when_
+            ((l "addr" land l "m") = arr_get "rule_prefix" (l "ri") && l "m" >= l "best_len")
+            [ let_ "best_len" (l "m"); let_ "best" (arr_get "rule_nh" (l "ri")) ] ];
+      set_g "result" (l "best");
+      emit 0 ]
+
+let lpm_variants () =
+  [ lpm_binary_trie ~depth:8 "lpm_trie_8";
+    lpm_binary_trie ~depth:16 "lpm_trie_16";
+    lpm_binary_trie ~depth:24 "lpm_trie_24";
+    lpm_multibit ~stride:4 ~levels:4 "lpm_multibit_4x4";
+    lpm_multibit ~stride:8 ~levels:3 "lpm_multibit_8x3";
+    lpm_linear_scan ~rules:16 "lpm_scan_16";
+    lpm_linear_scan ~rules:32 "lpm_scan_32";
+    lpm_linear_scan ~rules:64 "lpm_scan_64" ]
+
+(* -- checksum variants -- *)
+
+(** Ones'-complement word sum over the header/payload. *)
+let csum_word_sum ~words name =
+  let open Build in
+  element name
+    ~state:[ scalar "csum_out" ]
+    [ let_ "sum" (i 0);
+      for_ "wi" (i 0) (i words)
+        [ let_ "w" (payload (l "wi" * i 2) lor (payload ((l "wi" * i 2) + i 1) lsl i 8));
+          let_ "sum" (l "sum" + l "w") ];
+      let_ "sum" ((l "sum" land i 0xffff) + (l "sum" lsr i 16));
+      let_ "sum" ((l "sum" land i 0xffff) + (l "sum" lsr i 16));
+      set_g "csum_out" (l "sum" lxor i 0xffff);
+      emit 0 ]
+
+(** Deferred-carry variant: folds carries once at the end. *)
+let csum_deferred ~words name =
+  let open Build in
+  element name
+    ~state:[ scalar "csum_out" ]
+    [ let_ "sum" (i 0);
+      let_ "carry" (i 0);
+      for_ "wi" (i 0) (i words)
+        [ let_ "w" (payload (l "wi" * i 2) lor (payload ((l "wi" * i 2) + i 1) lsl i 8));
+          let_ "next" (l "sum" + l "w");
+          when_ (l "next" > i 0xffff) [ let_ "carry" (l "carry" + i 1) ];
+          let_ "sum" (l "next" land i 0xffff) ];
+      set_g "csum_out" ((l "sum" + l "carry") lxor i 0xffff);
+      emit 0 ]
+
+let checksum_variants () =
+  [ csum_word_sum ~words:10 "csum_sum_10";
+    csum_word_sum ~words:20 "csum_sum_20";
+    csum_word_sum ~words:5 "csum_sum_5";
+    csum_deferred ~words:10 "csum_defer_10";
+    csum_deferred ~words:16 "csum_defer_16" ]
+
+(** Full labeled training corpus: positives for each accelerator class plus
+    negatives drawn from the synthesizer and non-algorithm corpus NFs. *)
+let labeled ?(negatives = 60) ?(seed = 901) () =
+  let pos =
+    List.map (fun e -> (e, Crc)) (crc_variants ())
+    @ List.map (fun e -> (e, Lpm)) (lpm_variants ())
+    @ List.map (fun e -> (e, Checksum)) (checksum_variants ())
+  in
+  let neg_syn = Synth.Generator.batch ~seed negatives in
+  let neg_corpus =
+    List.map Corpus.find
+      [ "anonipaddr"; "tcpack"; "udpipencap"; "forcetcp"; "tcpresp"; "tcpgen"; "aggcounter";
+        "timefilter"; "iprewriter"; "Mazu-NAT"; "WebGen"; "webtcp" ]
+  in
+  pos @ List.map (fun e -> (e, Other)) (neg_syn @ neg_corpus)

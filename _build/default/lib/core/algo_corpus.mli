@@ -1,0 +1,54 @@
+(** Labeled corpus of accelerator-algorithm implementations (§4.1).
+
+    The same algorithm appears in many idiosyncratic forms — CRCs differ
+    in width, polynomial, bit order, table usage and padding; LPMs use
+    binary or multibit tries or linear scans — yet each has an inherent
+    logical workflow the classifier can learn.  These generators stand in
+    for the paper's 600+ Click elements and 9000+ crawled programs. *)
+
+(** Accelerator classes available on the simulated NIC, plus [Other]. *)
+type label = Crc | Lpm | Checksum | Other
+
+val label_name : label -> string
+
+(** Bitwise CRC, LSB-first (reflected), over the first [bytes] payload
+    bytes. *)
+val crc_reflected : width:int -> poly:int -> bytes:int -> string -> Nf_lang.Ast.element
+
+(** Bitwise CRC, MSB-first: shifts left and tests the top bit. *)
+val crc_msb_first : width:int -> poly:int -> bytes:int -> string -> Nf_lang.Ast.element
+
+(** Table-driven CRC: one lookup + xor/shift per byte. *)
+val crc_table_driven : bytes:int -> string -> Nf_lang.Ast.element
+
+(** CRC with explicit zero padding of a trailing partial chunk. *)
+val crc_padded : bytes:int -> string -> Nf_lang.Ast.element
+
+(** Thirteen CRC implementation variants. *)
+val crc_variants : unit -> Nf_lang.Ast.element list
+
+(** Binary (Patricia-style) trie walk: pointer chasing over child arrays. *)
+val lpm_binary_trie : depth:int -> string -> Nf_lang.Ast.element
+
+(** Multibit-stride trie: wider fan-out, fewer levels. *)
+val lpm_multibit : stride:int -> levels:int -> string -> Nf_lang.Ast.element
+
+(** Linear scan over (prefix, mask, nexthop) rule arrays. *)
+val lpm_linear_scan : rules:int -> string -> Nf_lang.Ast.element
+
+(** Eight LPM implementation variants. *)
+val lpm_variants : unit -> Nf_lang.Ast.element list
+
+(** Ones'-complement word-sum checksum. *)
+val csum_word_sum : words:int -> string -> Nf_lang.Ast.element
+
+(** Checksum with deferred carry folding. *)
+val csum_deferred : words:int -> string -> Nf_lang.Ast.element
+
+(** Five checksum implementation variants. *)
+val checksum_variants : unit -> Nf_lang.Ast.element list
+
+(** The full labeled training corpus: every positive variant plus
+    [negatives] synthesized programs and the non-algorithm corpus NFs,
+    labeled [Other]. *)
+val labeled : ?negatives:int -> ?seed:int -> unit -> (Nf_lang.Ast.element * label) list

@@ -1,0 +1,79 @@
+(** NF colocation analysis via pairwise ranking (§4.5, Figure 14).
+
+    Clara trains a LambdaMART ranker over groups of candidate NF pairs.
+    Features follow the paper: per-NF arithmetic intensity, per-NF compute
+    counts, and the ratio of intensities (interference stems from memory
+    subsystem contention).  Relevance is negated degradation under one of
+    four objectives: total/average x throughput/latency loss. *)
+
+type objective = Total_throughput | Avg_throughput | Total_latency | Avg_latency
+
+let objective_name = function
+  | Total_throughput -> "Th.Tot."
+  | Avg_throughput -> "Th.Avg."
+  | Total_latency -> "Lat.Tot."
+  | Avg_latency -> "Lat.Avg."
+
+let all_objectives = [ Total_throughput; Avg_throughput; Total_latency; Avg_latency ]
+
+(** Pair features: arithmetic intensities, compute counts, memory volumes,
+    and the intensity ratio (§4.5's feature list). *)
+let pair_features (d1 : Nicsim.Perf.demand) (d2 : Nicsim.Perf.demand) =
+  let ai1 = Nicsim.Perf.arithmetic_intensity d1 in
+  let ai2 = Nicsim.Perf.arithmetic_intensity d2 in
+  let mem d = Nicsim.Perf.total_mem_accesses d in
+  [| ai1 /. 10.0; ai2 /. 10.0;
+     (min ai1 ai2 /. max 1.0 (max ai1 ai2));
+     d1.Nicsim.Perf.compute /. 100.0; d2.Nicsim.Perf.compute /. 100.0;
+     mem d1; mem d2;
+     d1.Nicsim.Perf.levels.(4); d2.Nicsim.Perf.levels.(4);
+     0.5 *. (d1.Nicsim.Perf.emem_hit +. d2.Nicsim.Perf.emem_hit) |]
+
+(** Measured degradation of a pair under an objective (ground truth). *)
+let degradation objective (r : Nicsim.Colocate.result) =
+  match objective with
+  | Total_throughput -> Nicsim.Colocate.total_throughput_loss r
+  | Avg_throughput -> Nicsim.Colocate.avg_throughput_loss r
+  | Total_latency -> Nicsim.Colocate.total_latency_loss r
+  | Avg_latency -> Nicsim.Colocate.avg_latency_loss r
+
+(** Build ranking groups from a pool of demands: each group draws
+    [group_size] random pairs; relevance = -degradation. *)
+let make_groups ?(n_groups = 30) ?(group_size = 6) ?(seed = 1601) objective
+    (demands : Nicsim.Perf.demand array) =
+  let rng = Util.Rng.create seed in
+  let n = Array.length demands in
+  List.init n_groups (fun _ ->
+      let pairs =
+        Array.init group_size (fun _ ->
+            let a = Util.Rng.int rng n in
+            let b = (a + 1 + Util.Rng.int rng (n - 1)) mod n in
+            (a, b))
+      in
+      let features = Array.map (fun (a, b) -> pair_features demands.(a) demands.(b)) pairs in
+      let relevance =
+        Array.map
+          (fun (a, b) ->
+            let r = Nicsim.Colocate.colocate demands.(a) demands.(b) in
+            -.degradation objective r)
+          pairs
+      in
+      { Mlkit.Rank.features; relevance })
+
+type t = { objective : objective; ranker : Mlkit.Rank.t }
+
+let train ?(groups : Mlkit.Rank.group list option) ?(objective = Total_throughput)
+    (demands : Nicsim.Perf.demand array) =
+  let groups = match groups with Some g -> g | None -> make_groups objective demands in
+  { objective; ranker = Mlkit.Rank.fit groups }
+
+(** Rank candidate pairs of demands best-first; returns indices into the
+    candidate list. *)
+let rank t (candidates : (Nicsim.Perf.demand * Nicsim.Perf.demand) list) =
+  let features = Array.of_list (List.map (fun (a, b) -> pair_features a b) candidates) in
+  Array.to_list (Mlkit.Rank.rank t.ranker features)
+
+(** Top-k accuracy over labeled test groups. *)
+let topk_accuracy t groups k =
+  let hits = List.filter (fun g -> Mlkit.Rank.topk_hit t.ranker g k) groups in
+  float_of_int (List.length hits) /. float_of_int (max 1 (List.length groups))

@@ -1,0 +1,43 @@
+(** NF colocation analysis via pairwise ranking (§4.5, Figure 14).
+
+    A LambdaMART ranker is trained over groups of candidate NF pairs with
+    the paper's features — per-NF arithmetic intensity, compute counts and
+    the intensity ratio — against measured colocation degradation under
+    one of four objectives. *)
+
+(** Ranking objectives (§5.7's four trained models). *)
+type objective = Total_throughput | Avg_throughput | Total_latency | Avg_latency
+
+val objective_name : objective -> string
+val all_objectives : objective list
+
+(** Feature vector of a candidate pair (10 features). *)
+val pair_features : Nicsim.Perf.demand -> Nicsim.Perf.demand -> float array
+
+(** Measured degradation of a colocated pair under an objective. *)
+val degradation : objective -> Nicsim.Colocate.result -> float
+
+(** Build ranking groups from a demand pool: each group holds
+    [group_size] random pairs with relevance = -degradation. *)
+val make_groups :
+  ?n_groups:int ->
+  ?group_size:int ->
+  ?seed:int ->
+  objective ->
+  Nicsim.Perf.demand array ->
+  Mlkit.Rank.group list
+
+type t = { objective : objective; ranker : Mlkit.Rank.t }
+
+(** Train the LambdaMART ranker (groups are generated from [demands] if
+    not supplied). *)
+val train :
+  ?groups:Mlkit.Rank.group list -> ?objective:objective -> Nicsim.Perf.demand array -> t
+
+(** Rank candidate pairs best-first; returns indices into the candidate
+    list. *)
+val rank : t -> (Nicsim.Perf.demand * Nicsim.Perf.demand) list -> int list
+
+(** Fraction of labeled test groups whose truly-best pair lands in the
+    ranker's top [k] (the Figure 14a metric). *)
+val topk_accuracy : t -> Mlkit.Rank.group list -> int -> float

@@ -1,0 +1,85 @@
+(** Offloading-insight reports — the tool's user-facing output (Figure 2c).
+
+    An insight bundle collects everything Clara derived for one NF and a
+    workload: predicted performance parameters, accelerator opportunities,
+    the suggested scale-out factor, state placement, variable packs, and a
+    rendering function producing the report the developer reads. *)
+
+open Nf_lang
+
+type accel_suggestion = { component : string; algorithm : Algo_corpus.label }
+
+type t = {
+  nf_name : string;
+  workload : string;
+  predicted_compute : float;  (** NIC compute instructions per packet path *)
+  predicted_memory : float;  (** stateful memory accesses (direct count) *)
+  api_calls : string list;
+  accel : accel_suggestion list;
+  suggested_cores : int option;
+  placement : Nicsim.Mem.placement;
+  packs : Nicsim.Perf.packs;
+}
+
+let render t =
+  let b = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  addf "Clara offloading insights for %s (workload: %s)" t.nf_name t.workload;
+  addf "  predicted compute instructions : %.1f" t.predicted_compute;
+  addf "  predicted memory accesses      : %.1f" t.predicted_memory;
+  addf "  framework API calls            : %s"
+    (if t.api_calls = [] then "(none)" else String.concat ", " t.api_calls);
+  (match t.accel with
+  | [] -> addf "  accelerator opportunities      : none detected"
+  | suggestions ->
+    List.iter
+      (fun s ->
+        addf "  accelerator opportunity        : %s implements %s -> use the %s engine"
+          s.component
+          (Algo_corpus.label_name s.algorithm)
+          (Algo_corpus.label_name s.algorithm))
+      suggestions);
+  (match t.suggested_cores with
+  | Some c -> addf "  suggested scale-out            : %d cores" c
+  | None -> addf "  suggested scale-out            : (no model)");
+  (match t.placement with
+  | [] -> addf "  state placement                : stateless NF"
+  | p ->
+    List.iter
+      (fun (s, level) ->
+        addf "  place %-24s -> %s" s (Nicsim.Mem.level_name level))
+      p);
+  (match t.packs with
+  | [] -> addf "  memory coalescing              : no packs suggested"
+  | packs ->
+    List.iter
+      (fun pack -> addf "  coalesce pack                  : {%s}" (String.concat ", " pack))
+      packs);
+  Buffer.contents b
+
+(** Accelerated-API rewrite suggestions implied by detected algorithms. *)
+let accel_apis t =
+  List.concat_map
+    (fun s ->
+      match s.algorithm with
+      | Algo_corpus.Crc -> [ "crc32_payload"; "crc16_payload" ]
+      | Algo_corpus.Lpm -> [ "lpm_lookup"; "flow_cache_lookup" ]
+      | Algo_corpus.Checksum -> [ "checksum_ip"; "checksum_update_ip" ]
+      | Algo_corpus.Other -> [])
+    t.accel
+  |> List.sort_uniq compare
+
+(** The porting configuration that applies every insight in the bundle. *)
+let to_port_config t : Nicsim.Nic.port_config =
+  {
+    Nicsim.Nic.accel_apis = accel_apis t;
+    placement = (match t.placement with [] -> None | p -> Some p);
+    packs = t.packs;
+  }
+
+let summary t elt =
+  Printf.sprintf "%s: %d state structures, %d accel suggestions, %s"
+    t.nf_name
+    (List.length elt.Ast.state)
+    (List.length t.accel)
+    (match t.suggested_cores with Some c -> Printf.sprintf "%d cores" c | None -> "cores n/a")

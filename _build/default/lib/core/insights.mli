@@ -1,0 +1,32 @@
+(** Offloading-insight reports — the tool's user-facing output
+    (Figure 2c). *)
+
+(** A detected accelerator opportunity: which component of the NF
+    implements which accelerator algorithm. *)
+type accel_suggestion = { component : string; algorithm : Algo_corpus.label }
+
+(** Everything Clara derived for one NF under one workload. *)
+type t = {
+  nf_name : string;
+  workload : string;
+  predicted_compute : float;  (** NIC compute instructions (LSTM estimate) *)
+  predicted_memory : float;  (** stateful memory accesses (direct count) *)
+  api_calls : string list;  (** framework calls needing reverse porting *)
+  accel : accel_suggestion list;
+  suggested_cores : int option;  (** scale-out factor, when a model is loaded *)
+  placement : Nicsim.Mem.placement;  (** ILP state placement *)
+  packs : Nicsim.Perf.packs;  (** coalesced variable packs *)
+}
+
+(** Render the human-readable report. *)
+val render : t -> string
+
+(** API rewrites implied by the detected accelerator algorithms (the
+    [accel_apis] to hand the NIC compiler). *)
+val accel_apis : t -> string list
+
+(** The porting configuration applying every insight in the bundle. *)
+val to_port_config : t -> Nicsim.Nic.port_config
+
+(** One-line summary for listings. *)
+val summary : t -> Nf_lang.Ast.element -> string

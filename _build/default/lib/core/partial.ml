@@ -1,0 +1,229 @@
+(** Partial offloading analysis — the paper's §6 extension.
+
+    "A partial offloading scenario might split the NF program between host
+    CPUs and SmartNICs [52, 58].  In order to handle such scenarios, Clara
+    would also need to reason about the communication between SmartNICs
+    and the host, and borrow from work in host performance analysis."
+
+    This module implements that reasoning: it enumerates top-level split
+    points of an NF handler, models the host half with a BOLT-style x86
+    cost model, charges the PCIe crossing, and recommends full-NIC,
+    full-host, or a split.  A split is valid only when no stateful
+    structure is touched on both sides (shared state across PCIe would
+    need coherence traffic the model deliberately refuses to hide). *)
+
+open Nf_lang
+
+(* -- host (x86) cost model -- *)
+
+type host_model = {
+  freq_mhz : float;
+  cores : int;
+  ipc : float;  (** sustained instructions per cycle *)
+  dram_cycles : float;  (** effective stateful access cost, cache-filtered *)
+  api_call_cycles : float;
+}
+
+(** A slice of the paper's testbed: six quad-core 3.4GHz Xeons; we assume
+    one quad-core socket is budgeted for NF work. *)
+let default_host = { freq_mhz = 3400.0; cores = 4; ipc = 2.0; dram_cycles = 24.0; api_call_cycles = 25.0 }
+
+(* -- PCIe link between host and NIC -- *)
+
+type link_model = {
+  crossing_us : float;  (** one-way DMA + doorbell latency *)
+  link_gbps : float;
+  max_mpps : float;  (** small-packet DMA descriptor limit *)
+}
+
+let default_link = { crossing_us = 0.9; link_gbps = 63.0; max_mpps = 45.0 }
+
+let link_cap_mpps link ~wire_bytes =
+  min link.max_mpps (link.link_gbps *. 1000.0 /. (8.0 *. float_of_int wire_bytes))
+
+(** Host-side per-packet cost (cycles) of an element, from its lowered IR:
+    compute/stateless instructions stream through the pipeline at [ipc];
+    stateful accesses pay the cache-filtered DRAM cost; framework calls
+    are native Click code with a fixed overhead. *)
+let host_cycles (host : host_model) (elt : Ast.element) =
+  let ir = Nf_frontend.Lower.lower_element elt in
+  let instrs = float_of_int (Nf_ir.Ir.count_total ir) in
+  let stateful = float_of_int (Nf_ir.Ir.count_stateful_mem ir) in
+  (* per-call cost by API class: byte-streaming checksums dominate, data
+     structures pay pointer chasing, header accessors are nearly free *)
+  let api_cost =
+    Nf_ir.Ir.fold_instrs
+      (fun acc (i : Nf_ir.Ir.instr) ->
+        match (i.Nf_ir.Ir.op, i.Nf_ir.Ir.annot) with
+        | Nf_ir.Ir.Call name, Nf_ir.Ir.Api _ -> (
+          let base =
+            match String.index_opt name '.' with
+            | Some k -> String.sub name 0 k
+            | None -> name
+          in
+          match Nf_lang.Api.classify base with
+          | Nf_lang.Api.Checksum -> acc +. 250.0
+          | Nf_lang.Api.Data_structure -> acc +. 60.0
+          | Nf_lang.Api.Header_accessor | Nf_lang.Api.Pure_helper | Nf_lang.Api.Packet_io ->
+            acc +. host.api_call_cycles)
+        | _ -> acc)
+      0.0 ir
+  in
+  (instrs /. host.ipc) +. (stateful *. host.dram_cycles) +. api_cost
+
+let host_point (host : host_model) (elt : Ast.element) =
+  let cycles = host_cycles host elt in
+  let th = float_of_int host.cores *. host.freq_mhz /. cycles in
+  let lat = cycles /. host.freq_mhz in
+  (th, lat)
+
+(* -- split enumeration -- *)
+
+let rec expr_globals (e : Ast.expr) =
+  match e with
+  | Ast.Global g -> [ g ]
+  | Ast.Arr_get (g, idx) -> g :: expr_globals idx
+  | Ast.Vec_len g -> [ g ]
+  | Ast.Bin (_, a, b) | Ast.Cmp (_, a, b) | Ast.And_also (a, b) | Ast.Or_else (a, b) ->
+    expr_globals a @ expr_globals b
+  | Ast.Not a | Ast.Payload_byte a -> expr_globals a
+  | Ast.Api_expr (_, args) -> List.concat_map expr_globals args
+  | Ast.Int _ | Ast.Local _ | Ast.Hdr _ | Ast.Packet_len -> []
+
+(** Every stateful structure a statement subtree touches. *)
+let rec deep_globals (s : Ast.stmt) =
+  let sub =
+    match s.Ast.node with
+    | Ast.If (c, t, f) -> expr_globals c @ List.concat_map deep_globals (t @ f)
+    | Ast.While (c, b) -> expr_globals c @ List.concat_map deep_globals b
+    | Ast.For (_, lo, hi, b) ->
+      expr_globals lo @ expr_globals hi @ List.concat_map deep_globals b
+    | Ast.Map_find (g, keys, _) -> g :: List.concat_map expr_globals keys
+    | Ast.Map_read (g, _, _) | Ast.Map_erase g -> [ g ]
+    | Ast.Map_write (g, _, e) -> g :: expr_globals e
+    | Ast.Map_insert (g, keys, vals) -> g :: List.concat_map expr_globals (keys @ vals)
+    | Ast.Vec_append (g, e) -> g :: expr_globals e
+    | Ast.Vec_get (g, e, _) -> g :: expr_globals e
+    | Ast.Vec_set (g, a, b) -> g :: expr_globals a @ expr_globals b
+    | Ast.Arr_set (g, a, b) -> g :: expr_globals a @ expr_globals b
+    | Ast.Set_global (g, e) -> g :: expr_globals e
+    | Ast.Let (_, e) | Ast.Set_hdr (_, e) -> expr_globals e
+    | Ast.Set_payload (a, b) -> expr_globals a @ expr_globals b
+    | Ast.Api_stmt (_, args) -> List.concat_map expr_globals args
+    | Ast.Emit _ | Ast.Drop | Ast.Call_sub _ | Ast.Return -> []
+  in
+  List.sort_uniq compare sub
+
+let globals_of stmts = List.sort_uniq compare (List.concat_map deep_globals stmts)
+
+(** A deployment plan for an NF. *)
+type plan =
+  | Full_nic
+  | Full_host
+  | Split of int  (** first [k] top-level statements on the NIC, rest on host *)
+
+let plan_name = function
+  | Full_nic -> "full NIC offload"
+  | Full_host -> "host only"
+  | Split k -> Printf.sprintf "split after statement %d (NIC prefix + host suffix)" k
+
+type evaluation = {
+  plan : plan;
+  throughput_mpps : float;
+  latency_us : float;
+  nic_cores : int;  (** NIC cores used (0 for host-only) *)
+}
+
+let sub_element (elt : Ast.element) stmts suffix used =
+  let state = List.filter (fun d -> List.mem (Ast.state_name d) used) elt.Ast.state in
+  { elt with Ast.name = elt.Ast.name ^ suffix; Ast.handler = stmts; Ast.state = state }
+
+(** Evaluate a plan under a workload. *)
+let evaluate ?(host = default_host) ?(link = default_link) (elt : Ast.element)
+    (spec : Workload.spec) (plan : plan) : evaluation option =
+  let wire_bytes = 54 + spec.Workload.payload_len in
+  (* every plan's traffic still enters through the NIC's port *)
+  let wire_cap =
+    Nicsim.Multicore.default_nic.Nicsim.Multicore.wire_gbps *. 1000.0
+    /. (8.0 *. float_of_int (wire_bytes + 20))
+  in
+  let link_cap = min (link_cap_mpps link ~wire_bytes) wire_cap in
+  match plan with
+  | Full_nic ->
+    let ported = Nicsim.Nic.port elt spec in
+    let peak = Nicsim.Nic.peak ported in
+    Some
+      {
+        plan;
+        throughput_mpps = peak.Nicsim.Multicore.throughput_mpps;
+        latency_us = peak.Nicsim.Multicore.latency_us;
+        nic_cores = peak.Nicsim.Multicore.cores;
+      }
+  | Full_host ->
+    let th, lat = host_point host elt in
+    (* packets must cross PCIe down and up *)
+    Some
+      {
+        plan;
+        throughput_mpps = min th link_cap;
+        latency_us = lat +. (2.0 *. link.crossing_us);
+        nic_cores = 0;
+      }
+  | Split k ->
+    let n = List.length elt.Ast.handler in
+    if k <= 0 || k >= n then None
+    else begin
+      let prefix = List.filteri (fun i _ -> i < k) elt.Ast.handler in
+      let suffix = List.filteri (fun i _ -> i >= k) elt.Ast.handler in
+      let g_pre = globals_of prefix and g_suf = globals_of suffix in
+      let shared = List.filter (fun g -> List.mem g g_suf) g_pre in
+      (* a Return in the prefix would skip the host half; subroutine calls
+         may touch state on either side — both make the split unsound *)
+      let has_control (s : Ast.stmt) =
+        match s.Ast.node with Ast.Return | Ast.Call_sub _ -> true | _ -> false
+      in
+      if shared <> [] || List.exists has_control prefix then None
+      else begin
+        let nic_elt =
+          sub_element elt (prefix @ [ Build.emit 0 ]) "_nic_half" g_pre
+        in
+        let host_elt = sub_element elt suffix "_host_half" g_suf in
+        match Nicsim.Nic.port nic_elt spec with
+        | exception _ -> None
+        | ported ->
+          let peak = Nicsim.Nic.peak ported in
+          let host_th, host_lat = host_point host host_elt in
+          Some
+            {
+              plan;
+              throughput_mpps =
+                min peak.Nicsim.Multicore.throughput_mpps (min host_th link_cap);
+              latency_us =
+                peak.Nicsim.Multicore.latency_us +. link.crossing_us +. host_lat;
+              nic_cores = peak.Nicsim.Multicore.cores;
+            }
+      end
+    end
+
+(** Enumerate all plans and return them best-throughput-first (latency
+    breaks ties). *)
+let analyze ?(host = default_host) ?(link = default_link) (elt : Ast.element)
+    (spec : Workload.spec) : evaluation list =
+  let n = List.length elt.Ast.handler in
+  let plans = Full_nic :: Full_host :: List.init (max 0 (n - 1)) (fun k -> Split (k + 1)) in
+  let evals = List.filter_map (evaluate ~host ~link elt spec) plans in
+  List.sort
+    (fun a b ->
+      (* throughputs within 0.5% are a tie; latency then decides *)
+      if
+        abs_float (a.throughput_mpps -. b.throughput_mpps)
+        <= 0.005 *. max a.throughput_mpps b.throughput_mpps
+      then compare a.latency_us b.latency_us
+      else compare b.throughput_mpps a.throughput_mpps)
+    evals
+
+(** The recommended plan. *)
+let recommend ?host ?link elt spec =
+  match analyze ?host ?link elt spec with
+  | best :: _ -> best
+  | [] -> invalid_arg "Partial.recommend: no feasible plan"

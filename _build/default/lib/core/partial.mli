@@ -1,0 +1,82 @@
+(** Partial offloading analysis (§6 extension).
+
+    Enumerates deployment plans for an NF — full NIC offload, host-only,
+    and every state-disjoint split of the handler — prices each with the
+    NIC simulator, a BOLT-style x86 host model and a PCIe link model, and
+    recommends where the NF (or which half) should run. *)
+
+(** x86 host cost model. *)
+type host_model = {
+  freq_mhz : float;
+  cores : int;  (** cores budgeted for NF work *)
+  ipc : float;  (** sustained instructions per cycle *)
+  dram_cycles : float;  (** cache-filtered stateful access cost *)
+  api_call_cycles : float;  (** cheap framework calls (header accessors etc.) *)
+}
+
+(** One quad-core 3.4 GHz Xeon socket, as in the paper's testbed. *)
+val default_host : host_model
+
+(** PCIe link between host and NIC. *)
+type link_model = {
+  crossing_us : float;  (** one-way DMA + doorbell latency *)
+  link_gbps : float;
+  max_mpps : float;  (** small-packet DMA descriptor limit *)
+}
+
+val default_link : link_model
+
+(** Packet-rate cap of the link for a given wire size. *)
+val link_cap_mpps : link_model -> wire_bytes:int -> float
+
+(** Host-side per-packet cost in cycles, from the element's lowered IR
+    with class-aware API costs (checksums dominate, data structures pay
+    pointer chasing). *)
+val host_cycles : host_model -> Nf_lang.Ast.element -> float
+
+(** (throughput Mpps, latency us) of an element on the host alone. *)
+val host_point : host_model -> Nf_lang.Ast.element -> float * float
+
+(** Stateful structures referenced by an expression / statement / list. *)
+val expr_globals : Nf_lang.Ast.expr -> string list
+
+val deep_globals : Nf_lang.Ast.stmt -> string list
+val globals_of : Nf_lang.Ast.stmt list -> string list
+
+(** A deployment plan. *)
+type plan =
+  | Full_nic
+  | Full_host
+  | Split of int  (** first [k] top-level statements on the NIC, rest on host *)
+
+val plan_name : plan -> string
+
+type evaluation = {
+  plan : plan;
+  throughput_mpps : float;
+  latency_us : float;
+  nic_cores : int;  (** NIC cores used (0 for host-only) *)
+}
+
+(** Slice an element to a statement subset, keeping only the state it
+    uses. *)
+val sub_element :
+  Nf_lang.Ast.element -> Nf_lang.Ast.stmt list -> string -> string list -> Nf_lang.Ast.element
+
+(** Price one plan; [None] when the plan is unsound (shared state across
+    PCIe, control flow crossing the split, or out-of-range split point). *)
+val evaluate :
+  ?host:host_model ->
+  ?link:link_model ->
+  Nf_lang.Ast.element ->
+  Workload.spec ->
+  plan ->
+  evaluation option
+
+(** All feasible plans, best first (throughput, then latency on ~ties). *)
+val analyze :
+  ?host:host_model -> ?link:link_model -> Nf_lang.Ast.element -> Workload.spec -> evaluation list
+
+(** The recommended plan.  @raise Invalid_argument if nothing is feasible. *)
+val recommend :
+  ?host:host_model -> ?link:link_model -> Nf_lang.Ast.element -> Workload.spec -> evaluation

@@ -1,0 +1,62 @@
+(** End-to-end Clara pipeline (Figures 2 and 3).
+
+    [train] builds the learned components once (instruction predictor,
+    algorithm classifiers, scale-out cost model); [analyze] then produces
+    an insight bundle for any unported NF and workload without touching
+    the (simulated) hardware. *)
+
+open Nf_lang
+
+type models = {
+  predictor : Predictor.t;
+  algo : Algo_id.t;
+  scaleout : Scaleout.t option;
+}
+
+(** Train Clara's models.  [quick] shrinks training sets for fast tests;
+    scale-out training is the most expensive part and can be skipped. *)
+let train ?(quick = false) ?(with_scaleout = true) () =
+  let ds = Predictor.synthesize_dataset ~n:(if quick then 30 else 120) () in
+  let predictor = Predictor.train ~epochs:(if quick then 4 else 10) ds in
+  let algo = Algo_id.train ~corpus:(Algo_corpus.labeled ~negatives:(if quick then 20 else 60) ()) () in
+  let scaleout =
+    if with_scaleout then
+      Some (Scaleout.train ~samples:(Scaleout.training_samples ~n_programs:(if quick then 10 else 40) ()) ())
+    else None
+  in
+  { predictor; algo; scaleout }
+
+(** Analyze an unported NF under a workload specification and produce the
+    full insight bundle. *)
+let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t =
+  let prep = Prepare.prepare m.predictor.Predictor.vocab elt in
+  (* performance parameters: LSTM for compute, direct count for memory *)
+  let per_block = Predictor.predict_element m.predictor elt in
+  let predicted_compute = List.fold_left (fun acc (_, c, _) -> acc +. c) 0.0 per_block in
+  let predicted_memory = float_of_int (Prepare.memory_estimate prep) in
+  (* porting-strategy insights *)
+  let accel =
+    List.map
+      (fun (component, algorithm) -> { Insights.component; algorithm })
+      (Algo_id.detect m.algo elt)
+  in
+  let ported = Nicsim.Nic.port elt spec in
+  let suggested_cores =
+    Option.map (fun s -> Scaleout.suggest s ported.Nicsim.Nic.demand) m.scaleout
+  in
+  let placement = if elt.Ast.state = [] then [] else Placement.solve elt ported in
+  let packs = Coalesce.suggest elt ported.Nicsim.Nic.profile in
+  {
+    Insights.nf_name = elt.Ast.name;
+    workload = spec.Workload.name;
+    predicted_compute;
+    predicted_memory;
+    api_calls = prep.Prepare.api_set;
+    accel;
+    suggested_cores;
+    placement;
+    packs;
+  }
+
+(** Analyze and render the textual report. *)
+let report m elt spec = Insights.render (analyze m elt spec)

@@ -1,0 +1,23 @@
+(** End-to-end Clara pipeline (Figures 2 and 3): train the learned
+    components once, then analyze any unported NF without touching the
+    (simulated) hardware. *)
+
+(** The trained model bundle. *)
+type models = {
+  predictor : Predictor.t;  (** instruction prediction (§3.2) *)
+  algo : Algo_id.t;  (** accelerator-algorithm classifiers (§4.1) *)
+  scaleout : Scaleout.t option;  (** core-count cost model (§4.2), optional *)
+}
+
+(** Train Clara.  [quick] shrinks training sets (seconds instead of
+    minutes); [with_scaleout:false] skips the most expensive training
+    phase. *)
+val train : ?quick:bool -> ?with_scaleout:bool -> unit -> models
+
+(** Produce the full insight bundle for an unported NF under a workload:
+    performance parameters, accelerator opportunities, scale-out factor,
+    state placement and variable packs. *)
+val analyze : models -> Nf_lang.Ast.element -> Workload.spec -> Insights.t
+
+(** [analyze] rendered as the textual report. *)
+val report : models -> Nf_lang.Ast.element -> Workload.spec -> string

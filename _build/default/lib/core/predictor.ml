@@ -1,0 +1,149 @@
+(** Cross-platform instruction prediction (§3.2, Figures 3, 6, 8).
+
+    The LSTM+FC model is trained on synthesized NF programs: each basic
+    block's compacted-vocabulary token sequence is paired with the number
+    of compute instructions the (opaque) NIC compiler emits for it.
+    Memory accesses are not learned: stateful IR loads/stores are counted
+    directly (the paper measures this simple count at 96.4-100% accuracy).
+
+    Baselines for Figure 8 are trained on the same data: a DNN and AutoML
+    on bag-of-words block features, and a 1-D CNN on the token sequence. *)
+
+open Nf_lang
+open Nf_ir
+
+type example = { tokens : int array; nic_compute : float; nic_mem : float; ir_mem : float }
+
+type dataset = { vocab : Vocab.t; examples : example array }
+
+(** Compile-and-label one element into per-block examples. *)
+let examples_of_element vocab (elt : Ast.element) =
+  let prep = Prepare.prepare vocab elt in
+  let compiled = Nicsim.Nfcc.compile prep.Prepare.ir in
+  Array.to_list
+    (Array.map
+       (fun (cb : Nicsim.Nfcc.compiled_block) ->
+         let info = List.nth prep.Prepare.blocks cb.Nicsim.Nfcc.bid in
+         {
+           tokens = info.Prepare.tokens;
+           nic_compute = float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs);
+           nic_mem =
+             float_of_int
+               (Nicsim.Isa.count_mem cb.Nicsim.Nfcc.instrs
+               + Nicsim.Isa.count_local_mem cb.Nicsim.Nfcc.instrs);
+           ir_mem = float_of_int info.Prepare.ir_mem_stateful;
+         })
+       compiled.Nicsim.Nfcc.cblocks)
+
+(** Build the training corpus from synthesized programs (§3.2 data
+    synthesis) — [n] programs generated from the Click-corpus statistics. *)
+let synthesize_dataset ?(n = 120) ?(seed = 501) () =
+  let vocab = Vocab.create () in
+  let programs = Synth.Generator.batch ~seed n in
+  let examples =
+    List.concat_map (examples_of_element vocab) programs
+    |> List.filter (fun e -> Array.length e.tokens > 0)
+  in
+  { vocab; examples = Array.of_list examples }
+
+type t = {
+  vocab : Vocab.t;
+  lstm : Mlkit.Lstm.t;
+}
+
+(** Train Clara's LSTM+FC on a dataset. *)
+let train ?(epochs = 10) ?(hidden = 32) (ds : dataset) =
+  Vocab.freeze ds.vocab;
+  let lstm = Mlkit.Lstm.create ~hidden ~vocab:(Vocab.size ds.vocab) 211 in
+  let data = Array.map (fun e -> (e.tokens, [| e.nic_compute |])) ds.examples in
+  Mlkit.Lstm.fit ~epochs lstm data;
+  { vocab = ds.vocab; lstm }
+
+(** Predicted compute-instruction count for one block. *)
+let predict_block t tokens = max 0.0 (Mlkit.Lstm.predict t.lstm tokens).(0)
+
+(** Per-block predictions for a whole unported element. *)
+let predict_element t (elt : Ast.element) =
+  let prep = Prepare.prepare t.vocab elt in
+  List.map
+    (fun (b : Prepare.block_info) ->
+      (b.Prepare.bid, predict_block t b.Prepare.tokens, float_of_int b.Prepare.ir_mem_stateful))
+    prep.Prepare.blocks
+
+(** Ground-truth per-block NIC compute counts for accuracy evaluation. *)
+let ground_truth (elt : Ast.element) =
+  let ir = Nf_frontend.Lower.lower_element elt in
+  let compiled = Nicsim.Nfcc.compile ir in
+  Array.to_list
+    (Array.map
+       (fun (cb : Nicsim.Nfcc.compiled_block) ->
+         ( cb.Nicsim.Nfcc.bid,
+           float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs),
+           float_of_int
+             (Nicsim.Isa.count_mem cb.Nicsim.Nfcc.instrs
+             + Nicsim.Isa.count_local_mem cb.Nicsim.Nfcc.instrs) ))
+       compiled.Nicsim.Nfcc.cblocks)
+
+(** Per-block WMAPE of the compute prediction on an element. *)
+let wmape_on_element t elt =
+  let preds = predict_element t elt in
+  let truth = ground_truth elt in
+  let p = Array.of_list (List.map (fun (_, c, _) -> c) preds) in
+  let g = Array.of_list (List.map (fun (_, c, _) -> c) truth) in
+  Mlkit.Metrics.wmape p g
+
+(** Memory-count accuracy: how close the direct IR stateful-load/store
+    count is to the NIC memory-op count (paper: 96.4-100%). *)
+let memory_accuracy elt =
+  let vocab = Vocab.create () in
+  let prep = Prepare.prepare vocab elt in
+  let ir_mem = float_of_int (Ir.count_stateful_mem prep.Prepare.ir) in
+  let compiled = Nicsim.Nfcc.compile prep.Prepare.ir in
+  let nic_mem = float_of_int (Nicsim.Nfcc.count_mem compiled) in
+  if nic_mem = 0.0 then 1.0 else 1.0 -. (abs_float (ir_mem -. nic_mem) /. nic_mem)
+
+(* -- Figure 8 baselines -- *)
+
+(** Bag-of-words features for dense-model baselines: histogram of token
+    counts plus the block length. *)
+let bow_features vocab_size tokens =
+  let h = Array.make (vocab_size + 1) 0.0 in
+  Array.iter (fun tok -> h.(tok) <- h.(tok) +. 1.0) tokens;
+  h.(vocab_size) <- float_of_int (Array.length tokens);
+  h
+
+type baseline = Dnn of Mlkit.Nn.mlp | Cnn1d of Mlkit.Cnn.t | Automl of Mlkit.Automl.fitted
+
+let train_dnn (ds : dataset) =
+  let v = Vocab.size ds.vocab in
+  let xs = Array.map (fun e -> bow_features v e.tokens) ds.examples in
+  let ys = Array.map (fun e -> [| e.nic_compute |]) ds.examples in
+  let net = Mlkit.Nn.mlp_create (Util.Rng.create 71) ~in_dim:(v + 1) ~hidden:[ 32; 16 ] ~out_dim:1 in
+  Mlkit.Nn.mlp_fit_regression ~epochs:25 net xs ys;
+  Dnn net
+
+let train_cnn (ds : dataset) =
+  let cnn = Mlkit.Cnn.create ~vocab:(Vocab.size ds.vocab) 73 in
+  Mlkit.Cnn.fit ~epochs:10 cnn (Array.map (fun e -> (e.tokens, [| e.nic_compute |])) ds.examples);
+  Cnn1d cnn
+
+let train_automl (ds : dataset) =
+  let v = Vocab.size ds.vocab in
+  let xs = Array.map (fun e -> bow_features v e.tokens) ds.examples in
+  let ys = Array.map (fun e -> e.nic_compute) ds.examples in
+  Automl (Mlkit.Automl.search_regression xs ys)
+
+let baseline_predict vocab b tokens =
+  match b with
+  | Dnn net -> max 0.0 (Mlkit.Nn.mlp_predict net (bow_features (Vocab.size vocab) tokens)).(0)
+  | Cnn1d cnn -> max 0.0 (Mlkit.Cnn.predict cnn tokens).(0)
+  | Automl f -> max 0.0 (Mlkit.Automl.predict f (bow_features (Vocab.size vocab) tokens))
+
+let baseline_wmape_on_element vocab b elt =
+  let prep = Prepare.prepare vocab elt in
+  let truth = ground_truth elt in
+  let preds =
+    List.map (fun (bi : Prepare.block_info) -> baseline_predict vocab b bi.Prepare.tokens) prep.Prepare.blocks
+  in
+  let g = Array.of_list (List.map (fun (_, c, _) -> c) truth) in
+  Mlkit.Metrics.wmape (Array.of_list preds) g

@@ -1,0 +1,70 @@
+(** Cross-platform instruction prediction (§3.2, Figures 3, 6, 8).
+
+    An LSTM + fully-connected head is trained on synthesized NF programs:
+    each block's compacted token sequence is paired with the number of
+    compute instructions the opaque NIC compiler emits for it.  Stateful
+    memory accesses are not learned — they are counted directly from the
+    IR.  The DNN / 1-D CNN / AutoML baselines of Figure 8 train on the
+    same data. *)
+
+(** One training example: a block's tokens and its compilation outcome. *)
+type example = {
+  tokens : int array;
+  nic_compute : float;  (** NIC compute instructions (prediction target) *)
+  nic_mem : float;  (** NIC memory operations (for accuracy reporting) *)
+  ir_mem : float;  (** direct IR stateful-access count *)
+}
+
+type dataset = { vocab : Vocab.t; examples : example array }
+
+(** Compile-and-label one element into per-block examples. *)
+val examples_of_element : Vocab.t -> Nf_lang.Ast.element -> example list
+
+(** Build the training corpus from [n] synthesized programs (§3.2 data
+    synthesis). *)
+val synthesize_dataset : ?n:int -> ?seed:int -> unit -> dataset
+
+(** A trained predictor: the frozen vocabulary plus the LSTM+FC model. *)
+type t = { vocab : Vocab.t; lstm : Mlkit.Lstm.t }
+
+(** Train Clara's LSTM+FC; freezes the dataset's vocabulary. *)
+val train : ?epochs:int -> ?hidden:int -> dataset -> t
+
+(** Predicted compute-instruction count for one token sequence. *)
+val predict_block : t -> int array -> float
+
+(** Per-block [(bid, predicted compute, direct memory count)] for a whole
+    unported element. *)
+val predict_element : t -> Nf_lang.Ast.element -> (int * float * float) list
+
+(** Ground truth [(bid, NIC compute, NIC memory)] from the NIC compiler —
+    what the paper obtains by actually porting and compiling with NFCC. *)
+val ground_truth : Nf_lang.Ast.element -> (int * float * float) list
+
+(** Per-block weighted mean absolute percentage error of the compute
+    prediction on one element (the Figure 8 metric). *)
+val wmape_on_element : t -> Nf_lang.Ast.element -> float
+
+(** Accuracy of direct memory counting against the NIC compiler's memory
+    operations (paper: 96.4-100%). *)
+val memory_accuracy : Nf_lang.Ast.element -> float
+
+(** Bag-of-words features (token histogram + length) for the dense
+    baselines. *)
+val bow_features : int -> int array -> float array
+
+(** Figure 8 baselines, trained on the same dataset. *)
+type baseline =
+  | Dnn of Mlkit.Nn.mlp
+  | Cnn1d of Mlkit.Cnn.t
+  | Automl of Mlkit.Automl.fitted
+
+val train_dnn : dataset -> baseline
+val train_cnn : dataset -> baseline
+val train_automl : dataset -> baseline
+
+(** Baseline prediction for one block. *)
+val baseline_predict : Vocab.t -> baseline -> int array -> float
+
+(** Per-block WMAPE of a baseline on one element. *)
+val baseline_wmape_on_element : Vocab.t -> baseline -> Nf_lang.Ast.element -> float

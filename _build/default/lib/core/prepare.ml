@@ -1,0 +1,58 @@
+(** Program preparation (§3.1): transform a legacy NF into the uniform IR,
+    extract its CFG and API set, and slice it into analyzable code blocks.
+    This is the entry step of Figure 3's PREDICTOFFLOADINGPERF. *)
+
+open Nf_lang
+open Nf_ir
+
+type block_info = {
+  bid : int;
+  src_sid : int;
+  tokens : int array;  (** compacted-vocabulary word indices *)
+  ir_compute : int;
+  ir_mem_stateful : int;
+  ir_mem_stateless : int;
+  api_calls : string list;  (** concrete call names in this block *)
+}
+
+type t = {
+  elt : Ast.element;
+  ir : Ir.func;
+  blocks : block_info list;
+  api_set : string list;  (** all framework calls, for reverse porting *)
+  loc : int;
+}
+
+let block_api_calls (b : Ir.block) =
+  List.filter_map
+    (fun (i : Ir.instr) ->
+      match (i.Ir.op, i.Ir.annot) with Ir.Call n, Ir.Api _ -> Some n | _ -> None)
+    b.Ir.instrs
+
+let count_annot b p =
+  List.length (List.filter (fun (i : Ir.instr) -> p i.Ir.annot) b.Ir.instrs)
+
+(** Prepare an element: lower, build the CFG, encode each block against the
+    given vocabulary. *)
+let prepare (vocab : Vocab.t) (elt : Ast.element) : t =
+  let ir = Nf_frontend.Lower.lower_element elt in
+  let blocks =
+    Array.to_list
+      (Array.map
+         (fun b ->
+           {
+             bid = b.Ir.bid;
+             src_sid = b.Ir.src_sid;
+             tokens = Vocab.encode_block vocab b;
+             ir_compute = count_annot b (function Ir.Compute -> true | _ -> false);
+             ir_mem_stateful = count_annot b (function Ir.Mem_stateful _ -> true | _ -> false);
+             ir_mem_stateless = count_annot b (function Ir.Mem_stateless -> true | _ -> false);
+             api_calls = block_api_calls b;
+           })
+         ir.Ir.blocks)
+  in
+  { elt; ir; blocks; api_set = Nf_frontend.Lower.api_set ir; loc = Pp.loc elt }
+
+(** Direct memory-access count for the whole element: stateful loads/stores
+    at the IR level, which the paper shows map ~1:1 to NIC memory ops. *)
+let memory_estimate t = Ir.count_stateful_mem t.ir

@@ -1,0 +1,37 @@
+(** Program preparation (§3.1): transform a legacy NF into the uniform IR,
+    extract its CFG and API set, and slice it into analyzable code blocks —
+    the entry step of Figure 3's PREDICTOFFLOADINGPERF. *)
+
+(** One basic block of the prepared program. *)
+type block_info = {
+  bid : int;  (** block id in the lowered CFG *)
+  src_sid : int;  (** source-statement attribution (see {!Nf_frontend.Lower}) *)
+  tokens : int array;  (** compacted-vocabulary word indices *)
+  ir_compute : int;  (** IR compute instructions in the block *)
+  ir_mem_stateful : int;  (** stateful loads/stores (the paper's "memory") *)
+  ir_mem_stateless : int;  (** stack-slot traffic, later register-allocated *)
+  api_calls : string list;  (** concrete framework calls in this block *)
+}
+
+(** A prepared element. *)
+type t = {
+  elt : Nf_lang.Ast.element;
+  ir : Nf_ir.Ir.func;
+  blocks : block_info list;
+  api_set : string list;  (** all framework calls — GETAPI, feeds reverse porting *)
+  loc : int;  (** source lines of the unported element *)
+}
+
+(** Framework calls appearing in one block. *)
+val block_api_calls : Nf_ir.Ir.block -> string list
+
+(** Count a block's instructions whose annotation satisfies the predicate. *)
+val count_annot : Nf_ir.Ir.block -> (Nf_ir.Ir.annot -> bool) -> int
+
+(** Lower an element, build the CFG and encode every block against
+    [vocab]. *)
+val prepare : Vocab.t -> Nf_lang.Ast.element -> t
+
+(** Direct memory-access estimate: stateful IR loads/stores, which map
+    ~1:1 to NIC memory operations (96.4-100% in the paper, §3.2). *)
+val memory_estimate : t -> int

@@ -1,0 +1,42 @@
+(** Multicore scale-out factor analysis (§4.2, Figure 11).
+
+    TVM-style separation of 'algorithm' from 'schedule': a training phase
+    deploys synthesized programs across workloads on the (simulated) NIC,
+    records the optimal core counts, and fits a GBDT cost model over
+    program/workload features; inference then suggests core counts for
+    unseen NFs without hardware sweeps. *)
+
+(** Feature vector of an NF under a workload: compute cycles, per-level
+    memory accesses, arithmetic intensity, EMEM hit ratio, payload size,
+    engine ops, plus knee proxies derived from nominal latencies. *)
+val features : Nicsim.Perf.demand -> float array
+
+(** One training point. *)
+type sample = { x : float array; optimal : float }
+
+(** Deploy-and-benchmark: [n_programs] synthesized NFs under each spec
+    (default: large flows, small flows, 200B payloads), labeled with the
+    simulator's knee. *)
+val training_samples :
+  ?n_programs:int -> ?seed:int -> ?specs:Workload.spec list -> unit -> sample list
+
+type t = { gbdt : Mlkit.Tree.gbdt }
+
+(** Fit the GBDT cost model. *)
+val train : ?samples:sample list -> unit -> t
+
+(** Suggested core count, clamped to the NIC's range. *)
+val suggest : ?nic:Nicsim.Multicore.nic -> t -> Nicsim.Perf.demand -> int
+
+(** Convenience wrapper: port the element under [spec] first. *)
+val suggest_for :
+  ?nic:Nicsim.Multicore.nic -> t -> Nf_lang.Ast.element -> Workload.spec -> int
+
+(** Figure 11a baselines trained on the same samples. *)
+type baseline =
+  | B_knn of Mlkit.Simple.knn
+  | B_dnn of Mlkit.Nn.mlp
+  | B_automl of Mlkit.Automl.fitted
+
+val train_baseline : [< `Automl | `Dnn | `Knn ] -> sample list -> baseline
+val baseline_predict : baseline -> float array -> float

@@ -1,0 +1,80 @@
+(** Vocabulary compaction and one-hot encoding of IR instructions (§3.2).
+
+    An instruction word abstracts away concrete operands: registers become
+    VAR, literals collapse to three magnitude classes, stack slots to SLOT,
+    globals to GLOBAL — with the paper's exception that *well-defined
+    header field names stay concrete* (they carry strong signal for the
+    NIC compiler's ld_field selection).  This reduces the vocabulary to a
+    few hundred distinct words, small enough for one-hot encoding. *)
+
+open Nf_ir
+
+let operand_word = function
+  | Ir.Reg _ -> "VAR"
+  | Ir.Imm n ->
+    let a = abs n in
+    if a < 256 then "INT_S" else if a < 65536 then "INT_M" else "INT_L"
+  | Ir.Global _ -> "GLOBAL"
+  | Ir.Slot _ -> "SLOT"
+  | Ir.Hdr field -> "HDR:" ^ field  (* concrete, per the paper's exception *)
+  | Ir.Payload -> "PAYLOAD"
+
+let call_word name =
+  (* strip the structure-specific suffix: map_find.tbl -> map_find *)
+  match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
+
+(** The abstract word of an instruction, e.g.
+    ["add i32 VAR INT_S"] or ["load i16 HDR:ip_len"]. *)
+let word (i : Ir.instr) =
+  let opcode =
+    match i.Ir.op with
+    | Ir.Call name -> "call " ^ call_word name
+    | Ir.Br _ -> "br"
+    | Ir.Cond_br (_, _) -> "condbr"
+    | Ir.Add | Ir.Sub | Ir.Mul | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr | Ir.Icmp _
+    | Ir.Zext | Ir.Trunc | Ir.Select | Ir.Load | Ir.Store | Ir.Gep | Ir.Ret ->
+      Ir.opcode_str i.Ir.op
+  in
+  let args = List.map operand_word i.Ir.args in
+  String.concat " " ((opcode :: [ Ir.typ_str i.Ir.ty ]) @ args)
+
+(** The *unabstracted* word of an instruction — concrete register numbers
+    and literal values included.  Used only by the vocabulary-compaction
+    ablation (§6 reports that LSTM without compaction performs much
+    worse): the vocabulary explodes and most words are singletons. *)
+let word_concrete (i : Ir.instr) = Ir.instr_str i
+
+(** A vocabulary maps words to dense one-hot indices.  It is grown on the
+    training set and frozen for inference ([index] maps unseen words to a
+    shared UNK slot 0). *)
+type t = { table : (string, int) Hashtbl.t; mutable frozen : bool }
+
+let create () =
+  let table = Hashtbl.create 512 in
+  Hashtbl.replace table "<unk>" 0;
+  { table; frozen = false }
+
+let index t w =
+  match Hashtbl.find_opt t.table w with
+  | Some i -> i
+  | None ->
+    if t.frozen then 0
+    else begin
+      let i = Hashtbl.length t.table in
+      Hashtbl.replace t.table w i;
+      i
+    end
+
+let freeze t = t.frozen <- true
+let size t = Hashtbl.length t.table
+
+(** Token sequence of a basic block under a custom word function. *)
+let encode_block_with ~word t (b : Ir.block) =
+  Array.of_list (List.map (fun i -> index t (word i)) b.Ir.instrs)
+
+(** Token sequence of a basic block (compacted vocabulary). *)
+let encode_block t b = encode_block_with ~word t b
+
+(** Token sequences of all blocks of a function, paired with block ids. *)
+let encode_func t (f : Ir.func) =
+  Array.to_list (Array.map (fun b -> (b.Ir.bid, encode_block t b)) f.Ir.blocks)

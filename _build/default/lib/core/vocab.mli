@@ -1,0 +1,51 @@
+(** Vocabulary compaction and one-hot encoding of IR instructions (§3.2).
+
+    Natural-language models need a bounded vocabulary, but instruction
+    operands are unbounded.  Clara abstracts operands into kind classes —
+    registers to [VAR], literals to three magnitude classes, stack slots to
+    [SLOT], globals to [GLOBAL] — with the paper's exception that
+    well-defined header-field names stay concrete.  The result is a few
+    hundred distinct words, small enough for basic one-hot encoding. *)
+
+(** The abstract word of one operand ([VAR], [INT_S], [HDR:ip_len], ...). *)
+val operand_word : Nf_ir.Ir.operand -> string
+
+(** Strip the structure-specific suffix of a framework call
+    ([map_find.tbl] -> [map_find]). *)
+val call_word : string -> string
+
+(** The compacted word of an instruction, e.g. ["add i32 VAR INT_S"]. *)
+val word : Nf_ir.Ir.instr -> string
+
+(** The unabstracted word (concrete registers/literals); used only by the
+    vocabulary-compaction ablation, where it degrades accuracy exactly as
+    the paper's §6 reports. *)
+val word_concrete : Nf_ir.Ir.instr -> string
+
+(** A vocabulary maps words to dense one-hot indices.  It grows on the
+    training set and is then {!freeze}d for inference; unseen words map to
+    the shared UNK index 0. *)
+type t = { table : (string, int) Hashtbl.t; mutable frozen : bool }
+
+(** Fresh vocabulary containing only the UNK word. *)
+val create : unit -> t
+
+(** Index of [word], allocating a new index unless the vocabulary is
+    frozen (then UNK). *)
+val index : t -> string -> int
+
+(** Stop allocating: inference mode. *)
+val freeze : t -> unit
+
+(** Number of distinct words (including UNK). *)
+val size : t -> int
+
+(** Token sequence of a basic block under a custom word function. *)
+val encode_block_with :
+  word:(Nf_ir.Ir.instr -> string) -> t -> Nf_ir.Ir.block -> int array
+
+(** Token sequence of a basic block under the compacted vocabulary. *)
+val encode_block : t -> Nf_ir.Ir.block -> int array
+
+(** Token sequences for every block of a function, paired with block ids. *)
+val encode_func : t -> Nf_ir.Ir.func -> (int * int array) list

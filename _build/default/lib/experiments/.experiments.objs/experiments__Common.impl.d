@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Clara Hashtbl List Nf_lang Nicsim Synth Sys Util Workload

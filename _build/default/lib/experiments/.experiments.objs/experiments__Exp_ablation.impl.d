@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Clara Common Corpus List Mlkit Nf_frontend Nf_ir Nf_lang Nicsim Synth Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Common List Mem Multicore Nf_lang Nic Nicsim Printf String Util Workload

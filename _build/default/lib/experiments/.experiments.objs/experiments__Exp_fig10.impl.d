@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Array Clara Common List Mlkit Multicore Nic Nicsim Printf Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig11.ml: Array Clara Common List Mlkit Multicore Nf_lang Nic Nicsim Printf Util

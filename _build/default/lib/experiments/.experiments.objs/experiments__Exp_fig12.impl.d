@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Array Clara Common List Mem Multicore Nf_lang Nic Nicsim Printf String Util

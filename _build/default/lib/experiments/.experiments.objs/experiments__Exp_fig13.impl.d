@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Clara Common List Multicore Nf_lang Nic Nicsim Perf Printf String Util Workload

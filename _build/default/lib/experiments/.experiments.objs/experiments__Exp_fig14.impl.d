@@ -1,0 +1,1 @@
+lib/experiments/exp_fig14.ml: Clara Colocate Common List Multicore Nf_lang Nic Nicsim Printf String Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig15.ml: Clara Common List Multicore Nf_lang Nic Nicsim Printf Util

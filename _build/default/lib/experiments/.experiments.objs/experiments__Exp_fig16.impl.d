@@ -1,0 +1,1 @@
+lib/experiments/exp_fig16.ml: Clara Common List Multicore Nf_lang Nic Nicsim Util Workload

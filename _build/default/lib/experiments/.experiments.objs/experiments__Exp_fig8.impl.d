@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Array Clara Common List Mlkit Nf_lang Printf Util

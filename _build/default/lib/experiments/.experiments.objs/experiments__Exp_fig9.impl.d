@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Array Ast Clara Common List Mlkit Nf_lang Util

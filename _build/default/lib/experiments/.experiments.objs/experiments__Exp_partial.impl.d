@@ -1,0 +1,1 @@
+lib/experiments/exp_partial.ml: Clara Common List Nf_lang Partial Printf Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_portability.ml: Common List Multicore Nf_lang Nic Nicsim Profiles Util Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Clara Common List Nf_frontend Nf_lang Synth Util

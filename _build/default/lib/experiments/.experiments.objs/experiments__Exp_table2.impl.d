@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Ast Clara Common Corpus List Nf_ir Nf_lang Pp Util

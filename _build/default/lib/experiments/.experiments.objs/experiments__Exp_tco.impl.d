@@ -1,0 +1,1 @@
+lib/experiments/exp_tco.ml: Clara Common Energy Float List Multicore Nf_lang Nic Nicsim Perf Printf Util Workload

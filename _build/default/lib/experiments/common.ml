@@ -1,0 +1,86 @@
+(** Shared experiment infrastructure: scaling knobs, canonical workloads,
+    and cached Clara model training so several experiments can reuse one
+    trained bundle within a bench run. *)
+
+(** CLARA_FULL=1 enlarges training sets and sweeps (closer convergence,
+    longer runtime). *)
+let full_mode () = match Sys.getenv_opt "CLARA_FULL" with Some ("" | "0") | None -> false | Some _ -> true
+
+let scale n = if full_mode () then n * 3 else n
+
+let banner = Util.Table.banner
+
+(** Canonical workloads used across experiments. *)
+let mixed ?(packets = 800) () =
+  { Workload.default with Workload.n_packets = packets; Workload.proto = Workload.Mixed }
+
+let large_flows ?(packets = 800) () = { Workload.large_flows with Workload.n_packets = packets }
+let small_flows ?(packets = 800) () = { Workload.small_flows with Workload.n_packets = packets }
+
+let fmt_mpps = Util.Table.fmt_f2
+let fmt_us = Util.Table.fmt_f2
+
+(* -- cached heavyweight training artifacts -- *)
+
+let predictor_cache : (Clara.Predictor.dataset * Clara.Predictor.t) option ref = ref None
+
+(** The instruction-prediction dataset and trained LSTM, shared by Figure 8
+    and anything else needing compute predictions. *)
+let predictor () =
+  match !predictor_cache with
+  | Some pair -> pair
+  | None ->
+    let ds = Clara.Predictor.synthesize_dataset ~n:(scale 100) () in
+    let model = Clara.Predictor.train ~epochs:(if full_mode () then 20 else 12) ~hidden:40 ds in
+    predictor_cache := Some (ds, model);
+    (ds, model)
+
+let algo_cache : Clara.Algo_id.t option ref = ref None
+
+let algo_model () =
+  match !algo_cache with
+  | Some m -> m
+  | None ->
+    let m = Clara.Algo_id.train () in
+    algo_cache := Some m;
+    m
+
+let scaleout_samples_cache : Clara.Scaleout.sample list option ref = ref None
+
+let scaleout_samples () =
+  match !scaleout_samples_cache with
+  | Some s -> s
+  | None ->
+    let s = Clara.Scaleout.training_samples ~n_programs:(scale 60) () in
+    scaleout_samples_cache := Some s;
+    s
+
+(** Demands of a pool of synthesized NFs — reused by the colocation
+    experiments.  Cached per workload name. *)
+let synth_demand_cache : (string, Nicsim.Perf.demand array) Hashtbl.t = Hashtbl.create 4
+
+let synth_demands ?(spec : Workload.spec option) () =
+  let spec =
+    match spec with Some s -> s | None -> { (mixed ~packets:300 ()) with Workload.n_flows = 2048 }
+  in
+  match Hashtbl.find_opt synth_demand_cache spec.Workload.name with
+  | Some d -> d
+  | None ->
+    let programs = Synth.Generator.batch ~seed:4242 (scale 40) in
+    let demands =
+      List.filter_map
+        (fun elt ->
+          match Nicsim.Nic.port elt spec with
+          | ported -> Some ported.Nicsim.Nic.demand
+          | exception _ -> None)
+        programs
+    in
+    let arr = Array.of_list demands in
+    Hashtbl.replace synth_demand_cache spec.Workload.name arr;
+    arr
+
+(** Port a corpus element under a config+spec and return its peak point. *)
+let peak_of ?config name spec =
+  let elt = Nf_lang.Corpus.find name in
+  let ported = Nicsim.Nic.port ?config elt spec in
+  (ported, Nicsim.Nic.peak ported)

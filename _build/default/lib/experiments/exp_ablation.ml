@@ -1,0 +1,159 @@
+(** Ablation study (extension; motivated by §6 "Experience with ML
+    models" and DESIGN.md's design-choice inventory).
+
+    Three design choices of Clara's instruction predictor are ablated, all
+    evaluated as per-block WMAPE on the same held-out Click NFs:
+
+    1. Vocabulary compaction (§3.2): replace the abstracted words with
+       concrete instructions.  The paper reports "much lower performance"
+       without compaction — the vocabulary explodes, every test word is
+       unseen, and the one-hot LSTM degenerates.
+    2. Corpus-fitted data synthesis (Table 1): train on the baseline
+       (uniform-grammar) synthesizer's programs instead.
+    3. -O0-faithful IR (§3.1): analyze *optimized* IR with a model trained
+       on -O0 IR — the distribution shift that "staying close to the
+       original NF logic" avoids. *)
+
+open Nf_lang
+
+let test_nfs = [ "tcpack"; "udpipencap"; "anonipaddr"; "tcpresp"; "forcetcp"; "aggcounter" ]
+
+let mean_wmape f = Util.Stats.mean (Array.of_list (List.map f test_nfs))
+
+(* dataset construction with a custom word function / program source *)
+let dataset_with ~word ~programs () =
+  let vocab = Clara.Vocab.create () in
+  let examples =
+    List.concat_map
+      (fun elt ->
+        let ir = Nf_frontend.Lower.lower_element elt in
+        let compiled = Nicsim.Nfcc.compile ir in
+        Array.to_list
+          (Array.map
+             (fun (cb : Nicsim.Nfcc.compiled_block) ->
+               let block = Nf_ir.Ir.block ir cb.Nicsim.Nfcc.bid in
+               ( Clara.Vocab.encode_block_with ~word vocab block,
+                 float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs) ))
+             compiled.Nicsim.Nfcc.cblocks))
+      programs
+    |> List.filter (fun (toks, _) -> Array.length toks > 0)
+  in
+  (vocab, Array.of_list examples)
+
+let train_lstm vocab examples =
+  Clara.Vocab.freeze vocab;
+  let m = Mlkit.Lstm.create ~hidden:32 ~vocab:(Clara.Vocab.size vocab) 311 in
+  Mlkit.Lstm.fit ~epochs:(Common.scale 6) m (Array.map (fun (t, y) -> (t, [| y |])) examples);
+  m
+
+(** Per-block WMAPE on one NF.  [transform] rewrites the IR the *predictor
+    sees*; the ground truth is always the port of the original -O0 IR (the
+    developer ships the original NF). *)
+let wmape_with ~word vocab lstm ?(transform = fun ir -> ir) name =
+  let ir = Nf_frontend.Lower.lower_element (Corpus.find name) in
+  let analyzed = transform ir in
+  let compiled = Nicsim.Nfcc.compile ir in
+  let preds, truth =
+    Array.to_list compiled.Nicsim.Nfcc.cblocks
+    |> List.map (fun (cb : Nicsim.Nfcc.compiled_block) ->
+           let block = Nf_ir.Ir.block analyzed cb.Nicsim.Nfcc.bid in
+           let toks = Clara.Vocab.encode_block_with ~word vocab block in
+           ( max 0.0 (Mlkit.Lstm.predict lstm toks).(0),
+             float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs) ))
+    |> List.split
+  in
+  Mlkit.Metrics.wmape (Array.of_list preds) (Array.of_list truth)
+
+type results = {
+  full : float;
+  no_compaction : float;
+  vocab_full : int;
+  vocab_concrete : int;
+  baseline_synthesis : float;
+  optimized_ir : float;
+}
+
+(** Feature-family ablation for algorithm identification: SPE n-grams vs
+    manual features vs both, as micro precision/recall on a held-out
+    split. *)
+let algo_feature_ablation () =
+  let corpus = Clara.Algo_corpus.labeled ~negatives:40 () in
+  let arr = Array.of_list corpus in
+  let train_idx, test_idx =
+    Mlkit.Metrics.train_test_split ~seed:61 ~test_fraction:0.3 (Array.length arr)
+  in
+  let train = Array.to_list (Array.map (fun i -> arr.(i)) train_idx) in
+  let test = Array.to_list (Array.map (fun i -> arr.(i)) test_idx) in
+  let eval mode =
+    let m = Clara.Algo_id.train ~mode ~corpus:train () in
+    let preds = List.map (fun (e, _) -> Clara.Algo_id.classify m e) test in
+    let truths = List.map snd test in
+    let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+    List.iter2
+      (fun p t ->
+        match (p, t) with
+        | Clara.Algo_corpus.Other, Clara.Algo_corpus.Other -> ()
+        | Clara.Algo_corpus.Other, _ -> incr fn
+        | _, Clara.Algo_corpus.Other -> incr fp
+        | p, t -> if p = t then incr tp else (incr fp; incr fn))
+      preds truths;
+    let precision = if !tp + !fp = 0 then 1.0 else float_of_int !tp /. float_of_int (!tp + !fp) in
+    let recall = if !tp + !fn = 0 then 1.0 else float_of_int !tp /. float_of_int (!tp + !fn) in
+    (precision, recall)
+  in
+  [ ("SPE n-grams + manual (Clara)", eval `Both);
+    ("SPE n-grams only", eval `Spe_only);
+    ("manual features only", eval `Manual_only) ]
+
+let compute () =
+  let programs = Synth.Generator.batch ~seed:4501 (Common.scale 70) in
+  (* full Clara *)
+  let vocab, examples = dataset_with ~word:Clara.Vocab.word ~programs () in
+  let lstm = train_lstm vocab examples in
+  let full = mean_wmape (wmape_with ~word:Clara.Vocab.word vocab lstm) in
+  (* 1: no vocabulary compaction *)
+  let cvocab, cexamples = dataset_with ~word:Clara.Vocab.word_concrete ~programs () in
+  let clstm = train_lstm cvocab cexamples in
+  let no_compaction = mean_wmape (wmape_with ~word:Clara.Vocab.word_concrete cvocab clstm) in
+  (* 2: baseline (unfitted) synthesizer as training data *)
+  let base_programs = Synth.Generator.baseline_batch ~seed:4502 (Common.scale 70) in
+  let bvocab, bexamples = dataset_with ~word:Clara.Vocab.word ~programs:base_programs () in
+  let blstm = train_lstm bvocab bexamples in
+  let baseline_synthesis = mean_wmape (wmape_with ~word:Clara.Vocab.word bvocab blstm) in
+  (* 3: analyzing optimized IR with the -O0-trained model *)
+  let optimized_ir =
+    mean_wmape (wmape_with ~word:Clara.Vocab.word vocab lstm ~transform:Nf_ir.Opt.optimize)
+  in
+  {
+    full;
+    no_compaction;
+    vocab_full = Clara.Vocab.size vocab;
+    vocab_concrete = Clara.Vocab.size cvocab;
+    baseline_synthesis;
+    optimized_ir;
+  }
+
+let run () =
+  Common.banner "Ablation (extension): Clara predictor design choices";
+  let r = compute () in
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "Configuration"; "mean WMAPE"; "vocabulary" ]
+    [ [ "Clara (compacted vocab, fitted synth, -O0 IR)"; Util.Table.fmt_f3 r.full;
+        string_of_int r.vocab_full ];
+      [ "- without vocabulary compaction"; Util.Table.fmt_f3 r.no_compaction;
+        string_of_int r.vocab_concrete ];
+      [ "- trained on unfitted (baseline) synthesis"; Util.Table.fmt_f3 r.baseline_synthesis;
+        string_of_int r.vocab_full ];
+      [ "- analyzing optimized IR (distribution shift)"; Util.Table.fmt_f3 r.optimized_ir;
+        string_of_int r.vocab_full ] ];
+  print_endline
+    "\nExpected shape: dropping compaction explodes the vocabulary and clearly\nhurts (the paper's \"much lower performance\", §6); unfitted synthesis hurts\nvia distribution shift; conservative per-block optimization shifts the IR\nonly mildly — the risk the paper avoids by disabling -O flags grows with\nthe aggressiveness of the optimizer.";
+  Common.banner "Ablation (extension): algorithm-identification feature families";
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "Features"; "Precision"; "Recall" ]
+    (List.map
+       (fun (name, (p, r)) ->
+         [ name; Util.Table.fmt_pct (100.0 *. p); Util.Table.fmt_pct (100.0 *. r) ])
+       (algo_feature_ablation ()));
+  print_endline
+    "\nExpected shape: combining SPE patterns with the manually-engineered\nfeatures (§4.1: \"by identifying and combining multiple features ... we\nachieve low false positive and negative rates\") dominates either family."

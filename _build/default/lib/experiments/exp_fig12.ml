@@ -1,0 +1,52 @@
+(** Figure 12: NF state placement — Clara's ILP placement vs the naive
+    all-EMEM port, on the four complex NFs under the small-flow workload.
+    The paper reports ~33% lower memory latency and ~89% higher
+    throughput on average. *)
+
+open Nicsim
+
+let nfs = [ "Mazu-NAT"; "DNSProxy"; "WebGen"; "UDPCount" ]
+
+type row = {
+  nf : string;
+  naive : Multicore.point;
+  clara : Multicore.point;
+  placement : Mem.placement;
+}
+
+let compute ?(spec = Common.small_flows ()) () =
+  List.map
+    (fun name ->
+      let elt = Nf_lang.Corpus.find name in
+      let naive_ported = Nic.port elt spec in
+      let placement, clara_ported = Clara.Placement.apply elt spec in
+      { nf = name; naive = Nic.peak naive_ported; clara = Nic.peak clara_ported; placement })
+    nfs
+
+let run () =
+  Common.banner "Figure 12: state placement (Clara ILP vs naive all-EMEM, small flows)";
+  let rows = compute () in
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "NF"; "Clara Th"; "Naive Th"; "Clara Lat"; "Naive Lat" ]
+    (List.map
+       (fun r ->
+         [ r.nf;
+           Common.fmt_mpps r.clara.Multicore.throughput_mpps;
+           Common.fmt_mpps r.naive.Multicore.throughput_mpps;
+           Common.fmt_us r.clara.Multicore.latency_us;
+           Common.fmt_us r.naive.Multicore.latency_us ])
+       rows);
+  let mean f = Util.Stats.mean (Array.of_list (List.map f rows)) in
+  Printf.printf "\nAverage throughput gain: %.0f%% (paper: ~89%%)\n"
+    (100.0
+    *. mean (fun r ->
+           (r.clara.Multicore.throughput_mpps /. max 1e-9 r.naive.Multicore.throughput_mpps) -. 1.0));
+  Printf.printf "Average latency reduction: %.0f%% (paper: ~33%%)\n"
+    (100.0
+    *. mean (fun r -> 1.0 -. (r.clara.Multicore.latency_us /. max 1e-9 r.naive.Multicore.latency_us)));
+  List.iter
+    (fun r ->
+      Printf.printf "%s placement: %s\n" r.nf
+        (String.concat ", "
+           (List.map (fun (s, l) -> Printf.sprintf "%s->%s" s (Mem.level_name l)) r.placement)))
+    rows

@@ -1,0 +1,151 @@
+(** Figure 14: NF colocation analysis.
+
+    (a) Top-1/2/3 ranking accuracy of four LambdaMART models trained with
+        different objectives (total/average throughput/latency loss),
+        tested on groups of synthesized NFs.
+    (b) Throughput degradation for the six pairs of four real NFs, ranked
+        by Clara.
+    (c) Latency increases for the same pairs. *)
+
+open Nicsim
+
+let real_nfs = [ ("NF1", "Mazu-NAT"); ("NF2", "DNSProxy"); ("NF3", "UDPCount"); ("NF4", "Webgen") ]
+
+let real_name short =
+  match List.assoc_opt short real_nfs with
+  | Some "Webgen" -> "WebGen"
+  | Some n -> n
+  | None -> short
+
+let accuracy_rows () =
+  let demands = Common.synth_demands () in
+  List.map
+    (fun objective ->
+      let train_groups =
+        Clara.Colocation.make_groups ~n_groups:(Common.scale 25) ~seed:2101 objective demands
+      in
+      let test_groups =
+        Clara.Colocation.make_groups ~n_groups:(Common.scale 20) ~seed:9203 objective demands
+      in
+      let model = Clara.Colocation.train ~groups:train_groups ~objective demands in
+      ( Clara.Colocation.objective_name objective,
+        Clara.Colocation.topk_accuracy model test_groups 1,
+        Clara.Colocation.topk_accuracy model test_groups 2,
+        Clara.Colocation.topk_accuracy model test_groups 3 ))
+    Clara.Colocation.all_objectives
+
+type pair_row = {
+  label : string;
+  coloc1 : Multicore.point;
+  coloc2 : Multicore.point;
+  solo1 : Multicore.point;
+  solo2 : Multicore.point;
+  base1 : Multicore.point;
+  base2 : Multicore.point;
+  loss : float;
+}
+
+let real_pairs () =
+  let spec = Common.small_flows () in
+  let demands =
+    List.map
+      (fun (short, _) ->
+        (short, (Nic.port (Nf_lang.Corpus.find (real_name short)) spec).Nic.demand))
+      real_nfs
+  in
+  let pairs =
+    [ ("NF1", "NF4"); ("NF3", "NF4"); ("NF2", "NF4"); ("NF1", "NF3"); ("NF1", "NF2");
+      ("NF2", "NF3") ]
+  in
+  List.map
+    (fun (a, b) ->
+      let da = List.assoc a demands and db = List.assoc b demands in
+      let r = Colocate.colocate da db in
+      {
+        label = a ^ "+" ^ b;
+        coloc1 = r.Colocate.t1;
+        coloc2 = r.Colocate.t2;
+        solo1 = r.Colocate.solo1;
+        solo2 = r.Colocate.solo2;
+        base1 = r.Colocate.lat_base1;
+        base2 = r.Colocate.lat_base2;
+        loss = Colocate.total_throughput_loss r;
+      })
+    pairs
+
+let ranking_check rows =
+  (* does a Clara model trained on synthesized NFs rank the real pairs by
+     their true degradation?  Training and testing share the workload, as
+     in the paper's methodology (§5.1) *)
+  let demands = Common.synth_demands ~spec:{ (Common.small_flows ()) with Workload.n_packets = 300 } () in
+  let model = Clara.Colocation.train ~objective:Clara.Colocation.Total_throughput demands in
+  let spec = Common.small_flows () in
+  let real_demands =
+    List.map
+      (fun (short, _) -> (short, (Nic.port (Nf_lang.Corpus.find (real_name short)) spec).Nic.demand))
+      real_nfs
+  in
+  let candidates =
+    List.map
+      (fun r ->
+        match String.split_on_char '+' r.label with
+        | [ a; b ] -> (List.assoc a real_demands, List.assoc b real_demands)
+        | _ -> assert false)
+      rows
+  in
+  let order = Clara.Colocation.rank model candidates in
+  let truly_best =
+    fst
+      (List.fold_left
+         (fun (bi, bl) (i, r) -> if r.loss < bl then (i, r.loss) else (bi, bl))
+         (0, infinity)
+         (List.mapi (fun i r -> (i, r)) rows))
+  in
+  let top3 = match order with a :: b :: c :: _ -> [ a; b; c ] | l -> l in
+  (order, List.mem truly_best top3)
+
+let run () =
+  Common.banner "Figure 14a: colocation ranking accuracy by training objective";
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "Objective"; "Top-1"; "Top-2"; "Top-3" ]
+    (List.map
+       (fun (name, t1, t2, t3) ->
+         [ name; Util.Table.fmt_pct (100.0 *. t1); Util.Table.fmt_pct (100.0 *. t2);
+           Util.Table.fmt_pct (100.0 *. t3) ])
+       (accuracy_rows ()));
+  print_endline
+    "Paper shape: total-throughput objective is best (70%+ top-1, 85%+ top-3).";
+  Common.banner "Figure 14b: throughput loss caused by colocation (real NFs)";
+  let rows = real_pairs () in
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "pair"; "coloc Th A+B"; "solo Th A+B"; "total loss" ]
+    (List.map
+       (fun r ->
+         [ r.label;
+           Printf.sprintf "%s+%s"
+             (Common.fmt_mpps r.coloc1.Multicore.throughput_mpps)
+             (Common.fmt_mpps r.coloc2.Multicore.throughput_mpps);
+           Printf.sprintf "%s+%s"
+             (Common.fmt_mpps r.solo1.Multicore.throughput_mpps)
+             (Common.fmt_mpps r.solo2.Multicore.throughput_mpps);
+           Util.Table.fmt_pct (100.0 *. r.loss) ])
+       rows);
+  Common.banner "Figure 14c: latency increase caused by colocation";
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "pair"; "coloc Lat A/B (us)"; "alone-on-share Lat A/B (us)"; "increase" ]
+    (List.map
+       (fun r ->
+         [ r.label;
+           Printf.sprintf "%s/%s" (Common.fmt_us r.coloc1.Multicore.latency_us)
+             (Common.fmt_us r.coloc2.Multicore.latency_us);
+           Printf.sprintf "%s/%s" (Common.fmt_us r.base1.Multicore.latency_us)
+             (Common.fmt_us r.base2.Multicore.latency_us);
+           Printf.sprintf "%+.0f%%/%+.0f%%"
+             (100.0 *. ((r.coloc1.Multicore.latency_us /. max 1e-9 r.base1.Multicore.latency_us) -. 1.0))
+             (100.0 *. ((r.coloc2.Multicore.latency_us /. max 1e-9 r.base2.Multicore.latency_us) -. 1.0)) ])
+       rows);
+  let order, top3_hit = ranking_check rows in
+  Printf.printf
+    "\nClara's ranking of the six real pairs (best first): %s\nTruly-best pair in Clara's top-3: %b (paper: all top-3 ranked correctly)\n"
+    (String.concat " > " (List.map (fun i -> (List.nth rows i).label) order))
+    top3_hit

@@ -1,0 +1,130 @@
+(** Figure 9: algorithm-identification precision/recall of Clara's
+    SPE-features + SVM against kNN, DNN, DT, GBDT and AutoML baselines,
+    all using the same feature space, evaluated on held-out
+    implementation variants. *)
+
+open Nf_lang
+
+let split_corpus ?(seed = 97) corpus =
+  let arr = Array.of_list corpus in
+  let train_idx, test_idx =
+    Mlkit.Metrics.train_test_split ~seed ~test_fraction:0.3 (Array.length arr)
+  in
+  ( Array.to_list (Array.map (fun i -> arr.(i)) train_idx),
+    Array.to_list (Array.map (fun i -> arr.(i)) test_idx) )
+
+(** Combined feature vector across the three class-specific gram sets. *)
+let combined_features (clara : Clara.Algo_id.t) (elt : Ast.element) =
+  Array.concat
+    (List.map
+       (fun cls -> Clara.Algo_id.class_features clara cls elt)
+       [ Clara.Algo_corpus.Crc; Clara.Algo_corpus.Lpm; Clara.Algo_corpus.Checksum ])
+
+type baseline_kind = Knn | Dnn | Dt | Gbdt | Automl | Nbayes
+
+let kind_name = function
+  | Knn -> "kNN"
+  | Dnn -> "DNN"
+  | Dt -> "DT"
+  | Gbdt -> "GBDT"
+  | Automl -> "AutoML"
+  | Nbayes -> "NaiveBayes"
+
+type scorer = float array -> float
+
+(** Train a one-vs-rest scorer of [kind] for one class. *)
+let train_scorer kind xs ys : scorer =
+  match kind with
+  | Knn ->
+    let m = Mlkit.Simple.knn_fit ~k:3 xs ys in
+    fun x -> Mlkit.Simple.knn_predict m x -. 0.5
+  | Dnn ->
+    let net =
+      Mlkit.Nn.mlp_create (Util.Rng.create 171) ~in_dim:(Array.length xs.(0)) ~hidden:[ 16 ]
+        ~out_dim:1
+    in
+    Mlkit.Nn.mlp_fit_binary ~epochs:40 net xs ys;
+    fun x -> Mlkit.Nn.mlp_predict_binary net x -. 0.5
+  | Dt ->
+    let t = Mlkit.Tree.grow ~config:{ Mlkit.Tree.default_grow with Mlkit.Tree.max_depth = 5 } xs ys in
+    fun x -> Mlkit.Tree.predict t x -. 0.5
+  | Gbdt ->
+    let g = Mlkit.Tree.gbdt_fit_binary ~n_stages:40 xs ys in
+    fun x -> Mlkit.Tree.gbdt_predict_binary g x -. 0.5
+  | Automl ->
+    let f = Mlkit.Automl.search_classification xs ys in
+    fun x -> Mlkit.Automl.predict_class f x -. 0.5
+  | Nbayes ->
+    let m = Mlkit.Bayes.fit xs ys in
+    fun x -> Mlkit.Bayes.predict_binary m x -. 0.5
+
+let classes = [ Clara.Algo_corpus.Crc; Clara.Algo_corpus.Lpm; Clara.Algo_corpus.Checksum ]
+
+(** Multiclass classify from per-class scorers: argmax positive score. *)
+let classify_with scorers x =
+  List.fold_left
+    (fun (best_l, best_s) (cls, scorer) ->
+      let s = scorer x in
+      if s > 0.0 && s > best_s then (cls, s) else (best_l, best_s))
+    (Clara.Algo_corpus.Other, 0.0)
+    scorers
+  |> fst
+
+(** Micro-averaged precision/recall for accelerator detection: a true
+    positive is a correctly-labeled accelerator component. *)
+let micro_pr predictions truths =
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+  List.iter2
+    (fun p t ->
+      match (p, t) with
+      | Clara.Algo_corpus.Other, Clara.Algo_corpus.Other -> ()
+      | Clara.Algo_corpus.Other, _ -> incr fn
+      | _, Clara.Algo_corpus.Other -> incr fp
+      | p, t -> if p = t then incr tp else (incr fp; incr fn))
+    predictions truths;
+  let precision = if !tp + !fp = 0 then 1.0 else float_of_int !tp /. float_of_int (!tp + !fp) in
+  let recall = if !tp + !fn = 0 then 1.0 else float_of_int !tp /. float_of_int (!tp + !fn) in
+  (precision, recall)
+
+type results = { rows : (string * float * float) list }
+
+let compute () =
+  let corpus = Clara.Algo_corpus.labeled ~negatives:(Common.scale 60) () in
+  let train, test = split_corpus corpus in
+  let clara = Clara.Algo_id.train ~corpus:train () in
+  let truths = List.map snd test in
+  let clara_preds = List.map (fun (e, _) -> Clara.Algo_id.classify clara e) test in
+  let cp, cr = micro_pr clara_preds truths in
+  (* baselines on the same feature space *)
+  let feats_train = List.map (fun (e, _) -> combined_features clara e) train in
+  let xs = Array.of_list feats_train in
+  let feats_test = List.map (fun (e, _) -> combined_features clara e) test in
+  let baseline kind =
+    let scorers =
+      List.map
+        (fun cls ->
+          let ys = Array.of_list (List.map (fun (_, l) -> if l = cls then 1.0 else 0.0) train) in
+          (cls, train_scorer kind xs ys))
+        classes
+    in
+    let preds = List.map (classify_with scorers) feats_test in
+    let p, r = micro_pr preds truths in
+    (kind_name kind, p, r)
+  in
+  { rows =
+      ("Clara", cp, cr)
+      :: List.map baseline [ Automl; Knn; Dnn; Dt; Gbdt; Nbayes ] }
+
+let run () =
+  Common.banner "Figure 9: algorithm identification precision/recall";
+  let r = compute () in
+  Util.Table.print ~align:Util.Table.Left
+    ~header:[ "Model"; "Precision"; "Recall" ]
+    (List.map
+       (fun (name, p, rec_) ->
+         [ name; Util.Table.fmt_pct (100.0 *. p); Util.Table.fmt_pct (100.0 *. rec_) ])
+       r.rows);
+  print_newline ();
+  print_endline
+    "Paper shape: Clara ~96.6% precision / 83.3% recall; other models and AutoML";
+  print_endline "are roughly on par because accelerator algorithms have distinct features."

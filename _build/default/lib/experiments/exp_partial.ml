@@ -1,0 +1,40 @@
+(** Partial offloading study (extension; §6 "Partial offloading").
+
+    For each NF, every deployment plan — full NIC offload, host-only, and
+    each state-disjoint split of the handler — is evaluated with the NIC
+    simulator, the x86 host model and the PCIe link model; Clara
+    recommends the best plan. *)
+
+open Clara
+
+let nfs = [ "dpi"; "anonipaddr"; "firewall"; "heavy_hitter" ]
+
+let compute () =
+  let spec =
+    { Workload.default with Workload.n_packets = 400; Workload.proto = Workload.Mixed;
+      Workload.payload_len = 200 }
+  in
+  List.map
+    (fun name ->
+      let elt = Nf_lang.Corpus.find name in
+      (name, Partial.analyze elt spec))
+    nfs
+
+let run () =
+  Common.banner "Partial offloading (extension): NIC vs host vs split plans";
+  List.iter
+    (fun (name, evals) ->
+      Printf.printf "\n%s (best first, top 4 of %d feasible plans):\n" name (List.length evals);
+      let top = List.filteri (fun i _ -> i < 4) evals in
+      Util.Table.print ~align:Util.Table.Left
+        ~header:[ "plan"; "Th (Mpps)"; "Lat (us)"; "NIC cores" ]
+        (List.map
+           (fun (e : Partial.evaluation) ->
+             [ Partial.plan_name e.Partial.plan;
+               Common.fmt_mpps e.Partial.throughput_mpps;
+               Common.fmt_us e.Partial.latency_us;
+               string_of_int e.Partial.nic_cores ])
+           top))
+    (compute ());
+  print_endline
+    "\nExpected shape: compute-light NFs stay on the NIC (host plans pay the PCIe\ncrossing for nothing); only when the NIC fabric is the bottleneck does a\nstate-disjoint split or the beefy host become attractive."

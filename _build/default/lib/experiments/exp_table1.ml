@@ -1,0 +1,43 @@
+(** Table 1: fidelity of the data-synthesis engine.
+
+    Compares the instruction distribution of synthesized Click programs
+    against the real-world corpus, for Clara's corpus-fitted generator vs.
+    a baseline generator that ignores Click's AST distribution, across six
+    distance metrics.  Distributions are over compacted-vocabulary
+    instruction words (opcode + type + operand kinds, concrete header
+    fields), the granularity Clara's predictor consumes. *)
+
+let word_histogram vocab elements =
+  List.concat_map
+    (fun elt ->
+      let f = Nf_frontend.Lower.lower_element elt in
+      List.concat_map (fun (_, toks) -> Array.to_list toks) (Clara.Vocab.encode_func vocab f))
+    elements
+
+let results ?(n = 60) () =
+  (* one shared vocabulary so histograms are comparable *)
+  let vocab = Clara.Vocab.create () in
+  let real_words = word_histogram vocab (Nf_lang.Corpus.table2 ()) in
+  let clara_words = word_histogram vocab (Synth.Generator.batch ~seed:7001 n) in
+  let base_words = word_histogram vocab (Synth.Generator.baseline_batch ~seed:7002 n) in
+  let card = Clara.Vocab.size vocab in
+  let real = Util.Stats.histogram ~card real_words in
+  let clara = Util.Stats.histogram ~card clara_words in
+  let baseline = Util.Stats.histogram ~card base_words in
+  List.map2
+    (fun (metric, clara_d) (_, base_d) -> (metric, clara_d, base_d))
+    (Util.Distance.all clara real)
+    (Util.Distance.all baseline real)
+
+let run () =
+  Common.banner "Table 1: data-synthesis fidelity (distribution distances)";
+  let rows =
+    List.map
+      (fun (metric, c, b) -> [ metric; Util.Table.fmt_f4 c; Util.Table.fmt_f4 b ])
+      (results ~n:(Common.scale 60) ())
+  in
+  Util.Table.print ~align:Util.Table.Left ~header:[ "Metric"; "Clara"; "Baseline" ] rows;
+  print_newline ();
+  print_endline
+    "Paper: Clara 0.030/0.120/0.035/0.027/0.061/0.307 vs baseline 0.101/0.406/0.126/0.116/0.138/0.671";
+  print_endline "Expected shape: Clara's corpus-fitted generator is closer on every metric."

@@ -1,0 +1,82 @@
+(** Energy / TCO study (extension; the introduction's motivation).
+
+    For each NF, the SmartNIC deployment at its knee is compared with an
+    equal-throughput x86-host deployment: watts, microjoules per packet,
+    and three-year TCO per Mpps.  The SoC cores' energy advantage is the
+    paper's TCO argument, quantified. *)
+
+open Nicsim
+
+let nfs = [ "Mazu-NAT"; "UDPCount"; "dpi"; "flowmonitor" ]
+
+type row = {
+  nf : string;
+  nic_point : Multicore.point;
+  nic_watts : float;
+  nic_uj : float;
+  host_cores : int;
+  host_watts : float;
+  host_uj : float;
+}
+
+let compute () =
+  let spec =
+    { Workload.default with Workload.n_packets = 500; Workload.proto = Workload.Mixed;
+      Workload.n_flows = 8192 }
+  in
+  List.map
+    (fun name ->
+      let elt = Nf_lang.Corpus.find name in
+      let ported = Nic.port elt spec in
+      let knee = Nic.optimal_cores ported in
+      let point = Nic.measure ~cores:knee ported in
+      let d = ported.Nic.demand in
+      let nic_watts = Energy.power_w Energy.smartnic d point in
+      let nic_uj = Energy.energy_per_packet_uj Energy.smartnic d point in
+      (* host deployment matching the NIC's delivered throughput *)
+      let host = Clara.Partial.default_host in
+      let cycles = Clara.Partial.host_cycles host elt in
+      let mpps = point.Multicore.throughput_mpps in
+      let host_cores =
+        int_of_float (Float.round (ceil (mpps *. 1e6 *. cycles /. (host.Clara.Partial.freq_mhz *. 1e6))))
+        |> max 1
+      in
+      let mem_per_pkt = Perf.total_mem_accesses d in
+      let host_watts =
+        Energy.host_power_w Energy.x86_host ~cores:host_cores ~mpps
+          ~mem_accesses_per_pkt:mem_per_pkt
+      in
+      let host_uj = host_watts /. max 1.0 (mpps *. 1e6) *. 1e6 in
+      { nf = name; nic_point = point; nic_watts; nic_uj; host_cores; host_watts; host_uj })
+    nfs
+
+let run () =
+  Common.banner "Energy/TCO (extension): SmartNIC vs x86 host at equal throughput";
+  let rows = compute () in
+  Util.Table.print ~align:Util.Table.Left
+    ~header:
+      [ "NF"; "Mpps"; "NIC cores"; "NIC W"; "NIC uJ/pkt"; "host cores"; "host W"; "host uJ/pkt";
+        "energy ratio" ]
+    (List.map
+       (fun r ->
+         [ r.nf;
+           Common.fmt_mpps r.nic_point.Multicore.throughput_mpps;
+           string_of_int r.nic_point.Multicore.cores;
+           Util.Table.fmt_f1 r.nic_watts;
+           Util.Table.fmt_f2 r.nic_uj;
+           string_of_int r.host_cores;
+           Util.Table.fmt_f1 r.host_watts;
+           Util.Table.fmt_f2 r.host_uj;
+           Printf.sprintf "%.1fx" (r.host_uj /. max 1e-9 r.nic_uj) ])
+       rows);
+  let usd_per_kwh = 0.12 and years = 3.0 in
+  Printf.printf "\n3-year TCO per Mpps (capex + electricity at $%.2f/kWh):\n" usd_per_kwh;
+  List.iter
+    (fun r ->
+      let mpps = r.nic_point.Multicore.throughput_mpps in
+      Printf.printf "  %-12s NIC $%.0f/Mpps vs host $%.0f/Mpps\n" r.nf
+        (Energy.tco_per_mpps Energy.smartnic ~watts:r.nic_watts ~mpps ~years ~usd_per_kwh)
+        (Energy.tco_per_mpps Energy.x86_host ~watts:r.host_watts ~mpps ~years ~usd_per_kwh))
+    rows;
+  print_endline
+    "\nExpected shape: the SoC's wimpy cores deliver the same packet rate at a\nfraction of the energy — the introduction's TCO argument for offloading."

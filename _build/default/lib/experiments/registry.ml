@@ -1,0 +1,27 @@
+(** Registry mapping experiment ids (paper table/figure numbers) to their
+    runners; the bench harness and the CLI dispatch through this list. *)
+
+type experiment = { id : string; title : string; run : unit -> unit }
+
+let all =
+  [ { id = "fig1"; title = "Figure 1: NF performance variability"; run = Exp_fig1.run };
+    { id = "table1"; title = "Table 1: data-synthesis fidelity"; run = Exp_table1.run };
+    { id = "table2"; title = "Table 2: corpus inventory"; run = Exp_table2.run };
+    { id = "fig8"; title = "Figure 8: instruction-prediction WMAPE"; run = Exp_fig8.run };
+    { id = "fig9"; title = "Figure 9: algorithm identification"; run = Exp_fig9.run };
+    { id = "fig10"; title = "Figure 10: accelerator payoffs (PCA/CRC/LPM)"; run = Exp_fig10.run };
+    { id = "fig11"; title = "Figure 11: multicore scale-out analysis"; run = Exp_fig11.run };
+    { id = "fig12"; title = "Figure 12: NF state placement"; run = Exp_fig12.run };
+    { id = "fig13"; title = "Figure 13: memory access coalescing"; run = Exp_fig13.run };
+    { id = "fig14"; title = "Figure 14: NF colocation"; run = Exp_fig14.run };
+    { id = "fig15"; title = "Figure 15: placement expert emulation"; run = Exp_fig15.run };
+    { id = "fig16"; title = "Figure 16: coalescing expert emulation"; run = Exp_fig16.run };
+    (* beyond the paper: ablations and §6 extensions *)
+    { id = "ablation"; title = "Ablation: predictor design choices (extension)"; run = Exp_ablation.run };
+    { id = "portability"; title = "Portability: other SmartNIC profiles (extension)"; run = Exp_portability.run };
+    { id = "partial"; title = "Partial offloading: NIC/host/split plans (extension)"; run = Exp_partial.run };
+    { id = "tco"; title = "Energy/TCO: SmartNIC vs x86 host (extension)"; run = Exp_tco.run } ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let run_all () = List.iter (fun e -> e.run ()) all

@@ -1,0 +1,97 @@
+(** Exact 0/1 integer linear programming for generalized assignment.
+
+    Clara's state-placement formulation (§4.3): place each of k data
+    structures into one of t memory levels, minimizing total weighted
+    access latency subject to per-level capacity.  Solved by depth-first
+    branch-and-bound with an admissible bound (capacity-relaxed greedy),
+    items ordered largest-first.  Problem sizes are tiny (k <= dozens), so
+    exactness is cheap. *)
+
+type problem = {
+  n_items : int;
+  n_bins : int;
+  cost : int -> int -> float;  (** cost item bin; [infinity] = forbidden *)
+  size : int -> int;
+  capacity : int -> int;
+}
+
+type solution = { assignment : int array; objective : float }
+
+exception Infeasible
+
+(** Admissible lower bound for the unassigned suffix: each remaining item
+    takes its cheapest bin, ignoring capacities. *)
+let suffix_bound p order start =
+  let acc = ref 0.0 in
+  for k = start to p.n_items - 1 do
+    let item = order.(k) in
+    let best = ref infinity in
+    for b = 0 to p.n_bins - 1 do
+      best := min !best (p.cost item b)
+    done;
+    acc := !acc +. !best
+  done;
+  !acc
+
+let solve (p : problem) : solution option =
+  if p.n_items = 0 then Some { assignment = [||]; objective = 0.0 }
+  else begin
+    let order = Array.init p.n_items (fun i -> i) in
+    Array.sort (fun a b -> compare (p.size b) (p.size a)) order;
+    let remaining = Array.init p.n_bins p.capacity in
+    let assignment = Array.make p.n_items (-1) in
+    let best_obj = ref infinity in
+    let best_assign = ref None in
+    let rec go k cost_so_far =
+      if cost_so_far +. suffix_bound p order k >= !best_obj then ()
+      else if k = p.n_items then begin
+        best_obj := cost_so_far;
+        best_assign := Some (Array.copy assignment)
+      end
+      else begin
+        let item = order.(k) in
+        (* try bins cheapest-first for better pruning *)
+        let bins = Array.init p.n_bins (fun b -> b) in
+        Array.sort (fun a b -> compare (p.cost item a) (p.cost item b)) bins;
+        Array.iter
+          (fun b ->
+            let c = p.cost item b in
+            if c < infinity && remaining.(b) >= p.size item then begin
+              remaining.(b) <- remaining.(b) - p.size item;
+              assignment.(item) <- b;
+              go (k + 1) (cost_so_far +. c);
+              assignment.(item) <- -1;
+              remaining.(b) <- remaining.(b) + p.size item
+            end)
+          bins
+      end
+    in
+    go 0 0.0;
+    match !best_assign with
+    | Some a -> Some { assignment = a; objective = !best_obj }
+    | None -> None
+  end
+
+(** Enumerate all feasible assignments (for expert-emulation exhaustive
+    search, §5.8).  Only safe for small problems: bins^items candidates. *)
+let enumerate (p : problem) : solution list =
+  let results = ref [] in
+  let remaining = Array.init p.n_bins p.capacity in
+  let assignment = Array.make p.n_items (-1) in
+  let rec go item cost_so_far =
+    if item = p.n_items then
+      results := { assignment = Array.copy assignment; objective = cost_so_far } :: !results
+    else
+      for b = 0 to p.n_bins - 1 do
+        let c = p.cost item b in
+        if c < infinity && remaining.(b) >= p.size item then begin
+          remaining.(b) <- remaining.(b) - p.size item;
+          assignment.(item) <- b;
+          go (item + 1) (cost_so_far +. c);
+          assignment.(item) <- -1;
+          remaining.(b) <- remaining.(b) + p.size item
+        end
+      done
+  in
+  go 0 0.0;
+  !results

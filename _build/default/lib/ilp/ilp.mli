@@ -1,0 +1,29 @@
+(** Exact 0/1 integer linear programming for generalized assignment —
+    Clara's state-placement formulation (§4.3): place each item (data
+    structure) into one bin (memory level) minimizing total cost subject
+    to bin capacities.  Solved exactly by branch-and-bound with an
+    admissible capacity-relaxed bound. *)
+
+type problem = {
+  n_items : int;
+  n_bins : int;
+  cost : int -> int -> float;  (** [cost item bin]; [infinity] forbids *)
+  size : int -> int;
+  capacity : int -> int;
+}
+
+type solution = { assignment : int array; objective : float }
+
+exception Infeasible
+
+(** Admissible lower bound of the unassigned suffix (each remaining item
+    at its cheapest bin, capacities ignored).  Exposed for bound tests. *)
+val suffix_bound : problem -> int array -> int -> float
+
+(** The optimal assignment, or [None] when capacities cannot be
+    satisfied. *)
+val solve : problem -> solution option
+
+(** Every feasible assignment — the §5.8 expert-emulation exhaustive
+    search.  Only safe for small problems (bins^items candidates). *)
+val enumerate : problem -> solution list

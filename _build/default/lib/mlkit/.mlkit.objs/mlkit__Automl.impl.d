@@ -1,0 +1,1 @@
+lib/mlkit/automl.ml: Array List Metrics Nn Simple Tree Util

@@ -1,0 +1,1 @@
+lib/mlkit/automl.mli: Nn Simple Tree

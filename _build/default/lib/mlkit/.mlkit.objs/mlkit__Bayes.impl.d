@@ -1,0 +1,1 @@
+lib/mlkit/bayes.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/mlkit/cnn.ml: Array La List Nn Util

@@ -1,0 +1,1 @@
+lib/mlkit/cnn.mli: Nn

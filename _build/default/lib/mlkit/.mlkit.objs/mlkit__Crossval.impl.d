@@ -1,0 +1,1 @@
+lib/mlkit/crossval.ml: Array List Metrics Util

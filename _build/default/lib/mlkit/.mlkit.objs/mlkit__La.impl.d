@@ -1,0 +1,1 @@
+lib/mlkit/la.ml: Array Util

@@ -1,0 +1,1 @@
+lib/mlkit/lstm.ml: Array La List Nn Util

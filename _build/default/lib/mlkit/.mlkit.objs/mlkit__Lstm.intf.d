@@ -1,0 +1,1 @@
+lib/mlkit/lstm.mli: Nn

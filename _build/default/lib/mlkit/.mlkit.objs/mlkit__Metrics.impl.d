@@ -1,0 +1,1 @@
+lib/mlkit/metrics.ml: Array Stdlib Util

@@ -1,0 +1,1 @@
+lib/mlkit/nn.ml: Array La List Util

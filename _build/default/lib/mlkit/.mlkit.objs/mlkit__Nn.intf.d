@@ -1,0 +1,1 @@
+lib/mlkit/nn.mli: Util

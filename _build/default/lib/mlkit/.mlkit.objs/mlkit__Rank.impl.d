@@ -1,0 +1,1 @@
+lib/mlkit/rank.ml: Array La List Tree Util

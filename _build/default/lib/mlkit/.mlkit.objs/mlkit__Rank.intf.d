@@ -1,0 +1,1 @@
+lib/mlkit/rank.mli: Tree

@@ -1,0 +1,1 @@
+lib/mlkit/simple.ml: Array La List Util

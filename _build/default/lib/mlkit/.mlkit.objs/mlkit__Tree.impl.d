@@ -1,0 +1,1 @@
+lib/mlkit/tree.ml: Array La List Util

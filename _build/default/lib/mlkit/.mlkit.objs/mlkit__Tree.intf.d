@@ -1,0 +1,1 @@
+lib/mlkit/tree.mli:

@@ -1,0 +1,125 @@
+(** TPOT-style AutoML: random search over model families and
+    hyperparameters with hold-out validation (§5.1 methodology).
+
+    The search space covers the toolkit's learners (kNN, decision tree,
+    random forest, GBDT, MLP); the best pipeline on the validation split is
+    refit on all data, mirroring how the paper's AutoML baseline "searches
+    through different ML pipelines and hyperparameters". *)
+
+type regressor =
+  | R_knn of Simple.knn
+  | R_tree of Tree.t
+  | R_forest of Tree.forest
+  | R_gbdt of Tree.gbdt
+  | R_mlp of Nn.mlp
+
+let predict_regressor m x =
+  match m with
+  | R_knn k -> Simple.knn_predict k x
+  | R_tree t -> Tree.predict t x
+  | R_forest f -> Tree.forest_predict f x
+  | R_gbdt g -> Tree.gbdt_predict g x
+  | R_mlp net -> (Nn.mlp_predict net x).(0)
+
+type candidate = { describe : string; fit : float array array -> float array -> regressor }
+
+let regression_candidates seed =
+  [ { describe = "knn(k=3)"; fit = (fun xs ys -> R_knn (Simple.knn_fit ~k:3 xs ys)) };
+    { describe = "knn(k=7)"; fit = (fun xs ys -> R_knn (Simple.knn_fit ~k:7 xs ys)) };
+    { describe = "tree(d=4)";
+      fit = (fun xs ys -> R_tree (Tree.grow ~config:{ Tree.default_grow with Tree.max_depth = 4 } xs ys)) };
+    { describe = "tree(d=7)";
+      fit = (fun xs ys -> R_tree (Tree.grow ~config:{ Tree.default_grow with Tree.max_depth = 7 } xs ys)) };
+    { describe = "random_forest(20)"; fit = (fun xs ys -> R_forest (Tree.forest_fit ~n_trees:20 ~seed xs ys)) };
+    { describe = "random_forest(40)"; fit = (fun xs ys -> R_forest (Tree.forest_fit ~n_trees:40 ~seed:(seed + 1) xs ys)) };
+    { describe = "gbdt(40,0.1)"; fit = (fun xs ys -> R_gbdt (Tree.gbdt_fit ~n_stages:40 ~shrinkage:0.1 xs ys)) };
+    { describe = "gbdt(80,0.2)"; fit = (fun xs ys -> R_gbdt (Tree.gbdt_fit ~n_stages:80 ~shrinkage:0.2 xs ys)) };
+    { describe = "mlp(16)";
+      fit =
+        (fun xs ys ->
+          let dim = if Array.length xs = 0 then 1 else Array.length xs.(0) in
+          let net = Nn.mlp_create (Util.Rng.create seed) ~in_dim:dim ~hidden:[ 16 ] ~out_dim:1 in
+          Nn.mlp_fit_regression ~epochs:40 net xs (Array.map (fun y -> [| y |]) ys);
+          R_mlp net) } ]
+
+type fitted = { name : string; model : regressor; val_mae : float }
+
+(** Search for the best regression pipeline on a hold-out split, then refit
+    the winner on all data. *)
+let search_regression ?(seed = 37) xs ys =
+  let n = Array.length xs in
+  let train_idx, test_idx = Metrics.train_test_split ~seed ~test_fraction:0.3 n in
+  let tx = Array.map (fun i -> xs.(i)) train_idx and ty = Array.map (fun i -> ys.(i)) train_idx in
+  let vx = Array.map (fun i -> xs.(i)) test_idx and vy = Array.map (fun i -> ys.(i)) test_idx in
+  let best = ref None in
+  List.iter
+    (fun cand ->
+      let model = cand.fit tx ty in
+      let preds = Array.map (predict_regressor model) vx in
+      let err = Metrics.mae preds vy in
+      match !best with
+      | Some (_, e) when e <= err -> ()
+      | _ -> best := Some (cand, err))
+    (regression_candidates seed);
+  match !best with
+  | Some (cand, err) -> { name = cand.describe; model = cand.fit xs ys; val_mae = err }
+  | None -> failwith "Automl.search_regression: no candidates"
+
+let predict (f : fitted) x = predict_regressor f.model x
+
+(* -- classification search -- *)
+
+type classifier =
+  | C_knn of Simple.knn
+  | C_svm of Simple.svm
+  | C_gbdt of Tree.gbdt
+  | C_tree of Tree.t
+  | C_mlp of Nn.mlp
+
+let predict_classifier m x =
+  match m with
+  | C_knn k -> Simple.knn_predict_binary k x
+  | C_svm s -> Simple.svm_predict_binary s x
+  | C_gbdt g -> if Tree.gbdt_predict_binary g x > 0.5 then 1.0 else 0.0
+  | C_tree t -> if Tree.predict t x > 0.5 then 1.0 else 0.0
+  | C_mlp net -> if Nn.mlp_predict_binary net x > 0.5 then 1.0 else 0.0
+
+type cls_candidate = { c_describe : string; c_fit : float array array -> float array -> classifier }
+
+let classification_candidates seed =
+  [ { c_describe = "knn(k=3)"; c_fit = (fun xs ys -> C_knn (Simple.knn_fit ~k:3 xs ys)) };
+    { c_describe = "knn(k=5)"; c_fit = (fun xs ys -> C_knn (Simple.knn_fit ~k:5 xs ys)) };
+    { c_describe = "svm(1e-3)"; c_fit = (fun xs ys -> C_svm (Simple.svm_fit ~lambda:1e-3 ~seed xs ys)) };
+    { c_describe = "gbdt(40)"; c_fit = (fun xs ys -> C_gbdt (Tree.gbdt_fit_binary ~n_stages:40 xs ys)) };
+    { c_describe = "tree(d=5)";
+      c_fit = (fun xs ys -> C_tree (Tree.grow ~config:{ Tree.default_grow with Tree.max_depth = 5 } xs ys)) };
+    { c_describe = "mlp(16)";
+      c_fit =
+        (fun xs ys ->
+          let dim = if Array.length xs = 0 then 1 else Array.length xs.(0) in
+          let net = Nn.mlp_create (Util.Rng.create seed) ~in_dim:dim ~hidden:[ 16 ] ~out_dim:1 in
+          Nn.mlp_fit_binary ~epochs:40 net xs ys;
+          C_mlp net) } ]
+
+type cls_fitted = { c_name : string; c_model : classifier; c_val_acc : float }
+
+let search_classification ?(seed = 41) xs ys =
+  let n = Array.length xs in
+  let train_idx, test_idx = Metrics.train_test_split ~seed ~test_fraction:0.3 n in
+  let tx = Array.map (fun i -> xs.(i)) train_idx and ty = Array.map (fun i -> ys.(i)) train_idx in
+  let vx = Array.map (fun i -> xs.(i)) test_idx and vy = Array.map (fun i -> ys.(i)) test_idx in
+  let best = ref None in
+  List.iter
+    (fun cand ->
+      let model = cand.c_fit tx ty in
+      let preds = Array.map (predict_classifier model) vx in
+      let acc = Metrics.accuracy preds vy in
+      match !best with
+      | Some (_, a) when a >= acc -> ()
+      | _ -> best := Some (cand, acc))
+    (classification_candidates seed);
+  match !best with
+  | Some (cand, acc) -> { c_name = cand.c_describe; c_model = cand.c_fit xs ys; c_val_acc = acc }
+  | None -> failwith "Automl.search_classification: no candidates"
+
+let predict_class (f : cls_fitted) x = predict_classifier f.c_model x

@@ -1,0 +1,48 @@
+(** TPOT-style AutoML: search over model families and hyperparameters with
+    hold-out validation, then refit the winner on all data (the paper's
+    AutoML baseline, §5.1). *)
+
+type regressor =
+  | R_knn of Simple.knn
+  | R_tree of Tree.t
+  | R_forest of Tree.forest
+  | R_gbdt of Tree.gbdt
+  | R_mlp of Nn.mlp
+
+val predict_regressor : regressor -> float array -> float
+
+(** One pipeline candidate. *)
+type candidate = { describe : string; fit : float array array -> float array -> regressor }
+
+(** The regression search space (kNN/tree/forest/GBDT/MLP variants). *)
+val regression_candidates : int -> candidate list
+
+(** A fitted search result: the winning pipeline's name, the model refit
+    on all data, and its hold-out MAE. *)
+type fitted = { name : string; model : regressor; val_mae : float }
+
+val search_regression : ?seed:int -> float array array -> float array -> fitted
+val predict : fitted -> float array -> float
+
+(** {1 Classification search} *)
+
+type classifier =
+  | C_knn of Simple.knn
+  | C_svm of Simple.svm
+  | C_gbdt of Tree.gbdt
+  | C_tree of Tree.t
+  | C_mlp of Nn.mlp
+
+val predict_classifier : classifier -> float array -> float
+
+type cls_candidate = {
+  c_describe : string;
+  c_fit : float array array -> float array -> classifier;
+}
+
+val classification_candidates : int -> cls_candidate list
+
+type cls_fitted = { c_name : string; c_model : classifier; c_val_acc : float }
+
+val search_classification : ?seed:int -> float array array -> float array -> cls_fitted
+val predict_class : cls_fitted -> float array -> float

@@ -1,0 +1,81 @@
+(** Gaussian naive Bayes classifier.
+
+    A cheap, well-calibrated baseline for the feature-vector
+    classification tasks (algorithm identification uses dense bounded
+    features where per-class Gaussians are a reasonable likelihood). *)
+
+type class_stats = {
+  prior : float;
+  means : float array;
+  variances : float array;  (** floored for numerical stability *)
+}
+
+type t = { classes : (float * class_stats) list }
+
+let variance_floor = 1e-4
+
+let fit_class xs =
+  let n = float_of_int (Array.length xs) in
+  let dim = Array.length xs.(0) in
+  let means = Array.make dim 0.0 in
+  Array.iter (fun x -> Array.iteri (fun j v -> means.(j) <- means.(j) +. (v /. n)) x) xs;
+  let variances = Array.make dim 0.0 in
+  Array.iter
+    (fun x -> Array.iteri (fun j v -> variances.(j) <- variances.(j) +. (((v -. means.(j)) ** 2.0) /. n)) x)
+    xs;
+  Array.iteri (fun j v -> variances.(j) <- max variance_floor v) variances;
+  (means, variances)
+
+(** Train on labeled features; labels are floats used as class keys (the
+    binary case uses {0., 1.}). *)
+let fit (xs : float array array) (ys : float array) =
+  if Array.length xs = 0 then invalid_arg "Bayes.fit: empty";
+  let labels = List.sort_uniq compare (Array.to_list ys) in
+  let total = float_of_int (Array.length xs) in
+  let classes =
+    List.map
+      (fun label ->
+        let members =
+          Array.of_list
+            (List.filteri (fun i _ -> ys.(i) = label) (Array.to_list xs))
+        in
+        let means, variances = fit_class members in
+        (label, { prior = float_of_int (Array.length members) /. total; means; variances }))
+      labels
+  in
+  { classes }
+
+let log_likelihood stats x =
+  let acc = ref (log stats.prior) in
+  Array.iteri
+    (fun j v ->
+      let var = stats.variances.(j) in
+      let d = v -. stats.means.(j) in
+      acc := !acc -. (0.5 *. ((d *. d /. var) +. log (2.0 *. Float.pi *. var))))
+    x;
+  !acc
+
+(** Most probable class label. *)
+let predict t x =
+  match t.classes with
+  | [] -> invalid_arg "Bayes.predict: untrained"
+  | (l0, s0) :: rest ->
+    fst
+      (List.fold_left
+         (fun (bl, bs) (label, stats) ->
+           let s = log_likelihood stats x in
+           if s > bs then (label, s) else (bl, bs))
+         (l0, log_likelihood s0 x)
+         rest)
+
+(** Posterior probability of label 1.0 for binary problems. *)
+let predict_binary t x =
+  let score label =
+    match List.assoc_opt label t.classes with
+    | Some stats -> log_likelihood stats x
+    | None -> neg_infinity
+  in
+  let p1 = score 1.0 and p0 = score 0.0 in
+  if p1 = neg_infinity then 0.0
+  else if p0 = neg_infinity then 1.0
+  else 1.0 /. (1.0 +. exp (p0 -. p1))

@@ -1,0 +1,28 @@
+(** Gaussian naive Bayes classifier: a cheap, calibrated baseline for
+    dense bounded feature vectors. *)
+
+type class_stats = {
+  prior : float;
+  means : float array;
+  variances : float array;  (** floored for numerical stability *)
+}
+
+type t = { classes : (float * class_stats) list }
+
+val variance_floor : float
+
+(** Per-class Gaussian fit: (means, floored variances). *)
+val fit_class : float array array -> float array * float array
+
+(** Train on labeled features; labels are floats used as class keys.
+    @raise Invalid_argument on an empty dataset. *)
+val fit : float array array -> float array -> t
+
+(** Log prior + log likelihood of a point under one class. *)
+val log_likelihood : class_stats -> float array -> float
+
+(** Most probable class label. *)
+val predict : t -> float array -> float
+
+(** Posterior probability of label 1.0 for binary problems. *)
+val predict_binary : t -> float array -> float

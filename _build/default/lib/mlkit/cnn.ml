@@ -1,0 +1,130 @@
+(** 1-D convolutional network over token sequences (the "CNN" baseline of
+    Figure 8, in the style of sentence-classification CNNs).
+
+    Architecture: one-hot tokens -> conv1d (window w, f filters, ReLU) ->
+    global max-pool -> FC head.  Backprop routes gradients through the
+    max-pool winners only. *)
+
+type t = {
+  vocab : int;
+  window : int;
+  filters : int;
+  conv : Nn.param;  (** filters x (window * vocab + 1); one-hot keeps this sparse *)
+  fc : Nn.param;  (** out x (filters + 1) *)
+  mutable y_scale : float;
+}
+
+let create ?(window = 3) ?(filters = 24) ?(out_dim = 1) ~vocab seed =
+  let rng = Util.Rng.create seed in
+  {
+    vocab;
+    window;
+    filters;
+    conv = Nn.param rng filters ((window * vocab) + 1);
+    fc = Nn.param rng out_dim (filters + 1);
+    y_scale = 1.0;
+  }
+
+let params t = [ t.conv; t.fc ]
+
+(** Convolution activation of filter [f] at position [pos] (tokens are
+    one-hot: pick one weight per window slot). *)
+let conv_at t (seq : int array) f pos =
+  let row = t.conv.Nn.w.(f) in
+  let acc = ref row.(t.window * t.vocab) in
+  for k = 0 to t.window - 1 do
+    if pos + k < Array.length seq then acc := !acc +. row.((k * t.vocab) + seq.(pos + k))
+  done;
+  !acc
+
+(** Forward pass: per-filter max-pooled ReLU activations and the argmax
+    positions (needed for backprop). *)
+let forward t seq =
+  let positions = max 1 (Array.length seq - t.window + 1) in
+  let pooled = Array.make t.filters 0.0 in
+  let arg = Array.make t.filters 0 in
+  for f = 0 to t.filters - 1 do
+    let best = ref neg_infinity and bi = ref 0 in
+    for pos = 0 to positions - 1 do
+      let z = conv_at t seq f pos in
+      if z > !best then begin
+        best := z;
+        bi := pos
+      end
+    done;
+    pooled.(f) <- La.relu !best;
+    arg.(f) <- !bi
+  done;
+  (pooled, arg)
+
+let predict t seq =
+  if Array.length seq = 0 then Array.make (Array.length t.fc.Nn.w) 0.0
+  else begin
+    let pooled, _ = forward t seq in
+    Array.map (fun o -> o *. t.y_scale) (Nn.affine t.fc pooled)
+  end
+
+let backward t seq target_scaled =
+  let pooled, arg = forward t seq in
+  let out = Nn.affine t.fc pooled in
+  let dout = Array.mapi (fun j o -> 2.0 *. (o -. target_scaled.(j))) out in
+  let err = Array.fold_left (fun acc d -> acc +. (d *. d /. 4.0)) 0.0 dout in
+  (* FC grads *)
+  Array.iteri
+    (fun r d ->
+      let row = t.fc.Nn.g.(r) in
+      for j = 0 to t.filters - 1 do
+        row.(j) <- row.(j) +. (d *. pooled.(j))
+      done;
+      row.(t.filters) <- row.(t.filters) +. d)
+    dout;
+  (* pooled grads *)
+  let dpool = La.vec t.filters in
+  Array.iteri
+    (fun r d ->
+      let row = t.fc.Nn.w.(r) in
+      for j = 0 to t.filters - 1 do
+        dpool.(j) <- dpool.(j) +. (row.(j) *. d)
+      done)
+    dout;
+  (* through ReLU max-pool into the winning window only *)
+  for f = 0 to t.filters - 1 do
+    if pooled.(f) > 0.0 then begin
+      let pos = arg.(f) in
+      let grow = t.conv.Nn.g.(f) in
+      for k = 0 to t.window - 1 do
+        if pos + k < Array.length seq then
+          grow.((k * t.vocab) + seq.(pos + k)) <-
+            grow.((k * t.vocab) + seq.(pos + k)) +. dpool.(f)
+      done;
+      grow.(t.window * t.vocab) <- grow.(t.window * t.vocab) +. dpool.(f)
+    end
+  done;
+  err
+
+let fit ?(epochs = 15) ?(lr = 0.01) ?(seed = 19) t data =
+  let n = Array.length data in
+  if n = 0 then ()
+  else begin
+    let mean_target =
+      Array.fold_left (fun acc (_, y) -> acc +. abs_float y.(0)) 0.0 data /. float_of_int n
+    in
+    t.y_scale <- max 1.0 mean_target;
+    let opt = Nn.adam ~lr () in
+    let rng = Util.Rng.create seed in
+    let idx = Array.init n (fun i -> i) in
+    for _ = 1 to epochs do
+      Util.Rng.shuffle rng idx;
+      Array.iter
+        (fun k ->
+          let seq, y = data.(k) in
+          if Array.length seq > 0 then begin
+            List.iter Nn.zero_grad (params t);
+            let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
+            ignore (backward t seq y_scaled);
+            Nn.clip_gradients (params t) 5.0;
+            Nn.adam_step opt (params t)
+          end)
+        idx
+    done
+  end

@@ -1,0 +1,31 @@
+(** 1-D convolutional network over token sequences (the "CNN" baseline of
+    Figure 8): one-hot tokens -> conv1d (ReLU) -> global max-pool -> FC.
+    Backprop routes gradients through the max-pool winners only. *)
+
+type t = {
+  vocab : int;
+  window : int;
+  filters : int;
+  conv : Nn.param;  (** filters x (window * vocab + 1); sparse via one-hot *)
+  fc : Nn.param;  (** out x (filters + 1) *)
+  mutable y_scale : float;
+}
+
+val create : ?window:int -> ?filters:int -> ?out_dim:int -> vocab:int -> int -> t
+val params : t -> Nn.param list
+
+(** Convolution activation of filter [f] at position [pos]. *)
+val conv_at : t -> int array -> int -> int -> float
+
+(** Max-pooled ReLU activations and their argmax positions. *)
+val forward : t -> int array -> float array * int array
+
+(** Unscaled prediction; zeros for the empty sequence. *)
+val predict : t -> int array -> float array
+
+(** Backprop one (sequence, scaled target) example into {!params};
+    returns the squared error.  Exposed for gradient checks. *)
+val backward : t -> int array -> float array -> float
+
+(** Fit on (sequence, target) pairs with internally scaled targets. *)
+val fit : ?epochs:int -> ?lr:float -> ?seed:int -> t -> (int array * float array) array -> unit

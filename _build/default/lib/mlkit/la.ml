@@ -1,0 +1,120 @@
+(** Small dense linear-algebra kernels for the ML toolkit.
+
+    Vectors are [float array], matrices are row-major [float array array].
+    Everything is allocation-explicit and good enough for the model sizes
+    Clara needs (hidden dims of tens, feature dims of hundreds). *)
+
+let vec n = Array.make n 0.0
+
+let mat rows cols = Array.init rows (fun _ -> Array.make cols 0.0)
+
+let copy_mat m = Array.map Array.copy m
+
+(** Xavier-style random initialization. *)
+let randn_mat rng rows cols =
+  let scale = sqrt (2.0 /. float_of_int (rows + cols)) in
+  Array.init rows (fun _ -> Array.init cols (fun _ -> scale *. Util.Rng.gaussian rng))
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+(** [mat_vec m x] = m * x. *)
+let mat_vec m x =
+  Array.map (fun row -> dot row x) m
+
+(** [mat_vec_add_into dst m x] accumulates m*x into dst. *)
+let mat_vec_add_into dst m x =
+  Array.iteri (fun i row -> dst.(i) <- dst.(i) +. dot row x) m
+
+(** Accumulate column [j] of [m] into [dst] — multiplication by a one-hot
+    vector, the fast path for one-hot-encoded instruction words. *)
+let add_column_into dst m j =
+  for i = 0 to Array.length m - 1 do
+    dst.(i) <- dst.(i) +. m.(i).(j)
+  done
+
+let axpy alpha x y =
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale_vec alpha x = Array.map (fun v -> alpha *. v) x
+
+let add_vec a b = Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+let sub_vec a b = Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let hadamard a b = Array.init (Array.length a) (fun i -> a.(i) *. b.(i))
+
+let l2_norm x = sqrt (dot x x)
+
+let euclidean a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+(** Outer-product accumulation: g += a * b^T, used by backprop. *)
+let outer_add_into g a b =
+  for i = 0 to Array.length a - 1 do
+    let gi = g.(i) in
+    let ai = a.(i) in
+    for j = 0 to Array.length b - 1 do
+      gi.(j) <- gi.(j) +. (ai *. b.(j))
+    done
+  done
+
+(** g^T * a: gradient wrt the input of a linear layer. *)
+let mat_t_vec m a =
+  let cols = if Array.length m = 0 then 0 else Array.length m.(0) in
+  let out = vec cols in
+  for i = 0 to Array.length m - 1 do
+    let row = m.(i) in
+    let ai = a.(i) in
+    for j = 0 to cols - 1 do
+      out.(j) <- out.(j) +. (row.(j) *. ai)
+    done
+  done;
+  out
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+let dsigmoid y = y *. (1.0 -. y)  (* derivative given the output *)
+let dtanh y = 1.0 -. (y *. y)
+
+let relu x = if x > 0.0 then x else 0.0
+
+let mean_vec xs =
+  let n = Array.length xs in
+  let dim = Array.length xs.(0) in
+  let m = vec dim in
+  Array.iter (fun x -> axpy (1.0 /. float_of_int n) x m) xs;
+  m
+
+(** Standardize features column-wise; returns (transformed, mean, std). *)
+let standardize xs =
+  let n = Array.length xs in
+  if n = 0 then ([||], [||], [||])
+  else begin
+    let dim = Array.length xs.(0) in
+    let mu = mean_vec xs in
+    let sd = vec dim in
+    Array.iter (fun x -> Array.iteri (fun j v -> sd.(j) <- sd.(j) +. ((v -. mu.(j)) ** 2.0)) x) xs;
+    (* near-constant features get unit scale: dividing by a vanishing sd
+       would explode unseen values at inference time *)
+    let sd =
+      Array.map
+        (fun s ->
+          let v = sqrt (s /. float_of_int n) in
+          if v < 1e-6 then 1.0 else v)
+        sd
+    in
+    let out = Array.map (fun x -> Array.mapi (fun j v -> (v -. mu.(j)) /. sd.(j)) x) xs in
+    (out, mu, sd)
+  end
+
+let apply_standardize x mu sd = Array.mapi (fun j v -> (v -. mu.(j)) /. sd.(j)) x

@@ -1,0 +1,52 @@
+(** Small dense linear-algebra kernels: vectors are [float array], matrices
+    row-major [float array array] — sized for hidden dims of tens and
+    feature dims of hundreds. *)
+
+val vec : int -> float array
+val mat : int -> int -> float array array
+val copy_mat : float array array -> float array array
+
+(** Xavier-style random initialization. *)
+val randn_mat : Util.Rng.t -> int -> int -> float array array
+
+val dot : float array -> float array -> float
+val mat_vec : float array array -> float array -> float array
+
+(** Accumulate m*x into dst. *)
+val mat_vec_add_into : float array -> float array array -> float array -> unit
+
+(** Accumulate column [j] of [m] into [dst] — one-hot multiplication, the
+    fast path for one-hot-encoded words. *)
+val add_column_into : float array -> float array array -> int -> unit
+
+(** y <- y + alpha * x. *)
+val axpy : float -> float array -> float array -> unit
+
+val scale_vec : float -> float array -> float array
+val add_vec : float array -> float array -> float array
+val sub_vec : float array -> float array -> float array
+val hadamard : float array -> float array -> float array
+val l2_norm : float array -> float
+val euclidean : float array -> float array -> float
+
+(** g <- g + a * b^T (backprop outer product). *)
+val outer_add_into : float array array -> float array -> float array -> unit
+
+(** m^T * a (gradient wrt a linear layer's input). *)
+val mat_t_vec : float array array -> float array -> float array
+
+val sigmoid : float -> float
+
+(** Derivative given the *output* value. *)
+val dsigmoid : float -> float
+
+val dtanh : float -> float
+val relu : float -> float
+val mean_vec : float array array -> float array
+
+(** Column-wise standardization; near-constant columns get unit scale so
+    unseen values cannot explode at inference.  Returns (transformed,
+    mean, std). *)
+val standardize : float array array -> float array array * float array * float array
+
+val apply_standardize : float array -> float array -> float array -> float array

@@ -1,0 +1,196 @@
+(** LSTM + fully-connected regression head (§3.2, Figure 6).
+
+    The model consumes a sequence of one-hot instruction-word indices (the
+    compacted vocabulary) and regresses the number of SmartNIC instructions
+    the block compiles to.  Input one-hot encoding means the input weight
+    product reduces to a column lookup, so training is fast even in pure
+    OCaml.  Trained with truncated-free full BPTT and Adam. *)
+
+type t = {
+  vocab : int;
+  hidden : int;
+  (* gate weights: [w_*] input (h x V), [u_*] recurrent (h x h), [b_*] bias (h x 1) *)
+  wi : Nn.param; wf : Nn.param; wo : Nn.param; wg : Nn.param;
+  ui : Nn.param; uf : Nn.param; uo : Nn.param; ug : Nn.param;
+  bi : Nn.param; bf : Nn.param; bo : Nn.param; bg : Nn.param;
+  (* FC head: hidden -> fc_dim (ReLU) -> out *)
+  fc1 : Nn.param;
+  fc2 : Nn.param;
+  fc_dim : int;
+  out_dim : int;
+  mutable y_scale : float;  (** targets are divided by this during training *)
+}
+
+let params t =
+  [ t.wi; t.wf; t.wo; t.wg; t.ui; t.uf; t.uo; t.ug; t.bi; t.bf; t.bo; t.bg; t.fc1; t.fc2 ]
+
+let create ?(hidden = 32) ?(fc_dim = 16) ?(out_dim = 1) ~vocab seed =
+  let rng = Util.Rng.create seed in
+  let p r c = Nn.param rng r c in
+  {
+    vocab; hidden;
+    wi = p hidden vocab; wf = p hidden vocab; wo = p hidden vocab; wg = p hidden vocab;
+    ui = p hidden hidden; uf = p hidden hidden; uo = p hidden hidden; ug = p hidden hidden;
+    bi = Nn.zero_param hidden 1; bf = Nn.zero_param hidden 1; bo = Nn.zero_param hidden 1;
+    bg = Nn.zero_param hidden 1;
+    fc1 = p fc_dim (hidden + 1);
+    fc2 = p out_dim (fc_dim + 1);
+    fc_dim; out_dim;
+    y_scale = 1.0;
+  }
+
+type step_cache = {
+  tok : int;
+  i_g : float array; f_g : float array; o_g : float array; g_g : float array;
+  c : float array; h : float array; c_prev : float array; h_prev : float array;
+  tanh_c : float array;
+}
+
+let gate t w u b h_prev tok squash =
+  let h = t.hidden in
+  let z = Array.make h 0.0 in
+  La.add_column_into z w.Nn.w tok;
+  La.mat_vec_add_into z u.Nn.w h_prev;
+  for k = 0 to h - 1 do
+    z.(k) <- squash (z.(k) +. b.Nn.w.(k).(0))
+  done;
+  z
+
+(** Run the recurrence over a token sequence; returns the caches and the
+    final hidden state. *)
+let forward t (seq : int array) =
+  let h0 = La.vec t.hidden and c0 = La.vec t.hidden in
+  let caches = ref [] in
+  let h_prev = ref h0 and c_prev = ref c0 in
+  Array.iter
+    (fun tok ->
+      let i_g = gate t t.wi t.ui t.bi !h_prev tok La.sigmoid in
+      let f_g = gate t t.wf t.uf t.bf !h_prev tok La.sigmoid in
+      let o_g = gate t t.wo t.uo t.bo !h_prev tok La.sigmoid in
+      let g_g = gate t t.wg t.ug t.bg !h_prev tok tanh in
+      let c = Array.init t.hidden (fun k -> (f_g.(k) *. !c_prev.(k)) +. (i_g.(k) *. g_g.(k))) in
+      let tanh_c = Array.map tanh c in
+      let h = Array.init t.hidden (fun k -> o_g.(k) *. tanh_c.(k)) in
+      caches :=
+        { tok; i_g; f_g; o_g; g_g; c; h; c_prev = !c_prev; h_prev = !h_prev; tanh_c }
+        :: !caches;
+      h_prev := h;
+      c_prev := c)
+    seq;
+  (!caches (* reverse chronological *), !h_prev)
+
+let head_forward t h_final =
+  let z1 = Nn.affine t.fc1 h_final in
+  let a1 = Array.map La.relu z1 in
+  let out = Nn.affine t.fc2 a1 in
+  (z1, a1, out)
+
+(** Predict the (unscaled) regression target(s) for a token sequence. *)
+let predict t seq =
+  if Array.length seq = 0 then Array.make t.out_dim 0.0
+  else
+    let _, h_final = forward t seq in
+    let _, _, out = head_forward t h_final in
+    Array.map (fun o -> o *. t.y_scale) out
+
+(** Full BPTT for one (sequence, target) example; accumulates gradients and
+    returns the squared error (in scaled space). *)
+let backward t seq target_scaled =
+  let caches, h_final = forward t seq in
+  let z1, a1, out = head_forward t h_final in
+  let dout = Array.mapi (fun j o -> 2.0 *. (o -. target_scaled.(j))) out in
+  let err = Array.fold_left (fun acc d -> acc +. (d *. d /. 4.0)) 0.0 dout in
+  (* head gradients *)
+  let acc_affine p x dz =
+    let n = Array.length x in
+    Array.iteri
+      (fun r d ->
+        let row = p.Nn.g.(r) in
+        for j = 0 to n - 1 do
+          row.(j) <- row.(j) +. (d *. x.(j))
+        done;
+        row.(n) <- row.(n) +. d)
+      dz
+  in
+  let back_affine p dz xlen =
+    let dx = La.vec xlen in
+    Array.iteri
+      (fun r d ->
+        let row = p.Nn.w.(r) in
+        for j = 0 to xlen - 1 do
+          dx.(j) <- dx.(j) +. (row.(j) *. d)
+        done)
+      dz;
+    dx
+  in
+  acc_affine t.fc2 a1 dout;
+  let da1 = back_affine t.fc2 dout t.fc_dim in
+  let dz1 = Array.mapi (fun j v -> if z1.(j) > 0.0 then v else 0.0) da1 in
+  acc_affine t.fc1 h_final dz1;
+  let dh = ref (back_affine t.fc1 dz1 t.hidden) in
+  let dc = ref (La.vec t.hidden) in
+  (* walk caches from the last step backwards *)
+  List.iter
+    (fun sc ->
+      let do_g = Array.init t.hidden (fun k -> !dh.(k) *. sc.tanh_c.(k) *. La.dsigmoid sc.o_g.(k)) in
+      let dc_total =
+        Array.init t.hidden (fun k ->
+            !dc.(k) +. (!dh.(k) *. sc.o_g.(k) *. La.dtanh sc.tanh_c.(k)))
+      in
+      let di = Array.init t.hidden (fun k -> dc_total.(k) *. sc.g_g.(k) *. La.dsigmoid sc.i_g.(k)) in
+      let df = Array.init t.hidden (fun k -> dc_total.(k) *. sc.c_prev.(k) *. La.dsigmoid sc.f_g.(k)) in
+      let dg = Array.init t.hidden (fun k -> dc_total.(k) *. sc.i_g.(k) *. La.dtanh sc.g_g.(k)) in
+      (* parameter grads: input columns, recurrent matrices, biases *)
+      let acc_gate w u b dz =
+        for k = 0 to t.hidden - 1 do
+          w.Nn.g.(k).(sc.tok) <- w.Nn.g.(k).(sc.tok) +. dz.(k);
+          b.Nn.g.(k).(0) <- b.Nn.g.(k).(0) +. dz.(k)
+        done;
+        La.outer_add_into u.Nn.g dz sc.h_prev
+      in
+      acc_gate t.wi t.ui t.bi di;
+      acc_gate t.wf t.uf t.bf df;
+      acc_gate t.wo t.uo t.bo do_g;
+      acc_gate t.wg t.ug t.bg dg;
+      (* propagate to previous h and c through the recurrent matrices *)
+      let dh_prev = La.vec t.hidden in
+      La.axpy 1.0 (La.mat_t_vec t.ui.Nn.w di) dh_prev;
+      La.axpy 1.0 (La.mat_t_vec t.uf.Nn.w df) dh_prev;
+      La.axpy 1.0 (La.mat_t_vec t.uo.Nn.w do_g) dh_prev;
+      La.axpy 1.0 (La.mat_t_vec t.ug.Nn.w dg) dh_prev;
+      dh := dh_prev;
+      dc := Array.init t.hidden (fun k -> dc_total.(k) *. sc.f_g.(k)))
+    caches;
+  err
+
+(** Fit on (sequence, target) pairs.  Targets are scaled internally by
+    their mean magnitude for conditioning. *)
+let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(progress = fun ~epoch:_ ~loss:_ -> ()) t data =
+  let n = Array.length data in
+  if n = 0 then ()
+  else begin
+    let mean_target =
+      Array.fold_left (fun acc (_, y) -> acc +. abs_float y.(0)) 0.0 data /. float_of_int n
+    in
+    t.y_scale <- max 1.0 mean_target;
+    let opt = Nn.adam ~lr () in
+    let rng = Util.Rng.create seed in
+    let idx = Array.init n (fun i -> i) in
+    for epoch = 1 to epochs do
+      Util.Rng.shuffle rng idx;
+      let total = ref 0.0 in
+      Array.iter
+        (fun k ->
+          let seq, y = data.(k) in
+          if Array.length seq > 0 then begin
+            List.iter Nn.zero_grad (params t);
+            let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
+            let err = backward t seq y_scaled in
+            total := !total +. err;
+            Nn.clip_gradients (params t) 5.0;
+            Nn.adam_step opt (params t)
+          end)
+        idx;
+      progress ~epoch ~loss:(!total /. float_of_int n)
+    done
+  end

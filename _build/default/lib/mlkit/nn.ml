@@ -1,0 +1,189 @@
+(** Neural-network building blocks: Adam-optimized dense parameters and a
+    multi-layer perceptron (the "DNN" baseline of Figures 8/9/11). *)
+
+(** A dense parameter matrix with its gradient and Adam moments. *)
+type param = {
+  w : float array array;
+  g : float array array;
+  m : float array array;
+  v : float array array;
+}
+
+let param rng rows cols =
+  { w = La.randn_mat rng rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+
+let zero_param rows cols = { w = La.mat rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+
+let zero_grad p = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) p.g
+
+type adam = { lr : float; beta1 : float; beta2 : float; eps : float; mutable t : int }
+
+let adam ?(lr = 0.01) () = { lr; beta1 = 0.9; beta2 = 0.999; eps = 1e-8; t = 0 }
+
+(** One Adam step over a set of parameters; call after accumulating grads. *)
+let adam_step opt params =
+  opt.t <- opt.t + 1;
+  let bc1 = 1.0 -. (opt.beta1 ** float_of_int opt.t) in
+  let bc2 = 1.0 -. (opt.beta2 ** float_of_int opt.t) in
+  List.iter
+    (fun p ->
+      for i = 0 to Array.length p.w - 1 do
+        for j = 0 to Array.length p.w.(i) - 1 do
+          let g = p.g.(i).(j) in
+          p.m.(i).(j) <- (opt.beta1 *. p.m.(i).(j)) +. ((1.0 -. opt.beta1) *. g);
+          p.v.(i).(j) <- (opt.beta2 *. p.v.(i).(j)) +. ((1.0 -. opt.beta2) *. g *. g);
+          let mh = p.m.(i).(j) /. bc1 and vh = p.v.(i).(j) /. bc2 in
+          p.w.(i).(j) <- p.w.(i).(j) -. (opt.lr *. mh /. (sqrt vh +. opt.eps))
+        done
+      done)
+    params
+
+(** Clip the global gradient norm across parameters to [limit]. *)
+let clip_gradients params limit =
+  let total =
+    List.fold_left
+      (fun acc p ->
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun acc g -> acc +. (g *. g)) acc row)
+          acc p.g)
+      0.0 params
+  in
+  let norm = sqrt total in
+  if norm > limit then begin
+    let s = limit /. norm in
+    List.iter
+      (fun p ->
+        Array.iter (fun row -> Array.iteri (fun j g -> row.(j) <- s *. g) row)
+        p.g)
+      params
+  end
+
+(* -- Multi-layer perceptron -- *)
+
+type mlp = {
+  layers : param list;  (** each (out x (in+1)): last column is the bias *)
+  mutable mu : float array;
+  mutable sd : float array;
+  out_dim : int;
+}
+
+let mlp_create rng ~in_dim ~hidden ~out_dim =
+  let dims = (in_dim :: hidden) @ [ out_dim ] in
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | [ _ ] | [] -> [] in
+  {
+    layers = List.map (fun (i, o) -> param rng o (i + 1)) (pairs dims);
+    mu = [||];
+    sd = [||];
+    out_dim;
+  }
+
+let affine p x =
+  let rows = Array.length p.w in
+  Array.init rows (fun i ->
+      let row = p.w.(i) in
+      let n = Array.length x in
+      let acc = ref row.(n) in
+      for j = 0 to n - 1 do
+        acc := !acc +. (row.(j) *. x.(j))
+      done;
+      !acc)
+
+(** Forward pass returning per-layer inputs (for backprop) and the output.
+    Hidden activations are ReLU; the output layer is linear. *)
+let mlp_forward net x =
+  let rec go inputs x = function
+    | [] -> (List.rev inputs, x)
+    | [ last ] ->
+      let z = affine last x in
+      (List.rev ((x, z) :: inputs), z)
+    | p :: rest ->
+      let z = affine p x in
+      let a = Array.map La.relu z in
+      go ((x, z) :: inputs) a rest
+  in
+  go [] x net.layers
+
+let mlp_predict net x =
+  let x = if Array.length net.mu = 0 then x else La.apply_standardize x net.mu net.sd in
+  snd (mlp_forward net x)
+
+(** Backprop [dout] (gradient at the linear output) through the net,
+    accumulating parameter gradients. *)
+let mlp_backward net caches dout =
+  let rec go (rev_caches : (float array * float array) list) (layers_rev : param list) dout =
+    match (rev_caches, layers_rev) with
+    | [], [] -> ()
+    | (x, _z) :: crest, p :: lrest ->
+      (* dout arrives already masked for this layer; accumulate grads, then
+         mask by the previous layer's pre-activation before recursing *)
+      let n = Array.length x in
+      Array.iteri
+        (fun i d ->
+          let row = p.g.(i) in
+          for j = 0 to n - 1 do
+            row.(j) <- row.(j) +. (d *. x.(j))
+          done;
+          row.(n) <- row.(n) +. d)
+        dout;
+      let dx = La.vec n in
+      Array.iteri
+        (fun i d ->
+          let row = p.w.(i) in
+          for j = 0 to n - 1 do
+            dx.(j) <- dx.(j) +. (row.(j) *. d)
+          done)
+        dout;
+      (match crest with
+      | (_, zprev) :: _ ->
+        let masked = Array.mapi (fun j v -> if zprev.(j) > 0.0 then v else 0.0) dx in
+        go crest lrest masked
+      | [] -> ())
+    | _, _ -> ()
+  in
+  go (List.rev caches) (List.rev net.layers) dout
+
+(** Train on (x, y) regression pairs with MSE loss. *)
+let mlp_fit_regression ?(epochs = 60) ?(lr = 0.01) ?(seed = 7) net xs ys =
+  let xs, mu, sd = La.standardize xs in
+  net.mu <- mu;
+  net.sd <- sd;
+  let opt = adam ~lr () in
+  let rng = Util.Rng.create seed in
+  let idx = Array.init (Array.length xs) (fun i -> i) in
+  for _ = 1 to epochs do
+    Util.Rng.shuffle rng idx;
+    Array.iter
+      (fun k ->
+        List.iter zero_grad net.layers;
+        let caches, out = mlp_forward net xs.(k) in
+        let dout = Array.mapi (fun j o -> 2.0 *. (o -. ys.(k).(j))) out in
+        mlp_backward net caches dout;
+        clip_gradients net.layers 5.0;
+        adam_step opt net.layers)
+      idx
+  done
+
+(** Train a binary classifier with logistic loss; labels in {0,1}; the net
+    must have out_dim = 1. *)
+let mlp_fit_binary ?(epochs = 60) ?(lr = 0.01) ?(seed = 7) net xs ys =
+  let xs, mu, sd = La.standardize xs in
+  net.mu <- mu;
+  net.sd <- sd;
+  let opt = adam ~lr () in
+  let rng = Util.Rng.create seed in
+  let idx = Array.init (Array.length xs) (fun i -> i) in
+  for _ = 1 to epochs do
+    Util.Rng.shuffle rng idx;
+    Array.iter
+      (fun k ->
+        List.iter zero_grad net.layers;
+        let caches, out = mlp_forward net xs.(k) in
+        let p = La.sigmoid out.(0) in
+        let dout = [| p -. ys.(k) |] in
+        mlp_backward net caches dout;
+        clip_gradients net.layers 5.0;
+        adam_step opt net.layers)
+      idx
+  done
+
+let mlp_predict_binary net x = La.sigmoid (mlp_predict net x).(0)

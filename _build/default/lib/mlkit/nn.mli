@@ -1,0 +1,64 @@
+(** Neural-network building blocks: Adam-optimized dense parameters and a
+    multi-layer perceptron (the "DNN" baseline of Figures 8/9/11). *)
+
+(** A dense parameter matrix with its gradient and Adam moments. *)
+type param = {
+  w : float array array;
+  g : float array array;
+  m : float array array;
+  v : float array array;
+}
+
+(** Xavier-initialized parameter. *)
+val param : Util.Rng.t -> int -> int -> param
+
+val zero_param : int -> int -> param
+val zero_grad : param -> unit
+
+type adam = { lr : float; beta1 : float; beta2 : float; eps : float; mutable t : int }
+
+val adam : ?lr:float -> unit -> adam
+
+(** One Adam step after gradients have been accumulated. *)
+val adam_step : adam -> param list -> unit
+
+(** Clip the global gradient norm across parameters to [limit]. *)
+val clip_gradients : param list -> float -> unit
+
+(** {1 Multi-layer perceptron} *)
+
+(** Layers are (out x (in+1)) with the bias in the last column; hidden
+    activations are ReLU, the output layer is linear.  Inputs are
+    standardized at fit time. *)
+type mlp = {
+  layers : param list;
+  mutable mu : float array;
+  mutable sd : float array;
+  out_dim : int;
+}
+
+val mlp_create : Util.Rng.t -> in_dim:int -> hidden:int list -> out_dim:int -> mlp
+
+(** Affine layer application (bias in the last column). *)
+val affine : param -> float array -> float array
+
+(** Forward pass returning per-layer (input, pre-activation) caches and
+    the linear output. *)
+val mlp_forward : mlp -> float array -> (float array * float array) list * float array
+
+val mlp_predict : mlp -> float array -> float array
+
+(** Backprop a gradient at the linear output, accumulating parameter
+    gradients. *)
+val mlp_backward : mlp -> (float array * float array) list -> float array -> unit
+
+(** MSE regression training (SGD over shuffled samples, Adam, clipping). *)
+val mlp_fit_regression :
+  ?epochs:int -> ?lr:float -> ?seed:int -> mlp -> float array array -> float array array -> unit
+
+(** Logistic-loss binary training; labels in {0,1}; out_dim must be 1. *)
+val mlp_fit_binary :
+  ?epochs:int -> ?lr:float -> ?seed:int -> mlp -> float array array -> float array -> unit
+
+(** Positive-class probability. *)
+val mlp_predict_binary : mlp -> float array -> float

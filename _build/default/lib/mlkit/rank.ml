@@ -1,0 +1,77 @@
+(** LambdaMART-style pairwise ranking (§4.5).
+
+    Gradient-boosted trees trained on pairwise lambda gradients within
+    query groups, as in XGBoost's rank:pairwise objective.  A group is a
+    set of candidate colocation pairs; relevance is (negated) performance
+    degradation, so the best pair ranks first. *)
+
+type group = { features : float array array; relevance : float array }
+
+type t = { model : Tree.gbdt }
+
+(** Lambda gradients for one group given the current scores: for every
+    ordered pair (i better than j), push score_i up and score_j down with
+    the logistic pairwise weight. *)
+let lambdas (g : group) scores =
+  let n = Array.length g.features in
+  let lam = Array.make n 0.0 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if g.relevance.(a) > g.relevance.(b) +. 1e-12 then begin
+        let rho = La.sigmoid (-.(scores.(a) -. scores.(b))) in
+        lam.(a) <- lam.(a) +. rho;
+        lam.(b) <- lam.(b) -. rho
+      end
+    done
+  done;
+  lam
+
+let fit ?(n_stages = 50) ?(shrinkage = 0.15) ?(max_depth = 3) (groups : group list) =
+  let all_features = Array.concat (List.map (fun g -> g.features) groups) in
+  let n = Array.length all_features in
+  let scores = Array.make n 0.0 in
+  let offsets =
+    let acc = ref 0 in
+    List.map
+      (fun g ->
+        let o = !acc in
+        acc := !acc + Array.length g.features;
+        o)
+      groups
+  in
+  let stages = ref [] in
+  for stage = 1 to n_stages do
+    let grad = Array.make n 0.0 in
+    List.iteri
+      (fun gi g ->
+        let off = List.nth offsets gi in
+        let local = Array.sub scores off (Array.length g.features) in
+        let lam = lambdas g local in
+        Array.iteri (fun i l -> grad.(off + i) <- l) lam)
+      groups;
+    let tree =
+      Tree.grow
+        ~config:{ Tree.default_grow with Tree.max_depth; Tree.seed = 29 + stage }
+        all_features grad
+    in
+    Array.iteri (fun i x -> scores.(i) <- scores.(i) +. (shrinkage *. Tree.predict tree x)) all_features;
+    stages := tree :: !stages
+  done;
+  { model = { Tree.init = 0.0; shrinkage; stages = List.rev !stages } }
+
+let score t x = Tree.gbdt_predict t.model x
+
+(** Rank candidate feature vectors best-first. *)
+let rank t features =
+  let scored = Array.mapi (fun i x -> (i, score t x)) features in
+  Array.sort (fun (_, a) (_, b) -> compare b a) scored;
+  Array.map fst scored
+
+(** Top-k accuracy of the ranker on a labeled group: is the truly best
+    candidate among the predicted top k? *)
+let topk_hit t (g : group) k =
+  let order = rank t g.features in
+  let truly_best = Util.Stats.argmax g.relevance in
+  let k = min k (Array.length order) in
+  let rec scan i = if i >= k then false else if order.(i) = truly_best then true else scan (i + 1) in
+  scan 0

@@ -1,0 +1,24 @@
+(** LambdaMART-style pairwise ranking (§4.5): gradient-boosted trees
+    trained on pairwise lambda gradients within query groups, as in
+    XGBoost's rank:pairwise objective. *)
+
+(** A query group: candidate feature vectors with their relevances
+    (higher = better; for colocation, negated degradation). *)
+type group = { features : float array array; relevance : float array }
+
+type t = { model : Tree.gbdt }
+
+(** Pairwise lambda gradients of a group at the current scores. *)
+val lambdas : group -> float array -> float array
+
+(** Fit the ranker over training groups. *)
+val fit : ?n_stages:int -> ?shrinkage:float -> ?max_depth:int -> group list -> t
+
+(** Ranking score of one candidate (higher ranks first). *)
+val score : t -> float array -> float
+
+(** Candidate indices, best first. *)
+val rank : t -> float array array -> int array
+
+(** Is the truly-best candidate of [group] within the predicted top [k]? *)
+val topk_hit : t -> group -> int -> bool

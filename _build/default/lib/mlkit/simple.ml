@@ -1,0 +1,190 @@
+(** Classical learners: kNN, linear SVM (Pegasos), K-means, and PCA. *)
+
+(* -- k-nearest neighbours -- *)
+
+type knn = { k : int; xs : float array array; ys : float array; mu : float array; sd : float array }
+
+let knn_fit ?(k = 5) xs ys =
+  let xs', mu, sd = La.standardize xs in
+  { k; xs = xs'; ys; mu; sd }
+
+let knn_neighbors m x =
+  let x = La.apply_standardize x m.mu m.sd in
+  let dists = Array.mapi (fun i xi -> (La.euclidean x xi, m.ys.(i))) m.xs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) dists;
+  Array.sub dists 0 (min m.k (Array.length dists))
+
+(** Regression: mean of the k nearest targets. *)
+let knn_predict m x =
+  let nbrs = knn_neighbors m x in
+  let n = Array.length nbrs in
+  if n = 0 then 0.0 else Array.fold_left (fun acc (_, y) -> acc +. y) 0.0 nbrs /. float_of_int n
+
+(** Classification: majority vote over {0,1} labels. *)
+let knn_predict_binary m x =
+  let nbrs = knn_neighbors m x in
+  let pos = Array.fold_left (fun acc (_, y) -> if y > 0.5 then acc + 1 else acc) 0 nbrs in
+  if 2 * pos > Array.length nbrs then 1.0 else 0.0
+
+(* -- linear SVM via the Pegasos subgradient method -- *)
+
+type svm = { w : float array; b : float; mu : float array; sd : float array }
+
+(** Labels in {0,1}; internally mapped to {-1,+1}.  Classes are balanced by
+    sampling each class with equal probability, which matters for the
+    few-positives/many-negatives accelerator corpora. *)
+let svm_fit ?(lambda = 1e-3) ?(epochs = 60) ?(seed = 13) xs ys =
+  let xs', mu, sd = La.standardize xs in
+  (* the bias rides along as a constant feature, regularized with w *)
+  let xs' = Array.map (fun x -> Array.append x [| 1.0 |]) xs' in
+  let n = Array.length xs' in
+  let dim = if n = 0 then 1 else Array.length xs'.(0) in
+  let w = La.vec dim in
+  let b = ref 0.0 in
+  let rng = Util.Rng.create seed in
+  let pos = ref [] and neg = ref [] in
+  Array.iteri (fun i y -> if y > 0.5 then pos := i :: !pos else neg := i :: !neg) ys;
+  let pos = Array.of_list !pos and neg = Array.of_list !neg in
+  let sample () =
+    if Array.length pos = 0 then neg.(Util.Rng.int rng (Array.length neg))
+    else if Array.length neg = 0 then pos.(Util.Rng.int rng (Array.length pos))
+    else if Util.Rng.bool rng then pos.(Util.Rng.int rng (Array.length pos))
+    else neg.(Util.Rng.int rng (Array.length neg))
+  in
+  let t = ref 0 in
+  for _ = 1 to epochs do
+    for _ = 1 to max 1 n do
+      incr t;
+      let i = sample () in
+      let y = if ys.(i) > 0.5 then 1.0 else -1.0 in
+      let eta = 1.0 /. (lambda *. float_of_int !t) in
+      let margin = y *. (La.dot w xs'.(i) +. !b) in
+      (* shrink then (if violating) push along the example *)
+      let shrink = 1.0 -. (eta *. lambda) in
+      Array.iteri (fun j v -> w.(j) <- shrink *. v) w;
+      if margin < 1.0 then La.axpy (eta *. y) xs'.(i) w
+    done
+  done;
+  { w; b = !b; mu; sd }
+
+let svm_score m x =
+  let x = La.apply_standardize x m.mu m.sd in
+  La.dot m.w (Array.append x [| 1.0 |]) +. m.b
+
+let svm_predict_binary m x = if svm_score m x >= 0.0 then 1.0 else 0.0
+
+(* -- K-means -- *)
+
+type kmeans = { centroids : float array array }
+
+(** Lloyd's algorithm with k-means++-style seeding. *)
+let kmeans_fit ?(iters = 50) ?(seed = 17) ~k xs =
+  let n = Array.length xs in
+  if n = 0 then { centroids = [||] }
+  else begin
+    let k = min k n in
+    let rng = Util.Rng.create seed in
+    let centroids = Array.make k xs.(Util.Rng.int rng n) in
+    for c = 1 to k - 1 do
+      (* pick the next seed proportional to squared distance *)
+      let d2 =
+        Array.map
+          (fun x ->
+            let best = ref infinity in
+            for j = 0 to c - 1 do
+              best := min !best (La.euclidean x centroids.(j) ** 2.0)
+            done;
+            !best +. 1e-12)
+          xs
+      in
+      centroids.(c) <- xs.(Util.Rng.weighted_index rng d2)
+    done;
+    let centroids = Array.map Array.copy centroids in
+    let assign = Array.make n 0 in
+    for _ = 1 to iters do
+      Array.iteri
+        (fun i x ->
+          let best = ref 0 and bd = ref infinity in
+          Array.iteri
+            (fun c cen ->
+              let d = La.euclidean x cen in
+              if d < !bd then begin
+                bd := d;
+                best := c
+              end)
+            centroids;
+          assign.(i) <- !best)
+        xs;
+      Array.iteri
+        (fun c cen ->
+          let members = ref [] in
+          Array.iteri (fun i a -> if a = c then members := xs.(i) :: !members) assign;
+          match !members with
+          | [] -> ()
+          | ms ->
+            let dim = Array.length cen in
+            let fresh = La.vec dim in
+            List.iter (fun m -> La.axpy (1.0 /. float_of_int (List.length ms)) m fresh) ms;
+            Array.blit fresh 0 cen 0 dim)
+        centroids
+    done;
+    { centroids }
+  end
+
+let kmeans_assign m x =
+  let best = ref 0 and bd = ref infinity in
+  Array.iteri
+    (fun c cen ->
+      let d = La.euclidean x cen in
+      if d < !bd then begin
+        bd := d;
+        best := c
+      end)
+    m.centroids;
+  !best
+
+(** Cluster members as index lists. *)
+let kmeans_clusters m xs =
+  let groups = Array.make (Array.length m.centroids) [] in
+  Array.iteri (fun i x -> let c = kmeans_assign m x in groups.(c) <- i :: groups.(c)) xs;
+  Array.map List.rev groups
+
+(* -- PCA via power iteration with deflation -- *)
+
+type pca = { components : float array array; mean : float array }
+
+let pca_fit ?(n_components = 2) ?(iters = 100) ?(seed = 23) xs =
+  let n = Array.length xs in
+  if n = 0 then { components = [||]; mean = [||] }
+  else begin
+    let dim = Array.length xs.(0) in
+    let mean = La.mean_vec xs in
+    let centered = Array.map (fun x -> La.sub_vec x mean) xs in
+    let rng = Util.Rng.create seed in
+    let data = Array.map Array.copy centered in
+    let components =
+      Array.init (min n_components dim) (fun _ ->
+          let v = Array.init dim (fun _ -> Util.Rng.gaussian rng) in
+          let v = ref (La.scale_vec (1.0 /. max 1e-12 (La.l2_norm v)) v) in
+          for _ = 1 to iters do
+            (* v <- X^T X v, normalized *)
+            let xv = Array.map (fun row -> La.dot row !v) data in
+            let next = La.vec dim in
+            Array.iteri (fun i row -> La.axpy xv.(i) row next) data;
+            let norm = max 1e-12 (La.l2_norm next) in
+            v := La.scale_vec (1.0 /. norm) next
+          done;
+          (* deflate *)
+          Array.iteri
+            (fun i row ->
+              let proj = La.dot row !v in
+              La.axpy (-.proj) !v row |> fun () -> data.(i) <- row)
+            data;
+          !v)
+    in
+    { components; mean }
+  end
+
+let pca_transform p x =
+  let c = La.sub_vec x p.mean in
+  Array.map (fun comp -> La.dot comp c) p.components

@@ -1,0 +1,62 @@
+(** Classical learners: k-nearest neighbours, linear SVM (Pegasos),
+    K-means and PCA — Clara's classifier (§4.1), the coalescing clusterer
+    (§4.4), the Figure 10a projection, and evaluation baselines. *)
+
+(** {1 k-nearest neighbours} *)
+
+type knn = {
+  k : int;
+  xs : float array array;  (** standardized training features *)
+  ys : float array;
+  mu : float array;
+  sd : float array;
+}
+
+val knn_fit : ?k:int -> float array array -> float array -> knn
+
+(** The k nearest (distance, target) pairs of a query. *)
+val knn_neighbors : knn -> float array -> (float * float) array
+
+(** Regression: mean of the k nearest targets. *)
+val knn_predict : knn -> float array -> float
+
+(** Classification: majority vote over {0,1} labels. *)
+val knn_predict_binary : knn -> float array -> float
+
+(** {1 Linear SVM (Pegasos)} *)
+
+type svm = { w : float array; b : float; mu : float array; sd : float array }
+
+(** Hinge-loss subgradient training; labels in {0,1}.  Classes are sampled
+    with equal probability, which matters for the few-positives
+    accelerator corpora; the bias rides along as a regularized constant
+    feature. *)
+val svm_fit : ?lambda:float -> ?epochs:int -> ?seed:int -> float array array -> float array -> svm
+
+(** Signed margin. *)
+val svm_score : svm -> float array -> float
+
+val svm_predict_binary : svm -> float array -> float
+
+(** {1 K-means} *)
+
+type kmeans = { centroids : float array array }
+
+(** Lloyd's algorithm with k-means++-style seeding. *)
+val kmeans_fit : ?iters:int -> ?seed:int -> k:int -> float array array -> kmeans
+
+(** Index of the closest centroid. *)
+val kmeans_assign : kmeans -> float array -> int
+
+(** Cluster membership as index lists, one per centroid. *)
+val kmeans_clusters : kmeans -> float array array -> int list array
+
+(** {1 PCA} *)
+
+type pca = { components : float array array; mean : float array }
+
+(** Top components by power iteration with deflation. *)
+val pca_fit : ?n_components:int -> ?iters:int -> ?seed:int -> float array array -> pca
+
+(** Project a point onto the fitted components. *)
+val pca_transform : pca -> float array -> float array

@@ -1,0 +1,141 @@
+(** CART decision trees, random forests and gradient-boosted trees (the
+    DT/GBDT baselines and Clara's scale-out regressor, §4.2). *)
+
+type node =
+  | Leaf of float
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node }
+
+let rec predict_node node x =
+  match node with
+  | Leaf v -> v
+  | Split { feature; threshold; left; right } ->
+    if x.(feature) <= threshold then predict_node left x else predict_node right x
+
+let predict t x = predict_node t.root x
+
+let mean_of idx ys =
+  let n = Array.length idx in
+  if n = 0 then 0.0
+  else Array.fold_left (fun acc i -> acc +. ys.(i)) 0.0 idx /. float_of_int n
+
+type grow_config = { max_depth : int; min_leaf : int; max_cuts : int; feature_subset : int option; seed : int }
+
+let default_grow = { max_depth = 5; min_leaf = 3; max_cuts = 16; feature_subset = None; seed = 3 }
+
+(** Grow a regression tree.  Split search sorts each feature once per node
+    and scans split positions with prefix sums, so a node costs
+    O(features * n log n) rather than O(features * cuts * n). *)
+let grow ?(config = default_grow) xs ys =
+  let dim = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let rng = Util.Rng.create config.seed in
+  let rec build idx depth =
+    let n = Array.length idx in
+    if n <= config.min_leaf || depth >= config.max_depth then Leaf (mean_of idx ys)
+    else begin
+      let features =
+        match config.feature_subset with
+        | None -> Array.init dim (fun f -> f)
+        | Some k -> Util.Rng.sample_without_replacement rng dim (min k dim)
+      in
+      (* best split minimizes left SSE + right SSE, tracked via sums:
+         sse = sum(y^2) - (sum y)^2 / n *)
+      let best = ref None in
+      let total_y = Array.fold_left (fun acc i -> acc +. ys.(i)) 0.0 idx in
+      let total_y2 = Array.fold_left (fun acc i -> acc +. (ys.(i) *. ys.(i))) 0.0 idx in
+      let base = total_y2 -. (total_y *. total_y /. float_of_int n) in
+      Array.iter
+        (fun f ->
+          let sorted = Array.copy idx in
+          Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
+          let left_y = ref 0.0 and left_y2 = ref 0.0 in
+          for k = 0 to n - 2 do
+            let i = sorted.(k) in
+            left_y := !left_y +. ys.(i);
+            left_y2 := !left_y2 +. (ys.(i) *. ys.(i));
+            let nl = k + 1 and nr = n - k - 1 in
+            (* a valid cut needs distinct adjacent values and min_leaf sizes *)
+            if
+              nl >= config.min_leaf && nr >= config.min_leaf
+              && xs.(sorted.(k)).(f) < xs.(sorted.(k + 1)).(f)
+            then begin
+              let ry = total_y -. !left_y and ry2 = total_y2 -. !left_y2 in
+              let sse_l = !left_y2 -. (!left_y *. !left_y /. float_of_int nl) in
+              let sse_r = ry2 -. (ry *. ry /. float_of_int nr) in
+              let gain = base -. sse_l -. sse_r in
+              let thr = 0.5 *. (xs.(sorted.(k)).(f) +. xs.(sorted.(k + 1)).(f)) in
+              match !best with
+              | Some (g, _, _, _) when g >= gain -> ()
+              | _ -> best := Some (gain, f, thr, k + 1)
+            end
+          done)
+        features;
+      match !best with
+      | Some (gain, f, thr, _) when gain > 1e-12 ->
+        let left = Array.of_list (List.filter (fun i -> xs.(i).(f) <= thr) (Array.to_list idx)) in
+        let right = Array.of_list (List.filter (fun i -> xs.(i).(f) > thr) (Array.to_list idx)) in
+        Split { feature = f; threshold = thr; left = build left (depth + 1); right = build right (depth + 1) }
+      | Some _ | None -> Leaf (mean_of idx ys)
+    end
+  in
+  { root = build (Array.init (Array.length xs) (fun i -> i)) 0 }
+
+(* -- Random forest (regression; classify by thresholding the mean) -- *)
+
+type forest = { trees : t list }
+
+let forest_fit ?(n_trees = 20) ?(config = default_grow) ?(seed = 5) xs ys =
+  let n = Array.length xs in
+  let rng = Util.Rng.create seed in
+  let trees =
+    List.init n_trees (fun k ->
+        let idx = Array.init n (fun _ -> Util.Rng.int rng n) in
+        let bx = Array.map (fun i -> xs.(i)) idx in
+        let by = Array.map (fun i -> ys.(i)) idx in
+        let dim = if n = 0 then 1 else Array.length xs.(0) in
+        let sub = max 1 (dim * 2 / 3) in
+        grow ~config:{ config with feature_subset = Some sub; seed = seed + (k * 131) } bx by)
+    in
+  { trees }
+
+let forest_predict f x =
+  let n = List.length f.trees in
+  List.fold_left (fun acc t -> acc +. predict t x) 0.0 f.trees /. float_of_int (max 1 n)
+
+(* -- Gradient boosting -- *)
+
+type gbdt = { init : float; shrinkage : float; stages : t list }
+
+(** Least-squares gradient boosting: each stage fits the residuals. *)
+let gbdt_fit ?(n_stages = 60) ?(shrinkage = 0.15) ?(config = { default_grow with max_depth = 3 }) xs ys =
+  let n = Array.length ys in
+  let init = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
+  let preds = Array.make n init in
+  let stages = ref [] in
+  for stage = 1 to n_stages do
+    let residuals = Array.init n (fun i -> ys.(i) -. preds.(i)) in
+    let tree = grow ~config:{ config with seed = config.seed + stage } xs residuals in
+    Array.iteri (fun i x -> preds.(i) <- preds.(i) +. (shrinkage *. predict tree x)) xs;
+    stages := tree :: !stages
+  done;
+  { init; shrinkage; stages = List.rev !stages }
+
+let gbdt_predict g x =
+  List.fold_left (fun acc t -> acc +. (g.shrinkage *. predict t x)) g.init g.stages
+
+(** Binary classification via boosting on the logistic gradient; labels in
+    {0,1}; prediction is a probability. *)
+let gbdt_fit_binary ?(n_stages = 60) ?(shrinkage = 0.2) ?(config = { default_grow with max_depth = 3 }) xs ys =
+  let n = Array.length ys in
+  let scores = Array.make n 0.0 in
+  let stages = ref [] in
+  for stage = 1 to n_stages do
+    let grad = Array.init n (fun i -> ys.(i) -. La.sigmoid scores.(i)) in
+    let tree = grow ~config:{ config with seed = config.seed + stage } xs grad in
+    Array.iteri (fun i x -> scores.(i) <- scores.(i) +. (shrinkage *. predict tree x)) xs;
+    stages := tree :: !stages
+  done;
+  { init = 0.0; shrinkage; stages = List.rev !stages }
+
+let gbdt_predict_binary g x = La.sigmoid (gbdt_predict g x -. g.init +. g.init)

@@ -1,0 +1,53 @@
+(** CART decision trees, random forests and gradient boosting — the
+    DT/GBDT baselines and Clara's scale-out regressor (§4.2) and the base
+    learner of the LambdaMART ranker (§4.5). *)
+
+type node =
+  | Leaf of float
+  | Split of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node }
+
+val predict : t -> float array -> float
+
+type grow_config = {
+  max_depth : int;
+  min_leaf : int;
+  max_cuts : int;  (** retained for compatibility; splits scan all cuts *)
+  feature_subset : int option;  (** random subset per node (forests) *)
+  seed : int;
+}
+
+val default_grow : grow_config
+
+(** Grow a least-squares regression tree; split search sorts each feature
+    once per node and scans cut positions with prefix sums. *)
+val grow : ?config:grow_config -> float array array -> float array -> t
+
+(** {1 Random forest} *)
+
+type forest = { trees : t list }
+
+(** Bootstrap-aggregated trees with per-node feature subsetting. *)
+val forest_fit :
+  ?n_trees:int -> ?config:grow_config -> ?seed:int -> float array array -> float array -> forest
+
+val forest_predict : forest -> float array -> float
+
+(** {1 Gradient boosting} *)
+
+type gbdt = { init : float; shrinkage : float; stages : t list }
+
+(** Least-squares boosting: each stage fits the residuals. *)
+val gbdt_fit :
+  ?n_stages:int -> ?shrinkage:float -> ?config:grow_config -> float array array -> float array -> gbdt
+
+val gbdt_predict : gbdt -> float array -> float
+
+(** Binary classification by boosting the logistic gradient; labels in
+    {0,1}. *)
+val gbdt_fit_binary :
+  ?n_stages:int -> ?shrinkage:float -> ?config:grow_config -> float array array -> float array -> gbdt
+
+(** Positive-class probability. *)
+val gbdt_predict_binary : gbdt -> float array -> float

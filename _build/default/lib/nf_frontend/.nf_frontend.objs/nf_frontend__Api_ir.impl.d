@@ -1,0 +1,1 @@
+lib/nf_frontend/api_ir.ml: Builder Ir List Nf_ir Nf_lang Printf String

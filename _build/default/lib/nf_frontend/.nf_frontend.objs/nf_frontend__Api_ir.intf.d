@@ -1,0 +1,1 @@
+lib/nf_frontend/api_ir.mli: Nf_ir Nf_lang

@@ -1,0 +1,1 @@
+lib/nf_frontend/lower.ml: Ast Builder Ir List Nf_ir Nf_lang Printf String

@@ -1,0 +1,1 @@
+lib/nf_frontend/lower.mli: Nf_ir Nf_lang

@@ -1,0 +1,32 @@
+(** Reverse-ported IR implementations of the NF framework API (§3.3).
+
+    For every Click library call, a replica of the *SmartNIC*
+    implementation — fixed-bucket hash tables, mark-invalid deletes, NIC
+    packet-metadata parsing — represented as IR split into a straight-line
+    [fixed] part and an optional [per_unit] loop body.  The NIC compiler
+    compiles both; a call costs [fixed + units * per_unit], units coming
+    from the workload profile. *)
+
+(** How many loop units a call performs at runtime. *)
+type unit_source =
+  | No_units  (** straight-line API: cost is [fixed] only *)
+  | Map_probes of string  (** mean probes of the named map under the workload *)
+  | Payload_bytes  (** packet payload length *)
+  | Header_words of int  (** fixed word count *)
+
+type impl = {
+  api : string;  (** concrete call name, e.g. "map_find.flow_table" *)
+  target : string option;  (** stateful structure accessed, if any *)
+  fixed : Nf_ir.Ir.func;
+  per_unit : Nf_ir.Ir.func option;
+  units : unit_source;
+}
+
+(** The reverse-ported implementation for a concrete API call name, in the
+    context of an element's state declarations.
+    @raise Failure on unknown calls. *)
+val impl_for : Nf_lang.Ast.element -> string -> impl
+
+(** Implementations for every API call of a lowered element, keyed by the
+    concrete call name. *)
+val impls_for_element : Nf_lang.Ast.element -> Nf_ir.Ir.func -> (string * impl) list

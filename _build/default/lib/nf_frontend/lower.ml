@@ -1,0 +1,465 @@
+(** Lowering of NF elements to the LLVM-like IR (§3.1 program preparation).
+
+    The translation mimics `clang -O0` on a Click element body:
+
+    - named locals become stack slots accessed through stateless
+      loads/stores (the NIC compiler later register-allocates them away);
+    - sub-32-bit header/global reads are widened with [zext], narrow stores
+      with [trunc], matching C integer promotion;
+    - framework header accessors ([ip_header] etc.) are materialized as one
+      API call per protocol per handler invocation;
+    - data-structure operations become framework API calls
+      ([map_find.<name>], ...), which Clara later replaces by reverse-ported
+      implementations (§3.3);
+    - subroutines are inlined (§3.1);
+    - each IR block records the source statement id that leads it, so the
+      host interpreter's per-statement profile yields per-block execution
+      counts.  Loop header blocks use [src_sid = -(sid + 1)], resolved
+      against the interpreter's condition-evaluation counters; the entry
+      block uses [src_sid = 0] (executed once per packet). *)
+
+open Nf_lang
+open Nf_ir
+module B = Builder
+
+type env = {
+  b : B.t;
+  elt : Ast.element;
+  mutable protos_loaded : Ast.proto list;  (** header accessors already called *)
+  mutable inline_stack : string list;  (** subroutine cycle detection *)
+}
+
+let proto_api = function
+  | Ast.Eth -> "eth_header"
+  | Ast.Ip -> "ip_header"
+  | Ast.Tcp -> "tcp_header"
+  | Ast.Udp -> "udp_header"
+
+(** Ensure the framework accessor for [proto] has been invoked; Click code
+    conventionally fetches each header pointer once per handler. *)
+let ensure_proto env proto =
+  if not (List.mem proto env.protos_loaded) then begin
+    env.protos_loaded <- proto :: env.protos_loaded;
+    let name = proto_api proto in
+    ignore
+      (B.emit_value env.b ~op:(Ir.Call name) ~args:[ Ir.Payload ] ~ty:Ir.Ptr
+         ~annot:(Ir.Api name))
+  end
+
+let global_width env name =
+  match Ast.find_state env.elt name with
+  | Some (Ast.Scalar { width; _ }) -> width
+  | Some (Ast.Array { width; _ }) -> width
+  | Some (Ast.Map _ | Ast.Vector _) | None -> 32
+
+(** Widen a register holding a value of [width] bits to i32, as C promotes
+    narrow integers in expressions. *)
+let promote env reg width =
+  if width >= 32 then reg
+  else
+    B.emit_value env.b ~op:Ir.Zext
+      ~args:[ Ir.Reg reg ]
+      ~ty:(Ir.typ_of_width width)
+      ~annot:Ir.Compute
+
+let demote env reg width =
+  if width >= 32 then reg
+  else
+    B.emit_value env.b ~op:Ir.Trunc
+      ~args:[ Ir.Reg reg ]
+      ~ty:(Ir.typ_of_width width)
+      ~annot:Ir.Compute
+
+let binop_ir = function
+  | Ast.Add -> Ir.Add
+  | Ast.Sub -> Ir.Sub
+  | Ast.Mul -> Ir.Mul
+  | Ast.BAnd -> Ir.And
+  | Ast.BOr -> Ir.Or
+  | Ast.BXor -> Ir.Xor
+  | Ast.Shl -> Ir.Shl
+  | Ast.Shr -> Ir.Lshr
+
+let cmp_ir = function
+  | Ast.Eq -> Ir.Ceq
+  | Ast.Ne -> Ir.Cne
+  | Ast.Lt -> Ir.Clt
+  | Ast.Le -> Ir.Cle
+  | Ast.Gt -> Ir.Cgt
+  | Ast.Ge -> Ir.Cge
+
+(** Lower an expression; the result is always a register holding an i32
+    (booleans are materialized as 0/1 via zext). *)
+let rec lower_expr env (e : Ast.expr) : int =
+  let b = env.b in
+  match e with
+  | Ast.Int n ->
+    (* clang -O0 materializes constants only at use sites; we emit an 'or 0'
+       style move so the value lives in a register uniformly. *)
+    B.emit_value b ~op:Ir.Or ~args:[ Ir.Imm n; Ir.Imm 0 ] ~ty:Ir.I32 ~annot:Ir.Compute
+  | Ast.Local v ->
+    B.emit_value b ~op:Ir.Load ~args:[ Ir.Slot v ] ~ty:Ir.I32 ~annot:Ir.Mem_stateless
+  | Ast.Global v ->
+    let w = global_width env v in
+    let r = B.emit_value b ~op:Ir.Load ~args:[ Ir.Global v ] ~ty:(Ir.typ_of_width w) ~annot:(Ir.Mem_stateful v) in
+    promote env r w
+  | Ast.Hdr f ->
+    ensure_proto env (Ast.field_proto f);
+    let w = Ast.field_width f in
+    let r =
+      B.emit_value b ~op:Ir.Load ~args:[ Ir.Hdr (Ast.field_name f) ] ~ty:(Ir.typ_of_width w)
+        ~annot:Ir.Mem_packet
+    in
+    promote env r w
+  | Ast.Payload_byte off ->
+    let off_r = lower_expr env off in
+    let addr =
+      B.emit_value b ~op:Ir.Gep ~args:[ Ir.Payload; Ir.Reg off_r ] ~ty:Ir.Ptr ~annot:Ir.Compute
+    in
+    let r = B.emit_value b ~op:Ir.Load ~args:[ Ir.Reg addr ] ~ty:Ir.I8 ~annot:Ir.Mem_packet in
+    promote env r 8
+  | Ast.Packet_len ->
+    B.emit_value b ~op:(Ir.Call "packet_len") ~args:[ Ir.Payload ] ~ty:Ir.I32
+      ~annot:(Ir.Api "packet_len")
+  | Ast.Bin (op, x, y) ->
+    let xr = lower_expr env x in
+    let yr = lower_arg env y in
+    B.emit_value b ~op:(binop_ir op) ~args:[ Ir.Reg xr; yr ] ~ty:Ir.I32 ~annot:Ir.Compute
+  | Ast.Cmp (op, x, y) ->
+    let r = lower_cond env (Ast.Cmp (op, x, y)) in
+    B.emit_value b ~op:Ir.Zext ~args:[ Ir.Reg r ] ~ty:Ir.I1 ~annot:Ir.Compute
+  | Ast.Not x ->
+    let xr = lower_expr env x in
+    let z =
+      B.emit_value b ~op:(Ir.Icmp Ir.Ceq) ~args:[ Ir.Reg xr; Ir.Imm 0 ] ~ty:Ir.I32
+        ~annot:Ir.Compute
+    in
+    B.emit_value b ~op:Ir.Zext ~args:[ Ir.Reg z ] ~ty:Ir.I1 ~annot:Ir.Compute
+  | Ast.And_also (x, y) ->
+    (* lowered non-short-circuit at -O0 style: both sides evaluated, 'and' of
+       truth values *)
+    let xr = lower_expr env (Ast.Cmp (Ast.Ne, x, Ast.Int 0)) in
+    let yr = lower_expr env (Ast.Cmp (Ast.Ne, y, Ast.Int 0)) in
+    B.emit_value b ~op:Ir.And ~args:[ Ir.Reg xr; Ir.Reg yr ] ~ty:Ir.I32 ~annot:Ir.Compute
+  | Ast.Or_else (x, y) ->
+    let xr = lower_expr env (Ast.Cmp (Ast.Ne, x, Ast.Int 0)) in
+    let yr = lower_expr env (Ast.Cmp (Ast.Ne, y, Ast.Int 0)) in
+    B.emit_value b ~op:Ir.Or ~args:[ Ir.Reg xr; Ir.Reg yr ] ~ty:Ir.I32 ~annot:Ir.Compute
+  | Ast.Arr_get (name, idx) ->
+    let idx_r = lower_expr env idx in
+    let w = global_width env name in
+    let addr =
+      B.emit_value b ~op:Ir.Gep ~args:[ Ir.Global name; Ir.Reg idx_r ] ~ty:Ir.Ptr
+        ~annot:Ir.Compute
+    in
+    let r =
+      B.emit_value b ~op:Ir.Load ~args:[ Ir.Reg addr ] ~ty:(Ir.typ_of_width w)
+        ~annot:(Ir.Mem_stateful name)
+    in
+    promote env r w
+  | Ast.Vec_len name ->
+    B.emit_value b ~op:(Ir.Call ("vec_len." ^ name)) ~args:[ Ir.Global name ] ~ty:Ir.I32
+      ~annot:(Ir.Api "vec_len")
+  | Ast.Api_expr (name, args) ->
+    let arg_rs = List.map (fun a -> Ir.Reg (lower_expr env a)) args in
+    B.emit_value b ~op:(Ir.Call name) ~args:arg_rs ~ty:Ir.I32 ~annot:(Ir.Api name)
+
+(** Lower an operand position: small literals stay immediates (as in LLVM
+    textual IR, e.g. [add i32 %x, 4]). *)
+and lower_arg env (e : Ast.expr) : Ir.operand =
+  match e with Ast.Int n -> Ir.Imm n | _ -> Ir.Reg (lower_expr env e)
+
+(** Lower a boolean condition to an i1 register. *)
+and lower_cond env (e : Ast.expr) : int =
+  let b = env.b in
+  match e with
+  | Ast.Cmp (op, x, y) ->
+    let xr = lower_expr env x in
+    let yr = lower_arg env y in
+    B.emit_value b ~op:(Ir.Icmp (cmp_ir op)) ~args:[ Ir.Reg xr; yr ] ~ty:Ir.I32
+      ~annot:Ir.Compute
+  | Ast.Not x ->
+    let xr = lower_expr env x in
+    B.emit_value b ~op:(Ir.Icmp Ir.Ceq) ~args:[ Ir.Reg xr; Ir.Imm 0 ] ~ty:Ir.I32
+      ~annot:Ir.Compute
+  | Ast.And_also _ | Ast.Or_else _ | Ast.Int _ | Ast.Local _ | Ast.Global _ | Ast.Hdr _
+  | Ast.Payload_byte _ | Ast.Packet_len | Ast.Bin _ | Ast.Arr_get _ | Ast.Vec_len _
+  | Ast.Api_expr _ ->
+    let r = lower_expr env e in
+    B.emit_value b ~op:(Ir.Icmp Ir.Cne) ~args:[ Ir.Reg r; Ir.Imm 0 ] ~ty:Ir.I32
+      ~annot:Ir.Compute
+
+let store_local env v reg =
+  B.emit_void env.b ~op:Ir.Store ~args:[ Ir.Reg reg; Ir.Slot v ] ~ty:Ir.I32
+    ~annot:Ir.Mem_stateless
+
+let data_call env ~name ~args ~ret =
+  let annot_name =
+    (* map_find.tbl -> map_find for API classification *)
+    match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
+  in
+  if ret then
+    Some (B.emit_value env.b ~op:(Ir.Call name) ~args ~ty:Ir.I32 ~annot:(Ir.Api annot_name))
+  else begin
+    B.emit_void env.b ~op:(Ir.Call name) ~args ~ty:Ir.I32 ~annot:(Ir.Api annot_name);
+    None
+  end
+
+(** Lower a statement list.  [next_sid] is the sid of the statement that
+    will execute after this list completes, used to attribute join blocks. *)
+let rec lower_stmts env (stmts : Ast.stmt list) ~(next_sid : int) =
+  match stmts with
+  | [] -> ()
+  | s :: rest ->
+    let following = match rest with r :: _ -> r.Ast.sid | [] -> next_sid in
+    lower_stmt env s ~next_sid:following;
+    lower_stmts env rest ~next_sid
+
+and lower_stmt env (s : Ast.stmt) ~(next_sid : int) =
+  let b = env.b in
+  match s.node with
+  | Ast.Let (v, e) ->
+    let r = lower_expr env e in
+    store_local env v r
+  | Ast.Set_global (v, e) ->
+    let r = lower_expr env e in
+    let w = global_width env v in
+    let r = demote env r w in
+    B.emit_void b ~op:Ir.Store ~args:[ Ir.Reg r; Ir.Global v ] ~ty:(Ir.typ_of_width w)
+      ~annot:(Ir.Mem_stateful v)
+  | Ast.Set_hdr (f, e) ->
+    ensure_proto env (Ast.field_proto f);
+    let r = lower_expr env e in
+    let w = Ast.field_width f in
+    let r = demote env r w in
+    B.emit_void b ~op:Ir.Store ~args:[ Ir.Reg r; Ir.Hdr (Ast.field_name f) ]
+      ~ty:(Ir.typ_of_width w) ~annot:Ir.Mem_packet
+  | Ast.Set_payload (off, v) ->
+    let off_r = lower_expr env off in
+    let addr =
+      B.emit_value b ~op:Ir.Gep ~args:[ Ir.Payload; Ir.Reg off_r ] ~ty:Ir.Ptr ~annot:Ir.Compute
+    in
+    let vr = lower_expr env v in
+    let vr = demote env vr 8 in
+    B.emit_void b ~op:Ir.Store ~args:[ Ir.Reg vr; Ir.Reg addr ] ~ty:Ir.I8 ~annot:Ir.Mem_packet
+  | Ast.Arr_set (name, idx, v) ->
+    let idx_r = lower_expr env idx in
+    let addr =
+      B.emit_value b ~op:Ir.Gep ~args:[ Ir.Global name; Ir.Reg idx_r ] ~ty:Ir.Ptr
+        ~annot:Ir.Compute
+    in
+    let w = global_width env name in
+    let vr = lower_expr env v in
+    let vr = demote env vr w in
+    B.emit_void b ~op:Ir.Store ~args:[ Ir.Reg vr; Ir.Reg addr ] ~ty:(Ir.typ_of_width w)
+      ~annot:(Ir.Mem_stateful name)
+  | Ast.Map_find (map, key, dst) ->
+    let args = Ir.Global map :: List.map (fun k -> Ir.Reg (lower_expr env k)) key in
+    (match data_call env ~name:("map_find." ^ map) ~args ~ret:true with
+    | Some r -> store_local env dst r
+    | None -> assert false)
+  | Ast.Map_read (map, field, dst) ->
+    (match
+       data_call env ~name:("map_read." ^ map ^ "." ^ field) ~args:[ Ir.Global map ] ~ret:true
+     with
+    | Some r -> store_local env dst r
+    | None -> assert false)
+  | Ast.Map_write (map, field, e) ->
+    let r = lower_expr env e in
+    ignore
+      (data_call env ~name:("map_write." ^ map ^ "." ^ field)
+         ~args:[ Ir.Global map; Ir.Reg r ] ~ret:false)
+  | Ast.Map_insert (map, key, vals) ->
+    let args =
+      Ir.Global map :: List.map (fun e -> Ir.Reg (lower_expr env e)) (key @ vals)
+    in
+    ignore (data_call env ~name:("map_insert." ^ map) ~args ~ret:false)
+  | Ast.Map_erase map ->
+    ignore (data_call env ~name:("map_erase." ^ map) ~args:[ Ir.Global map ] ~ret:false)
+  | Ast.Vec_append (name, e) ->
+    let r = lower_expr env e in
+    ignore
+      (data_call env ~name:("vec_append." ^ name) ~args:[ Ir.Global name; Ir.Reg r ]
+         ~ret:false)
+  | Ast.Vec_get (name, idx, dst) ->
+    let ir = lower_expr env idx in
+    (match
+       data_call env ~name:("vec_get." ^ name) ~args:[ Ir.Global name; Ir.Reg ir ] ~ret:true
+     with
+    | Some r -> store_local env dst r
+    | None -> assert false)
+  | Ast.Vec_set (name, idx, e) ->
+    let ir = lower_expr env idx in
+    let vr = lower_expr env e in
+    ignore
+      (data_call env ~name:("vec_set." ^ name)
+         ~args:[ Ir.Global name; Ir.Reg ir; Ir.Reg vr ]
+         ~ret:false)
+  | Ast.If (c, then_s, else_s) ->
+    let cond = lower_cond env c in
+    let cond_bid = B.current_bid b in
+    let then_sid = match then_s with t :: _ -> t.Ast.sid | [] -> next_sid in
+    let then_b = B.start_block b ~sid:then_sid in
+    lower_stmts env then_s ~next_sid;
+    let then_end = B.current_bid b in
+    let then_terminated = B.terminated b in
+    let else_info =
+      match else_s with
+      | [] -> None
+      | e :: _ ->
+        let else_b = B.start_block b ~sid:e.Ast.sid in
+        lower_stmts env else_s ~next_sid;
+        Some (else_b.Ir.bid, B.current_bid b, B.terminated b)
+    in
+    let join = B.start_block b ~sid:next_sid in
+    (* Patch branches now that all block ids are known. *)
+    let patch_br src_bid target =
+      let blk = List.find (fun blk -> blk.Ir.bid = src_bid) b.B.blocks in
+      match List.rev blk.Ir.instrs with
+      | last :: _ when Ir.is_terminator last -> ()
+      | _ ->
+        blk.Ir.instrs <-
+          blk.Ir.instrs
+          @ [ { Ir.res = None; op = Ir.Br target; args = []; ty = Ir.I32; annot = Ir.Control } ]
+    in
+    (match else_info with
+    | None ->
+      let blk = List.find (fun blk -> blk.Ir.bid = cond_bid) b.B.blocks in
+      blk.Ir.instrs <-
+        blk.Ir.instrs
+        @ [ { Ir.res = None;
+              op = Ir.Cond_br (then_b.Ir.bid, join.Ir.bid);
+              args = [ Ir.Reg cond ];
+              ty = Ir.I1;
+              annot = Ir.Control } ];
+      if not then_terminated then patch_br then_end join.Ir.bid
+    | Some (else_bid, else_end, else_terminated) ->
+      let blk = List.find (fun blk -> blk.Ir.bid = cond_bid) b.B.blocks in
+      blk.Ir.instrs <-
+        blk.Ir.instrs
+        @ [ { Ir.res = None;
+              op = Ir.Cond_br (then_b.Ir.bid, else_bid);
+              args = [ Ir.Reg cond ];
+              ty = Ir.I1;
+              annot = Ir.Control } ];
+      if not then_terminated then patch_br then_end join.Ir.bid;
+      if not else_terminated then patch_br else_end join.Ir.bid)
+  | Ast.While (c, body) ->
+    (* loop header carries the condition; encoded as -(sid+1) so the cost
+       model resolves its execution count from cond_counts *)
+    let header = B.start_block b ~sid:(-(s.sid + 1)) in
+    (* fall into the header from the preceding block *)
+    patch_prev_br env header.Ir.bid;
+    let cond = lower_cond env c in
+    let header_end = B.current_bid b in
+    let body_sid = match body with x :: _ -> x.Ast.sid | [] -> s.sid in
+    let body_b = B.start_block b ~sid:body_sid in
+    lower_stmts env body ~next_sid:(-(s.sid + 1));
+    B.br b header.Ir.bid;
+    let exit = B.start_block b ~sid:next_sid in
+    let blk = List.find (fun blk -> blk.Ir.bid = header_end) b.B.blocks in
+    (match List.rev blk.Ir.instrs with
+    | last :: _ when Ir.is_terminator last -> ()
+    | _ ->
+      blk.Ir.instrs <-
+        blk.Ir.instrs
+        @ [ { Ir.res = None;
+              op = Ir.Cond_br (body_b.Ir.bid, exit.Ir.bid);
+              args = [ Ir.Reg cond ];
+              ty = Ir.I1;
+              annot = Ir.Control } ])
+  | Ast.For (v, lo, hi, body) ->
+    (* for (v = lo; v < hi; v++) body — lowered as init + while *)
+    let lo_r = lower_expr env lo in
+    store_local env v lo_r;
+    let hi_r = lower_expr env hi in
+    store_local env ("__hi." ^ v) hi_r;
+    let header = B.start_block b ~sid:(-(s.sid + 1)) in
+    patch_prev_br env header.Ir.bid;
+    let cur =
+      B.emit_value b ~op:Ir.Load ~args:[ Ir.Slot v ] ~ty:Ir.I32 ~annot:Ir.Mem_stateless
+    in
+    let bound =
+      B.emit_value b ~op:Ir.Load ~args:[ Ir.Slot ("__hi." ^ v) ] ~ty:Ir.I32
+        ~annot:Ir.Mem_stateless
+    in
+    let cond =
+      B.emit_value b ~op:(Ir.Icmp Ir.Clt) ~args:[ Ir.Reg cur; Ir.Reg bound ] ~ty:Ir.I32
+        ~annot:Ir.Compute
+    in
+    let header_end = B.current_bid b in
+    let body_sid = match body with x :: _ -> x.Ast.sid | [] -> s.sid in
+    let body_b = B.start_block b ~sid:body_sid in
+    lower_stmts env body ~next_sid:(-(s.sid + 1));
+    (* increment *)
+    let cur2 =
+      B.emit_value b ~op:Ir.Load ~args:[ Ir.Slot v ] ~ty:Ir.I32 ~annot:Ir.Mem_stateless
+    in
+    let inc =
+      B.emit_value b ~op:Ir.Add ~args:[ Ir.Reg cur2; Ir.Imm 1 ] ~ty:Ir.I32 ~annot:Ir.Compute
+    in
+    store_local env v inc;
+    B.br b header.Ir.bid;
+    let exit = B.start_block b ~sid:next_sid in
+    let blk = List.find (fun blk -> blk.Ir.bid = header_end) b.B.blocks in
+    (match List.rev blk.Ir.instrs with
+    | last :: _ when Ir.is_terminator last -> ()
+    | _ ->
+      blk.Ir.instrs <-
+        blk.Ir.instrs
+        @ [ { Ir.res = None;
+              op = Ir.Cond_br (body_b.Ir.bid, exit.Ir.bid);
+              args = [ Ir.Reg cond ];
+              ty = Ir.I1;
+              annot = Ir.Control } ])
+  | Ast.Api_stmt (name, args) ->
+    let arg_rs = List.map (fun a -> Ir.Reg (lower_expr env a)) args in
+    B.emit_void b ~op:(Ir.Call name) ~args:arg_rs ~ty:Ir.I32 ~annot:(Ir.Api name)
+  | Ast.Emit port ->
+    B.emit_void b ~op:(Ir.Call "send") ~args:[ Ir.Imm port ] ~ty:Ir.I32 ~annot:(Ir.Api "send");
+    B.ret b
+  | Ast.Drop ->
+    B.emit_void b ~op:(Ir.Call "kill") ~args:[] ~ty:Ir.I32 ~annot:(Ir.Api "kill");
+    B.ret b
+  | Ast.Call_sub name ->
+    if List.mem name env.inline_stack then
+      failwith (Printf.sprintf "Lower: recursive subroutine %s in %s" name env.elt.name);
+    (match List.assoc_opt name env.elt.subs with
+    | Some body ->
+      env.inline_stack <- name :: env.inline_stack;
+      lower_stmts env body ~next_sid;
+      env.inline_stack <- List.tl env.inline_stack
+    | None -> failwith (Printf.sprintf "Lower: unknown subroutine %s in %s" name env.elt.name))
+  | Ast.Return -> B.ret b
+
+(** If the previous block does not yet branch anywhere, fall through into
+    [target].  Used when opening loop headers. *)
+and patch_prev_br env target =
+  match env.b.B.blocks with
+  | _current :: prev :: _ ->
+    (match List.rev prev.Ir.instrs with
+    | last :: _ when Ir.is_terminator last -> ()
+    | _ ->
+      prev.Ir.instrs <-
+        prev.Ir.instrs
+        @ [ { Ir.res = None; op = Ir.Br target; args = []; ty = Ir.I32; annot = Ir.Control } ])
+  | [ _ ] | [] -> ()
+
+(** Lower a full element into one IR function (handler with subroutines
+    inlined). *)
+let lower_element (elt : Ast.element) : Ir.func =
+  let b = B.create elt.name in
+  let env = { b; elt; protos_loaded = []; inline_stack = [] } in
+  lower_stmts env elt.handler ~next_sid:(-1);
+  B.finish b
+
+(** The set of framework API calls appearing in a function — the paper's
+    GETAPI step feeding reverse porting. *)
+let api_set (f : Ir.func) =
+  Ir.fold_instrs
+    (fun acc (i : Ir.instr) ->
+      match (i.Ir.op, i.Ir.annot) with
+      | Ir.Call name, Ir.Api _ -> name :: acc
+      | _ -> acc)
+    [] f
+  |> List.sort_uniq compare

@@ -1,0 +1,15 @@
+(** Lowering of NF elements to the LLVM-like IR (§3.1 program preparation),
+    mimicking `clang -O0`: named locals become stack slots, narrow reads
+    widen through [zext], framework header accessors materialize once per
+    protocol per handler, data-structure operations become framework API
+    calls, subroutines are inlined, and every IR block records the source
+    statement that leads it (so interpreter profiles yield per-block
+    execution counts). *)
+
+(** Lower a full element into one IR function.
+    @raise Failure on recursive or unknown subroutines. *)
+val lower_element : Nf_lang.Ast.element -> Nf_ir.Ir.func
+
+(** The set of framework API calls appearing in a lowered function —
+    the paper's GETAPI step feeding reverse porting. *)
+val api_set : Nf_ir.Ir.func -> string list

@@ -1,0 +1,1 @@
+lib/nf_ir/ir.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/nf_ir/opt.ml: Array Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/nf_ir/opt.mli: Ir

@@ -1,0 +1,1 @@
+lib/nf_ir/verify.ml: Array Hashtbl Ir List Printf String

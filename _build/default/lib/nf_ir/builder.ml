@@ -1,0 +1,88 @@
+(** Imperative IR construction helper used by the frontend.
+
+    Maintains a current block, fresh register numbering, and block creation
+    with source-statement attribution.  Terminators are added explicitly;
+    [finish] seals the function and derives successor edges. *)
+
+type t = {
+  fname : string;
+  mutable blocks : Ir.block list;  (** reverse order *)
+  mutable current : Ir.block;
+  mutable next_reg : int;
+  mutable next_bid : int;
+}
+
+let create fname =
+  (* entry block executes once per packet: src_sid = 0 by convention *)
+  let entry = { Ir.bid = 0; src_sid = 0; instrs = []; succs = [] } in
+  { fname; blocks = [ entry ]; current = entry; next_reg = 1; next_bid = 1 }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+(** Append an instruction to the current block and return its result reg. *)
+let emit t ?res ~op ~args ~ty ~annot () =
+  let instr = { Ir.res; op; args; ty; annot } in
+  t.current.instrs <- t.current.instrs @ [ instr ];
+  res
+
+let emit_value t ~op ~args ~ty ~annot =
+  let r = fresh_reg t in
+  ignore (emit t ~res:r ~op ~args ~ty ~annot ());
+  r
+
+let emit_void t ~op ~args ~ty ~annot = ignore (emit t ~op ~args ~ty ~annot ())
+
+(** Open a new block attributed to source statement [sid] and make it
+    current.  Does not link it; use terminators for that. *)
+let start_block t ~sid =
+  let b = { Ir.bid = t.next_bid; src_sid = sid; instrs = []; succs = [] } in
+  t.next_bid <- t.next_bid + 1;
+  t.blocks <- b :: t.blocks;
+  t.current <- b;
+  b
+
+let current_bid t = t.current.Ir.bid
+
+(** True when the current block already ends in a terminator. *)
+let terminated t =
+  match List.rev t.current.Ir.instrs with i :: _ -> Ir.is_terminator i | [] -> false
+
+let br t target =
+  if not (terminated t) then
+    emit_void t ~op:(Ir.Br target) ~args:[] ~ty:Ir.I32 ~annot:Ir.Control
+
+let cond_br t cond ~then_:tb ~else_:eb =
+  if not (terminated t) then
+    emit_void t ~op:(Ir.Cond_br (tb, eb)) ~args:[ cond ] ~ty:Ir.I1 ~annot:Ir.Control
+
+let ret t = if not (terminated t) then emit_void t ~op:Ir.Ret ~args:[] ~ty:Ir.I32 ~annot:Ir.Control
+
+(** Seal the function: order blocks by id, ensure every block is terminated
+    (falling through to [Ret]), and populate successor lists. *)
+let finish t =
+  (* Terminate the final current block. *)
+  ret t;
+  let blocks = List.sort (fun a b -> compare a.Ir.bid b.Ir.bid) (List.rev t.blocks) in
+  let arr = Array.of_list blocks in
+  Array.iter
+    (fun b ->
+      (* A block left unterminated (e.g. an empty join block) falls through
+         to a Ret for safety. *)
+      (match List.rev b.Ir.instrs with
+      | i :: _ when Ir.is_terminator i -> ()
+      | _ -> b.Ir.instrs <- b.Ir.instrs @ [ { Ir.res = None; op = Ir.Ret; args = []; ty = Ir.I32; annot = Ir.Control } ]);
+      let succs =
+        List.concat_map
+          (fun i ->
+            match i.Ir.op with
+            | Ir.Br target -> [ target ]
+            | Ir.Cond_br (a, b) -> [ a; b ]
+            | _ -> [])
+          b.Ir.instrs
+      in
+      b.Ir.succs <- List.sort_uniq compare succs)
+    arr;
+  { Ir.fname = t.fname; blocks = arr }

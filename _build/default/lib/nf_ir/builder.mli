@@ -1,0 +1,54 @@
+(** Imperative IR construction helper used by the frontend: maintains a
+    current block, fresh register numbering, and block creation with
+    source-statement attribution. *)
+
+type t = {
+  fname : string;
+  mutable blocks : Ir.block list;  (** reverse creation order *)
+  mutable current : Ir.block;
+  mutable next_reg : int;
+  mutable next_bid : int;
+}
+
+(** Fresh builder; the entry block carries [src_sid = 0] (once per
+    packet). *)
+val create : string -> t
+
+val fresh_reg : t -> int
+
+(** Append an instruction; returns [res] back for chaining. *)
+val emit :
+  t ->
+  ?res:int ->
+  op:Ir.op ->
+  args:Ir.operand list ->
+  ty:Ir.typ ->
+  annot:Ir.annot ->
+  unit ->
+  int option
+
+(** Emit with a fresh result register; returns the register. *)
+val emit_value : t -> op:Ir.op -> args:Ir.operand list -> ty:Ir.typ -> annot:Ir.annot -> int
+
+val emit_void : t -> op:Ir.op -> args:Ir.operand list -> ty:Ir.typ -> annot:Ir.annot -> unit
+
+(** Open a new block attributed to source statement [sid] and make it
+    current (not yet linked). *)
+val start_block : t -> sid:int -> Ir.block
+
+val current_bid : t -> int
+
+(** Does the current block already end in a terminator? *)
+val terminated : t -> bool
+
+(** Terminators; each is a no-op when the block is already terminated. *)
+val br : t -> int -> unit
+
+(** [cond_br t cond ~then_ ~else_] branches on the condition operand. *)
+val cond_br : t -> Ir.operand -> then_:int -> else_:int -> unit
+
+val ret : t -> unit
+
+(** Seal the function: order blocks by id, terminate stragglers with
+    [Ret], and populate successor lists. *)
+val finish : t -> Ir.func

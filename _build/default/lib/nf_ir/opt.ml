@@ -1,0 +1,117 @@
+(** Optional IR optimization passes.
+
+    The paper deliberately *disables* most LLVM optimizations so the IR
+    stays close to the source NF (§3.1).  These passes exist to quantify
+    that choice: the ablation experiment runs Clara's predictor on
+    optimized IR and shows the accuracy cost when the analyzed IR drifts
+    from the distribution the model was trained on.
+
+    Implemented passes (per-block, conservative):
+    - constant folding of arithmetic on immediates;
+    - copy/load forwarding for stack slots within a block (store-to-load);
+    - dead stateless-store elimination within a block. *)
+
+let fold_binop op a b =
+  let wrap v = v land 0xffffffff in
+  match op with
+  | Ir.Add -> Some (wrap (a + b))
+  | Ir.Sub -> Some (wrap (a - b))
+  | Ir.Mul -> Some (wrap (a * b))
+  | Ir.And -> Some (a land b)
+  | Ir.Or -> Some (a lor b)
+  | Ir.Xor -> Some (a lxor b)
+  | Ir.Shl -> Some (wrap (a lsl (b land 31)))
+  | Ir.Lshr -> Some (wrap a lsr (b land 31))
+  | Ir.Icmp _ | Ir.Zext | Ir.Trunc | Ir.Select | Ir.Load | Ir.Store | Ir.Gep | Ir.Call _
+  | Ir.Br _ | Ir.Cond_br _ | Ir.Ret ->
+    None
+
+(** Constant-fold a block: instructions whose operands are all immediates
+    become known constants; later uses of their result registers are
+    rewritten to immediates and the defining instruction is dropped. *)
+let constant_fold_block (b : Ir.block) =
+  let known = Hashtbl.create 16 in
+  let subst = function
+    | Ir.Reg r as a -> (
+      match Hashtbl.find_opt known r with Some v -> Ir.Imm v | None -> a)
+    | a -> a
+  in
+  let instrs =
+    List.filter_map
+      (fun (i : Ir.instr) ->
+        let args = List.map subst i.Ir.args in
+        let i = { i with Ir.args } in
+        match (i.Ir.res, args) with
+        | Some r, [ Ir.Imm a; Ir.Imm bv ] -> (
+          match fold_binop i.Ir.op a bv with
+          | Some v ->
+            Hashtbl.replace known r v;
+            None
+          | None -> Some i)
+        | _ -> Some i)
+      b.Ir.instrs
+  in
+  b.Ir.instrs <- instrs
+
+(** Forward a stored slot value to subsequent loads of the same slot within
+    the block, eliminating the loads (their uses are rewritten to the
+    stored operand). *)
+let forward_slots_block (b : Ir.block) =
+  let slot_value = Hashtbl.create 16 in
+  let reg_alias = Hashtbl.create 16 in
+  let subst = function
+    | Ir.Reg r as a -> ( match Hashtbl.find_opt reg_alias r with Some v -> v | None -> a)
+    | a -> a
+  in
+  let instrs =
+    List.filter_map
+      (fun (i : Ir.instr) ->
+        let args = List.map subst i.Ir.args in
+        let i = { i with Ir.args } in
+        match (i.Ir.op, i.Ir.res, args) with
+        | Ir.Store, _, [ value; Ir.Slot s ] ->
+          Hashtbl.replace slot_value s value;
+          Some i
+        | Ir.Load, Some r, [ Ir.Slot s ] -> (
+          match Hashtbl.find_opt slot_value s with
+          | Some v ->
+            Hashtbl.replace reg_alias r v;
+            None
+          | None -> Some i)
+        | _ -> Some i)
+      b.Ir.instrs
+  in
+  b.Ir.instrs <- instrs
+
+(** Remove stateless stores whose slot is overwritten later in the same
+    block without an intervening load of that slot. *)
+let dead_store_block (b : Ir.block) =
+  let rec mark = function
+    | [] -> []
+    | ({ Ir.op = Ir.Store; args = [ _; Ir.Slot s ]; annot = Ir.Mem_stateless; _ } as i) :: rest ->
+      let rec overwritten = function
+        | [] -> false
+        | { Ir.op = Ir.Load; args = [ Ir.Slot s' ]; _ } :: _ when String.equal s s' -> false
+        | { Ir.op = Ir.Store; args = [ _; Ir.Slot s' ]; _ } :: _ when String.equal s s' -> true
+        | _ :: more -> overwritten more
+      in
+      if overwritten rest then mark rest else i :: mark rest
+    | i :: rest -> i :: mark rest
+  in
+  b.Ir.instrs <- mark b.Ir.instrs
+
+(** Run the full pipeline on a copy of the function. *)
+let optimize (f : Ir.func) : Ir.func =
+  let blocks =
+    Array.map
+      (fun b -> { b with Ir.instrs = b.Ir.instrs; Ir.succs = b.Ir.succs })
+      f.Ir.blocks
+  in
+  let copy = { f with Ir.blocks = blocks } in
+  Array.iter
+    (fun b ->
+      constant_fold_block b;
+      forward_slots_block b;
+      dead_store_block b)
+    copy.Ir.blocks;
+  copy

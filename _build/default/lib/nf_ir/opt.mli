@@ -1,0 +1,22 @@
+(** Optional per-block IR optimization passes.
+
+    The paper deliberately disables optimizations so the analyzed IR stays
+    close to the source NF (§3.1); these passes exist to *quantify* that
+    choice in the ablation experiment. *)
+
+(** Fold an arithmetic opcode over two known immediates (None for
+    non-foldable opcodes). *)
+val fold_binop : Ir.op -> int -> int -> int option
+
+(** Constant-fold a block in place. *)
+val constant_fold_block : Ir.block -> unit
+
+(** Forward stored slot values to later loads within the block. *)
+val forward_slots_block : Ir.block -> unit
+
+(** Drop stateless stores overwritten without an intervening load. *)
+val dead_store_block : Ir.block -> unit
+
+(** Run the full pipeline on a copy; the input function is untouched and
+    block structure (count, ids, successors) is preserved. *)
+val optimize : Ir.func -> Ir.func

@@ -1,0 +1,12 @@
+(** IR well-formedness verifier: terminator discipline, successor-edge
+    consistency, define-before-use of registers, and annotation/opcode
+    coherence.  An empty violation list means the function is
+    well-formed. *)
+
+type violation = { block : int; message : string }
+
+(** All violations in a function. *)
+val check : Ir.func -> violation list
+
+(** @raise Failure with a readable report when the function is malformed. *)
+val check_exn : Ir.func -> unit

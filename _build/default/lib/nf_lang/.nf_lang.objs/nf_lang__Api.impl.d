@@ -1,0 +1,1 @@
+lib/nf_lang/api.ml: Bytes Char List Packet Printf String

@@ -1,0 +1,1 @@
+lib/nf_lang/api.mli: Bytes Packet

@@ -1,0 +1,1 @@
+lib/nf_lang/ast.mli:

@@ -1,0 +1,1 @@
+lib/nf_lang/build.mli: Ast

@@ -1,0 +1,1 @@
+lib/nf_lang/corpus.ml: Ast Build List Packet Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/nf_lang/interp.ml: Api Array Ast Hashtbl List Option Packet Printf State String

@@ -1,0 +1,1 @@
+lib/nf_lang/interp.mli: Ast Hashtbl Packet State

@@ -1,0 +1,1 @@
+lib/nf_lang/p4lite.ml: Array Ast Build Interp List Printf State Stdlib String

@@ -1,0 +1,1 @@
+lib/nf_lang/p4lite.mli: Ast Interp

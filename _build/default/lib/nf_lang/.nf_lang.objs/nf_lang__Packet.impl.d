@@ -1,0 +1,1 @@
+lib/nf_lang/packet.ml: Ast Bytes Char List

@@ -1,0 +1,1 @@
+lib/nf_lang/profile_report.ml: Ast Buffer Hashtbl Interp List Option Pp Printf String

@@ -1,0 +1,1 @@
+lib/nf_lang/profile_report.mli: Ast Interp

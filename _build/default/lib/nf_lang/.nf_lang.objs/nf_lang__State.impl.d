@@ -1,0 +1,1 @@
+lib/nf_lang/state.ml: Array Ast Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/nf_lang/state.mli: Ast Hashtbl

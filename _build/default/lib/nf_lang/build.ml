@@ -1,0 +1,77 @@
+(** Smart constructors for building NF element ASTs.
+
+    Every statement receives a unique [sid] from a process-global counter;
+    corpus construction order is deterministic, so sids are reproducible.
+    Corpus elements and the program synthesizer both build through this
+    module. *)
+
+open Ast
+
+let counter = ref 0
+
+let mk node =
+  incr counter;
+  { sid = !counter; node }
+
+(* Expressions *)
+let i n = Int n
+let l name = Local name
+let g name = Global name
+let hdr f = Hdr f
+let payload off = Payload_byte off
+let pkt_len = Packet_len
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( land ) a b = Bin (BAnd, a, b)
+let ( lor ) a b = Bin (BOr, a, b)
+let ( lxor ) a b = Bin (BXor, a, b)
+let ( lsl ) a b = Bin (Shl, a, b)
+let ( lsr ) a b = Bin (Shr, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Ne, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( && ) a b = And_also (a, b)
+let ( || ) a b = Or_else (a, b)
+let not_ e = Not e
+let arr_get name idx = Arr_get (name, idx)
+let vec_len name = Vec_len name
+let api name args = Api_expr (name, args)
+
+(* Statements *)
+let let_ name e = mk (Let (name, e))
+let set_g name e = mk (Set_global (name, e))
+let set_hdr f e = mk (Set_hdr (f, e))
+let set_payload off v = mk (Set_payload (off, v))
+let arr_set name idx v = mk (Arr_set (name, idx, v))
+let map_find map key dst = mk (Map_find (map, key, dst))
+let map_read map field dst = mk (Map_read (map, field, dst))
+let map_write map field v = mk (Map_write (map, field, v))
+let map_insert map key vals = mk (Map_insert (map, key, vals))
+let map_erase map = mk (Map_erase map)
+let vec_append name v = mk (Vec_append (name, v))
+let vec_get name idx dst = mk (Vec_get (name, idx, dst))
+let vec_set name idx v = mk (Vec_set (name, idx, v))
+let if_ c t f = mk (If (c, t, f))
+let when_ c t = mk (If (c, t, []))
+let while_ c body = mk (While (c, body))
+let for_ var lo hi body = mk (For (var, lo, hi, body))
+let api_stmt name args = mk (Api_stmt (name, args))
+let emit port = mk (Emit port)
+let drop = mk Drop
+let call name = mk (Call_sub name)
+let return_ = mk Return
+
+(* State declarations *)
+let scalar ?(init = 0) ?(width = 32) name = Scalar { name; width; init }
+let array ?(width = 32) name length = Array { name; width; length }
+
+let map_decl ?(capacity = 1024) name ~key_widths ~val_fields =
+  Map { name; key_widths; val_fields; capacity }
+
+let vector ?(capacity = 256) ?(elem_width = 32) name = Vector { name; elem_width; capacity }
+
+let element ?(state = []) ?(subs = []) name handler = { name; state; subs; handler }

@@ -1,0 +1,81 @@
+(** Smart constructors for building NF element ASTs.  Every statement gets
+    a unique [sid] from a process-global counter; corpus construction
+    order is deterministic, so sids are reproducible.  Opening this module
+    shadows the arithmetic and comparison operators with expression
+    builders — open it locally. *)
+
+val counter : int ref
+
+(** Wrap a node with a fresh statement id. *)
+val mk : Ast.node -> Ast.stmt
+
+(** {1 Expressions} *)
+
+val i : int -> Ast.expr
+val l : string -> Ast.expr
+val g : string -> Ast.expr
+val hdr : Ast.header_field -> Ast.expr
+val payload : Ast.expr -> Ast.expr
+val pkt_len : Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( land ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lor ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lxor ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lsl ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( lsr ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( = ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <> ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( && ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( || ) : Ast.expr -> Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val arr_get : string -> Ast.expr -> Ast.expr
+val vec_len : string -> Ast.expr
+val api : string -> Ast.expr list -> Ast.expr
+
+(** {1 Statements} *)
+
+val let_ : string -> Ast.expr -> Ast.stmt
+val set_g : string -> Ast.expr -> Ast.stmt
+val set_hdr : Ast.header_field -> Ast.expr -> Ast.stmt
+val set_payload : Ast.expr -> Ast.expr -> Ast.stmt
+val arr_set : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val map_find : string -> Ast.expr list -> string -> Ast.stmt
+val map_read : string -> string -> string -> Ast.stmt
+val map_write : string -> string -> Ast.expr -> Ast.stmt
+val map_insert : string -> Ast.expr list -> Ast.expr list -> Ast.stmt
+val map_erase : string -> Ast.stmt
+val vec_append : string -> Ast.expr -> Ast.stmt
+val vec_get : string -> Ast.expr -> string -> Ast.stmt
+val vec_set : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+val when_ : Ast.expr -> Ast.stmt list -> Ast.stmt
+val while_ : Ast.expr -> Ast.stmt list -> Ast.stmt
+val for_ : string -> Ast.expr -> Ast.expr -> Ast.stmt list -> Ast.stmt
+val api_stmt : string -> Ast.expr list -> Ast.stmt
+val emit : int -> Ast.stmt
+val drop : Ast.stmt
+val call : string -> Ast.stmt
+val return_ : Ast.stmt
+
+(** {1 State declarations and elements} *)
+
+val scalar : ?init:int -> ?width:int -> string -> Ast.state_decl
+val array : ?width:int -> string -> int -> Ast.state_decl
+
+val map_decl :
+  ?capacity:int -> string -> key_widths:int list -> val_fields:(string * int) list -> Ast.state_decl
+
+val vector : ?capacity:int -> ?elem_width:int -> string -> Ast.state_decl
+
+val element :
+  ?state:Ast.state_decl list ->
+  ?subs:(string * Ast.stmt list) list ->
+  string ->
+  Ast.stmt list ->
+  Ast.element

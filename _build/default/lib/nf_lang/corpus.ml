@@ -1,0 +1,1157 @@
+(** Corpus of real-world-style Click elements (Table 2 + Figure 1).
+
+    Each function rebuilds one of the paper's evaluated Click NFs with
+    faithful core logic: the same state structures, framework API usage,
+    and control-flow shape.  Accelerator-relevant elements (cmsketch,
+    wepdecap, iplookup) implement their algorithms *procedurally* — the
+    form Clara's algorithm identification must recognize — and have
+    [_accel] variants representing the Clara-suggested port that uses the
+    ASIC engines instead. *)
+
+open Ast
+
+(* Flow key shared by the stateful elements: (src ip, dst ip, ports). *)
+let flow_key = Build.[ hdr Ip_src; hdr Ip_dst; hdr Tcp_sport; hdr Tcp_dport ]
+let reverse_flow_key = Build.[ hdr Ip_dst; hdr Ip_src; hdr Tcp_dport; hdr Tcp_sport ]
+
+(* ------------------------------------------------------------------ *)
+(* Stateless header-manipulation elements                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Anonymize addresses: keyed hash of src/dst IPs, checksum fix-up. *)
+let anonipaddr () =
+  let open Build in
+  element "anonipaddr"
+    [ let_ "key" (i 0x5aa5c3d2);
+      let_ "old_src" (hdr Ip_src);
+      let_ "old_dst" (hdr Ip_dst);
+      let_ "anon_src" ((l "old_src" lxor l "key") land i 0xffffff00 lor (l "old_src" land i 0xff));
+      let_ "anon_dst" ((l "old_dst" lxor l "key") land i 0xffffff00 lor (l "old_dst" land i 0xff));
+      set_hdr Ip_src (l "anon_src");
+      set_hdr Ip_dst (l "anon_dst");
+      when_ (hdr Ip_ttl <= i 1) [ drop ];
+      set_hdr Ip_ttl (hdr Ip_ttl - i 1);
+      api_stmt "checksum_update_ip" [];
+      emit 0 ]
+
+(** Validate and normalize TCP acknowledgments. *)
+let tcpack () =
+  let open Build in
+  element "tcpack"
+    [ when_ (hdr Ip_proto <> i Packet.tcp_proto) [ drop ];
+      let_ "flags" (hdr Tcp_flags);
+      let_ "is_ack" (l "flags" land i 0x10);
+      if_
+        (l "is_ack" <> i 0)
+        [ let_ "ack" (hdr Tcp_ack);
+          let_ "expected" (hdr Tcp_seq + (pkt_len - ((hdr Ip_hl + hdr Tcp_off) lsl i 2)));
+          when_ (l "ack" > l "expected") [ set_hdr Tcp_ack (l "expected") ];
+          set_hdr Tcp_win (api "min" [ hdr Tcp_win; i 0xffff ]);
+          emit 0 ]
+        [ (* not an ACK: pass SYN/FIN through, clamp anything else *)
+          when_ ((l "flags" land i 0x03) = i 0) [ set_hdr Tcp_flags (l "flags" lor i 0x10) ];
+          emit 0 ] ]
+
+(** Encapsulate the packet in a fresh UDP/IP header. *)
+let udpipencap () =
+  let open Build in
+  element "udpipencap"
+    [ let_ "inner_len" pkt_len;
+      set_hdr Udp_sport (i 4789);
+      set_hdr Udp_dport (i 4789);
+      set_hdr Udp_len (l "inner_len" + i 8);
+      set_hdr Ip_len (l "inner_len" + i 28);
+      set_hdr Ip_proto (i Packet.udp_proto);
+      set_hdr Ip_ttl (i 64);
+      set_hdr Ip_tos (i 0);
+      set_hdr Ip_id ((l "inner_len" lxor api "rand16" []) land i 0xffff);
+      set_hdr Ip_src (i 0x0a0a0001);
+      set_hdr Ip_dst (i 0x0a0a0002);
+      set_hdr Udp_csum (i 0);
+      api_stmt "checksum_update_ip" [];
+      emit 0 ]
+
+(** Coerce arbitrary IP packets into well-formed TCP (Click's ForceTCP). *)
+let forcetcp () =
+  let open Build in
+  element "forcetcp"
+    [ when_ (hdr Eth_type <> i 0x0800) [ drop ];
+      let_ "hl" (hdr Ip_hl);
+      when_ (l "hl" < i 5) [ set_hdr Ip_hl (i 5); let_ "hl" (i 5) ];
+      set_hdr Ip_proto (i Packet.tcp_proto);
+      let_ "doff" (hdr Tcp_off);
+      when_ (l "doff" < i 5 || l "doff" > i 15) [ set_hdr Tcp_off (i 5) ];
+      let_ "flags" (hdr Tcp_flags);
+      let_ "bad_mask" (i 0x06);
+      (* SYN+RST is never valid together *)
+      when_
+        ((l "flags" land l "bad_mask") = l "bad_mask")
+        [ set_hdr Tcp_flags (l "flags" land not_ (i 0x04) land i 0xff) ];
+      let_ "hdr_bytes" ((l "hl" + hdr Tcp_off) lsl i 2);
+      when_ (l "hdr_bytes" > hdr Ip_len) [ set_hdr Ip_len (l "hdr_bytes") ];
+      when_ ((hdr Tcp_sport = i 0) || (hdr Tcp_dport = i 0))
+        [ set_hdr Tcp_sport (api "max" [ hdr Tcp_sport; i 1 ]);
+          set_hdr Tcp_dport (api "max" [ hdr Tcp_dport; i 1 ]) ];
+      api_stmt "checksum_update_ip" [];
+      emit 0 ]
+
+(** Craft a TCP response for an incoming segment (SYN->SYN/ACK etc.). *)
+let tcpresp () =
+  let open Build in
+  element "tcpresp"
+    [ when_ (hdr Ip_proto <> i Packet.tcp_proto) [ drop ];
+      let_ "flags" (hdr Tcp_flags);
+      let_ "tmp_ip" (hdr Ip_src);
+      set_hdr Ip_src (hdr Ip_dst);
+      set_hdr Ip_dst (l "tmp_ip");
+      let_ "tmp_port" (hdr Tcp_sport);
+      set_hdr Tcp_sport (hdr Tcp_dport);
+      set_hdr Tcp_dport (l "tmp_port");
+      let_ "payload_bytes" (pkt_len - ((hdr Ip_hl + hdr Tcp_off) lsl i 2) - i 14);
+      if_
+        ((l "flags" land i 0x02) <> i 0)
+        [ (* SYN: answer SYN/ACK with a hash-derived ISS *)
+          let_ "iss" (api "hash32" [ hdr Ip_src; hdr Ip_dst; hdr Tcp_sport ]);
+          set_hdr Tcp_ack (hdr Tcp_seq + i 1);
+          set_hdr Tcp_seq (l "iss");
+          set_hdr Tcp_flags (i 0x12);
+          emit 0 ]
+        [ if_
+            ((l "flags" land i 0x01) <> i 0)
+            [ (* FIN: acknowledge and close *)
+              set_hdr Tcp_ack (hdr Tcp_seq + i 1);
+              set_hdr Tcp_flags (i 0x11);
+              emit 0 ]
+            [ (* data segment: pure ACK covering the payload *)
+              set_hdr Tcp_ack (hdr Tcp_seq + api "max" [ l "payload_bytes"; i 0 ]);
+              let_ "old_seq" (hdr Tcp_seq);
+              set_hdr Tcp_seq (hdr Tcp_ack);
+              set_hdr Tcp_flags (i 0x10);
+              set_hdr Tcp_win (api "max" [ i 1024; hdr Tcp_win - l "payload_bytes" ]);
+              api_stmt "csum_incr_update" [ l "old_seq"; hdr Tcp_seq ];
+              emit 0 ] ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Stateful elements with scalar-heavy state (coalescing targets)      *)
+(* ------------------------------------------------------------------ *)
+
+(** Stateful TCP traffic generator (the §5.6 coalescing example: clusters
+    {sport,dport}, {tcp_state,send_next,recv_next}, and far-apart
+    good_pkt/bad_pkt). *)
+let tcpgen () =
+  let open Build in
+  element "tcpgen"
+    ~state:
+      [ scalar "tcp_state"; scalar "send_next"; scalar "recv_next"; scalar "iss";
+        scalar "sport" ~init:1024; scalar "dport" ~init:80; scalar "good_pkt";
+        scalar "bad_pkt"; scalar "window" ~init:65535; scalar "gen_count" ]
+    [ when_ (hdr Ip_proto <> i Packet.tcp_proto) [ set_g "bad_pkt" (g "bad_pkt" + i 1); drop ];
+      (* index the flow: source and destination ports together *)
+      set_hdr Tcp_sport (g "sport");
+      set_hdr Tcp_dport (g "dport");
+      let_ "flags" (hdr Tcp_flags);
+      if_
+        ((l "flags" land i 0x10) <> i 0 && (g "tcp_state" = i 0))
+        [ (* ACK of our SYN: connection established *)
+          when_
+            (hdr Tcp_ack = (g "iss" + i 1))
+            [ set_g "tcp_state" (i 1);
+              set_g "send_next" (g "iss" + i 1);
+              set_g "recv_next" (hdr Tcp_seq + i 1) ] ]
+        [ if_
+            (g "tcp_state" = i 1)
+            [ (* established: emit next segment *)
+              set_hdr Tcp_seq (g "send_next");
+              set_hdr Tcp_ack (g "recv_next");
+              set_g "send_next" (g "send_next" + (pkt_len - i 54));
+              set_hdr Tcp_win (g "window");
+              set_g "good_pkt" (g "good_pkt" + i 1) ]
+            [ (* closed: start a handshake *)
+              set_g "iss" (api "hash32" [ g "gen_count"; g "sport" ]);
+              set_hdr Tcp_seq (g "iss");
+              set_hdr Tcp_flags (i 0x02);
+              set_g "tcp_state" (i 0) ] ];
+      set_g "gen_count" (g "gen_count" + i 1);
+      when_ ((g "gen_count" land i 0x3ff) = i 0)
+        [ set_g "sport" (((g "sport" + i 1) land i 0xffff) lor i 1024) ];
+      api_stmt "checksum_update_ip" [];
+      emit 0 ]
+
+(** Aggregate counters keyed by destination prefix. *)
+let aggcounter () =
+  let open Build in
+  element "aggcounter"
+    ~state:
+      [ array "agg_counts" 1024; scalar "total_count"; scalar "total_bytes";
+        scalar "active_buckets" ]
+    [ let_ "bucket" (api "hash32" [ hdr Ip_dst lsr i 8 ] land i 1023);
+      let_ "old" (arr_get "agg_counts" (l "bucket"));
+      when_ (l "old" = i 0) [ set_g "active_buckets" (g "active_buckets" + i 1) ];
+      arr_set "agg_counts" (l "bucket") (l "old" + i 1);
+      set_g "total_count" (g "total_count" + i 1);
+      set_g "total_bytes" (g "total_bytes" + pkt_len);
+      emit 0 ]
+
+(** Pass packets inside a sliding time window; track per-window stats. *)
+let timefilter () =
+  let open Build in
+  element "timefilter"
+    ~state:
+      [ scalar "window_start"; scalar "window_len" ~init:1024; scalar "in_window";
+        scalar "rejected"; scalar "last_stamp"; scalar "epoch" ]
+    [ let_ "ts" (api "now" []);
+      set_g "last_stamp" (l "ts");
+      when_
+        (l "ts" >= (g "window_start" + g "window_len"))
+        [ (* rotate the window *)
+          set_g "window_start" (l "ts");
+          set_g "epoch" (g "epoch" + i 1);
+          set_g "in_window" (i 0) ];
+      if_
+        (l "ts" >= g "window_start" && l "ts" < (g "window_start" + g "window_len"))
+        [ set_g "in_window" (g "in_window" + i 1);
+          (* tag the packet with the epoch for downstream elements *)
+          set_hdr Ip_id (g "epoch" land i 0xffff);
+          emit 0 ]
+        [ set_g "rejected" (g "rejected" + i 1); drop ] ]
+
+(** TCP web-server front-end state machine (Figure 13's "webtcp"). *)
+let webtcp () =
+  let open Build in
+  element "webtcp"
+    ~state:
+      [ scalar "listen_port" ~init:80; scalar "conn_state"; scalar "req_count";
+        scalar "resp_count"; scalar "bytes_in"; scalar "bytes_out"; scalar "cur_seq";
+        scalar "cur_ack"; scalar "retrans"; scalar "drops" ]
+    [ when_ (hdr Ip_proto <> i Packet.tcp_proto) [ set_g "drops" (g "drops" + i 1); drop ];
+      when_ (hdr Tcp_dport <> g "listen_port") [ set_g "drops" (g "drops" + i 1); drop ];
+      let_ "flags" (hdr Tcp_flags);
+      if_
+        ((l "flags" land i 0x02) <> i 0)
+        [ (* SYN: move to SYN_RCVD *)
+          set_g "conn_state" (i 1);
+          set_g "cur_seq" (api "hash32" [ hdr Ip_src; hdr Tcp_sport ]);
+          set_g "cur_ack" (hdr Tcp_seq + i 1);
+          set_hdr Tcp_flags (i 0x12);
+          set_hdr Tcp_seq (g "cur_seq");
+          set_hdr Tcp_ack (g "cur_ack");
+          emit 0 ]
+        [ if_
+            (g "conn_state" >= i 1)
+            [ set_g "req_count" (g "req_count" + i 1);
+              set_g "bytes_in" (g "bytes_in" + pkt_len);
+              (* serve: advance sequence space and echo an ACK *)
+              set_g "cur_seq" (g "cur_seq" + i 512);
+              set_g "cur_ack" (hdr Tcp_seq + (pkt_len - i 54));
+              set_hdr Tcp_seq (g "cur_seq");
+              set_hdr Tcp_ack (g "cur_ack");
+              set_g "resp_count" (g "resp_count" + i 1);
+              set_g "bytes_out" (g "bytes_out" + i 512);
+              when_ (hdr Tcp_seq < g "cur_ack") [ set_g "retrans" (g "retrans" + i 1) ];
+              emit 0 ]
+            [ set_g "drops" (g "drops" + i 1); drop ] ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Accelerator-algorithm elements (procedural + _accel ports)          *)
+(* ------------------------------------------------------------------ *)
+
+(** Procedural CRC32 over the first [n] payload bytes: the bitwise loop
+    Clara's classifier recognizes (§4.1: high density of xor/and/shifts). *)
+let crc32_block ~bytes ~dst =
+  let open Build in
+  [ let_ dst (i 0xffffff);
+    for_ "ci" (i 0) (i bytes)
+      [ let_ "byte" (payload (l "ci"));
+        let_ dst (l dst lxor l "byte");
+        for_ "cb" (i 0) (i 8)
+          [ let_ "lsb" (l dst land i 1);
+            let_ dst (l dst lsr i 1);
+            when_ (l "lsb" <> i 0) [ let_ dst (l dst lxor i 0xedb88320) ] ] ] ]
+
+(** Count-min sketch with procedural CRC row hashes. *)
+let cmsketch () =
+  let open Build in
+  element "cmsketch"
+    ~state:[ array "sketch0" 2048; array "sketch1" 2048; scalar "updates"; scalar "heavy_flag" ]
+    (crc32_block ~bytes:16 ~dst:"sig"
+    @ [ let_ "h0" (l "sig" land i 2047);
+        let_ "h1" ((l "sig" lsr i 11) lxor (hdr Ip_src land i 2047) land i 2047);
+        let_ "c0" (arr_get "sketch0" (l "h0") + i 1);
+        let_ "c1" (arr_get "sketch1" (l "h1") + i 1);
+        arr_set "sketch0" (l "h0") (l "c0");
+        arr_set "sketch1" (l "h1") (l "c1");
+        set_g "updates" (g "updates" + i 1);
+        let_ "estimate" (api "min" [ l "c0"; l "c1" ]);
+        when_ (l "estimate" > i 1000) [ set_g "heavy_flag" (i 1) ];
+        emit 0 ])
+
+(** The Clara port of cmsketch: row signatures from the CRC engine. *)
+let cmsketch_accel () =
+  let open Build in
+  element "cmsketch_accel"
+    ~state:[ array "sketch0" 2048; array "sketch1" 2048; scalar "updates"; scalar "heavy_flag" ]
+    [ let_ "sig" (api "crc32_payload" [ i 0; i 16 ]);
+      let_ "h0" (l "sig" land i 2047);
+      let_ "h1" ((l "sig" lsr i 11) lxor (hdr Ip_src land i 2047) land i 2047);
+      let_ "c0" (arr_get "sketch0" (l "h0") + i 1);
+      let_ "c1" (arr_get "sketch1" (l "h1") + i 1);
+      arr_set "sketch0" (l "h0") (l "c0");
+      arr_set "sketch1" (l "h1") (l "c1");
+      set_g "updates" (g "updates" + i 1);
+      let_ "estimate" (api "min" [ l "c0"; l "c1" ]);
+      when_ (l "estimate" > i 1000) [ set_g "heavy_flag" (i 1) ];
+      emit 0 ]
+
+(** WEP decapsulation: RC4-style keystream mix plus a procedural CRC32
+    integrity check (the paper's 'rc4' element inside wepdecap). *)
+let wepdecap () =
+  let open Build in
+  element "wepdecap"
+    ~state:[ array "rc4_s" 256; scalar "decap_count"; scalar "icv_fail" ]
+    ([ let_ "ki" (i 0);
+       let_ "kj" (i 0);
+       (* keystream mixing over the first payload bytes *)
+       for_ "wi" (i 0) (i 8)
+         [ let_ "ki" ((l "ki" + i 1) land i 255);
+           let_ "sv" (arr_get "rc4_s" (l "ki"));
+           let_ "kj" ((l "kj" + l "sv") land i 255);
+           let_ "swap" (arr_get "rc4_s" (l "kj"));
+           arr_set "rc4_s" (l "ki") (l "swap");
+           arr_set "rc4_s" (l "kj") (l "sv");
+           let_ "ks" (arr_get "rc4_s" ((l "sv" + l "swap") land i 255));
+           set_payload (l "wi") (payload (l "wi") lxor l "ks") ] ]
+    @ crc32_block ~bytes:20 ~dst:"icv"
+    @ [ let_ "expected"
+          (payload (i 20) lor (payload (i 21) lsl i 8) lor (payload (i 22) lsl i 16));
+        if_
+          ((l "icv" land i 0xffffff) = l "expected")
+          [ set_g "decap_count" (g "decap_count" + i 1); emit 0 ]
+          [ set_g "icv_fail" (g "icv_fail" + i 1); drop ] ])
+
+(** Clara port of wepdecap: integrity check through the CRC engine. *)
+let wepdecap_accel () =
+  let open Build in
+  element "wepdecap_accel"
+    ~state:[ array "rc4_s" 256; scalar "decap_count"; scalar "icv_fail" ]
+    [ let_ "ki" (i 0);
+      let_ "kj" (i 0);
+      for_ "wi" (i 0) (i 8)
+        [ let_ "ki" ((l "ki" + i 1) land i 255);
+          let_ "sv" (arr_get "rc4_s" (l "ki"));
+          let_ "kj" ((l "kj" + l "sv") land i 255);
+          let_ "swap" (arr_get "rc4_s" (l "kj"));
+          arr_set "rc4_s" (l "ki") (l "swap");
+          arr_set "rc4_s" (l "kj") (l "sv");
+          let_ "ks" (arr_get "rc4_s" ((l "sv" + l "swap") land i 255));
+          set_payload (l "wi") (payload (l "wi") lxor l "ks") ];
+      let_ "icv" (api "crc32_payload" [ i 0; i 20 ]);
+      let_ "expected"
+        (payload (i 20) lor (payload (i 21) lsl i 8) lor (payload (i 22) lsl i 16));
+      if_
+        ((l "icv" land i 0xffffff) = l "expected")
+        [ set_g "decap_count" (g "decap_count" + i 1); emit 0 ]
+        [ set_g "icv_fail" (g "icv_fail" + i 1); drop ] ]
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+(** Longest-prefix-match IP lookup via a procedural binary-trie walk whose
+    depth scales with the rule count (the paper's 'radixiplookup'). *)
+let iplookup_with_rules rules =
+  let depth = max 2 (log2_ceil rules + 4) in
+  let trie_nodes = 4 * rules in
+  let open Build in
+  element (Printf.sprintf "iplookup_%d" rules)
+    ~state:
+      [ array "trie_left" trie_nodes; array "trie_right" trie_nodes;
+        array "trie_nexthop" trie_nodes; scalar "lookups"; scalar "default_routes" ]
+    [ let_ "addr" (hdr Ip_dst);
+      let_ "node" (i 0);
+      let_ "best" (i 0);
+      for_ "bit" (i 0) (i depth)
+        [ (* pointer chase: child index from the current address bit *)
+          let_ "b" ((l "addr" lsr (i 31 - l "bit")) land i 1);
+          let_ "nh" (arr_get "trie_nexthop" (l "node"));
+          when_ (l "nh" <> i 0) [ let_ "best" (l "nh") ];
+          if_
+            (l "b" = i 0)
+            [ let_ "node" (arr_get "trie_left" (l "node")) ]
+            [ let_ "node" (arr_get "trie_right" (l "node")) ] ];
+      set_g "lookups" (g "lookups" + i 1);
+      if_
+        (l "best" = i 0)
+        [ set_g "default_routes" (g "default_routes" + i 1); emit 0 ]
+        [ set_hdr Ip_ttl (hdr Ip_ttl - i 1); api_stmt "csum_incr_update" [ i 0; i 1 ]; emit (* port *) 1 ] ]
+
+let iplookup () = iplookup_with_rules 256
+
+(** Clara port of iplookup: flow-cache front-end plus the LPM engine. *)
+let iplookup_accel_with_rules rules =
+  let open Build in
+  element (Printf.sprintf "iplookup_accel_%d" rules)
+    ~state:[ scalar "lookups"; scalar "default_routes" ]
+    [ let_ "hit" (api "flow_cache_lookup" [ hdr Ip_dst ]);
+      let_ "best" (i 0);
+      if_
+        (l "hit" <> i 0)
+        [ let_ "best" (hdr Ip_dst land i 0xff) ]
+        [ let_ "best" (api "lpm_lookup" [ hdr Ip_dst ]) ];
+      set_g "lookups" (g "lookups" + i 1);
+      if_
+        (l "best" = i 0)
+        [ set_g "default_routes" (g "default_routes" + i 1); emit 0 ]
+        [ set_hdr Ip_ttl (hdr Ip_ttl - i 1); api_stmt "csum_incr_update" [ i 0; i 1 ]; emit 1 ] ]
+
+let iplookup_accel () = iplookup_accel_with_rules 256
+
+(* ------------------------------------------------------------------ *)
+(* Map-heavy stateful elements                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Bidirectional flow rewriter (Click's IPRewriter core). *)
+let iprewriter () =
+  let open Build in
+  element "iprewriter"
+    ~state:
+      [ map_decl "fwd_map" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("new_ip", 32); ("new_port", 16) ] ~capacity:4096;
+        map_decl "rev_map" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("new_ip", 32); ("new_port", 16) ] ~capacity:4096;
+        scalar "rewrites"; scalar "misses" ]
+    [ map_find "fwd_map" flow_key "fwd_hit";
+      if_
+        (l "fwd_hit" <> i 0)
+        [ map_read "fwd_map" "new_ip" "nip";
+          map_read "fwd_map" "new_port" "nport";
+          set_hdr Ip_dst (l "nip");
+          set_hdr Tcp_dport (l "nport");
+          set_g "rewrites" (g "rewrites" + i 1);
+          api_stmt "checksum_update_ip" [];
+          emit 0 ]
+        [ map_find "rev_map" reverse_flow_key "rev_hit";
+          if_
+            (l "rev_hit" <> i 0)
+            [ map_read "rev_map" "new_ip" "nip";
+              map_read "rev_map" "new_port" "nport";
+              set_hdr Ip_src (l "nip");
+              set_hdr Tcp_sport (l "nport");
+              set_g "rewrites" (g "rewrites" + i 1);
+              api_stmt "checksum_update_ip" [];
+              emit 1 ]
+            [ (* install both directions *)
+              let_ "mapped_ip" (i 0x0a630000 lor (hdr Ip_src land i 0xffff));
+              let_ "mapped_port" ((api "hash32" [ hdr Tcp_sport; hdr Ip_src ] land i 0x3fff) + i 1024);
+              map_insert "fwd_map" flow_key [ l "mapped_ip"; l "mapped_port" ];
+              map_insert "rev_map" reverse_flow_key [ hdr Ip_src; hdr Tcp_sport ];
+              set_g "misses" (g "misses" + i 1);
+              emit 0 ] ] ]
+
+(** Many-rule header classifier feeding per-class counters. *)
+let ipclassifier () =
+  let open Build in
+  let rule k proto port port_hi prefix =
+    when_
+      ((hdr Ip_proto = i proto) && ((hdr Ip_dst lsr i 16) = i prefix)
+      && (hdr Tcp_dport >= i port)
+      && (hdr Tcp_dport < i port_hi))
+      [ let_ "class" (i k);
+        arr_set "class_counts" (i k) (arr_get "class_counts" (i k) + i 1) ]
+  in
+  let rules =
+    List.init 24 (fun k ->
+        let proto = if Stdlib.( = ) (k mod 3) 0 then Packet.udp_proto else Packet.tcp_proto in
+        let port = Stdlib.( + ) 80 (Stdlib.( * ) k 32) in
+        rule k proto port (Stdlib.( + ) port 16) (Stdlib.( + ) 0x0a00 (Stdlib.( * ) k 7)))
+  in
+  element "ipclassifier"
+    ~state:[ array "class_counts" 64; scalar "unclassified"; scalar "seen" ]
+    ([ set_g "seen" (g "seen" + i 1); let_ "class" (i (-1)) ]
+    @ rules
+    @ [ if_
+          (l "class" < i 0)
+          [ set_g "unclassified" (g "unclassified" + i 1); drop ]
+          [ (* class 0..7 keeps priority handling *)
+            when_ (l "class" < i 8) [ set_hdr Ip_tos (i 0x10) ];
+            emit 0 ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Large composite NFs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** DNS proxy over UDP: query cache with negative entries, label parsing
+    with compression pointers, per-qtype accounting, response-code
+    handling, truncation retry and upstream-miss rate limiting. *)
+let dnsproxy () =
+  let open Build in
+  element "DNSProxy"
+    ~state:
+      [ map_decl "dns_cache" ~key_widths:[ 32; 16 ]
+          ~val_fields:[ ("answer_ip", 32); ("ttl", 16); ("hits", 16); ("negative", 16) ]
+          ~capacity:8192;
+        array "qtype_counts" 32;
+        scalar "queries"; scalar "answers"; scalar "cache_hits"; scalar "cache_misses";
+        scalar "neg_hits"; scalar "malformed"; scalar "truncated"; scalar "servfail";
+        scalar "upstream_budget" ~init:256; scalar "upstream_dropped";
+        vector "pending_ids" ~capacity:512 ]
+    ~subs:
+      [ ( "parse_qname",
+          [ (* walk DNS labels: 12-byte header, then length-prefixed labels;
+               a 0xc0 prefix is a compression pointer ending the name *)
+            let_ "qoff" (i 12);
+            let_ "qhash" (i 0x1505);
+            let_ "compressed" (i 0);
+            let_ "label_len" (payload (l "qoff"));
+            while_
+              (l "label_len" <> i 0 && l "qoff" < i 24 && l "compressed" = i 0)
+              [ if_
+                  ((l "label_len" land i 0xc0) = i 0xc0)
+                  [ (* pointer: mix in the target offset and stop *)
+                    let_ "ptr" (((l "label_len" land i 0x3f) lsl i 8) lor payload (l "qoff" + i 1));
+                    let_ "qhash" ((l "qhash" lsl i 5) + l "qhash" + l "ptr" land i 0xffffff);
+                    let_ "compressed" (i 1) ]
+                  [ for_ "li" (i 0) (l "label_len")
+                      [ let_ "ch" (payload (l "qoff" + i 1 + l "li"));
+                        (* case-fold: DNS names compare case-insensitively *)
+                        when_ (l "ch" >= i 65 && l "ch" <= i 90) [ let_ "ch" (l "ch" + i 32) ];
+                        let_ "qhash" ((l "qhash" lsl i 5) + l "qhash" + l "ch" land i 0xffffff) ];
+                    let_ "qoff" (l "qoff" + l "label_len" + i 1);
+                    let_ "label_len" (payload (l "qoff")) ] ] ] );
+        ( "swap_and_reply",
+          [ let_ "tmp_ip" (hdr Ip_src);
+            set_hdr Ip_src (hdr Ip_dst);
+            set_hdr Ip_dst (l "tmp_ip");
+            let_ "tmp_port" (hdr Udp_sport);
+            set_hdr Udp_sport (hdr Udp_dport);
+            set_hdr Udp_dport (l "tmp_port");
+            api_stmt "checksum_update_ip" [] ] ) ]
+    [ when_ (hdr Ip_proto <> i Packet.udp_proto) [ drop ];
+      when_ (hdr Udp_dport <> i 53 && hdr Udp_sport <> i 53) [ drop ];
+      when_ (hdr Udp_len < i 20) [ set_g "malformed" (g "malformed" + i 1); drop ];
+      let_ "dns_id" (payload (i 0) lor (payload (i 1) lsl i 8));
+      let_ "flags_hi" (payload (i 2));
+      let_ "qr" (l "flags_hi" lsr i 7);
+      let_ "tc" ((l "flags_hi" lsr i 1) land i 1);
+      let_ "rcode" (payload (i 3) land i 0x0f);
+      (* qtype sits right after the name; approximate from the fixed probe
+         window and account per type *)
+      let_ "qtype" (payload (i 24) land i 31);
+      arr_set "qtype_counts" (l "qtype") (arr_get "qtype_counts" (l "qtype") + i 1);
+      call "parse_qname";
+      if_
+        (l "qr" = i 0)
+        [ (* query path *)
+          set_g "queries" (g "queries" + i 1);
+          map_find "dns_cache" [ l "qhash"; l "qtype" ] "hit";
+          if_
+            (l "hit" <> i 0)
+            [ map_read "dns_cache" "negative" "neg";
+              if_
+                (l "neg" <> i 0)
+                [ (* cached NXDOMAIN: answer rcode 3 without an A record *)
+                  set_g "neg_hits" (g "neg_hits" + i 1);
+                  set_payload (i 2) (i 0x80);
+                  set_payload (i 3) (i 0x03);
+                  call "swap_and_reply";
+                  emit 0 ]
+                [ set_g "cache_hits" (g "cache_hits" + i 1);
+                  map_read "dns_cache" "answer_ip" "aip";
+                  map_read "dns_cache" "hits" "hcount";
+                  map_write "dns_cache" "hits" (l "hcount" + i 1);
+                  (* synthesize the answer record in place *)
+                  set_payload (i 2) (i 0x80);
+                  set_payload (i 3) (i 0x00);
+                  set_payload (i 7) (i 1);  (* ancount = 1 *)
+                  set_payload (i 28) (l "aip" land i 0xff);
+                  set_payload (i 29) ((l "aip" lsr i 8) land i 0xff);
+                  set_payload (i 30) ((l "aip" lsr i 16) land i 0xff);
+                  set_payload (i 31) ((l "aip" lsr i 24) land i 0xff);
+                  call "swap_and_reply";
+                  set_g "answers" (g "answers" + i 1);
+                  emit 0 ] ]
+            [ (* miss: forward upstream under a budget *)
+              set_g "cache_misses" (g "cache_misses" + i 1);
+              if_
+                (g "upstream_budget" > i 0)
+                [ set_g "upstream_budget" (g "upstream_budget" - i 1);
+                  vec_append "pending_ids" (l "dns_id");
+                  emit 1 ]
+                [ (* over budget: SERVFAIL back to the client *)
+                  set_g "upstream_dropped" (g "upstream_dropped" + i 1);
+                  set_payload (i 2) (i 0x80);
+                  set_payload (i 3) (i 0x02);
+                  call "swap_and_reply";
+                  emit 0 ] ] ]
+        [ (* response path *)
+          set_g "upstream_budget" (api "min" [ g "upstream_budget" + i 1; i 256 ]);
+          when_ (l "tc" <> i 0)
+            [ (* truncated: client must retry over TCP; don't cache *)
+              set_g "truncated" (g "truncated" + i 1);
+              emit 0 ];
+          if_
+            (l "rcode" = i 0)
+            [ let_ "aip"
+                (payload (i 28) lor (payload (i 29) lsl i 8) lor (payload (i 30) lsl i 16)
+                lor (payload (i 31) lsl i 24));
+              map_insert "dns_cache" [ l "qhash"; l "qtype" ] [ l "aip"; i 300; i 0; i 0 ];
+              set_g "answers" (g "answers" + i 1);
+              emit 0 ]
+            [ if_
+                (l "rcode" = i 3)
+                [ (* NXDOMAIN: negative-cache with a short TTL *)
+                  map_insert "dns_cache" [ l "qhash"; l "qtype" ] [ i 0; i 30; i 0; i 1 ];
+                  emit 0 ]
+                [ set_g "servfail" (g "servfail" + i 1); emit 0 ] ] ] ]
+
+(** Mazu-NAT: full bidirectional NAT with port allocation, flow timeout
+    scanning and checksum maintenance — the paper's largest NF. *)
+let mazu_nat () =
+  let open Build in
+  element "Mazu-NAT"
+    ~state:
+      [ map_decl "int_map" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("ext_ip", 32); ("ext_port", 16); ("last_seen", 32); ("tcp_state", 16) ]
+          ~capacity:8192;
+        map_decl "ext_map" ~key_widths:[ 32; 16 ]
+          ~val_fields:[ ("int_ip", 32); ("int_port", 16); ("last_seen", 32) ] ~capacity:8192;
+        scalar "next_tcp_port" ~init:10000; scalar "next_udp_port" ~init:32000;
+        scalar "nat_ip" ~init:0xc0a80101;
+        scalar "translations"; scalar "expired"; scalar "rejected"; scalar "syn_seen";
+        scalar "fin_seen"; scalar "rst_seen"; scalar "icmp_passed"; scalar "hairpins";
+        scalar "port_wraps"; scalar "bytes_out"; scalar "bytes_in";
+        vector "recent_ports" ~capacity:128 ]
+    ~subs:
+      [ ( "alloc_port",
+          [ if_
+              (hdr Ip_proto = i Packet.udp_proto)
+              [ set_g "next_udp_port" (g "next_udp_port" + i 1);
+                when_ (g "next_udp_port" > i 60000)
+                  [ set_g "next_udp_port" (i 32000); set_g "port_wraps" (g "port_wraps" + i 1) ];
+                let_ "fresh_port" (g "next_udp_port") ]
+              [ set_g "next_tcp_port" (g "next_tcp_port" + i 1);
+                when_ (g "next_tcp_port" > i 31999)
+                  [ set_g "next_tcp_port" (i 10000); set_g "port_wraps" (g "port_wraps" + i 1) ];
+                let_ "fresh_port" (g "next_tcp_port") ];
+            vec_append "recent_ports" (l "fresh_port") ] );
+        ( "track_flags",
+          [ when_
+              (hdr Ip_proto = i Packet.tcp_proto)
+              [ let_ "fl" (hdr Tcp_flags);
+                when_ ((l "fl" land i 0x02) <> i 0) [ set_g "syn_seen" (g "syn_seen" + i 1) ];
+                when_ ((l "fl" land i 0x01) <> i 0) [ set_g "fin_seen" (g "fin_seen" + i 1) ];
+                when_ ((l "fl" land i 0x04) <> i 0) [ set_g "rst_seen" (g "rst_seen" + i 1) ] ] ] ) ]
+    [ when_ (hdr Eth_type <> i 0x0800) [ set_g "rejected" (g "rejected" + i 1); drop ];
+      (* ICMP passes through untranslated (error relay) *)
+      when_ (hdr Ip_proto = i 1)
+        [ set_g "icmp_passed" (g "icmp_passed" + i 1); emit 0 ];
+      when_ (hdr Ip_proto <> i Packet.tcp_proto && hdr Ip_proto <> i Packet.udp_proto)
+        [ set_g "rejected" (g "rejected" + i 1); drop ];
+      call "track_flags";
+      let_ "hdr_size" ((hdr Ip_hl + hdr Tcp_off) lsl i 2);
+      when_ (l "hdr_size" > hdr Ip_len) [ set_g "rejected" (g "rejected" + i 1); drop ];
+      when_ (hdr Ip_ttl <= i 1) [ set_g "rejected" (g "rejected" + i 1); drop ];
+      set_hdr Ip_ttl (hdr Ip_ttl - i 1);
+      let_ "from_internal" (api "min" [ (hdr Ip_src lsr i 24) = i 0x0a; i 1 ]);
+      (* hairpin: internal source talking to the NAT address itself *)
+      when_
+        (l "from_internal" <> i 0 && (hdr Ip_dst = g "nat_ip"))
+        [ set_g "hairpins" (g "hairpins" + i 1) ];
+      if_
+        (l "from_internal" <> i 0)
+        [ (* outbound: translate source *)
+          set_g "bytes_out" (g "bytes_out" + pkt_len);
+          map_find "int_map" flow_key "hit";
+          if_
+            (l "hit" <> i 0)
+            [ map_read "int_map" "ext_ip" "eip";
+              map_read "int_map" "ext_port" "eport";
+              map_write "int_map" "last_seen" (api "now" []);
+              (* advance the tracked TCP state on FIN *)
+              when_
+                ((hdr Ip_proto = i Packet.tcp_proto) && ((hdr Tcp_flags land i 0x01) <> i 0))
+                [ map_write "int_map" "tcp_state" (i 2) ];
+              let_ "old_src" (hdr Ip_src);
+              set_hdr Ip_src (l "eip");
+              set_hdr Tcp_sport (l "eport");
+              api_stmt "csum_incr_update" [ l "old_src"; l "eip" ];
+              set_g "translations" (g "translations" + i 1);
+              emit 0 ]
+            [ (* allocate a binding from the per-protocol pool *)
+              call "alloc_port";
+              let_ "eport" (l "fresh_port");
+              map_insert "int_map" flow_key [ g "nat_ip"; l "eport"; api "now" []; i 1 ];
+              map_insert "ext_map" [ g "nat_ip"; l "eport" ]
+                [ hdr Ip_src; hdr Tcp_sport; api "now" [] ];
+              let_ "old_src" (hdr Ip_src);
+              set_hdr Ip_src (g "nat_ip");
+              set_hdr Tcp_sport (l "eport");
+              api_stmt "csum_incr_update" [ l "old_src"; g "nat_ip" ];
+              set_g "translations" (g "translations" + i 1);
+              emit 0 ] ]
+        [ (* inbound: reverse translate destination *)
+          set_g "bytes_in" (g "bytes_in" + pkt_len);
+          map_find "ext_map" [ hdr Ip_dst; hdr Tcp_dport ] "hit";
+          if_
+            (l "hit" <> i 0)
+            [ map_read "ext_map" "int_ip" "iip";
+              map_read "ext_map" "int_port" "iport";
+              map_read "ext_map" "last_seen" "seen";
+              if_
+                ((api "now" [] - l "seen") > i 100000)
+                [ (* stale binding: expire it *)
+                  map_erase "ext_map";
+                  set_g "expired" (g "expired" + i 1);
+                  drop ]
+                [ map_write "ext_map" "last_seen" (api "now" []);
+                  let_ "old_dst" (hdr Ip_dst);
+                  set_hdr Ip_dst (l "iip");
+                  set_hdr Tcp_dport (l "iport");
+                  api_stmt "csum_incr_update" [ l "old_dst"; l "iip" ];
+                  set_g "translations" (g "translations" + i 1);
+                  emit 1 ] ]
+            [ (* unsolicited inbound: RSTs are dropped quietly *)
+              when_
+                ((hdr Ip_proto = i Packet.tcp_proto) && ((hdr Tcp_flags land i 0x04) <> i 0))
+                [ drop ];
+              set_g "rejected" (g "rejected" + i 1);
+              drop ] ] ]
+
+(** UDP flow counter with a small classifier front-end (the §5.5 placement
+    example: small, hot classifier + counter belong in IMEM). *)
+let udpcount () =
+  let open Build in
+  element "UDPCount"
+    ~state:
+      [ array "port_class" 64;  (* the small 'ipclassifier' table *)
+        scalar "counter";  (* the hot packet counter *)
+        map_decl "flow_counts" ~key_widths:[ 32; 32 ] ~val_fields:[ ("pkts", 32); ("bytes", 32) ]
+          ~capacity:16384;
+        scalar "udp_total"; scalar "non_udp" ]
+    [ when_ (hdr Ip_proto <> i Packet.udp_proto) [ set_g "non_udp" (g "non_udp" + i 1); drop ];
+      set_g "counter" (g "counter" + i 1);
+      set_g "udp_total" (g "udp_total" + i 1);
+      let_ "cls" (arr_get "port_class" (hdr Udp_dport land i 63));
+      when_ (l "cls" = i 0)
+        [ (* unknown class: classify by well-known ranges *)
+          if_
+            (hdr Udp_dport < i 1024)
+            [ arr_set "port_class" (hdr Udp_dport land i 63) (i 1) ]
+            [ arr_set "port_class" (hdr Udp_dport land i 63) (i 2) ] ];
+      map_find "flow_counts" [ hdr Ip_src; hdr Ip_dst ] "hit";
+      if_
+        (l "hit" <> i 0)
+        [ map_read "flow_counts" "pkts" "p";
+          map_read "flow_counts" "bytes" "b";
+          map_write "flow_counts" "pkts" (l "p" + i 1);
+          map_write "flow_counts" "bytes" (l "b" + pkt_len) ]
+        [ map_insert "flow_counts" [ hdr Ip_src; hdr Ip_dst ] [ i 1; pkt_len ] ];
+      emit 0 ]
+
+(** Web workload generator: session vector, request state machine. *)
+let webgen () =
+  let open Build in
+  element "WebGen"
+    ~state:
+      [ vector "sessions" ~capacity:1024; scalar "active_sessions"; scalar "requests";
+        scalar "responses"; scalar "next_session" ~init:1; scalar "bytes_generated";
+        scalar "errors_4xx"; scalar "errors_5xx"; scalar "retries"; scalar "keepalive_reuse";
+        array "latency_hist" 16; array "uri_mix" 8;
+        map_decl "session_state" ~key_widths:[ 32 ]
+          ~val_fields:[ ("stage", 16); ("reqs", 16); ("sent_at", 32); ("retries_left", 16) ]
+          ~capacity:2048 ]
+    ~subs:
+      [ ( "write_request",
+          [ (* method rotates through GET/HEAD/POST by request count *)
+            let_ "meth" (l "reqs" land i 3);
+            if_
+              (l "meth" = i 2)
+              [ set_payload (i 0) (i 80);  (* 'P' *)
+                set_payload (i 1) (i 79);  (* 'O' *)
+                set_payload (i 2) (i 83);  (* 'S' *)
+                set_payload (i 3) (i 84) ]
+              [ set_payload (i 0) (i 71);  (* 'G' *)
+                set_payload (i 1) (i 69);  (* 'E' *)
+                set_payload (i 2) (i 84);  (* 'T' *)
+                set_payload (i 3) (i 32) ];
+            (* pick a URI template and record the mix *)
+            let_ "uri" (api "hash32" [ l "sid"; l "reqs" ] land i 7);
+            arr_set "uri_mix" (l "uri") (arr_get "uri_mix" (l "uri") + i 1);
+            for_ "ui" (i 4) (i 12)
+              [ set_payload (l "ui") (i 97 + (l "uri" + l "ui") land i 25) ] ] ) ]
+    [ let_ "sid" (api "hash32" [ hdr Ip_src; hdr Tcp_sport ] land i 0xffff);
+      map_find "session_state" [ l "sid" ] "known";
+      if_
+        (l "known" <> i 0)
+        [ map_read "session_state" "stage" "stage";
+          map_read "session_state" "reqs" "reqs";
+          if_
+            (l "stage" = i 0)
+            [ (* send the next request on the kept-alive connection *)
+              call "write_request";
+              when_ (l "reqs" > i 0) [ set_g "keepalive_reuse" (g "keepalive_reuse" + i 1) ];
+              map_write "session_state" "stage" (i 1);
+              map_write "session_state" "reqs" (l "reqs" + i 1);
+              map_write "session_state" "sent_at" (api "now" []);
+              set_g "requests" (g "requests" + i 1);
+              set_g "bytes_generated" (g "bytes_generated" + pkt_len);
+              emit 0 ]
+            [ (* response: parse the status class from the payload *)
+              set_g "responses" (g "responses" + i 1);
+              map_read "session_state" "sent_at" "sent";
+              let_ "rtt" (api "now" [] - l "sent");
+              arr_set "latency_hist" (api "min" [ l "rtt" lsr i 2; i 15 ])
+                (arr_get "latency_hist" (api "min" [ l "rtt" lsr i 2; i 15 ]) + i 1);
+              let_ "status_class" (payload (i 9) - i 48);
+              when_ (l "status_class" = i 4) [ set_g "errors_4xx" (g "errors_4xx" + i 1) ];
+              if_
+                (l "status_class" = i 5)
+                [ (* server error: retry with backoff while budget remains *)
+                  set_g "errors_5xx" (g "errors_5xx" + i 1);
+                  map_read "session_state" "retries_left" "budget";
+                  if_
+                    (l "budget" > i 0)
+                    [ map_write "session_state" "retries_left" (l "budget" - i 1);
+                      map_write "session_state" "stage" (i 0);
+                      set_g "retries" (g "retries" + i 1);
+                      emit 0 ]
+                    [ map_erase "session_state";
+                      set_g "active_sessions" (g "active_sessions" - i 1);
+                      drop ] ]
+                [ if_
+                    (l "reqs" >= i 4)
+                    [ map_erase "session_state";
+                      set_g "active_sessions" (g "active_sessions" - i 1);
+                      drop ]
+                    [ map_write "session_state" "stage" (i 0); emit 0 ] ] ] ]
+        [ (* new session *)
+          map_insert "session_state" [ l "sid" ] [ i 0; i 0; api "now" []; i 2 ];
+          vec_append "sessions" (l "sid");
+          set_g "active_sessions" (g "active_sessions" + i 1);
+          set_g "next_session" (g "next_session" + i 1);
+          emit 0 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure-1 NFs (performance-variability benchmarks)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Simple deep packet inspection: scan the payload for a signature; cost
+    scales with packet size (the paper's DPI variants). *)
+let dpi () =
+  let open Build in
+  element "dpi"
+    ~state:[ scalar "matches"; scalar "scanned"; array "sig_bytes" 8 ]
+    [ set_g "scanned" (g "scanned" + i 1);
+      let_ "found" (i 0);
+      (* scan up to the DPI snap length (signatures live early in the payload) *)
+      let_ "limit" (api "min" [ api "max" [ pkt_len - i 54 - i 4; i 0 ]; i 600 ]);
+      for_ "di" (i 0) (l "limit")
+        [ let_ "b0" (payload (l "di"));
+          when_
+            (l "b0" = i 0x47)
+            [ (* candidate: compare the next three bytes *)
+              let_ "b1" (payload (l "di" + i 1));
+              let_ "b2" (payload (l "di" + i 2));
+              let_ "b3" (payload (l "di" + i 3));
+              when_ (l "b1" = i 0x45 && l "b2" = i 0x54 && l "b3" = i 0x20)
+                [ let_ "found" (i 1) ] ] ];
+      if_
+        (l "found" <> i 0)
+        [ set_g "matches" (g "matches" + i 1); emit 1 ]
+        [ emit 0 ] ]
+
+(** Stateful firewall: ACL scan + connection tracking map. *)
+let firewall () =
+  let open Build in
+  element "firewall"
+    ~state:
+      [ array "acl_proto" 12; array "acl_port" 12; array "acl_action" 12;
+        map_decl "conn_track" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("allowed", 16); ("pkts", 32) ] ~capacity:8192;
+        scalar "accepted"; scalar "denied" ]
+    [ map_find "conn_track" flow_key "tracked";
+      if_
+        (l "tracked" <> i 0)
+        [ map_read "conn_track" "allowed" "ok";
+          map_read "conn_track" "pkts" "p";
+          map_write "conn_track" "pkts" (l "p" + i 1);
+          if_
+            (l "ok" <> i 0)
+            [ set_g "accepted" (g "accepted" + i 1); emit 0 ]
+            [ set_g "denied" (g "denied" + i 1); drop ] ]
+        [ (* first packet of the flow: evaluate the ACL *)
+          let_ "verdict" (i 0);
+          for_ "ai" (i 0) (i 12)
+            [ when_
+                ((arr_get "acl_proto" (l "ai") = hdr Ip_proto
+                 || arr_get "acl_proto" (l "ai") = i 0)
+                && (arr_get "acl_port" (l "ai") = hdr Tcp_dport
+                   || arr_get "acl_port" (l "ai") = i 0))
+                [ let_ "verdict" (arr_get "acl_action" (l "ai") + i 1) ] ];
+          (* default accept when no deny rule matched *)
+          when_ (l "verdict" = i 0) [ let_ "verdict" (i 1) ];
+          map_insert "conn_track" flow_key [ l "verdict" - i 1 + i 1; i 1 ];
+          if_
+            (l "verdict" >= i 1)
+            [ set_g "accepted" (g "accepted" + i 1); emit 0 ]
+            [ set_g "denied" (g "denied" + i 1); drop ] ] ]
+
+(** Heavy-hitter detection: sketch estimate against a rate threshold. *)
+let heavy_hitter () =
+  let open Build in
+  element "heavy_hitter"
+    ~state:
+      [ array "hh_sketch" 4096; scalar "threshold" ~init:64; scalar "heavy_flows";
+        scalar "window_pkts" ]
+    [ let_ "h0" (api "hash32" [ hdr Ip_src; hdr Ip_dst ] land i 4095);
+      let_ "h1" (api "hash32" [ hdr Ip_dst; hdr Ip_src; i 7 ] land i 4095);
+      let_ "c0" (arr_get "hh_sketch" (l "h0") + i 1);
+      let_ "c1" (arr_get "hh_sketch" (l "h1") + i 1);
+      arr_set "hh_sketch" (l "h0") (l "c0");
+      arr_set "hh_sketch" (l "h1") (l "c1");
+      set_g "window_pkts" (g "window_pkts" + i 1);
+      when_ ((g "window_pkts" land i 8191) = i 0)
+        [ (* decay: reset the window *)
+          set_g "heavy_flows" (i 0) ];
+      let_ "estimate" (api "min" [ l "c0"; l "c1" ]);
+      if_
+        (l "estimate" > g "threshold")
+        [ set_g "heavy_flows" (g "heavy_flows" + i 1); set_hdr Ip_tos (i 0x20); emit 1 ]
+        [ emit 0 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Additional NFs beyond Table 2 (used by extensions and examples)     *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-flow token-bucket rate limiter with a global overflow bucket. *)
+let ratelimiter () =
+  let open Build in
+  element "ratelimiter"
+    ~state:
+      [ map_decl "buckets" ~key_widths:[ 32; 32 ]
+          ~val_fields:[ ("tokens", 32); ("last_refill", 32) ] ~capacity:8192;
+        scalar "global_tokens" ~init:128; scalar "refill_rate" ~init:0;
+        scalar "conforming"; scalar "policed"; scalar "last_tick" ]
+    [ let_ "now" (api "now" []);
+      (* global refill once per virtual tick *)
+      when_
+        (l "now" > g "last_tick")
+        [ set_g "global_tokens"
+            (api "min" [ g "global_tokens" + ((l "now" - g "last_tick") * g "refill_rate"); i 200000 ]);
+          set_g "last_tick" (l "now") ];
+      map_find "buckets" [ hdr Ip_src; hdr Ip_dst ] "known";
+      if_
+        (l "known" <> i 0)
+        [ map_read "buckets" "tokens" "tok";
+          map_read "buckets" "last_refill" "last";
+          (* per-flow refill: one token per four ticks, capped *)
+          let_ "tok" (api "min" [ l "tok" + ((l "now" - l "last") lsr i 2); i 64 ]);
+          if_
+            (l "tok" > i 0)
+            [ map_write "buckets" "tokens" (l "tok" - i 1);
+              map_write "buckets" "last_refill" (l "now");
+              set_g "conforming" (g "conforming" + i 1);
+              emit 0 ]
+            [ (* flow bucket empty: borrow from the global pool *)
+              if_
+                (g "global_tokens" > i 0)
+                [ set_g "global_tokens" (g "global_tokens" - i 1);
+                  set_g "conforming" (g "conforming" + i 1);
+                  set_hdr Ip_tos (i 0x08);
+                  emit 0 ]
+                [ set_g "policed" (g "policed" + i 1); drop ] ] ]
+        [ map_insert "buckets" [ hdr Ip_src; hdr Ip_dst ] [ i 63; l "now" ];
+          set_g "conforming" (g "conforming" + i 1);
+          emit 0 ] ]
+
+(** L4 load balancer: rendezvous-style backend choice + connection pinning. *)
+let loadbalancer () =
+  let backends = 16 in
+  let open Build in
+  element "loadbalancer"
+    ~state:
+      [ array "backend_ip" backends; array "backend_weight" backends;
+        array "backend_conns" backends;
+        map_decl "conn_pin" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("backend", 16) ] ~capacity:16384;
+        scalar "pinned_hits"; scalar "new_conns" ]
+    [ when_ (hdr Ip_proto <> i Packet.tcp_proto) [ drop ];
+      map_find "conn_pin" flow_key "pinned";
+      if_
+        (l "pinned" <> i 0)
+        [ map_read "conn_pin" "backend" "b";
+          set_g "pinned_hits" (g "pinned_hits" + i 1);
+          set_hdr Ip_dst (arr_get "backend_ip" (l "b"));
+          api_stmt "csum_incr_update" [ i 0; l "b" ];
+          emit 0 ]
+        [ (* rendezvous hash: best weighted score across backends *)
+          let_ "best" (i 0);
+          let_ "best_score" (i 0);
+          for_ "bi" (i 0) (i backends)
+            [ let_ "score"
+                ((api "hash32" [ hdr Ip_src; hdr Tcp_sport; l "bi" ] land i 0xffff)
+                * (arr_get "backend_weight" (l "bi") + i 1));
+              when_ (l "score" > l "best_score")
+                [ let_ "best_score" (l "score"); let_ "best" (l "bi") ] ];
+          map_insert "conn_pin" flow_key [ l "best" ];
+          arr_set "backend_conns" (l "best") (arr_get "backend_conns" (l "best") + i 1);
+          set_g "new_conns" (g "new_conns" + i 1);
+          set_hdr Ip_dst (arr_get "backend_ip" (l "best"));
+          api_stmt "checksum_update_ip" [];
+          emit 0 ] ]
+
+(** SYN-proxy: stateless SYN cookies, connection validation on ACK. *)
+let synproxy () =
+  let open Build in
+  element "synproxy"
+    ~state:
+      [ scalar "cookie_secret" ~init:0x5ec23; scalar "syn_rcvd"; scalar "acks_valid";
+        scalar "acks_bogus";
+        map_decl "established" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("since", 32) ] ~capacity:16384 ]
+    [ when_ (hdr Ip_proto <> i Packet.tcp_proto) [ emit 0 ];
+      let_ "flags" (hdr Tcp_flags);
+      if_
+        ((l "flags" land i 0x02) <> i 0)
+        [ (* SYN: answer with a cookie, keep no state *)
+          set_g "syn_rcvd" (g "syn_rcvd" + i 1);
+          let_ "cookie"
+            (api "hash32" [ hdr Ip_src; hdr Ip_dst; hdr Tcp_sport; hdr Tcp_dport; g "cookie_secret" ]
+            land i 0xffffff);
+          let_ "tmp" (hdr Ip_src);
+          set_hdr Ip_src (hdr Ip_dst);
+          set_hdr Ip_dst (l "tmp");
+          let_ "tp" (hdr Tcp_sport);
+          set_hdr Tcp_sport (hdr Tcp_dport);
+          set_hdr Tcp_dport (l "tp");
+          set_hdr Tcp_ack (hdr Tcp_seq + i 1);
+          set_hdr Tcp_seq (l "cookie");
+          set_hdr Tcp_flags (i 0x12);
+          api_stmt "checksum_update_ip" [];
+          emit 0 ]
+        [ map_find "established" flow_key "ok";
+          if_
+            (l "ok" <> i 0)
+            [ emit 1 ]
+            [ (* first ACK: validate the echoed cookie; the ACK travels in
+                 the same direction as the original SYN *)
+              let_ "expect"
+                (api "hash32"
+                   [ hdr Ip_src; hdr Ip_dst; hdr Tcp_sport; hdr Tcp_dport; g "cookie_secret" ]
+                land i 0xffffff);
+              if_
+                (((hdr Tcp_ack - i 1) land i 0xffffff) = l "expect")
+                [ map_insert "established" flow_key [ api "now" [] ];
+                  set_g "acks_valid" (g "acks_valid" + i 1);
+                  emit 1 ]
+                [ set_g "acks_bogus" (g "acks_bogus" + i 1); drop ] ] ] ]
+
+(** VXLAN-style gateway: validate+strip the outer header on one port,
+    re-encapsulate on the other. *)
+let vxlan_gateway () =
+  let open Build in
+  element "vxlan_gateway"
+    ~state:
+      [ map_decl "vni_table" ~key_widths:[ 32 ] ~val_fields:[ ("vni", 32); ("peer", 32) ]
+          ~capacity:1024;
+        scalar "decapped"; scalar "encapped"; scalar "bad_vni" ]
+    [ if_
+        ((hdr Ip_proto = i Packet.udp_proto) && (hdr Udp_dport = i 4789))
+        [ (* decap: VNI lives in payload bytes 4..6 *)
+          let_ "vni" (payload (i 4) lor (payload (i 5) lsl i 8) lor (payload (i 6) lsl i 16));
+          map_find "vni_table" [ l "vni" land i 1023 ] "known";
+          if_
+            (l "known" <> i 0)
+            [ map_read "vni_table" "vni" "expected";
+              if_
+                (l "expected" = l "vni")
+                [ set_g "decapped" (g "decapped" + i 1);
+                  set_hdr Ip_len (hdr Ip_len - i 16);
+                  set_hdr Udp_dport (i 0);
+                  emit 0 ]
+                [ set_g "bad_vni" (g "bad_vni" + i 1); drop ] ]
+            [ set_g "bad_vni" (g "bad_vni" + i 1); drop ] ]
+        [ (* encap towards the peer for this destination *)
+          map_find "vni_table" [ hdr Ip_dst land i 1023 ] "route";
+          when_ (l "route" = i 0) [ drop ];
+          map_read "vni_table" "peer" "peer";
+          map_read "vni_table" "vni" "vni";
+          set_payload (i 4) (l "vni" land i 0xff);
+          set_payload (i 5) ((l "vni" lsr i 8) land i 0xff);
+          set_payload (i 6) ((l "vni" lsr i 16) land i 0xff);
+          set_hdr Ip_dst (l "peer");
+          set_hdr Ip_proto (i Packet.udp_proto);
+          set_hdr Udp_dport (i 4789);
+          set_hdr Ip_len (hdr Ip_len + i 16);
+          set_g "encapped" (g "encapped" + i 1);
+          api_stmt "checksum_update_ip" [];
+          emit 1 ] ]
+
+(** NetFlow-style monitor: per-flow accounting with a bounded export ring. *)
+let flowmonitor () =
+  let open Build in
+  element "flowmonitor"
+    ~state:
+      [ map_decl "flows" ~key_widths:[ 32; 32; 16; 16 ]
+          ~val_fields:[ ("pkts", 32); ("bytes", 32); ("first_seen", 32); ("tcp_flags_or", 16) ]
+          ~capacity:16384;
+        vector "export_ring" ~capacity:1024;
+        scalar "active_flows"; scalar "exported"; scalar "export_threshold" ~init:2048 ]
+    [ map_find "flows" flow_key "hit";
+      if_
+        (l "hit" <> i 0)
+        [ map_read "flows" "pkts" "p";
+          map_read "flows" "bytes" "b";
+          map_read "flows" "tcp_flags_or" "fl";
+          map_write "flows" "pkts" (l "p" + i 1);
+          map_write "flows" "bytes" (l "b" + pkt_len);
+          map_write "flows" "tcp_flags_or" (l "fl" lor hdr Tcp_flags);
+          (* flows that grow past the threshold are exported and reset *)
+          when_
+            ((l "b" + pkt_len) > g "export_threshold")
+            [ vec_append "export_ring" (api "hash32" [ hdr Ip_src; hdr Ip_dst ]);
+              set_g "exported" (g "exported" + i 1);
+              map_write "flows" "bytes" (i 0) ] ]
+        [ map_insert "flows" flow_key [ i 1; pkt_len; api "now" []; hdr Tcp_flags ];
+          set_g "active_flows" (g "active_flows" + i 1) ];
+      (* FIN/RST tears the record down *)
+      when_
+        ((hdr Ip_proto = i Packet.tcp_proto) && ((hdr Tcp_flags land i 0x05) <> i 0))
+        [ map_find "flows" flow_key "closing";
+          when_ (l "closing" <> i 0)
+            [ map_erase "flows"; set_g "active_flows" (g "active_flows" - i 1) ] ];
+      emit 0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Table-2 elements in paper order. *)
+let table2 () =
+  [ anonipaddr (); tcpack (); udpipencap (); forcetcp (); tcpresp (); tcpgen ();
+    aggcounter (); timefilter (); cmsketch (); wepdecap (); iplookup (); iprewriter ();
+    ipclassifier (); dnsproxy (); mazu_nat (); udpcount (); webgen () ]
+
+(** Every corpus element, including accel variants and Figure-1 NFs. *)
+let all () =
+  table2 ()
+  @ [ webtcp (); cmsketch_accel (); wepdecap_accel (); iplookup_accel (); dpi (); firewall ();
+      heavy_hitter (); ratelimiter (); loadbalancer (); synproxy (); vxlan_gateway ();
+      flowmonitor () ]
+
+let parse_suffix ~prefix name =
+  let plen = String.length prefix in
+  if String.length name > plen && String.equal (String.sub name 0 plen) prefix then
+    int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.name name) (all ()) with
+  | Some e -> e
+  | None -> (
+    (* parameterized lookups: iplookup_<rules>, iplookup_accel_<rules> *)
+    match parse_suffix ~prefix:"iplookup_accel_" name with
+    | Some rules -> iplookup_accel_with_rules rules
+    | None -> (
+      match parse_suffix ~prefix:"iplookup_" name with
+      | Some rules -> iplookup_with_rules rules
+      | None -> failwith (Printf.sprintf "Corpus.find: unknown element %s" name)))

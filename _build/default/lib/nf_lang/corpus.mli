@@ -1,0 +1,82 @@
+(** Corpus of real-world-style Click elements.
+
+    Re-implementations of the paper's 17 Table-2 elements and Figure-1 NFs
+    with faithful core logic, the Clara-suggested accelerator variants of
+    cmsketch/wepdecap/iplookup, and extension NFs used by the examples.
+    Every builder returns a fresh element (fresh statement ids). *)
+
+(** {1 Stateless header-manipulation elements} *)
+
+val anonipaddr : unit -> Ast.element
+val tcpack : unit -> Ast.element
+val udpipencap : unit -> Ast.element
+val forcetcp : unit -> Ast.element
+val tcpresp : unit -> Ast.element
+
+(** {1 Scalar-heavy stateful elements (coalescing targets)} *)
+
+val tcpgen : unit -> Ast.element
+val aggcounter : unit -> Ast.element
+val timefilter : unit -> Ast.element
+
+(** Figure 13's "webtcp": a TCP web-front-end state machine. *)
+val webtcp : unit -> Ast.element
+
+(** {1 Accelerator-algorithm elements} *)
+
+(** Procedural CRC32 over payload bytes, as reusable statements. *)
+val crc32_block : bytes:int -> dst:string -> Ast.stmt list
+
+val cmsketch : unit -> Ast.element
+
+(** The Clara port: row signatures from the CRC engine. *)
+val cmsketch_accel : unit -> Ast.element
+
+val wepdecap : unit -> Ast.element
+val wepdecap_accel : unit -> Ast.element
+
+(** LPM via a binary-trie walk whose depth scales with the rule count. *)
+val iplookup_with_rules : int -> Ast.element
+
+val iplookup : unit -> Ast.element
+
+(** The Clara port: flow-cache front-end plus the LPM engine. *)
+val iplookup_accel_with_rules : int -> Ast.element
+
+val iplookup_accel : unit -> Ast.element
+
+(** {1 Map-heavy and composite NFs} *)
+
+val iprewriter : unit -> Ast.element
+val ipclassifier : unit -> Ast.element
+val dnsproxy : unit -> Ast.element
+val mazu_nat : unit -> Ast.element
+val udpcount : unit -> Ast.element
+val webgen : unit -> Ast.element
+
+(** {1 Figure-1 NFs} *)
+
+val dpi : unit -> Ast.element
+val firewall : unit -> Ast.element
+val heavy_hitter : unit -> Ast.element
+
+(** {1 Extension NFs (beyond the paper)} *)
+
+val ratelimiter : unit -> Ast.element
+val loadbalancer : unit -> Ast.element
+val synproxy : unit -> Ast.element
+val vxlan_gateway : unit -> Ast.element
+val flowmonitor : unit -> Ast.element
+
+(** {1 Registry} *)
+
+(** The 17 Table-2 elements, in paper order. *)
+val table2 : unit -> Ast.element list
+
+(** Every corpus element. *)
+val all : unit -> Ast.element list
+
+(** Lookup by name; understands the parameterized families
+    [iplookup_<rules>] and [iplookup_accel_<rules>].
+    @raise Failure on unknown names. *)
+val find : string -> Ast.element

@@ -1,0 +1,150 @@
+(** P4-lite: a match-action front-end (§6 "NF frameworks").
+
+    The paper notes Clara would need framework-specific handling to cover
+    P4/eBPF-style NFs.  This module provides a small match-action pipeline
+    description — ordered tables with match keys, actions and defaults —
+    and compiles it into a regular {!Ast.element}, after which the whole
+    Clara pipeline (prediction, accelerator detection, placement,
+    coalescing) applies unchanged.
+
+    Compilation strategy: each table becomes a fixed-capacity hash map
+    keyed by its match fields, whose value carries the matched action id
+    and its parameter; [apply] becomes find / action-dispatch / default,
+    with per-table hit/miss counters (the shape a P4 target compiler
+    emits for exact-match tables). *)
+
+open Ast
+
+type action =
+  | Forward of int  (** send out of port *)
+  | Drop_packet
+  | Set_field of header_field  (** set field to the entry's parameter *)
+  | Decrement_ttl
+  | Count of string  (** bump a named counter array, indexed by parameter *)
+  | No_op
+
+(* Entries select actions by their 1-based position in the table's action
+   list; 0 selects the default action.  Positional ids keep two instances
+   of the same constructor (Forward 1 vs Forward 2) distinct. *)
+
+type table = {
+  t_name : string;
+  keys : header_field list;  (** exact-match keys *)
+  actions : action list;  (** actions entries may select *)
+  default_action : action;
+  size : int;
+}
+
+type program = { p_name : string; pipeline : table list }
+
+(** Emit the statements performing [act]; [param] is the local holding the
+    matched entry's parameter. *)
+let compile_action (act : action) ~(param : Ast.expr) : Ast.stmt list =
+  let open Build in
+  match act with
+  | Forward port -> [ emit port ]
+  | Drop_packet -> [ drop ]
+  | Set_field f -> [ set_hdr f param ]
+  | Decrement_ttl ->
+    [ when_ (hdr Ip_ttl <= i 1) [ drop ]; set_hdr Ip_ttl (hdr Ip_ttl - i 1) ]
+  | Count counter ->
+    [ arr_set counter (param land i 255) (arr_get counter (param land i 255) + i 1) ]
+  | No_op -> []
+
+(** Dispatch over the entry's positional action id with an if-chain, the
+    way P4 targets lower action selection. *)
+let compile_dispatch (t : table) ~(aid : Ast.expr) ~(param : Ast.expr) : Ast.stmt list =
+  let indexed = List.mapi (fun k act -> (Stdlib.( + ) k 1, act)) t.actions in
+  let open Build in
+  List.fold_left
+    (fun acc (k, act) -> [ if_ (aid = i k) (compile_action act ~param) acc ])
+    (compile_action t.default_action ~param)
+    (List.rev indexed)
+
+let table_state (t : table) : state_decl list =
+  let counters =
+    List.filter_map (function Count c -> Some (Build.array c 256) | _ -> None)
+      (t.default_action :: t.actions)
+  in
+  Build.map_decl t.t_name
+    ~key_widths:(List.map field_width t.keys)
+    ~val_fields:[ ("action_id", 16); ("param", 32) ]
+    ~capacity:t.size
+  :: Build.scalar (t.t_name ^ "_hits")
+  :: Build.scalar (t.t_name ^ "_misses")
+  :: counters
+
+let compile_table (t : table) : Ast.stmt list =
+  let open Build in
+  let key = List.map (fun f -> Ast.Hdr f) t.keys in
+  let hit = t.t_name ^ "_hit" in
+  let aid = t.t_name ^ "_aid" in
+  let param = t.t_name ^ "_param" in
+  [ map_find t.t_name key hit;
+    if_
+      (l hit <> i 0)
+      ([ set_g (t.t_name ^ "_hits") (g (t.t_name ^ "_hits") + i 1);
+         map_read t.t_name "action_id" aid;
+         map_read t.t_name "param" param ]
+      @ compile_dispatch t ~aid:(l aid) ~param:(l param))
+      (set_g (t.t_name ^ "_misses") (g (t.t_name ^ "_misses") + i 1)
+      :: compile_action t.default_action ~param:(i 0)) ]
+
+(** Compile a pipeline into an element: tables apply in order; a packet
+    that survives every table is forwarded out of port 0. *)
+let compile (p : program) : Ast.element =
+  let state = List.concat_map table_state p.pipeline in
+  (* deduplicate counter arrays shared between tables *)
+  let state =
+    List.fold_left
+      (fun acc d -> if List.exists (fun d' -> state_name d' = state_name d) acc then acc else d :: acc)
+      [] state
+    |> List.rev
+  in
+  let body = List.concat_map compile_table p.pipeline in
+  Build.element p.p_name ~state (body @ [ Build.emit 0 ])
+
+exception Unknown_action of string
+
+(** Install a table entry into a compiled element's runtime state (the
+    control-plane `table_add`).  [act] must be one of the table's declared
+    actions in [program]. *)
+let table_add (program : program) (interp : Interp.t) ~table ~(key : int list) (act : action)
+    ~(param : int) =
+  let t =
+    match List.find_opt (fun t -> String.equal t.t_name table) program.pipeline with
+    | Some t -> t
+    | None -> raise (Unknown_action (Printf.sprintf "no table %s" table))
+  in
+  let rec index k = function
+    | [] -> raise (Unknown_action (Printf.sprintf "action not declared by table %s" table))
+    | a :: rest -> if a = act then k else index (k + 1) rest
+  in
+  let aid = index 1 t.actions in
+  let m = State.map_of interp.Interp.state table in
+  ignore (State.insert m (Array.of_list key) [| aid; param |])
+
+(* -- a canned example program: a small L3 router -- *)
+
+(** ACL (drop listed sources) -> LPM-ish next-hop table on dst -> egress
+    port selection, with TTL handling and per-next-hop counters. *)
+let simple_router =
+  {
+    p_name = "p4_router";
+    pipeline =
+      [ { t_name = "acl";
+          keys = [ Ip_src ];
+          actions = [ Drop_packet; No_op ];
+          default_action = No_op;
+          size = 1024 };
+        { t_name = "ipv4_fwd";
+          keys = [ Ip_dst ];
+          actions = [ Set_field Ip_tos; Decrement_ttl; Count "nh_counters" ];
+          default_action = Decrement_ttl;
+          size = 4096 };
+        { t_name = "egress";
+          keys = [ Ip_dst ];
+          actions = [ Forward 1; Forward 2 ];
+          default_action = Forward 0;
+          size = 4096 } ];
+  }

@@ -1,0 +1,57 @@
+(** P4-lite: a match-action front-end (§6 "NF frameworks").
+
+    A pipeline of exact-match tables compiles into a regular
+    {!Ast.element} — each table becomes a fixed-capacity hash map whose
+    entries carry a positional action id and a parameter — after which the
+    whole Clara pipeline applies unchanged. *)
+
+(** P4-style actions.  Entries select actions by their 1-based position in
+    the table's action list (0 = default), so two instances of the same
+    constructor stay distinct. *)
+type action =
+  | Forward of int  (** send out of port *)
+  | Drop_packet
+  | Set_field of Ast.header_field  (** set the field to the entry's parameter *)
+  | Decrement_ttl  (** TTL handling with expiry drop *)
+  | Count of string  (** bump a named counter array, indexed by the parameter *)
+  | No_op
+
+type table = {
+  t_name : string;
+  keys : Ast.header_field list;  (** exact-match keys *)
+  actions : action list;  (** actions entries may select *)
+  default_action : action;
+  size : int;
+}
+
+type program = { p_name : string; pipeline : table list }
+
+(** Statements performing [act]; [param] holds the matched entry's
+    parameter. *)
+val compile_action : action -> param:Ast.expr -> Ast.stmt list
+
+(** If-chain dispatch over the entry's positional action id. *)
+val compile_dispatch : table -> aid:Ast.expr -> param:Ast.expr -> Ast.stmt list
+
+(** State declarations a table compiles to (map + hit/miss counters +
+    counter arrays). *)
+val table_state : table -> Ast.state_decl list
+
+(** The apply() statements of one table. *)
+val compile_table : table -> Ast.stmt list
+
+(** Compile a pipeline: tables apply in order; surviving packets leave on
+    port 0. *)
+val compile : program -> Ast.element
+
+exception Unknown_action of string
+
+(** Control-plane [table_add]: install an entry into a running
+    interpreter's state.  [act] must be declared by the named table.
+    @raise Unknown_action otherwise. *)
+val table_add :
+  program -> Interp.t -> table:string -> key:int list -> action -> param:int -> unit
+
+(** A canned example: ACL -> next-hop table -> egress selection, with TTL
+    handling and per-next-hop counters. *)
+val simple_router : program

@@ -1,0 +1,17 @@
+(** Pretty-printer rendering an element as Click-flavored C++ source; used
+    for human inspection and the LoC column of the Table-2 inventory. *)
+
+val binop_str : Ast.binop -> string
+val cmpop_str : Ast.cmpop -> string
+val hdr_str : Ast.header_field -> string
+val expr_str : Ast.expr -> string
+
+(** Rendered lines of one statement at the given indent. *)
+val stmt_lines : int -> Ast.stmt -> string list
+
+val state_lines : Ast.state_decl -> string list
+val element_lines : Ast.element -> string list
+val to_string : Ast.element -> string
+
+(** Source-lines-of-code metric (rendered lines). *)
+val loc : Ast.element -> int

@@ -1,0 +1,14 @@
+(** Human-readable rendering of interpreter profiles — the raw material of
+    Clara's workload-specific analyses, made inspectable. *)
+
+(** Top [n] most-executed statements as (sid, count). *)
+val hot_statements : ?n:int -> Interp.profile -> (int * int) list
+
+(** Per-structure accesses per packet, hottest first. *)
+val structure_frequencies : Ast.element -> Interp.profile -> (string * float) list
+
+(** Source text of a statement id (truncated), for attribution. *)
+val statement_text : Ast.element -> int -> string
+
+(** The full report. *)
+val render : Ast.element -> Interp.profile -> string

@@ -1,0 +1,1 @@
+lib/nicsim/accel.ml: List Nfcc

@@ -1,0 +1,1 @@
+lib/nicsim/accel.mli: Nfcc

@@ -1,0 +1,1 @@
+lib/nicsim/api_cost.ml: Hashtbl Isa List Nf_frontend Nf_lang Nfcc Option Workload

@@ -1,0 +1,1 @@
+lib/nicsim/api_cost.mli: Isa Nf_frontend Nf_ir Nf_lang Workload

@@ -1,0 +1,1 @@
+lib/nicsim/colocate.ml: Accel Array List Mem Multicore Perf

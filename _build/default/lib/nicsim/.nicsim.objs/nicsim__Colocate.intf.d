@@ -1,0 +1,1 @@
+lib/nicsim/colocate.mli: Multicore Perf

@@ -1,0 +1,1 @@
+lib/nicsim/energy.ml: List Multicore Perf

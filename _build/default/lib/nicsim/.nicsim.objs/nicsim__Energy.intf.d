@@ -1,0 +1,1 @@
+lib/nicsim/energy.mli: Multicore Perf

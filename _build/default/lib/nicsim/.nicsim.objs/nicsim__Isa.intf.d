@@ -1,0 +1,1 @@
+lib/nicsim/isa.mli:

@@ -1,0 +1,1 @@
+lib/nicsim/mem.ml: List Printf String

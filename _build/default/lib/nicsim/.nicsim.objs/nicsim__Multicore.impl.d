@@ -1,0 +1,1 @@
+lib/nicsim/multicore.ml: Accel Array List Mem Perf

@@ -1,0 +1,1 @@
+lib/nicsim/multicore.mli: Accel Mem Perf

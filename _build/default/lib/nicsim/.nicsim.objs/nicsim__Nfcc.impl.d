@@ -1,0 +1,1 @@
+lib/nicsim/nfcc.ml: Array Hashtbl Ir Isa List Nf_ir Option String

@@ -1,0 +1,1 @@
+lib/nicsim/nfcc.mli: Hashtbl Isa Nf_ir

@@ -1,0 +1,1 @@
+lib/nicsim/nic.ml: Accel Ast Interp List Mem Multicore Nf_frontend Nf_ir Nf_lang Nfcc Perf State Workload

@@ -1,0 +1,1 @@
+lib/nicsim/nic.mli: Mem Multicore Nf_ir Nf_lang Nfcc Perf Workload

@@ -1,0 +1,1 @@
+lib/nicsim/perf.ml: Accel Api_cost Array Ast Hashtbl Interp Ir Isa List Mem Nf_frontend Nf_ir Nf_lang Nfcc Option String Workload

@@ -1,0 +1,1 @@
+lib/nicsim/perf.mli: Accel Mem Nf_lang Nfcc Workload

@@ -1,0 +1,1 @@
+lib/nicsim/profiles.ml: List Multicore

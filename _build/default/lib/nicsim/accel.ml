@@ -1,0 +1,41 @@
+(** ASIC accelerator models (§2, §4.1).
+
+    Netronome-style engines: CRC/checksum units on the packet ingress path
+    and an LPM lookup engine with a "flow cache" front-end.  Each engine has
+    an invocation latency (replacing hundreds-to-thousands of core cycles of
+    procedural code — the paper quotes 2000+ cycles for a software header
+    checksum vs ~300 on the ingress accelerator) and a finite ops/cycle
+    bandwidth shared by all cores. *)
+
+type engine = Crc | Checksum | Lpm | Flow_cache
+
+let engine_name = function
+  | Crc -> "crc"
+  | Checksum -> "checksum"
+  | Lpm -> "lpm"
+  | Flow_cache -> "flow_cache"
+
+(** Engine handling an accelerated API call, if any. *)
+let engine_of_api = function
+  | "crc32_payload" | "crc16_payload" | "hash32" -> Some Crc
+  | "checksum_ip" | "checksum_update_ip" | "csum_incr_update" -> Some Checksum
+  | "lpm_lookup" -> Some Lpm
+  | "flow_cache_lookup" -> Some Flow_cache
+  | _ -> None
+
+(** Invocation latency in core cycles.  [payload_bytes] matters for the
+    streaming CRC engine. *)
+let latency engine ~payload_bytes =
+  match engine with
+  | Crc -> 60.0 +. (float_of_int payload_bytes /. 8.0)
+  | Checksum -> 300.0
+  | Lpm -> 150.0
+  | Flow_cache -> 60.0
+
+(** Aggregate operations per core cycle. *)
+let bandwidth = function Crc -> 2.0 | Checksum -> 4.0 | Lpm -> 4.0 | Flow_cache -> 8.0
+
+(** The accelerator predicate for {!Nfcc.config} given a list of API call
+    names that should be offloaded. *)
+let accel_config apis : Nfcc.config =
+  { Nfcc.default_config with Nfcc.accel = (fun name -> List.mem name apis) }

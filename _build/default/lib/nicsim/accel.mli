@@ -1,0 +1,20 @@
+(** ASIC accelerator models (§2, §4.1): CRC/checksum engines on the
+    ingress path and an LPM lookup engine fronted by a flow cache.  Each
+    engine has an invocation latency and a shared ops/cycle bandwidth. *)
+
+type engine = Crc | Checksum | Lpm | Flow_cache
+
+val engine_name : engine -> string
+
+(** The engine handling an accelerated API call, if any. *)
+val engine_of_api : string -> engine option
+
+(** Invocation latency in core cycles; the streaming CRC engine scales
+    with payload size. *)
+val latency : engine -> payload_bytes:int -> float
+
+(** Aggregate engine bandwidth in operations per core cycle. *)
+val bandwidth : engine -> float
+
+(** An {!Nfcc.config} that offloads the listed API call names. *)
+val accel_config : string list -> Nfcc.config

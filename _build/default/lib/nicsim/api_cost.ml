@@ -1,0 +1,67 @@
+(** Cost derivation for framework API calls via their reverse-ported
+    implementations (§3.3).
+
+    Each {!Nf_frontend.Api_ir.impl} is compiled with NFCC-sim; its issue
+    cycles and memory references become the per-call cost profile.  Clara
+    uses exactly the same mechanism (machine code compiled from the
+    SmartNIC compiler directly, no learning), so ground truth and analysis
+    agree by construction for framework calls, as in the paper. *)
+
+(** Aggregated cost of one straight-line IR fragment. *)
+type part = {
+  cycles : float;  (** core issue cycles (compute + command formation) *)
+  mem : (string * float) list;  (** stateful accesses per structure *)
+  local_mem : float;  (** LMEM (spill) accesses *)
+}
+
+let zero_part = { cycles = 0.0; mem = []; local_mem = 0.0 }
+
+type profile = {
+  impl : Nf_frontend.Api_ir.impl;
+  fixed : part;
+  per_unit : part;  (** zero when the API has no loop *)
+}
+
+let part_of_instrs (instrs : Isa.instr list) =
+  let cycles = List.fold_left (fun acc i -> acc +. float_of_int (Isa.issue_cycles i)) 0.0 instrs in
+  let tbl = Hashtbl.create 4 in
+  let local = ref 0.0 in
+  List.iter
+    (fun i ->
+      match Isa.mem_target i with
+      | Some g -> Hashtbl.replace tbl g (1.0 +. Option.value ~default:0.0 (Hashtbl.find_opt tbl g))
+      | None -> if Isa.is_local_mem i then local := !local +. 1.0)
+    instrs;
+  { cycles; mem = Hashtbl.fold (fun g n acc -> (g, n) :: acc) tbl []; local_mem = !local }
+
+let part_of_func f =
+  let compiled = Nfcc.compile f in
+  part_of_instrs (Nfcc.all_instrs compiled)
+
+let profile_of_impl (impl : Nf_frontend.Api_ir.impl) =
+  {
+    impl;
+    fixed = part_of_func impl.Nf_frontend.Api_ir.fixed;
+    per_unit =
+      (match impl.Nf_frontend.Api_ir.per_unit with
+      | Some f -> part_of_func f
+      | None -> zero_part);
+  }
+
+(** Number of loop units for this API under a concrete workload/profile. *)
+let units_of profile_src (interp_profile : Nf_lang.Interp.profile) (spec : Workload.spec) =
+  match profile_src with
+  | Nf_frontend.Api_ir.No_units -> 0.0
+  | Nf_frontend.Api_ir.Map_probes map -> Nf_lang.Interp.mean_probes interp_profile map
+  | Nf_frontend.Api_ir.Payload_bytes -> float_of_int spec.Workload.payload_len
+  | Nf_frontend.Api_ir.Header_words k -> float_of_int k
+
+(** Full per-call cost: fixed + units * per_unit. *)
+let call_cost (p : profile) interp_profile spec =
+  let u = units_of p.impl.Nf_frontend.Api_ir.units interp_profile spec in
+  let scale_mem m = List.map (fun (g, n) -> (g, n *. u)) m in
+  {
+    cycles = p.fixed.cycles +. (u *. p.per_unit.cycles);
+    mem = p.fixed.mem @ scale_mem p.per_unit.mem;
+    local_mem = p.fixed.local_mem +. (u *. p.per_unit.local_mem);
+  }

@@ -1,0 +1,38 @@
+(** Cost derivation for framework API calls via their reverse-ported
+    implementations (§3.3): each implementation is compiled with NFCC-sim
+    and its issue cycles / memory references become the per-call cost —
+    the same no-learning mechanism the paper uses for framework calls. *)
+
+(** Aggregated cost of one straight-line IR fragment. *)
+type part = {
+  cycles : float;  (** core issue cycles (compute + memory commands) *)
+  mem : (string * float) list;  (** stateful accesses per structure *)
+  local_mem : float;  (** LMEM (spill) accesses *)
+}
+
+val zero_part : part
+
+(** Compiled cost profile of one API implementation: a fixed part plus an
+    optional per-unit (per probe / per byte / per word) part. *)
+type profile = {
+  impl : Nf_frontend.Api_ir.impl;
+  fixed : part;
+  per_unit : part;  (** zero when the API has no loop *)
+}
+
+(** Cost of an instruction list. *)
+val part_of_instrs : Isa.instr list -> part
+
+(** Compile an IR fragment and cost it. *)
+val part_of_func : Nf_ir.Ir.func -> part
+
+(** Compile both halves of an implementation. *)
+val profile_of_impl : Nf_frontend.Api_ir.impl -> profile
+
+(** Runtime loop-unit count of an API under a workload/profile (map probe
+    averages, payload lengths, fixed word counts). *)
+val units_of :
+  Nf_frontend.Api_ir.unit_source -> Nf_lang.Interp.profile -> Workload.spec -> float
+
+(** Full per-call cost: fixed + units * per_unit. *)
+val call_cost : profile -> Nf_lang.Interp.profile -> Workload.spec -> part

@@ -1,0 +1,109 @@
+(** NF colocation model (§4.5).
+
+    Two NFs share the SmartNIC: cores are partitioned, but memory levels
+    and accelerator engines are shared, so each NF's traffic inflates the
+    other's effective memory latency.  The joint fixed point yields the
+    per-NF colocated throughputs, from which the paper's degradation
+    metrics (colocated throughput normalized by exclusive-use throughput)
+    are computed. *)
+
+type result = {
+  t1 : Multicore.point;
+  t2 : Multicore.point;
+  solo1 : Multicore.point;  (** NF1 alone at its exclusive-use knee *)
+  solo2 : Multicore.point;
+  lat_base1 : Multicore.point;  (** NF1 alone on its colocated core share *)
+  lat_base2 : Multicore.point;
+}
+
+let solve_pair nic (d1 : Perf.demand) (d2 : Perf.demand) ~cores1 ~cores2 =
+  let engines =
+    List.sort_uniq compare (List.map fst (d1.Perf.accel_ops @ d2.Perf.accel_ops))
+  in
+  let hit = 0.5 *. (d1.Perf.emem_hit +. d2.Perf.emem_hit) in
+  let w1 = Multicore.wire_limit nic ~wire_bytes:d1.Perf.wire_bytes in
+  let w2 = Multicore.wire_limit nic ~wire_bytes:d2.Perf.wire_bytes in
+  let cap1 = Multicore.bandwidth_cap d1 and cap2 = Multicore.bandwidth_cap d2 in
+  (* queue state under joint driving rates (r1, r2) *)
+  let joint_queues r1 r2 q q_accel =
+    List.iter
+      (fun level ->
+        let idx = Mem.level_index level in
+        let b = Multicore.level_bandwidth ~emem_hit:hit level in
+        let load = (r1 *. d1.Perf.levels.(idx)) +. (r2 *. d2.Perf.levels.(idx)) in
+        let rho = min Multicore.rho_cap (load /. b) in
+        q.(idx) <- Multicore.queue_delay ~bandwidth:b ~rho)
+      Mem.all_levels;
+    List.map
+      (fun (e, _) ->
+        let n1 = try List.assoc e d1.Perf.accel_ops with Not_found -> 0.0 in
+        let n2 = try List.assoc e d2.Perf.accel_ops with Not_found -> 0.0 in
+        let b = Accel.bandwidth e in
+        let rho = min Multicore.rho_cap (((r1 *. n1) +. (r2 *. n2)) /. b) in
+        (e, Multicore.queue_delay ~bandwidth:b ~rho))
+      q_accel
+  in
+  (* phase A: joint throughput fixed point with served rates *)
+  let q = Array.make 5 0.0 in
+  let q_accel = ref (List.map (fun e -> (e, 0.0)) engines) in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  let s1 = ref 1.0 and s2 = ref 1.0 in
+  for _ = 1 to 100 do
+    s1 := Multicore.service_time d1 q !q_accel;
+    s2 := Multicore.service_time d2 q !q_accel;
+    t1 := (0.5 *. !t1) +. (0.5 *. min (float_of_int cores1 /. !s1) (min w1 cap1));
+    t2 := (0.5 *. !t2) +. (0.5 *. min (float_of_int cores2 /. !s2) (min w2 cap2));
+    q_accel := joint_queues !t1 !t2 q !q_accel
+  done;
+  let th1 = min (float_of_int cores1 /. !s1) (min w1 cap1) in
+  let th2 = min (float_of_int cores2 /. !s2) (min w2 cap2) in
+  (* phase B: latency under offered pressure *)
+  let p1 = min (float_of_int cores1 /. !s1) (1.02 *. min w1 cap1) in
+  let p2 = min (float_of_int cores2 /. !s2) (1.02 *. min w2 cap2) in
+  let q2 = Array.make 5 0.0 in
+  let qa2 = joint_queues p1 p2 q2 !q_accel in
+  let sl1 = Multicore.service_time d1 q2 qa2 in
+  let sl2 = Multicore.service_time d2 q2 qa2 in
+  let lat s cap w cores =
+    let ti = min (float_of_int cores /. s) cap in
+    if w < ti then s else max s (float_of_int cores /. max 1e-12 ti)
+  in
+  ( { Multicore.cores = cores1; throughput_mpps = th1 *. nic.Multicore.freq_mhz;
+      latency_us = lat sl1 cap1 w1 cores1 /. nic.Multicore.freq_mhz },
+    { Multicore.cores = cores2; throughput_mpps = th2 *. nic.Multicore.freq_mhz;
+      latency_us = lat sl2 cap2 w2 cores2 /. nic.Multicore.freq_mhz } )
+
+(** Colocate two NFs with an equal core split (the paper's default).  The
+    exclusive-use baseline runs each NF alone at its own knee — the
+    operating point an operator would actually pick (running a lone NF on
+    all 60 cores just queues packets past saturation). *)
+let colocate ?(nic = Multicore.default_nic) (d1 : Perf.demand) (d2 : Perf.demand) =
+  let half = nic.Multicore.n_cores / 2 in
+  let t1, t2 = solve_pair nic d1 d2 ~cores1:half ~cores2:half in
+  let solo d = Multicore.measure ~nic d ~cores:(Multicore.optimal_cores ~nic d) in
+  (* pure-interference latency baseline: the same core share, no partner *)
+  let lat_base d = Multicore.measure ~nic d ~cores:half in
+  { t1; t2; solo1 = solo d1; solo2 = solo d2; lat_base1 = lat_base d1; lat_base2 = lat_base d2 }
+
+(** Total-throughput degradation: colocated aggregate normalized by the sum
+    of exclusive-use throughputs (ranking objective (a), §5.7). *)
+let total_throughput_loss r =
+  let coloc = r.t1.Multicore.throughput_mpps +. r.t2.Multicore.throughput_mpps in
+  let solo = r.solo1.Multicore.throughput_mpps +. r.solo2.Multicore.throughput_mpps in
+  1.0 -. (coloc /. max 1e-9 solo)
+
+(** Average of per-NF relative throughput losses (objective (b)). *)
+let avg_throughput_loss r =
+  let l1 = 1.0 -. (r.t1.Multicore.throughput_mpps /. max 1e-9 r.solo1.Multicore.throughput_mpps) in
+  let l2 = 1.0 -. (r.t2.Multicore.throughput_mpps /. max 1e-9 r.solo2.Multicore.throughput_mpps) in
+  0.5 *. (l1 +. l2)
+
+let total_latency_loss r =
+  let coloc = r.t1.Multicore.latency_us +. r.t2.Multicore.latency_us in
+  let base = r.lat_base1.Multicore.latency_us +. r.lat_base2.Multicore.latency_us in
+  (coloc /. max 1e-9 base) -. 1.0
+
+let avg_latency_loss r =
+  let l1 = (r.t1.Multicore.latency_us /. max 1e-9 r.lat_base1.Multicore.latency_us) -. 1.0 in
+  let l2 = (r.t2.Multicore.latency_us /. max 1e-9 r.lat_base2.Multicore.latency_us) -. 1.0 in
+  0.5 *. (l1 +. l2)

@@ -1,0 +1,38 @@
+(** NF colocation model (§4.5): cores are partitioned, memory levels and
+    engines are shared, so each NF inflates the other's effective memory
+    latency through a joint contention fixed point. *)
+
+type result = {
+  t1 : Multicore.point;  (** NF1 colocated (half the cores) *)
+  t2 : Multicore.point;
+  solo1 : Multicore.point;  (** NF1 alone at its exclusive-use knee *)
+  solo2 : Multicore.point;
+  lat_base1 : Multicore.point;  (** NF1 alone on its colocated core share *)
+  lat_base2 : Multicore.point;
+}
+
+(** Joint fixed point for an explicit core split. *)
+val solve_pair :
+  Multicore.nic ->
+  Perf.demand ->
+  Perf.demand ->
+  cores1:int ->
+  cores2:int ->
+  Multicore.point * Multicore.point
+
+(** Colocate two NFs with an equal core split (the paper's default). *)
+val colocate : ?nic:Multicore.nic -> Perf.demand -> Perf.demand -> result
+
+(** Colocated aggregate throughput normalized by the sum of exclusive-use
+    throughputs (ranking objective (a), §5.7). *)
+val total_throughput_loss : result -> float
+
+(** Mean of per-NF relative throughput losses (objective (b)). *)
+val avg_throughput_loss : result -> float
+
+(** Latency inflation vs running alone on the same core share
+    (objective (c)). *)
+val total_latency_loss : result -> float
+
+(** Mean of per-NF latency inflations (objective (d)). *)
+val avg_latency_loss : result -> float

@@ -1,0 +1,60 @@
+(** Energy and total-cost-of-ownership model.
+
+    The paper's introduction motivates offloading with energy efficiency:
+    "SmartNIC SoC cores are also more energy-efficient, driving down the
+    total cost of ownership (TCO)."  This module quantifies that argument
+    for the simulator: per-packet energy at an operating point and a
+    simple multi-year TCO (capex + electricity) per unit of delivered
+    throughput. *)
+
+(** Power/price parameters of a packet-processing platform. *)
+type platform = {
+  e_name : string;
+  core_active_w : float;  (** per busy core *)
+  static_w : float;  (** fabric, SRAM, PHYs *)
+  mem_nj_per_access : float;  (** off-chip access energy *)
+  accel_nj_per_op : float;
+  capex_usd : float;
+}
+
+(** Wimpy 1.2 GHz NFP-style cores: fractions of a watt each. *)
+let smartnic =
+  { e_name = "SmartNIC"; core_active_w = 0.35; static_w = 8.0; mem_nj_per_access = 15.0;
+    accel_nj_per_op = 5.0; capex_usd = 600.0 }
+
+(** Xeon-class cores are an order of magnitude hungrier. *)
+let x86_host =
+  { e_name = "x86 host"; core_active_w = 12.0; static_w = 45.0; mem_nj_per_access = 20.0;
+    accel_nj_per_op = 0.0; capex_usd = 2500.0 }
+
+(** Platform power when [cores] cores run a demand at [point]. *)
+let power_w (p : platform) (d : Perf.demand) (point : Multicore.point) =
+  let pkts_per_s = point.Multicore.throughput_mpps *. 1e6 in
+  let mem_accesses_per_s = pkts_per_s *. Perf.total_mem_accesses d in
+  let accel_ops_per_s =
+    pkts_per_s *. List.fold_left (fun acc (_, n) -> acc +. n) 0.0 d.Perf.accel_ops
+  in
+  p.static_w
+  +. (float_of_int point.Multicore.cores *. p.core_active_w)
+  +. (mem_accesses_per_s *. p.mem_nj_per_access *. 1e-9)
+  +. (accel_ops_per_s *. p.accel_nj_per_op *. 1e-9)
+
+(** Energy per packet in microjoules at an operating point. *)
+let energy_per_packet_uj (p : platform) (d : Perf.demand) (point : Multicore.point) =
+  let pkts_per_s = max 1.0 (point.Multicore.throughput_mpps *. 1e6) in
+  power_w p d point /. pkts_per_s *. 1e6
+
+(** Watts for a host deployment processing [mpps] on [cores] x86 cores. *)
+let host_power_w (p : platform) ~cores ~mpps ~mem_accesses_per_pkt =
+  p.static_w
+  +. (float_of_int cores *. p.core_active_w)
+  +. (mpps *. 1e6 *. mem_accesses_per_pkt *. p.mem_nj_per_access *. 1e-9)
+
+(** TCO over [years] in USD: capex plus electricity at [usd_per_kwh]. *)
+let tco_usd (p : platform) ~watts ~years ~usd_per_kwh =
+  let hours = years *. 365.25 *. 24.0 in
+  p.capex_usd +. (watts /. 1000.0 *. hours *. usd_per_kwh)
+
+(** TCO per delivered Mpps — the deployment-planning figure of merit. *)
+let tco_per_mpps (p : platform) ~watts ~mpps ~years ~usd_per_kwh =
+  tco_usd p ~watts ~years ~usd_per_kwh /. max 1e-9 mpps

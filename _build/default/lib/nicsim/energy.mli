@@ -1,0 +1,34 @@
+(** Energy and total-cost-of-ownership model — quantifying the
+    introduction's motivation that SoC cores "drive down the TCO". *)
+
+(** Power/price parameters of a packet-processing platform. *)
+type platform = {
+  e_name : string;
+  core_active_w : float;  (** per busy core *)
+  static_w : float;  (** fabric, SRAM, PHYs *)
+  mem_nj_per_access : float;
+  accel_nj_per_op : float;
+  capex_usd : float;
+}
+
+(** Wimpy 1.2 GHz NFP-style cores: fractions of a watt each. *)
+val smartnic : platform
+
+(** Xeon-class cores, an order of magnitude hungrier. *)
+val x86_host : platform
+
+(** Platform power at an operating point of a demand. *)
+val power_w : platform -> Perf.demand -> Multicore.point -> float
+
+(** Microjoules per packet at an operating point. *)
+val energy_per_packet_uj : platform -> Perf.demand -> Multicore.point -> float
+
+(** Watts of a host deployment pushing [mpps] on [cores] cores. *)
+val host_power_w : platform -> cores:int -> mpps:float -> mem_accesses_per_pkt:float -> float
+
+(** TCO over [years] in USD: capex plus electricity. *)
+val tco_usd : platform -> watts:float -> years:float -> usd_per_kwh:float -> float
+
+(** TCO per delivered Mpps — the deployment-planning figure of merit. *)
+val tco_per_mpps :
+  platform -> watts:float -> mpps:float -> years:float -> usd_per_kwh:float -> float

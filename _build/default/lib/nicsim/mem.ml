@@ -1,0 +1,79 @@
+(** SmartNIC memory hierarchy (§4.3).
+
+    Netronome-style levels with increasing capacity and latency: per-core
+    local memory (LMEM), cluster local scratch (CLS), cluster target memory
+    (CTM), internal SRAM (IMEM) and external DRAM (EMEM).  EMEM is fronted
+    by a shared SRAM cache whose hit rate depends on the workload's flow
+    locality.  Each level has an aggregate bandwidth; saturation inflates
+    effective latency in the multicore model. *)
+
+type level = LMEM | CLS | CTM | IMEM | EMEM
+
+let all_levels = [ LMEM; CLS; CTM; IMEM; EMEM ]
+
+let level_name = function
+  | LMEM -> "LMEM"
+  | CLS -> "CLS"
+  | CTM -> "CTM"
+  | IMEM -> "IMEM"
+  | EMEM -> "EMEM"
+
+let level_index = function LMEM -> 0 | CLS -> 1 | CTM -> 2 | IMEM -> 3 | EMEM -> 4
+
+let level_of_index = function
+  | 0 -> LMEM
+  | 1 -> CLS
+  | 2 -> CTM
+  | 3 -> IMEM
+  | 4 -> EMEM
+  | i -> invalid_arg (Printf.sprintf "Mem.level_of_index: %d" i)
+
+(** Capacity in bytes available for NF state at each level. *)
+let capacity_bytes = function
+  | LMEM -> 1 lsl 10  (* 1 KiB per core; registers/locals only *)
+  | CLS -> 16 * 1024  (* the island scratch is mostly reserved for firmware *)
+  | CTM -> 256 * 1024
+  | IMEM -> 4 * 1024 * 1024
+  | EMEM -> 512 * 1024 * 1024
+
+(** Unloaded access latency in core cycles. *)
+let base_latency = function LMEM -> 3.0 | CLS -> 30.0 | CTM -> 80.0 | IMEM -> 200.0 | EMEM -> 500.0
+
+(** Aggregate level bandwidth in accesses per core cycle (across all
+    cores).  LMEM is per-core and effectively uncontended. *)
+let bandwidth = function LMEM -> 1000.0 | CLS -> 6.0 | CTM -> 10.0 | IMEM -> 16.0 | EMEM -> 7.0
+
+(** EMEM SRAM cache: capacity and hit latency. *)
+let emem_cache_bytes = 3 * 1024 * 1024
+
+let emem_cache_hit_latency = 150.0
+
+(** Effective EMEM latency for a given cache hit ratio in [0,1]. *)
+let emem_latency ~hit_ratio =
+  (hit_ratio *. emem_cache_hit_latency) +. ((1.0 -. hit_ratio) *. base_latency EMEM)
+
+(** A placement maps each stateful structure to a level. *)
+type placement = (string * level) list
+
+(** The packet buffer pseudo-structure: payload bytes always live in CTM. *)
+let packet_buffer = "__pkt"
+
+let level_of (p : placement) name =
+  if String.equal name packet_buffer then CTM
+  else match List.assoc_opt name p with Some l -> l | None -> EMEM
+
+(** The naive port drops every structure into EMEM (§5.5 baseline). *)
+let naive_placement names = List.map (fun n -> (n, EMEM)) names
+
+(** Check capacity feasibility of a placement given structure sizes. *)
+let feasible (p : placement) ~(sizes : (string * int) list) =
+  List.for_all
+    (fun level ->
+      let used =
+        List.fold_left
+          (fun acc (name, l) ->
+            if l = level then acc + (try List.assoc name sizes with Not_found -> 0) else acc)
+          0 p
+      in
+      used <= capacity_bytes level)
+    all_levels

@@ -1,0 +1,49 @@
+(** SmartNIC memory hierarchy (§4.3): Netronome-style levels with
+    increasing capacity and latency, an EMEM SRAM cache, and per-level
+    aggregate bandwidth. *)
+
+type level = LMEM | CLS | CTM | IMEM | EMEM
+
+val all_levels : level list
+val level_name : level -> string
+
+(** Dense index in [0..4], LMEM first. *)
+val level_index : level -> int
+
+(** Inverse of {!level_index}.  @raise Invalid_argument out of range. *)
+val level_of_index : int -> level
+
+(** Capacity in bytes available for NF state at each level. *)
+val capacity_bytes : level -> int
+
+(** Unloaded access latency in core cycles. *)
+val base_latency : level -> float
+
+(** Aggregate level bandwidth in accesses per core cycle (LMEM is per-core
+    and effectively uncontended).  Platform profiles override this via
+    {!Multicore.hw}. *)
+val bandwidth : level -> float
+
+(** EMEM SRAM cache capacity in bytes. *)
+val emem_cache_bytes : int
+
+val emem_cache_hit_latency : float
+
+(** Effective EMEM latency for a hit ratio in [0,1]. *)
+val emem_latency : hit_ratio:float -> float
+
+(** A placement maps each stateful structure to a level. *)
+type placement = (string * level) list
+
+(** The packet-buffer pseudo-structure; payload bytes always live in CTM. *)
+val packet_buffer : string
+
+(** Level of a structure under a placement; unplaced structures default to
+    EMEM; {!packet_buffer} is pinned to CTM. *)
+val level_of : placement -> string -> level
+
+(** The naive port: every structure in EMEM (§5.5 baseline). *)
+val naive_placement : string list -> placement
+
+(** Do the placed structures fit every level's capacity? *)
+val feasible : placement -> sizes:(string * int) list -> bool

@@ -1,0 +1,195 @@
+(** Multicore run-to-completion performance model (§4.2).
+
+    Cores process packets independently; contention arises at the shared
+    memory levels and accelerator engines.  Each shared resource is an
+    open queue: its utilization is driven by the *offered* load (cores /
+    service-time, uncapped), so past the saturation point throughput
+    plateaus at the resource bandwidth while latency keeps climbing —
+    exactly the knee-then-divergence shape of Figure 11.  The model solves
+
+      S      = C + sum_l M_l * (L_l + q_l)        (service time, cycles)
+      q_l    = (1/B_l) * rho_l / (1 - rho_l)      (queueing delay)
+      rho_l  = offered * M_l / B_l                (utilization, capped)
+      offered= cores / S
+      T      = min(offered, wire, 0.98 * B_l/M_l for all l)
+
+    by damped fixed-point iteration. *)
+
+type nic = { n_cores : int; freq_mhz : float; wire_gbps : float }
+
+(** Netronome Agilio CX-like: 60 wimpy 1.2 GHz cores on a 40 Gbps port. *)
+let default_nic = { n_cores = 60; freq_mhz = 1200.0; wire_gbps = 40.0 }
+
+(** Memory-fabric parameters of a SmartNIC family (§6: "an interesting
+    exercise would be to evaluate Clara on a wider range of SoC-based
+    platforms").  Bandwidths are accesses per core cycle; [lat_scale]
+    multiplies the Netronome base latencies (a faster core clock makes the
+    same wall-clock memory look slower in cycles). *)
+type hw = {
+  hw_name : string;
+  cls_bw : float;
+  ctm_bw : float;
+  imem_bw : float;
+  emem_cache_bw : float;
+  emem_dram_bw : float;
+  lat_scale : float;
+}
+
+let agilio_hw =
+  { hw_name = "netronome-agilio"; cls_bw = 0.40; ctm_bw = 0.50; imem_bw = 0.70;
+    emem_cache_bw = 0.22; emem_dram_bw = 0.08; lat_scale = 1.0 }
+
+type point = { cores : int; throughput_mpps : float; latency_us : float }
+
+let rho_cap = 0.995
+
+(** Aggregate bandwidth per level in accesses/cycle; EMEM blends its SRAM
+    cache and DRAM banks by hit ratio. *)
+let level_bandwidth ?(hw = agilio_hw) ~emem_hit level =
+  match level with
+  | Mem.LMEM -> 10000.0
+  | Mem.CLS -> hw.cls_bw
+  | Mem.CTM -> hw.ctm_bw
+  | Mem.IMEM -> hw.imem_bw
+  | Mem.EMEM -> (emem_hit *. hw.emem_cache_bw) +. ((1.0 -. emem_hit) *. hw.emem_dram_bw)
+
+let level_base_latency ?(hw = agilio_hw) ~emem_hit level =
+  hw.lat_scale
+  *.
+  match level with
+  | Mem.EMEM -> Mem.emem_latency ~hit_ratio:emem_hit
+  | Mem.LMEM | Mem.CLS | Mem.CTM | Mem.IMEM -> Mem.base_latency level
+
+(** Line rate in packets per core-cycle for a given wire size. *)
+let wire_limit nic ~wire_bytes =
+  let mpps = nic.wire_gbps *. 1000.0 /. (8.0 *. float_of_int (wire_bytes + 20)) in
+  mpps /. nic.freq_mhz
+
+let queue_delay ~bandwidth ~rho = rho /. (bandwidth *. (1.0 -. rho))
+
+(** Service time (cycles/packet) given per-level and per-engine queueing
+    delays. *)
+let service_time ?(hw = agilio_hw) (d : Perf.demand) q_levels q_accel =
+  let mem =
+    List.fold_left
+      (fun acc level ->
+        let idx = Mem.level_index level in
+        let l0 = level_base_latency ~hw ~emem_hit:d.Perf.emem_hit level in
+        acc +. (d.Perf.levels.(idx) *. (l0 +. q_levels.(idx))))
+      0.0 Mem.all_levels
+  in
+  let accel =
+    List.fold_left
+      (fun acc (e, n) ->
+        let l0 = Accel.latency e ~payload_bytes:d.Perf.payload_bytes in
+        let q = try List.assoc e q_accel with Not_found -> 0.0 in
+        acc +. (n *. (l0 +. q)))
+      0.0 d.Perf.accel_ops
+  in
+  d.Perf.compute +. mem +. accel
+
+(** Hard throughput ceiling from resource bandwidths. *)
+let bandwidth_cap ?(hw = agilio_hw) (d : Perf.demand) =
+  let level_cap =
+    List.fold_left
+      (fun acc level ->
+        let idx = Mem.level_index level in
+        let m = d.Perf.levels.(idx) in
+        if m <= 1e-9 then acc
+        else min acc (0.98 *. level_bandwidth ~hw ~emem_hit:d.Perf.emem_hit level /. m))
+      infinity Mem.all_levels
+  in
+  List.fold_left
+    (fun acc (e, n) -> if n <= 1e-9 then acc else min acc (0.98 *. Accel.bandwidth e /. n))
+    level_cap d.Perf.accel_ops
+
+(** Queue state from a driving rate. *)
+let queues_at ?(hw = agilio_hw) (d : Perf.demand) rate q_levels q_accel =
+  List.iter
+    (fun level ->
+      let idx = Mem.level_index level in
+      let b = level_bandwidth ~hw ~emem_hit:d.Perf.emem_hit level in
+      let rho = min rho_cap (rate *. d.Perf.levels.(idx) /. b) in
+      q_levels.(idx) <- queue_delay ~bandwidth:b ~rho)
+    Mem.all_levels;
+  List.map
+    (fun (e, _) ->
+      let n = try List.assoc e d.Perf.accel_ops with Not_found -> 0.0 in
+      let b = Accel.bandwidth e in
+      let rho = min rho_cap (rate *. n /. b) in
+      (e, queue_delay ~bandwidth:b ~rho))
+    q_accel
+
+(** Solve the contention fixed point for [cores] cores running demand [d].
+    Returns (throughput in packets/cycle, latency in cycles).
+
+    Throughput is self-consistent with the *served* rate (queues driven by
+    the actual throughput), which keeps it monotone in cores.  Latency is
+    driven by the *offered* load: past saturation, extra cores inflate
+    utilization and — by Little's law — hold extra in-flight packets, so
+    per-packet latency keeps climbing while throughput plateaus. *)
+let solve ?(hw = agilio_hw) nic (d : Perf.demand) ~cores =
+  let wire = wire_limit nic ~wire_bytes:d.Perf.wire_bytes in
+  let cap = bandwidth_cap ~hw d in
+  let q_levels = Array.make 5 0.0 in
+  let q_accel_init = List.map (fun (e, _) -> (e, 0.0)) d.Perf.accel_ops in
+  (* phase A: throughput.  g(t) = min(cores/s(t), wire, cap) is decreasing
+     in t, so the fixed point g(t) = t is unique: bisect. *)
+  let g t =
+    let qa = queues_at ~hw d t q_levels q_accel_init in
+    let s = service_time ~hw d q_levels qa in
+    min (float_of_int cores /. s) (min wire cap)
+  in
+  let lo = ref 0.0 and hi = ref (min wire cap) in
+  for _ = 1 to 50 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if g mid >= mid then lo := mid else hi := mid
+  done;
+  let throughput = !lo in
+  let q_accel = ref (queues_at ~hw d throughput q_levels q_accel_init) in
+  let s_served = service_time ~hw d q_levels !q_accel in
+  (* phase B: latency under the offered pressure *)
+  let offered = float_of_int cores /. s_served in
+  let pressure = min offered (1.02 *. min wire cap) in
+  let q2 = Array.make 5 0.0 in
+  let qa2 = queues_at ~hw d pressure q2 !q_accel in
+  let s_offered = service_time ~hw d q2 qa2 in
+  let t_internal = min (float_of_int cores /. s_offered) cap in
+  let latency =
+    if wire < t_internal then s_offered
+    else max s_offered (float_of_int cores /. max 1e-12 t_internal)
+  in
+  (throughput, latency)
+
+(** Measure one operating point. *)
+let measure ?(hw = agilio_hw) ?(nic = default_nic) (d : Perf.demand) ~cores =
+  let t, latency = solve ~hw nic d ~cores in
+  { cores; throughput_mpps = t *. nic.freq_mhz; latency_us = latency /. nic.freq_mhz }
+
+(** Sweep all core counts 1..n_cores. *)
+let sweep ?(hw = agilio_hw) ?(nic = default_nic) (d : Perf.demand) =
+  List.init nic.n_cores (fun i -> measure ~hw ~nic d ~cores:(i + 1))
+
+(** The paper's operating-point criterion: maximize throughput/latency —
+    the knee of the latency curve (§4.2, Figure 11c-d). *)
+let optimal_cores ?(hw = agilio_hw) ?(nic = default_nic) (d : Perf.demand) =
+  let points = sweep ~hw ~nic d in
+  let score p = p.throughput_mpps /. max 1e-9 p.latency_us in
+  let best = List.fold_left (fun acc p -> max acc (score p)) 0.0 points in
+  (* the knee: the smallest core count within 1% of the best ratio *)
+  let rec scan = function
+    | [] -> nic.n_cores
+    | p :: rest -> if score p >= 0.99 *. best then p.cores else scan rest
+  in
+  scan points
+
+(** Minimum cores whose throughput reaches [fraction] of the peak across
+    the sweep — the saturation metric of Figure 13. *)
+let cores_to_saturate ?(hw = agilio_hw) ?(nic = default_nic) ?(fraction = 0.95) (d : Perf.demand) =
+  let points = sweep ~hw ~nic d in
+  let peak = List.fold_left (fun acc p -> max acc p.throughput_mpps) 0.0 points in
+  let rec scan = function
+    | [] -> nic.n_cores
+    | p :: rest -> if p.throughput_mpps >= fraction *. peak then p.cores else scan rest
+  in
+  scan points

@@ -1,0 +1,83 @@
+(** Multicore run-to-completion performance model (§4.2).
+
+    Shared memory levels and engines are open queues; throughput is the
+    unique fixed point of [t = min(cores/s(t), wire, caps)] (solved by
+    bisection, so it is monotone in cores), while latency follows the
+    *offered* load — past saturation, Little's law makes per-packet
+    latency climb with every extra core while throughput plateaus,
+    producing Figure 11's knees. *)
+
+(** Core complex and port of a SmartNIC. *)
+type nic = { n_cores : int; freq_mhz : float; wire_gbps : float }
+
+(** Netronome Agilio CX-like: 60 wimpy 1.2 GHz cores on a 40 Gbps port. *)
+val default_nic : nic
+
+(** Memory-fabric parameters of a SmartNIC family (§6 portability).
+    Bandwidths in accesses/cycle; [lat_scale] multiplies base latencies. *)
+type hw = {
+  hw_name : string;
+  cls_bw : float;
+  ctm_bw : float;
+  imem_bw : float;
+  emem_cache_bw : float;
+  emem_dram_bw : float;
+  lat_scale : float;
+}
+
+val agilio_hw : hw
+
+(** One operating point. *)
+type point = { cores : int; throughput_mpps : float; latency_us : float }
+
+(** Utilization ceiling keeping the queueing law finite. *)
+val rho_cap : float
+
+(** Aggregate bandwidth of a level; EMEM blends cache and DRAM by hit
+    ratio. *)
+val level_bandwidth : ?hw:hw -> emem_hit:float -> Mem.level -> float
+
+(** Unloaded latency of a level under a hardware profile. *)
+val level_base_latency : ?hw:hw -> emem_hit:float -> Mem.level -> float
+
+(** Line rate in packets per core-cycle for a wire size. *)
+val wire_limit : nic -> wire_bytes:int -> float
+
+(** M/M/1-style queueing delay at a resource. *)
+val queue_delay : bandwidth:float -> rho:float -> float
+
+(** Service time (cycles/packet) under given per-level and per-engine
+    queueing delays. *)
+val service_time :
+  ?hw:hw -> Perf.demand -> float array -> (Accel.engine * float) list -> float
+
+(** Hard throughput ceiling from resource bandwidths (packets/cycle). *)
+val bandwidth_cap : ?hw:hw -> Perf.demand -> float
+
+(** Queue state at a driving rate; fills [q_levels], returns engine
+    queues. *)
+val queues_at :
+  ?hw:hw ->
+  Perf.demand ->
+  float ->
+  float array ->
+  (Accel.engine * float) list ->
+  (Accel.engine * float) list
+
+(** Solve the contention fixed point: (throughput pkts/cycle, latency
+    cycles). *)
+val solve : ?hw:hw -> nic -> Perf.demand -> cores:int -> float * float
+
+(** Measure one operating point. *)
+val measure : ?hw:hw -> ?nic:nic -> Perf.demand -> cores:int -> point
+
+(** All operating points, 1..n_cores. *)
+val sweep : ?hw:hw -> ?nic:nic -> Perf.demand -> point list
+
+(** The knee: the smallest core count within 1% of the best
+    throughput/latency ratio (§4.2's operating-point criterion). *)
+val optimal_cores : ?hw:hw -> ?nic:nic -> Perf.demand -> int
+
+(** Minimum cores reaching [fraction] of the sweep's peak throughput
+    (Figure 13's saturation metric). *)
+val cores_to_saturate : ?hw:hw -> ?nic:nic -> ?fraction:float -> Perf.demand -> int

@@ -1,0 +1,288 @@
+open Nf_ir
+
+(** NFCC-sim: the closed-source SmartNIC compiler stand-in.
+
+    Translates the LLVM-like IR into NIC assembly with the contextual
+    instruction selection and peephole rules that make per-block output
+    size a non-linear function of the instruction *sequence* — the reason
+    the paper mimics the compiler with an LSTM instead of a per-opcode
+    cost table (§3.2):
+
+    - shifts fuse into a following ALU op ([Alu_shf]);
+    - compares fuse into a following conditional branch ([Br_cmp]);
+    - zext/trunc after a load are free ([Ld_field] absorption);
+    - immediates expand by magnitude (0, 1 or 2 extra [Immed]);
+    - multiplies expand into [Mul_step] sequences (power-of-two
+      multiplies become shifts);
+    - address computations fold into memory operations when adjacent;
+    - named locals are register-allocated: with more live slots than the
+      register budget, the least-used slots spill to per-core LMEM —
+      a whole-function decision invisible from a single block. *)
+
+(** Compilation options: [accel api] returns true when calls to [api]
+    should be handed to an ASIC accelerator instead of expanded inline. *)
+type config = { register_budget : int; accel : string -> bool }
+
+let default_config = { register_budget = 14; accel = (fun _ -> false) }
+
+type compiled_block = { bid : int; src_sid : int; instrs : Isa.instr list }
+
+type compiled = { source : Ir.func; cblocks : compiled_block array }
+
+(* -- register allocation: decide which stack slots live in registers -- *)
+
+let slot_usage (f : Ir.func) =
+  let tbl = Hashtbl.create 32 in
+  let note name =
+    Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+  in
+  Ir.fold_instrs
+    (fun () i ->
+      match (i.Ir.op, i.Ir.args) with
+      | Ir.Load, [ Ir.Slot s ] -> note s
+      | Ir.Store, [ _; Ir.Slot s ] -> note s
+      | _ -> ())
+    () f;
+  tbl
+
+(** Slots kept in registers: the [budget] most-used (ties broken by name,
+    deterministically). *)
+let register_allocated f ~budget =
+  let usage = slot_usage f in
+  let ranked =
+    Hashtbl.fold (fun name count acc -> (name, count) :: acc) usage []
+    |> List.sort (fun (n1, c1) (n2, c2) ->
+           match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (name, _) :: rest -> name :: take (n - 1) rest
+  in
+  take budget ranked
+
+let imm_magnitude n =
+  let a = abs n in
+  if a < 256 then `Small else if a < 65536 then `Medium else `Large
+
+let immed_cost n =
+  match imm_magnitude n with `Small -> [] | `Medium -> [ Isa.mk Isa.Immed ] | `Large -> [ Isa.mk Isa.Immed; Isa.mk Isa.Immed ]
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* -- per-block instruction selection with a peephole window -- *)
+
+type ctx = {
+  cfg : config;
+  in_regs : string -> bool;  (** slot is register-allocated *)
+}
+
+(** Does instruction [j] consume register [r]? *)
+let uses_reg r (j : Ir.instr) = List.exists (function Ir.Reg x -> x = r | _ -> false) j.Ir.args
+
+let alu_fusable (j : Ir.instr) =
+  match j.Ir.op with Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor -> true | _ -> false
+
+let compile_block ctx (b : Ir.block) : Isa.instr list =
+  (* [fused_shifts] and [fused_cmps] hold result regs whose producing
+     instruction was folded into a later consumer. *)
+  let out = ref [] in
+  let emit is = out := !out @ is in
+  let rec go (instrs : Ir.instr list) =
+    match instrs with
+    | [] -> ()
+    | i :: rest -> (
+      let next = match rest with n :: _ -> Some n | [] -> None in
+      (match i.Ir.op with
+      | Ir.Shl | Ir.Lshr -> (
+        match (i.Ir.res, next) with
+        | Some r, Some n when alu_fusable n && uses_reg r n ->
+          (* shift fuses into the following ALU op *)
+          emit [ Isa.mk Isa.Alu_shf ];
+          go (List.tl rest);
+          (* the fused ALU op is consumed here *)
+          ()
+        | _ ->
+          emit (imm_shift_cost i);
+          go rest;
+          ()
+        (* note: when fused we already recursed; fall through below is
+           avoided by returning from both branches *))
+      | Ir.Icmp _ -> (
+        match (i.Ir.res, next) with
+        | Some r, Some ({ Ir.op = Ir.Cond_br (_, _); _ } as n) when uses_reg r n ->
+          emit [ Isa.mk Isa.Br_cmp ];
+          go (List.tl rest)
+        | Some r, Some ({ Ir.op = Ir.Zext; _ } as n) when uses_reg r n ->
+          (* bool materialization: compare into register, zext free *)
+          emit [ Isa.mk Isa.Alu ];
+          go (List.tl rest)
+        | _ ->
+          emit [ Isa.mk Isa.Alu ];
+          go rest)
+      | Ir.Add | Ir.Sub | Ir.And | Ir.Xor ->
+        emit (alu_cost i);
+        go rest
+      | Ir.Or -> (
+        match i.Ir.args with
+        | [ Ir.Imm n; Ir.Imm 0 ] ->
+          (* constant materialization *)
+          emit
+            (match imm_magnitude n with
+            | `Small -> [ Isa.mk Isa.Alu ]
+            | `Medium -> [ Isa.mk Isa.Immed ]
+            | `Large -> [ Isa.mk Isa.Immed; Isa.mk Isa.Immed ]);
+          go rest
+        | _ ->
+          emit (alu_cost i);
+          go rest)
+      | Ir.Mul -> (
+        match i.Ir.args with
+        | [ _; Ir.Imm n ] when is_pow2 n ->
+          emit [ Isa.mk Isa.Shf ];
+          go rest
+        | [ _; Ir.Imm n ] when imm_magnitude n <> `Large ->
+          emit [ Isa.mk Isa.Mul_step; Isa.mk Isa.Mul_step; Isa.mk Isa.Alu ];
+          go rest
+        | _ ->
+          emit
+            [ Isa.mk Isa.Mul_step; Isa.mk Isa.Mul_step; Isa.mk Isa.Mul_step;
+              Isa.mk Isa.Mul_step; Isa.mk Isa.Alu ];
+          go rest)
+      | Ir.Zext | Ir.Trunc ->
+        (* free after a load (byte-field semantics come with Ld_field);
+           otherwise one ld_field *)
+        emit (if prev_was_load i !out then [] else [ Isa.mk Isa.Ld_field ]);
+        go rest
+      | Ir.Select ->
+        emit [ Isa.mk Isa.Alu; Isa.mk Isa.Alu ];
+        go rest
+      | Ir.Gep -> (
+        match (i.Ir.res, i.Ir.args, next) with
+        | _, [ _; Ir.Imm _ ], _ ->
+          (* constant offset folds into the memory operand *)
+          go rest
+        | Some r, _, Some ({ Ir.op = Ir.Load | Ir.Store; _ } as n) when uses_reg r n ->
+          emit [ Isa.mk Isa.Alu ];
+          go rest
+        | _ ->
+          emit [ Isa.mk Isa.Shf; Isa.mk Isa.Alu ];
+          go rest)
+      | Ir.Load ->
+        emit (load_cost ctx i);
+        go rest
+      | Ir.Store ->
+        emit (store_cost ctx i);
+        go rest
+      | Ir.Call api ->
+        emit (call_cost ctx i api);
+        go rest
+      | Ir.Br _ ->
+        emit [ Isa.mk Isa.Br ];
+        go rest
+      | Ir.Cond_br (_, _) ->
+        (* reached only when the compare did not fuse (e.g. condition came
+           from a register): compare-and-branch on the register *)
+        emit [ Isa.mk Isa.Br_cmp ];
+        go rest
+      | Ir.Ret ->
+        emit [ Isa.mk Isa.Br ];
+        go rest))
+  and imm_shift_cost (i : Ir.instr) =
+    match i.Ir.args with
+    | [ _; Ir.Imm _ ] -> [ Isa.mk Isa.Shf ]
+    | _ -> [ Isa.mk Isa.Shf ]
+  and alu_cost (i : Ir.instr) =
+    let extra =
+      List.concat_map (function Ir.Imm n -> immed_cost n | _ -> []) i.Ir.args
+    in
+    extra @ [ Isa.mk Isa.Alu ]
+  and prev_was_load (_ : Ir.instr) emitted =
+    match List.rev emitted with
+    | { Isa.op = Isa.Ld_field } :: _ | { Isa.op = Isa.Mem (Isa.Read, _) } :: _
+    | { Isa.op = Isa.Local_mem Isa.Read } :: _ ->
+      true
+    | _ -> false
+  and load_cost ctx (i : Ir.instr) =
+    match (i.Ir.annot, i.Ir.args) with
+    | Ir.Mem_stateless, [ Ir.Slot s ] ->
+      if ctx.in_regs s then [] else [ Isa.mk (Isa.Local_mem Isa.Read) ]
+    | Ir.Mem_stateful g, _ -> [ Isa.mk (Isa.Mem (Isa.Read, g)) ]
+    | Ir.Mem_packet, [ Ir.Hdr _ ] -> [ Isa.mk Isa.Ld_field ]
+    | Ir.Mem_packet, _ ->
+      (* payload bytes live in the CTM packet buffer, not xfer registers *)
+      [ Isa.mk (Isa.Mem (Isa.Read, "__pkt")) ]
+    | (Ir.Compute | Ir.Api _ | Ir.Control | Ir.Mem_stateless), _ ->
+      [ Isa.mk Isa.Ld_field ]
+  and store_cost ctx (i : Ir.instr) =
+    match (i.Ir.annot, i.Ir.args) with
+    | Ir.Mem_stateless, [ _; Ir.Slot s ] ->
+      if ctx.in_regs s then [] else [ Isa.mk (Isa.Local_mem Isa.Write) ]
+    | Ir.Mem_stateful g, _ -> [ Isa.mk (Isa.Mem (Isa.Write, g)) ]
+    | Ir.Mem_packet, [ _; Ir.Hdr _ ] -> [ Isa.mk Isa.Ld_field ]
+    | Ir.Mem_packet, _ -> [ Isa.mk (Isa.Mem (Isa.Write, "__pkt")) ]
+    | (Ir.Compute | Ir.Api _ | Ir.Control | Ir.Mem_stateless), _ ->
+      [ Isa.mk Isa.Ld_field ]
+  and call_cost ctx (i : Ir.instr) api =
+    if ctx.cfg.accel api then [ Isa.mk (Isa.Accel_call api) ]
+    else
+      let nargs = List.length i.Ir.args in
+      Isa.mk Isa.Csr :: List.init ((nargs + 1) / 2) (fun _ -> Isa.mk Isa.Alu)
+  in
+  go b.Ir.instrs;
+  (* burst merge: consecutive reads of the same structure combine into one
+     wider memory command (the reason direct IR memory counting is close
+     to, but not exactly, 100% accurate — §3.2) *)
+  let merge_window = 2 in
+  let rec merge_bursts last = function
+    | [] -> []
+    | ({ Isa.op = Isa.Mem (d, g) } as x) :: rest -> (
+      match last with
+      | Some (d', g', dist) when d = d' && String.equal g g' && dist <= merge_window ->
+        (* absorbed into the previous command's burst; the next memory op
+           starts a fresh command *)
+        merge_bursts None rest
+      | Some _ | None -> x :: merge_bursts (Some (d, g, 0)) rest)
+    | x :: rest ->
+      let last = match last with Some (d, g, dist) -> Some (d, g, dist + 1) | None -> None in
+      x :: merge_bursts last rest
+  in
+  merge_bursts None !out
+
+(** Compile a function to NIC assembly. *)
+let compile ?(config = default_config) (f : Ir.func) : compiled =
+  let regs = register_allocated f ~budget:config.register_budget in
+  let ctx = { cfg = config; in_regs = (fun s -> List.mem s regs) } in
+  let cblocks =
+    Array.map
+      (fun b -> { bid = b.Ir.bid; src_sid = b.Ir.src_sid; instrs = compile_block ctx b })
+      f.Ir.blocks
+  in
+  { source = f; cblocks }
+
+(* -- whole-function counts -- *)
+
+let all_instrs c = Array.to_list c.cblocks |> List.concat_map (fun cb -> cb.instrs)
+
+let count_compute c = Isa.count_compute (all_instrs c)
+
+(** Stateful memory operations — excludes packet-buffer (payload) traffic,
+    which the paper does not count as NF state accesses. *)
+let count_mem c =
+  List.length
+    (List.filter
+       (fun i -> match Isa.mem_target i with Some g -> not (String.equal g "__pkt") | None -> false)
+       (all_instrs c))
+let count_local_mem c = Isa.count_local_mem (all_instrs c)
+let count_total c = List.length (all_instrs c)
+
+(** Memory accesses per stateful structure across the function. *)
+let mem_by_target c =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      match Isa.mem_target i with
+      | Some g -> Hashtbl.replace tbl g (1 + Option.value ~default:0 (Hashtbl.find_opt tbl g))
+      | None -> ())
+    (all_instrs c);
+  Hashtbl.fold (fun g n acc -> (g, n) :: acc) tbl []

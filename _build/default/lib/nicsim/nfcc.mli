@@ -1,0 +1,45 @@
+(** NFCC-sim: the closed-source SmartNIC compiler stand-in.
+
+    Performs contextual instruction selection and peephole optimization
+    (shift-ALU fusion, compare-branch fusion, load-absorbed widenings,
+    magnitude-dependent immediates, multi-step multiplies, address
+    folding, register allocation with LMEM spills, and burst merging of
+    adjacent same-structure accesses).  Per-block output size is a
+    non-linear function of the instruction *sequence* and of
+    whole-function register pressure — the reason Clara mimics this
+    compiler with an LSTM instead of a cost table (§3.2). *)
+
+(** Compilation options: [accel api] returns true when calls to [api] are
+    handed to an ASIC engine instead of being expanded inline. *)
+type config = { register_budget : int; accel : string -> bool }
+
+val default_config : config
+
+type compiled_block = { bid : int; src_sid : int; instrs : Isa.instr list }
+
+type compiled = { source : Nf_ir.Ir.func; cblocks : compiled_block array }
+
+(** Per-slot load/store counts, the register allocator's input. *)
+val slot_usage : Nf_ir.Ir.func -> (string, int) Hashtbl.t
+
+(** The stack slots kept in registers: the [budget] most-used, ties broken
+    deterministically by name. *)
+val register_allocated : Nf_ir.Ir.func -> budget:int -> string list
+
+(** Compile a function to NIC assembly. *)
+val compile : ?config:config -> Nf_ir.Ir.func -> compiled
+
+(** All emitted instructions in block order. *)
+val all_instrs : compiled -> Isa.instr list
+
+val count_compute : compiled -> int
+
+(** Stateful memory operations — excludes packet-buffer traffic, which the
+    paper does not count as NF state accesses. *)
+val count_mem : compiled -> int
+
+val count_local_mem : compiled -> int
+val count_total : compiled -> int
+
+(** Memory accesses per stateful structure across the function. *)
+val mem_by_target : compiled -> (string * int) list

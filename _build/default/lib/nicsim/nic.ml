@@ -1,0 +1,85 @@
+(** End-to-end NIC evaluation pipeline.
+
+    [port] is the "manually port and benchmark" step of the paper's
+    methodology: lower an element, compile it with NFCC-sim under a porting
+    configuration (accelerators, placement, packing), profile it under a
+    workload with NIC data-structure semantics, and measure operating
+    points on the multicore model.  Experiments and Clara's training both
+    go through this entry point. *)
+
+open Nf_lang
+
+(** A porting configuration — the knobs the paper's insights tune. *)
+type port_config = {
+  accel_apis : string list;  (** API calls offloaded to ASIC engines *)
+  placement : Mem.placement option;  (** None = naive all-EMEM *)
+  packs : Perf.packs;  (** coalesced variable packs *)
+}
+
+let naive_port = { accel_apis = []; placement = None; packs = [] }
+
+type ported = {
+  elt : Ast.element;
+  spec : Workload.spec;
+  config : port_config;
+  ir : Nf_ir.Ir.func;
+  compiled : Nfcc.compiled;
+  profile : Interp.profile;
+  demand : Perf.demand;
+}
+
+let state_names (elt : Ast.element) = List.map Ast.state_name elt.Ast.state
+
+let state_sizes (elt : Ast.element) =
+  List.map (fun d -> (Ast.state_name d, Ast.state_size_bytes d)) elt.Ast.state
+
+(** Lower, compile, profile and assemble the demand of an element under a
+    porting configuration and workload. *)
+let port ?(config = naive_port) (elt : Ast.element) (spec : Workload.spec) : ported =
+  let ir = Nf_frontend.Lower.lower_element elt in
+  let nfcc_config = Accel.accel_config config.accel_apis in
+  let compiled = Nfcc.compile ~config:nfcc_config ir in
+  let interp = Interp.create ~mode:State.Nic elt in
+  let profile = Interp.run interp (Workload.generate spec) in
+  let placement =
+    match config.placement with
+    | Some p -> p
+    | None -> Mem.naive_placement (state_names elt)
+  in
+  let demand = Perf.demand_of ~packs:config.packs ~placement ~spec elt compiled profile in
+  { elt; spec; config; ir; compiled; profile; demand }
+
+(** Re-derive the demand of an already-ported NF under a new placement or
+    packing without re-running the compiler or the interpreter (neither
+    depends on those knobs).  Accelerator changes do require a full
+    [port]. *)
+let reconfigure (p : ported) (config : port_config) : ported =
+  if config.accel_apis <> p.config.accel_apis then port ~config p.elt p.spec
+  else begin
+    let placement =
+      match config.placement with
+      | Some pl -> pl
+      | None -> Mem.naive_placement (state_names p.elt)
+    in
+    let demand =
+      Perf.demand_of ~packs:config.packs ~placement ~spec:p.spec p.elt p.compiled p.profile
+    in
+    { p with config; demand }
+  end
+
+let measure ?(nic = Multicore.default_nic) ?cores (p : ported) =
+  let cores = match cores with Some c -> c | None -> nic.Multicore.n_cores in
+  Multicore.measure ~nic p.demand ~cores
+
+let sweep ?(nic = Multicore.default_nic) (p : ported) = Multicore.sweep ~nic p.demand
+
+let optimal_cores ?(nic = Multicore.default_nic) (p : ported) =
+  Multicore.optimal_cores ~nic p.demand
+
+(** Peak throughput across the core sweep, with its latency. *)
+let peak ?(nic = Multicore.default_nic) (p : ported) =
+  let points = sweep ~nic p in
+  List.fold_left
+    (fun acc pt ->
+      if pt.Multicore.throughput_mpps > acc.Multicore.throughput_mpps then pt else acc)
+    (List.hd points) points

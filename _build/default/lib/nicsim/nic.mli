@@ -1,0 +1,48 @@
+(** End-to-end NIC evaluation pipeline — the "manually port and benchmark"
+    step of the paper's methodology, against the simulator. *)
+
+(** The porting knobs Clara's insights tune. *)
+type port_config = {
+  accel_apis : string list;  (** API calls offloaded to ASIC engines *)
+  placement : Mem.placement option;  (** None = naive all-EMEM *)
+  packs : Perf.packs;  (** coalesced variable packs *)
+}
+
+(** Faithful translation: no accelerators, all state in EMEM, no packing. *)
+val naive_port : port_config
+
+(** A ported NF: lowered, compiled, profiled under a workload, with its
+    assembled per-packet demand. *)
+type ported = {
+  elt : Nf_lang.Ast.element;
+  spec : Workload.spec;
+  config : port_config;
+  ir : Nf_ir.Ir.func;
+  compiled : Nfcc.compiled;
+  profile : Nf_lang.Interp.profile;
+  demand : Perf.demand;
+}
+
+(** The element's stateful structure names. *)
+val state_names : Nf_lang.Ast.element -> string list
+
+(** The element's structure footprints in bytes (ILP sizes). *)
+val state_sizes : Nf_lang.Ast.element -> (string * int) list
+
+(** Lower, compile, profile and assemble the demand of an element under a
+    porting configuration and workload. *)
+val port : ?config:port_config -> Nf_lang.Ast.element -> Workload.spec -> ported
+
+(** Re-derive the demand under a new placement/packing without re-running
+    the compiler or interpreter (neither depends on those knobs);
+    accelerator changes trigger a full re-port. *)
+val reconfigure : ported -> port_config -> ported
+
+(** Measure at [cores] (default: all). *)
+val measure : ?nic:Multicore.nic -> ?cores:int -> ported -> Multicore.point
+
+val sweep : ?nic:Multicore.nic -> ported -> Multicore.point list
+val optimal_cores : ?nic:Multicore.nic -> ported -> int
+
+(** The highest-throughput point of the sweep. *)
+val peak : ?nic:Multicore.nic -> ported -> Multicore.point

@@ -1,0 +1,186 @@
+(** Per-packet resource demand of a ported NF (single-core view).
+
+    Combines the compiled NIC code, the workload-specific execution profile
+    from the host interpreter, the reverse-ported API cost profiles, the
+    state placement, and optional variable packing into one demand record;
+    {!Multicore} turns demands into throughput/latency points. *)
+
+open Nf_lang
+open Nf_ir
+
+type demand = {
+  d_name : string;
+  compute : float;  (** core cycles per packet (issue time incl. mem commands) *)
+  levels : float array;  (** memory accesses per packet per {!Mem.level} *)
+  accel_ops : (Accel.engine * float) list;  (** engine invocations per packet *)
+  per_structure : (string * float) list;
+      (** stateful accesses per packet per structure (after coalescing) *)
+  emem_hit : float;  (** EMEM SRAM cache hit ratio under this workload *)
+  payload_bytes : int;
+  wire_bytes : int;  (** on-wire packet size for line-rate limits *)
+}
+
+let fixed_io_cycles = 80.0
+(** per-packet rx/tx path: metadata parse, buffer credit, doorbell *)
+
+let flow_entry_bytes = 64
+
+let emem_hit_ratio (spec : Workload.spec) =
+  let cache_flows = Mem.emem_cache_bytes / flow_entry_bytes in
+  Workload.cache_hit_ratio spec ~cache_flows
+
+(** Execution count of a compiled block under the interpreter profile.
+    Resolution of the [src_sid] encoding established by the frontend. *)
+let block_exec (profile : Interp.profile) (cb : Nfcc.compiled_block) =
+  if cb.Nfcc.src_sid = 0 then profile.Interp.packets
+  else if cb.Nfcc.src_sid > 0 then Interp.stmt_count profile cb.Nfcc.src_sid
+  else if cb.Nfcc.src_sid < -1 then Interp.cond_count profile (-cb.Nfcc.src_sid - 1)
+  else profile.Interp.packets
+
+(** Variable packs from memory coalescing: within a block, accesses to
+    members of the same pack are fetched together, so the pack costs as
+    much as its most-accessed member rather than the sum (§4.4). *)
+type packs = string list list
+
+let pack_of (packs : packs) g = List.find_opt (fun pack -> List.mem g pack) packs
+
+(** Apply coalescing to a per-target access count list within one block. *)
+let coalesce_block_refs (packs : packs) (refs : (string * float) list) =
+  let in_pack, alone = List.partition (fun (g, _) -> pack_of packs g <> None) refs in
+  let by_pack = Hashtbl.create 4 in
+  List.iter
+    (fun (g, n) ->
+      match pack_of packs g with
+      | Some pack ->
+        let key = String.concat "," pack in
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt by_pack key) in
+        Hashtbl.replace by_pack key (max cur n)
+      | None -> ())
+    in_pack;
+  let packed =
+    Hashtbl.fold
+      (fun key n acc ->
+        match String.split_on_char ',' key with
+        | first :: _ -> (first, n) :: acc
+        | [] -> acc)
+      by_pack []
+  in
+  alone @ packed
+
+let add_level levels placement g n =
+  let level = Mem.level_of placement g in
+  let idx = Mem.level_index level in
+  levels.(idx) <- levels.(idx) +. n
+
+(** Payload accesses are issued as 8-byte bursts against the CTM packet
+    buffer, so per-byte IR accesses amortize 8:1. *)
+let payload_burst = 0.125
+
+let scale_packet_buffer g n = if String.equal g Mem.packet_buffer then payload_burst *. n else n
+
+let bump_tbl tbl g n =
+  Hashtbl.replace tbl g (n +. Option.value ~default:0.0 (Hashtbl.find_opt tbl g))
+
+(** Assemble the demand for an element.
+
+    [compiled] must come from lowering [elt] and compiling with the desired
+    accelerator configuration; [profile] from running the interpreter (in
+    NIC data-structure mode) over the packets of [spec]. *)
+let demand_of ?(packs : packs = []) ~(placement : Mem.placement) ~(spec : Workload.spec)
+    (elt : Ast.element) (compiled : Nfcc.compiled) (profile : Interp.profile) : demand =
+  let packets = float_of_int (max 1 profile.Interp.packets) in
+  let compute = ref fixed_io_cycles in
+  let levels = Array.make 5 0.0 in
+  let structure_tbl = Hashtbl.create 8 in
+  let accel_tbl = Hashtbl.create 4 in
+  let bump_accel e n =
+    Hashtbl.replace accel_tbl e (n +. Option.value ~default:0.0 (Hashtbl.find_opt accel_tbl e))
+  in
+  let api_profiles =
+    List.map
+      (fun (call, impl) -> (call, Api_cost.profile_of_impl impl))
+      (Nf_frontend.Api_ir.impls_for_element elt compiled.Nfcc.source)
+  in
+  Array.iter
+    (fun cb ->
+      let n = float_of_int (block_exec profile cb) /. packets in
+      if n > 0.0 then begin
+        (* core issue cycles for the block's own instructions *)
+        List.iter
+          (fun i ->
+            compute := !compute +. (n *. float_of_int (Isa.issue_cycles i));
+            match i.Isa.op with
+            | Isa.Local_mem _ -> levels.(Mem.level_index Mem.LMEM) <- levels.(Mem.level_index Mem.LMEM) +. n
+            | Isa.Accel_call api -> (
+              match Accel.engine_of_api api with
+              | Some e -> bump_accel e n
+              | None -> ())
+            | _ -> ())
+          cb.Nfcc.instrs;
+        (* stateful refs of this block, coalesced by packs, then placed *)
+        let refs = Hashtbl.create 4 in
+        List.iter
+          (fun i ->
+            match Isa.mem_target i with
+            | Some g ->
+              Hashtbl.replace refs g (n +. Option.value ~default:0.0 (Hashtbl.find_opt refs g))
+            | None -> ())
+          cb.Nfcc.instrs;
+        let ref_list = Hashtbl.fold (fun g c acc -> (g, c) :: acc) refs [] in
+        List.iter
+          (fun (g, c) ->
+            let c = scale_packet_buffer g c in
+            add_level levels placement g c;
+            bump_tbl structure_tbl g c)
+          (coalesce_block_refs packs ref_list)
+      end)
+    compiled.Nfcc.cblocks;
+  (* framework API callee costs (reverse-ported implementations) for calls
+     that were not handed to an accelerator *)
+  Array.iter
+    (fun cb ->
+      let n = float_of_int (block_exec profile cb) /. packets in
+      if n > 0.0 then begin
+        let source_block = Ir.block compiled.Nfcc.source cb.Nfcc.bid in
+        List.iter
+          (fun (i : Ir.instr) ->
+            match (i.Ir.op, i.Ir.annot) with
+            | Ir.Call callee, Ir.Api _
+              when not (List.exists (fun inst -> inst.Isa.op = Isa.Accel_call callee) cb.Nfcc.instrs)
+              -> (
+              match List.assoc_opt callee api_profiles with
+              | Some p ->
+                let cost = Api_cost.call_cost p profile spec in
+                compute := !compute +. (n *. cost.Api_cost.cycles);
+                levels.(Mem.level_index Mem.LMEM) <-
+                  levels.(Mem.level_index Mem.LMEM) +. (n *. cost.Api_cost.local_mem);
+                List.iter
+                  (fun (g, c) ->
+                    let c = scale_packet_buffer g (n *. c) in
+                    add_level levels placement g c;
+                    bump_tbl structure_tbl g c)
+                  cost.Api_cost.mem
+              | None -> ())
+            | _ -> ())
+          source_block.Ir.instrs
+      end)
+    compiled.Nfcc.cblocks;
+  {
+    d_name = elt.Ast.name;
+    compute = !compute;
+    levels;
+    accel_ops = Hashtbl.fold (fun e n acc -> (e, n) :: acc) accel_tbl [];
+    per_structure =
+      List.sort compare (Hashtbl.fold (fun g n acc -> (g, n) :: acc) structure_tbl []);
+    emem_hit = emem_hit_ratio spec;
+    payload_bytes = spec.Workload.payload_len;
+    wire_bytes = 54 + spec.Workload.payload_len;
+  }
+
+(** Arithmetic intensity: compute cycles per stateful memory access, the
+    feature driving scale-out and colocation behaviour (§4.2, §4.5). *)
+let arithmetic_intensity d =
+  let mem = Array.fold_left ( +. ) 0.0 d.levels -. d.levels.(Mem.level_index Mem.LMEM) in
+  d.compute /. max 1.0 mem
+
+let total_mem_accesses d = Array.fold_left ( +. ) 0.0 d.levels

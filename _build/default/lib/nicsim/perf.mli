@@ -1,0 +1,61 @@
+(** Per-packet resource demand of a ported NF (single-core view): the
+    bridge between compiled code + workload profile and the multicore
+    performance model. *)
+
+(** Per-packet demand under a concrete workload and porting
+    configuration. *)
+type demand = {
+  d_name : string;
+  compute : float;  (** core cycles per packet (issue time incl. memory commands) *)
+  levels : float array;  (** memory accesses per packet, indexed by {!Mem.level_index} *)
+  accel_ops : (Accel.engine * float) list;  (** engine invocations per packet *)
+  per_structure : (string * float) list;
+      (** stateful accesses per packet per structure (after coalescing) *)
+  emem_hit : float;  (** EMEM SRAM cache hit ratio under this workload *)
+  payload_bytes : int;
+  wire_bytes : int;  (** on-wire packet size, for line-rate limits *)
+}
+
+(** Per-packet rx/tx fixed path cost in cycles. *)
+val fixed_io_cycles : float
+
+(** Assumed bytes per cached flow entry (EMEM-cache sizing). *)
+val flow_entry_bytes : int
+
+(** Analytic EMEM cache hit ratio of a workload. *)
+val emem_hit_ratio : Workload.spec -> float
+
+(** Execution count of a compiled block under an interpreter profile,
+    resolving the frontend's [src_sid] encoding (0 = per packet, positive
+    = statement count, negative = loop-header condition count). *)
+val block_exec : Nf_lang.Interp.profile -> Nfcc.compiled_block -> int
+
+(** Variable packs from memory coalescing: within a block, members of one
+    pack are fetched together. *)
+type packs = string list list
+
+(** The pack containing variable [g], if any. *)
+val pack_of : packs -> string -> string list option
+
+(** Merge a block's per-structure access counts by pack (the pack costs
+    its most-accessed member rather than the sum, §4.4). *)
+val coalesce_block_refs : packs -> (string * float) list -> (string * float) list
+
+(** Assemble the demand of an element.  [compiled] must come from lowering
+    [elt] under the desired accelerator configuration; [profile] from
+    interpreting it (NIC data-structure mode) over the packets of
+    [spec]. *)
+val demand_of :
+  ?packs:packs ->
+  placement:Mem.placement ->
+  spec:Workload.spec ->
+  Nf_lang.Ast.element ->
+  Nfcc.compiled ->
+  Nf_lang.Interp.profile ->
+  demand
+
+(** Compute cycles per stateful memory access — the feature driving
+    scale-out and colocation behaviour (§4.2, §4.5). *)
+val arithmetic_intensity : demand -> float
+
+val total_mem_accesses : demand -> float

@@ -1,0 +1,70 @@
+(** SmartNIC platform profiles (§6 "Other SmartNICs").
+
+    The paper's techniques target SoC SmartNICs with explicit ISAs:
+    Netronome Agilio (the prototype), Nvidia BlueField, Marvell LiquidIO,
+    Broadcom Stingray, Fungible DPUs, Pensando DSCs.  Each profile pairs a
+    core complex ({!Multicore.nic}) with a memory fabric
+    ({!Multicore.hw}); the knee positions and accelerator payoffs shift
+    accordingly, which the portability experiment demonstrates. *)
+
+type t = { name : string; nic : Multicore.nic; hw : Multicore.hw }
+
+(** The paper's testbed: many wimpy cores, deep software-managed
+    hierarchy. *)
+let agilio =
+  {
+    name = "Netronome Agilio CX (60x 1.2GHz)";
+    nic = Multicore.default_nic;
+    hw = Multicore.agilio_hw;
+  }
+
+(** BlueField-like: few beefy ARM cores on a 100G port; the fast clock
+    makes memory look slower in cycles, but coherent caches give more
+    bandwidth per cycle of DRAM. *)
+let bluefield_like =
+  {
+    name = "BlueField-like (8x 2.5GHz)";
+    nic = { Multicore.n_cores = 8; freq_mhz = 2500.0; wire_gbps = 100.0 };
+    hw =
+      {
+        Multicore.hw_name = "bluefield-like";
+        cls_bw = 0.8;
+        ctm_bw = 0.9;
+        imem_bw = 1.2;
+        emem_cache_bw = 0.5;
+        emem_dram_bw = 0.2;
+        lat_scale = 1.6;
+      };
+  }
+
+(** LiquidIO-like: a middle ground — 36 MIPS-style cores at 1.8 GHz. *)
+let liquidio_like =
+  {
+    name = "LiquidIO-like (36x 1.8GHz)";
+    nic = { Multicore.n_cores = 36; freq_mhz = 1800.0; wire_gbps = 50.0 };
+    hw =
+      {
+        Multicore.hw_name = "liquidio-like";
+        cls_bw = 0.5;
+        ctm_bw = 0.6;
+        imem_bw = 0.9;
+        emem_cache_bw = 0.3;
+        emem_dram_bw = 0.12;
+        lat_scale = 1.25;
+      };
+  }
+
+let all = [ agilio; bluefield_like; liquidio_like ]
+
+(** Measure one operating point of a demand on a profile. *)
+let measure t d ~cores = Multicore.measure ~hw:t.hw ~nic:t.nic d ~cores
+
+let optimal_cores t d = Multicore.optimal_cores ~hw:t.hw ~nic:t.nic d
+
+(** Peak point across the profile's core range. *)
+let peak t d =
+  let points = Multicore.sweep ~hw:t.hw ~nic:t.nic d in
+  List.fold_left
+    (fun acc (p : Multicore.point) ->
+      if p.Multicore.throughput_mpps > acc.Multicore.throughput_mpps then p else acc)
+    (List.hd points) points

@@ -1,0 +1,25 @@
+(** SmartNIC platform profiles (§6 "Other SmartNICs"): core complexes and
+    memory fabrics of SoC-SmartNIC families, for the portability study. *)
+
+type t = { name : string; nic : Multicore.nic; hw : Multicore.hw }
+
+(** The paper's testbed: 60 wimpy 1.2 GHz cores, deep software-managed
+    hierarchy. *)
+val agilio : t
+
+(** Few beefy ARM cores on a 100G port. *)
+val bluefield_like : t
+
+(** A middle ground: 36 cores at 1.8 GHz. *)
+val liquidio_like : t
+
+val all : t list
+
+(** Measure a demand on a profile. *)
+val measure : t -> Perf.demand -> cores:int -> Multicore.point
+
+(** The profile-specific knee. *)
+val optimal_cores : t -> Perf.demand -> int
+
+(** Peak point across the profile's core range. *)
+val peak : t -> Perf.demand -> Multicore.point

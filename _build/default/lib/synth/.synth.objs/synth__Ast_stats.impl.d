@@ -1,0 +1,1 @@
+lib/synth/ast_stats.ml: Array Ast List Nf_lang

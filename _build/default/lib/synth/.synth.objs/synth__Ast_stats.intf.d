@@ -1,0 +1,1 @@
+lib/synth/ast_stats.mli: Nf_lang

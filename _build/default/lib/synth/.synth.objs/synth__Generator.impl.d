@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Array Ast Ast_stats Build Corpus List Nf_lang Printf Util

@@ -1,0 +1,1 @@
+lib/synth/generator.mli: Ast_stats Nf_lang

@@ -1,0 +1,218 @@
+(** Statistical profile of a Click-element corpus (§3.2 data synthesis).
+
+    The paper customizes YarpGen so that generated programs follow the AST
+    distribution of real Click elements.  This module extracts that
+    distribution: statement-kind frequencies, operator frequencies, header
+    field popularity, literal magnitudes, and structural parameters
+    (handler length, branch length, loop bounds). *)
+
+open Nf_lang
+
+type t = {
+  stmt_kinds : float array;  (** indexed by {!stmt_kind_index} *)
+  binops : float array;  (** 8 binops *)
+  cmpops : float array;  (** 6 comparisons *)
+  hdr_fields : float array;  (** 22 header fields *)
+  expr_leaves : float array;  (** const, local, global, hdr, payload, pkt_len *)
+  const_small : float;  (** fraction of literals below 256 *)
+  mean_handler_len : float;
+  mean_branch_len : float;
+  mean_loop_bound : float;
+  stateful_fraction : float;
+  mean_scalars : float;
+  mean_arrays : float;
+  map_fraction : float;
+}
+
+let stmt_kind_count = 10
+
+(** let=0 set_hdr=1 set_global=2 arr=3 map=4 if=5 for=6 api=7 payload=8 verdict=9 *)
+let stmt_kind_index (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Let (_, _) -> 0
+  | Ast.Set_hdr (_, _) -> 1
+  | Ast.Set_global (_, _) -> 2
+  | Ast.Arr_set (_, _, _) -> 3
+  | Ast.Map_find (_, _, _) | Ast.Map_read (_, _, _) | Ast.Map_write (_, _, _)
+  | Ast.Map_insert (_, _, _) | Ast.Map_erase _ | Ast.Vec_append (_, _) | Ast.Vec_get (_, _, _)
+  | Ast.Vec_set (_, _, _) ->
+    4
+  | Ast.If (_, _, _) -> 5
+  | Ast.For (_, _, _, _) | Ast.While (_, _) -> 6
+  | Ast.Api_stmt (_, _) -> 7
+  | Ast.Set_payload (_, _) -> 8
+  | Ast.Emit _ | Ast.Drop | Ast.Return | Ast.Call_sub _ -> 9
+
+let binop_index = function
+  | Ast.Add -> 0
+  | Ast.Sub -> 1
+  | Ast.Mul -> 2
+  | Ast.BAnd -> 3
+  | Ast.BOr -> 4
+  | Ast.BXor -> 5
+  | Ast.Shl -> 6
+  | Ast.Shr -> 7
+
+let all_binops = [| Ast.Add; Ast.Sub; Ast.Mul; Ast.BAnd; Ast.BOr; Ast.BXor; Ast.Shl; Ast.Shr |]
+
+let cmpop_index = function
+  | Ast.Eq -> 0
+  | Ast.Ne -> 1
+  | Ast.Lt -> 2
+  | Ast.Le -> 3
+  | Ast.Gt -> 4
+  | Ast.Ge -> 5
+
+let all_cmpops = [| Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge |]
+
+let all_fields =
+  [| Ast.Eth_type; Ast.Ip_src; Ast.Ip_dst; Ast.Ip_proto; Ast.Ip_ttl; Ast.Ip_len; Ast.Ip_hl;
+     Ast.Ip_tos; Ast.Ip_id; Ast.Ip_csum; Ast.Tcp_sport; Ast.Tcp_dport; Ast.Tcp_seq;
+     Ast.Tcp_ack; Ast.Tcp_off; Ast.Tcp_flags; Ast.Tcp_win; Ast.Tcp_csum; Ast.Udp_sport;
+     Ast.Udp_dport; Ast.Udp_len; Ast.Udp_csum |]
+
+let field_index f =
+  let rec scan i = if all_fields.(i) == f || all_fields.(i) = f then i else scan (i + 1) in
+  scan 0
+
+(* leaves: const=0 local=1 global=2 hdr=3 payload=4 pkt_len=5 *)
+let leaf_count = 6
+
+let rec walk_expr acc_binop acc_cmp acc_field acc_leaf consts (e : Ast.expr) =
+  let recur = walk_expr acc_binop acc_cmp acc_field acc_leaf consts in
+  match e with
+  | Ast.Int n ->
+    acc_leaf.(0) <- acc_leaf.(0) +. 1.0;
+    consts := n :: !consts
+  | Ast.Local _ -> acc_leaf.(1) <- acc_leaf.(1) +. 1.0
+  | Ast.Global _ -> acc_leaf.(2) <- acc_leaf.(2) +. 1.0
+  | Ast.Hdr f ->
+    acc_leaf.(3) <- acc_leaf.(3) +. 1.0;
+    acc_field.(field_index f) <- acc_field.(field_index f) +. 1.0
+  | Ast.Payload_byte e1 ->
+    acc_leaf.(4) <- acc_leaf.(4) +. 1.0;
+    recur e1
+  | Ast.Packet_len -> acc_leaf.(5) <- acc_leaf.(5) +. 1.0
+  | Ast.Bin (op, a, b) ->
+    acc_binop.(binop_index op) <- acc_binop.(binop_index op) +. 1.0;
+    recur a;
+    recur b
+  | Ast.Cmp (op, a, b) ->
+    acc_cmp.(cmpop_index op) <- acc_cmp.(cmpop_index op) +. 1.0;
+    recur a;
+    recur b
+  | Ast.Not a -> recur a
+  | Ast.And_also (a, b) | Ast.Or_else (a, b) ->
+    recur a;
+    recur b
+  | Ast.Arr_get (_, idx) -> recur idx
+  | Ast.Vec_len _ -> ()
+  | Ast.Api_expr (_, args) -> List.iter recur args
+
+(** Extract the statistical profile from a set of elements. *)
+let of_corpus (elts : Ast.element list) : t =
+  let stmt_kinds = Array.make stmt_kind_count 0.0 in
+  let binops = Array.make 8 0.0 in
+  let cmpops = Array.make 6 0.0 in
+  let hdr_fields = Array.make (Array.length all_fields) 0.0 in
+  let leaves = Array.make leaf_count 0.0 in
+  let consts = ref [] in
+  let branch_lens = ref [] and loop_bounds = ref [] in
+  let rec walk_stmt (s : Ast.stmt) =
+    stmt_kinds.(stmt_kind_index s) <- stmt_kinds.(stmt_kind_index s) +. 1.0;
+    let we = walk_expr binops cmpops hdr_fields leaves consts in
+    match s.Ast.node with
+    | Ast.Let (_, e) | Ast.Set_global (_, e) | Ast.Set_hdr (_, e) | Ast.Map_write (_, _, e)
+    | Ast.Vec_append (_, e) ->
+      we e
+    | Ast.Set_payload (a, b) | Ast.Arr_set (_, a, b) | Ast.Vec_set (_, a, b) ->
+      we a;
+      we b
+    | Ast.Map_find (_, keys, _) -> List.iter we keys
+    | Ast.Map_insert (_, keys, vals) -> List.iter we (keys @ vals)
+    | Ast.Map_read (_, _, _) | Ast.Map_erase _ | Ast.Emit _ | Ast.Drop | Ast.Call_sub _
+    | Ast.Return ->
+      ()
+    | Ast.Vec_get (_, e, _) -> we e
+    | Ast.If (c, t, f) ->
+      we c;
+      branch_lens := List.length t :: !branch_lens;
+      if f <> [] then branch_lens := List.length f :: !branch_lens;
+      List.iter walk_stmt t;
+      List.iter walk_stmt f
+    | Ast.While (c, body) ->
+      we c;
+      loop_bounds := 8 :: !loop_bounds;
+      List.iter walk_stmt body
+    | Ast.For (_, lo, hi, body) ->
+      we lo;
+      we hi;
+      (match (lo, hi) with
+      | Ast.Int a, Ast.Int b -> loop_bounds := (b - a) :: !loop_bounds
+      | _ -> loop_bounds := 8 :: !loop_bounds);
+      List.iter walk_stmt body
+    | Ast.Api_stmt (_, args) -> List.iter we args
+  in
+  let handler_lens = List.map (fun e -> List.length e.Ast.handler) elts in
+  List.iter (fun e -> List.iter walk_stmt (e.Ast.handler @ List.concat_map snd e.Ast.subs)) elts;
+  let mean xs = if xs = [] then 0.0 else float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs) in
+  let n_elts = float_of_int (max 1 (List.length elts)) in
+  let small = List.length (List.filter (fun n -> abs n < 256) !consts) in
+  {
+    stmt_kinds;
+    binops;
+    cmpops;
+    hdr_fields;
+    expr_leaves = leaves;
+    const_small =
+      (if !consts = [] then 0.8 else float_of_int small /. float_of_int (List.length !consts));
+    mean_handler_len = mean handler_lens;
+    mean_branch_len = max 1.0 (mean !branch_lens);
+    mean_loop_bound = max 2.0 (mean !loop_bounds);
+    stateful_fraction =
+      float_of_int (List.length (List.filter Ast.is_stateful elts)) /. n_elts;
+    mean_scalars =
+      List.fold_left
+        (fun acc e ->
+          acc
+          +. float_of_int
+               (List.length
+                  (List.filter (function Ast.Scalar _ -> true | _ -> false) e.Ast.state)))
+        0.0 elts
+      /. n_elts;
+    mean_arrays =
+      List.fold_left
+        (fun acc e ->
+          acc
+          +. float_of_int
+               (List.length
+                  (List.filter (function Ast.Array _ -> true | _ -> false) e.Ast.state)))
+        0.0 elts
+      /. n_elts;
+    map_fraction =
+      float_of_int
+        (List.length
+           (List.filter
+              (fun e -> List.exists (function Ast.Map _ -> true | _ -> false) e.Ast.state)
+              elts))
+      /. n_elts;
+  }
+
+(** Uniform profile: what a generator ignorant of Click statistics would
+    use (the Table-1 baseline). *)
+let uniform : t =
+  {
+    stmt_kinds = Array.make stmt_kind_count 1.0;
+    binops = Array.make 8 1.0;
+    cmpops = Array.make 6 1.0;
+    hdr_fields = Array.make (Array.length all_fields) 1.0;
+    expr_leaves = Array.make leaf_count 1.0;
+    const_small = 0.5;
+    mean_handler_len = 10.0;
+    mean_branch_len = 3.0;
+    mean_loop_bound = 12.0;
+    stateful_fraction = 0.5;
+    mean_scalars = 2.0;
+    mean_arrays = 1.0;
+    map_fraction = 0.5;
+  }

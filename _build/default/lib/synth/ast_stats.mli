@@ -1,0 +1,41 @@
+(** Statistical profile of a Click-element corpus (§3.2 data synthesis):
+    the AST distribution the customized generator follows — statement and
+    operator frequencies, header-field popularity, literal magnitudes,
+    and structural parameters. *)
+
+type t = {
+  stmt_kinds : float array;  (** indexed by {!stmt_kind_index} *)
+  binops : float array;
+  cmpops : float array;
+  hdr_fields : float array;  (** indexed like {!all_fields} *)
+  expr_leaves : float array;  (** const, local, global, hdr, payload, pkt_len *)
+  const_small : float;  (** fraction of literals below 256 *)
+  mean_handler_len : float;
+  mean_branch_len : float;
+  mean_loop_bound : float;
+  stateful_fraction : float;
+  mean_scalars : float;
+  mean_arrays : float;
+  map_fraction : float;
+}
+
+val stmt_kind_count : int
+
+(** Kind bucket of a statement (let/set_hdr/set_global/arr/map/if/loop/
+    api/payload/verdict). *)
+val stmt_kind_index : Nf_lang.Ast.stmt -> int
+
+val binop_index : Nf_lang.Ast.binop -> int
+val all_binops : Nf_lang.Ast.binop array
+val cmpop_index : Nf_lang.Ast.cmpop -> int
+val all_cmpops : Nf_lang.Ast.cmpop array
+val all_fields : Nf_lang.Ast.header_field array
+val field_index : Nf_lang.Ast.header_field -> int
+val leaf_count : int
+
+(** Extract the profile from a set of elements. *)
+val of_corpus : Nf_lang.Ast.element list -> t
+
+(** The unfitted profile a Click-ignorant generator would use (the Table-1
+    baseline). *)
+val uniform : t

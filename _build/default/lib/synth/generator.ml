@@ -1,0 +1,187 @@
+(** YarpGen-style random NF generator guided by corpus statistics (§3.2).
+
+    Programs are generated top-down from weighted production rules whose
+    weights come from an {!Ast_stats.t} profile, then wrapped in Click
+    Element classes (packet handler, Packet/WritablePacket field access),
+    exactly the customization the paper applies to YarpGen.  Generated
+    programs are well-formed (locals defined before use, loop bounds
+    constant) so they can be interpreted, lowered and compiled. *)
+
+open Nf_lang
+
+type config = {
+  stats : Ast_stats.t;
+  max_depth : int;  (** nesting depth for if/for *)
+  seed : int;
+}
+
+let default_config stats = { stats; max_depth = 3; seed = 101 }
+
+type env = {
+  rng : Util.Rng.t;
+  cfg : config;
+  mutable locals : string list;
+  mutable n_locals : int;
+  scalars : string list;
+  arrays : (string * int) list;
+  maps : string list;  (** maps with a (find, read-field) protocol *)
+}
+
+let fresh_local env =
+  let name = Printf.sprintf "v%d" env.n_locals in
+  env.n_locals <- env.n_locals + 1;
+  env.locals <- name :: env.locals;
+  name
+
+let pick_weighted env weights values =
+  values.(Util.Rng.weighted_index env.rng weights)
+
+let pick_field env = pick_weighted env env.cfg.stats.Ast_stats.hdr_fields Ast_stats.all_fields
+
+let gen_const env =
+  if Util.Rng.bernoulli env.rng env.cfg.stats.Ast_stats.const_small then
+    Ast.Int (Util.Rng.int env.rng 256)
+  else if Util.Rng.bool env.rng then Ast.Int (256 + Util.Rng.int env.rng 65280)
+  else Ast.Int (65536 + Util.Rng.int env.rng 0xffff0)
+
+let rec gen_expr env depth =
+  let leaf () =
+    let weights = Array.copy env.cfg.stats.Ast_stats.expr_leaves in
+    (* disable unavailable leaves *)
+    if env.locals = [] then weights.(1) <- 0.0;
+    if env.scalars = [] then weights.(2) <- 0.0;
+    match Util.Rng.weighted_index env.rng weights with
+    | 0 -> gen_const env
+    | 1 -> Ast.Local (Util.Rng.choose env.rng env.locals)
+    | 2 -> Ast.Global (Util.Rng.choose env.rng env.scalars)
+    | 3 -> Ast.Hdr (pick_field env)
+    | 4 -> Ast.Payload_byte (Ast.Int (Util.Rng.int env.rng 26))
+    | _ -> Ast.Packet_len
+  in
+  if depth <= 0 || Util.Rng.bernoulli env.rng 0.4 then leaf ()
+  else begin
+    let op = pick_weighted env env.cfg.stats.Ast_stats.binops Ast_stats.all_binops in
+    let a = gen_expr env (depth - 1) in
+    let b = gen_expr env (depth - 1) in
+    (* shifts by bounded constants only, to stay NIC-portable *)
+    match op with
+    | Ast.Shl | Ast.Shr -> Ast.Bin (op, a, Ast.Int (1 + Util.Rng.int env.rng 7))
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.BAnd | Ast.BOr | Ast.BXor -> Ast.Bin (op, a, b)
+  end
+
+let gen_cond env =
+  let op = pick_weighted env env.cfg.stats.Ast_stats.cmpops Ast_stats.all_cmpops in
+  Ast.Cmp (op, gen_expr env 1, gen_expr env 1)
+
+let rec gen_stmt env depth : Ast.stmt list =
+  let stats = env.cfg.stats in
+  let weights = Array.copy stats.Ast_stats.stmt_kinds in
+  (* kinds: let set_hdr set_global arr map if for api payload verdict *)
+  if env.scalars = [] then weights.(2) <- 0.0;
+  if env.arrays = [] then weights.(3) <- 0.0;
+  if env.maps = [] then weights.(4) <- 0.0;
+  if depth >= env.cfg.max_depth then begin
+    weights.(5) <- 0.0;
+    weights.(6) <- 0.0
+  end;
+  weights.(9) <- 0.0;
+  (* verdicts added at the end only *)
+  match Util.Rng.weighted_index env.rng weights with
+  | 0 ->
+    let e = gen_expr env 2 in
+    [ Build.let_ (fresh_local env) e ]
+  | 1 -> [ Build.set_hdr (pick_field env) (gen_expr env 2) ]
+  | 2 ->
+    let gname = Util.Rng.choose env.rng env.scalars in
+    [ Build.set_g gname (gen_expr env 2) ]
+  | 3 ->
+    let aname, alen = Util.Rng.choose env.rng env.arrays in
+    let idx = Ast.Bin (Ast.BAnd, gen_expr env 1, Ast.Int (alen - 1)) in
+    if Util.Rng.bool env.rng then [ Build.arr_set aname idx (gen_expr env 2) ]
+    else [ Build.let_ (fresh_local env) (Ast.Arr_get (aname, idx)) ]
+  | 4 ->
+    let m = Util.Rng.choose env.rng env.maps in
+    let hit = fresh_local env in
+    let v = fresh_local env in
+    [ Build.map_find m [ Ast.Hdr Ast.Ip_src; Ast.Hdr Ast.Ip_dst ] hit;
+      Build.if_
+        (Ast.Cmp (Ast.Ne, Ast.Local hit, Ast.Int 0))
+        [ Build.map_read m "val0" v; Build.map_write m "val0" (Ast.Bin (Ast.Add, Ast.Local v, Ast.Int 1)) ]
+        [ Build.map_insert m [ Ast.Hdr Ast.Ip_src; Ast.Hdr Ast.Ip_dst ] [ Ast.Int 1 ] ] ]
+  | 5 ->
+    (* locals introduced inside a branch stay scoped to it so later code
+       never reads a conditionally-defined variable *)
+    let scope = env.locals in
+    let len = max 1 (1 + Util.Rng.int env.rng (int_of_float stats.Ast_stats.mean_branch_len * 2)) in
+    let then_branch = List.concat (List.init len (fun _ -> gen_stmt env (depth + 1))) in
+    env.locals <- scope;
+    let else_branch =
+      if Util.Rng.bernoulli env.rng 0.4 then
+        List.concat (List.init (max 1 (len / 2)) (fun _ -> gen_stmt env (depth + 1)))
+      else []
+    in
+    env.locals <- scope;
+    [ Build.if_ (gen_cond env) then_branch else_branch ]
+  | 6 ->
+    let scope = env.locals in
+    let bound = 2 + Util.Rng.int env.rng (int_of_float stats.Ast_stats.mean_loop_bound * 2) in
+    let len = max 1 (1 + Util.Rng.int env.rng 2) in
+    let var = fresh_local env in
+    let body = List.concat (List.init len (fun _ -> gen_stmt env (depth + 1))) in
+    env.locals <- scope;
+    [ Build.for_ var (Ast.Int 0) (Ast.Int bound) body ]
+  | 7 ->
+    let choice = Util.Rng.int env.rng 4 in
+    if choice = 0 then [ Build.api_stmt "checksum_update_ip" [] ]
+    else if choice = 1 then
+      [ Build.let_ (fresh_local env) (Ast.Api_expr ("hash32", [ gen_expr env 1; gen_expr env 1 ])) ]
+    else if choice = 2 then
+      [ Build.let_ (fresh_local env) (Ast.Api_expr ("crc16_payload", [ Ast.Int 0; Ast.Int 8 ])) ]
+    else [ Build.api_stmt "csum_incr_update" [ gen_expr env 1; gen_expr env 1 ] ]
+  | _ -> [ Build.set_payload (Ast.Int (Util.Rng.int env.rng 26)) (gen_expr env 1) ]
+
+(** Generate one element.  Statefulness follows the corpus profile. *)
+let generate ?(config : config option) ~(stats : Ast_stats.t) ~seed name =
+  let cfg = match config with Some c -> { c with seed } | None -> { (default_config stats) with seed } in
+  let rng = Util.Rng.create seed in
+  let stateful = Util.Rng.bernoulli rng stats.Ast_stats.stateful_fraction in
+  let n_scalars =
+    if stateful then max 1 (Util.Rng.int rng (1 + (2 * int_of_float stats.Ast_stats.mean_scalars)))
+    else 0
+  in
+  let n_arrays =
+    if stateful then Util.Rng.int rng (1 + (2 * int_of_float (max 1.0 stats.Ast_stats.mean_arrays)))
+    else 0
+  in
+  let with_map = stateful && Util.Rng.bernoulli rng stats.Ast_stats.map_fraction in
+  let scalars = List.init n_scalars (fun i -> Printf.sprintf "g%d" i) in
+  let arrays = List.init n_arrays (fun i -> (Printf.sprintf "tbl%d" i, 256 lsl Util.Rng.int rng 3)) in
+  let maps = if with_map then [ "state_map" ] else [] in
+  let state =
+    List.map (fun s -> Build.scalar s) scalars
+    @ List.map (fun (a, len) -> Build.array a len) arrays
+    @ (if with_map then
+         [ Build.map_decl "state_map" ~key_widths:[ 32; 32 ] ~val_fields:[ ("val0", 32) ]
+             ~capacity:(1024 lsl Util.Rng.int rng 3) ]
+       else [])
+  in
+  let env = { rng; cfg; locals = []; n_locals = 0; scalars; arrays; maps } in
+  let len =
+    max 3 (int_of_float stats.Ast_stats.mean_handler_len / 2 + Util.Rng.int rng (max 1 (int_of_float stats.Ast_stats.mean_handler_len)))
+  in
+  let body = List.concat (List.init len (fun _ -> gen_stmt env 0)) in
+  let verdict =
+    if Util.Rng.bernoulli rng 0.85 then [ Build.emit 0 ]
+    else [ Build.if_ (gen_cond env) [ Build.emit 0 ] [ Build.drop ] ]
+  in
+  Build.element name ~state (body @ verdict)
+
+(** Generate a batch of [n] elements with distinct seeds. *)
+let batch ?(stats : Ast_stats.t option) ?(seed = 1000) n =
+  let stats = match stats with Some s -> s | None -> Ast_stats.of_corpus (Corpus.table2 ()) in
+  List.init n (fun k -> generate ~stats ~seed:(seed + (k * 7919)) (Printf.sprintf "syn_%d" k))
+
+(** Baseline batch: ignores the corpus distribution (uniform weights). *)
+let baseline_batch ?(seed = 2000) n =
+  List.init n (fun k ->
+      generate ~stats:Ast_stats.uniform ~seed:(seed + (k * 7919)) (Printf.sprintf "base_%d" k))

@@ -1,0 +1,25 @@
+(** YarpGen-style random NF generator guided by corpus statistics (§3.2):
+    programs are generated top-down from weighted production rules fitted
+    to the real corpus, wrapped in Click Element classes, and guaranteed
+    well-formed (interpretable, lowerable, compilable). *)
+
+type config = {
+  stats : Ast_stats.t;
+  max_depth : int;  (** nesting depth for if/for *)
+  seed : int;
+}
+
+val default_config : Ast_stats.t -> config
+
+(** Generate one element under a statistics profile; deterministic in
+    [seed]. *)
+val generate :
+  ?config:config -> stats:Ast_stats.t -> seed:int -> string -> Nf_lang.Ast.element
+
+(** [n] elements with distinct derived seeds, fitted to the Table-2 corpus
+    statistics by default. *)
+val batch : ?stats:Ast_stats.t -> ?seed:int -> int -> Nf_lang.Ast.element list
+
+(** The Table-1 baseline: same generator under uniform (unfitted)
+    weights. *)
+val baseline_batch : ?seed:int -> int -> Nf_lang.Ast.element list

@@ -1,0 +1,1 @@
+lib/util/distance.ml: Array Stats

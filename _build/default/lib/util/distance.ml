@@ -1,0 +1,87 @@
+(** Distribution distance metrics used by the data-synthesis evaluation
+    (paper Table 1).  All functions take two discrete distributions of the
+    same cardinality; inputs are normalized defensively. *)
+
+(** Normalize with additive (Laplace) smoothing so support mismatches do
+    not blow up the unbounded divergences (Renyi, KL). *)
+let smooth_normalize xs =
+  let p = Stats.normalize xs in
+  let n = float_of_int (Array.length p) in
+  let lambda = 1e-3 in
+  Array.map (fun v -> (v +. (lambda /. n)) /. (1.0 +. lambda)) p
+
+let check p q =
+  if Array.length p <> Array.length q then invalid_arg "Distance: cardinality mismatch";
+  (smooth_normalize p, smooth_normalize q)
+
+let epsilon = 1e-12
+
+let kl_divergence p q =
+  let p, q = check p q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi -> if pi > 0.0 then acc := !acc +. (pi *. log (pi /. max epsilon q.(i))))
+    p;
+  !acc
+
+(** Jensen-Shannon divergence (base e, bounded by ln 2). *)
+let jensen_shannon p q =
+  let p, q = check p q in
+  let m = Array.mapi (fun i pi -> 0.5 *. (pi +. q.(i))) p in
+  (0.5 *. kl_divergence p m) +. (0.5 *. kl_divergence q m)
+
+(** Rényi divergence of order [alpha] (default 2). *)
+let renyi ?(alpha = 2.0) p q =
+  if alpha <= 0.0 || alpha = 1.0 then invalid_arg "Distance.renyi: alpha";
+  let p, q = check p q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+      if pi > 0.0 then
+        acc := !acc +. ((pi ** alpha) *. (max epsilon q.(i) ** (1.0 -. alpha))))
+    p;
+  log (max epsilon !acc) /. (alpha -. 1.0)
+
+let bhattacharyya p q =
+  let p, q = check p q in
+  let bc = ref 0.0 in
+  Array.iteri (fun i pi -> bc := !bc +. sqrt (pi *. q.(i))) p;
+  -.log (max epsilon (min 1.0 !bc))
+
+let cosine p q =
+  let p, q = check p q in
+  let dot = ref 0.0 and np = ref 0.0 and nq = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+      dot := !dot +. (pi *. q.(i));
+      np := !np +. (pi *. pi);
+      nq := !nq +. (q.(i) *. q.(i)))
+    p;
+  if !np = 0.0 || !nq = 0.0 then 1.0 else 1.0 -. (!dot /. (sqrt !np *. sqrt !nq))
+
+let euclidean p q =
+  let p, q = check p q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+      let d = pi -. q.(i) in
+      acc := !acc +. (d *. d))
+    p;
+  sqrt !acc
+
+(** Total variation distance scaled as in the paper's table (sum of absolute
+    differences, i.e. twice the usual TV). *)
+let variational p q =
+  let p, q = check p q in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. abs_float (pi -. q.(i))) p;
+  !acc
+
+(** All six Table-1 metrics as (name, value) pairs. *)
+let all p q =
+  [ ("Jensen-Shannon divergence", jensen_shannon p q);
+    ("Renyi divergence", renyi p q);
+    ("Bhattacharyya distance", bhattacharyya p q);
+    ("Cosine distance", cosine p q);
+    ("Euclidean distance", euclidean p q);
+    ("Variational distance", variational p q) ]

@@ -1,0 +1,27 @@
+(** Distribution distance metrics for the data-synthesis evaluation
+    (Table 1).  Inputs are normalized defensively with additive (Laplace)
+    smoothing so support mismatches don't blow up unbounded divergences. *)
+
+val smooth_normalize : float array -> float array
+val kl_divergence : float array -> float array -> float
+
+(** Jensen-Shannon divergence (base e, bounded by ln 2); symmetric. *)
+val jensen_shannon : float array -> float array -> float
+
+(** Renyi divergence of order [alpha] (default 2).
+    @raise Invalid_argument for alpha <= 0 or alpha = 1. *)
+val renyi : ?alpha:float -> float array -> float array -> float
+
+val bhattacharyya : float array -> float array -> float
+
+(** Cosine distance (1 - cosine similarity). *)
+val cosine : float array -> float array -> float
+
+val euclidean : float array -> float array -> float
+
+(** Total variation scaled as in the paper's table (sum of absolute
+    differences). *)
+val variational : float array -> float array -> float
+
+(** All six Table-1 metrics as (name, value) pairs. *)
+val all : float array -> float array -> (string * float) list

@@ -1,0 +1,46 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+    All randomness in the repository flows through this module so every
+    experiment is reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+
+(** Advance and return the next mixed 64-bit value. *)
+val next_int64 : t -> int64
+
+(** Fork an independent generator; the parent stream advances once. *)
+val split : t -> t
+
+(** Uniform integer in [0, bound).
+    @raise Invalid_argument unless bound > 0. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val float_range : t -> float -> float -> float
+
+(** Standard normal via Box-Muller. *)
+val gaussian : t -> float
+
+val bool : t -> bool
+
+(** Bernoulli trial with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Index sampled proportionally to non-negative [weights].
+    @raise Invalid_argument when no weight is positive. *)
+val weighted_index : t -> float array -> int
+
+(** Value sampled from weighted (weight, value) choices. *)
+val weighted_choose : t -> (float * 'a) list -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [k] distinct indices from [0, n). *)
+val sample_without_replacement : t -> int -> int -> int array

@@ -1,0 +1,79 @@
+(** Descriptive statistics and histogram utilities shared across the
+    simulator, the ML toolkit and the experiment harness. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+(** [percentile p xs] with linear interpolation; [p] in [\[0,100\]]. *)
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median xs = percentile 50.0 xs
+
+let min_arr xs = Array.fold_left min xs.(0) xs
+let max_arr xs = Array.fold_left max xs.(0) xs
+
+let argmax xs =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > xs.(!best) then best := i) xs;
+  !best
+
+let argmin xs =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x < xs.(!best) then best := i) xs;
+  !best
+
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+(** Normalize a non-negative array into a probability distribution.  A zero
+    array maps to the uniform distribution. *)
+let normalize xs =
+  let total = sum xs in
+  let n = Array.length xs in
+  if total <= 0.0 then Array.make n (1.0 /. float_of_int n)
+  else Array.map (fun x -> x /. total) xs
+
+(** Frequency table over integer-keyed observations in [\[0, card)]. *)
+let histogram ~card observations =
+  let h = Array.make card 0.0 in
+  List.iter
+    (fun k ->
+      if k < 0 || k >= card then invalid_arg "Stats.histogram: out of range";
+      h.(k) <- h.(k) +. 1.0)
+    observations;
+  h
+
+(** Pearson correlation coefficient. *)
+let correlation xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then invalid_arg "Stats.correlation";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)

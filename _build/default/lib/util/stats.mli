@@ -1,0 +1,35 @@
+(** Descriptive statistics and histogram utilities shared across the
+    simulator, ML toolkit and experiment harness. *)
+
+val mean : float array -> float
+
+(** Sample variance (n-1 denominator); 0 for fewer than two points. *)
+val variance : float array -> float
+
+val stddev : float array -> float
+
+(** Percentile with linear interpolation; [p] in [0,100].
+    @raise Invalid_argument on an empty array. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+val min_arr : float array -> float
+val max_arr : float array -> float
+
+(** Index of the maximum (first winner on ties). *)
+val argmax : float array -> int
+
+val argmin : float array -> int
+val sum : float array -> float
+
+(** Normalize a non-negative array into a distribution; an all-zero array
+    maps to uniform. *)
+val normalize : float array -> float array
+
+(** Frequency table over integer observations in [0, card).
+    @raise Invalid_argument on out-of-range keys. *)
+val histogram : card:int -> int list -> float array
+
+(** Pearson correlation.  @raise Invalid_argument on mismatched or short
+    inputs. *)
+val correlation : float array -> float array -> float

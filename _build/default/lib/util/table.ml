@@ -1,0 +1,38 @@
+(** Plain-text table rendering for the benchmark harness.  Every experiment
+    prints its paper table/figure as rows through this module so the output
+    format is uniform. *)
+
+type align = Left | Right
+
+(** [render ~header rows] pads each column to its widest cell. *)
+let render ?(align = Right) ~header rows =
+  let all_rows = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all_rows in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all_rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)
+
+let fmt_f1 x = Printf.sprintf "%.1f" x
+let fmt_f2 x = Printf.sprintf "%.2f" x
+let fmt_f3 x = Printf.sprintf "%.3f" x
+let fmt_f4 x = Printf.sprintf "%.4f" x
+let fmt_pct x = Printf.sprintf "%.1f%%" x
+
+(** Section banner used between experiments in bench output. *)
+let banner title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar

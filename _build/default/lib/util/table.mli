@@ -1,0 +1,19 @@
+(** Plain-text table rendering: every experiment prints its paper
+    table/figure through this module so output is uniform. *)
+
+type align = Left | Right
+
+(** Pad each column to its widest cell; a dash separator follows the
+    header. *)
+val render : ?align:align -> header:string list -> string list list -> string
+
+val print : ?align:align -> header:string list -> string list list -> unit
+
+val fmt_f1 : float -> string
+val fmt_f2 : float -> string
+val fmt_f3 : float -> string
+val fmt_f4 : float -> string
+val fmt_pct : float -> string
+
+(** Section banner between experiments in bench output. *)
+val banner : string -> unit

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Hashtbl List Nf_lang Trace Util

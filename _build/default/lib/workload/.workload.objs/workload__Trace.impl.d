@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Buffer Char List Nf_lang String

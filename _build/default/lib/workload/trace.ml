@@ -1,0 +1,175 @@
+(** Pcap-style packet traces.
+
+    The paper's state-placement analysis profiles NFs against "a pcap
+    trace, similar as in host NF analysis projects" (§4.3).  This module
+    serializes generated workloads into a simplified libpcap-format file
+    (global header + per-packet record headers + an Ethernet/IPv4/L4
+    frame) and reads them back, so workloads can be captured once and
+    replayed across experiments. *)
+
+let magic = 0xa1b2c3d4
+let version_major = 2
+let version_minor = 4
+let linktype_ethernet = 1
+
+let write_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let write_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+(* network byte order for frame contents *)
+let frame_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let frame_u32 buf v =
+  frame_u16 buf ((v lsr 16) land 0xffff);
+  frame_u16 buf (v land 0xffff)
+
+(** Serialize one packet as an Ethernet/IPv4/TCP-or-UDP frame. *)
+let frame_of_packet (p : Nf_lang.Packet.t) =
+  let buf = Buffer.create 128 in
+  (* ethernet: synthetic MACs + ethertype *)
+  for k = 0 to 5 do
+    Buffer.add_char buf (Char.chr (0x02 + k))
+  done;
+  for k = 0 to 5 do
+    Buffer.add_char buf (Char.chr (0x12 + k))
+  done;
+  frame_u16 buf p.Nf_lang.Packet.eth_type;
+  (* ipv4 header *)
+  Buffer.add_char buf (Char.chr ((4 lsl 4) lor p.Nf_lang.Packet.ip_hl));
+  Buffer.add_char buf (Char.chr p.Nf_lang.Packet.ip_tos);
+  frame_u16 buf p.Nf_lang.Packet.ip_len;
+  frame_u16 buf p.Nf_lang.Packet.ip_id;
+  frame_u16 buf 0;
+  Buffer.add_char buf (Char.chr p.Nf_lang.Packet.ip_ttl);
+  Buffer.add_char buf (Char.chr p.Nf_lang.Packet.ip_proto);
+  frame_u16 buf p.Nf_lang.Packet.ip_csum;
+  frame_u32 buf p.Nf_lang.Packet.ip_src;
+  frame_u32 buf p.Nf_lang.Packet.ip_dst;
+  (* l4 *)
+  if p.Nf_lang.Packet.ip_proto = Nf_lang.Packet.udp_proto then begin
+    frame_u16 buf p.Nf_lang.Packet.udp_sport;
+    frame_u16 buf p.Nf_lang.Packet.udp_dport;
+    frame_u16 buf p.Nf_lang.Packet.udp_len;
+    frame_u16 buf p.Nf_lang.Packet.udp_csum
+  end
+  else begin
+    frame_u16 buf p.Nf_lang.Packet.tcp_sport;
+    frame_u16 buf p.Nf_lang.Packet.tcp_dport;
+    frame_u32 buf p.Nf_lang.Packet.tcp_seq;
+    frame_u32 buf p.Nf_lang.Packet.tcp_ack;
+    Buffer.add_char buf (Char.chr ((p.Nf_lang.Packet.tcp_off lsl 4) land 0xff));
+    Buffer.add_char buf (Char.chr p.Nf_lang.Packet.tcp_flags);
+    frame_u16 buf p.Nf_lang.Packet.tcp_win;
+    frame_u16 buf p.Nf_lang.Packet.tcp_csum;
+    frame_u16 buf 0 (* urgent pointer *)
+  end;
+  Buffer.add_bytes buf p.Nf_lang.Packet.payload;
+  Buffer.contents buf
+
+(** Write packets to [path] in pcap format, one microsecond apart. *)
+let save path (packets : Nf_lang.Packet.t list) =
+  let oc = open_out_bin path in
+  let buf = Buffer.create 4096 in
+  write_u32 buf magic;
+  write_u16 buf version_major;
+  write_u16 buf version_minor;
+  write_u32 buf 0;
+  write_u32 buf 0;
+  write_u32 buf 65535;
+  write_u32 buf linktype_ethernet;
+  List.iteri
+    (fun k p ->
+      let frame = frame_of_packet p in
+      write_u32 buf (k / 1_000_000);
+      write_u32 buf (k mod 1_000_000);
+      write_u32 buf (String.length frame);
+      write_u32 buf (String.length frame);
+      Buffer.add_string buf frame)
+    packets;
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+exception Malformed of string
+
+let read_u32 s off =
+  if off + 4 > String.length s then raise (Malformed "truncated u32");
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let fr_u16 s off =
+  if off + 2 > String.length s then raise (Malformed "truncated field");
+  (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let fr_u32 s off = (fr_u16 s off lsl 16) lor fr_u16 s (off + 2)
+
+(** Parse one frame back into a packet. *)
+let packet_of_frame frame =
+  if String.length frame < 34 then raise (Malformed "frame too short");
+  let ihl = Char.code frame.[14] land 0xf in
+  let proto = Char.code frame.[23] in
+  let ip_len = fr_u16 frame 16 in
+  let payload_len = max 0 (ip_len - (ihl * 4) - 20) in
+  let p = Nf_lang.Packet.create ~payload_len () in
+  p.Nf_lang.Packet.eth_type <- fr_u16 frame 12;
+  p.Nf_lang.Packet.ip_hl <- ihl;
+  p.Nf_lang.Packet.ip_tos <- Char.code frame.[15];
+  p.Nf_lang.Packet.ip_len <- ip_len;
+  p.Nf_lang.Packet.ip_id <- fr_u16 frame 18;
+  p.Nf_lang.Packet.ip_ttl <- Char.code frame.[22];
+  p.Nf_lang.Packet.ip_proto <- proto;
+  p.Nf_lang.Packet.ip_csum <- fr_u16 frame 24;
+  p.Nf_lang.Packet.ip_src <- fr_u32 frame 26;
+  p.Nf_lang.Packet.ip_dst <- fr_u32 frame 30;
+  let l4 = 14 + (ihl * 4) in
+  (if proto = Nf_lang.Packet.udp_proto then begin
+     p.Nf_lang.Packet.udp_sport <- fr_u16 frame l4;
+     p.Nf_lang.Packet.udp_dport <- fr_u16 frame (l4 + 2);
+     p.Nf_lang.Packet.udp_len <- fr_u16 frame (l4 + 4);
+     p.Nf_lang.Packet.udp_csum <- fr_u16 frame (l4 + 6)
+   end
+   else begin
+     p.Nf_lang.Packet.tcp_sport <- fr_u16 frame l4;
+     p.Nf_lang.Packet.tcp_dport <- fr_u16 frame (l4 + 2);
+     p.Nf_lang.Packet.tcp_seq <- fr_u32 frame (l4 + 4);
+     p.Nf_lang.Packet.tcp_ack <- fr_u32 frame (l4 + 8);
+     p.Nf_lang.Packet.tcp_off <- Char.code frame.[l4 + 12] lsr 4;
+     p.Nf_lang.Packet.tcp_flags <- Char.code frame.[l4 + 13];
+     p.Nf_lang.Packet.tcp_win <- fr_u16 frame (l4 + 14);
+     p.Nf_lang.Packet.tcp_csum <- fr_u16 frame (l4 + 16)
+   end);
+  let header_bytes = l4 + if proto = Nf_lang.Packet.udp_proto then 8 else 20 in
+  let avail = min payload_len (String.length frame - header_bytes) in
+  for k = 0 to avail - 1 do
+    Nf_lang.Packet.set_payload_byte p k (Char.code frame.[header_bytes + k])
+  done;
+  p
+
+(** Load a pcap file written by {!save}. *)
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  if len < 24 then raise (Malformed "no global header");
+  if read_u32 s 0 <> magic then raise (Malformed "bad magic");
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else begin
+      if off + 16 > len then raise (Malformed "truncated record header");
+      let caplen = read_u32 s (off + 8) in
+      if off + 16 + caplen > len then raise (Malformed "truncated frame");
+      let frame = String.sub s (off + 16) caplen in
+      go (off + 16 + caplen) (packet_of_frame frame :: acc)
+    end
+  in
+  go 24 []

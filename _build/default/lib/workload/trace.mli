@@ -1,0 +1,22 @@
+(** Pcap-style packet traces (§4.3 profiles against "a pcap trace"):
+    serialize generated workloads into a simplified libpcap file (global
+    header, per-record headers, Ethernet/IPv4/L4 frames) and read them
+    back for replay across experiments. *)
+
+val magic : int
+val linktype_ethernet : int
+
+(** One packet as an Ethernet/IPv4/TCP-or-UDP frame. *)
+val frame_of_packet : Nf_lang.Packet.t -> string
+
+(** Write packets to a pcap file, one microsecond apart. *)
+val save : string -> Nf_lang.Packet.t list -> unit
+
+exception Malformed of string
+
+(** Parse one frame.  @raise Malformed on truncated input. *)
+val packet_of_frame : string -> Nf_lang.Packet.t
+
+(** Load a pcap file written by {!save}.
+    @raise Malformed on corrupt files. *)
+val load : string -> Nf_lang.Packet.t list

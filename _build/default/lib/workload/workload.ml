@@ -1,0 +1,125 @@
+(** Traffic workload specification and generation (trafgen substitute).
+
+    A workload specification captures what the paper's analyses condition
+    on: packet sizes, the number of concurrent flows, and the IP address /
+    flow-size distribution (§5.1 "A workload specification includes packet
+    sizes, the number of flows, and the IP address distribution"). *)
+
+type flow_dist =
+  | Uniform  (** flows equally likely *)
+  | Zipf of float  (** skewed popularity with the given exponent *)
+
+type proto = Tcp | Udp | Mixed
+
+type spec = {
+  name : string;
+  n_packets : int;
+  n_flows : int;
+  flow_dist : flow_dist;
+  payload_len : int;  (** bytes of L4 payload *)
+  proto : proto;
+  seed : int;
+}
+
+let default =
+  {
+    name = "default";
+    n_packets = 2000;
+    n_flows = 64;
+    flow_dist = Uniform;
+    payload_len = 26;
+    proto = Tcp;
+    seed = 42;
+  }
+
+(** Few fat flows: high temporal locality, NIC caches hit (§5.4). *)
+let large_flows =
+  { default with name = "large-flows"; n_flows = 16; flow_dist = Zipf 1.2; proto = Mixed }
+
+(** Many mice flows: poor locality, frequent EMEM cache misses. *)
+let small_flows =
+  { default with name = "small-flows"; n_flows = 262144; flow_dist = Uniform; proto = Mixed }
+
+let with_packets n spec = { spec with n_packets = n }
+let with_payload len spec = { spec with payload_len = len }
+
+type flow = {
+  src_ip : int;
+  dst_ip : int;
+  f_proto : int;
+  sport : int;
+  dport : int;
+  mutable next_seq : int;
+}
+
+let zipf_weights n s = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s))
+
+(** Generate the packet sequence for a spec.  Deterministic in [spec.seed].
+    The first packet of each flow carries TCP SYN, later ones ACK, matching
+    the paper's observation that SYNs trigger flow-state setup. *)
+let generate (spec : spec) : Nf_lang.Packet.t list =
+  let rng = Util.Rng.create spec.seed in
+  let mk_flow i =
+    let proto =
+      match spec.proto with
+      | Tcp -> Nf_lang.Packet.tcp_proto
+      | Udp -> Nf_lang.Packet.udp_proto
+      | Mixed ->
+        if Util.Rng.bool rng then Nf_lang.Packet.tcp_proto else Nf_lang.Packet.udp_proto
+    in
+    {
+      src_ip = 0x0a000000 lor Util.Rng.int rng 0xffff lor ((i land 0xff) lsl 16);
+      dst_ip = 0xc0a80000 lor Util.Rng.int rng 0xffff;
+      f_proto = proto;
+      sport = 1024 + Util.Rng.int rng 60000;
+      dport = (match Util.Rng.int rng 4 with 0 -> 80 | 1 -> 443 | 2 -> 53 | _ -> 8080);
+      next_seq = Util.Rng.int rng 1_000_000;
+    }
+  in
+  let flows = Array.init (max 1 spec.n_flows) mk_flow in
+  let weights =
+    match spec.flow_dist with
+    | Uniform -> Array.make (Array.length flows) 1.0
+    | Zipf s -> zipf_weights (Array.length flows) s
+  in
+  let seen = Hashtbl.create (Array.length flows) in
+  List.init spec.n_packets (fun _ ->
+      let fi = Util.Rng.weighted_index rng weights in
+      let flow = flows.(fi) in
+      let first = not (Hashtbl.mem seen fi) in
+      if first then Hashtbl.replace seen fi ();
+      let p = Nf_lang.Packet.create ~payload_len:spec.payload_len () in
+      p.Nf_lang.Packet.ip_src <- flow.src_ip;
+      p.Nf_lang.Packet.ip_dst <- flow.dst_ip;
+      p.Nf_lang.Packet.ip_proto <- flow.f_proto;
+      p.Nf_lang.Packet.ip_id <- Util.Rng.int rng 0x10000;
+      p.Nf_lang.Packet.tcp_sport <- flow.sport;
+      p.Nf_lang.Packet.tcp_dport <- flow.dport;
+      p.Nf_lang.Packet.udp_sport <- flow.sport;
+      p.Nf_lang.Packet.udp_dport <- flow.dport;
+      p.Nf_lang.Packet.tcp_seq <- flow.next_seq;
+      p.Nf_lang.Packet.tcp_flags <- (if first then 0x02 (* SYN *) else 0x10 (* ACK *));
+      flow.next_seq <- (flow.next_seq + spec.payload_len) land 0xffffffff;
+      for i = 0 to spec.payload_len - 1 do
+        Nf_lang.Packet.set_payload_byte p i (Util.Rng.int rng 256)
+      done;
+      p)
+
+(** Fraction of packets that hit a cache holding the [cache_flows] hottest
+    flows — an analytic locality figure used by the NIC memory model. *)
+let cache_hit_ratio spec ~cache_flows =
+  if spec.n_flows <= cache_flows then 1.0
+  else
+    match spec.flow_dist with
+    | Uniform -> float_of_int cache_flows /. float_of_int spec.n_flows
+    | Zipf s ->
+      let w = zipf_weights spec.n_flows s in
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let hot = ref 0.0 in
+      for i = 0 to cache_flows - 1 do
+        hot := !hot +. w.(i)
+      done;
+      !hot /. total
+
+(** Pcap-style trace serialization (sub-module re-export). *)
+module Trace = Trace

@@ -1,0 +1,1 @@
+test/test_clara.ml: Alcotest Array Ast Clara Corpus Float Lazy List Nf_ir Nf_lang Nicsim Printf QCheck QCheck_alcotest String Synth Workload

@@ -1,0 +1,1 @@
+test/test_corpus_behavior.ml: Alcotest Array Char Corpus Interp List Nf_lang Packet State

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Ast Build Clara Corpus Filename Float Interp List Nf_frontend Nf_ir Nf_lang Nicsim Packet Printf QCheck QCheck_alcotest State Synth Sys Workload

@@ -1,0 +1,1 @@
+test/test_gradients.ml: Alcotest Array Cnn List Lstm Mlkit Nn Printf Util

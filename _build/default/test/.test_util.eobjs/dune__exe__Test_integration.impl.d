@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Ast Clara Corpus Filename Interp List Nf_lang Nicsim State Sys Workload

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Build Builder Corpus Interp Ir List Nf_frontend Nf_ir Nf_lang Nicsim Printf QCheck QCheck_alcotest State String Synth Workload

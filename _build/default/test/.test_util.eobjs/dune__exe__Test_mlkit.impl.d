@@ -1,0 +1,1 @@
+test/test_mlkit.ml: Alcotest Array Automl Bayes Cnn Crossval Float Gen La List Lstm Metrics Mlkit Nn QCheck QCheck_alcotest Rank Simple String Tree Util

@@ -1,0 +1,1 @@
+test/test_nf_lang.ml: Alcotest Api Ast Build Corpus Hashtbl Interp List Nf_lang Packet Pp Printf QCheck QCheck_alcotest State String Synth Workload

@@ -1,0 +1,1 @@
+test/test_p4lite.ml: Alcotest Array Ast Clara Interp List Nf_frontend Nf_ir Nf_lang Nicsim P4lite Packet State Workload

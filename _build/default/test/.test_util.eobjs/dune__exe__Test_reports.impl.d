@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Ast Clara Corpus Interp List Nf_lang Profile_report State String Workload

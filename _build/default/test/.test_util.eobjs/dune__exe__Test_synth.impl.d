@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Ast Clara Corpus Interp List Nf_frontend Nf_ir Nf_lang Nicsim Pp State Synth Util Workload

@@ -1,0 +1,369 @@
+(** Tests for the Clara core: vocabulary compaction, program preparation,
+    the instruction predictor, algorithm identification, scale-out
+    suggestion, state placement, coalescing, colocation, and the
+    end-to-end pipeline. *)
+
+open Nf_lang
+
+let spec = { Workload.default with Workload.n_packets = 200; Workload.proto = Workload.Mixed }
+
+(* -- Vocab -- *)
+
+let test_vocab_abstraction () =
+  let w1 =
+    Clara.Vocab.word { Nf_ir.Ir.res = Some 1; op = Nf_ir.Ir.Add; args = [ Nf_ir.Ir.Reg 7; Nf_ir.Ir.Imm 3 ]; ty = Nf_ir.Ir.I32; annot = Nf_ir.Ir.Compute }
+  in
+  let w2 =
+    Clara.Vocab.word { Nf_ir.Ir.res = Some 9; op = Nf_ir.Ir.Add; args = [ Nf_ir.Ir.Reg 2; Nf_ir.Ir.Imm 5 ]; ty = Nf_ir.Ir.I32; annot = Nf_ir.Ir.Compute }
+  in
+  Alcotest.(check string) "registers and small literals abstracted" w1 w2;
+  let w3 =
+    Clara.Vocab.word { Nf_ir.Ir.res = Some 1; op = Nf_ir.Ir.Add; args = [ Nf_ir.Ir.Reg 7; Nf_ir.Ir.Imm 100000 ]; ty = Nf_ir.Ir.I32; annot = Nf_ir.Ir.Compute }
+  in
+  Alcotest.(check bool) "magnitude classes distinguished" true (w1 <> w3)
+
+let test_vocab_header_fields_concrete () =
+  let load field =
+    Clara.Vocab.word
+      { Nf_ir.Ir.res = Some 1; op = Nf_ir.Ir.Load; args = [ Nf_ir.Ir.Hdr field ]; ty = Nf_ir.Ir.I16; annot = Nf_ir.Ir.Mem_packet }
+  in
+  Alcotest.(check bool) "field names kept concrete" true (load "ip_len" <> load "tcp_sport")
+
+let test_vocab_freeze () =
+  let v = Clara.Vocab.create () in
+  let a = Clara.Vocab.index v "alpha" in
+  Clara.Vocab.freeze v;
+  let b = Clara.Vocab.index v "beta" in
+  Alcotest.(check int) "unseen maps to UNK after freeze" 0 b;
+  Alcotest.(check int) "seen index stable" a (Clara.Vocab.index v "alpha")
+
+let test_vocab_compaction_small () =
+  let v = Clara.Vocab.create () in
+  List.iter (fun e -> ignore (Clara.Prepare.prepare v e)) (Corpus.table2 ());
+  let size = Clara.Vocab.size v in
+  Alcotest.(check bool) "vocabulary stays compact (few hundred words)" true
+    (size > 30 && size < 600)
+
+(* -- Prepare -- *)
+
+let test_prepare_blocks () =
+  let v = Clara.Vocab.create () in
+  let prep = Clara.Prepare.prepare v (Corpus.find "Mazu-NAT") in
+  Alcotest.(check bool) "several blocks" true (List.length prep.Clara.Prepare.blocks > 5);
+  Alcotest.(check bool) "api set extracted" true
+    (List.mem "map_find.int_map" prep.Clara.Prepare.api_set);
+  Alcotest.(check bool) "memory estimate positive" true (Clara.Prepare.memory_estimate prep > 0)
+
+(* -- Predictor -- *)
+
+let quick_dataset = lazy (Clara.Predictor.synthesize_dataset ~n:25 ())
+let quick_predictor = lazy (Clara.Predictor.train ~epochs:5 (Lazy.force quick_dataset))
+
+let test_predictor_dataset_shape () =
+  let ds = Lazy.force quick_dataset in
+  Alcotest.(check bool) "many examples" true (Array.length ds.Clara.Predictor.examples > 100);
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "targets nonnegative" true
+        (e.Clara.Predictor.nic_compute >= 0.0 && e.Clara.Predictor.ir_mem >= 0.0))
+    ds.Clara.Predictor.examples
+
+let test_predictor_better_than_nothing () =
+  let m = Lazy.force quick_predictor in
+  let wmape = Clara.Predictor.wmape_on_element m (Corpus.find "tcpack") in
+  Alcotest.(check bool) "prediction error below 60%" true (wmape < 0.6)
+
+let test_predictor_memory_accuracy () =
+  List.iter
+    (fun name ->
+      let acc = Clara.Predictor.memory_accuracy (Corpus.find name) in
+      Alcotest.(check bool) (name ^ " memory count accurate") true (acc >= 0.9))
+    [ "Mazu-NAT"; "aggcounter"; "tcpgen"; "iplookup_256"; "UDPCount" ]
+
+let test_predictor_predicts_all_blocks () =
+  let m = Lazy.force quick_predictor in
+  let preds = Clara.Predictor.predict_element m (Corpus.find "aggcounter") in
+  let truth = Clara.Predictor.ground_truth (Corpus.find "aggcounter") in
+  Alcotest.(check int) "one prediction per block" (List.length truth) (List.length preds);
+  List.iter (fun (_, c, m) -> Alcotest.(check bool) "nonnegative" true (c >= 0.0 && m >= 0.0)) preds
+
+(* -- Algo_id -- *)
+
+let quick_algo = lazy (Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:25 ()) ())
+
+let test_algo_id_positive_variants () =
+  let m = Lazy.force quick_algo in
+  (* held-in smoke: classify canonical members of each class *)
+  let check_label name expected elt =
+    Alcotest.(check string) name (Clara.Algo_corpus.label_name expected)
+      (Clara.Algo_corpus.label_name (Clara.Algo_id.classify m elt))
+  in
+  check_label "crc variant" Clara.Algo_corpus.Crc
+    (Clara.Algo_corpus.crc_reflected ~width:32 ~poly:0xedb88320 ~bytes:8 "probe_crc");
+  check_label "lpm variant" Clara.Algo_corpus.Lpm
+    (Clara.Algo_corpus.lpm_binary_trie ~depth:12 "probe_lpm")
+
+let test_algo_id_negative () =
+  let m = Lazy.force quick_algo in
+  Alcotest.(check string) "plain NAT is not an accelerator algorithm" "none"
+    (Clara.Algo_corpus.label_name (Clara.Algo_id.classify m (Corpus.find "tcpack")))
+
+let test_algo_id_detect_in_nf () =
+  let m = Lazy.force quick_algo in
+  let hits = Clara.Algo_id.detect m (Corpus.find "cmsketch") in
+  Alcotest.(check bool) "CRC detected inside cmsketch" true
+    (List.exists (fun (_, l) -> l = Clara.Algo_corpus.Crc) hits)
+
+let test_algo_components () =
+  let comps = Clara.Algo_id.components (Corpus.find "wepdecap") in
+  Alcotest.(check bool) "whole + loops" true (List.length comps >= 3)
+
+let test_algo_manual_features () =
+  let f_crc = Clara.Algo_id.manual_features (Clara.Algo_corpus.crc_reflected ~width:16 ~poly:0xa001 ~bytes:8 "p") in
+  let f_plain = Clara.Algo_id.manual_features (Corpus.find "udpipencap") in
+  Alcotest.(check bool) "crc is bitop-denser" true (f_crc.(0) > f_plain.(0));
+  let f_lpm = Clara.Algo_id.manual_features (Clara.Algo_corpus.lpm_binary_trie ~depth:8 "p") in
+  Alcotest.(check (float 0.0)) "lpm pointer-chases" 1.0 f_lpm.(5)
+
+(* -- Scaleout -- *)
+
+let test_scaleout_features_finite () =
+  let d = (Nicsim.Nic.port (Corpus.find "Mazu-NAT") spec).Nicsim.Nic.demand in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v))
+    (Clara.Scaleout.features d)
+
+let test_scaleout_suggestion_in_range () =
+  let samples = Clara.Scaleout.training_samples ~n_programs:8 () in
+  let m = Clara.Scaleout.train ~samples () in
+  let d = (Nicsim.Nic.port (Corpus.find "UDPCount") spec).Nicsim.Nic.demand in
+  let c = Clara.Scaleout.suggest m d in
+  Alcotest.(check bool) "within 1..60" true (c >= 1 && c <= 60)
+
+(* -- Placement -- *)
+
+let test_placement_feasible_and_better () =
+  let elt = Corpus.find "UDPCount" in
+  let s = { Workload.small_flows with Workload.n_packets = 300 } in
+  let placement, clara = Clara.Placement.apply elt s in
+  Alcotest.(check int) "every structure placed" (List.length elt.Ast.state) (List.length placement);
+  Alcotest.(check bool) "capacity feasible" true
+    (Nicsim.Mem.feasible placement ~sizes:(Nicsim.Nic.state_sizes elt));
+  let naive = Nicsim.Nic.port elt s in
+  let th p = (Nicsim.Nic.peak p).Nicsim.Multicore.throughput_mpps in
+  Alcotest.(check bool) "beats all-EMEM" true (th clara > th naive)
+
+let test_placement_hot_structures_fast () =
+  let elt = Corpus.find "UDPCount" in
+  let s = { Workload.small_flows with Workload.n_packets = 300 } in
+  let placement, _ = Clara.Placement.apply elt s in
+  (* the per-packet counter is tiny and hot: it must not live in EMEM *)
+  Alcotest.(check bool) "counter above EMEM" true
+    (List.assoc "counter" placement <> Nicsim.Mem.EMEM)
+
+let test_placement_stateless () =
+  let elt = Corpus.find "anonipaddr" in
+  let ported = Nicsim.Nic.port elt spec in
+  Alcotest.(check int) "no structures, empty placement" 0
+    (List.length (Clara.Placement.solve elt ported))
+
+(* -- Coalesce -- *)
+
+let coalesce_spec = { spec with Workload.n_flows = 64; Workload.n_packets = 800 }
+
+let test_coalesce_packs_are_scalars () =
+  let elt = Corpus.find "tcpgen" in
+  let ported = Nicsim.Nic.port elt coalesce_spec in
+  let packs = Clara.Coalesce.suggest elt ported.Nicsim.Nic.profile in
+  let scalars = Clara.Coalesce.scalar_names elt in
+  List.iter
+    (fun pack ->
+      Alcotest.(check bool) "pack size >= 2" true (List.length pack >= 2);
+      List.iter
+        (fun v -> Alcotest.(check bool) (v ^ " is a scalar") true (List.mem v scalars))
+        pack)
+    packs;
+  (* packs are disjoint *)
+  let all = List.concat packs in
+  Alcotest.(check int) "disjoint" (List.length all) (List.length (List.sort_uniq compare all))
+
+let test_coalesce_co_accessed_variables_cluster () =
+  let elt = Corpus.find "webtcp" in
+  let ported = Nicsim.Nic.port elt coalesce_spec in
+  let packs = Clara.Coalesce.suggest elt ported.Nicsim.Nic.profile in
+  let together a b =
+    List.exists (fun p -> List.mem a p && List.mem b p) packs
+  in
+  Alcotest.(check bool) "request-path variables pack together" true
+    (together "req_count" "resp_count")
+
+let test_coalesce_improves () =
+  let elt = Corpus.find "webtcp" in
+  let _, clara = Clara.Coalesce.apply elt coalesce_spec in
+  let naive = Nicsim.Nic.port elt coalesce_spec in
+  Alcotest.(check bool) "memory accesses reduced" true
+    (Nicsim.Perf.total_mem_accesses clara.Nicsim.Nic.demand
+    < Nicsim.Perf.total_mem_accesses naive.Nicsim.Nic.demand)
+
+let test_coalesce_pack_bytes () =
+  let elt = Corpus.find "tcpgen" in
+  Alcotest.(check int) "pack byte size" 8 (Clara.Coalesce.pack_access_bytes elt [ "sport"; "dport" ])
+
+(* -- Colocation -- *)
+
+let test_colocation_features () =
+  let d1 = (Nicsim.Nic.port (Corpus.find "Mazu-NAT") spec).Nicsim.Nic.demand in
+  let d2 = (Nicsim.Nic.port (Corpus.find "anonipaddr") spec).Nicsim.Nic.demand in
+  let f = Clara.Colocation.pair_features d1 d2 in
+  Alcotest.(check int) "feature count" 10 (Array.length f);
+  Array.iter (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v)) f
+
+let test_colocation_training_and_ranking () =
+  let demands =
+    Array.of_list
+      (List.map
+         (fun name -> (Nicsim.Nic.port (Corpus.find name) spec).Nicsim.Nic.demand)
+         [ "Mazu-NAT"; "anonipaddr"; "UDPCount"; "aggcounter"; "tcpack"; "dpi" ])
+  in
+  let groups = Clara.Colocation.make_groups ~n_groups:6 ~group_size:4 Clara.Colocation.Total_throughput demands in
+  let m = Clara.Colocation.train ~groups demands in
+  let acc = Clara.Colocation.topk_accuracy m groups 3 in
+  Alcotest.(check bool) "top-3 on training groups" true (acc >= 0.5)
+
+(* -- Insights / pipeline -- *)
+
+let test_insights_render () =
+  let insight =
+    {
+      Clara.Insights.nf_name = "x";
+      workload = "w";
+      predicted_compute = 10.0;
+      predicted_memory = 2.0;
+      api_calls = [ "ip_header" ];
+      accel = [ { Clara.Insights.component = "x/loop0"; algorithm = Clara.Algo_corpus.Crc } ];
+      suggested_cores = Some 12;
+      placement = [ ("tbl", Nicsim.Mem.IMEM) ];
+      packs = [ [ "a"; "b" ] ];
+    }
+  in
+  let s = Clara.Insights.render insight in
+  List.iter
+    (fun needle ->
+      let contains =
+        let nl = String.length needle and hl = String.length s in
+        let rec scan i = i + nl <= hl && (String.sub s i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("mentions " ^ needle) true contains)
+    [ "CRC"; "12 cores"; "IMEM"; "{a, b}" ]
+
+let test_insights_accel_apis () =
+  let insight =
+    {
+      Clara.Insights.nf_name = "x"; workload = "w"; predicted_compute = 0.0;
+      predicted_memory = 0.0; api_calls = []; suggested_cores = None; placement = []; packs = [];
+      accel = [ { Clara.Insights.component = "c"; algorithm = Clara.Algo_corpus.Lpm } ];
+    }
+  in
+  Alcotest.(check (list string)) "lpm apis" [ "flow_cache_lookup"; "lpm_lookup" ]
+    (Clara.Insights.accel_apis insight)
+
+let test_pipeline_end_to_end () =
+  let m = Clara.Pipeline.train ~quick:true ~with_scaleout:false () in
+  let insight = Clara.Pipeline.analyze m (Corpus.find "cmsketch") spec in
+  Alcotest.(check bool) "compute predicted" true (insight.Clara.Insights.predicted_compute > 0.0);
+  Alcotest.(check bool) "placement proposed" true (insight.Clara.Insights.placement <> []);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Clara.Insights.render insight) > 100)
+
+
+(* -- qcheck properties over synthesized NFs -- *)
+
+let synth_elt seed =
+  let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+  Synth.Generator.generate ~stats ~seed (Printf.sprintf "qc_%d" seed)
+
+let qspec = { Workload.default with Workload.n_packets = 60; Workload.proto = Workload.Mixed }
+
+let prop_coalescing_never_increases_accesses =
+  QCheck.Test.make ~name:"coalescing never increases memory accesses" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let elt = synth_elt seed in
+      let naive = Nicsim.Nic.port elt qspec in
+      let packs = Clara.Coalesce.suggest elt naive.Nicsim.Nic.profile in
+      let packed =
+        Nicsim.Nic.reconfigure naive { Nicsim.Nic.naive_port with Nicsim.Nic.packs }
+      in
+      Nicsim.Perf.total_mem_accesses packed.Nicsim.Nic.demand
+      <= Nicsim.Perf.total_mem_accesses naive.Nicsim.Nic.demand +. 1e-9)
+
+let prop_placement_not_worse_than_naive =
+  QCheck.Test.make ~name:"ILP placement never below all-EMEM peak throughput" ~count:12
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let elt = synth_elt seed in
+      QCheck.assume (elt.Ast.state <> []);
+      let naive = Nicsim.Nic.port elt qspec in
+      let placement = Clara.Placement.solve elt naive in
+      let placed =
+        Nicsim.Nic.reconfigure naive
+          { Nicsim.Nic.naive_port with Nicsim.Nic.placement = Some placement }
+      in
+      let peak p = (Nicsim.Nic.peak p).Nicsim.Multicore.throughput_mpps in
+      peak placed >= peak naive -. 1e-6)
+
+let prop_packs_partition_scalars =
+  QCheck.Test.make ~name:"suggested packs are disjoint scalar subsets" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let elt = synth_elt seed in
+      let ported = Nicsim.Nic.port elt qspec in
+      let packs = Clara.Coalesce.suggest elt ported.Nicsim.Nic.profile in
+      let scalars = Clara.Coalesce.scalar_names elt in
+      let members = List.concat packs in
+      List.for_all (fun v -> List.mem v scalars) members
+      && List.length members = List.length (List.sort_uniq compare members))
+
+let () =
+  Alcotest.run "clara"
+    [ ( "vocab",
+        [ Alcotest.test_case "abstraction" `Quick test_vocab_abstraction;
+          Alcotest.test_case "header fields concrete" `Quick test_vocab_header_fields_concrete;
+          Alcotest.test_case "freeze" `Quick test_vocab_freeze;
+          Alcotest.test_case "compaction" `Quick test_vocab_compaction_small ] );
+      ("prepare", [ Alcotest.test_case "blocks" `Quick test_prepare_blocks ]);
+      ( "predictor",
+        [ Alcotest.test_case "dataset shape" `Slow test_predictor_dataset_shape;
+          Alcotest.test_case "beats nothing" `Slow test_predictor_better_than_nothing;
+          Alcotest.test_case "memory accuracy" `Quick test_predictor_memory_accuracy;
+          Alcotest.test_case "predicts all blocks" `Slow test_predictor_predicts_all_blocks ] );
+      ( "algo_id",
+        [ Alcotest.test_case "positive variants" `Slow test_algo_id_positive_variants;
+          Alcotest.test_case "negative" `Slow test_algo_id_negative;
+          Alcotest.test_case "detect in NF" `Slow test_algo_id_detect_in_nf;
+          Alcotest.test_case "components" `Quick test_algo_components;
+          Alcotest.test_case "manual features" `Quick test_algo_manual_features ] );
+      ( "scaleout",
+        [ Alcotest.test_case "features finite" `Quick test_scaleout_features_finite;
+          Alcotest.test_case "suggestion in range" `Slow test_scaleout_suggestion_in_range ] );
+      ( "placement",
+        [ Alcotest.test_case "feasible and better" `Quick test_placement_feasible_and_better;
+          Alcotest.test_case "hot structures fast" `Quick test_placement_hot_structures_fast;
+          Alcotest.test_case "stateless" `Quick test_placement_stateless ] );
+      ( "coalesce",
+        [ Alcotest.test_case "packs are scalars" `Quick test_coalesce_packs_are_scalars;
+          Alcotest.test_case "co-accessed cluster" `Quick test_coalesce_co_accessed_variables_cluster;
+          Alcotest.test_case "improves" `Quick test_coalesce_improves;
+          Alcotest.test_case "pack bytes" `Quick test_coalesce_pack_bytes ] );
+      ( "colocation",
+        [ Alcotest.test_case "features" `Quick test_colocation_features;
+          Alcotest.test_case "training and ranking" `Slow test_colocation_training_and_ranking ] );
+      ( "insights",
+        [ Alcotest.test_case "render" `Quick test_insights_render;
+          Alcotest.test_case "accel apis" `Quick test_insights_accel_apis;
+          Alcotest.test_case "pipeline end-to-end" `Slow test_pipeline_end_to_end ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_coalescing_never_increases_accesses; prop_placement_not_worse_than_naive;
+            prop_packs_partition_scalars ] ) ]

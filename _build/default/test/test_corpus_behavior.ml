@@ -1,0 +1,404 @@
+(** Behavioural tests for the NF corpus: beyond "it runs", these verify
+    that each element implements its protocol logic — NAT translation
+    consistency, SYN-cookie round trips, token-bucket policing, DNS
+    caching, load-balancer pinning, VXLAN decap and flow export. *)
+
+open Nf_lang
+
+let tcp_packet ?(src = 0x0a000005) ?(dst = 0xc0a80107) ?(sport = 4242) ?(dport = 80)
+    ?(flags = 0x10) () =
+  let p = Packet.create () in
+  p.Packet.ip_src <- src;
+  p.Packet.ip_dst <- dst;
+  p.Packet.ip_proto <- Packet.tcp_proto;
+  p.Packet.tcp_sport <- sport;
+  p.Packet.tcp_dport <- dport;
+  p.Packet.tcp_flags <- flags;
+  p
+
+let udp_packet ?(src = 0x0a000005) ?(dst = 0xc0a80107) ?(sport = 4242) ?(dport = 53) () =
+  let p = Packet.create () in
+  p.Packet.ip_src <- src;
+  p.Packet.ip_dst <- dst;
+  p.Packet.ip_proto <- Packet.udp_proto;
+  p.Packet.udp_sport <- sport;
+  p.Packet.udp_dport <- dport;
+  p
+
+let counter interp name = !(State.scalar_ref interp.Interp.state name)
+
+(* -- Mazu-NAT -- *)
+
+let test_nat_consistent_binding () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "Mazu-NAT") in
+  let p1 = tcp_packet () in
+  ignore (Interp.push interp p1);
+  let translated_src = p1.Packet.ip_src in
+  let translated_port = p1.Packet.tcp_sport in
+  Alcotest.(check int) "source rewritten to the NAT ip" 0xc0a80101 translated_src;
+  (* the same flow gets the same binding on the next packet *)
+  let p2 = tcp_packet () in
+  ignore (Interp.push interp p2);
+  Alcotest.(check int) "binding is stable" translated_port p2.Packet.tcp_sport;
+  (* a different flow gets a different port *)
+  let p3 = tcp_packet ~sport:5555 () in
+  ignore (Interp.push interp p3);
+  Alcotest.(check bool) "distinct flows get distinct ports" true
+    (p3.Packet.tcp_sport <> translated_port)
+
+let test_nat_reverse_path () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "Mazu-NAT") in
+  let out = tcp_packet () in
+  ignore (Interp.push interp out);
+  let ext_port = out.Packet.tcp_sport in
+  (* a reply from outside to the allocated binding must reach the host *)
+  let back = tcp_packet ~src:0xc0a80107 ~dst:0xc0a80101 ~sport:80 ~dport:ext_port () in
+  (match Interp.push interp back with
+  | Interp.Emitted 1 -> ()
+  | Interp.Emitted n -> Alcotest.failf "wrong port %d" n
+  | Interp.Dropped -> Alcotest.fail "reply should traverse the NAT");
+  Alcotest.(check int) "destination restored" 0x0a000005 back.Packet.ip_dst;
+  Alcotest.(check int) "port restored" 4242 back.Packet.tcp_dport
+
+let test_nat_unsolicited_dropped () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "Mazu-NAT") in
+  let stray = tcp_packet ~src:0xc0a80107 ~dst:0xc0a80101 ~sport:80 ~dport:9999 () in
+  (match Interp.push interp stray with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "unsolicited inbound must not pass");
+  Alcotest.(check bool) "ttl decremented on processed packets" true (stray.Packet.ip_ttl <= 63)
+
+let test_nat_udp_and_tcp_pools_disjoint () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "Mazu-NAT") in
+  let t = tcp_packet () in
+  ignore (Interp.push interp t);
+  let u = udp_packet ~sport:777 () in
+  ignore (Interp.push interp u);
+  Alcotest.(check bool) "tcp pool around 10000" true
+    (t.Packet.tcp_sport >= 10000 && t.Packet.tcp_sport < 32000);
+  Alcotest.(check bool) "udp pool around 32000" true (u.Packet.tcp_sport >= 32000)
+
+let test_nat_icmp_passthrough () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "Mazu-NAT") in
+  let p = tcp_packet () in
+  p.Packet.ip_proto <- 1;
+  (match Interp.push interp p with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "ICMP should pass");
+  Alcotest.(check int) "icmp counter" 1 (counter interp "icmp_passed")
+
+(* -- synproxy -- *)
+
+let test_synproxy_cookie_roundtrip () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "synproxy") in
+  let syn = tcp_packet ~flags:0x02 () in
+  (match Interp.push interp syn with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "SYN must be answered");
+  Alcotest.(check int) "SYN/ACK flags" 0x12 syn.Packet.tcp_flags;
+  let cookie = syn.Packet.tcp_seq in
+  (* the client echoes cookie+1 in a packet with the SYN's orientation *)
+  let ack = tcp_packet ~flags:0x10 () in
+  ack.Packet.tcp_ack <- (cookie + 1) land 0xffffffff;
+  (match Interp.push interp ack with
+  | Interp.Emitted 1 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "valid cookie must pass");
+  Alcotest.(check int) "valid handshakes counted" 1 (counter interp "acks_valid");
+  (* subsequent packets of the established flow bypass validation *)
+  let datap = tcp_packet ~flags:0x18 () in
+  (match Interp.push interp datap with
+  | Interp.Emitted 1 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "established flow must pass")
+
+let test_synproxy_bogus_ack_dropped () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "synproxy") in
+  let ack = tcp_packet ~flags:0x10 () in
+  ack.Packet.tcp_ack <- 12345;
+  (match Interp.push interp ack with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "bogus cookie must be dropped");
+  Alcotest.(check int) "bogus counted" 1 (counter interp "acks_bogus")
+
+(* -- ratelimiter -- *)
+
+let test_ratelimiter_polices_single_flow () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "ratelimiter") in
+  (* hammer one flow within a single virtual tick window *)
+  let outcomes =
+    List.init 400 (fun _ -> Interp.push interp (tcp_packet ()))
+  in
+  let dropped = List.length (List.filter (fun a -> a = Interp.Dropped) outcomes) in
+  ignore dropped;
+  Alcotest.(check bool) "some packets policed" true (counter interp "policed" > 0 || dropped > 0);
+  Alcotest.(check bool) "some packets conform" true (counter interp "conforming" > 0)
+
+let test_ratelimiter_fresh_flows_conform () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "ratelimiter") in
+  List.iteri
+    (fun k () ->
+      match Interp.push interp (tcp_packet ~src:(0x0a000000 + k) ()) with
+      | Interp.Emitted _ -> ()
+      | Interp.Dropped -> Alcotest.fail "first packet of a flow must conform")
+    (List.init 30 (fun _ -> ()))
+
+(* -- loadbalancer -- *)
+
+let test_loadbalancer_pins_connections () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "loadbalancer") in
+  let p1 = tcp_packet () in
+  ignore (Interp.push interp p1);
+  let backend1 = p1.Packet.ip_dst in
+  let p2 = tcp_packet () in
+  ignore (Interp.push interp p2);
+  Alcotest.(check int) "same flow, same backend" backend1 p2.Packet.ip_dst;
+  Alcotest.(check int) "pin hit counted" 1 (counter interp "pinned_hits");
+  Alcotest.(check int) "one connection" 1 (counter interp "new_conns")
+
+let test_loadbalancer_drops_udp () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "loadbalancer") in
+  match Interp.push interp (udp_packet ()) with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "udp is not balanced"
+
+(* -- vxlan_gateway -- *)
+
+let test_vxlan_bad_vni_dropped () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "vxlan_gateway") in
+  let p = udp_packet ~dport:4789 () in
+  Packet.set_payload_byte p 4 0x42;
+  (match Interp.push interp p with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "unknown VNI must be dropped");
+  Alcotest.(check int) "bad vni counted" 1 (counter interp "bad_vni")
+
+let test_vxlan_encap_direction () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "vxlan_gateway") in
+  (* non-VXLAN traffic takes the encap path; with an empty vni_table the
+     route misses and the packet is dropped *)
+  (match Interp.push interp (tcp_packet ()) with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "no route, must drop");
+  Alcotest.(check int) "nothing encapped yet" 0 (counter interp "encapped")
+
+(* -- flowmonitor -- *)
+
+let test_flowmonitor_accounting () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "flowmonitor") in
+  for _ = 1 to 5 do
+    ignore (Interp.push interp (tcp_packet ()))
+  done;
+  Alcotest.(check int) "one active flow" 1 (counter interp "active_flows");
+  (* FIN tears it down *)
+  ignore (Interp.push interp (tcp_packet ~flags:0x11 ()));
+  Alcotest.(check int) "teardown on FIN" 0 (counter interp "active_flows")
+
+let test_flowmonitor_exports_heavy_flows () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "flowmonitor") in
+  (* threshold is 2048 bytes; each packet is 80 wire bytes *)
+  for _ = 1 to 40 do
+    ignore (Interp.push interp (tcp_packet ()))
+  done;
+  Alcotest.(check bool) "heavy flow exported" true (counter interp "exported" > 0);
+  Alcotest.(check bool) "export ring populated" true
+    (State.vec_length (State.vec_of interp.Interp.state "export_ring") > 0)
+
+(* -- DNSProxy -- *)
+
+let dns_query ?(qr = 0) ?(rcode = 0) ?(name_byte = 0x61) () =
+  let p = udp_packet ~dport:(if qr = 0 then 53 else 4242) ~sport:(if qr = 0 then 4242 else 53) () in
+  p.Packet.ip_len <- 28 + 26;
+  p.Packet.udp_len <- 8 + 26;
+  Packet.set_payload_byte p 0 0x12;
+  Packet.set_payload_byte p 1 0x34;
+  Packet.set_payload_byte p 2 (qr lsl 7);
+  Packet.set_payload_byte p 3 rcode;
+  (* one 3-byte label *)
+  Packet.set_payload_byte p 12 3;
+  Packet.set_payload_byte p 13 name_byte;
+  Packet.set_payload_byte p 14 0x62;
+  Packet.set_payload_byte p 15 0x63;
+  Packet.set_payload_byte p 16 0;
+  (* the answer A record bytes used by the cache *)
+  Packet.set_payload_byte p 28 1;
+  Packet.set_payload_byte p 29 2;
+  Packet.set_payload_byte p 30 3;
+  Packet.set_payload_byte p 31 4;
+  p
+
+let test_dnsproxy_cache_flow () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "DNSProxy") in
+  (* first query misses and goes upstream (port 1) *)
+  (match Interp.push interp (dns_query ()) with
+  | Interp.Emitted 1 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "miss should forward upstream");
+  Alcotest.(check int) "miss recorded" 1 (counter interp "cache_misses");
+  (* the upstream response installs the mapping *)
+  ignore (Interp.push interp (dns_query ~qr:1 ()));
+  (* the same question is now answered from the cache (port 0, swapped) *)
+  let q2 = dns_query () in
+  (match Interp.push interp q2 with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "hit should answer directly");
+  Alcotest.(check int) "hit recorded" 1 (counter interp "cache_hits");
+  Alcotest.(check int) "addresses swapped back to the client" 0x0a000005 q2.Packet.ip_dst
+
+let test_dnsproxy_negative_cache () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "DNSProxy") in
+  ignore (Interp.push interp (dns_query ()));
+  (* upstream says NXDOMAIN *)
+  ignore (Interp.push interp (dns_query ~qr:1 ~rcode:3 ()));
+  let q = dns_query () in
+  (match Interp.push interp q with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "negative hit answers directly");
+  Alcotest.(check int) "negative hit" 1 (counter interp "neg_hits");
+  Alcotest.(check int) "NXDOMAIN rcode in the reply" 3 (Packet.get_payload_byte q 3)
+
+let test_dnsproxy_case_insensitive_names () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "DNSProxy") in
+  ignore (Interp.push interp (dns_query ~name_byte:0x61 ()));
+  ignore (Interp.push interp (dns_query ~qr:1 ~name_byte:0x61 ()));
+  (* the same name in upper case must hit the same cache entry *)
+  match Interp.push interp (dns_query ~name_byte:0x41 ()) with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "case-folded name should hit"
+
+(* -- WebGen -- *)
+
+let test_webgen_session_lifecycle () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "WebGen") in
+  let pkt () =
+    let p = tcp_packet () in
+    (* 200 OK status byte at payload[9] *)
+    Packet.set_payload_byte p 9 (Char.code '2');
+    p
+  in
+  (* new session, then request/response pairs until 4 requests are done *)
+  ignore (Interp.push interp (pkt ()));
+  for _ = 1 to 8 do
+    ignore (Interp.push interp (pkt ()))
+  done;
+  Alcotest.(check int) "four requests sent" 4 (counter interp "requests");
+  Alcotest.(check bool) "keepalive reuse counted" true (counter interp "keepalive_reuse" > 0);
+  Alcotest.(check int) "session closed" 0 (counter interp "active_sessions")
+
+let test_webgen_5xx_retries () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "WebGen") in
+  let pkt () =
+    let p = tcp_packet () in
+    Packet.set_payload_byte p 9 (Char.code '5');
+    p
+  in
+  for _ = 1 to 10 do
+    ignore (Interp.push interp (pkt ()))
+  done;
+  Alcotest.(check bool) "retries happen" true (counter interp "retries" > 0);
+  Alcotest.(check bool) "5xx counted" true (counter interp "errors_5xx" > 0)
+
+(* -- heavy_hitter -- *)
+
+let test_heavy_hitter_flags_elephants () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "heavy_hitter") in
+  let outcomes = List.init 200 (fun _ -> Interp.push interp (tcp_packet ())) in
+  let flagged = List.filter (fun a -> a = Interp.Emitted 1) outcomes in
+  Alcotest.(check bool) "elephant flow flagged after threshold" true (List.length flagged > 0);
+  Alcotest.(check bool) "mice not flagged" true
+    (match Interp.push interp (tcp_packet ~sport:9191 ~src:0x0a0000ff ()) with
+    | Interp.Emitted 0 -> true
+    | Interp.Emitted _ | Interp.Dropped -> false)
+
+(* -- iplookup semantics -- *)
+
+let test_iplookup_default_route () =
+  (* empty tries: every lookup falls back to the default route (port 0) *)
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "iplookup_64") in
+  (match Interp.push interp (tcp_packet ()) with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "default route expected");
+  Alcotest.(check int) "default counted" 1 (counter interp "default_routes")
+
+
+let test_dnsproxy_upstream_budget () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "DNSProxy") in
+  (* exhaust the upstream budget with distinct-name misses *)
+  let served_locally = ref 0 in
+  for k = 1 to 300 do
+    match Interp.push interp (dns_query ~name_byte:(0x61 + (k mod 26)) ()) with
+    | Interp.Emitted 0 -> incr served_locally  (* SERVFAIL back to the client *)
+    | Interp.Emitted _ | Interp.Dropped -> ()
+  done;
+  Alcotest.(check bool) "over-budget queries answered with SERVFAIL" true
+    (counter interp "upstream_dropped" > 0)
+
+let test_dnsproxy_truncated_not_cached () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "DNSProxy") in
+  ignore (Interp.push interp (dns_query ()));
+  (* truncated upstream response must not populate the cache *)
+  let tc = dns_query ~qr:1 () in
+  Packet.set_payload_byte tc 2 (0x80 lor 0x02);
+  ignore (Interp.push interp tc);
+  Alcotest.(check int) "truncation counted" 1 (counter interp "truncated");
+  (match Interp.push interp (dns_query ()) with
+  | Interp.Emitted 1 -> ()  (* still a miss: goes upstream again *)
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "truncated answers must not be cached")
+
+let test_nat_port_pool_wraps () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "Mazu-NAT") in
+  (* burn through the TCP pool (10000..31999 is too big to exhaust here, so
+     pre-position the allocator near the top) *)
+  State.scalar_ref interp.Interp.state "next_tcp_port" := 31998;
+  ignore (Interp.push interp (tcp_packet ~sport:1 ()));
+  ignore (Interp.push interp (tcp_packet ~sport:2 ()));
+  ignore (Interp.push interp (tcp_packet ~sport:3 ()));
+  Alcotest.(check bool) "pool wrapped" true (counter interp "port_wraps" >= 1);
+  Alcotest.(check bool) "allocator back at the pool base" true
+    (!(State.scalar_ref interp.Interp.state "next_tcp_port") < 32000)
+
+let test_webgen_uri_mix_counted () =
+  let interp = Interp.create ~mode:State.Nic (Corpus.find "WebGen") in
+  for _ = 1 to 6 do
+    let p = tcp_packet () in
+    Packet.set_payload_byte p 9 (Char.code '2');
+    ignore (Interp.push interp p)
+  done;
+  let mix = State.array_of interp.Interp.state "uri_mix" in
+  Alcotest.(check bool) "requests attributed to URI templates" true
+    (Array.fold_left ( + ) 0 mix > 0)
+
+let () =
+  Alcotest.run "corpus-behavior"
+    [ ( "mazu-nat",
+        [ Alcotest.test_case "consistent binding" `Quick test_nat_consistent_binding;
+          Alcotest.test_case "reverse path" `Quick test_nat_reverse_path;
+          Alcotest.test_case "unsolicited dropped" `Quick test_nat_unsolicited_dropped;
+          Alcotest.test_case "udp/tcp pools" `Quick test_nat_udp_and_tcp_pools_disjoint;
+          Alcotest.test_case "icmp passthrough" `Quick test_nat_icmp_passthrough;
+          Alcotest.test_case "port pool wraps" `Quick test_nat_port_pool_wraps ] );
+      ( "synproxy",
+        [ Alcotest.test_case "cookie roundtrip" `Quick test_synproxy_cookie_roundtrip;
+          Alcotest.test_case "bogus ack dropped" `Quick test_synproxy_bogus_ack_dropped ] );
+      ( "ratelimiter",
+        [ Alcotest.test_case "polices hot flow" `Quick test_ratelimiter_polices_single_flow;
+          Alcotest.test_case "fresh flows conform" `Quick test_ratelimiter_fresh_flows_conform ] );
+      ( "loadbalancer",
+        [ Alcotest.test_case "pins connections" `Quick test_loadbalancer_pins_connections;
+          Alcotest.test_case "drops udp" `Quick test_loadbalancer_drops_udp ] );
+      ( "vxlan",
+        [ Alcotest.test_case "bad vni dropped" `Quick test_vxlan_bad_vni_dropped;
+          Alcotest.test_case "encap requires route" `Quick test_vxlan_encap_direction ] );
+      ( "flowmonitor",
+        [ Alcotest.test_case "accounting + teardown" `Quick test_flowmonitor_accounting;
+          Alcotest.test_case "exports heavy flows" `Quick test_flowmonitor_exports_heavy_flows ] );
+      ( "dnsproxy",
+        [ Alcotest.test_case "cache flow" `Quick test_dnsproxy_cache_flow;
+          Alcotest.test_case "negative cache" `Quick test_dnsproxy_negative_cache;
+          Alcotest.test_case "case-insensitive" `Quick test_dnsproxy_case_insensitive_names;
+          Alcotest.test_case "upstream budget" `Quick test_dnsproxy_upstream_budget;
+          Alcotest.test_case "truncated not cached" `Quick test_dnsproxy_truncated_not_cached ] );
+      ( "webgen",
+        [ Alcotest.test_case "session lifecycle" `Quick test_webgen_session_lifecycle;
+          Alcotest.test_case "5xx retries" `Quick test_webgen_5xx_retries;
+          Alcotest.test_case "uri mix counted" `Quick test_webgen_uri_mix_counted ] );
+      ( "others",
+        [ Alcotest.test_case "heavy hitter flags elephants" `Quick test_heavy_hitter_flags_elephants;
+          Alcotest.test_case "iplookup default route" `Quick test_iplookup_default_route ] ) ]

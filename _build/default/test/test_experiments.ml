@@ -1,0 +1,115 @@
+(** Integration tests over the experiment harness: the registry is
+    complete, the cheap experiments' data functions produce well-formed
+    rows, and the headline relationships the paper reports hold. *)
+
+let test_registry_complete () =
+  let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
+  Alcotest.(check (list string)) "every table and figure present"
+    [ "fig1"; "table1"; "table2"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+      "fig15"; "fig16"; "ablation"; "portability"; "partial"; "tco" ]
+    ids;
+  Alcotest.(check bool) "find works" true (Experiments.Registry.find "fig12" <> None);
+  Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "fig99" = None)
+
+let test_fig1_variants () =
+  let vs = Experiments.Exp_fig1.variants () in
+  Alcotest.(check bool) "13 variants, 2-4 per NF" true (List.length vs = 13);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (v.Experiments.Exp_fig1.nf ^ "/" ^ v.Experiments.Exp_fig1.desc ^ " latency positive")
+        true
+        (v.Experiments.Exp_fig1.latency_us > 0.0))
+    vs;
+  (* LPM with flow cache must be the fastest LPM variant *)
+  let lpm = List.filter (fun v -> v.Experiments.Exp_fig1.nf = "LPM") vs in
+  let cache = List.find (fun v -> v.Experiments.Exp_fig1.desc = "flow cache + engine") lpm in
+  List.iter
+    (fun v ->
+      if v.Experiments.Exp_fig1.desc <> "flow cache + engine" then
+        Alcotest.(check bool) "flow cache fastest" true
+          (cache.Experiments.Exp_fig1.latency_us < v.Experiments.Exp_fig1.latency_us))
+    lpm
+
+let test_table1_clara_closer () =
+  let rows = Experiments.Exp_table1.results ~n:25 () in
+  Alcotest.(check int) "six metrics" 6 (List.length rows);
+  List.iter
+    (fun (metric, clara, baseline) ->
+      Alcotest.(check bool) (metric ^ ": Clara closer") true (clara < baseline))
+    rows
+
+let test_table2_rows () =
+  let rows = List.map Experiments.Exp_table2.row (Nf_lang.Corpus.table2 ()) in
+  Alcotest.(check int) "17 rows" 17 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "six columns" 6 (List.length row);
+      match row with
+      | _ :: loc :: instr :: _ ->
+        Alcotest.(check bool) "loc positive" true (int_of_string loc > 0);
+        Alcotest.(check bool) "instr positive" true (int_of_string instr > 0)
+      | _ -> Alcotest.fail "bad row")
+    rows
+
+let test_fig10_lpm_rows () =
+  let rows = Experiments.Exp_fig10.lpm_rows () in
+  Alcotest.(check int) "seven rule counts" 7 (List.length rows);
+  List.iter
+    (fun (_, (naive : Nicsim.Multicore.point), (clara : Nicsim.Multicore.point)) ->
+      Alcotest.(check bool) "Clara port wins" true
+        (clara.Nicsim.Multicore.latency_us < naive.Nicsim.Multicore.latency_us))
+    rows;
+  (* the naive port degrades as the table grows *)
+  let first = match rows with (_, n, _) :: _ -> n | [] -> Alcotest.fail "rows" in
+  let last = match List.rev rows with (_, n, _) :: _ -> n | [] -> Alcotest.fail "rows" in
+  Alcotest.(check bool) "naive latency grows with rules" true
+    (last.Nicsim.Multicore.latency_us > first.Nicsim.Multicore.latency_us)
+
+let test_fig10_crc_rows () =
+  List.iter
+    (fun (_, (naive : Nicsim.Multicore.point), (clara : Nicsim.Multicore.point)) ->
+      Alcotest.(check bool) "accelerated port at least as fast" true
+        (clara.Nicsim.Multicore.throughput_mpps >= naive.Nicsim.Multicore.throughput_mpps))
+    (Experiments.Exp_fig10.crc_accel_rows ())
+
+let test_fig12_placement_wins () =
+  let small = { Workload.small_flows with Workload.n_packets = 300 } in
+  let rows = Experiments.Exp_fig12.compute ~spec:small () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Experiments.Exp_fig12.nf ^ " throughput no worse") true
+        (r.Experiments.Exp_fig12.clara.Nicsim.Multicore.throughput_mpps
+        >= r.Experiments.Exp_fig12.naive.Nicsim.Multicore.throughput_mpps -. 1e-6);
+      Alcotest.(check bool) (r.Experiments.Exp_fig12.nf ^ " latency no worse") true
+        (r.Experiments.Exp_fig12.clara.Nicsim.Multicore.latency_us
+        <= r.Experiments.Exp_fig12.naive.Nicsim.Multicore.latency_us +. 1e-6))
+    rows
+
+let test_fig13_coalescing_helps () =
+  let rows = Experiments.Exp_fig13.compute () in
+  (* on aggregate, packing must not hurt and must help at least somewhere *)
+  let improved =
+    List.exists
+      (fun r -> r.Experiments.Exp_fig13.clara_lat < r.Experiments.Exp_fig13.naive_lat -. 1e-9)
+      rows
+  in
+  Alcotest.(check bool) "some latency improvement" true improved;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Experiments.Exp_fig13.nf ^ " no regression") true
+        (r.Experiments.Exp_fig13.clara_lat <= r.Experiments.Exp_fig13.naive_lat +. 1e-6))
+    rows
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "registry",
+        [ Alcotest.test_case "complete" `Quick test_registry_complete ] );
+      ( "cheap experiments",
+        [ Alcotest.test_case "fig1 variants" `Slow test_fig1_variants;
+          Alcotest.test_case "table1 Clara closer" `Slow test_table1_clara_closer;
+          Alcotest.test_case "table2 rows" `Quick test_table2_rows;
+          Alcotest.test_case "fig10 lpm sweep" `Slow test_fig10_lpm_rows;
+          Alcotest.test_case "fig10 crc accel" `Slow test_fig10_crc_rows;
+          Alcotest.test_case "fig12 placement wins" `Slow test_fig12_placement_wins;
+          Alcotest.test_case "fig13 coalescing helps" `Slow test_fig13_coalescing_helps ] ) ]

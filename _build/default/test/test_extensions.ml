@@ -1,0 +1,270 @@
+(** Tests for the extension modules: pcap traces, the IR verifier and
+    optimizer, SmartNIC platform profiles, and partial offloading. *)
+
+open Nf_lang
+
+(* -- Trace (pcap) -- *)
+
+let roundtrip_spec =
+  { Workload.default with Workload.n_packets = 40; Workload.proto = Workload.Mixed }
+
+let test_trace_roundtrip () =
+  let packets = Workload.generate roundtrip_spec in
+  let path = Filename.temp_file "clara_trace" ".pcap" in
+  Workload.Trace.save path packets;
+  let back = Workload.Trace.load path in
+  Sys.remove path;
+  Alcotest.(check int) "packet count" (List.length packets) (List.length back);
+  List.iter2
+    (fun (a : Packet.t) (b : Packet.t) ->
+      Alcotest.(check bool) "flow key preserved" true (Packet.flow_key a = Packet.flow_key b);
+      Alcotest.(check int) "ip_len" a.Packet.ip_len b.Packet.ip_len;
+      Alcotest.(check int) "ttl" a.Packet.ip_ttl b.Packet.ip_ttl;
+      (* flags only exist on the wire for TCP frames *)
+      if a.Packet.ip_proto = Packet.tcp_proto then
+        Alcotest.(check int) "tcp flags" a.Packet.tcp_flags b.Packet.tcp_flags;
+      Alcotest.(check int) "payload byte" (Packet.get_payload_byte a 3) (Packet.get_payload_byte b 3))
+    packets back
+
+let test_trace_rejects_garbage () =
+  let path = Filename.temp_file "clara_garbage" ".pcap" in
+  let oc = open_out_bin path in
+  output_string oc "not a pcap file at all";
+  close_out oc;
+  (try
+     ignore (Workload.Trace.load path);
+     Alcotest.fail "should reject garbage"
+   with Workload.Trace.Malformed _ -> ());
+  Sys.remove path
+
+let test_trace_drives_interpreter () =
+  (* a saved trace replays identically through an NF *)
+  let packets = Workload.generate roundtrip_spec in
+  let path = Filename.temp_file "clara_replay" ".pcap" in
+  Workload.Trace.save path packets;
+  let replayed = Workload.Trace.load path in
+  Sys.remove path;
+  let run pkts =
+    let interp = Interp.create ~mode:State.Nic (Corpus.find "firewall") in
+    let p = Interp.run interp pkts in
+    (p.Interp.emitted, p.Interp.dropped)
+  in
+  Alcotest.(check (pair int int)) "same verdicts" (run packets) (run replayed)
+
+(* -- Verify -- *)
+
+let test_verify_accepts_lowered_corpus () =
+  List.iter
+    (fun elt ->
+      let f = Nf_frontend.Lower.lower_element elt in
+      Alcotest.(check (list string)) (elt.Ast.name ^ " verifies") []
+        (List.map (fun v -> v.Nf_ir.Verify.message) (Nf_ir.Verify.check f)))
+    (Corpus.all ())
+
+let test_verify_rejects_broken () =
+  let b = Nf_ir.Builder.create "bad" in
+  ignore
+    (Nf_ir.Builder.emit_value b ~op:Nf_ir.Ir.Add
+       ~args:[ Nf_ir.Ir.Reg 999; Nf_ir.Ir.Imm 1 ]
+       ~ty:Nf_ir.Ir.I32 ~annot:Nf_ir.Ir.Compute);
+  let f = Nf_ir.Builder.finish b in
+  Alcotest.(check bool) "undefined register flagged" true (Nf_ir.Verify.check f <> [])
+
+let test_verify_annot_mismatch () =
+  let b = Nf_ir.Builder.create "bad2" in
+  ignore
+    (Nf_ir.Builder.emit_value b ~op:Nf_ir.Ir.Load ~args:[ Nf_ir.Ir.Slot "x" ]
+       ~ty:Nf_ir.Ir.I32 ~annot:Nf_ir.Ir.Compute);
+  let f = Nf_ir.Builder.finish b in
+  Alcotest.(check bool) "load annotated compute flagged" true
+    (List.exists
+       (fun v -> v.Nf_ir.Verify.message = "memory opcode annotated as compute")
+       (Nf_ir.Verify.check f))
+
+(* -- Opt -- *)
+
+let lower stmts =
+  Nf_frontend.Lower.lower_element
+    (let open Build in
+     element "o" stmts)
+
+let test_opt_constant_folding () =
+  let f = lower Build.[ let_ "x" (i 3 + i 4); emit 0 ] in
+  let o = Nf_ir.Opt.optimize f in
+  Alcotest.(check bool) "fewer instructions" true
+    (Nf_ir.Ir.count_total o < Nf_ir.Ir.count_total f)
+
+let test_opt_forwarding_removes_loads () =
+  let f = lower Build.[ let_ "x" (hdr Ast.Ip_src); let_ "y" (l "x" + l "x"); emit 0 ] in
+  let o = Nf_ir.Opt.optimize f in
+  Alcotest.(check bool) "stateless loads eliminated" true
+    (Nf_ir.Ir.count_stateless_mem o < Nf_ir.Ir.count_stateless_mem f)
+
+let test_opt_preserves_structure () =
+  let f = Nf_frontend.Lower.lower_element (Corpus.find "firewall") in
+  let o = Nf_ir.Opt.optimize f in
+  Alcotest.(check int) "same block count" (Array.length f.Nf_ir.Ir.blocks)
+    (Array.length o.Nf_ir.Ir.blocks);
+  Alcotest.(check int) "stateful accesses preserved" (Nf_ir.Ir.count_stateful_mem f)
+    (Nf_ir.Ir.count_stateful_mem o);
+  Alcotest.(check bool) "original untouched" true (Nf_ir.Ir.count_total f > Nf_ir.Ir.count_total o)
+
+(* -- Profiles -- *)
+
+let demand_of name =
+  let spec = { Workload.default with Workload.n_packets = 200; Workload.proto = Workload.Mixed } in
+  (Nicsim.Nic.port (Corpus.find name) spec).Nicsim.Nic.demand
+
+let test_profiles_knees_in_range () =
+  let d = demand_of "Mazu-NAT" in
+  List.iter
+    (fun p ->
+      let knee = Nicsim.Profiles.optimal_cores p d in
+      Alcotest.(check bool)
+        (p.Nicsim.Profiles.name ^ " knee within its core range")
+        true
+        (knee >= 1 && knee <= p.Nicsim.Profiles.nic.Nicsim.Multicore.n_cores))
+    Nicsim.Profiles.all
+
+let test_profiles_differ () =
+  let d = demand_of "UDPCount" in
+  let peaks =
+    List.map
+      (fun p -> (Nicsim.Profiles.peak p d).Nicsim.Multicore.throughput_mpps)
+      Nicsim.Profiles.all
+  in
+  Alcotest.(check bool) "platforms do not all coincide" true
+    (List.length (List.sort_uniq compare (List.map (fun x -> Float.round (x *. 10.0)) peaks)) > 1)
+
+(* -- Partial offloading -- *)
+
+let partial_spec =
+  { Workload.default with Workload.n_packets = 200; Workload.proto = Workload.Mixed }
+
+let test_partial_full_plans_always_feasible () =
+  let evals = Clara.Partial.analyze (Corpus.find "anonipaddr") partial_spec in
+  let plans = List.map (fun e -> e.Clara.Partial.plan) evals in
+  Alcotest.(check bool) "full NIC present" true (List.mem Clara.Partial.Full_nic plans);
+  Alcotest.(check bool) "host-only present" true (List.mem Clara.Partial.Full_host plans)
+
+let test_partial_splits_respect_state () =
+  (* cmsketch touches its sketch arrays across the handler: shared-state
+     splits must be rejected except where state is disjoint *)
+  let evals = Clara.Partial.analyze (Corpus.find "cmsketch") partial_spec in
+  List.iter
+    (fun (e : Clara.Partial.evaluation) ->
+      match e.Clara.Partial.plan with
+      | Clara.Partial.Split k ->
+        let elt = Corpus.find "cmsketch" in
+        let prefix = List.filteri (fun i _ -> i < k) elt.Ast.handler in
+        let suffix = List.filteri (fun i _ -> i >= k) elt.Ast.handler in
+        let shared =
+          List.filter
+            (fun g -> List.mem g (Clara.Partial.globals_of suffix))
+            (Clara.Partial.globals_of prefix)
+        in
+        Alcotest.(check (list string)) "no shared state across PCIe" [] shared
+      | Clara.Partial.Full_nic | Clara.Partial.Full_host -> ())
+    evals
+
+let test_partial_host_pays_crossing () =
+  let evals = Clara.Partial.analyze (Corpus.find "anonipaddr") partial_spec in
+  let find plan = List.find (fun e -> e.Clara.Partial.plan = plan) evals in
+  let host = find Clara.Partial.Full_host in
+  Alcotest.(check bool) "host latency includes two PCIe crossings" true
+    (host.Clara.Partial.latency_us >= 2.0 *. Clara.Partial.default_link.Clara.Partial.crossing_us)
+
+let test_partial_recommend_sane () =
+  List.iter
+    (fun name ->
+      let best = Clara.Partial.recommend (Corpus.find name) partial_spec in
+      Alcotest.(check bool) (name ^ " positive throughput") true
+        (best.Clara.Partial.throughput_mpps > 0.0))
+    [ "dpi"; "firewall"; "heavy_hitter"; "anonipaddr" ]
+
+let test_partial_compute_light_stays_on_nic () =
+  (* anonipaddr at 64B packets: the wire limits everything, so the NIC's
+     lower latency must win the recommendation *)
+  let best = Clara.Partial.recommend (Corpus.find "anonipaddr") partial_spec in
+  (match best.Clara.Partial.plan with
+  | Clara.Partial.Full_nic -> ()
+  | p -> Alcotest.failf "expected full NIC, got %s" (Clara.Partial.plan_name p))
+
+
+(* -- Energy / TCO -- *)
+
+let test_energy_model () =
+  let d = demand_of "UDPCount" in
+  let point = Nicsim.Multicore.measure d ~cores:20 in
+  let w = Nicsim.Energy.power_w Nicsim.Energy.smartnic d point in
+  Alcotest.(check bool) "power above static floor" true
+    (w > Nicsim.Energy.smartnic.Nicsim.Energy.static_w);
+  let uj = Nicsim.Energy.energy_per_packet_uj Nicsim.Energy.smartnic d point in
+  Alcotest.(check bool) "finite energy per packet" true (Float.is_finite uj && uj > 0.0);
+  (* more cores at the same throughput burn more energy per packet *)
+  let p8 = Nicsim.Multicore.measure d ~cores:8 in
+  let uj8 = Nicsim.Energy.energy_per_packet_uj Nicsim.Energy.smartnic d p8 in
+  ignore uj8;
+  (* the host platform is less efficient per packet for the same work *)
+  let host_w =
+    Nicsim.Energy.host_power_w Nicsim.Energy.x86_host ~cores:4
+      ~mpps:point.Nicsim.Multicore.throughput_mpps
+      ~mem_accesses_per_pkt:(Nicsim.Perf.total_mem_accesses d)
+  in
+  let host_uj = host_w /. (point.Nicsim.Multicore.throughput_mpps *. 1e6) *. 1e6 in
+  Alcotest.(check bool) "host burns more energy per packet" true (host_uj > uj)
+
+let test_tco_grows_with_watts () =
+  let cheap = Nicsim.Energy.tco_usd Nicsim.Energy.smartnic ~watts:10.0 ~years:3.0 ~usd_per_kwh:0.12 in
+  let hot = Nicsim.Energy.tco_usd Nicsim.Energy.smartnic ~watts:100.0 ~years:3.0 ~usd_per_kwh:0.12 in
+  Alcotest.(check bool) "electricity dominates at higher draw" true (hot > cheap);
+  Alcotest.(check bool) "capex floor" true
+    (cheap >= Nicsim.Energy.smartnic.Nicsim.Energy.capex_usd)
+
+(* qcheck: verifier accepts everything the generator+frontend produce *)
+let prop_synth_lowering_verifies =
+  QCheck.Test.make ~name:"synthesized programs pass the IR verifier" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qv_%d" seed) in
+      Nf_ir.Verify.check (Nf_frontend.Lower.lower_element elt) = [])
+
+let prop_optimizer_preserves_wellformedness =
+  QCheck.Test.make ~name:"optimizer output stays well-formed" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qo_%d" seed) in
+      let o = Nf_ir.Opt.optimize (Nf_frontend.Lower.lower_element elt) in
+      Nf_ir.Verify.check o = [])
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "trace",
+        [ Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+          Alcotest.test_case "drives interpreter" `Quick test_trace_drives_interpreter ] );
+      ( "verify",
+        [ Alcotest.test_case "accepts corpus" `Quick test_verify_accepts_lowered_corpus;
+          Alcotest.test_case "rejects undefined reg" `Quick test_verify_rejects_broken;
+          Alcotest.test_case "annot mismatch" `Quick test_verify_annot_mismatch ] );
+      ( "opt",
+        [ Alcotest.test_case "constant folding" `Quick test_opt_constant_folding;
+          Alcotest.test_case "slot forwarding" `Quick test_opt_forwarding_removes_loads;
+          Alcotest.test_case "preserves structure" `Quick test_opt_preserves_structure ] );
+      ( "profiles",
+        [ Alcotest.test_case "knees in range" `Quick test_profiles_knees_in_range;
+          Alcotest.test_case "platforms differ" `Quick test_profiles_differ ] );
+      ( "energy",
+        [ Alcotest.test_case "power and per-packet energy" `Quick test_energy_model;
+          Alcotest.test_case "tco grows with watts" `Quick test_tco_grows_with_watts ] );
+      ( "partial",
+        [ Alcotest.test_case "full plans feasible" `Quick test_partial_full_plans_always_feasible;
+          Alcotest.test_case "splits respect state" `Quick test_partial_splits_respect_state;
+          Alcotest.test_case "host pays crossing" `Quick test_partial_host_pays_crossing;
+          Alcotest.test_case "recommendations sane" `Quick test_partial_recommend_sane;
+          Alcotest.test_case "compute-light stays on NIC" `Quick test_partial_compute_light_stays_on_nic ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_synth_lowering_verifies; prop_optimizer_preserves_wellformedness ] ) ]

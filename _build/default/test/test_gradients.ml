@@ -1,0 +1,123 @@
+(** Numerical gradient checks for the hand-written backpropagation.
+
+    For tiny models, every analytic gradient from BPTT / conv backprop is
+    compared against a central finite difference of the loss.  This is the
+    strongest correctness evidence for the from-scratch training code the
+    whole Figure-8 evaluation rests on. *)
+
+open Mlkit
+
+let epsilon = 1e-5
+let tolerance = 1e-3
+
+(** Relative error robust to tiny magnitudes. *)
+let rel_err a b = abs_float (a -. b) /. max 1.0 (max (abs_float a) (abs_float b))
+
+(* -- LSTM -- *)
+
+let lstm_loss (m : Lstm.t) seq target =
+  let out = (Lstm.predict m seq).(0) /. m.Lstm.y_scale in
+  let d = out -. target in
+  d *. d
+
+let check_param_gradients name (params : Nn.param list) analytic_of numeric_of =
+  List.iteri
+    (fun pi (p : Nn.param) ->
+      let rows = Array.length p.Nn.w in
+      let cols = Array.length p.Nn.w.(0) in
+      (* probe a deterministic subset of coordinates *)
+      for k = 0 to min 3 ((rows * cols) - 1) do
+        let i = k mod rows and j = (k * 7) mod cols in
+        let analytic = analytic_of p in
+        let a = analytic.(i).(j) in
+        let saved = p.Nn.w.(i).(j) in
+        p.Nn.w.(i).(j) <- saved +. epsilon;
+        let up = numeric_of () in
+        p.Nn.w.(i).(j) <- saved -. epsilon;
+        let down = numeric_of () in
+        p.Nn.w.(i).(j) <- saved;
+        let numeric = (up -. down) /. (2.0 *. epsilon) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s param %d coord (%d,%d): %.6f vs %.6f" name pi i j a numeric)
+          true
+          (rel_err a numeric < tolerance)
+      done)
+    params
+
+let test_lstm_bptt_matches_finite_differences () =
+  let m = Lstm.create ~hidden:5 ~fc_dim:4 ~vocab:7 31 in
+  m.Lstm.y_scale <- 1.0;
+  let seq = [| 1; 3; 0; 6; 2 |] in
+  let target = 2.5 in
+  (* analytic gradients *)
+  List.iter Nn.zero_grad (Lstm.params m);
+  ignore (Lstm.backward m seq [| target |]);
+  check_param_gradients "lstm" (Lstm.params m)
+    (fun p -> p.Nn.g)
+    (fun () -> lstm_loss m seq target)
+
+let test_lstm_gradients_nonzero () =
+  let m = Lstm.create ~hidden:4 ~vocab:5 33 in
+  m.Lstm.y_scale <- 1.0;
+  List.iter Nn.zero_grad (Lstm.params m);
+  ignore (Lstm.backward m [| 0; 1; 2 |] [| 10.0 |]);
+  let total =
+    List.fold_left
+      (fun acc (p : Nn.param) ->
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun acc g -> acc +. abs_float g) acc row)
+          acc p.Nn.g)
+      0.0 (Lstm.params m)
+  in
+  Alcotest.(check bool) "gradient mass flows" true (total > 1e-3)
+
+(* -- CNN -- *)
+
+let cnn_loss (m : Cnn.t) seq target =
+  let out = (Cnn.predict m seq).(0) /. m.Cnn.y_scale in
+  let d = out -. target in
+  d *. d
+
+let test_cnn_backprop_matches_finite_differences () =
+  let m = Cnn.create ~window:2 ~filters:3 ~vocab:5 37 in
+  m.Cnn.y_scale <- 1.0;
+  let seq = [| 0; 2; 4; 1; 3 |] in
+  let target = 1.5 in
+  List.iter Nn.zero_grad (Cnn.params m);
+  ignore (Cnn.backward m seq [| target |]);
+  (* note: max-pool winners may change under perturbation; the tolerance
+     holds because epsilon is far below the winner margins at init *)
+  check_param_gradients "cnn" (Cnn.params m)
+    (fun p -> p.Nn.g)
+    (fun () -> cnn_loss m seq target)
+
+(* -- MLP -- *)
+
+let mlp_loss net x target =
+  let out = (Nn.mlp_forward net x |> snd).(0) in
+  let d = out -. target in
+  d *. d
+
+let test_mlp_backprop_matches_finite_differences () =
+  let net = Nn.mlp_create (Util.Rng.create 41) ~in_dim:3 ~hidden:[ 4 ] ~out_dim:1 in
+  let x = [| 0.3; -0.7; 1.1 |] in
+  let target = 0.9 in
+  List.iter Nn.zero_grad net.Nn.layers;
+  let caches, out = Nn.mlp_forward net x in
+  Nn.mlp_backward net caches [| 2.0 *. (out.(0) -. target) |];
+  check_param_gradients "mlp" net.Nn.layers
+    (fun p -> p.Nn.g)
+    (fun () -> mlp_loss net x target)
+
+let () =
+  Alcotest.run "gradients"
+    [ ( "lstm",
+        [ Alcotest.test_case "BPTT vs finite differences" `Quick
+            test_lstm_bptt_matches_finite_differences;
+          Alcotest.test_case "gradient mass" `Quick test_lstm_gradients_nonzero ] );
+      ( "cnn",
+        [ Alcotest.test_case "conv backprop vs finite differences" `Quick
+            test_cnn_backprop_matches_finite_differences ] );
+      ( "mlp",
+        [ Alcotest.test_case "dense backprop vs finite differences" `Quick
+            test_mlp_backprop_matches_finite_differences ] ) ]

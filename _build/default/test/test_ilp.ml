@@ -1,0 +1,125 @@
+(** Tests for the 0/1 ILP branch-and-bound solver, including an exactness
+    property against brute-force enumeration. *)
+
+let mk ~n_items ~n_bins ~cost ~size ~capacity =
+  { Ilp.n_items; n_bins; cost; size; capacity }
+
+let test_trivial () =
+  let p = mk ~n_items:0 ~n_bins:2 ~cost:(fun _ _ -> 0.0) ~size:(fun _ -> 1) ~capacity:(fun _ -> 1) in
+  match Ilp.solve p with
+  | Some { Ilp.assignment; objective } ->
+    Alcotest.(check int) "empty assignment" 0 (Array.length assignment);
+    Alcotest.(check (float 0.0)) "zero objective" 0.0 objective
+  | None -> Alcotest.fail "empty problem is feasible"
+
+let test_picks_cheapest () =
+  let p =
+    mk ~n_items:1 ~n_bins:3
+      ~cost:(fun _ b -> [| 5.0; 1.0; 3.0 |].(b))
+      ~size:(fun _ -> 1)
+      ~capacity:(fun _ -> 10)
+  in
+  match Ilp.solve p with
+  | Some { Ilp.assignment; objective } ->
+    Alcotest.(check int) "cheapest bin" 1 assignment.(0);
+    Alcotest.(check (float 1e-9)) "objective" 1.0 objective
+  | None -> Alcotest.fail "feasible"
+
+let test_capacity_forces_spread () =
+  (* both items prefer bin 0, but it only fits one *)
+  let p =
+    mk ~n_items:2 ~n_bins:2
+      ~cost:(fun _ b -> if b = 0 then 1.0 else 10.0)
+      ~size:(fun _ -> 1)
+      ~capacity:(fun b -> if b = 0 then 1 else 10)
+  in
+  match Ilp.solve p with
+  | Some { Ilp.assignment; objective } ->
+    Alcotest.(check bool) "one in each" true (assignment.(0) <> assignment.(1));
+    Alcotest.(check (float 1e-9)) "objective 11" 11.0 objective
+  | None -> Alcotest.fail "feasible"
+
+let test_infeasible () =
+  let p =
+    mk ~n_items:2 ~n_bins:1 ~cost:(fun _ _ -> 1.0) ~size:(fun _ -> 2) ~capacity:(fun _ -> 3)
+  in
+  Alcotest.(check bool) "too small bin" true (Ilp.solve p = None)
+
+let test_forbidden_assignment () =
+  let p =
+    mk ~n_items:1 ~n_bins:2
+      ~cost:(fun _ b -> if b = 0 then infinity else 2.0)
+      ~size:(fun _ -> 1)
+      ~capacity:(fun _ -> 10)
+  in
+  match Ilp.solve p with
+  | Some { Ilp.assignment; _ } -> Alcotest.(check int) "avoids forbidden bin" 1 assignment.(0)
+  | None -> Alcotest.fail "bin 1 is allowed"
+
+let test_enumerate_counts () =
+  let p =
+    mk ~n_items:2 ~n_bins:2 ~cost:(fun _ _ -> 1.0) ~size:(fun _ -> 1) ~capacity:(fun _ -> 10)
+  in
+  Alcotest.(check int) "2^2 assignments" 4 (List.length (Ilp.enumerate p))
+
+let prop_solve_matches_enumeration =
+  QCheck.Test.make ~name:"branch-and-bound finds the enumerated optimum" ~count:150
+    QCheck.(triple (int_range 1 5) (int_range 1 4) (int_range 0 1_000_000))
+    (fun (n_items, n_bins, seed) ->
+      let rng = Util.Rng.create seed in
+      let costs =
+        Array.init n_items (fun _ -> Array.init n_bins (fun _ -> Util.Rng.float_range rng 0.0 50.0))
+      in
+      let sizes = Array.init n_items (fun _ -> 1 + Util.Rng.int rng 5) in
+      let caps = Array.init n_bins (fun _ -> 1 + Util.Rng.int rng 10) in
+      let p =
+        mk ~n_items ~n_bins
+          ~cost:(fun i b -> costs.(i).(b))
+          ~size:(fun i -> sizes.(i))
+          ~capacity:(fun b -> caps.(b))
+      in
+      let solved = Ilp.solve p in
+      let all = Ilp.enumerate p in
+      match (solved, all) with
+      | None, [] -> true
+      | Some { Ilp.objective; _ }, _ :: _ ->
+        let best = List.fold_left (fun acc s -> min acc s.Ilp.objective) infinity all in
+        abs_float (objective -. best) < 1e-6
+      | Some _, [] | None, _ :: _ -> false)
+
+let prop_solution_respects_capacity =
+  QCheck.Test.make ~name:"solutions respect capacities" ~count:150
+    QCheck.(pair (int_range 1 6) (int_range 0 1_000_000))
+    (fun (n_items, seed) ->
+      let rng = Util.Rng.create seed in
+      let n_bins = 3 in
+      let sizes = Array.init n_items (fun _ -> 1 + Util.Rng.int rng 4) in
+      let caps = Array.init n_bins (fun _ -> 2 + Util.Rng.int rng 8) in
+      let p =
+        mk ~n_items ~n_bins
+          ~cost:(fun i b -> float_of_int ((i * 7) + b))
+          ~size:(fun i -> sizes.(i))
+          ~capacity:(fun b -> caps.(b))
+      in
+      match Ilp.solve p with
+      | None -> true
+      | Some { Ilp.assignment; _ } ->
+        Array.for_all
+          (fun b ->
+            let used = ref 0 in
+            Array.iteri (fun i bin -> if bin = b then used := !used + sizes.(i)) assignment;
+            !used <= caps.(b))
+          (Array.init n_bins (fun b -> b)))
+
+let () =
+  Alcotest.run "ilp"
+    [ ( "solve",
+        [ Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "picks cheapest" `Quick test_picks_cheapest;
+          Alcotest.test_case "capacity forces spread" `Quick test_capacity_forces_spread;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "forbidden assignment" `Quick test_forbidden_assignment;
+          Alcotest.test_case "enumerate counts" `Quick test_enumerate_counts ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_solve_matches_enumeration; prop_solution_respects_capacity ] ) ]

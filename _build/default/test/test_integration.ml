@@ -1,0 +1,102 @@
+(** Cross-cutting integration tests: Clara's combined insights never hurt
+    across the whole corpus, the toolchain is bit-for-bit deterministic,
+    and pcap-trace-driven analysis matches generated-workload analysis. *)
+
+open Nf_lang
+
+let spec = { Workload.small_flows with Workload.n_packets = 300 }
+
+(* 1: applying placement + packing insights never loses peak throughput *)
+let test_insights_never_hurt () =
+  List.iter
+    (fun (elt : Ast.element) ->
+      let naive = Nicsim.Nic.port elt spec in
+      let placement =
+        if elt.Ast.state = [] then None else Some (Clara.Placement.solve elt naive)
+      in
+      let packs = Clara.Coalesce.suggest elt naive.Nicsim.Nic.profile in
+      let tuned =
+        Nicsim.Nic.reconfigure naive { Nicsim.Nic.accel_apis = []; placement; packs }
+      in
+      let peak p = (Nicsim.Nic.peak p).Nicsim.Multicore.throughput_mpps in
+      Alcotest.(check bool)
+        (elt.Ast.name ^ ": tuned port at least as fast")
+        true
+        (peak tuned >= peak naive -. 1e-6))
+    (Corpus.table2 ())
+
+(* 2: end-to-end determinism of the port pipeline *)
+let test_port_deterministic () =
+  let demand name =
+    (Nicsim.Nic.port (Corpus.find name) spec).Nicsim.Nic.demand
+  in
+  List.iter
+    (fun name ->
+      let a = demand name and b = demand name in
+      Alcotest.(check (float 0.0)) (name ^ " compute identical") a.Nicsim.Perf.compute
+        b.Nicsim.Perf.compute;
+      Array.iteri
+        (fun i v -> Alcotest.(check (float 0.0)) "levels identical" b.Nicsim.Perf.levels.(i) v)
+        a.Nicsim.Perf.levels)
+    [ "Mazu-NAT"; "firewall"; "DNSProxy" ]
+
+let test_training_deterministic () =
+  let predict () =
+    let ds = Clara.Predictor.synthesize_dataset ~n:12 () in
+    let m = Clara.Predictor.train ~epochs:3 ds in
+    List.map (fun (_, c, _) -> c) (Clara.Predictor.predict_element m (Corpus.find "tcpack"))
+  in
+  let a = predict () and b = predict () in
+  List.iter2 (fun x y -> Alcotest.(check (float 0.0)) "same prediction" x y) a b
+
+(* 3: a saved pcap trace drives the same analysis as the live workload *)
+let test_trace_driven_analysis_matches () =
+  let elt = Corpus.find "UDPCount" in
+  let packets = Workload.generate spec in
+  let path = Filename.temp_file "clara_analysis" ".pcap" in
+  Workload.Trace.save path packets;
+  let replayed = Workload.Trace.load path in
+  Sys.remove path;
+  let profile pkts =
+    let interp = Interp.create ~mode:State.Nic elt in
+    Interp.run interp pkts
+  in
+  let p1 = profile packets and p2 = profile replayed in
+  List.iter
+    (fun d ->
+      let name = Ast.state_name d in
+      Alcotest.(check int)
+        (name ^ " accesses equal under replay")
+        (Interp.global_accesses p1 name)
+        (Interp.global_accesses p2 name))
+    elt.Ast.state;
+  (* coalescing decisions agree too *)
+  Alcotest.(check bool) "same packs" true
+    (Clara.Coalesce.suggest elt p1 = Clara.Coalesce.suggest elt p2)
+
+(* 4: every corpus NF flows through the complete naive-port pipeline with a
+   sane operating point *)
+let test_corpus_operating_points_sane () =
+  List.iter
+    (fun (elt : Ast.element) ->
+      let ported = Nicsim.Nic.port elt { spec with Workload.n_packets = 150 } in
+      let peak = Nicsim.Nic.peak ported in
+      Alcotest.(check bool) (elt.Ast.name ^ " peak positive") true
+        (peak.Nicsim.Multicore.throughput_mpps > 0.0);
+      Alcotest.(check bool) (elt.Ast.name ^ " below line rate") true
+        (peak.Nicsim.Multicore.throughput_mpps <= 60.0);
+      Alcotest.(check bool) (elt.Ast.name ^ " latency sane") true
+        (peak.Nicsim.Multicore.latency_us > 0.0 && peak.Nicsim.Multicore.latency_us < 10_000.0))
+    (Corpus.all ())
+
+let () =
+  Alcotest.run "integration"
+    [ ( "insights",
+        [ Alcotest.test_case "never hurt across the corpus" `Slow test_insights_never_hurt ] );
+      ( "determinism",
+        [ Alcotest.test_case "port pipeline" `Quick test_port_deterministic;
+          Alcotest.test_case "training" `Slow test_training_deterministic ] );
+      ( "traces",
+        [ Alcotest.test_case "trace-driven analysis" `Quick test_trace_driven_analysis_matches ] );
+      ( "corpus",
+        [ Alcotest.test_case "operating points sane" `Slow test_corpus_operating_points_sane ] ) ]

@@ -1,0 +1,226 @@
+(** Tests for the IR substrate and the frontend lowering: CFG construction,
+    instruction classification, sid attribution (the bridge between the
+    host profile and compiled blocks), inlining and reverse-ported API
+    implementations. *)
+
+open Nf_lang
+open Nf_ir
+
+let lower name stmts =
+  Nf_frontend.Lower.lower_element
+    (let open Build in
+     element name stmts)
+
+(* -- Builder -- *)
+
+let test_builder_basics () =
+  let b = Builder.create "f" in
+  let r1 = Builder.emit_value b ~op:Ir.Add ~args:[ Ir.Imm 1; Ir.Imm 2 ] ~ty:Ir.I32 ~annot:Ir.Compute in
+  let r2 = Builder.emit_value b ~op:Ir.Add ~args:[ Ir.Reg r1; Ir.Imm 3 ] ~ty:Ir.I32 ~annot:Ir.Compute in
+  Alcotest.(check bool) "fresh registers" true (r2 > r1);
+  let f = Builder.finish b in
+  Alcotest.(check int) "one block" 1 (Array.length f.Ir.blocks);
+  let last = List.nth f.Ir.blocks.(0).Ir.instrs (List.length f.Ir.blocks.(0).Ir.instrs - 1) in
+  Alcotest.(check bool) "terminated with ret" true (Ir.is_terminator last)
+
+let test_builder_succs () =
+  let b = Builder.create "g" in
+  let cond = Builder.emit_value b ~op:(Ir.Icmp Ir.Ceq) ~args:[ Ir.Imm 1; Ir.Imm 1 ] ~ty:Ir.I32 ~annot:Ir.Compute in
+  let then_b = Builder.start_block b ~sid:1 in
+  let exit_b = Builder.start_block b ~sid:2 in
+  (* terminate entry *)
+  let f =
+    let entry_blk = List.nth (List.rev b.Builder.blocks) 0 in
+    entry_blk.Ir.instrs <-
+      entry_blk.Ir.instrs
+      @ [ { Ir.res = None; op = Ir.Cond_br (then_b.Ir.bid, exit_b.Ir.bid); args = [ Ir.Reg cond ]; ty = Ir.I1; annot = Ir.Control } ];
+    Builder.finish b
+  in
+  Alcotest.(check (list int)) "entry successors" [ then_b.Ir.bid; exit_b.Ir.bid ]
+    f.Ir.blocks.(0).Ir.succs
+
+(* -- Lowering: structure -- *)
+
+let test_lower_entry_sid_zero () =
+  let f = lower "t" Build.[ let_ "x" (i 1); emit 0 ] in
+  Alcotest.(check int) "entry block sid" 0 f.Ir.blocks.(0).Ir.src_sid
+
+let test_lower_classification () =
+  let f =
+    lower "cls"
+      Build.[ let_ "x" (hdr Ast.Ip_src); set_g "total" (l "x" + i 1); emit 0 ]
+  in
+  Alcotest.(check bool) "has compute" true (Ir.count_compute f > 0);
+  Alcotest.(check bool) "has stateless mem (locals)" true (Ir.count_stateless_mem f > 0);
+  Alcotest.(check int) "one stateful store" 1 (Ir.count_stateful_mem f);
+  Alcotest.(check bool) "ip_header API emitted" true
+    (List.mem "ip_header" (Nf_frontend.Lower.api_set f))
+
+let test_lower_header_accessor_once () =
+  let f =
+    lower "hdr2" Build.[ let_ "a" (hdr Ast.Ip_src); let_ "b" (hdr Ast.Ip_dst); emit 0 ]
+  in
+  let calls =
+    Ir.fold_instrs
+      (fun acc i -> match i.Ir.op with Ir.Call "ip_header" -> acc + 1 | _ -> acc)
+      0 f
+  in
+  Alcotest.(check int) "ip_header called once" 1 calls
+
+let test_lower_zext_for_narrow_fields () =
+  let f = lower "narrow" Build.[ let_ "t" (hdr Ast.Ip_ttl); emit 0 ] in
+  let has_zext = Ir.count_if (fun i -> i.Ir.op = Ir.Zext) f > 0 in
+  Alcotest.(check bool) "8-bit load widened" true has_zext
+
+let test_lower_if_blocks () =
+  let f =
+    lower "branchy"
+      Build.[ if_ (hdr Ast.Ip_ttl > i 1) [ set_hdr Ast.Ip_ttl (i 5) ] [ drop ]; emit 0 ]
+  in
+  Alcotest.(check bool) "several blocks" true (Array.length f.Ir.blocks >= 4);
+  (* all successor ids must be valid blocks *)
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun s -> Alcotest.(check bool) "succ valid" true (s >= 0 && s < Array.length f.Ir.blocks))
+        blk.Ir.succs)
+    f.Ir.blocks
+
+let test_lower_loop_header_sid () =
+  let elt =
+    let open Build in
+    element "loopy" ~state:[ array "t" 8 ] [ for_ "j" (i 0) (i 3) [ arr_set "t" (l "j") (i 1) ]; emit 0 ]
+  in
+  let for_sid = (List.hd elt.Ast.handler).Ast.sid in
+  let f = Nf_frontend.Lower.lower_element elt in
+  let header_sids =
+    Array.to_list f.Ir.blocks |> List.filter_map (fun b -> if b.Ir.src_sid < -1 then Some b.Ir.src_sid else None)
+  in
+  Alcotest.(check (list int)) "loop header encodes For sid" [ -(for_sid + 1) ] header_sids
+
+let test_lower_inlines_subroutines () =
+  let elt =
+    let open Build in
+    element "inl" ~state:[ scalar "c" ]
+      ~subs:[ ("bump", [ set_g "c" (g "c" + i 1) ]) ]
+      [ call "bump"; call "bump"; emit 0 ]
+  in
+  let f = Nf_frontend.Lower.lower_element elt in
+  (* inlined twice: two stateful loads + two stores *)
+  Alcotest.(check int) "inlined stateful ops" 4 (Ir.count_stateful_mem f)
+
+let test_lower_recursive_sub_fails () =
+  let elt =
+    let open Build in
+    element "rec" ~subs:[ ("a", [ call "a" ]) ] [ call "a" ]
+  in
+  Alcotest.check_raises "recursion detected" (Failure "Lower: recursive subroutine a in rec")
+    (fun () -> ignore (Nf_frontend.Lower.lower_element elt))
+
+(* integration: block execution counts derived from the interpreter profile
+   must sum consistently with the packet count for the entry block *)
+let test_block_exec_counts_consistent () =
+  let elt = Corpus.find "firewall" in
+  let f = Nf_frontend.Lower.lower_element elt in
+  let compiled = Nicsim.Nfcc.compile f in
+  let interp = Interp.create ~mode:State.Nic elt in
+  let spec = { Workload.default with Workload.n_packets = 120; Workload.proto = Workload.Mixed } in
+  let profile = Interp.run interp (Workload.generate spec) in
+  Array.iter
+    (fun cb ->
+      let n = Nicsim.Perf.block_exec profile cb in
+      Alcotest.(check bool) "nonnegative count" true (n >= 0))
+    compiled.Nicsim.Nfcc.cblocks;
+  Alcotest.(check int) "entry block = packets" 120
+    (Nicsim.Perf.block_exec profile compiled.Nicsim.Nfcc.cblocks.(0))
+
+(* -- pretty printing -- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_ir_printing () =
+  let f = lower "pp" Build.[ let_ "x" (hdr Ast.Ip_src); emit 0 ] in
+  let s = Ir.func_str f in
+  Alcotest.(check bool) "mentions define" true
+    (String.length s > 10 && String.sub s 0 6 = "define");
+  Alcotest.(check bool) "mentions load" true (contains s "load")
+
+(* -- api_ir -- *)
+
+let test_api_impls_cover_element () =
+  let elt = Corpus.find "Mazu-NAT" in
+  let f = Nf_frontend.Lower.lower_element elt in
+  let impls = Nf_frontend.Api_ir.impls_for_element elt f in
+  Alcotest.(check bool) "several impls" true (List.length impls >= 8);
+  List.iter
+    (fun (call, impl) ->
+      Alcotest.(check bool) (call ^ " fixed nonempty") true
+        (Ir.count_total impl.Nf_frontend.Api_ir.fixed > 0))
+    impls
+
+let test_api_impl_map_targets () =
+  let elt = Corpus.find "Mazu-NAT" in
+  let f = Nf_frontend.Lower.lower_element elt in
+  let impls = Nf_frontend.Api_ir.impls_for_element elt f in
+  let find_impl = List.assoc "map_find.int_map" impls in
+  Alcotest.(check (option string)) "targets its map" (Some "int_map")
+    find_impl.Nf_frontend.Api_ir.target;
+  (match find_impl.Nf_frontend.Api_ir.units with
+  | Nf_frontend.Api_ir.Map_probes m -> Alcotest.(check string) "probe units" "int_map" m
+  | _ -> Alcotest.fail "map_find should be probe-scaled")
+
+let test_api_impl_unknown_call () =
+  let elt = Corpus.find "anonipaddr" in
+  Alcotest.check_raises "unknown api" (Failure "Api_ir.impl_for: unknown API call bogus.xyz")
+    (fun () -> ignore (Nf_frontend.Api_ir.impl_for elt "bogus.xyz"))
+
+(* -- opcode histogram -- *)
+
+let test_opcode_histogram () =
+  let f = lower "h" Build.[ let_ "x" (hdr Ast.Ip_src lxor i 3); emit 0 ] in
+  let h = Ir.opcode_histogram [ f ] in
+  Alcotest.(check int) "cardinality" Ir.opcode_cardinality (Array.length h);
+  Alcotest.(check bool) "xor counted" true (h.(5) > 0.0)
+
+(* qcheck: every synthesized program lowers into a well-formed CFG *)
+let prop_lowering_well_formed =
+  QCheck.Test.make ~name:"synthesized programs lower to valid CFGs" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qc_%d" seed) in
+      let f = Nf_frontend.Lower.lower_element elt in
+      Array.for_all
+        (fun blk ->
+          (match List.rev blk.Ir.instrs with
+          | last :: _ -> Ir.is_terminator last
+          | [] -> false)
+          && List.for_all (fun s -> s >= 0 && s < Array.length f.Ir.blocks) blk.Ir.succs)
+        f.Ir.blocks)
+
+let () =
+  Alcotest.run "nf_ir+frontend"
+    [ ( "builder",
+        [ Alcotest.test_case "basics" `Quick test_builder_basics;
+          Alcotest.test_case "successors" `Quick test_builder_succs ] );
+      ( "lowering",
+        [ Alcotest.test_case "entry sid" `Quick test_lower_entry_sid_zero;
+          Alcotest.test_case "classification" `Quick test_lower_classification;
+          Alcotest.test_case "header accessor once" `Quick test_lower_header_accessor_once;
+          Alcotest.test_case "zext for narrow fields" `Quick test_lower_zext_for_narrow_fields;
+          Alcotest.test_case "if produces blocks" `Quick test_lower_if_blocks;
+          Alcotest.test_case "loop header sid" `Quick test_lower_loop_header_sid;
+          Alcotest.test_case "inlines subroutines" `Quick test_lower_inlines_subroutines;
+          Alcotest.test_case "recursive sub fails" `Quick test_lower_recursive_sub_fails;
+          Alcotest.test_case "block exec counts" `Quick test_block_exec_counts_consistent ] );
+      ( "printing+histogram",
+        [ Alcotest.test_case "ir printing" `Quick test_ir_printing;
+          Alcotest.test_case "opcode histogram" `Quick test_opcode_histogram ] );
+      ( "api_ir",
+        [ Alcotest.test_case "impls cover element" `Quick test_api_impls_cover_element;
+          Alcotest.test_case "map targets" `Quick test_api_impl_map_targets;
+          Alcotest.test_case "unknown call" `Quick test_api_impl_unknown_call ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_lowering_well_formed ]) ]

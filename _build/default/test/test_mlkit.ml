@@ -1,0 +1,427 @@
+(** Tests for the from-scratch ML toolkit: linear algebra, neural models
+    (MLP, LSTM, CNN), trees/forests/GBDT, SVM, K-means, PCA, LambdaMART
+    ranking, AutoML and metrics. *)
+
+open Mlkit
+
+let rng () = Util.Rng.create 12345
+
+(* -- La -- *)
+
+let test_la_dot_matvec () =
+  Alcotest.(check (float 1e-9)) "dot" 11.0 (La.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  let m = [| [| 1.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let y = La.mat_vec m [| 5.0; 7.0 |] in
+  Alcotest.(check (float 1e-9)) "matvec 0" 5.0 y.(0);
+  Alcotest.(check (float 1e-9)) "matvec 1" 14.0 y.(1)
+
+let test_la_mat_t_vec () =
+  let m = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = La.mat_t_vec m [| 1.0; 1.0 |] in
+  Alcotest.(check (float 1e-9)) "col sums 0" 4.0 y.(0);
+  Alcotest.(check (float 1e-9)) "col sums 1" 6.0 y.(1)
+
+let test_la_add_column () =
+  let m = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let dst = [| 0.0; 0.0 |] in
+  La.add_column_into dst m 1;
+  Alcotest.(check (float 1e-9)) "column picked" 2.0 dst.(0);
+  Alcotest.(check (float 1e-9)) "column picked row2" 4.0 dst.(1)
+
+let test_la_standardize () =
+  let xs = [| [| 1.0; 10.0 |]; [| 3.0; 10.0 |] |] in
+  let out, mu, sd = La.standardize xs in
+  Alcotest.(check (float 1e-9)) "mean removed" 0.0 (out.(0).(0) +. out.(1).(0));
+  Alcotest.(check (float 1e-9)) "mu" 2.0 mu.(0);
+  (* constant column gets unit scale, not an explosion *)
+  Alcotest.(check (float 1e-9)) "constant column sd=1" 1.0 sd.(1);
+  let z = La.apply_standardize [| 2.0; 10.0 |] mu sd in
+  Alcotest.(check (float 1e-9)) "apply consistent" 0.0 z.(0)
+
+let test_la_sigmoid_tanh () =
+  Alcotest.(check (float 1e-9)) "sigmoid 0" 0.5 (La.sigmoid 0.0);
+  Alcotest.(check (float 1e-9)) "dsigmoid at 0.5" 0.25 (La.dsigmoid 0.5);
+  Alcotest.(check (float 1e-9)) "dtanh at 0" 1.0 (La.dtanh 0.0)
+
+(* -- Nn / MLP -- *)
+
+let test_mlp_fits_linear () =
+  let r = rng () in
+  let xs = Array.init 200 (fun _ -> [| Util.Rng.float_range r (-1.0) 1.0; Util.Rng.float_range r (-1.0) 1.0 |]) in
+  let ys = Array.map (fun x -> [| (3.0 *. x.(0)) -. (2.0 *. x.(1)) +. 0.5 |]) xs in
+  let net = Nn.mlp_create (rng ()) ~in_dim:2 ~hidden:[ 8 ] ~out_dim:1 in
+  Nn.mlp_fit_regression ~epochs:80 net xs ys;
+  let preds = Array.map (fun x -> (Nn.mlp_predict net x).(0)) xs in
+  let truth = Array.map (fun y -> y.(0)) ys in
+  Alcotest.(check bool) "low training error" true (Metrics.mae preds truth < 0.1)
+
+let test_mlp_binary_classifier () =
+  let r = rng () in
+  let xs = Array.init 300 (fun _ -> [| Util.Rng.float_range r (-1.0) 1.0; Util.Rng.float_range r (-1.0) 1.0 |]) in
+  let ys = Array.map (fun x -> if x.(0) +. x.(1) > 0.0 then 1.0 else 0.0) xs in
+  let net = Nn.mlp_create (rng ()) ~in_dim:2 ~hidden:[ 8 ] ~out_dim:1 in
+  Nn.mlp_fit_binary ~epochs:60 net xs ys;
+  let preds = Array.map (fun x -> if Nn.mlp_predict_binary net x > 0.5 then 1.0 else 0.0) xs in
+  Alcotest.(check bool) "good accuracy" true (Metrics.accuracy preds ys > 0.9)
+
+let test_gradient_clipping () =
+  let p = Nn.zero_param 1 2 in
+  p.Nn.g.(0).(0) <- 30.0;
+  p.Nn.g.(0).(1) <- 40.0;
+  Nn.clip_gradients [ p ] 5.0;
+  let norm = sqrt ((p.Nn.g.(0).(0) ** 2.0) +. (p.Nn.g.(0).(1) ** 2.0)) in
+  Alcotest.(check (float 1e-6)) "clipped to limit" 5.0 norm
+
+let test_adam_reduces_loss () =
+  (* minimize (w - 3)^2 with Adam *)
+  let p = Nn.zero_param 1 1 in
+  let opt = Nn.adam ~lr:0.1 () in
+  for _ = 1 to 200 do
+    Nn.zero_grad p;
+    p.Nn.g.(0).(0) <- 2.0 *. (p.Nn.w.(0).(0) -. 3.0);
+    Nn.adam_step opt [ p ]
+  done;
+  Alcotest.(check bool) "converged to 3" true (abs_float (p.Nn.w.(0).(0) -. 3.0) < 0.05)
+
+(* -- LSTM -- *)
+
+let lstm_task r () =
+  let len = 4 + Util.Rng.int r 10 in
+  let seq = Array.init len (fun _ -> Util.Rng.int r 6) in
+  let y = Array.fold_left (fun acc tok -> acc +. if tok = 2 then 3.0 else 1.0) 0.0 seq in
+  (seq, [| y |])
+
+let test_lstm_learns_counting () =
+  let r = rng () in
+  let data = Array.init 250 (fun _ -> lstm_task r ()) in
+  let test = Array.init 60 (fun _ -> lstm_task r ()) in
+  let m = Lstm.create ~hidden:24 ~vocab:6 77 in
+  Lstm.fit ~epochs:8 m data;
+  let preds = Array.map (fun (s, _) -> (Lstm.predict m s).(0)) test in
+  let truth = Array.map (fun (_, y) -> y.(0)) test in
+  Alcotest.(check bool) "test WMAPE below 15%" true (Metrics.wmape preds truth < 0.15)
+
+let test_lstm_empty_sequence () =
+  let m = Lstm.create ~vocab:4 3 in
+  Alcotest.(check (float 0.0)) "empty predicts 0" 0.0 (Lstm.predict m [||]).(0)
+
+let test_lstm_deterministic () =
+  let mk () =
+    let m = Lstm.create ~vocab:5 9 in
+    Lstm.fit ~epochs:2 m [| ([| 1; 2; 3 |], [| 4.0 |]); ([| 0; 0 |], [| 1.0 |]) |];
+    (Lstm.predict m [| 1; 2 |]).(0)
+  in
+  Alcotest.(check (float 1e-12)) "same seed same model" (mk ()) (mk ())
+
+(* -- CNN -- *)
+
+let test_cnn_learns_motif () =
+  let r = rng () in
+  (* target depends on presence of the bigram (1,2) anywhere: positional
+     invariance is what the conv+maxpool should capture *)
+  let mk () =
+    let len = 6 + Util.Rng.int r 6 in
+    let seq = Array.init len (fun _ -> Util.Rng.int r 4) in
+    let has =
+      Array.exists (fun k -> k < len - 1 && seq.(k) = 1 && seq.(k + 1) = 2)
+        (Array.init (max 1 (len - 1)) (fun k -> k))
+    in
+    (seq, [| (if has then 10.0 else 2.0) |])
+  in
+  let data = Array.init 300 (fun _ -> mk ()) in
+  let m = Cnn.create ~vocab:4 ~filters:12 11 in
+  Cnn.fit ~epochs:12 m data;
+  let errs =
+    Array.map (fun (s, y) -> abs_float ((Cnn.predict m s).(0) -. y.(0))) data
+  in
+  Alcotest.(check bool) "fits the motif task" true (Util.Stats.mean errs < 2.0)
+
+(* -- Tree / forest / GBDT -- *)
+
+let step_data () =
+  let r = rng () in
+  let xs = Array.init 300 (fun _ -> [| Util.Rng.float_range r 0.0 10.0 |]) in
+  let ys = Array.map (fun x -> if x.(0) < 5.0 then 1.0 else 9.0) xs in
+  (xs, ys)
+
+let test_tree_splits_step () =
+  let xs, ys = step_data () in
+  let t = Tree.grow xs ys in
+  Alcotest.(check bool) "left value" true (abs_float (Tree.predict t [| 2.0 |] -. 1.0) < 0.2);
+  Alcotest.(check bool) "right value" true (abs_float (Tree.predict t [| 8.0 |] -. 9.0) < 0.2)
+
+let test_tree_respects_depth () =
+  let xs, ys = step_data () in
+  let t = Tree.grow ~config:{ Tree.default_grow with Tree.max_depth = 0 } xs ys in
+  (match t.Tree.root with
+  | Tree.Leaf _ -> ()
+  | Tree.Split _ -> Alcotest.fail "depth 0 must be a leaf")
+
+let test_forest_predicts () =
+  let xs, ys = step_data () in
+  let f = Tree.forest_fit ~n_trees:10 xs ys in
+  Alcotest.(check bool) "forest fits" true (abs_float (Tree.forest_predict f [| 8.0 |] -. 9.0) < 1.0)
+
+let test_gbdt_beats_single_tree_on_smooth () =
+  let r = rng () in
+  let xs = Array.init 300 (fun _ -> [| Util.Rng.float_range r 0.0 6.28 |]) in
+  let ys = Array.map (fun x -> sin x.(0) *. 5.0) xs in
+  let tree = Tree.grow ~config:{ Tree.default_grow with Tree.max_depth = 2 } xs ys in
+  let gbdt = Tree.gbdt_fit ~n_stages:60 xs ys in
+  let mae_of pred = Metrics.mae (Array.map pred xs) ys in
+  Alcotest.(check bool) "boosting beats one shallow tree" true
+    (mae_of (Tree.gbdt_predict gbdt) < mae_of (Tree.predict tree))
+
+let test_gbdt_binary () =
+  let xs, ys = step_data () in
+  let labels = Array.map (fun y -> if y > 5.0 then 1.0 else 0.0) ys in
+  let g = Tree.gbdt_fit_binary ~n_stages:30 xs labels in
+  let preds = Array.map (fun x -> if Tree.gbdt_predict_binary g x > 0.5 then 1.0 else 0.0) xs in
+  Alcotest.(check bool) "classifies the step" true (Metrics.accuracy preds labels > 0.95)
+
+(* -- Simple: kNN, SVM, K-means, PCA -- *)
+
+let test_knn_regression () =
+  let xs = [| [| 0.0 |]; [| 1.0 |]; [| 10.0 |]; [| 11.0 |] |] in
+  let ys = [| 0.0; 0.0; 10.0; 10.0 |] in
+  let m = Simple.knn_fit ~k:2 xs ys in
+  Alcotest.(check (float 1e-6)) "near cluster" 0.0 (Simple.knn_predict m [| 0.5 |]);
+  Alcotest.(check (float 1e-6)) "far cluster" 10.0 (Simple.knn_predict m [| 10.5 |])
+
+let test_svm_separable () =
+  let r = rng () in
+  let xs = Array.init 200 (fun _ -> [| Util.Rng.float_range r (-1.0) 1.0; Util.Rng.float_range r (-1.0) 1.0 |]) in
+  let ys = Array.map (fun x -> if x.(0) > 0.2 then 1.0 else 0.0) xs in
+  let m = Simple.svm_fit xs ys in
+  let preds = Array.map (Simple.svm_predict_binary m) xs in
+  Alcotest.(check bool) "high accuracy" true (Metrics.accuracy preds ys > 0.95)
+
+let test_svm_imbalanced_recall () =
+  let r = rng () in
+  (* 10 positives vs 190 negatives: balanced sampling must keep recall *)
+  let pos = Array.init 10 (fun _ -> [| 5.0 +. Util.Rng.float r; 5.0 +. Util.Rng.float r |]) in
+  let neg = Array.init 190 (fun _ -> [| Util.Rng.float r; Util.Rng.float r |]) in
+  let xs = Array.append pos neg in
+  let ys = Array.append (Array.make 10 1.0) (Array.make 190 0.0) in
+  let m = Simple.svm_fit xs ys in
+  let preds = Array.map (Simple.svm_predict_binary m) xs in
+  let _, recall = Metrics.precision_recall preds ys in
+  Alcotest.(check bool) "recall on minority" true (recall > 0.8)
+
+let test_kmeans_separated_blobs () =
+  let r = rng () in
+  let blob cx cy = Array.init 30 (fun _ -> [| cx +. Util.Rng.gaussian r *. 0.1; cy +. Util.Rng.gaussian r *. 0.1 |]) in
+  let xs = Array.concat [ blob 0.0 0.0; blob 10.0 10.0 ] in
+  let m = Simple.kmeans_fit ~k:2 xs in
+  let a = Simple.kmeans_assign m [| 0.1; 0.1 |] in
+  let b = Simple.kmeans_assign m [| 9.9; 9.9 |] in
+  Alcotest.(check bool) "blobs separated" true (a <> b);
+  let clusters = Simple.kmeans_clusters m xs in
+  Alcotest.(check int) "two clusters" 2 (Array.length clusters);
+  Array.iter (fun members -> Alcotest.(check int) "balanced" 30 (List.length members)) clusters
+
+let test_pca_finds_direction () =
+  let r = rng () in
+  (* points along the y = x line: first component should align with it *)
+  let xs = Array.init 100 (fun _ ->
+      let t = Util.Rng.float_range r (-5.0) 5.0 in
+      [| t +. (Util.Rng.gaussian r *. 0.01); t -. (Util.Rng.gaussian r *. 0.01) |])
+  in
+  let p = Simple.pca_fit ~n_components:1 xs in
+  let c = p.Simple.components.(0) in
+  Alcotest.(check bool) "aligned with y=x" true (abs_float (abs_float c.(0) -. abs_float c.(1)) < 0.05)
+
+(* -- Rank -- *)
+
+let test_lambdamart_ranks () =
+  let r = rng () in
+  (* relevance = -x: smaller feature is better *)
+  let mk_group () =
+    let features = Array.init 5 (fun _ -> [| Util.Rng.float_range r 0.0 10.0 |]) in
+    let relevance = Array.map (fun x -> -.x.(0)) features in
+    { Rank.features; relevance }
+  in
+  let train = List.init 25 (fun _ -> mk_group ()) in
+  let model = Rank.fit ~n_stages:30 train in
+  let test = List.init 40 (fun _ -> mk_group ()) in
+  let hits = List.length (List.filter (fun g -> Rank.topk_hit model g 1) test) in
+  Alcotest.(check bool) "top-1 accuracy high on a linear task" true (hits >= 32)
+
+let test_rank_order_permutation () =
+  let model = Rank.fit ~n_stages:5 [ { Rank.features = [| [| 1.0 |]; [| 2.0 |] |]; relevance = [| 1.0; 0.0 |] } ] in
+  let order = Rank.rank model [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |] in
+  Alcotest.(check (list int)) "is a permutation" [ 0; 1; 2 ] (List.sort compare (Array.to_list order))
+
+(* -- Metrics -- *)
+
+let test_metrics_wmape () =
+  Alcotest.(check (float 1e-9)) "wmape" 0.1 (Metrics.wmape [| 9.0; 11.0 |] [| 10.0; 10.0 |]);
+  Alcotest.(check (float 1e-9)) "perfect" 0.0 (Metrics.wmape [| 5.0 |] [| 5.0 |])
+
+let test_metrics_precision_recall () =
+  let p, r = Metrics.precision_recall [| 1.0; 1.0; 0.0; 0.0 |] [| 1.0; 0.0; 1.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "precision" 0.5 p;
+  Alcotest.(check (float 1e-9)) "recall" 0.5 r
+
+let test_metrics_split () =
+  let train, test = Metrics.train_test_split ~seed:3 ~test_fraction:0.25 100 in
+  Alcotest.(check int) "test size" 25 (Array.length test);
+  Alcotest.(check int) "train size" 75 (Array.length train);
+  let all = List.sort compare (Array.to_list train @ Array.to_list test) in
+  Alcotest.(check (list int)) "partition" (List.init 100 (fun i -> i)) all
+
+(* -- AutoML -- *)
+
+let test_automl_regression () =
+  let xs, ys = step_data () in
+  let f = Automl.search_regression xs ys in
+  Alcotest.(check bool) "picked something" true (String.length f.Automl.name > 0);
+  Alcotest.(check bool) "fits the step" true
+    (abs_float (Automl.predict f [| 8.0 |] -. 9.0) < 1.5)
+
+let test_automl_classification () =
+  let xs, ys = step_data () in
+  let labels = Array.map (fun y -> if y > 5.0 then 1.0 else 0.0) ys in
+  let f = Automl.search_classification xs labels in
+  let preds = Array.map (Automl.predict_class f) xs in
+  Alcotest.(check bool) "classifies" true (Metrics.accuracy preds labels > 0.9)
+
+
+(* -- Crossval -- *)
+
+let test_kfold_partition () =
+  let folds = Crossval.kfold ~k:4 20 in
+  Alcotest.(check int) "four folds" 4 (List.length folds);
+  List.iter
+    (fun (train, test) ->
+      Alcotest.(check int) "covers all indices" 20 (Array.length train + Array.length test);
+      let together = List.sort compare (Array.to_list train @ Array.to_list test) in
+      Alcotest.(check (list int)) "partition" (List.init 20 (fun i -> i)) together)
+    folds;
+  (* every index appears in exactly one test fold *)
+  let all_test = List.concat_map (fun (_, t) -> Array.to_list t) folds in
+  Alcotest.(check (list int)) "test folds partition" (List.init 20 (fun i -> i))
+    (List.sort compare all_test)
+
+let test_cv_regression_scores_linear () =
+  let r = rng () in
+  let xs = Array.init 120 (fun _ -> [| Util.Rng.float_range r 0.0 10.0 |]) in
+  let ys = Array.map (fun x -> (2.0 *. x.(0)) +. 1.0) xs in
+  let fit tx ty = Tree.gbdt_fit ~n_stages:40 tx ty in
+  let mean, sd = Crossval.cv_regression ~k:5 ~fit ~predict:Tree.gbdt_predict xs ys in
+  Alcotest.(check bool) "low CV error" true (mean < 1.0);
+  Alcotest.(check bool) "sd finite" true (Float.is_finite sd)
+
+let test_cv_select_picks_better_family () =
+  let r = rng () in
+  let xs = Array.init 150 (fun _ -> [| Util.Rng.float_range r 0.0 10.0 |]) in
+  let ys = Array.map (fun x -> if x.(0) < 5.0 then 1.0 else 9.0) xs in
+  (* heterogeneous families unify by fitting to a closure *)
+  let name, _ =
+    Crossval.select_regression ~k:5
+      [ ("tree", (fun tx ty -> Tree.predict (Tree.grow tx ty)), fun f x -> f x);
+        ("const", (fun _ ty -> let c = Util.Stats.mean ty in fun _ -> c), fun f x -> f x) ]
+      xs ys
+  in
+  Alcotest.(check string) "tree beats the constant predictor" "tree" name
+
+(* -- Bayes -- *)
+
+let test_bayes_separable () =
+  let r = rng () in
+  let pos = Array.init 60 (fun _ -> [| 5.0 +. Util.Rng.gaussian r; 5.0 +. Util.Rng.gaussian r |]) in
+  let neg = Array.init 60 (fun _ -> [| Util.Rng.gaussian r; Util.Rng.gaussian r |]) in
+  let xs = Array.append pos neg in
+  let ys = Array.append (Array.make 60 1.0) (Array.make 60 0.0) in
+  let m = Bayes.fit xs ys in
+  let preds = Array.map (Bayes.predict m) xs in
+  Alcotest.(check bool) "high accuracy" true (Metrics.accuracy preds ys > 0.95);
+  Alcotest.(check bool) "posterior near 1 deep in the positive blob" true
+    (Bayes.predict_binary m [| 5.0; 5.0 |] > 0.9);
+  Alcotest.(check bool) "posterior near 0 deep in the negative blob" true
+    (Bayes.predict_binary m [| 0.0; 0.0 |] < 0.1)
+
+let test_bayes_priors_matter () =
+  (* overlapping classes, 9:1 imbalance: the majority prior should win at
+     the midpoint *)
+  let r = rng () in
+  let maj = Array.init 90 (fun _ -> [| Util.Rng.gaussian r |]) in
+  let min_ = Array.init 10 (fun _ -> [| 0.5 +. Util.Rng.gaussian r |]) in
+  let xs = Array.append maj min_ in
+  let ys = Array.append (Array.make 90 0.0) (Array.make 10 1.0) in
+  let m = Bayes.fit xs ys in
+  Alcotest.(check (float 0.0)) "majority class at the overlap" 0.0 (Bayes.predict m [| 0.25 |])
+(* -- properties -- *)
+
+let prop_tree_predicts_in_target_range =
+  QCheck.Test.make ~name:"tree predictions within target range" ~count:50
+    QCheck.(list_of_size (Gen.int_range 5 40) (pair (float_range 0.0 10.0) (float_range (-5.0) 5.0)))
+    (fun data ->
+      let xs = Array.of_list (List.map (fun (x, _) -> [| x |]) data) in
+      let ys = Array.of_list (List.map snd data) in
+      let t = Tree.grow xs ys in
+      let lo = Util.Stats.min_arr ys and hi = Util.Stats.max_arr ys in
+      Array.for_all (fun x -> let p = Tree.predict t x in p >= lo -. 1e-6 && p <= hi +. 1e-6) xs)
+
+let prop_kmeans_assign_in_range =
+  QCheck.Test.make ~name:"kmeans assignments valid" ~count:50
+    QCheck.(pair (int_range 2 5) (list_of_size (Gen.int_range 6 30) (pair (float_range 0.0 1.0) (float_range 0.0 1.0))))
+    (fun (k, pts) ->
+      let xs = Array.of_list (List.map (fun (a, b) -> [| a; b |]) pts) in
+      let m = Simple.kmeans_fit ~k xs in
+      Array.for_all
+        (fun x ->
+          let c = Simple.kmeans_assign m x in
+          c >= 0 && c < Array.length m.Simple.centroids)
+        xs)
+
+let () =
+  Alcotest.run "mlkit"
+    [ ( "la",
+        [ Alcotest.test_case "dot/matvec" `Quick test_la_dot_matvec;
+          Alcotest.test_case "transpose matvec" `Quick test_la_mat_t_vec;
+          Alcotest.test_case "one-hot column" `Quick test_la_add_column;
+          Alcotest.test_case "standardize" `Quick test_la_standardize;
+          Alcotest.test_case "activations" `Quick test_la_sigmoid_tanh ] );
+      ( "nn",
+        [ Alcotest.test_case "mlp fits linear" `Quick test_mlp_fits_linear;
+          Alcotest.test_case "mlp binary classifier" `Quick test_mlp_binary_classifier;
+          Alcotest.test_case "gradient clipping" `Quick test_gradient_clipping;
+          Alcotest.test_case "adam converges" `Quick test_adam_reduces_loss ] );
+      ( "lstm",
+        [ Alcotest.test_case "learns counting" `Slow test_lstm_learns_counting;
+          Alcotest.test_case "empty sequence" `Quick test_lstm_empty_sequence;
+          Alcotest.test_case "deterministic" `Quick test_lstm_deterministic ] );
+      ("cnn", [ Alcotest.test_case "learns motif" `Slow test_cnn_learns_motif ]);
+      ( "trees",
+        [ Alcotest.test_case "splits step" `Quick test_tree_splits_step;
+          Alcotest.test_case "respects depth" `Quick test_tree_respects_depth;
+          Alcotest.test_case "forest predicts" `Quick test_forest_predicts;
+          Alcotest.test_case "gbdt beats shallow tree" `Quick test_gbdt_beats_single_tree_on_smooth;
+          Alcotest.test_case "gbdt binary" `Quick test_gbdt_binary ] );
+      ( "simple",
+        [ Alcotest.test_case "knn regression" `Quick test_knn_regression;
+          Alcotest.test_case "svm separable" `Quick test_svm_separable;
+          Alcotest.test_case "svm imbalanced recall" `Quick test_svm_imbalanced_recall;
+          Alcotest.test_case "kmeans blobs" `Quick test_kmeans_separated_blobs;
+          Alcotest.test_case "pca direction" `Quick test_pca_finds_direction ] );
+      ( "rank",
+        [ Alcotest.test_case "lambdamart ranks" `Quick test_lambdamart_ranks;
+          Alcotest.test_case "rank is a permutation" `Quick test_rank_order_permutation ] );
+      ( "metrics",
+        [ Alcotest.test_case "wmape" `Quick test_metrics_wmape;
+          Alcotest.test_case "precision/recall" `Quick test_metrics_precision_recall;
+          Alcotest.test_case "split" `Quick test_metrics_split ] );
+      ( "automl",
+        [ Alcotest.test_case "regression search" `Slow test_automl_regression;
+          Alcotest.test_case "classification search" `Slow test_automl_classification ] );
+      ( "crossval",
+        [ Alcotest.test_case "kfold partition" `Quick test_kfold_partition;
+          Alcotest.test_case "cv regression" `Quick test_cv_regression_scores_linear;
+          Alcotest.test_case "model selection" `Quick test_cv_select_picks_better_family ] );
+      ( "bayes",
+        [ Alcotest.test_case "separable" `Quick test_bayes_separable;
+          Alcotest.test_case "priors matter" `Quick test_bayes_priors_matter ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_tree_predicts_in_target_range; prop_kmeans_assign_in_range ] ) ]

@@ -1,0 +1,438 @@
+(** Tests for the NF language substrate: packet model, runtime state (Click
+    vs NIC semantics), the host interpreter and its profiling, the corpus,
+    and the pretty printer. *)
+
+open Nf_lang
+
+(* -- Packet -- *)
+
+let test_packet_field_masking () =
+  let p = Packet.create () in
+  Packet.set_field p Ast.Ip_ttl 0x1ff;
+  Alcotest.(check int) "8-bit field masked" 0xff (Packet.get_field p Ast.Ip_ttl);
+  Packet.set_field p Ast.Tcp_sport 0x12345;
+  Alcotest.(check int) "16-bit field masked" 0x2345 (Packet.get_field p Ast.Tcp_sport)
+
+let test_packet_length () =
+  let p = Packet.create ~payload_len:10 () in
+  Alcotest.(check int) "eth + ip_len" (14 + 40 + 10) (Packet.length p)
+
+let test_packet_payload_bounds () =
+  let p = Packet.create ~payload_len:4 () in
+  Packet.set_payload_byte p 2 0xAB;
+  Alcotest.(check int) "read back" 0xAB (Packet.get_payload_byte p 2);
+  Alcotest.(check int) "oob read is 0" 0 (Packet.get_payload_byte p 99);
+  Packet.set_payload_byte p 99 1 (* must not raise *)
+
+let test_flow_key_uses_proto () =
+  let p = Packet.create () in
+  p.Packet.ip_proto <- Packet.udp_proto;
+  p.Packet.udp_sport <- 1111;
+  let _, _, proto, sport, _ = Packet.flow_key p in
+  Alcotest.(check int) "udp proto" Packet.udp_proto proto;
+  Alcotest.(check int) "udp sport" 1111 sport
+
+let test_ip_checksum_changes () =
+  let p = Packet.create () in
+  let c1 = Packet.ip_checksum p in
+  p.Packet.ip_ttl <- p.Packet.ip_ttl - 1;
+  let c2 = Packet.ip_checksum p in
+  Alcotest.(check bool) "checksum depends on ttl" true (c1 <> c2);
+  Alcotest.(check bool) "16-bit" true (c1 >= 0 && c1 < 0x10000)
+
+(* -- State: maps in Host vs Nic mode -- *)
+
+let map_decl = Build.map_decl "m" ~key_widths:[ 32; 32 ] ~val_fields:[ ("v", 32) ] ~capacity:64
+
+let test_host_map_roundtrip () =
+  let st = State.create ~mode:State.Host [ map_decl ] in
+  let m = State.map_of st "m" in
+  ignore (State.insert m [| 1; 2 |] [| 42 |]);
+  let found, _ = State.find m [| 1; 2 |] in
+  Alcotest.(check bool) "found" true found;
+  Alcotest.(check int) "value" 42 (State.read m "v");
+  let missing, _ = State.find m [| 9; 9 |] in
+  Alcotest.(check bool) "missing" false missing
+
+let test_host_map_grows () =
+  let st = State.create ~mode:State.Host [ map_decl ] in
+  let m = State.map_of st "m" in
+  for i = 0 to 199 do
+    ignore (State.insert m [| i; i |] [| i |])
+  done;
+  Alcotest.(check int) "all inserted (elastic)" 200 (State.map_size m);
+  let found, _ = State.find m [| 150; 150 |] in
+  Alcotest.(check bool) "finds after growth" true found
+
+let test_nic_map_bounded () =
+  let st = State.create ~mode:State.Nic [ map_decl ] in
+  let m = State.map_of st "m" in
+  for i = 0 to 199 do
+    ignore (State.insert m [| i; i |] [| i |])
+  done;
+  Alcotest.(check bool) "overflow drops inserts" true (State.map_size m <= 64)
+
+let test_nic_map_probe_bound () =
+  let st = State.create ~mode:State.Nic [ map_decl ] in
+  let m = State.map_of st "m" in
+  for i = 0 to 63 do
+    ignore (State.insert m [| i; 0 |] [| i |])
+  done;
+  let _, probes = State.find m [| 1234; 5678 |] in
+  Alcotest.(check bool) "probes bounded by bucket slots" true
+    (probes <= State.nic_bucket_slots)
+
+let test_map_update_in_place () =
+  let st = State.create ~mode:State.Nic [ map_decl ] in
+  let m = State.map_of st "m" in
+  ignore (State.insert m [| 7; 7 |] [| 1 |]);
+  ignore (State.insert m [| 7; 7 |] [| 2 |]);
+  Alcotest.(check int) "size stays 1" 1 (State.map_size m);
+  ignore (State.find m [| 7; 7 |]);
+  Alcotest.(check int) "updated" 2 (State.read m "v")
+
+let test_map_erase_invalidates () =
+  let st = State.create ~mode:State.Nic [ map_decl ] in
+  let m = State.map_of st "m" in
+  ignore (State.insert m [| 3; 4 |] [| 9 |]);
+  ignore (State.find m [| 3; 4 |]);
+  State.erase m;
+  let found, _ = State.find m [| 3; 4 |] in
+  Alcotest.(check bool) "erased" false found;
+  Alcotest.(check int) "size decremented" 0 (State.map_size m)
+
+let test_map_write_field () =
+  let st = State.create ~mode:State.Host [ map_decl ] in
+  let m = State.map_of st "m" in
+  ignore (State.insert m [| 1; 1 |] [| 5 |]);
+  ignore (State.find m [| 1; 1 |]);
+  State.write m "v" 77;
+  Alcotest.(check int) "field written" 77 (State.read m "v")
+
+let test_vector_modes () =
+  let decl = Build.vector "vec" ~capacity:4 in
+  let host = State.create ~mode:State.Host [ decl ] in
+  let hv = State.vec_of host "vec" in
+  for i = 1 to 10 do
+    State.vec_append hv i
+  done;
+  Alcotest.(check int) "host vector grows" 10 (State.vec_length hv);
+  let nic = State.create ~mode:State.Nic [ decl ] in
+  let nv = State.vec_of nic "vec" in
+  for i = 1 to 10 do
+    State.vec_append nv i
+  done;
+  Alcotest.(check int) "nic vector capped" 4 (State.vec_length nv);
+  Alcotest.(check int) "get" 2 (State.vec_get nv 1);
+  State.vec_set nv 1 99;
+  Alcotest.(check int) "set" 99 (State.vec_get nv 1);
+  Alcotest.(check int) "oob get is 0" 0 (State.vec_get nv 50)
+
+(* -- Interpreter -- *)
+
+let counter_element () =
+  let open Build in
+  element "counter" ~state:[ scalar "count" ]
+    [ set_g "count" (g "count" + i 1);
+      when_ (g "count" > i 2) [ drop ];
+      emit 0 ]
+
+let test_interp_counts_and_verdicts () =
+  let interp = Interp.create (counter_element ()) in
+  let pkts = List.init 5 (fun _ -> Packet.create ()) in
+  let profile = Interp.run interp pkts in
+  Alcotest.(check int) "packets" 5 profile.Interp.packets;
+  Alcotest.(check int) "first two emitted" 2 profile.Interp.emitted;
+  Alcotest.(check int) "rest dropped" 3 profile.Interp.dropped;
+  Alcotest.(check int) "count accessed every packet" (5 + 5 + 5)
+    (Interp.global_accesses profile "count")
+
+let loop_element () =
+  let open Build in
+  element "looper" ~state:[ array "tbl" 16 ]
+    [ for_ "j" (i 0) (i 4) [ arr_set "tbl" (l "j") (l "j" + i 1) ]; emit 0 ]
+
+let test_interp_loop_profile () =
+  let elt = loop_element () in
+  let interp = Interp.create elt in
+  let profile = Interp.run interp [ Packet.create (); Packet.create () ] in
+  (* the For statement sid *)
+  let for_sid =
+    match (List.hd elt.Ast.handler).Ast.node with
+    | Ast.For (_, _, _, _) -> (List.hd elt.Ast.handler).Ast.sid
+    | _ -> Alcotest.fail "expected For"
+  in
+  Alcotest.(check int) "cond evaluated (iters+1) per packet" (2 * 5)
+    (Interp.cond_count profile for_sid);
+  Alcotest.(check int) "array written 4x per packet" 8 (Interp.global_accesses profile "tbl")
+
+let test_interp_while_fuel () =
+  let open Build in
+  let elt = element "spin" [ let_ "x" (i 1); while_ (l "x" > i 0) [ let_ "x" (i 1) ] ] in
+  let interp = Interp.create elt in
+  Alcotest.check_raises "fuel exhausted" (Interp.Fuel_exhausted "spin") (fun () ->
+      ignore (Interp.push interp (Packet.create ())))
+
+let test_interp_subroutine_and_return () =
+  let open Build in
+  let elt =
+    element "subby" ~state:[ scalar "hits" ]
+      ~subs:[ ("bump", [ set_g "hits" (g "hits" + i 1); return_ ]) ]
+      [ call "bump"; set_g "hits" (g "hits" + i 100); emit 0 ]
+  in
+  let interp = Interp.create elt in
+  (match Interp.push interp (Packet.create ()) with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "return should have skipped the emit");
+  Alcotest.(check int) "only sub ran" 1 !(State.scalar_ref interp.Interp.state "hits")
+
+let test_interp_header_mutation () =
+  let elt =
+    let open Build in
+    element "ttl" [ set_hdr Ast.Ip_ttl (hdr Ast.Ip_ttl - i 1); emit 0 ]
+  in
+  let interp = Interp.create elt in
+  let p = Packet.create () in
+  let before = p.Packet.ip_ttl in
+  ignore (Interp.push interp p);
+  Alcotest.(check int) "ttl decremented" (before - 1) p.Packet.ip_ttl
+
+let test_interp_short_circuit () =
+  let open Build in
+  (* the right operand of && must not be evaluated when the left is false:
+     here it would read a global, which we can observe in the profile *)
+  let elt =
+    element "sc" ~state:[ scalar "guard" ]
+      [ when_ (i 0 <> i 0 && g "guard" = i 1) [ drop ]; emit 0 ]
+  in
+  let interp = Interp.create elt in
+  let profile = Interp.run interp [ Packet.create () ] in
+  Alcotest.(check int) "guard not read" 0 (Interp.global_accesses profile "guard")
+
+let test_interp_unbound_local_reads_zero () =
+  let open Build in
+  let elt =
+    element "uninit" [ when_ (hdr Ast.Ip_ttl > i 200) [ let_ "x" (i 5) ]; if_ (l "x" = i 0) [ emit 0 ] [ drop ] ]
+  in
+  let interp = Interp.create elt in
+  match Interp.push interp (Packet.create ()) with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "uninitialized local should read 0"
+
+let test_interp_mean_probes () =
+  let elt =
+    let open Build in
+    element "prober"
+      ~state:[ map_decl "flows" ~key_widths:[ 32 ] ~val_fields:[ ("c", 32) ] ~capacity:64 ]
+      [ map_find "flows" [ hdr Ast.Ip_src ] "hit";
+        when_ (l "hit" = i 0) [ map_insert "flows" [ hdr Ast.Ip_src ] [ i 1 ] ];
+        emit 0 ]
+  in
+  let interp = Interp.create ~mode:State.Nic elt in
+  let spec = { Workload.default with Workload.n_packets = 200 } in
+  let profile = Interp.run interp (Workload.generate spec) in
+  let probes = Interp.mean_probes profile "flows" in
+  Alcotest.(check bool) "probes within [1, bucket slots]" true
+    (probes >= 1.0 && probes <= float_of_int State.nic_bucket_slots)
+
+(* -- Api -- *)
+
+let test_api_crc_nonzero_and_deterministic () =
+  let p = Packet.create ~payload_len:16 () in
+  Packet.set_payload_byte p 0 0x31;
+  let a = Api.eval_expr ~time:0 p "crc32_payload" [ 0; 8 ] in
+  let b = Api.eval_expr ~time:5 p "crc32_payload" [ 0; 8 ] in
+  Alcotest.(check int) "deterministic" a b;
+  Packet.set_payload_byte p 1 0xFF;
+  let c = Api.eval_expr ~time:0 p "crc32_payload" [ 0; 8 ] in
+  Alcotest.(check bool) "sensitive to payload" true (a <> c)
+
+let test_api_hash32_order_sensitive () =
+  let p = Packet.create () in
+  let a = Api.eval_expr ~time:0 p "hash32" [ 1; 2 ] in
+  let b = Api.eval_expr ~time:0 p "hash32" [ 2; 1 ] in
+  Alcotest.(check bool) "order matters" true (a <> b)
+
+let test_api_checksum_update () =
+  let p = Packet.create () in
+  p.Packet.ip_csum <- 0;
+  Api.exec_stmt p "checksum_update_ip" [];
+  Alcotest.(check bool) "checksum stored" true (p.Packet.ip_csum <> 0)
+
+let test_api_classify_total () =
+  List.iter
+    (fun name -> ignore (Api.classify name))
+    (Api.expr_apis @ Api.stmt_apis @ [ "ip_header"; "map_find"; "vec_get"; "send" ])
+
+(* -- Corpus -- *)
+
+let test_corpus_names_unique () =
+  let names = List.map (fun e -> e.Ast.name) (Corpus.all ()) in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_corpus_table2_count () =
+  Alcotest.(check int) "17 Table-2 elements" 17 (List.length (Corpus.table2 ()))
+
+let test_corpus_all_interpret () =
+  let spec = { Workload.default with Workload.n_packets = 100; Workload.proto = Workload.Mixed } in
+  let packets = Workload.generate spec in
+  List.iter
+    (fun elt ->
+      let interp = Interp.create ~mode:State.Nic elt in
+      let profile = Interp.run interp packets in
+      Alcotest.(check int) (elt.Ast.name ^ " processed all") 100 profile.Interp.packets)
+    (Corpus.all ())
+
+let test_corpus_find_parameterized () =
+  let e = Corpus.find "iplookup_64" in
+  Alcotest.(check string) "parameterized lookup" "iplookup_64" e.Ast.name;
+  Alcotest.check_raises "unknown element"
+    (Failure "Corpus.find: unknown element nosuch") (fun () -> ignore (Corpus.find "nosuch"))
+
+let test_corpus_stateful_flags () =
+  Alcotest.(check bool) "anonipaddr stateless" false (Ast.is_stateful (Corpus.find "anonipaddr"));
+  Alcotest.(check bool) "Mazu-NAT stateful" true (Ast.is_stateful (Corpus.find "Mazu-NAT"))
+
+let test_state_sizes_positive () =
+  List.iter
+    (fun elt ->
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (elt.Ast.name ^ "/" ^ Ast.state_name d ^ " size > 0")
+            true
+            (Ast.state_size_bytes d > 0))
+        elt.Ast.state)
+    (Corpus.all ())
+
+(* -- Pp -- *)
+
+let test_pp_loc_positive () =
+  List.iter
+    (fun elt ->
+      let loc = Pp.loc elt in
+      Alcotest.(check bool) (elt.Ast.name ^ " loc reasonable") true (loc > 3))
+    (Corpus.all ())
+
+let test_pp_contains_class () =
+  let s = Pp.to_string (Corpus.find "cmsketch") in
+  Alcotest.(check bool) "class header" true
+    (String.length s > 0 && String.sub s 0 5 = "class")
+
+(* -- workload -- *)
+
+let test_workload_deterministic () =
+  let spec = { Workload.default with Workload.n_packets = 50 } in
+  let a = Workload.generate spec and b = Workload.generate spec in
+  List.iter2
+    (fun (x : Packet.t) (y : Packet.t) ->
+      Alcotest.(check bool) "same flow key" true (Packet.flow_key x = Packet.flow_key y))
+    a b
+
+let test_workload_flow_count () =
+  let spec = { Workload.default with Workload.n_packets = 500; Workload.n_flows = 4 } in
+  let pkts = Workload.generate spec in
+  let keys = List.sort_uniq compare (List.map Packet.flow_key pkts) in
+  Alcotest.(check bool) "at most 4 flows" true (List.length keys <= 4)
+
+let test_workload_cache_hit_ratio () =
+  Alcotest.(check (float 1e-9)) "all flows fit" 1.0
+    (Workload.cache_hit_ratio { Workload.default with Workload.n_flows = 10 } ~cache_flows:100);
+  let r =
+    Workload.cache_hit_ratio
+      { Workload.default with Workload.n_flows = 1000; Workload.flow_dist = Workload.Uniform }
+      ~cache_flows:100
+  in
+  Alcotest.(check (float 1e-9)) "uniform ratio" 0.1 r;
+  let z =
+    Workload.cache_hit_ratio
+      { Workload.default with Workload.n_flows = 1000; Workload.flow_dist = Workload.Zipf 1.2 }
+      ~cache_flows:100
+  in
+  Alcotest.(check bool) "zipf beats uniform" true (z > r)
+
+let test_workload_syn_first () =
+  let spec = { Workload.default with Workload.n_packets = 100; Workload.n_flows = 5 } in
+  let pkts = Workload.generate spec in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Packet.t) ->
+      let key = Packet.flow_key p in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        Alcotest.(check int) "first packet of a flow is SYN" 0x02 p.Packet.tcp_flags
+      end)
+    pkts
+
+(* -- qcheck: interpreter robustness over synthesized programs -- *)
+
+let prop_synth_programs_interpret =
+  QCheck.Test.make ~name:"synthesized programs interpret safely" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "q_%d" seed) in
+      let interp = Interp.create ~mode:State.Nic elt in
+      let spec = { Workload.default with Workload.n_packets = 30 } in
+      let profile = Interp.run interp (Workload.generate spec) in
+      profile.Interp.packets = 30)
+
+let prop_map_find_after_insert =
+  QCheck.Test.make ~name:"nic map: find succeeds right after insert (no overflow)" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (a, b) ->
+      let st = State.create ~mode:State.Nic [ map_decl ] in
+      let m = State.map_of st "m" in
+      ignore (State.insert m [| a; b |] [| a + b |]);
+      fst (State.find m [| a; b |]))
+
+let () =
+  Alcotest.run "nf_lang"
+    [ ( "packet",
+        [ Alcotest.test_case "field masking" `Quick test_packet_field_masking;
+          Alcotest.test_case "length" `Quick test_packet_length;
+          Alcotest.test_case "payload bounds" `Quick test_packet_payload_bounds;
+          Alcotest.test_case "flow key proto" `Quick test_flow_key_uses_proto;
+          Alcotest.test_case "ip checksum" `Quick test_ip_checksum_changes ] );
+      ( "state",
+        [ Alcotest.test_case "host map roundtrip" `Quick test_host_map_roundtrip;
+          Alcotest.test_case "host map grows" `Quick test_host_map_grows;
+          Alcotest.test_case "nic map bounded" `Quick test_nic_map_bounded;
+          Alcotest.test_case "nic probe bound" `Quick test_nic_map_probe_bound;
+          Alcotest.test_case "update in place" `Quick test_map_update_in_place;
+          Alcotest.test_case "erase invalidates" `Quick test_map_erase_invalidates;
+          Alcotest.test_case "write field" `Quick test_map_write_field;
+          Alcotest.test_case "vector modes" `Quick test_vector_modes ] );
+      ( "interp",
+        [ Alcotest.test_case "counts and verdicts" `Quick test_interp_counts_and_verdicts;
+          Alcotest.test_case "loop profile" `Quick test_interp_loop_profile;
+          Alcotest.test_case "while fuel" `Quick test_interp_while_fuel;
+          Alcotest.test_case "subroutine + return" `Quick test_interp_subroutine_and_return;
+          Alcotest.test_case "header mutation" `Quick test_interp_header_mutation;
+          Alcotest.test_case "short circuit" `Quick test_interp_short_circuit;
+          Alcotest.test_case "uninitialized local reads zero" `Quick test_interp_unbound_local_reads_zero;
+          Alcotest.test_case "mean probes" `Quick test_interp_mean_probes ] );
+      ( "api",
+        [ Alcotest.test_case "crc deterministic" `Quick test_api_crc_nonzero_and_deterministic;
+          Alcotest.test_case "hash order-sensitive" `Quick test_api_hash32_order_sensitive;
+          Alcotest.test_case "checksum update" `Quick test_api_checksum_update;
+          Alcotest.test_case "classify total" `Quick test_api_classify_total ] );
+      ( "corpus",
+        [ Alcotest.test_case "unique names" `Quick test_corpus_names_unique;
+          Alcotest.test_case "table2 count" `Quick test_corpus_table2_count;
+          Alcotest.test_case "all interpret" `Quick test_corpus_all_interpret;
+          Alcotest.test_case "parameterized find" `Quick test_corpus_find_parameterized;
+          Alcotest.test_case "stateful flags" `Quick test_corpus_stateful_flags;
+          Alcotest.test_case "state sizes" `Quick test_state_sizes_positive ] );
+      ( "pp",
+        [ Alcotest.test_case "loc positive" `Quick test_pp_loc_positive;
+          Alcotest.test_case "renders class" `Quick test_pp_contains_class ] );
+      ( "workload",
+        [ Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "flow count" `Quick test_workload_flow_count;
+          Alcotest.test_case "cache hit ratio" `Quick test_workload_cache_hit_ratio;
+          Alcotest.test_case "SYN first" `Quick test_workload_syn_first ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_synth_programs_interpret; prop_map_find_after_insert ] ) ]

@@ -1,0 +1,398 @@
+(** Tests for the SmartNIC simulator: the NFCC-like compiler's instruction
+    selection rules, memory hierarchy, API cost derivation, the demand
+    model, multicore contention, and colocation. *)
+
+open Nf_lang
+open Nicsim
+
+let lower stmts =
+  Nf_frontend.Lower.lower_element
+    (let open Build in
+     element "t" stmts)
+
+let lower_state state stmts =
+  Nf_frontend.Lower.lower_element
+    (let open Build in
+     element "t" ~state stmts)
+
+let nic_instrs f = Nfcc.all_instrs (Nfcc.compile f)
+
+(* -- NFCC instruction selection -- *)
+
+let test_nfcc_shift_fusion () =
+  (* (x << 2) + y fuses: the shift disappears into alu_shf *)
+  let fused = lower Build.[ let_ "r" (hdr Ast.Ip_dst + (hdr Ast.Ip_src lsl i 2)); emit 0 ] in
+  let apart = lower Build.[ let_ "a" (hdr Ast.Ip_src lsl i 2); let_ "r" (l "a" + hdr Ast.Ip_dst); emit 0 ] in
+  let count_op op f = List.length (List.filter (fun i -> i.Isa.op = op) (nic_instrs f)) in
+  Alcotest.(check int) "fused alu_shf present" 1 (count_op Isa.Alu_shf fused);
+  Alcotest.(check int) "no fusion across a local" 0 (count_op Isa.Alu_shf apart)
+
+let test_nfcc_mul_expansion () =
+  let pow2 = lower Build.[ let_ "r" (hdr Ast.Ip_src * i 8); emit 0 ] in
+  let small = lower Build.[ let_ "r" (hdr Ast.Ip_src * i 7); emit 0 ] in
+  let big = lower Build.[ let_ "r" (hdr Ast.Ip_src * i 1000000); emit 0 ] in
+  let steps f = List.length (List.filter (fun i -> i.Isa.op = Isa.Mul_step) (nic_instrs f)) in
+  Alcotest.(check int) "pow2 multiply is a shift" 0 (steps pow2);
+  Alcotest.(check int) "small multiply: 2 steps" 2 (steps small);
+  Alcotest.(check int) "large multiply: 4 steps" 4 (steps big)
+
+let test_nfcc_immediate_expansion () =
+  let count f = Isa.count_compute (nic_instrs f) in
+  let small = lower Build.[ let_ "r" (hdr Ast.Ip_src + i 5); emit 0 ] in
+  let big = lower Build.[ let_ "r" (hdr Ast.Ip_src + i 0x123456); emit 0 ] in
+  Alcotest.(check bool) "large immediates cost extra instructions" true (count big > count small)
+
+let test_nfcc_cmp_branch_fusion () =
+  let f = lower Build.[ when_ (hdr Ast.Ip_ttl > i 3) [ drop ]; emit 0 ] in
+  let brcmp = List.length (List.filter (fun i -> i.Isa.op = Isa.Br_cmp) (nic_instrs f)) in
+  Alcotest.(check bool) "fused compare-branch" true (brcmp >= 1)
+
+let test_nfcc_register_allocation () =
+  (* few locals: all register-allocated, no LMEM traffic *)
+  let small = lower Build.[ let_ "a" (i 1); let_ "b" (l "a" + i 1); emit 0 ] in
+  Alcotest.(check int) "no spills with few locals" 0 (Isa.count_local_mem (nic_instrs small));
+  (* many locals: some spill *)
+  let many =
+    lower
+      (List.init 30 (fun k -> Build.let_ (Printf.sprintf "v%d" k) (Build.i k))
+      @ [ (let open Build in
+           let_ "sum" (List.fold_left (fun acc k -> Build.(acc + l (Printf.sprintf "v%d" k))) (i 0) (List.init 30 (fun k -> k))) );
+          Build.emit 0 ])
+  in
+  Alcotest.(check bool) "spills appear past the register budget" true
+    (Isa.count_local_mem (nic_instrs many) > 0)
+
+let test_nfcc_stateful_mem_mapping () =
+  let f =
+    lower_state
+      Build.[ scalar "a"; scalar "b" ]
+      Build.[ set_g "a" (g "b" + i 1); emit 0 ]
+  in
+  let compiled = Nfcc.compile f in
+  Alcotest.(check int) "one load + one store" 2 (Nfcc.count_mem compiled);
+  let targets = List.sort compare (List.map fst (Nfcc.mem_by_target compiled)) in
+  Alcotest.(check (list string)) "targets named" [ "a"; "b" ] targets
+
+let test_nfcc_payload_goes_to_ctm () =
+  let f = lower Build.[ let_ "x" (payload (i 3)); emit 0 ] in
+  let compiled = Nfcc.compile f in
+  let pkt_refs =
+    List.filter (fun i -> Isa.mem_target i = Some Mem.packet_buffer) (Nfcc.all_instrs compiled)
+  in
+  Alcotest.(check int) "payload read hits the packet buffer" 1 (List.length pkt_refs);
+  Alcotest.(check int) "packet buffer not counted as NF state" 0 (Nfcc.count_mem compiled)
+
+let test_nfcc_burst_merge () =
+  (* consecutive reads of the same array merge into one command *)
+  let f =
+    lower_state
+      Build.[ array "t" 64 ]
+      Build.[ let_ "s" (arr_get "t" (i 0) + arr_get "t" (i 1)); emit 0 ]
+  in
+  Alcotest.(check int) "two adjacent reads merge into one" 1 (Nfcc.count_mem (Nfcc.compile f))
+
+let test_nfcc_accel_replaces_call () =
+  let elt =
+    let open Build in
+    element "crc" [ let_ "c" (api "crc32_payload" [ i 0; i 8 ]); emit 0 ]
+  in
+  let f = Nf_frontend.Lower.lower_element elt in
+  let plain = Nfcc.compile f in
+  let accel = Nfcc.compile ~config:(Accel.accel_config [ "crc32_payload" ]) f in
+  let has_accel c =
+    List.exists (fun i -> match i.Isa.op with Isa.Accel_call _ -> true | _ -> false) (Nfcc.all_instrs c)
+  in
+  Alcotest.(check bool) "plain build has no accel calls" false (has_accel plain);
+  Alcotest.(check bool) "accel build hands off to the engine" true (has_accel accel)
+
+let test_nfcc_deterministic () =
+  let f = Nf_frontend.Lower.lower_element (Corpus.find "Mazu-NAT") in
+  let a = Nfcc.compile f and b = Nfcc.compile f in
+  Alcotest.(check int) "deterministic output size" (Nfcc.count_total a) (Nfcc.count_total b)
+
+(* -- Mem -- *)
+
+let test_mem_monotone () =
+  let lat = List.map Mem.base_latency Mem.all_levels in
+  let rec increasing = function a :: (b :: _ as rest) -> a < b && increasing rest | _ -> true in
+  Alcotest.(check bool) "latencies increase down the hierarchy" true (increasing lat);
+  let cap = List.map Mem.capacity_bytes Mem.all_levels in
+  Alcotest.(check bool) "capacities increase" true (increasing (List.map float_of_int cap))
+
+let test_mem_emem_cache () =
+  Alcotest.(check (float 1e-9)) "hit ratio 1 -> cache latency" Mem.emem_cache_hit_latency
+    (Mem.emem_latency ~hit_ratio:1.0);
+  Alcotest.(check (float 1e-9)) "hit ratio 0 -> dram latency" (Mem.base_latency Mem.EMEM)
+    (Mem.emem_latency ~hit_ratio:0.0)
+
+let test_mem_placement_defaults () =
+  Alcotest.(check bool) "unplaced structure defaults to EMEM" true
+    (Mem.level_of [] "whatever" = Mem.EMEM);
+  Alcotest.(check bool) "packet buffer pinned to CTM" true
+    (Mem.level_of [ (Mem.packet_buffer, Mem.EMEM) ] Mem.packet_buffer = Mem.CTM)
+
+let test_mem_feasible () =
+  let sizes = [ ("big", Mem.capacity_bytes Mem.CLS + 1) ] in
+  Alcotest.(check bool) "oversized placement infeasible" false
+    (Mem.feasible [ ("big", Mem.CLS) ] ~sizes);
+  Alcotest.(check bool) "EMEM fits" true (Mem.feasible [ ("big", Mem.EMEM) ] ~sizes)
+
+(* -- Api_cost -- *)
+
+let test_api_cost_positive () =
+  let elt = Corpus.find "Mazu-NAT" in
+  let f = Nf_frontend.Lower.lower_element elt in
+  List.iter
+    (fun (call, impl) ->
+      let p = Api_cost.profile_of_impl impl in
+      Alcotest.(check bool) (call ^ " fixed cycles > 0") true (p.Api_cost.fixed.Api_cost.cycles > 0.0))
+    (Nf_frontend.Api_ir.impls_for_element elt f)
+
+let test_api_cost_probe_scaling () =
+  let elt = Corpus.find "firewall" in
+  let f = Nf_frontend.Lower.lower_element elt in
+  let impls = Nf_frontend.Api_ir.impls_for_element elt f in
+  let p = Api_cost.profile_of_impl (List.assoc "map_find.conn_track" impls) in
+  let profile = Interp.new_profile () in
+  let spec = Workload.default in
+  let base = Api_cost.call_cost p profile spec in
+  (* per-unit part contributes: cost with 1 probe < cost formula with more
+     probes (simulate by a profile that recorded 4-probe operations) *)
+  Alcotest.(check bool) "cycles positive" true (base.Api_cost.cycles > 0.0)
+
+(* -- Perf / demand -- *)
+
+let spec = { Workload.default with Workload.n_packets = 200; Workload.proto = Workload.Mixed }
+
+let test_demand_basics () =
+  let ported = Nic.port (Corpus.find "Mazu-NAT") spec in
+  let d = ported.Nic.demand in
+  Alcotest.(check bool) "compute positive" true (d.Perf.compute > 0.0);
+  Alcotest.(check bool) "naive port stresses EMEM" true (d.Perf.levels.(Mem.level_index Mem.EMEM) > 1.0);
+  Alcotest.(check bool) "intensity positive" true (Perf.arithmetic_intensity d > 0.0)
+
+let test_demand_placement_moves_levels () =
+  let elt = Corpus.find "aggcounter" in
+  let naive = Nic.port elt spec in
+  let imem_placement = List.map (fun n -> (n, Mem.IMEM)) (Nic.state_names elt) in
+  let placed = Nic.reconfigure naive { Nic.naive_port with Nic.placement = Some imem_placement } in
+  Alcotest.(check (float 1e-9)) "EMEM emptied" 0.0
+    placed.Nic.demand.Perf.levels.(Mem.level_index Mem.EMEM);
+  Alcotest.(check bool) "IMEM populated" true
+    (placed.Nic.demand.Perf.levels.(Mem.level_index Mem.IMEM)
+    > naive.Nic.demand.Perf.levels.(Mem.level_index Mem.IMEM))
+
+let test_demand_packing_reduces_accesses () =
+  let elt = Corpus.find "webtcp" in
+  let s = { spec with Workload.n_flows = 32; Workload.n_packets = 600 } in
+  let naive = Nic.port elt s in
+  let packed =
+    Nic.reconfigure naive
+      { Nic.naive_port with Nic.packs = [ [ "req_count"; "resp_count"; "bytes_in"; "bytes_out" ] ] }
+  in
+  Alcotest.(check bool) "packing reduces memory accesses" true
+    (Perf.total_mem_accesses packed.Nic.demand < Perf.total_mem_accesses naive.Nic.demand)
+
+let test_demand_accel_shifts_work () =
+  let s = spec in
+  let naive = Nic.port (Corpus.find "cmsketch_accel") s in
+  let accel =
+    Nic.port ~config:{ Nic.naive_port with Nic.accel_apis = [ "crc32_payload" ] }
+      (Corpus.find "cmsketch_accel") s
+  in
+  Alcotest.(check bool) "engine ops appear" true (accel.Nic.demand.Perf.accel_ops <> []);
+  Alcotest.(check bool) "core compute drops" true
+    (accel.Nic.demand.Perf.compute < naive.Nic.demand.Perf.compute)
+
+let test_demand_reconfigure_matches_port () =
+  let elt = Corpus.find "UDPCount" in
+  let naive = Nic.port elt spec in
+  let placement = List.map (fun n -> (n, Mem.IMEM)) (Nic.state_names elt) in
+  let config = { Nic.naive_port with Nic.placement = Some placement } in
+  let a = Nic.reconfigure naive config in
+  let b = Nic.port ~config elt spec in
+  Alcotest.(check (float 1e-6)) "same compute" b.Nic.demand.Perf.compute a.Nic.demand.Perf.compute;
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-6)) "same levels" b.Nic.demand.Perf.levels.(i) v)
+    a.Nic.demand.Perf.levels
+
+(* -- Multicore -- *)
+
+let test_multicore_monotone_throughput () =
+  let d = (Nic.port (Corpus.find "Mazu-NAT") spec).Nic.demand in
+  let points = Multicore.sweep d in
+  let rec nondecreasing = function
+    | (a : Multicore.point) :: (b :: _ as rest) ->
+      b.Multicore.throughput_mpps >= a.Multicore.throughput_mpps -. 1e-6 && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "throughput nondecreasing in cores" true (nondecreasing points)
+
+let test_multicore_wire_cap () =
+  let d = (Nic.port (Corpus.find "anonipaddr") spec).Nic.demand in
+  let p = Multicore.measure d ~cores:60 in
+  let wire_mpps = Multicore.default_nic.Multicore.wire_gbps *. 1000.0 /. (8.0 *. float_of_int (d.Perf.wire_bytes + 20)) in
+  Alcotest.(check bool) "never exceeds line rate" true (p.Multicore.throughput_mpps <= wire_mpps +. 1e-6)
+
+let test_multicore_latency_grows_past_knee () =
+  let d = (Nic.port (Corpus.find "firewall") { spec with Workload.n_flows = 100_000 }).Nic.demand in
+  let p10 = Multicore.measure d ~cores:10 in
+  let p60 = Multicore.measure d ~cores:60 in
+  Alcotest.(check bool) "saturated latency grows" true
+    (p60.Multicore.latency_us >= p10.Multicore.latency_us)
+
+let test_multicore_optimal_in_range () =
+  List.iter
+    (fun name ->
+      let d = (Nic.port (Corpus.find name) spec).Nic.demand in
+      let c = Multicore.optimal_cores d in
+      Alcotest.(check bool) (name ^ " optimal in 1..60") true (c >= 1 && c <= 60))
+    [ "Mazu-NAT"; "anonipaddr"; "UDPCount"; "dpi" ]
+
+let test_multicore_cores_to_saturate () =
+  let d = (Nic.port (Corpus.find "UDPCount") spec).Nic.demand in
+  let c = Multicore.cores_to_saturate d in
+  Alcotest.(check bool) "in range" true (c >= 1 && c <= 60)
+
+let test_faster_memory_means_lower_latency () =
+  let elt = Corpus.find "aggcounter" in
+  let naive = Nic.port elt { spec with Workload.n_flows = 100_000 } in
+  let imem = Nic.reconfigure naive
+      { Nic.naive_port with Nic.placement = Some (List.map (fun n -> (n, Mem.IMEM)) (Nic.state_names elt)) }
+  in
+  let l_naive = (Multicore.measure naive.Nic.demand ~cores:8).Multicore.latency_us in
+  let l_imem = (Multicore.measure imem.Nic.demand ~cores:8).Multicore.latency_us in
+  Alcotest.(check bool) "IMEM beats EMEM under misses" true (l_imem < l_naive)
+
+(* -- Colocate -- *)
+
+let test_colocate_degrades () =
+  let d1 = (Nic.port (Corpus.find "Mazu-NAT") spec).Nic.demand in
+  let d2 = (Nic.port (Corpus.find "UDPCount") spec).Nic.demand in
+  let r = Colocate.colocate d1 d2 in
+  Alcotest.(check bool) "coloc throughput below solo" true
+    (r.Colocate.t1.Multicore.throughput_mpps <= r.Colocate.solo1.Multicore.throughput_mpps +. 1e-6);
+  Alcotest.(check bool) "total loss in [0,1]" true
+    (let l = Colocate.total_throughput_loss r in
+     l >= -1e-6 && l <= 1.0)
+
+let test_colocate_memory_bound_pairs_worse () =
+  let mem_d = (Nic.port (Corpus.find "firewall") { spec with Workload.n_flows = 100_000 }).Nic.demand in
+  let cpu_d = (Nic.port (Corpus.find "anonipaddr") spec).Nic.demand in
+  let mm = Colocate.total_throughput_loss (Colocate.colocate mem_d mem_d) in
+  let cc = Colocate.total_throughput_loss (Colocate.colocate cpu_d cpu_d) in
+  Alcotest.(check bool) "memory-bound pair degrades more" true (mm > cc)
+
+(* -- Accel -- *)
+
+let test_accel_tables () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (Accel.engine_name e ^ " bandwidth positive") true (Accel.bandwidth e > 0.0);
+      Alcotest.(check bool) "latency positive" true (Accel.latency e ~payload_bytes:64 > 0.0))
+    [ Accel.Crc; Accel.Checksum; Accel.Lpm; Accel.Flow_cache ];
+  Alcotest.(check bool) "crc latency grows with payload" true
+    (Accel.latency Accel.Crc ~payload_bytes:1024 > Accel.latency Accel.Crc ~payload_bytes:64)
+
+(* qcheck: demand assembly is total and nonnegative over synth programs *)
+let prop_demand_nonnegative =
+  QCheck.Test.make ~name:"demands are finite and nonnegative" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qd_%d" seed) in
+      let ported = Nic.port elt { spec with Workload.n_packets = 40 } in
+      let d = ported.Nic.demand in
+      d.Perf.compute > 0.0
+      && Array.for_all (fun v -> v >= 0.0 && Float.is_finite v) d.Perf.levels)
+
+let prop_throughput_monotone_in_cores =
+  QCheck.Test.make ~name:"throughput monotone in cores" ~count:15
+    QCheck.(pair (int_range 0 10_000) (int_range 1 59))
+    (fun (seed, cores) ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qm_%d" seed) in
+      let d = (Nic.port elt { spec with Workload.n_packets = 40 }).Nic.demand in
+      let a = Multicore.measure d ~cores in
+      let b = Multicore.measure d ~cores:(cores + 1) in
+      b.Multicore.throughput_mpps >= a.Multicore.throughput_mpps -. 1e-6)
+
+
+let prop_compiled_size_bounded =
+  QCheck.Test.make ~name:"NFCC output size bounded by IR size" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qn_%d" seed) in
+      let f = Nf_frontend.Lower.lower_element elt in
+      let c = Nfcc.compile f in
+      (* every compiled instruction traces back to at most a bounded
+         expansion of one IR instruction (multiplies expand 5x worst) *)
+      Nfcc.count_total c <= 5 * Nf_ir.Ir.count_total f
+      && Nfcc.count_total c > 0)
+
+let prop_accel_removes_inline_cost =
+  QCheck.Test.make ~name:"accelerating an API call never adds compute" ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+      let elt = Synth.Generator.generate ~stats ~seed (Printf.sprintf "qa_%d" seed) in
+      let f = Nf_frontend.Lower.lower_element elt in
+      let plain = Nfcc.compile f in
+      let accel =
+        Nfcc.compile ~config:(Accel.accel_config [ "crc16_payload"; "hash32"; "checksum_update_ip" ]) f
+      in
+      Nfcc.count_total accel <= Nfcc.count_total plain)
+
+let prop_cache_hit_monotone =
+  QCheck.Test.make ~name:"cache hit ratio monotone in cache size" ~count:50
+    QCheck.(triple (int_range 10 100_000) (int_range 1 50_000) (int_range 1 50_000))
+    (fun (flows, c1, c2) ->
+      let lo = min c1 c2 and hi = max c1 c2 in
+      let spec = { Workload.default with Workload.n_flows = flows } in
+      Workload.cache_hit_ratio spec ~cache_flows:lo
+      <= Workload.cache_hit_ratio spec ~cache_flows:hi +. 1e-9)
+
+let () =
+  Alcotest.run "nicsim"
+    [ ( "nfcc",
+        [ Alcotest.test_case "shift fusion" `Quick test_nfcc_shift_fusion;
+          Alcotest.test_case "mul expansion" `Quick test_nfcc_mul_expansion;
+          Alcotest.test_case "immediate expansion" `Quick test_nfcc_immediate_expansion;
+          Alcotest.test_case "cmp-branch fusion" `Quick test_nfcc_cmp_branch_fusion;
+          Alcotest.test_case "register allocation" `Quick test_nfcc_register_allocation;
+          Alcotest.test_case "stateful mem mapping" `Quick test_nfcc_stateful_mem_mapping;
+          Alcotest.test_case "payload to CTM" `Quick test_nfcc_payload_goes_to_ctm;
+          Alcotest.test_case "burst merge" `Quick test_nfcc_burst_merge;
+          Alcotest.test_case "accel call" `Quick test_nfcc_accel_replaces_call;
+          Alcotest.test_case "deterministic" `Quick test_nfcc_deterministic ] );
+      ( "mem",
+        [ Alcotest.test_case "monotone hierarchy" `Quick test_mem_monotone;
+          Alcotest.test_case "emem cache" `Quick test_mem_emem_cache;
+          Alcotest.test_case "placement defaults" `Quick test_mem_placement_defaults;
+          Alcotest.test_case "feasibility" `Quick test_mem_feasible ] );
+      ( "api_cost",
+        [ Alcotest.test_case "positive costs" `Quick test_api_cost_positive;
+          Alcotest.test_case "probe scaling" `Quick test_api_cost_probe_scaling ] );
+      ( "demand",
+        [ Alcotest.test_case "basics" `Quick test_demand_basics;
+          Alcotest.test_case "placement moves levels" `Quick test_demand_placement_moves_levels;
+          Alcotest.test_case "packing reduces accesses" `Quick test_demand_packing_reduces_accesses;
+          Alcotest.test_case "accel shifts work" `Quick test_demand_accel_shifts_work;
+          Alcotest.test_case "reconfigure = port" `Quick test_demand_reconfigure_matches_port ] );
+      ( "multicore",
+        [ Alcotest.test_case "monotone throughput" `Quick test_multicore_monotone_throughput;
+          Alcotest.test_case "wire cap" `Quick test_multicore_wire_cap;
+          Alcotest.test_case "latency past knee" `Quick test_multicore_latency_grows_past_knee;
+          Alcotest.test_case "optimal in range" `Quick test_multicore_optimal_in_range;
+          Alcotest.test_case "cores to saturate" `Quick test_multicore_cores_to_saturate;
+          Alcotest.test_case "faster memory lower latency" `Quick test_faster_memory_means_lower_latency ] );
+      ( "colocate",
+        [ Alcotest.test_case "degrades" `Quick test_colocate_degrades;
+          Alcotest.test_case "memory-bound pairs worse" `Quick test_colocate_memory_bound_pairs_worse ] );
+      ("accel", [ Alcotest.test_case "tables" `Quick test_accel_tables ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_demand_nonnegative; prop_throughput_monotone_in_cores;
+            prop_compiled_size_bounded; prop_accel_removes_inline_cost;
+            prop_cache_hit_monotone ] ) ]

@@ -1,0 +1,106 @@
+(** Tests for the P4-lite match-action front-end: compilation to the NF
+    AST, runtime table programming, action semantics, and Clara analyses
+    applying unchanged to compiled pipelines. *)
+
+open Nf_lang
+
+let packet ?(src = 0x0a000001) ?(dst = 0xc0a80001) () =
+  let p = Packet.create () in
+  p.Packet.ip_src <- src;
+  p.Packet.ip_dst <- dst;
+  p
+
+let router () = P4lite.compile P4lite.simple_router
+
+let test_compiles_to_element () =
+  let elt = router () in
+  Alcotest.(check string) "name" "p4_router" elt.Ast.name;
+  Alcotest.(check bool) "stateful" true (Ast.is_stateful elt);
+  (* one map + hit/miss counters per table, plus the counter array *)
+  Alcotest.(check bool) "tables became maps" true
+    (List.exists (fun d -> Ast.state_name d = "ipv4_fwd") elt.Ast.state);
+  Alcotest.(check bool) "counter array present" true
+    (List.exists (fun d -> Ast.state_name d = "nh_counters") elt.Ast.state);
+  (* the compiled element lowers and verifies like any other NF *)
+  let ir = Nf_frontend.Lower.lower_element elt in
+  Alcotest.(check (list string)) "well-formed IR" []
+    (List.map (fun v -> v.Nf_ir.Verify.message) (Nf_ir.Verify.check ir))
+
+let test_default_actions () =
+  let interp = Interp.create ~mode:State.Nic (router ()) in
+  (* empty tables: ACL no-op, fwd decrements TTL, egress defaults to port 0 *)
+  let p = packet () in
+  let before_ttl = p.Packet.ip_ttl in
+  (match Interp.push interp p with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted n -> Alcotest.failf "unexpected port %d" n
+  | Interp.Dropped -> Alcotest.fail "default pipeline forwards");
+  Alcotest.(check int) "ttl decremented by the default action" (before_ttl - 1) p.Packet.ip_ttl;
+  Alcotest.(check int) "miss counted" 1
+    !(State.scalar_ref interp.Interp.state "ipv4_fwd_misses")
+
+let test_acl_entry_drops () =
+  let interp = Interp.create ~mode:State.Nic (router ()) in
+  P4lite.table_add P4lite.simple_router interp ~table:"acl" ~key:[ 0x0a0000bad land 0xffffffff ]
+    P4lite.Drop_packet ~param:0;
+  (match Interp.push interp (packet ~src:(0x0a0000bad land 0xffffffff) ()) with
+  | Interp.Dropped -> ()
+  | Interp.Emitted _ -> Alcotest.fail "ACL entry must drop");
+  Alcotest.(check int) "hit counted" 1 !(State.scalar_ref interp.Interp.state "acl_hits");
+  (* other sources still pass *)
+  match Interp.push interp (packet ()) with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "unlisted source passes"
+
+let test_egress_steering () =
+  let interp = Interp.create ~mode:State.Nic (router ()) in
+  P4lite.table_add P4lite.simple_router interp ~table:"egress" ~key:[ 0xc0a80001 ] (P4lite.Forward 2) ~param:0;
+  (match Interp.push interp (packet ~dst:0xc0a80001 ()) with
+  | Interp.Emitted 2 -> ()
+  | Interp.Emitted n -> Alcotest.failf "wrong egress %d" n
+  | Interp.Dropped -> Alcotest.fail "steered packet must forward");
+  match Interp.push interp (packet ~dst:0xc0a80099 ()) with
+  | Interp.Emitted 0 -> ()
+  | Interp.Emitted _ | Interp.Dropped -> Alcotest.fail "default egress is port 0"
+
+let test_count_action () =
+  let interp = Interp.create ~mode:State.Nic (router ()) in
+  P4lite.table_add P4lite.simple_router interp ~table:"ipv4_fwd" ~key:[ 0xc0a80001 ] (P4lite.Count "nh_counters")
+    ~param:7;
+  for _ = 1 to 3 do
+    ignore (Interp.push interp (packet ~dst:0xc0a80001 ()))
+  done;
+  let counters = State.array_of interp.Interp.state "nh_counters" in
+  Alcotest.(check int) "per-next-hop counter" 3 counters.(7)
+
+let test_set_field_action () =
+  let interp = Interp.create ~mode:State.Nic (router ()) in
+  P4lite.table_add P4lite.simple_router interp ~table:"ipv4_fwd" ~key:[ 0xc0a80001 ] (P4lite.Set_field Ast.Ip_tos)
+    ~param:0x2e;
+  let p = packet ~dst:0xc0a80001 () in
+  ignore (Interp.push interp p);
+  Alcotest.(check int) "DSCP rewritten from the entry parameter" 0x2e p.Packet.ip_tos
+
+let test_clara_analyzes_p4 () =
+  (* the compiled pipeline flows through Clara like any Click element *)
+  let elt = router () in
+  let spec = { Workload.default with Workload.n_packets = 300; Workload.proto = Workload.Mixed } in
+  let ported = Nicsim.Nic.port elt spec in
+  Alcotest.(check bool) "demand assembled" true (ported.Nicsim.Nic.demand.Nicsim.Perf.compute > 0.0);
+  let placement = Clara.Placement.solve elt ported in
+  Alcotest.(check int) "all structures placed" (List.length elt.Ast.state)
+    (List.length placement);
+  Alcotest.(check bool) "hot table counters leave EMEM" true
+    (List.assoc "ipv4_fwd_misses" placement <> Nicsim.Mem.EMEM)
+
+let () =
+  Alcotest.run "p4lite"
+    [ ( "compile",
+        [ Alcotest.test_case "compiles to element" `Quick test_compiles_to_element;
+          Alcotest.test_case "default actions" `Quick test_default_actions ] );
+      ( "actions",
+        [ Alcotest.test_case "acl drop" `Quick test_acl_entry_drops;
+          Alcotest.test_case "egress steering" `Quick test_egress_steering;
+          Alcotest.test_case "count" `Quick test_count_action;
+          Alcotest.test_case "set field" `Quick test_set_field_action ] );
+      ("clara", [ Alcotest.test_case "end-to-end analysis" `Quick test_clara_analyzes_p4 ]) ]

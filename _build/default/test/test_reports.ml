@@ -1,0 +1,88 @@
+(** Tests for the human-facing report modules: workload profile reports
+    and the CLI-visible rendering paths. *)
+
+open Nf_lang
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let profile_of name =
+  let elt = Corpus.find name in
+  let spec = { Workload.default with Workload.n_packets = 150; Workload.proto = Workload.Mixed } in
+  let interp = Interp.create ~mode:State.Nic elt in
+  (elt, Interp.run interp (Workload.generate spec))
+
+let test_hot_statements_ordered () =
+  let _, p = profile_of "firewall" in
+  let hot = Profile_report.hot_statements ~n:5 p in
+  Alcotest.(check bool) "nonempty" true (hot <> []);
+  let rec descending = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && descending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by count" true (descending hot)
+
+let test_structure_frequencies () =
+  let elt, p = profile_of "UDPCount" in
+  let freqs = Profile_report.structure_frequencies elt p in
+  Alcotest.(check int) "one row per structure" (List.length elt.Ast.state) (List.length freqs);
+  (* the per-packet counter is among the hottest scalars *)
+  (match freqs with
+  | (_, top) :: _ -> Alcotest.(check bool) "hottest has accesses" true (top > 0.0)
+  | [] -> Alcotest.fail "no rows");
+  let rec descending = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && descending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "hottest first" true (descending freqs)
+
+let test_statement_text_resolves () =
+  let elt, p = profile_of "aggcounter" in
+  match Profile_report.hot_statements ~n:1 p with
+  | (sid, _) :: _ ->
+    let text = Profile_report.statement_text elt sid in
+    Alcotest.(check bool) "real source text" true (text <> "<synthetic>")
+  | [] -> Alcotest.fail "no hot statements"
+
+let test_render_mentions_key_facts () =
+  let elt, p = profile_of "Mazu-NAT" in
+  let s = Profile_report.render elt p in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "Mazu-NAT"; "150 packets"; "int_map"; "probes per operation"; "framework API calls" ]
+
+let test_render_stateless () =
+  let elt, p = profile_of "anonipaddr" in
+  let s = Profile_report.render elt p in
+  Alcotest.(check bool) "flags statelessness" true (contains s "stateless element")
+
+let test_insight_summary () =
+  let elt = Corpus.find "cmsketch" in
+  let insight =
+    {
+      Clara.Insights.nf_name = elt.Ast.name;
+      workload = "w";
+      predicted_compute = 1.0;
+      predicted_memory = 1.0;
+      api_calls = [];
+      accel = [];
+      suggested_cores = Some 7;
+      placement = [];
+      packs = [];
+    }
+  in
+  let s = Clara.Insights.summary insight elt in
+  Alcotest.(check bool) "mentions cores" true (contains s "7 cores");
+  Alcotest.(check bool) "mentions structures" true (contains s "4 state structures")
+
+let () =
+  Alcotest.run "reports"
+    [ ( "profile_report",
+        [ Alcotest.test_case "hot statements ordered" `Quick test_hot_statements_ordered;
+          Alcotest.test_case "structure frequencies" `Quick test_structure_frequencies;
+          Alcotest.test_case "statement text" `Quick test_statement_text_resolves;
+          Alcotest.test_case "render key facts" `Quick test_render_mentions_key_facts;
+          Alcotest.test_case "stateless rendering" `Quick test_render_stateless ] );
+      ("insights", [ Alcotest.test_case "summary" `Quick test_insight_summary ]) ]

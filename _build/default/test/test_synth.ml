@@ -1,0 +1,87 @@
+(** Tests for the corpus-fitted program synthesizer and its statistics
+    extraction. *)
+
+open Nf_lang
+
+let stats () = Synth.Ast_stats.of_corpus (Corpus.table2 ())
+
+let test_stats_nonempty () =
+  let s = stats () in
+  Alcotest.(check bool) "statement kinds observed" true
+    (Array.fold_left ( +. ) 0.0 s.Synth.Ast_stats.stmt_kinds > 50.0);
+  Alcotest.(check bool) "handler length positive" true (s.Synth.Ast_stats.mean_handler_len > 3.0);
+  Alcotest.(check bool) "stateful fraction sensible" true
+    (s.Synth.Ast_stats.stateful_fraction > 0.3 && s.Synth.Ast_stats.stateful_fraction <= 1.0)
+
+let test_stats_field_popularity () =
+  let s = stats () in
+  (* ip_src/ip_dst are among the most used fields in the corpus *)
+  let idx f = Synth.Ast_stats.field_index f in
+  Alcotest.(check bool) "ip_dst used heavily" true
+    (s.Synth.Ast_stats.hdr_fields.(idx Ast.Ip_dst) >= 5.0)
+
+let test_generator_deterministic () =
+  let s = stats () in
+  let a = Synth.Generator.generate ~stats:s ~seed:5 "x" in
+  let b = Synth.Generator.generate ~stats:s ~seed:5 "x" in
+  Alcotest.(check string) "same pretty-print" (Pp.to_string a) (Pp.to_string b);
+  let c = Synth.Generator.generate ~stats:s ~seed:6 "x" in
+  Alcotest.(check bool) "seed changes output" true (Pp.to_string a <> Pp.to_string c)
+
+let test_generator_batch () =
+  let batch = Synth.Generator.batch ~seed:100 10 in
+  Alcotest.(check int) "batch size" 10 (List.length batch);
+  let names = List.sort_uniq compare (List.map (fun e -> e.Ast.name) batch) in
+  Alcotest.(check int) "unique names" 10 (List.length names)
+
+let test_generated_programs_compile_and_run () =
+  let spec = { Workload.default with Workload.n_packets = 40 } in
+  let packets = Workload.generate spec in
+  List.iter
+    (fun elt ->
+      let f = Nf_frontend.Lower.lower_element elt in
+      Alcotest.(check bool) "nonempty IR" true (Nf_ir.Ir.count_total f > 3);
+      let compiled = Nicsim.Nfcc.compile f in
+      Alcotest.(check bool) "compiles" true (Nicsim.Nfcc.count_total compiled > 0);
+      let interp = Interp.create ~mode:State.Nic elt in
+      let profile = Interp.run interp packets in
+      Alcotest.(check int) "interprets" 40 profile.Interp.packets)
+    (Synth.Generator.batch ~seed:321 15)
+
+let test_fitted_closer_than_baseline () =
+  (* Table-1 relationship at the word-distribution level *)
+  let vocab = Clara.Vocab.create () in
+  let words elts =
+    List.concat_map
+      (fun e ->
+        let f = Nf_frontend.Lower.lower_element e in
+        List.concat_map (fun (_, t) -> Array.to_list t) (Clara.Vocab.encode_func vocab f))
+      elts
+  in
+  let real = words (Corpus.table2 ()) in
+  let clara = words (Synth.Generator.batch ~seed:777 30) in
+  let base = words (Synth.Generator.baseline_batch ~seed:778 30) in
+  let card = Clara.Vocab.size vocab in
+  let h = Util.Stats.histogram ~card in
+  let d_clara = Util.Distance.jensen_shannon (h clara) (h real) in
+  let d_base = Util.Distance.jensen_shannon (h base) (h real) in
+  Alcotest.(check bool) "corpus-fitted generator is closer" true (d_clara < d_base)
+
+let test_uniform_stats_complete () =
+  let u = Synth.Ast_stats.uniform in
+  Alcotest.(check int) "stmt kinds" Synth.Ast_stats.stmt_kind_count
+    (Array.length u.Synth.Ast_stats.stmt_kinds);
+  Alcotest.(check bool) "all kinds enabled" true
+    (Array.for_all (fun w -> w > 0.0) u.Synth.Ast_stats.stmt_kinds)
+
+let () =
+  Alcotest.run "synth"
+    [ ( "stats",
+        [ Alcotest.test_case "nonempty" `Quick test_stats_nonempty;
+          Alcotest.test_case "field popularity" `Quick test_stats_field_popularity;
+          Alcotest.test_case "uniform complete" `Quick test_uniform_stats_complete ] );
+      ( "generator",
+        [ Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "batch" `Quick test_generator_batch;
+          Alcotest.test_case "compile and run" `Quick test_generated_programs_compile_and_run;
+          Alcotest.test_case "fitted closer than baseline" `Slow test_fitted_closer_than_baseline ] ) ]
