@@ -1,21 +1,108 @@
 (** Benchmark harness.
 
     - `bench/main.exe` (no args): regenerate every paper table and figure,
-      printing the same rows/series the paper reports.
+      printing the same rows/series the paper reports.  With CLARA_JOBS > 1
+      the independent experiments fan out as concurrent child processes;
+      output is buffered per experiment and printed in registry order, so
+      the report reads identically to a serial run.
     - `bench/main.exe <id> [...]`: run selected experiments (ids: fig1,
       table1, table2, fig8..fig16).
     - `bench/main.exe micro`: Bechamel micro-benchmarks, one per
-      table/figure kernel.
+      table/figure kernel plus the Util.Pool parallel kernels.
+    - `bench/main.exe parallel`: time the parallelized kernels under
+      CLARA_JOBS=1 and the current job count and write the machine-readable
+      BENCH_parallel.json summary (the cross-PR perf trajectory record).
     - `bench/main.exe list`: list experiment ids.
 
     CLARA_FULL=1 enlarges training sets and sweeps. *)
 
 let usage () =
-  print_endline "usage: main.exe [list | micro | <experiment id>...]";
+  print_endline "usage: main.exe [list | micro | parallel | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
     Experiments.Registry.all
+
+(* -- concurrent experiment fan-out (process-per-experiment) --
+
+   Experiments print straight to stdout, so in-process domain parallelism
+   would interleave their reports.  Instead each experiment re-executes
+   this binary as a child with stdout sent to a temp file; children run
+   with CLARA_JOBS=1 (the fan-out already uses the cores) and results are
+   printed in registry order, making the full report byte-identical to a
+   serial run. *)
+
+let child_env () =
+  let kept =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun kv -> not (String.length kv >= 11 && String.sub kv 0 11 = "CLARA_JOBS="))
+  in
+  Array.of_list ("CLARA_JOBS=1" :: kept)
+
+let spawn_experiment env (e : Experiments.Registry.experiment) =
+  let path = Filename.temp_file ("clara_bench_" ^ e.Experiments.Registry.id) ".out" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name; e.Experiments.Registry.id |]
+      env Unix.stdin fd fd
+  in
+  Unix.close fd;
+  (pid, path)
+
+let cat_file path =
+  let ic = open_in path in
+  (try
+     while true do
+       print_endline (input_line ic)
+     done
+   with End_of_file -> ());
+  close_in ic
+
+let run_all_concurrent jobs =
+  let env = child_env () in
+  let pending = Queue.create () in
+  List.iter (fun e -> Queue.add e pending) Experiments.Registry.all;
+  let running = Hashtbl.create 16 in
+  (* id -> output file, filled as children finish *)
+  let finished = Hashtbl.create 16 in
+  let failed = ref [] in
+  let reap () =
+    let pid, status = Unix.wait () in
+    match Hashtbl.find_opt running pid with
+    | None -> ()
+    | Some ((e : Experiments.Registry.experiment), path) ->
+      Hashtbl.remove running pid;
+      Hashtbl.replace finished e.Experiments.Registry.id path;
+      if status <> Unix.WEXITED 0 then failed := e.Experiments.Registry.id :: !failed
+  in
+  while (not (Queue.is_empty pending)) || Hashtbl.length running > 0 do
+    if (not (Queue.is_empty pending)) && Hashtbl.length running < jobs then begin
+      let e = Queue.pop pending in
+      let pid, path = spawn_experiment env e in
+      Hashtbl.replace running pid (e, path)
+    end
+    else reap ()
+  done;
+  List.iter
+    (fun (e : Experiments.Registry.experiment) ->
+      match Hashtbl.find_opt finished e.Experiments.Registry.id with
+      | Some path ->
+        cat_file path;
+        Sys.remove path
+      | None -> ())
+    Experiments.Registry.all;
+  match !failed with
+  | [] -> ()
+  | ids ->
+    Printf.printf "FAILED experiments: %s\n" (String.concat ", " ids);
+    exit 1
+
+let run_all () =
+  let jobs = Util.Pool.jobs () in
+  if jobs > 1 then run_all_concurrent jobs else Experiments.Registry.run_all ();
+  print_newline ();
+  print_endline "All experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."
 
 (* -- Bechamel micro-benchmarks: one kernel per table/figure -- *)
 
@@ -37,6 +124,20 @@ let micro_tests () =
   let stats = Synth.Ast_stats.of_corpus (Nf_lang.Corpus.table2 ()) in
   let packets = Workload.generate spec in
   let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:10 ()) () in
+  (* pool kernels: raw region overhead and a real fold-parallel crossval *)
+  let pool_input = Array.init 4096 float_of_int in
+  let cv_xs = Array.init 160 (fun i -> [| float_of_int (i mod 13); float_of_int (i mod 7) |]) in
+  let cv_ys = Array.map (fun x -> (2.0 *. x.(0)) -. x.(1)) cv_xs in
+  let cv ~jobs () =
+    let saved = Util.Pool.jobs () in
+    Util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Util.Pool.set_jobs saved)
+      (fun () ->
+        Mlkit.Crossval.cv_regression ~k:5
+          ~fit:(fun xs ys -> Mlkit.Tree.gbdt_fit ~n_stages:10 xs ys)
+          ~predict:Mlkit.Tree.gbdt_predict cv_xs cv_ys)
+  in
   [ Test.make ~name:"fig1:port+measure Mazu-NAT"
       (Staged.stage (fun () -> ignore (Nicsim.Nic.measure ~cores:8 ported)));
     Test.make ~name:"table1:synthesize program"
@@ -62,7 +163,15 @@ let micro_tests () =
     Test.make ~name:"fig16:host interp 200 pkts"
       (Staged.stage (fun () ->
            let interp = Nf_lang.Interp.create ~mode:Nf_lang.State.Nic mazu in
-           ignore (Nf_lang.Interp.run interp packets))) ]
+           ignore (Nf_lang.Interp.run interp packets)));
+    Test.make ~name:"pool:parallel_map 4k sqrt"
+      (Staged.stage (fun () -> ignore (Util.Pool.parallel_map sqrt pool_input)));
+    Test.make ~name:"pool:serial_map 4k sqrt (baseline)"
+      (Staged.stage (fun () -> ignore (Array.map sqrt pool_input)));
+    Test.make ~name:"pool:crossval gbdt k=5 (parallel folds)"
+      (Staged.stage (fun () -> ignore (cv ~jobs:(max 2 (Util.Pool.jobs ())) ())));
+    Test.make ~name:"pool:crossval gbdt k=5 (serial folds)"
+      (Staged.stage (fun () -> ignore (cv ~jobs:1 ()))) ]
 
 let run_micro () =
   let open Bechamel in
@@ -82,14 +191,82 @@ let run_micro () =
         results)
     (micro_tests ())
 
+(* -- BENCH_parallel.json: wall-clock of the parallelized kernels, serial
+   vs the current job count, tracked across PRs -- *)
+
+let parallel_kernels () =
+  let cv_xs = Array.init 240 (fun i -> Array.init 8 (fun d -> float_of_int ((i * (d + 3)) mod 17))) in
+  let cv_ys = Array.map (fun x -> Array.fold_left ( +. ) 0.0 x) cv_xs in
+  let lstm_data =
+    let rng = Util.Rng.create 31 in
+    Array.init 96 (fun _ ->
+        (Array.init (8 + Util.Rng.int rng 24) (fun _ -> Util.Rng.int rng 48), [| Util.Rng.float rng *. 40.0 |]))
+  in
+  [ ( "synthesize_dataset_n30",
+      fun () -> ignore (Clara.Predictor.synthesize_dataset ~n:30 ()) );
+    ( "crossval_gbdt_k5",
+      fun () ->
+        ignore
+          (Mlkit.Crossval.cv_regression ~k:5
+             ~fit:(fun xs ys -> Mlkit.Tree.gbdt_fit ~n_stages:20 xs ys)
+             ~predict:Mlkit.Tree.gbdt_predict cv_xs cv_ys) );
+    ( "gbdt_fit_240x8",
+      fun () -> ignore (Mlkit.Tree.gbdt_fit ~n_stages:40 cv_xs cv_ys) );
+    ( "lstm_fit_batch8",
+      fun () ->
+        let m = Mlkit.Lstm.create ~vocab:48 17 in
+        Mlkit.Lstm.fit ~epochs:2 ~batch:8 m lstm_data );
+    ( "scaleout_samples_n8",
+      fun () -> ignore (Clara.Scaleout.training_samples ~n_programs:8 ()) );
+    ( "workload_generate_20k",
+      fun () -> ignore (Workload.generate { Workload.default with Workload.n_packets = 20_000 }) ) ]
+
+let time_kernel f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_parallel_report () =
+  let jobs = max 2 (Util.Pool.jobs ()) in
+  let saved = Util.Pool.jobs () in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        Util.Pool.set_jobs 1;
+        f () (* warm caches/allocator before timing *) |> ignore;
+        let serial = time_kernel f in
+        Util.Pool.set_jobs jobs;
+        let parallel = time_kernel f in
+        (name, serial, parallel))
+      (parallel_kernels ())
+  in
+  Util.Pool.set_jobs saved;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"clara-parallel-bench/1\",\n  \"jobs\": %d,\n  \"kernels\": [\n" jobs;
+  List.iteri
+    (fun i (name, serial, parallel) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"serial_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.3f}%s\n"
+        name serial parallel
+        (serial /. Float.max 1e-9 parallel)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "Parallel kernel timings (jobs=%d), also written to BENCH_parallel.json:\n" jobs;
+  List.iter
+    (fun (name, serial, parallel) ->
+      Printf.printf "  %-28s serial %8.3f s   parallel %8.3f s   speedup %.2fx\n" name serial
+        parallel
+        (serial /. Float.max 1e-9 parallel))
+    rows
+
 let () =
   match Array.to_list Sys.argv with
-  | [] | _ :: [] ->
-    Experiments.Registry.run_all ();
-    print_newline ();
-    print_endline "All experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."
+  | [] | _ :: [] -> run_all ()
   | _ :: [ "list" ] -> usage ()
   | _ :: [ "micro" ] -> run_micro ()
+  | _ :: [ "parallel" ] -> run_parallel_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

@@ -35,13 +35,68 @@ let examples_of_element vocab (elt : Ast.element) =
          })
        compiled.Nicsim.Nfcc.cblocks)
 
+(* Per-program intermediate of the parallel synthesis pass: abstract word
+   sequences (not yet interned) plus the compiler's per-block labels. *)
+type raw_program = {
+  block_words : string array array;  (** per IR block, in block order *)
+  block_ir_mem : int array;
+  labels : (int * float * float) array;  (** compiled (bid, compute, mem) *)
+}
+
+let raw_of_element (elt : Ast.element) =
+  let ir = Nf_frontend.Lower.lower_element elt in
+  let compiled = Nicsim.Nfcc.compile ir in
+  {
+    block_words =
+      Array.map
+        (fun (b : Ir.block) -> Array.of_list (List.map Vocab.word b.Ir.instrs))
+        ir.Ir.blocks;
+    block_ir_mem =
+      Array.map
+        (fun (b : Ir.block) ->
+          List.length
+            (List.filter
+               (fun (i : Ir.instr) ->
+                 match i.Ir.annot with Ir.Mem_stateful _ -> true | _ -> false)
+               b.Ir.instrs))
+        ir.Ir.blocks;
+    labels =
+      Array.map
+        (fun (cb : Nicsim.Nfcc.compiled_block) ->
+          ( cb.Nicsim.Nfcc.bid,
+            float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs),
+            float_of_int
+              (Nicsim.Isa.count_mem cb.Nicsim.Nfcc.instrs
+              + Nicsim.Isa.count_local_mem cb.Nicsim.Nfcc.instrs) ))
+        compiled.Nicsim.Nfcc.cblocks;
+  }
+
 (** Build the training corpus from synthesized programs (§3.2 data
-    synthesis) — [n] programs generated from the Click-corpus statistics. *)
+    synthesis) — [n] programs generated from the Click-corpus statistics.
+
+    Generation, lowering and NFCC compilation of each program fan out on
+    the domain pool; vocabulary interning stays serial, walking programs
+    and blocks in order, so token ids — and hence the whole dataset — are
+    bit-identical to a serial build for any [CLARA_JOBS]. *)
 let synthesize_dataset ?(n = 120) ?(seed = 501) () =
   let vocab = Vocab.create () in
   let programs = Synth.Generator.batch ~seed n in
+  let raws = Util.Pool.parallel_map_list ~chunk:1 raw_of_element programs in
   let examples =
-    List.concat_map (examples_of_element vocab) programs
+    List.concat_map
+      (fun raw ->
+        let tokens = Array.map (Array.map (Vocab.index vocab)) raw.block_words in
+        Array.to_list
+          (Array.map
+             (fun (bid, nic_compute, nic_mem) ->
+               {
+                 tokens = tokens.(bid);
+                 nic_compute;
+                 nic_mem;
+                 ir_mem = float_of_int raw.block_ir_mem.(bid);
+               })
+             raw.labels))
+      raws
     |> List.filter (fun e -> Array.length e.tokens > 0)
   in
   { vocab; examples = Array.of_list examples }
@@ -51,12 +106,14 @@ type t = {
   lstm : Mlkit.Lstm.t;
 }
 
-(** Train Clara's LSTM+FC on a dataset. *)
-let train ?(epochs = 10) ?(hidden = 32) (ds : dataset) =
+(** Train Clara's LSTM+FC on a dataset.  [batch] examples are accumulated
+    per Adam step with gradients computed concurrently on the domain pool;
+    the fit is deterministic for any [CLARA_JOBS] value. *)
+let train ?(epochs = 10) ?(hidden = 32) ?(batch = 8) (ds : dataset) =
   Vocab.freeze ds.vocab;
   let lstm = Mlkit.Lstm.create ~hidden ~vocab:(Vocab.size ds.vocab) 211 in
   let data = Array.map (fun e -> (e.tokens, [| e.nic_compute |])) ds.examples in
-  Mlkit.Lstm.fit ~epochs lstm data;
+  Mlkit.Lstm.fit ~epochs ~batch lstm data;
   { vocab = ds.vocab; lstm }
 
 (** Predicted compute-instruction count for one block. *)

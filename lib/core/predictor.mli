@@ -27,8 +27,10 @@ val synthesize_dataset : ?n:int -> ?seed:int -> unit -> dataset
 (** A trained predictor: the frozen vocabulary plus the LSTM+FC model. *)
 type t = { vocab : Vocab.t; lstm : Mlkit.Lstm.t }
 
-(** Train Clara's LSTM+FC; freezes the dataset's vocabulary. *)
-val train : ?epochs:int -> ?hidden:int -> dataset -> t
+(** Train Clara's LSTM+FC; freezes the dataset's vocabulary.  [batch]
+    examples are accumulated per Adam step, their gradients computed
+    concurrently on {!Util.Pool} (deterministic for any job count). *)
+val train : ?epochs:int -> ?hidden:int -> ?batch:int -> dataset -> t
 
 (** Predicted compute-instruction count for one token sequence. *)
 val predict_block : t -> int array -> float

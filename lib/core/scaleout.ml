@@ -62,7 +62,9 @@ let training_samples ?(n_programs = 40) ?(seed = 1301) ?(specs : Workload.spec l
         { Workload.default with Workload.n_packets = 400; Workload.payload_len = 200 } ]
   in
   let programs = Synth.Generator.batch ~seed n_programs in
-  List.concat_map
+  (* each program x spec deploy-and-benchmark is independent: fan the
+     programs out on the domain pool, keeping sample order *)
+  Util.Pool.parallel_concat_map_list ~chunk:1
     (fun elt ->
       List.filter_map
         (fun spec ->

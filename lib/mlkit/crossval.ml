@@ -6,27 +6,35 @@
     overfitting artefacts). *)
 
 (** Deterministic K-fold index split: returns [(train, test)] index arrays
-    for each fold. *)
+    for each fold.  Fold membership and within-fold order are a direct
+    function of the shuffled position ([pos mod k]), never of an
+    accumulation direction, so chunked parallel iteration over folds sees
+    exactly the order a serial loop would. *)
 let kfold ?(seed = 47) ~k n =
   if k < 2 || k > n then invalid_arg "Crossval.kfold: need 2 <= k <= n";
   let rng = Util.Rng.create seed in
   let idx = Array.init n (fun i -> i) in
   Util.Rng.shuffle rng idx;
+  let in_fold fold pos = pos mod k = fold in
+  let positions p = Array.of_seq (Seq.filter p (Seq.init n Fun.id)) in
   List.init k (fun fold ->
-      let test = ref [] and train = ref [] in
-      Array.iteri
-        (fun pos i -> if pos mod k = fold then test := i :: !test else train := i :: !train)
-        idx;
-      (Array.of_list (List.rev !train), Array.of_list (List.rev !test)))
+      ( Array.map (fun pos -> idx.(pos)) (positions (fun pos -> not (in_fold fold pos))),
+        Array.map (fun pos -> idx.(pos)) (positions (in_fold fold)) ))
+
+(** Fit/score every fold independently on the domain pool; fold scores come
+    back in fold order, so the reported mean/stddev are identical to a
+    serial run. *)
+let fold_scores ~score folds =
+  Array.of_list (Util.Pool.parallel_map_list ~chunk:1 score folds)
 
 (** Mean and standard deviation of a per-fold metric for a regression
     model family.  [fit xs ys] trains, [predict model x] infers, and the
     score of each fold is the MAE on its held-out part. *)
 let cv_regression ?(seed = 47) ~k ~fit ~predict xs ys =
   let n = Array.length xs in
-  let scores =
-    List.map
-      (fun (train_idx, test_idx) ->
+  let arr =
+    fold_scores
+      ~score:(fun (train_idx, test_idx) ->
         let tx = Array.map (fun i -> xs.(i)) train_idx in
         let ty = Array.map (fun i -> ys.(i)) train_idx in
         let model = fit tx ty in
@@ -35,15 +43,14 @@ let cv_regression ?(seed = 47) ~k ~fit ~predict xs ys =
         Metrics.mae preds truth)
       (kfold ~seed ~k n)
   in
-  let arr = Array.of_list scores in
   (Util.Stats.mean arr, Util.Stats.stddev arr)
 
 (** Same for binary classification; the fold score is accuracy. *)
 let cv_classification ?(seed = 47) ~k ~fit ~predict xs ys =
   let n = Array.length xs in
-  let scores =
-    List.map
-      (fun (train_idx, test_idx) ->
+  let arr =
+    fold_scores
+      ~score:(fun (train_idx, test_idx) ->
         let tx = Array.map (fun i -> xs.(i)) train_idx in
         let ty = Array.map (fun i -> ys.(i)) train_idx in
         let model = fit tx ty in
@@ -52,7 +59,6 @@ let cv_classification ?(seed = 47) ~k ~fit ~predict xs ys =
         Metrics.accuracy preds truth)
       (kfold ~seed ~k n)
   in
-  let arr = Array.of_list scores in
   (Util.Stats.mean arr, Util.Stats.stddev arr)
 
 (** Pick the argmin-mean-MAE candidate from a labeled list of regression

@@ -163,9 +163,44 @@ let backward t seq target_scaled =
     caches;
   err
 
+(* A shadow shares the weights and Adam moments but owns a private zeroed
+   gradient buffer, so concurrent [backward] calls never race. *)
+let shadow_param (p : Nn.param) =
+  { p with Nn.g = Array.map (fun row -> Array.make (Array.length row) 0.0) p.Nn.g }
+
+let shadow_model t =
+  {
+    t with
+    wi = shadow_param t.wi; wf = shadow_param t.wf;
+    wo = shadow_param t.wo; wg = shadow_param t.wg;
+    ui = shadow_param t.ui; uf = shadow_param t.uf;
+    uo = shadow_param t.uo; ug = shadow_param t.ug;
+    bi = shadow_param t.bi; bf = shadow_param t.bf;
+    bo = shadow_param t.bo; bg = shadow_param t.bg;
+    fc1 = shadow_param t.fc1; fc2 = shadow_param t.fc2;
+  }
+
+let add_grads ~into sh =
+  List.iter2
+    (fun (p : Nn.param) (sp : Nn.param) ->
+      Array.iteri
+        (fun r row ->
+          let dst = p.Nn.g.(r) in
+          Array.iteri (fun c g -> dst.(c) <- dst.(c) +. g) row)
+        sp.Nn.g)
+    (params into) (params sh)
+
 (** Fit on (sequence, target) pairs.  Targets are scaled internally by
-    their mean magnitude for conditioning. *)
-let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(progress = fun ~epoch:_ ~loss:_ -> ()) t data =
+    their mean magnitude for conditioning.
+
+    [batch = 1] (the default) is plain per-example Adam.  [batch > 1]
+    accumulates per-example gradients over each minibatch — computed
+    concurrently on the domain pool, each example writing into a private
+    shadow gradient — and merges them in example order before the single
+    Adam step, so the trained weights are bit-identical for any
+    [CLARA_JOBS] value. *)
+let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(batch = 1)
+    ?(progress = fun ~epoch:_ ~loss:_ -> ()) t data =
   let n = Array.length data in
   if n = 0 then ()
   else begin
@@ -176,21 +211,58 @@ let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(progress = fun ~epoch:_ ~los
     let opt = Nn.adam ~lr () in
     let rng = Util.Rng.create seed in
     let idx = Array.init n (fun i -> i) in
+    let example_step k =
+      let seq, y = data.(k) in
+      if Array.length seq = 0 then 0.0
+      else begin
+        List.iter Nn.zero_grad (params t);
+        let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
+        let err = backward t seq y_scaled in
+        Nn.clip_gradients (params t) 5.0;
+        Nn.adam_step opt (params t);
+        err
+      end
+    in
+    let minibatch_step b0 bsz =
+      let contributions =
+        Util.Pool.parallel_init ~chunk:1 bsz (fun j ->
+            let seq, y = data.(idx.(b0 + j)) in
+            if Array.length seq = 0 then None
+            else begin
+              let sh = shadow_model t in
+              let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
+              let err = backward sh seq y_scaled in
+              Some (sh, err)
+            end)
+      in
+      List.iter Nn.zero_grad (params t);
+      let err = ref 0.0 and contributed = ref false in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (sh, e) ->
+            contributed := true;
+            err := !err +. e;
+            add_grads ~into:t sh)
+        contributions;
+      if !contributed then begin
+        Nn.clip_gradients (params t) 5.0;
+        Nn.adam_step opt (params t)
+      end;
+      !err
+    in
     for epoch = 1 to epochs do
       Util.Rng.shuffle rng idx;
       let total = ref 0.0 in
-      Array.iter
-        (fun k ->
-          let seq, y = data.(k) in
-          if Array.length seq > 0 then begin
-            List.iter Nn.zero_grad (params t);
-            let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
-            let err = backward t seq y_scaled in
-            total := !total +. err;
-            Nn.clip_gradients (params t) 5.0;
-            Nn.adam_step opt (params t)
-          end)
-        idx;
+      if batch <= 1 then Array.iter (fun k -> total := !total +. example_step k) idx
+      else begin
+        let b0 = ref 0 in
+        while !b0 < n do
+          let bsz = min batch (n - !b0) in
+          total := !total +. minibatch_step !b0 bsz;
+          b0 := !b0 + bsz
+        done
+      end;
       progress ~epoch ~loss:(!total /. float_of_int n)
     done
   end

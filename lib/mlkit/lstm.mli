@@ -36,11 +36,17 @@ val backward : t -> int array -> float array -> float
 
 (** Fit on (sequence, target) pairs; targets are scaled internally by
     their mean magnitude.  [progress] is invoked after each epoch with
-    the mean squared training error. *)
+    the mean squared training error.
+
+    [batch = 1] (default) is plain per-example Adam.  [batch > 1]
+    accumulates the minibatch's per-example gradients — computed
+    concurrently on {!Util.Pool}, merged in example order — before a
+    single Adam step; the result is bit-identical for any job count. *)
 val fit :
   ?epochs:int ->
   ?lr:float ->
   ?seed:int ->
+  ?batch:int ->
   ?progress:(epoch:int -> loss:float -> unit) ->
   t ->
   (int array * float array) array ->

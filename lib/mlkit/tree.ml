@@ -41,37 +41,64 @@ let grow ?(config = default_grow) xs ys =
       in
       (* best split minimizes left SSE + right SSE, tracked via sums:
          sse = sum(y^2) - (sum y)^2 / n *)
-      let best = ref None in
       let total_y = Array.fold_left (fun acc i -> acc +. ys.(i)) 0.0 idx in
       let total_y2 = Array.fold_left (fun acc i -> acc +. (ys.(i) *. ys.(i))) 0.0 idx in
       let base = total_y2 -. (total_y *. total_y /. float_of_int n) in
-      Array.iter
-        (fun f ->
-          let sorted = Array.copy idx in
-          Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
-          let left_y = ref 0.0 and left_y2 = ref 0.0 in
-          for k = 0 to n - 2 do
-            let i = sorted.(k) in
-            left_y := !left_y +. ys.(i);
-            left_y2 := !left_y2 +. (ys.(i) *. ys.(i));
-            let nl = k + 1 and nr = n - k - 1 in
-            (* a valid cut needs distinct adjacent values and min_leaf sizes *)
-            if
-              nl >= config.min_leaf && nr >= config.min_leaf
-              && xs.(sorted.(k)).(f) < xs.(sorted.(k + 1)).(f)
-            then begin
-              let ry = total_y -. !left_y and ry2 = total_y2 -. !left_y2 in
-              let sse_l = !left_y2 -. (!left_y *. !left_y /. float_of_int nl) in
-              let sse_r = ry2 -. (ry *. ry /. float_of_int nr) in
-              let gain = base -. sse_l -. sse_r in
-              let thr = 0.5 *. (xs.(sorted.(k)).(f) +. xs.(sorted.(k + 1)).(f)) in
-              match !best with
-              | Some (g, _, _, _) when g >= gain -> ()
-              | _ -> best := Some (gain, f, thr, k + 1)
-            end
-          done)
-        features;
-      match !best with
+      (* Per-feature scans are independent: fan them out on the domain pool
+         and keep the serial tie-breaking (earliest feature in [features]
+         order, then earliest cut) via a left-biased ordered reduction, so
+         the grown tree is bit-identical to a serial scan. *)
+      let feature_best f =
+        let best = ref None in
+        let sorted = Array.copy idx in
+        Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
+        let left_y = ref 0.0 and left_y2 = ref 0.0 in
+        for k = 0 to n - 2 do
+          let i = sorted.(k) in
+          left_y := !left_y +. ys.(i);
+          left_y2 := !left_y2 +. (ys.(i) *. ys.(i));
+          let nl = k + 1 and nr = n - k - 1 in
+          (* a valid cut needs distinct adjacent values and min_leaf sizes *)
+          if
+            nl >= config.min_leaf && nr >= config.min_leaf
+            && xs.(sorted.(k)).(f) < xs.(sorted.(k + 1)).(f)
+          then begin
+            let ry = total_y -. !left_y and ry2 = total_y2 -. !left_y2 in
+            let sse_l = !left_y2 -. (!left_y *. !left_y /. float_of_int nl) in
+            let sse_r = ry2 -. (ry *. ry /. float_of_int nr) in
+            let gain = base -. sse_l -. sse_r in
+            let thr = 0.5 *. (xs.(sorted.(k)).(f) +. xs.(sorted.(k + 1)).(f)) in
+            match !best with
+            | Some (g, _, _, _) when g >= gain -> ()
+            | _ -> best := Some (gain, f, thr, k + 1)
+          end
+        done;
+        !best
+      in
+      let better a b =
+        match (a, b) with
+        | Some (ga, _, _, _), Some (gb, _, _, _) -> if gb > ga then b else a
+        | Some _, None -> a
+        | None, _ -> b
+      in
+      let n_features = Array.length features in
+      let best =
+        if n_features = 0 then None
+        else if n * n_features < 4096 then begin
+          (* node too small to amortize a parallel region; the pool's serial
+             path computes the same left-biased ordered reduction *)
+          let acc = ref (feature_best features.(0)) in
+          for fi = 1 to n_features - 1 do
+            acc := better !acc (feature_best features.(fi))
+          done;
+          !acc
+        end
+        else
+          Util.Pool.parallel_reduce ~chunk:1 ~combine:better
+            (fun fi -> feature_best features.(fi))
+            n_features
+      in
+      match best with
       | Some (gain, f, thr, _) when gain > 1e-12 ->
         let left = Array.of_list (List.filter (fun i -> xs.(i).(f) <= thr) (Array.to_list idx)) in
         let right = Array.of_list (List.filter (fun i -> xs.(i).(f) > thr) (Array.to_list idx)) in
@@ -88,15 +115,19 @@ type forest = { trees : t list }
 let forest_fit ?(n_trees = 20) ?(config = default_grow) ?(seed = 5) xs ys =
   let n = Array.length xs in
   let rng = Util.Rng.create seed in
+  (* draw every bootstrap serially (one shared rng stream), then grow the
+     independent trees on the pool — same trees as a fully serial fit *)
+  let bootstraps = List.init n_trees (fun _ -> Array.init n (fun _ -> Util.Rng.int rng n)) in
   let trees =
-    List.init n_trees (fun k ->
-        let idx = Array.init n (fun _ -> Util.Rng.int rng n) in
+    Util.Pool.parallel_map_list ~chunk:1
+      (fun (k, idx) ->
         let bx = Array.map (fun i -> xs.(i)) idx in
         let by = Array.map (fun i -> ys.(i)) idx in
         let dim = if n = 0 then 1 else Array.length xs.(0) in
         let sub = max 1 (dim * 2 / 3) in
         grow ~config:{ config with feature_subset = Some sub; seed = seed + (k * 131) } bx by)
-    in
+      (List.mapi (fun k idx -> (k, idx)) bootstraps)
+  in
   { trees }
 
 let forest_predict f x =

@@ -176,12 +176,17 @@ let generate ?(config : config option) ~(stats : Ast_stats.t) ~seed name =
   in
   Build.element name ~state (body @ verdict)
 
-(** Generate a batch of [n] elements with distinct seeds. *)
+(** Generate a batch of [n] elements with distinct seeds.  Each element is
+    deterministic in its own derived seed, so the batch fans out on the
+    domain pool without changing a single generated program. *)
 let batch ?(stats : Ast_stats.t option) ?(seed = 1000) n =
   let stats = match stats with Some s -> s | None -> Ast_stats.of_corpus (Corpus.table2 ()) in
-  List.init n (fun k -> generate ~stats ~seed:(seed + (k * 7919)) (Printf.sprintf "syn_%d" k))
+  Array.to_list
+    (Util.Pool.parallel_init n (fun k ->
+         generate ~stats ~seed:(seed + (k * 7919)) (Printf.sprintf "syn_%d" k)))
 
 (** Baseline batch: ignores the corpus distribution (uniform weights). *)
 let baseline_batch ?(seed = 2000) n =
-  List.init n (fun k ->
-      generate ~stats:Ast_stats.uniform ~seed:(seed + (k * 7919)) (Printf.sprintf "base_%d" k))
+  Array.to_list
+    (Util.Pool.parallel_init n (fun k ->
+         generate ~stats:Ast_stats.uniform ~seed:(seed + (k * 7919)) (Printf.sprintf "base_%d" k)))

@@ -1,0 +1,238 @@
+(** Fixed-size domain pool with deterministic data-parallel combinators.
+
+    OCaml 5 Domains back every hot loop in the repository — cross-validation
+    folds, GBDT split search, LSTM batch gradients, dataset synthesis, the
+    experiment fan-out.  Two design rules keep the results trustworthy:
+
+    - {b Determinism.}  Work is split into chunks whose boundaries depend
+      only on the problem size (never on the worker count), reductions
+      combine chunk results in index order, and the serial fallback executes
+      the very same chunked algorithm.  A computation therefore produces
+      bit-identical floats whether [CLARA_JOBS] is 1, 4, or 64.
+    - {b One pool.}  Workers are spawned once, on first use, and parked on a
+      condition variable between calls; a parallel region costs two lock
+      round-trips, not [num_domains] domain spawns.
+
+    Concurrency scheme: callers enqueue closures under [lock], wake the
+    workers, then join the queue themselves (the caller is worker zero).
+    Completion is tracked per call with an atomic countdown, so concurrent
+    parallel regions from different domains can share the pool.  A task that
+    itself enters the pool runs its region serially — nested parallelism
+    changes nothing semantically and the flat schedule keeps the pool
+    deadlock-free. *)
+
+let default_chunk n = max 1 ((n + 63) / 64)
+
+(* -- job-count policy -- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "CLARA_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | _ -> None)
+  | None -> None
+
+(* 0 = not yet resolved; resolved lazily so tests can override first *)
+let jobs_setting = Atomic.make 0
+
+let jobs () =
+  let j = Atomic.get jobs_setting in
+  if j > 0 then j
+  else begin
+    let j =
+      match env_jobs () with Some n -> n | None -> Domain.recommended_domain_count ()
+    in
+    Atomic.set jobs_setting j;
+    j
+  end
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: need >= 1 job";
+  Atomic.set jobs_setting n
+
+(* -- the worker pool -- *)
+
+let lock = Mutex.create ()
+let work_available = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let quitting = ref false
+let workers : unit Domain.t list ref = ref []
+let n_workers = ref 0
+
+(* true while this domain is executing a pool task: nested regions go serial *)
+let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop () =
+  let rec next () =
+    (* called with [lock] held *)
+    if !quitting then None
+    else
+      match Queue.take_opt queue with
+      | Some t -> Some t
+      | None ->
+        Condition.wait work_available lock;
+        next ()
+  in
+  let rec loop () =
+    Mutex.lock lock;
+    let t = next () in
+    Mutex.unlock lock;
+    match t with
+    | None -> ()
+    | Some t ->
+      t ();
+      loop ()
+  in
+  loop ()
+
+(* Grow the pool to [target] parked workers (never shrinks: determinism is
+   independent of the worker count, so extra workers are harmless). *)
+let ensure_workers target =
+  if !n_workers < target then begin
+    Mutex.lock lock;
+    while !n_workers < target do
+      incr n_workers;
+      workers := Domain.spawn worker_loop :: !workers
+    done;
+    Mutex.unlock lock
+  end
+
+let shutdown () =
+  let ws =
+    Mutex.lock lock;
+    quitting := true;
+    Condition.broadcast work_available;
+    let ws = !workers in
+    workers := [];
+    n_workers := 0;
+    Mutex.unlock lock;
+    ws
+  in
+  List.iter Domain.join ws;
+  quitting := false
+
+let () = at_exit shutdown
+
+(** Run every task, re-raising the lowest-indexed exception once all have
+    finished.  The caller participates instead of blocking. *)
+let run_tasks (tasks : (unit -> unit) array) =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else begin
+    let serial () =
+      Array.iter
+        (fun t ->
+          let saved = Domain.DLS.get inside_task in
+          Domain.DLS.set inside_task true;
+          Fun.protect ~finally:(fun () -> Domain.DLS.set inside_task saved) t)
+        tasks
+    in
+    if jobs () <= 1 || n = 1 || Domain.DLS.get inside_task then serial ()
+    else begin
+      ensure_workers (jobs () - 1);
+      let remaining = Atomic.make n in
+      let failure : exn option array = Array.make n None in
+      let done_lock = Mutex.create () in
+      let all_done = Condition.create () in
+      let wrap i t () =
+        Domain.DLS.set inside_task true;
+        (try t () with e -> failure.(i) <- Some e);
+        Domain.DLS.set inside_task false;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_lock;
+          Condition.broadcast all_done;
+          Mutex.unlock done_lock
+        end
+      in
+      Mutex.lock lock;
+      Array.iteri (fun i t -> Queue.add (wrap i t) queue) tasks;
+      Condition.broadcast work_available;
+      Mutex.unlock lock;
+      (* help drain the queue; when it runs dry, wait for the stragglers *)
+      let rec help () =
+        if Atomic.get remaining > 0 then begin
+          Mutex.lock lock;
+          let t = Queue.take_opt queue in
+          Mutex.unlock lock;
+          match t with
+          | Some t ->
+            t ();
+            help ()
+          | None ->
+            Mutex.lock done_lock;
+            while Atomic.get remaining > 0 do
+              Condition.wait all_done done_lock
+            done;
+            Mutex.unlock done_lock
+        end
+      in
+      help ();
+      Array.iter (function Some e -> raise e | None -> ()) failure
+    end
+  end
+
+(* -- deterministic chunked combinators -- *)
+
+(** Chunk [[0, n)] into jobs-independent ranges and run [body lo hi] (hi
+    exclusive) for each; chunk size defaults to [ceil (n / 64)]. *)
+let chunked_ranges ?chunk n =
+  let size = match chunk with Some c -> max 1 c | None -> default_chunk n in
+  let n_chunks = (n + size - 1) / size in
+  Array.init n_chunks (fun c -> (c * size, min n ((c + 1) * size)))
+
+let parallel_for ?chunk lo hi body =
+  let n = hi - lo in
+  if n > 0 then
+    run_tasks
+      (Array.map
+         (fun (clo, chi) ->
+           fun () ->
+             for i = lo + clo to lo + chi - 1 do
+               body i
+             done)
+         (chunked_ranges ?chunk n))
+
+let parallel_init ?chunk n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ?chunk 0 n (fun i -> out.(i) <- Some (f i));
+    Array.map
+      (function Some v -> v | None -> assert false (* parallel_for covered [0,n) *))
+      out
+  end
+
+let parallel_map ?chunk f arr =
+  parallel_init ?chunk (Array.length arr) (fun i -> f arr.(i))
+
+let parallel_mapi ?chunk f arr =
+  parallel_init ?chunk (Array.length arr) (fun i -> f i arr.(i))
+
+let parallel_map_list ?chunk f l =
+  Array.to_list (parallel_map ?chunk f (Array.of_list l))
+
+let parallel_concat_map_list ?chunk f l =
+  List.concat (parallel_map_list ?chunk f l)
+
+(** Ordered reduction of [f 0 ... f (n-1)]: each chunk folds left-to-right,
+    chunk results combine left-to-right, so the float-combination order is
+    fixed by [n] (and [chunk]) alone.  [n] must be >= 1. *)
+let parallel_reduce ?chunk ~combine f n =
+  if n < 1 then invalid_arg "Pool.parallel_reduce: need n >= 1";
+  let ranges = chunked_ranges ?chunk n in
+  let partials =
+    parallel_map ~chunk:1
+      (fun (lo, hi) ->
+        let acc = ref (f lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := combine !acc (f i)
+        done;
+        !acc)
+      ranges
+  in
+  let acc = ref partials.(0) in
+  for c = 1 to Array.length partials - 1 do
+    acc := combine !acc partials.(c)
+  done;
+  !acc

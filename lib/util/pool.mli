@@ -1,0 +1,57 @@
+(** Fixed-size domain pool with deterministic data-parallel combinators.
+
+    Workers ([jobs () - 1] of them) are spawned once on first use and
+    reused by every parallel region.  Chunk boundaries depend only on the
+    problem size and reductions combine chunk results in index order, so
+    every combinator returns bit-identical results for any job count —
+    [CLARA_JOBS=1] (or [set_jobs 1]) degrades gracefully to the same
+    chunked algorithm executed serially.  Nested regions (a task that
+    itself calls into the pool) run serially and are deadlock-free.
+    Exceptions raised by tasks are re-raised in the caller once the region
+    completes (lowest task index wins). *)
+
+(** Effective parallelism: the [CLARA_JOBS] environment variable if set and
+    >= 1, else [Domain.recommended_domain_count ()], else a {!set_jobs}
+    override. *)
+val jobs : unit -> int
+
+(** Override the job count (e.g. for serial/parallel equivalence tests).
+    Takes effect for subsequent regions; already-spawned workers are kept
+    parked, which never changes results.
+    @raise Invalid_argument unless n >= 1. *)
+val set_jobs : int -> unit
+
+(** Run all tasks to completion (caller participates), then re-raise the
+    lowest-indexed task exception, if any. *)
+val run_tasks : (unit -> unit) array -> unit
+
+(** Jobs-independent chunking of [[0, n)] as (lo, hi-exclusive) ranges;
+    [chunk] defaults to [ceil (n / 64)]. *)
+val chunked_ranges : ?chunk:int -> int -> (int * int) array
+
+(** [parallel_for lo hi body] runs [body i] for [lo <= i < hi]. *)
+val parallel_for : ?chunk:int -> int -> int -> (int -> unit) -> unit
+
+(** [Array.init], chunk-parallel. *)
+val parallel_init : ?chunk:int -> int -> (int -> 'a) -> 'a array
+
+(** [Array.map], chunk-parallel, order-preserving. *)
+val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val parallel_mapi : ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [List.map], chunk-parallel, order-preserving. *)
+val parallel_map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [List.concat_map], chunk-parallel, order-preserving. *)
+val parallel_concat_map_list : ?chunk:int -> ('a -> 'b list) -> 'a list -> 'b list
+
+(** Ordered reduction of [f 0 ... f (n-1)]: chunks fold left-to-right and
+    combine left-to-right, so the combination order is fixed by [n] and
+    [chunk] alone (not by the job count).
+    @raise Invalid_argument unless n >= 1. *)
+val parallel_reduce : ?chunk:int -> combine:('a -> 'a -> 'a) -> (int -> 'a) -> int -> 'a
+
+(** Stop and join the workers (registered [at_exit]; safe to call twice —
+    the pool respawns on next use). *)
+val shutdown : unit -> unit

@@ -56,7 +56,14 @@ let zipf_weights n s = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)
 
 (** Generate the packet sequence for a spec.  Deterministic in [spec.seed].
     The first packet of each flow carries TCP SYN, later ones ACK, matching
-    the paper's observation that SYNs trigger flow-state setup. *)
+    the paper's observation that SYNs trigger flow-state setup.
+
+    Generation is two-phase so it can use the domain pool without losing
+    reproducibility: a serial pass makes every draw that threads shared
+    state (flow choice, ip_id, per-flow sequence numbers, SYN detection)
+    and forks one child rng per packet; packet construction and payload
+    fill then fan out in parallel, each packet reading only its own rng.
+    The packet list is a pure function of [spec] for any [CLARA_JOBS]. *)
 let generate (spec : spec) : Nf_lang.Packet.t list =
   let rng = Util.Rng.create spec.seed in
   let mk_flow i =
@@ -83,27 +90,39 @@ let generate (spec : spec) : Nf_lang.Packet.t list =
     | Zipf s -> zipf_weights (Array.length flows) s
   in
   let seen = Hashtbl.create (Array.length flows) in
-  List.init spec.n_packets (fun _ ->
-      let fi = Util.Rng.weighted_index rng weights in
-      let flow = flows.(fi) in
-      let first = not (Hashtbl.mem seen fi) in
-      if first then Hashtbl.replace seen fi ();
-      let p = Nf_lang.Packet.create ~payload_len:spec.payload_len () in
-      p.Nf_lang.Packet.ip_src <- flow.src_ip;
-      p.Nf_lang.Packet.ip_dst <- flow.dst_ip;
-      p.Nf_lang.Packet.ip_proto <- flow.f_proto;
-      p.Nf_lang.Packet.ip_id <- Util.Rng.int rng 0x10000;
-      p.Nf_lang.Packet.tcp_sport <- flow.sport;
-      p.Nf_lang.Packet.tcp_dport <- flow.dport;
-      p.Nf_lang.Packet.udp_sport <- flow.sport;
-      p.Nf_lang.Packet.udp_dport <- flow.dport;
-      p.Nf_lang.Packet.tcp_seq <- flow.next_seq;
-      p.Nf_lang.Packet.tcp_flags <- (if first then 0x02 (* SYN *) else 0x10 (* ACK *));
-      flow.next_seq <- (flow.next_seq + spec.payload_len) land 0xffffffff;
-      for i = 0 to spec.payload_len - 1 do
-        Nf_lang.Packet.set_payload_byte p i (Util.Rng.int rng 256)
-      done;
-      p)
+  let plans = Array.make (max 0 spec.n_packets) None in
+  for k = 0 to spec.n_packets - 1 do
+    let fi = Util.Rng.weighted_index rng weights in
+    let flow = flows.(fi) in
+    let first = not (Hashtbl.mem seen fi) in
+    if first then Hashtbl.replace seen fi ();
+    let ip_id = Util.Rng.int rng 0x10000 in
+    let seq = flow.next_seq in
+    flow.next_seq <- (flow.next_seq + spec.payload_len) land 0xffffffff;
+    plans.(k) <- Some (flow, first, ip_id, seq, Util.Rng.split rng)
+  done;
+  Array.to_list
+    (Util.Pool.parallel_map
+       (fun plan ->
+         let flow, first, ip_id, seq, prng =
+           match plan with Some p -> p | None -> assert false
+         in
+         let p = Nf_lang.Packet.create ~payload_len:spec.payload_len () in
+         p.Nf_lang.Packet.ip_src <- flow.src_ip;
+         p.Nf_lang.Packet.ip_dst <- flow.dst_ip;
+         p.Nf_lang.Packet.ip_proto <- flow.f_proto;
+         p.Nf_lang.Packet.ip_id <- ip_id;
+         p.Nf_lang.Packet.tcp_sport <- flow.sport;
+         p.Nf_lang.Packet.tcp_dport <- flow.dport;
+         p.Nf_lang.Packet.udp_sport <- flow.sport;
+         p.Nf_lang.Packet.udp_dport <- flow.dport;
+         p.Nf_lang.Packet.tcp_seq <- seq;
+         p.Nf_lang.Packet.tcp_flags <- (if first then 0x02 (* SYN *) else 0x10 (* ACK *));
+         for i = 0 to spec.payload_len - 1 do
+           Nf_lang.Packet.set_payload_byte p i (Util.Rng.int prng 256)
+         done;
+         p)
+       plans)
 
 (** Fraction of packets that hit a cache holding the [cache_flows] hottest
     flows — an analytic locality figure used by the NIC memory model. *)

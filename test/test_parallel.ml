@@ -1,0 +1,245 @@
+(** Tests for the Util.Pool domain pool and for serial/parallel
+    bit-equivalence of every parallelized hot path: cross-validation,
+    GBDT/forest training, dataset synthesis, LSTM minibatch fitting and
+    workload generation.  Run by dune under both CLARA_JOBS=1 and
+    CLARA_JOBS=4 (the [jobs] calls below override the environment where a
+    test needs a specific setting). *)
+
+let with_jobs n f =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Util.Pool.set_jobs saved) f
+
+(** Run [f] under 1 job and under 4, return both results. *)
+let serial_vs_parallel f = (with_jobs 1 f, with_jobs 4 f)
+
+let check_float_array name a b =
+  Alcotest.(check (array (float 0.0))) name a b
+
+(* -- pool correctness -- *)
+
+let test_map_matches_serial () =
+  let input = Array.init 1003 (fun i -> i) in
+  let expected = Array.map (fun x -> (x * x) + 1) input in
+  Alcotest.(check (array int)) "jobs=1" expected (with_jobs 1 (fun () -> Util.Pool.parallel_map (fun x -> (x * x) + 1) input));
+  Alcotest.(check (array int)) "jobs=4" expected (with_jobs 4 (fun () -> Util.Pool.parallel_map (fun x -> (x * x) + 1) input));
+  Alcotest.(check (array int)) "empty" [||] (Util.Pool.parallel_map (fun x -> x) [||])
+
+let test_chunked_ranges_cover () =
+  List.iter
+    (fun (chunk, n) ->
+      let ranges = Util.Pool.chunked_ranges ?chunk n in
+      let covered = Array.make n false in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check bool) "non-empty chunk" true (lo < hi);
+          for i = lo to hi - 1 do
+            Alcotest.(check bool) "no overlap" false covered.(i);
+            covered.(i) <- true
+          done)
+        ranges;
+      Alcotest.(check bool) "full cover" true (Array.for_all Fun.id covered))
+    [ (None, 1); (None, 64); (None, 65); (None, 1000); (Some 7, 100); (Some 1000, 10) ]
+
+let test_parallel_for_order_independent () =
+  let n = 500 in
+  let out = Array.make n 0 in
+  with_jobs 4 (fun () -> Util.Pool.parallel_for 0 n (fun i -> out.(i) <- 3 * i));
+  Alcotest.(check (array int)) "every index written" (Array.init n (fun i -> 3 * i)) out
+
+let test_reduce_deterministic () =
+  (* float sums: chunked ordered reduction must not depend on the job count *)
+  let f i = 1.0 /. float_of_int (i + 1) in
+  let a, b = serial_vs_parallel (fun () -> Util.Pool.parallel_reduce ~combine:( +. ) f 10_000) in
+  Alcotest.(check (float 0.0)) "bit-identical harmonic sum" a b;
+  let c = with_jobs 4 (fun () -> Util.Pool.parallel_reduce ~chunk:17 ~combine:( +. ) f 10_000) in
+  let d = with_jobs 1 (fun () -> Util.Pool.parallel_reduce ~chunk:17 ~combine:( +. ) f 10_000) in
+  Alcotest.(check (float 0.0)) "custom chunk bit-identical" c d
+
+let test_exceptions_propagate () =
+  with_jobs 4 (fun () ->
+      Alcotest.check_raises "task exception re-raised" (Failure "boom") (fun () ->
+          Util.Pool.parallel_for 0 256 (fun i -> if i = 101 then failwith "boom"));
+      (* the pool survives a failed region *)
+      let out = Util.Pool.parallel_map (fun x -> x + 1) (Array.init 64 Fun.id) in
+      Alcotest.(check int) "pool alive after failure" 64 out.(63))
+
+let test_nested_use_safe () =
+  let result =
+    with_jobs 4 (fun () ->
+        Util.Pool.parallel_map
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Util.Pool.parallel_map (fun j -> (10 * i) + j) (Array.init 20 Fun.id)))
+          (Array.init 30 Fun.id))
+  in
+  Alcotest.(check (array int)) "nested regions compute serially but correctly"
+    (Array.init 30 (fun i -> (200 * i) + 190))
+    result
+
+let test_jobs_env_fallback () =
+  (* jobs () respects set_jobs; serial fallback executes on the caller *)
+  with_jobs 1 (fun () ->
+      Alcotest.(check int) "set_jobs visible" 1 (Util.Pool.jobs ());
+      let self = Domain.self () in
+      Util.Pool.parallel_for 0 8 (fun _ ->
+          Alcotest.(check bool) "serial fallback stays on caller domain" true
+            (Domain.self () = self)));
+  Alcotest.check_raises "set_jobs rejects 0" (Invalid_argument "Pool.set_jobs: need >= 1 job")
+    (fun () -> Util.Pool.set_jobs 0)
+
+(* -- serial/parallel bit-equivalence of the wired hot paths -- *)
+
+let test_kfold_stable () =
+  let folds = Mlkit.Crossval.kfold ~seed:11 ~k:4 23 in
+  let folds' = Mlkit.Crossval.kfold ~seed:11 ~k:4 23 in
+  Alcotest.(check int) "k folds" 4 (List.length folds);
+  List.iter2
+    (fun (tr, te) (tr', te') ->
+      Alcotest.(check (array int)) "train stable" tr tr';
+      Alcotest.(check (array int)) "test stable" te te')
+    folds folds';
+  (* every index appears exactly once per fold partition, test disjoint train *)
+  List.iter
+    (fun (tr, te) ->
+      let all = Array.append tr te in
+      Array.sort compare all;
+      Alcotest.(check (array int)) "partition of 0..22" (Array.init 23 Fun.id) all)
+    folds;
+  (* within-fold order is the shuffled-position order: fold f's test set is
+     idx at positions f, f+k, f+2k, ... — recompute the reference here *)
+  let rng = Util.Rng.create 11 in
+  let idx = Array.init 23 Fun.id in
+  Util.Rng.shuffle rng idx;
+  List.iteri
+    (fun fold (_, te) ->
+      let expected =
+        Array.of_list
+          (List.filter_map
+             (fun pos -> if pos mod 4 = fold then Some idx.(pos) else None)
+             (List.init 23 Fun.id))
+      in
+      Alcotest.(check (array int)) "test order = position order" expected te)
+    folds
+
+let test_crossval_equivalent () =
+  let xs = Array.init 120 (fun i -> [| float_of_int (i mod 11); float_of_int (i mod 5); float_of_int (i mod 3) |]) in
+  let ys = Array.mapi (fun i x -> x.(0) +. (2.0 *. x.(1)) -. x.(2) +. float_of_int (i mod 2)) xs in
+  let run () =
+    Mlkit.Crossval.cv_regression ~k:5
+      ~fit:(fun xs ys -> Mlkit.Tree.gbdt_fit ~n_stages:15 xs ys)
+      ~predict:Mlkit.Tree.gbdt_predict xs ys
+  in
+  let (m1, s1), (m4, s4) = serial_vs_parallel run in
+  Alcotest.(check (float 0.0)) "cv mean bit-identical" m1 m4;
+  Alcotest.(check (float 0.0)) "cv stddev bit-identical" s1 s4
+
+let test_gbdt_equivalent () =
+  let xs = Array.init 300 (fun i -> Array.init 6 (fun d -> float_of_int ((i * (d + 2)) mod 23))) in
+  let ys = Array.map (fun x -> x.(0) +. (x.(1) *. x.(2)) -. (3.0 *. x.(4))) xs in
+  let run () =
+    let g = Mlkit.Tree.gbdt_fit ~n_stages:25 xs ys in
+    Array.map (Mlkit.Tree.gbdt_predict g) xs
+  in
+  let a, b = serial_vs_parallel run in
+  check_float_array "gbdt predictions bit-identical" a b
+
+let test_forest_equivalent () =
+  let xs = Array.init 150 (fun i -> Array.init 5 (fun d -> float_of_int ((i + d) mod 13))) in
+  let ys = Array.map (fun x -> (2.0 *. x.(0)) -. x.(3)) xs in
+  let run () =
+    let f = Mlkit.Tree.forest_fit ~n_trees:8 xs ys in
+    Array.map (Mlkit.Tree.forest_predict f) xs
+  in
+  let a, b = serial_vs_parallel run in
+  check_float_array "forest predictions bit-identical" a b
+
+let test_synthesize_dataset_equivalent () =
+  let run () = Clara.Predictor.synthesize_dataset ~n:12 () in
+  let a, b = serial_vs_parallel run in
+  Alcotest.(check int) "vocab size" (Clara.Vocab.size a.Clara.Predictor.vocab)
+    (Clara.Vocab.size b.Clara.Predictor.vocab);
+  Alcotest.(check int) "example count" (Array.length a.Clara.Predictor.examples)
+    (Array.length b.Clara.Predictor.examples);
+  Array.iter2
+    (fun (ea : Clara.Predictor.example) (eb : Clara.Predictor.example) ->
+      Alcotest.(check (array int)) "tokens" ea.Clara.Predictor.tokens eb.Clara.Predictor.tokens;
+      Alcotest.(check (float 0.0)) "compute label" ea.Clara.Predictor.nic_compute eb.Clara.Predictor.nic_compute;
+      Alcotest.(check (float 0.0)) "mem label" ea.Clara.Predictor.nic_mem eb.Clara.Predictor.nic_mem;
+      Alcotest.(check (float 0.0)) "ir mem" ea.Clara.Predictor.ir_mem eb.Clara.Predictor.ir_mem)
+    a.Clara.Predictor.examples b.Clara.Predictor.examples
+
+let test_lstm_batch_equivalent () =
+  let rng = Util.Rng.create 5 in
+  let data =
+    Array.init 40 (fun _ ->
+        ( Array.init (4 + Util.Rng.int rng 12) (fun _ -> Util.Rng.int rng 32),
+          [| Util.Rng.float rng *. 25.0 |] ))
+  in
+  let probe = Array.init 10 (fun i -> [| i; i + 1; (2 * i) mod 32 |]) in
+  let run () =
+    let m = Mlkit.Lstm.create ~vocab:32 7 in
+    Mlkit.Lstm.fit ~epochs:3 ~batch:4 m data;
+    Array.concat (Array.to_list (Array.map (Mlkit.Lstm.predict m) probe))
+  in
+  let a, b = serial_vs_parallel run in
+  check_float_array "batched LSTM weights bit-identical" a b
+
+let test_predictor_train_equivalent () =
+  let run () =
+    let ds = Clara.Predictor.synthesize_dataset ~n:8 () in
+    let m = Clara.Predictor.train ~epochs:2 ds in
+    List.map (fun (_, c, _) -> c)
+      (Clara.Predictor.predict_element m (Nf_lang.Corpus.find "tcpack"))
+  in
+  let a, b = serial_vs_parallel run in
+  Alcotest.(check (list (float 0.0))) "end-to-end predictor bit-identical" a b
+
+let test_workload_equivalent () =
+  let spec = { Workload.large_flows with Workload.n_packets = 700; Workload.payload_len = 32 } in
+  let fingerprint p =
+    ( Nf_lang.Packet.flow_key p,
+      p.Nf_lang.Packet.ip_id,
+      p.Nf_lang.Packet.tcp_seq,
+      p.Nf_lang.Packet.tcp_flags,
+      Bytes.to_string p.Nf_lang.Packet.payload )
+  in
+  let run () = List.map fingerprint (Workload.generate spec) in
+  let a, b = serial_vs_parallel run in
+  Alcotest.(check bool) "packet stream bit-identical" true (a = b);
+  Alcotest.(check int) "expected packet count" 700 (List.length a)
+
+let test_scaleout_samples_equivalent () =
+  let specs =
+    [ { Workload.large_flows with Workload.n_packets = 60 };
+      { Workload.default with Workload.n_packets = 60; Workload.payload_len = 120 } ]
+  in
+  let run () =
+    List.map
+      (fun (s : Clara.Scaleout.sample) -> (Array.to_list s.Clara.Scaleout.x, s.Clara.Scaleout.optimal))
+      (Clara.Scaleout.training_samples ~n_programs:4 ~specs ())
+  in
+  let a, b = serial_vs_parallel run in
+  Alcotest.(check bool) "scale-out samples bit-identical" true (a = b);
+  Alcotest.(check bool) "samples non-empty" true (a <> [])
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+          Alcotest.test_case "chunked ranges cover" `Quick test_chunked_ranges_cover;
+          Alcotest.test_case "parallel_for writes all" `Quick test_parallel_for_order_independent;
+          Alcotest.test_case "ordered reduce deterministic" `Quick test_reduce_deterministic;
+          Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
+          Alcotest.test_case "nested use safe" `Quick test_nested_use_safe;
+          Alcotest.test_case "serial fallback" `Quick test_jobs_env_fallback ] );
+      ( "equivalence",
+        [ Alcotest.test_case "kfold stable order" `Quick test_kfold_stable;
+          Alcotest.test_case "crossval" `Quick test_crossval_equivalent;
+          Alcotest.test_case "gbdt training" `Quick test_gbdt_equivalent;
+          Alcotest.test_case "random forest" `Quick test_forest_equivalent;
+          Alcotest.test_case "dataset synthesis" `Slow test_synthesize_dataset_equivalent;
+          Alcotest.test_case "lstm minibatch fit" `Quick test_lstm_batch_equivalent;
+          Alcotest.test_case "predictor end-to-end" `Slow test_predictor_train_equivalent;
+          Alcotest.test_case "workload generation" `Quick test_workload_equivalent;
+          Alcotest.test_case "scale-out samples" `Slow test_scaleout_samples_equivalent ] ) ]
