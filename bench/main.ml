@@ -261,12 +261,77 @@ let run_parallel_report () =
         (serial /. Float.max 1e-9 parallel))
     rows
 
+(* -- BENCH_serve.json: why the artifact store exists — cold train+analyze
+   vs warm-starting from a persisted bundle vs a cache hit in the insight
+   server, for the same (NF, workload) query -- *)
+
+let run_serve_report () =
+  let nf = "cmsketch" in
+  let elt = Nf_lang.Corpus.find nf in
+  let spec = Serve.Server.mixed_spec in
+  let cold, models =
+    let t0 = Unix.gettimeofday () in
+    let models = Clara.Pipeline.train ~quick:true ~with_colocation:true () in
+    ignore (Clara.Pipeline.report models elt spec);
+    (Unix.gettimeofday () -. t0, models)
+  in
+  let dir = Filename.temp_file "clara_bundle" ".d" in
+  Sys.remove dir;
+  let manifest =
+    { Persist.Bundle.seed = 501; epochs = 4;
+      corpus_hash = Persist.Bundle.corpus_hash ();
+      built_at = "1970-01-01T00:00:00Z" }
+  in
+  Persist.Bundle.save ~dir manifest models;
+  let warm, loaded =
+    let t0 = Unix.gettimeofday () in
+    let bundle =
+      match Persist.Bundle.load ~dir with
+      | Ok b -> b
+      | Error e -> failwith (Persist.Wire.error_to_string e)
+    in
+    ignore (Clara.Pipeline.report bundle.Persist.Bundle.models elt spec);
+    (Unix.gettimeofday () -. t0, bundle.Persist.Bundle.models)
+  in
+  let server = Serve.Server.create loaded in
+  let query =
+    Printf.sprintf "{\"id\":1,\"cmd\":\"analyze\",\"nf\":\"%s\",\"workload\":\"mixed\"}" nf
+  in
+  ignore (Serve.Server.handle_request server query);
+  let cached =
+    let t0 = Unix.gettimeofday () in
+    ignore (Serve.Server.handle_request server query);
+    Unix.gettimeofday () -. t0
+  in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  let speedup over = cold /. Float.max 1e-9 over in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-serve-bench/1\",\n\
+    \  \"nf\": \"%s\",\n\
+    \  \"workload\": \"mixed\",\n\
+    \  \"cold_train_s\": %.6f,\n\
+    \  \"warm_load_s\": %.6f,\n\
+    \  \"cached_query_s\": %.6f,\n\
+    \  \"warm_speedup\": %.1f,\n\
+    \  \"cached_speedup\": %.1f\n\
+     }\n"
+    nf cold warm cached (speedup warm) (speedup cached);
+  close_out oc;
+  Printf.printf "Serve path timings for %s (also written to BENCH_serve.json):\n" nf;
+  Printf.printf "  cold  (train + analyze)   %10.3f s\n" cold;
+  Printf.printf "  warm  (load + analyze)    %10.3f s   %8.1fx vs cold\n" warm (speedup warm);
+  Printf.printf "  cached (LRU hit in serve) %10.6f s   %8.1fx vs cold\n" cached (speedup cached)
+
 let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] -> run_all ()
   | _ :: [ "list" ] -> usage ()
   | _ :: [ "micro" ] -> run_micro ()
   | _ :: [ "parallel" ] -> run_parallel_report ()
+  | _ :: [ "serve" ] -> run_serve_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

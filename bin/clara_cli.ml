@@ -3,7 +3,10 @@
     Subcommands:
     - [list]                      corpus inventory
     - [show NF]                   pretty-print an element and its stats
-    - [analyze NF]                train (quick) and print insights
+    - [analyze NF]                print insights (train, or warm-start via --model)
+    - [train --save DIR]          train once and persist the model bundle
+    - [serve --socket PATH]       long-running insight service (see lib/serve)
+    - [query --socket PATH NF]    one request against a running service
     - [port NF]                   measure naive vs Clara-configured port
     - [sweep NF]                  print the core-count sweep
     - [experiment ID...]          run paper experiments (or 'all') *)
@@ -12,21 +15,59 @@ open Cmdliner
 
 let workload_conv =
   let parse s =
-    match s with
-    | "mixed" -> Ok { Workload.default with Workload.proto = Workload.Mixed; Workload.n_packets = 800 }
-    | "large" -> Ok { Workload.large_flows with Workload.n_packets = 800 }
-    | "small" -> Ok { Workload.small_flows with Workload.n_packets = 800 }
-    | _ -> Error (`Msg "workload must be one of: mixed, large, small")
+    match Serve.Server.workload_named s with Ok w -> Ok w | Error msg -> Error (`Msg msg)
   in
   let print fmt (w : Workload.spec) = Format.fprintf fmt "%s" w.Workload.name in
   Arg.conv (parse, print)
 
 let workload_arg =
-  Arg.(value & opt workload_conv { Workload.default with Workload.proto = Workload.Mixed; Workload.n_packets = 800 }
+  Arg.(value & opt workload_conv Serve.Server.mixed_spec
        & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Traffic profile: mixed, large or small flows.")
 
 let nf_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc:"Corpus element name (see 'clara list').")
+
+(** [Corpus.find] with a usable failure mode: unknown names exit 1 after
+    listing what the corpus does contain. *)
+let find_nf name =
+  match Nf_lang.Corpus.find name with
+  | elt -> elt
+  | exception Failure _ ->
+    Printf.eprintf "clara: unknown NF %S. Valid names:\n" name;
+    List.iter (Printf.eprintf "  %s\n") (Serve.Server.corpus_names ());
+    exit 1
+
+let load_bundle dir =
+  match Persist.Bundle.load ~dir with
+  | Ok b ->
+    if b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash <> Persist.Bundle.corpus_hash () then
+      Printf.eprintf
+        "clara: warning: bundle %s was trained against a different corpus (hash %s, now %s)\n%!"
+        dir b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash (Persist.Bundle.corpus_hash ());
+    b
+  | Error e ->
+    Printf.eprintf "clara: cannot load model bundle from %s: %s\n" dir
+      (Persist.Wire.error_to_string e);
+    exit 1
+
+let train_models ~full =
+  Printf.printf "Training Clara (%s mode)...\n%!" (if full then "full" else "quick");
+  Clara.Pipeline.train ~quick:(not full) ~with_colocation:true ()
+
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Use full-size training sets.")
+
+let model_arg =
+  Arg.(value & opt (some dir) None
+       & info [ "model" ] ~docv:"DIR" ~doc:"Warm-start from a saved model bundle instead of training.")
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/clara.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
 
 (* -- list -- *)
 
@@ -48,7 +89,7 @@ let list_cmd =
 
 let show_cmd =
   let run name =
-    let elt = Nf_lang.Corpus.find name in
+    let elt = find_nf name in
     print_endline (Nf_lang.Pp.to_string elt);
     let v = Clara.Vocab.create () in
     let prep = Clara.Prepare.prepare v elt in
@@ -64,27 +105,144 @@ let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Pretty-print an element and its IR statistics")
     Term.(const run $ nf_arg)
 
+(* -- train -- *)
+
+let train_cmd =
+  let run save full =
+    let models = train_models ~full in
+    match save with
+    | None -> print_endline "Training done (nothing persisted; pass --save DIR to keep it)."
+    | Some dir ->
+      let manifest =
+        { Persist.Bundle.seed = 501;
+          epochs = (if full then 10 else 4);
+          corpus_hash = Persist.Bundle.corpus_hash ();
+          built_at = iso8601_now () }
+      in
+      Persist.Bundle.save ~dir manifest models;
+      Printf.printf "Saved model bundle to %s\n" dir
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"DIR" ~doc:"Persist the trained bundle to this directory.")
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Train Clara's models and optionally persist them")
+    Term.(const run $ save $ full_arg)
+
 (* -- analyze -- *)
 
 let analyze_cmd =
-  let run name spec full =
-    let elt = Nf_lang.Corpus.find name in
-    Printf.printf "Training Clara (%s mode)...\n%!" (if full then "full" else "quick");
-    let models = Clara.Pipeline.train ~quick:(not full) () in
+  let run name spec full model =
+    let elt = find_nf name in
+    let models =
+      match model with
+      | Some dir ->
+        let b = load_bundle dir in
+        Printf.printf "Loaded model bundle from %s (built %s)\n%!" dir
+          b.Persist.Bundle.manifest.Persist.Bundle.built_at;
+        b.Persist.Bundle.models
+      | None -> train_models ~full
+    in
     print_endline (Clara.Pipeline.report models elt spec);
     Printf.printf "\nPrediction quality vs the NIC compiler: WMAPE %.1f%%, memory accuracy %.1f%%\n"
       (100.0 *. Clara.Predictor.wmape_on_element models.Clara.Pipeline.predictor elt)
       (100.0 *. Clara.Predictor.memory_accuracy elt)
   in
-  let full = Arg.(value & flag & info [ "full" ] ~doc:"Use full-size training sets.") in
   Cmd.v (Cmd.info "analyze" ~doc:"Generate offloading insights for an unported NF")
-    Term.(const run $ nf_arg $ workload_arg $ full)
+    Term.(const run $ nf_arg $ workload_arg $ full_arg $ model_arg)
+
+(* -- serve -- *)
+
+let serve_cmd =
+  let run model socket full cache_capacity =
+    let models =
+      match model with
+      | Some dir ->
+        let b = load_bundle dir in
+        Printf.printf "Warm-started from %s (built %s)\n%!" dir
+          b.Persist.Bundle.manifest.Persist.Bundle.built_at;
+        b.Persist.Bundle.models
+      | None -> train_models ~full
+    in
+    let server = Serve.Server.create ~cache_capacity models in
+    Printf.printf "clara: serving insights on %s (send {\"cmd\":\"shutdown\"} to stop)\n%!" socket;
+    Serve.Server.run server ~socket_path:socket;
+    Printf.printf "clara: served %d requests (%d cache hits, %d misses)\n"
+      (Serve.Server.served server) (Serve.Server.cache_hits server)
+      (Serve.Server.cache_misses server)
+  in
+  let cache_capacity =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"N" ~doc:"Report-cache capacity (LRU entries).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
+    Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity)
+
+(* -- query -- *)
+
+let query_cmd =
+  let run socket name wname =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "clara: cannot connect to %s: %s (is 'clara serve' running?)\n" socket
+        (Unix.error_message err);
+      exit 1);
+    let request =
+      Serve.Jsonl.(
+        to_string
+          (Obj [ ("id", Num 1.0); ("cmd", Str "analyze"); ("nf", Str name); ("workload", Str wname) ]))
+    in
+    let out = Unix.out_channel_of_descr fd in
+    output_string out (request ^ "\n");
+    flush out;
+    let inc = Unix.in_channel_of_descr fd in
+    let reply =
+      match input_line inc with
+      | line -> line
+      | exception End_of_file ->
+        Printf.eprintf "clara: server closed the connection without replying\n";
+        exit 1
+    in
+    Unix.close fd;
+    match Serve.Jsonl.of_string reply with
+    | Error msg ->
+      Printf.eprintf "clara: unparseable reply (%s): %s\n" msg reply;
+      exit 1
+    | Ok j -> (
+      match Serve.Jsonl.member "ok" j with
+      | Some (Serve.Jsonl.Bool true) ->
+        (match Serve.Jsonl.str_member "report" j with
+        | Some report -> print_string report
+        | None -> print_endline reply);
+        (match Serve.Jsonl.member "cached" j with
+        | Some (Serve.Jsonl.Bool c) -> Printf.printf "\n; served %s\n" (if c then "from cache" else "freshly analyzed")
+        | _ -> ())
+      | _ ->
+        let msg = Option.value (Serve.Jsonl.str_member "error" j) ~default:reply in
+        Printf.eprintf "clara: server error: %s\n" msg;
+        (match Serve.Jsonl.member "valid" j with
+        | Some (Serve.Jsonl.Arr names) ->
+          Printf.eprintf "Valid names:\n";
+          List.iter
+            (function Serve.Jsonl.Str s -> Printf.eprintf "  %s\n" s | _ -> ())
+            names
+        | _ -> ());
+        exit 1)
+  in
+  let wname =
+    Arg.(value & opt string "mixed"
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Traffic profile: mixed, large or small.")
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Query a running insight service for one NF")
+    Term.(const run $ socket_arg $ nf_arg $ wname)
 
 (* -- port -- *)
 
 let port_cmd =
   let run name spec =
-    let elt = Nf_lang.Corpus.find name in
+    let elt = find_nf name in
     let naive = Nicsim.Nic.port elt spec in
     let placement, placed = Clara.Placement.apply elt spec in
     let packs, _ = Clara.Coalesce.apply elt spec in
@@ -113,7 +271,7 @@ let port_cmd =
 
 let sweep_cmd =
   let run name spec =
-    let ported = Nicsim.Nic.port (Nf_lang.Corpus.find name) spec in
+    let ported = Nicsim.Nic.port (find_nf name) spec in
     Util.Table.print ~header:[ "cores"; "Th (Mpps)"; "Lat (us)"; "Th/Lat" ]
       (List.filter_map
          (fun (p : Nicsim.Multicore.point) ->
@@ -135,7 +293,7 @@ let sweep_cmd =
 
 let profile_cmd =
   let run name spec =
-    let elt = Nf_lang.Corpus.find name in
+    let elt = find_nf name in
     let interp = Nf_lang.Interp.create ~mode:Nf_lang.State.Nic elt in
     let profile = Nf_lang.Interp.run interp (Workload.generate spec) in
     print_string (Nf_lang.Profile_report.render elt profile)
@@ -163,4 +321,8 @@ let experiment_cmd =
 let () =
   let doc = "Clara: automated SmartNIC offloading insights (SOSP'21 reproduction)" in
   let info = Cmd.info "clara" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; analyze_cmd; port_cmd; sweep_cmd; profile_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; train_cmd; analyze_cmd; serve_cmd; query_cmd; port_cmd;
+            sweep_cmd; profile_cmd; experiment_cmd ]))

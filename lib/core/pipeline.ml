@@ -11,11 +11,33 @@ type models = {
   predictor : Predictor.t;
   algo : Algo_id.t;
   scaleout : Scaleout.t option;
+  colocation : Colocation.t option;
 }
 
+(** Demand pool for colocation-ranker training: synthesized NFs ported
+    under a mixed workload (the methodology of §5.7). *)
+let colocation_demands ~quick () =
+  let spec =
+    { Workload.default with
+      Workload.proto = Workload.Mixed;
+      Workload.n_packets = (if quick then 150 else 300);
+      Workload.n_flows = 2048 }
+  in
+  let programs = Synth.Generator.batch ~seed:4242 (if quick then 12 else 40) in
+  Array.of_list
+    (List.filter_map
+       (fun elt ->
+         match Nicsim.Nic.port elt spec with
+         | ported -> Some ported.Nicsim.Nic.demand
+         | exception _ -> None)
+       programs)
+
 (** Train Clara's models.  [quick] shrinks training sets for fast tests;
-    scale-out training is the most expensive part and can be skipped. *)
-let train ?(quick = false) ?(with_scaleout = true) () =
+    scale-out training is the most expensive part and can be skipped.
+    [with_colocation] additionally trains the §4.5 colocation ranker so the
+    bundle covers every insight (off by default: only persisted bundles and
+    colocation queries need it). *)
+let train ?(quick = false) ?(with_scaleout = true) ?(with_colocation = false) () =
   let ds = Predictor.synthesize_dataset ~n:(if quick then 30 else 120) () in
   let predictor = Predictor.train ~epochs:(if quick then 4 else 10) ds in
   let algo = Algo_id.train ~corpus:(Algo_corpus.labeled ~negatives:(if quick then 20 else 60) ()) () in
@@ -24,7 +46,13 @@ let train ?(quick = false) ?(with_scaleout = true) () =
       Some (Scaleout.train ~samples:(Scaleout.training_samples ~n_programs:(if quick then 10 else 40) ()) ())
     else None
   in
-  { predictor; algo; scaleout }
+  let colocation =
+    if with_colocation then
+      let demands = colocation_demands ~quick () in
+      Some (Colocation.train ~groups:(Colocation.make_groups ~n_groups:(if quick then 10 else 30) Colocation.Total_throughput demands) demands)
+    else None
+  in
+  { predictor; algo; scaleout; colocation }
 
 (** Analyze an unported NF under a workload specification and produce the
     full insight bundle. *)

@@ -7,12 +7,14 @@ type models = {
   predictor : Predictor.t;  (** instruction prediction (§3.2) *)
   algo : Algo_id.t;  (** accelerator-algorithm classifiers (§4.1) *)
   scaleout : Scaleout.t option;  (** core-count cost model (§4.2), optional *)
+  colocation : Colocation.t option;  (** colocation ranker (§4.5), optional *)
 }
 
 (** Train Clara.  [quick] shrinks training sets (seconds instead of
     minutes); [with_scaleout:false] skips the most expensive training
-    phase. *)
-val train : ?quick:bool -> ?with_scaleout:bool -> unit -> models
+    phase; [with_colocation:true] additionally trains the colocation
+    ranker (needed when the bundle is persisted for serving). *)
+val train : ?quick:bool -> ?with_scaleout:bool -> ?with_colocation:bool -> unit -> models
 
 (** Produce the full insight bundle for an unported NF under a workload:
     performance parameters, accelerator opportunities, scale-out factor,

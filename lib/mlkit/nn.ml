@@ -14,6 +14,11 @@ let param rng rows cols =
 
 let zero_param rows cols = { w = La.mat rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
 
+let param_of_weights w =
+  let rows = Array.length w in
+  let cols = if rows = 0 then 0 else Array.length w.(0) in
+  { w; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+
 let zero_grad p = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) p.g
 
 type adam = { lr : float; beta1 : float; beta2 : float; eps : float; mutable t : int }

@@ -13,6 +13,11 @@ type param = {
 val param : Util.Rng.t -> int -> int -> param
 
 val zero_param : int -> int -> param
+
+(** Wrap an existing weight matrix as a parameter with zeroed gradient and
+    Adam state — the constructor model-persistence codecs rebuild from. *)
+val param_of_weights : float array array -> param
+
 val zero_grad : param -> unit
 
 type adam = { lr : float; beta1 : float; beta2 : float; eps : float; mutable t : int }

@@ -1,0 +1,92 @@
+(** Trained-pipeline artifact directories (see bundle.mli). *)
+
+type manifest = {
+  seed : int;
+  epochs : int;
+  corpus_hash : string;
+  built_at : string;
+}
+
+type t = { manifest : manifest; models : Clara.Pipeline.models }
+
+let manifest_tag = "manifest"
+let manifest_file = "MANIFEST.clara"
+let predictor_file = "predictor.clara"
+let algo_file = "algo.clara"
+let scaleout_file = "scaleout.clara"
+let colocation_file = "colocation.clara"
+
+let corpus_hash () =
+  let buf = Buffer.create 65536 in
+  List.iter (fun e -> Buffer.add_string buf (Nf_lang.Pp.to_string e)) (Nf_lang.Corpus.all ());
+  Printf.sprintf "%08lx" (Wire.crc32 (Buffer.contents buf))
+
+let put_manifest w m =
+  Wire.i64 w m.seed;
+  Wire.i64 w m.epochs;
+  Wire.str w m.corpus_hash;
+  Wire.str w m.built_at
+
+let get_manifest r =
+  let seed = Wire.r_i64 r in
+  let epochs = Wire.r_i64 r in
+  let corpus_hash = Wire.r_str r in
+  let built_at = Wire.r_str r in
+  { seed; epochs; corpus_hash; built_at }
+
+let encode_manifest m =
+  let w = Wire.writer () in
+  put_manifest w m;
+  Wire.frame ~component:manifest_tag (Wire.contents w)
+
+let decode_manifest s =
+  match Wire.unframe ~component:manifest_tag s with
+  | Error _ as e -> e
+  | Ok payload -> (
+    try
+      let r = Wire.reader payload in
+      let m = get_manifest r in
+      Wire.r_end r;
+      Ok m
+    with Wire.Error e -> Error e)
+
+let encode manifest (models : Clara.Pipeline.models) =
+  [ (manifest_file, encode_manifest manifest);
+    (predictor_file, Codec.encode_predictor models.Clara.Pipeline.predictor);
+    (algo_file, Codec.encode_algo models.Clara.Pipeline.algo) ]
+  @ (match models.Clara.Pipeline.scaleout with
+    | Some s -> [ (scaleout_file, Codec.encode_scaleout s) ]
+    | None -> [])
+  @
+  match models.Clara.Pipeline.colocation with
+  | Some c -> [ (colocation_file, Codec.encode_colocation c) ]
+  | None -> []
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let save ~dir manifest models =
+  mkdir_p dir;
+  List.iter (fun (file, data) -> Wire.write_file (Filename.concat dir file) data) (encode manifest models)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let load_file dir file decode =
+  let* data = Wire.read_file (Filename.concat dir file) in
+  decode data
+
+let load_optional dir file decode =
+  if Sys.file_exists (Filename.concat dir file) then
+    match load_file dir file decode with Ok v -> Ok (Some v) | Error _ as e -> e
+  else Ok None
+
+let load ~dir =
+  let* manifest = load_file dir manifest_file decode_manifest in
+  let* predictor = load_file dir predictor_file Codec.decode_predictor in
+  let* algo = load_file dir algo_file Codec.decode_algo in
+  let* scaleout = load_optional dir scaleout_file Codec.decode_scaleout in
+  let* colocation = load_optional dir colocation_file Codec.decode_colocation in
+  Ok { manifest; models = { Clara.Pipeline.predictor; algo; scaleout; colocation } }

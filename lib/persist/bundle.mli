@@ -1,0 +1,45 @@
+(** A complete trained Clara pipeline as an artifact directory.
+
+    Layout (one {!Wire}-framed file per component):
+
+    {v
+    DIR/
+      MANIFEST.clara      provenance: seed, epochs, corpus hash, timestamp
+      predictor.clara     vocabulary + LSTM (§3.2)
+      algo.clara          per-class algorithm-ID SVMs (§4.1)
+      scaleout.clara      scale-out GBDT (§4.2), present iff trained
+      colocation.clara    LambdaMART colocation ranker (§4.5), iff trained
+    v}
+
+    Optional components are encoded by file presence.  [save]/[load] go
+    through {!encode}/[decode], so a bundle written under any [CLARA_JOBS]
+    is byte-identical to a serial one (deterministic training plus
+    canonical codecs). *)
+
+(** Provenance recorded next to the models.  [built_at] is supplied by the
+    caller (keeps encoding a pure function of its inputs). *)
+type manifest = {
+  seed : int;  (** dataset-synthesis seed *)
+  epochs : int;  (** LSTM training epochs *)
+  corpus_hash : string;  (** {!corpus_hash} at training time *)
+  built_at : string;  (** caller-provided timestamp, e.g. ISO-8601 *)
+}
+
+type t = { manifest : manifest; models : Clara.Pipeline.models }
+
+(** CRC-32 over the rendered NF corpus — detects analyzing against a
+    corpus that drifted since training. *)
+val corpus_hash : unit -> string
+
+val encode_manifest : manifest -> string
+val decode_manifest : string -> (manifest, Wire.error) result
+
+(** The bundle as [(filename, framed bytes)] pairs, exactly what {!save}
+    writes — exposed for the serial/parallel byte-equivalence tests. *)
+val encode : manifest -> Clara.Pipeline.models -> (string * string) list
+
+(** Write the bundle, creating [dir] (and parents) as needed. *)
+val save : dir:string -> manifest -> Clara.Pipeline.models -> unit
+
+(** Load a bundle; the first broken component reports its typed error. *)
+val load : dir:string -> (t, Wire.error) result

@@ -1,0 +1,276 @@
+(** Binary codecs for trained Clara components (see codec.mli).
+
+    Layout conventions: records serialize field-by-field in declaration
+    order; variants as a u8 tag followed by their arguments; lists with a
+    leading count.  Weight matrices persist alone — gradient and Adam
+    state are reconstructed as zeros by {!Mlkit.Nn.param_of_weights}. *)
+
+let vocab_tag = "vocab"
+let lstm_tag = "lstm"
+let tree_tag = "tree"
+let forest_tag = "forest"
+let gbdt_tag = "gbdt"
+let svm_tag = "svm"
+let ranker_tag = "ranker"
+let kmeans_tag = "kmeans"
+let predictor_tag = "predictor"
+let algo_tag = "algo-id"
+let scaleout_tag = "scaleout"
+let colocation_tag = "colocation"
+
+let bad_tag what n =
+  raise (Wire.Error (Wire.Malformed (Printf.sprintf "bad %s tag %d" what n)))
+
+let encode ~component put v =
+  let w = Wire.writer () in
+  put w v;
+  Wire.frame ~component (Wire.contents w)
+
+let decode ~component get s =
+  match Wire.unframe ~component s with
+  | Error _ as e -> e
+  | Ok payload -> (
+    try
+      let r = Wire.reader payload in
+      let v = get r in
+      Wire.r_end r;
+      Ok v
+    with Wire.Error e -> Error e)
+
+(* -- vocabulary: entries in index order, so the encoding is canonical
+   regardless of hash-table iteration order -- *)
+
+let put_vocab w (v : Clara.Vocab.t) =
+  Wire.u8 w (if v.Clara.Vocab.frozen then 1 else 0);
+  let entries = Hashtbl.fold (fun word idx acc -> (idx, word) :: acc) v.Clara.Vocab.table [] in
+  Wire.list_ w
+    (fun w (idx, word) ->
+      Wire.i64 w idx;
+      Wire.str w word)
+    (List.sort compare entries)
+
+let get_vocab r =
+  let frozen = Wire.r_u8 r = 1 in
+  let entries =
+    Wire.r_list r (fun r ->
+        let idx = Wire.r_i64 r in
+        let word = Wire.r_str r in
+        (idx, word))
+  in
+  let table = Hashtbl.create (max 16 (List.length entries)) in
+  List.iter (fun (idx, word) -> Hashtbl.replace table word idx) entries;
+  { Clara.Vocab.table; frozen }
+
+(* -- neural parameters: weights only -- *)
+
+let put_param w (p : Mlkit.Nn.param) = Wire.fmat w p.Mlkit.Nn.w
+let get_param r = Mlkit.Nn.param_of_weights (Wire.r_fmat r)
+
+let put_lstm w (m : Mlkit.Lstm.t) =
+  Wire.i64 w m.Mlkit.Lstm.vocab;
+  Wire.i64 w m.Mlkit.Lstm.hidden;
+  Wire.i64 w m.Mlkit.Lstm.fc_dim;
+  Wire.i64 w m.Mlkit.Lstm.out_dim;
+  Wire.f64 w m.Mlkit.Lstm.y_scale;
+  (* fixed parameter order: Lstm.params = wi wf wo wg ui uf uo ug bi bf bo
+     bg fc1 fc2 *)
+  List.iter (put_param w) (Mlkit.Lstm.params m)
+
+let get_lstm r =
+  let vocab = Wire.r_i64 r in
+  let hidden = Wire.r_i64 r in
+  let fc_dim = Wire.r_i64 r in
+  let out_dim = Wire.r_i64 r in
+  let y_scale = Wire.r_f64 r in
+  let p () = get_param r in
+  let wi = p () in
+  let wf = p () in
+  let wo = p () in
+  let wg = p () in
+  let ui = p () in
+  let uf = p () in
+  let uo = p () in
+  let ug = p () in
+  let bi = p () in
+  let bf = p () in
+  let bo = p () in
+  let bg = p () in
+  let fc1 = p () in
+  let fc2 = p () in
+  { Mlkit.Lstm.vocab; hidden; wi; wf; wo; wg; ui; uf; uo; ug; bi; bf; bo; bg; fc1; fc2;
+    fc_dim; out_dim; y_scale }
+
+(* -- trees, forests, boosting -- *)
+
+let rec put_node w = function
+  | Mlkit.Tree.Leaf v ->
+    Wire.u8 w 0;
+    Wire.f64 w v
+  | Mlkit.Tree.Split { feature; threshold; left; right } ->
+    Wire.u8 w 1;
+    Wire.i64 w feature;
+    Wire.f64 w threshold;
+    put_node w left;
+    put_node w right
+
+let rec get_node r =
+  match Wire.r_u8 r with
+  | 0 -> Mlkit.Tree.Leaf (Wire.r_f64 r)
+  | 1 ->
+    let feature = Wire.r_i64 r in
+    let threshold = Wire.r_f64 r in
+    let left = get_node r in
+    let right = get_node r in
+    Mlkit.Tree.Split { feature; threshold; left; right }
+  | n -> bad_tag "tree node" n
+
+let put_tree w (t : Mlkit.Tree.t) = put_node w t.Mlkit.Tree.root
+let get_tree r = { Mlkit.Tree.root = get_node r }
+
+let put_forest w (f : Mlkit.Tree.forest) = Wire.list_ w put_tree f.Mlkit.Tree.trees
+let get_forest r = { Mlkit.Tree.trees = Wire.r_list r get_tree }
+
+let put_gbdt w (g : Mlkit.Tree.gbdt) =
+  Wire.f64 w g.Mlkit.Tree.init;
+  Wire.f64 w g.Mlkit.Tree.shrinkage;
+  Wire.list_ w put_tree g.Mlkit.Tree.stages
+
+let get_gbdt r =
+  let init = Wire.r_f64 r in
+  let shrinkage = Wire.r_f64 r in
+  let stages = Wire.r_list r get_tree in
+  { Mlkit.Tree.init; shrinkage; stages }
+
+(* -- classical learners -- *)
+
+let put_svm w (s : Mlkit.Simple.svm) =
+  Wire.farr w s.Mlkit.Simple.w;
+  Wire.f64 w s.Mlkit.Simple.b;
+  Wire.farr w s.Mlkit.Simple.mu;
+  Wire.farr w s.Mlkit.Simple.sd
+
+let get_svm r =
+  let w = Wire.r_farr r in
+  let b = Wire.r_f64 r in
+  let mu = Wire.r_farr r in
+  let sd = Wire.r_farr r in
+  { Mlkit.Simple.w; b; mu; sd }
+
+let put_kmeans w (k : Mlkit.Simple.kmeans) = Wire.fmat w k.Mlkit.Simple.centroids
+let get_kmeans r = { Mlkit.Simple.centroids = Wire.r_fmat r }
+
+let put_ranker w (t : Mlkit.Rank.t) = put_gbdt w t.Mlkit.Rank.model
+let get_ranker r = { Mlkit.Rank.model = get_gbdt r }
+
+(* -- Clara pipeline components -- *)
+
+let put_predictor w (p : Clara.Predictor.t) =
+  put_vocab w p.Clara.Predictor.vocab;
+  put_lstm w p.Clara.Predictor.lstm
+
+let get_predictor r =
+  let vocab = get_vocab r in
+  let lstm = get_lstm r in
+  { Clara.Predictor.vocab; lstm }
+
+let label_tag = function
+  | Clara.Algo_corpus.Crc -> 0
+  | Clara.Algo_corpus.Lpm -> 1
+  | Clara.Algo_corpus.Checksum -> 2
+  | Clara.Algo_corpus.Other -> 3
+
+let label_of_tag = function
+  | 0 -> Clara.Algo_corpus.Crc
+  | 1 -> Clara.Algo_corpus.Lpm
+  | 2 -> Clara.Algo_corpus.Checksum
+  | 3 -> Clara.Algo_corpus.Other
+  | n -> bad_tag "algorithm label" n
+
+let mode_tag = function `Both -> 0 | `Manual_only -> 1 | `Spe_only -> 2
+
+let mode_of_tag = function
+  | 0 -> `Both
+  | 1 -> `Manual_only
+  | 2 -> `Spe_only
+  | n -> bad_tag "feature mode" n
+
+let put_algo_model w (m : Clara.Algo_id.model) =
+  Wire.u8 w (label_tag m.Clara.Algo_id.label);
+  Wire.list_ w
+    (fun w (key, n) ->
+      Wire.str w key;
+      Wire.i64 w n)
+    m.Clara.Algo_id.grams;
+  put_svm w m.Clara.Algo_id.svm
+
+let get_algo_model r =
+  let label = label_of_tag (Wire.r_u8 r) in
+  let grams =
+    Wire.r_list r (fun r ->
+        let key = Wire.r_str r in
+        let n = Wire.r_i64 r in
+        (key, n))
+  in
+  let svm = get_svm r in
+  { Clara.Algo_id.label; grams; svm }
+
+let put_algo w (t : Clara.Algo_id.t) =
+  Wire.u8 w (mode_tag t.Clara.Algo_id.mode);
+  Wire.list_ w put_algo_model t.Clara.Algo_id.models
+
+let get_algo r =
+  let mode = mode_of_tag (Wire.r_u8 r) in
+  let models = Wire.r_list r get_algo_model in
+  { Clara.Algo_id.models; mode }
+
+let put_scaleout w (s : Clara.Scaleout.t) = put_gbdt w s.Clara.Scaleout.gbdt
+let get_scaleout r = { Clara.Scaleout.gbdt = get_gbdt r }
+
+let objective_tag = function
+  | Clara.Colocation.Total_throughput -> 0
+  | Clara.Colocation.Avg_throughput -> 1
+  | Clara.Colocation.Total_latency -> 2
+  | Clara.Colocation.Avg_latency -> 3
+
+let objective_of_tag = function
+  | 0 -> Clara.Colocation.Total_throughput
+  | 1 -> Clara.Colocation.Avg_throughput
+  | 2 -> Clara.Colocation.Total_latency
+  | 3 -> Clara.Colocation.Avg_latency
+  | n -> bad_tag "colocation objective" n
+
+let put_colocation w (c : Clara.Colocation.t) =
+  Wire.u8 w (objective_tag c.Clara.Colocation.objective);
+  put_ranker w c.Clara.Colocation.ranker
+
+let get_colocation r =
+  let objective = objective_of_tag (Wire.r_u8 r) in
+  let ranker = get_ranker r in
+  { Clara.Colocation.objective; ranker }
+
+(* -- framed entry points -- *)
+
+let encode_vocab v = encode ~component:vocab_tag put_vocab v
+let decode_vocab s = decode ~component:vocab_tag get_vocab s
+let encode_lstm v = encode ~component:lstm_tag put_lstm v
+let decode_lstm s = decode ~component:lstm_tag get_lstm s
+let encode_tree v = encode ~component:tree_tag put_tree v
+let decode_tree s = decode ~component:tree_tag get_tree s
+let encode_forest v = encode ~component:forest_tag put_forest v
+let decode_forest s = decode ~component:forest_tag get_forest s
+let encode_gbdt v = encode ~component:gbdt_tag put_gbdt v
+let decode_gbdt s = decode ~component:gbdt_tag get_gbdt s
+let encode_svm v = encode ~component:svm_tag put_svm v
+let decode_svm s = decode ~component:svm_tag get_svm s
+let encode_ranker v = encode ~component:ranker_tag put_ranker v
+let decode_ranker s = decode ~component:ranker_tag get_ranker s
+let encode_kmeans v = encode ~component:kmeans_tag put_kmeans v
+let decode_kmeans s = decode ~component:kmeans_tag get_kmeans s
+let encode_predictor v = encode ~component:predictor_tag put_predictor v
+let decode_predictor s = decode ~component:predictor_tag get_predictor s
+let encode_algo v = encode ~component:algo_tag put_algo v
+let decode_algo s = decode ~component:algo_tag get_algo s
+let encode_scaleout v = encode ~component:scaleout_tag put_scaleout v
+let decode_scaleout s = decode ~component:scaleout_tag get_scaleout s
+let encode_colocation v = encode ~component:colocation_tag put_colocation v
+let decode_colocation s = decode ~component:colocation_tag get_colocation s

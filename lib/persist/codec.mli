@@ -1,0 +1,79 @@
+(** Binary codecs for every trained Clara component.
+
+    Each component has a symmetric [encode_x : x -> string] (a complete
+    {!Wire} frame, ready to hit disk) and
+    [decode_x : string -> (x, Wire.error) result].  Encodings are
+    canonical — hash tables serialize in index order, parameter matrices
+    in the fixed {!Mlkit.Lstm.params} order — so [encode (decode (encode x))]
+    is byte-identical to [encode x], which the serial/parallel
+    bundle-equivalence tests rely on.  Optimizer state (gradients, Adam
+    moments) is deliberately not persisted: a loaded model predicts
+    bit-identically but restarts training cold. *)
+
+(** {1 Component tags} *)
+
+val vocab_tag : string
+val lstm_tag : string
+val tree_tag : string
+val forest_tag : string
+val gbdt_tag : string
+val svm_tag : string
+val ranker_tag : string
+val kmeans_tag : string
+val predictor_tag : string
+val algo_tag : string
+val scaleout_tag : string
+val colocation_tag : string
+
+(** {1 Raw (un-framed) payload codecs}
+
+    Exposed so composite codecs — and the bundle — can nest components
+    inside one payload. *)
+
+val put_vocab : Wire.writer -> Clara.Vocab.t -> unit
+val get_vocab : Wire.reader -> Clara.Vocab.t
+val put_lstm : Wire.writer -> Mlkit.Lstm.t -> unit
+val get_lstm : Wire.reader -> Mlkit.Lstm.t
+val put_gbdt : Wire.writer -> Mlkit.Tree.gbdt -> unit
+val get_gbdt : Wire.reader -> Mlkit.Tree.gbdt
+val put_svm : Wire.writer -> Mlkit.Simple.svm -> unit
+val get_svm : Wire.reader -> Mlkit.Simple.svm
+
+(** {1 Framed codecs} *)
+
+val encode_vocab : Clara.Vocab.t -> string
+val decode_vocab : string -> (Clara.Vocab.t, Wire.error) result
+val encode_lstm : Mlkit.Lstm.t -> string
+val decode_lstm : string -> (Mlkit.Lstm.t, Wire.error) result
+val encode_tree : Mlkit.Tree.t -> string
+val decode_tree : string -> (Mlkit.Tree.t, Wire.error) result
+val encode_forest : Mlkit.Tree.forest -> string
+val decode_forest : string -> (Mlkit.Tree.forest, Wire.error) result
+val encode_gbdt : Mlkit.Tree.gbdt -> string
+val decode_gbdt : string -> (Mlkit.Tree.gbdt, Wire.error) result
+val encode_svm : Mlkit.Simple.svm -> string
+val decode_svm : string -> (Mlkit.Simple.svm, Wire.error) result
+val encode_ranker : Mlkit.Rank.t -> string
+val decode_ranker : string -> (Mlkit.Rank.t, Wire.error) result
+val encode_kmeans : Mlkit.Simple.kmeans -> string
+val decode_kmeans : string -> (Mlkit.Simple.kmeans, Wire.error) result
+
+(** The full instruction predictor: vocabulary + LSTM. *)
+val encode_predictor : Clara.Predictor.t -> string
+
+val decode_predictor : string -> (Clara.Predictor.t, Wire.error) result
+
+(** The per-class algorithm-identification SVMs with their mined grams. *)
+val encode_algo : Clara.Algo_id.t -> string
+
+val decode_algo : string -> (Clara.Algo_id.t, Wire.error) result
+
+(** The scale-out GBDT cost model. *)
+val encode_scaleout : Clara.Scaleout.t -> string
+
+val decode_scaleout : string -> (Clara.Scaleout.t, Wire.error) result
+
+(** The LambdaMART colocation ranker with its training objective. *)
+val encode_colocation : Clara.Colocation.t -> string
+
+val decode_colocation : string -> (Clara.Colocation.t, Wire.error) result

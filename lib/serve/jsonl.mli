@@ -1,0 +1,28 @@
+(** Minimal JSON for the line-delimited insight-server protocol.
+
+    Self-contained (the container carries no JSON library): a value type,
+    a recursive-descent parser and a printer whose output never contains a
+    raw newline — every value prints on one line, so values frame cleanly
+    as [value ^ "\n"] on the wire. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** One-line rendering; control characters in strings are escaped. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document (trailing whitespace allowed). *)
+val of_string : string -> (t, string) result
+
+(** Object field lookup ([None] on non-objects and missing keys). *)
+val member : string -> t -> t option
+
+(** [member] narrowed to a string / a float. *)
+val str_member : string -> t -> string option
+
+val num_member : string -> t -> float option

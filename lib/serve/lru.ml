@@ -1,0 +1,53 @@
+(** Bounded LRU cache (see lru.mli). *)
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); tick = 0; hit_count = 0; miss_count = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let next_stamp t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    e.stamp <- next_stamp t;
+    t.hit_count <- t.hit_count + 1;
+    Some e.value
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let peek t key = Option.map (fun e -> e.value) (Hashtbl.find_opt t.table key)
+
+let evict_oldest t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      t.table None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove t.table key | None -> ()
+
+let add t key value =
+  Hashtbl.replace t.table key { value; stamp = next_stamp t };
+  while Hashtbl.length t.table > t.cap do
+    evict_oldest t
+  done

@@ -1,0 +1,28 @@
+(** Bounded least-recently-used cache for memoized insight reports.
+
+    String-keyed, O(1) lookup; eviction scans for the oldest stamp, which
+    is fine at report-cache capacities (tens to hundreds).  Not
+    thread-safe: the server touches it only from the request-planning and
+    reply phases, which run on one domain — analysis work fans out to the
+    pool in between. *)
+
+type 'a t
+
+(** @raise Invalid_argument unless [capacity >= 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** Refreshes the entry's recency; counts a hit or a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** Peek without touching recency or statistics. *)
+val peek : 'a t -> string -> 'a option
+
+(** Insert (or overwrite), evicting the least-recently-used entry when
+    over capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int

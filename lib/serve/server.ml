@@ -1,0 +1,350 @@
+(** Clara insight service (see server.mli). *)
+
+type t = {
+  models : Clara.Pipeline.models;
+  cache : string Lru.t;
+  mutable served_count : int;
+  mutable stop_requested : bool;
+}
+
+let create ?(cache_capacity = 64) models =
+  { models; cache = Lru.create ~capacity:cache_capacity; served_count = 0; stop_requested = false }
+
+let served t = t.served_count
+let cache_hits t = Lru.hits t.cache
+let cache_misses t = Lru.misses t.cache
+
+let corpus_names () = List.map (fun e -> e.Nf_lang.Ast.name) (Nf_lang.Corpus.all ())
+
+(* -- workloads -- *)
+
+let mixed_spec =
+  { Workload.default with Workload.proto = Workload.Mixed; Workload.n_packets = 800 }
+
+let workload_named = function
+  | "mixed" -> Ok mixed_spec
+  | "large" -> Ok { Workload.large_flows with Workload.n_packets = 800 }
+  | "small" -> Ok { Workload.small_flows with Workload.n_packets = 800 }
+  | other -> Error (Printf.sprintf "unknown workload %S (one of: mixed, large, small)" other)
+
+(* -- inline P4lite programs -- *)
+
+exception Bad_program of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_program m)) fmt
+
+let all_fields =
+  Nf_lang.Ast.
+    [ Eth_type; Ip_src; Ip_dst; Ip_proto; Ip_ttl; Ip_len; Ip_hl; Ip_tos; Ip_id; Ip_csum;
+      Tcp_sport; Tcp_dport; Tcp_seq; Tcp_ack; Tcp_off; Tcp_flags; Tcp_win; Tcp_csum;
+      Udp_sport; Udp_dport; Udp_len; Udp_csum ]
+
+let field_of_name s = List.find_opt (fun f -> Nf_lang.Ast.field_name f = s) all_fields
+
+(* Actions are compact strings: "drop" | "noop" | "dec_ttl" | "forward:PORT"
+   | "set:FIELD" | "count:NAME". *)
+let action_of_string s =
+  match s with
+  | "drop" -> Nf_lang.P4lite.Drop_packet
+  | "noop" -> Nf_lang.P4lite.No_op
+  | "dec_ttl" -> Nf_lang.P4lite.Decrement_ttl
+  | _ -> (
+    match String.index_opt s ':' with
+    | None -> bad "unknown action %S" s
+    | Some i -> (
+      let kind = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "forward" -> (
+        match int_of_string_opt arg with
+        | Some port -> Nf_lang.P4lite.Forward port
+        | None -> bad "forward wants a port number, got %S" arg)
+      | "set" -> (
+        match field_of_name arg with
+        | Some f -> Nf_lang.P4lite.Set_field f
+        | None -> bad "unknown header field %S" arg)
+      | "count" -> Nf_lang.P4lite.Count arg
+      | _ -> bad "unknown action %S" s))
+
+let string_list_member what key j =
+  match Jsonl.member key j with
+  | Some (Jsonl.Arr items) ->
+    List.map (function Jsonl.Str s -> s | _ -> bad "%s: %S wants strings" what key) items
+  | Some _ -> bad "%s: %S must be an array" what key
+  | None -> bad "%s: missing %S" what key
+
+let table_of_json j =
+  let name =
+    match Jsonl.str_member "name" j with Some s -> s | None -> bad "table: missing \"name\""
+  in
+  let keys =
+    List.map
+      (fun s ->
+        match field_of_name s with
+        | Some f -> f
+        | None -> bad "table %s: unknown key field %S" name s)
+      (string_list_member ("table " ^ name) "keys" j)
+  in
+  let actions = List.map action_of_string (string_list_member ("table " ^ name) "actions" j) in
+  let default_action =
+    match Jsonl.str_member "default" j with
+    | Some s -> action_of_string s
+    | None -> Nf_lang.P4lite.No_op
+  in
+  let size =
+    match Jsonl.num_member "size" j with Some f -> int_of_float f | None -> 64
+  in
+  if keys = [] then bad "table %s: needs at least one key" name;
+  if size < 1 then bad "table %s: size must be >= 1" name;
+  { Nf_lang.P4lite.t_name = name; keys; actions; default_action; size }
+
+let program_of_json j =
+  let p_name = Option.value (Jsonl.str_member "name" j) ~default:"p4lite" in
+  let pipeline =
+    match Jsonl.member "tables" j with
+    | Some (Jsonl.Arr tables) -> List.map table_of_json tables
+    | Some _ -> bad "\"tables\" must be an array"
+    | None -> bad "p4lite program: missing \"tables\""
+  in
+  if pipeline = [] then bad "p4lite program: empty pipeline";
+  { Nf_lang.P4lite.p_name; pipeline }
+
+(* -- replies -- *)
+
+let ok_reply id fields = Jsonl.to_string (Jsonl.Obj (("id", id) :: ("ok", Jsonl.Bool true) :: fields))
+
+let err_reply ?valid id msg =
+  let fields = [ ("id", id); ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
+  let fields =
+    match valid with
+    | None -> fields
+    | Some names -> fields @ [ ("valid", Jsonl.Arr (List.map (fun s -> Jsonl.Str s) names)) ]
+  in
+  Jsonl.to_string (Jsonl.Obj fields)
+
+let analyze_reply id ~nf ~wname ~cached report =
+  ok_reply id
+    [ ("nf", Jsonl.Str nf);
+      ("workload", Jsonl.Str wname);
+      ("cached", Jsonl.Bool cached);
+      ("report", Jsonl.Str report) ]
+
+(* -- request planning -- *)
+
+(* A parsed request line: already answerable, a cache hit, or an analysis
+   to fan out. *)
+type plan =
+  | Ready of string
+  | Hit of { id : Jsonl.t; nf_label : string; wname : string; report : string }
+  | Miss of {
+      id : Jsonl.t;
+      key : string;
+      elt : Nf_lang.Ast.element;
+      spec : Workload.spec;
+      nf_label : string;
+      wname : string;
+    }
+
+let plan_analyze t id req =
+  let wname = Option.value (Jsonl.str_member "workload" req) ~default:"mixed" in
+  match workload_named wname with
+  | Error msg -> Ready (err_reply id msg)
+  | Ok spec -> (
+    let target =
+      match (Jsonl.str_member "nf" req, Jsonl.member "p4lite" req) with
+      | Some name, _ -> (
+        match Nf_lang.Corpus.find name with
+        | elt -> Ok (elt, name, name ^ "|" ^ wname)
+        | exception Failure _ ->
+          Error (err_reply ~valid:(corpus_names ()) id (Printf.sprintf "unknown NF %S" name)))
+      | None, Some pj -> (
+        match program_of_json pj with
+        | prog ->
+          let elt = Nf_lang.P4lite.compile prog in
+          let key =
+            Printf.sprintf "p4lite:%08lx|%s"
+              (Persist.Wire.crc32 (Nf_lang.Pp.to_string elt))
+              wname
+          in
+          Ok (elt, elt.Nf_lang.Ast.name, key)
+        | exception Bad_program msg -> Error (err_reply id ("bad p4lite program: " ^ msg)))
+      | None, None -> Error (err_reply id "analyze wants \"nf\" or \"p4lite\"")
+    in
+    match target with
+    | Error reply -> Ready reply
+    | Ok (elt, nf_label, key) -> (
+      match Lru.find t.cache key with
+      | Some report -> Hit { id; nf_label; wname; report }
+      | None -> Miss { id; key; elt; spec; nf_label; wname }))
+
+let plan_line t line =
+  t.served_count <- t.served_count + 1;
+  match Jsonl.of_string line with
+  | Error msg -> Ready (err_reply Jsonl.Null ("malformed JSON: " ^ msg))
+  | Ok req -> (
+    let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
+    match Jsonl.str_member "cmd" req with
+    | Some "ping" -> Ready (ok_reply id [ ("pong", Jsonl.Bool true) ])
+    | Some "list" ->
+      Ready
+        (ok_reply id
+           [ ("nfs", Jsonl.Arr (List.map (fun s -> Jsonl.Str s) (corpus_names ()))) ])
+    | Some "stats" ->
+      Ready
+        (ok_reply id
+           [ ("served", Jsonl.Num (float_of_int t.served_count));
+             ("cache_hits", Jsonl.Num (float_of_int (Lru.hits t.cache)));
+             ("cache_misses", Jsonl.Num (float_of_int (Lru.misses t.cache)));
+             ("cache_length", Jsonl.Num (float_of_int (Lru.length t.cache)));
+             ("cache_capacity", Jsonl.Num (float_of_int (Lru.capacity t.cache))) ])
+    | Some "shutdown" ->
+      t.stop_requested <- true;
+      Ready (ok_reply id [ ("stopping", Jsonl.Bool true) ])
+    | Some "analyze" -> plan_analyze t id req
+    | Some other -> Ready (err_reply id (Printf.sprintf "unknown cmd %S" other))
+    | None -> Ready (err_reply id "missing \"cmd\""))
+
+let process_batch t lines =
+  let plans = List.map (plan_line t) lines in
+  (* Deduplicate this batch's cache misses, keeping first-seen order, then
+     analyze the distinct jobs concurrently. *)
+  let jobs =
+    List.fold_left
+      (fun acc plan ->
+        match plan with
+        | Miss m when not (List.mem_assoc m.key acc) -> (m.key, (m.elt, m.spec)) :: acc
+        | _ -> acc)
+      [] plans
+    |> List.rev
+  in
+  let results =
+    Util.Pool.parallel_map_list
+      (fun (key, (elt, spec)) ->
+        let outcome =
+          try Ok (Clara.Pipeline.report t.models elt spec)
+          with e -> Error (Printexc.to_string e)
+        in
+        (key, outcome))
+      jobs
+  in
+  List.iter (function key, Ok report -> Lru.add t.cache key report | _, Error _ -> ()) results;
+  List.map
+    (function
+      | Ready reply -> reply
+      | Hit { id; nf_label; wname; report } ->
+        analyze_reply id ~nf:nf_label ~wname ~cached:true report
+      | Miss { id; key; nf_label; wname; _ } -> (
+        match List.assoc key results with
+        | Ok report -> analyze_reply id ~nf:nf_label ~wname ~cached:false report
+        | Error msg -> err_reply id ("analysis failed: " ^ msg)))
+    plans
+
+let handle_request t line =
+  match process_batch t [ line ] with
+  | [ reply ] -> reply
+  | _ -> assert false
+
+(* -- I/O -- *)
+
+let really_write fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+(* Split off the complete lines accumulated in [buf], keeping any trailing
+   partial line buffered. *)
+let take_lines buf =
+  let data = Buffer.contents buf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_substring buf data (last + 1) (String.length data - last - 1);
+    String.split_on_char '\n' (String.sub data 0 last)
+    |> List.filter (fun l -> String.trim l <> "")
+
+let reply_all t fd lines =
+  if lines <> [] then
+    List.iter (fun reply -> really_write fd (reply ^ "\n")) (process_batch t lines)
+
+let serve_until_eof t fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n = 0 then begin
+      (* peer half-closed: flush any unterminated final line *)
+      let rest = String.trim (Buffer.contents buf) in
+      if rest <> "" then reply_all t fd [ rest ]
+    end
+    else begin
+      Buffer.add_subbytes buf chunk 0 n;
+      reply_all t fd (take_lines buf);
+      loop ()
+    end
+  in
+  loop ()
+
+let run t ~socket_path =
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 16;
+  let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let drop fd =
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let chunk = Bytes.create 4096 in
+  while not t.stop_requested do
+    let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    let readable, _, _ = Unix.select fds [] [] 1.0 in
+    if List.mem listener readable then begin
+      let fd, _ = Unix.accept listener in
+      Hashtbl.replace clients fd (Buffer.create 1024)
+    end;
+    (* Collect every complete line that arrived this round, then answer them
+       as one batch so independent clients share the pool fan-out. *)
+    let pending = ref [] in
+    List.iter
+      (fun fd ->
+        if fd <> listener then
+          match Hashtbl.find_opt clients fd with
+          | None -> ()
+          | Some buf -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              let rest = String.trim (Buffer.contents buf) in
+              if rest <> "" then pending := (fd, [ rest ]) :: !pending;
+              drop fd
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              let lines = take_lines buf in
+              if lines <> [] then pending := (fd, lines) :: !pending
+            | exception Unix.Unix_error _ -> drop fd))
+      readable;
+    let pending = List.rev !pending in
+    let all_lines = List.concat_map snd pending in
+    if all_lines <> [] then begin
+      let replies = ref (process_batch t all_lines) in
+      List.iter
+        (fun (fd, lines) ->
+          List.iter
+            (fun _ ->
+              match !replies with
+              | reply :: rest ->
+                replies := rest;
+                (try really_write fd (reply ^ "\n")
+                 with Unix.Unix_error _ -> drop fd)
+              | [] -> ())
+            lines)
+        pending
+    end
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  try Unix.unlink socket_path with Unix.Unix_error _ -> ()

@@ -1,0 +1,62 @@
+(** The Clara insight service: a long-running analysis daemon speaking
+    line-delimited JSON over a Unix domain socket.
+
+    Each request is one JSON object on one line; each gets exactly one
+    JSON reply line.  Requests:
+
+    {v
+    {"id":1,"cmd":"analyze","nf":"cmsketch","workload":"mixed"}
+    {"id":2,"cmd":"analyze","p4lite":{...},"workload":"small"}
+    {"id":3,"cmd":"list"}       corpus NF names
+    {"id":4,"cmd":"stats"}      served / cache counters
+    {"id":5,"cmd":"ping"}
+    {"id":6,"cmd":"shutdown"}   reply, then stop accepting
+    v}
+
+    Replies carry ["ok":true] plus command-specific fields (for [analyze]:
+    ["nf"], ["workload"], ["cached"], ["report"]), or ["ok":false] with
+    ["error"] — and, for unknown NFs, ["valid"] listing corpus names.
+
+    Reports are memoized per (NF, workload) in a bounded {!Lru} cache;
+    the distinct misses of a batch of lines are analyzed concurrently over
+    [Util.Pool] (so a pipelined client, or several clients arriving in the
+    same accept-loop round, fan out across domains). *)
+
+type t
+
+(** Wrap warm-started (or freshly trained) models.  [cache_capacity]
+    bounds the report cache (default 64). *)
+val create : ?cache_capacity:int -> Clara.Pipeline.models -> t
+
+val corpus_names : unit -> string list
+
+(** The CLI's default traffic profile (the mixed-protocol spec shared by
+    [clara analyze] and the service). *)
+val mixed_spec : Workload.spec
+
+(** Resolve a workload name ([mixed]/[large]/[small]); [Error] lists the
+    valid names. *)
+val workload_named : string -> (Workload.spec, string) result
+
+(** One request line in, one reply line out (no trailing newline).
+    Never raises: protocol problems become ["ok":false] replies. *)
+val handle_request : t -> string -> string
+
+(** Handle a batch of request lines: cache misses are deduplicated and
+    analyzed in parallel, then replies come back in request order. *)
+val process_batch : t -> string list -> string list
+
+(** Counters for [stats] and the bench harness. *)
+val served : t -> int
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+(** Serve one already-connected stream (e.g. a socketpair end) until the
+    peer half-closes — the in-process test harness. *)
+val serve_until_eof : t -> Unix.file_descr -> unit
+
+(** Bind [socket_path] (unlinking any stale socket), accept clients, and
+    serve until a [shutdown] request arrives.  Single-threaded select
+    loop; analysis parallelism comes from {!process_batch}. *)
+val run : t -> socket_path:string -> unit

@@ -223,6 +223,29 @@ let test_scaleout_samples_equivalent () =
   Alcotest.(check bool) "scale-out samples bit-identical" true (a = b);
   Alcotest.(check bool) "samples non-empty" true (a <> [])
 
+let test_bundle_bytes_equivalent () =
+  (* A persisted bundle must not depend on the job count: same manifest,
+     same file set, byte-identical frames.  (Scale-out is skipped here —
+     its training is the dominant cost and its GBDT determinism is already
+     covered above.) *)
+  let manifest =
+    { Persist.Bundle.seed = 501; epochs = 4;
+      corpus_hash = Persist.Bundle.corpus_hash ();
+      built_at = "1970-01-01T00:00:00Z" }
+  in
+  let run () =
+    Persist.Bundle.encode manifest
+      (Clara.Pipeline.train ~quick:true ~with_scaleout:false ~with_colocation:true ())
+  in
+  let a, b = serial_vs_parallel run in
+  Alcotest.(check (list string)) "same artifact files" (List.map fst a) (List.map fst b);
+  List.iter2
+    (fun (file, bytes_a) (_, bytes_b) ->
+      Alcotest.(check bool) (file ^ " byte-identical across job counts") true (bytes_a = bytes_b))
+    a b;
+  Alcotest.(check bool) "bundle includes the colocation ranker" true
+    (List.mem_assoc "colocation.clara" a)
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -242,4 +265,5 @@ let () =
           Alcotest.test_case "lstm minibatch fit" `Quick test_lstm_batch_equivalent;
           Alcotest.test_case "predictor end-to-end" `Slow test_predictor_train_equivalent;
           Alcotest.test_case "workload generation" `Quick test_workload_equivalent;
-          Alcotest.test_case "scale-out samples" `Slow test_scaleout_samples_equivalent ] ) ]
+          Alcotest.test_case "scale-out samples" `Slow test_scaleout_samples_equivalent;
+          Alcotest.test_case "persisted bundle bytes" `Slow test_bundle_bytes_equivalent ] ) ]

@@ -1,0 +1,152 @@
+(** Tests for the persist artifact store: byte-exact codec round-trips,
+    typed rejection of corrupt/mismatched frames, and
+    predictions-identical-after-reload for a really trained predictor. *)
+
+(* A decoded value must re-encode to the same bytes (codecs are
+   canonical), so [encode . decode . encode = encode] is the round-trip
+   oracle — it covers every field without a per-type equality. *)
+let check_roundtrip name encode decode v =
+  let bytes = encode v in
+  match decode bytes with
+  | Result.Error e -> Alcotest.failf "%s: decode failed: %s" name (Persist.Wire.error_to_string e)
+  | Result.Ok v' -> Alcotest.(check string) (name ^ " re-encodes identically") bytes (encode v')
+
+(* -- small synthetic components -- *)
+
+let small_vocab () =
+  let v = Clara.Vocab.create () in
+  List.iter
+    (fun w -> ignore (Clara.Vocab.index v w))
+    [ "load"; "store"; "add"; "hash_lookup"; "send" ];
+  v
+
+let small_tree =
+  { Mlkit.Tree.root =
+      Mlkit.Tree.Split
+        { feature = 1;
+          threshold = 0.75;
+          left = Mlkit.Tree.Leaf 1.5;
+          right =
+            Mlkit.Tree.Split
+              { feature = 0; threshold = -2.0; left = Mlkit.Tree.Leaf 0.0; right = Mlkit.Tree.Leaf 9.25 } } }
+
+let small_gbdt =
+  { Mlkit.Tree.init = 3.125; shrinkage = 0.1; stages = [ small_tree; { Mlkit.Tree.root = Mlkit.Tree.Leaf 0.5 } ] }
+
+let test_codec_roundtrips () =
+  check_roundtrip "vocab" Persist.Codec.encode_vocab Persist.Codec.decode_vocab (small_vocab ());
+  check_roundtrip "lstm" Persist.Codec.encode_lstm Persist.Codec.decode_lstm
+    (Mlkit.Lstm.create ~hidden:6 ~vocab:16 7);
+  check_roundtrip "tree" Persist.Codec.encode_tree Persist.Codec.decode_tree small_tree;
+  check_roundtrip "forest" Persist.Codec.encode_forest Persist.Codec.decode_forest
+    { Mlkit.Tree.trees = [ small_tree; { Mlkit.Tree.root = Mlkit.Tree.Leaf 2.0 } ] };
+  check_roundtrip "gbdt" Persist.Codec.encode_gbdt Persist.Codec.decode_gbdt small_gbdt;
+  check_roundtrip "svm" Persist.Codec.encode_svm Persist.Codec.decode_svm
+    { Mlkit.Simple.w = [| 0.5; -1.25; 3.0 |]; b = 0.125; mu = [| 1.0; 2.0; 3.0 |]; sd = [| 1.0; 0.5; 2.0 |] };
+  check_roundtrip "ranker" Persist.Codec.encode_ranker Persist.Codec.decode_ranker
+    { Mlkit.Rank.model = small_gbdt };
+  check_roundtrip "kmeans" Persist.Codec.encode_kmeans Persist.Codec.decode_kmeans
+    { Mlkit.Simple.centroids = [| [| 0.0; 1.0 |]; [| -4.5; 2.25 |] |] }
+
+let test_special_floats_roundtrip () =
+  (* Int64-bits encoding must survive values %g-style printing would not *)
+  let weird = [| Float.min_float; -0.0; 1e-310; Float.max_float; 0.1 +. 0.2 |] in
+  check_roundtrip "weird floats" Persist.Codec.encode_kmeans Persist.Codec.decode_kmeans
+    { Mlkit.Simple.centroids = [| weird |] }
+
+(* -- negative tests: corrupt frames must produce typed errors, never
+   crash -- *)
+
+let expect_error name bytes check =
+  match Persist.Codec.decode_vocab bytes with
+  | Result.Ok _ -> Alcotest.failf "%s: corrupt frame decoded successfully" name
+  | Result.Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s -> %s" name (Persist.Wire.error_to_string e))
+      true (check e)
+
+let flip bytes i =
+  let b = Bytes.of_string bytes in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  Bytes.to_string b
+
+let test_corrupt_frames_rejected () =
+  let good = Persist.Codec.encode_vocab (small_vocab ()) in
+  expect_error "truncated payload"
+    (String.sub good 0 (String.length good - 3))
+    (function Persist.Wire.Truncated _ -> true | _ -> false);
+  expect_error "empty file" ""
+    (function Persist.Wire.Truncated _ -> true | _ -> false);
+  expect_error "bad magic" (flip good 0)
+    (function Persist.Wire.Bad_magic _ -> true | _ -> false);
+  expect_error "wrong format version" (flip good 8)
+    (function Persist.Wire.Bad_version _ -> true | _ -> false);
+  expect_error "flipped payload byte" (flip good (String.length good - 1))
+    (function Persist.Wire.Crc_mismatch _ -> true | _ -> false);
+  expect_error "trailing garbage" (good ^ "x")
+    (function Persist.Wire.Malformed _ -> true | _ -> false);
+  (* decoding a frame as the wrong component *)
+  (match Persist.Codec.decode_lstm good with
+  | Result.Ok _ -> Alcotest.fail "vocab frame decoded as an LSTM"
+  | Result.Error (Persist.Wire.Wrong_component { expected; got }) ->
+    Alcotest.(check string) "expected component" Persist.Codec.lstm_tag expected;
+    Alcotest.(check string) "got component" Persist.Codec.vocab_tag got
+  | Result.Error e ->
+    Alcotest.failf "wrong error for component mismatch: %s" (Persist.Wire.error_to_string e))
+
+let test_manifest_roundtrip () =
+  let m =
+    { Persist.Bundle.seed = 501; epochs = 4; corpus_hash = "deadbeef"; built_at = "2026-01-01T00:00:00Z" }
+  in
+  match Persist.Bundle.decode_manifest (Persist.Bundle.encode_manifest m) with
+  | Result.Ok m' -> Alcotest.(check bool) "manifest round-trips" true (m = m')
+  | Result.Error e -> Alcotest.failf "manifest decode failed: %s" (Persist.Wire.error_to_string e)
+
+(* -- trained models: predictions must be bit-identical after a disk
+   round-trip -- *)
+
+let tiny_models () =
+  let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+  let predictor = Clara.Predictor.train ~epochs:1 ds in
+  let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+  { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+
+let test_predictions_survive_reload () =
+  let models = tiny_models () in
+  let dir = Filename.temp_file "clara_test_bundle" ".d" in
+  Sys.remove dir;
+  let manifest =
+    { Persist.Bundle.seed = 501; epochs = 1;
+      corpus_hash = Persist.Bundle.corpus_hash ();
+      built_at = "1970-01-01T00:00:00Z" }
+  in
+  Persist.Bundle.save ~dir manifest models;
+  let loaded =
+    match Persist.Bundle.load ~dir with
+    | Result.Ok b -> b
+    | Result.Error e -> Alcotest.failf "bundle load failed: %s" (Persist.Wire.error_to_string e)
+  in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  Alcotest.(check bool) "manifest survives" true (loaded.Persist.Bundle.manifest = manifest);
+  let elt = Nf_lang.Corpus.find "tcpack" in
+  let predict m = Clara.Predictor.predict_element m.Clara.Pipeline.predictor elt in
+  Alcotest.(check bool) "per-block predictions bit-identical" true
+    (predict models = predict loaded.Persist.Bundle.models);
+  let classify m = Clara.Algo_id.classify m.Clara.Pipeline.algo (Nf_lang.Corpus.find "cmsketch") in
+  Alcotest.(check bool) "algorithm labels identical" true
+    (classify models = classify loaded.Persist.Bundle.models);
+  (* and the persisted form itself is canonical *)
+  Alcotest.(check bool) "bundle re-encodes identically" true
+    (Persist.Bundle.encode manifest models
+    = Persist.Bundle.encode loaded.Persist.Bundle.manifest loaded.Persist.Bundle.models)
+
+let () =
+  Alcotest.run "persist"
+    [ ( "codec",
+        [ Alcotest.test_case "component round-trips" `Quick test_codec_roundtrips;
+          Alcotest.test_case "special floats" `Quick test_special_floats_roundtrip;
+          Alcotest.test_case "corrupt frames rejected" `Quick test_corrupt_frames_rejected;
+          Alcotest.test_case "manifest round-trip" `Quick test_manifest_roundtrip ] );
+      ( "bundle",
+        [ Alcotest.test_case "predictions survive reload" `Slow test_predictions_survive_reload ] ) ]

@@ -1,0 +1,256 @@
+(** Tests for the insight service: the hand-rolled JSON, the LRU report
+    cache, the request handler (valid / unknown-NF / malformed / inline
+    p4lite), batched pipelining over a socketpair, and a real 8-client
+    burst against the socket server with a 4-domain pool. *)
+
+let with_jobs n f =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Util.Pool.set_jobs saved) f
+
+(* -- Jsonl -- *)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun src ->
+      match Serve.Jsonl.of_string src with
+      | Error msg -> Alcotest.failf "%S failed to parse: %s" src msg
+      | Ok v ->
+        let printed = Serve.Jsonl.to_string v in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S survives print+reparse" src)
+          true
+          (Serve.Jsonl.of_string printed = Ok v);
+        Alcotest.(check bool)
+          (Printf.sprintf "%S prints on one line" src)
+          false (String.contains printed '\n'))
+    [ "null"; "true"; "[1,2.5,\"x\"]"; "{\"a\":[{\"b\":null}],\"c\":-3}";
+      "{\"s\":\"tab\\tnl\\nq\\\"\"}"; "{}"; "[]"; "[1e-3,123456789012]" ];
+  (match Serve.Jsonl.of_string "\"\\u0041\\u00e9\"" with
+  | Ok (Serve.Jsonl.Str s) -> Alcotest.(check string) "unicode escapes decode" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape parse");
+  List.iter
+    (fun bad ->
+      match Serve.Jsonl.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" bad)
+    [ ""; "{"; "[1,]"; "{\"a\"}"; "tru"; "\"unterminated"; "1 2" ]
+
+(* -- Lru -- *)
+
+let test_lru_semantics () =
+  let c = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.add c "a" 1;
+  Serve.Lru.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Serve.Lru.find c "a");
+  Serve.Lru.add c "c" 3;
+  (* "b" was least recently used (the find refreshed "a") *)
+  Alcotest.(check (option int)) "b evicted" None (Serve.Lru.peek c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Serve.Lru.peek c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Serve.Lru.peek c "c");
+  Alcotest.(check int) "bounded" 2 (Serve.Lru.length c);
+  (* peek must not perturb statistics; find must count them *)
+  let h0, m0 = (Serve.Lru.hits c, Serve.Lru.misses c) in
+  ignore (Serve.Lru.peek c "a");
+  ignore (Serve.Lru.peek c "nope");
+  Alcotest.(check (pair int int)) "peek is invisible" (h0, m0)
+    (Serve.Lru.hits c, Serve.Lru.misses c);
+  ignore (Serve.Lru.find c "nope");
+  Alcotest.(check int) "find counts misses" (m0 + 1) (Serve.Lru.misses c)
+
+(* -- request handling (in-process, tiny models) -- *)
+
+let models =
+  lazy
+    (let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+     let predictor = Clara.Predictor.train ~epochs:1 ds in
+     let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+     { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None })
+
+let fresh_server () = Serve.Server.create ~cache_capacity:8 (Lazy.force models)
+
+let parse_reply line =
+  match Serve.Jsonl.of_string line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparseable reply %S: %s" line msg
+
+let is_ok reply = Serve.Jsonl.member "ok" reply = Some (Serve.Jsonl.Bool true)
+
+let test_handle_valid_and_cached () =
+  let s = fresh_server () in
+  let q = {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed"}|} in
+  let r1 = parse_reply (Serve.Server.handle_request s q) in
+  Alcotest.(check bool) "first reply ok" true (is_ok r1);
+  Alcotest.(check (option string)) "nf echoed" (Some "tcpack") (Serve.Jsonl.str_member "nf" r1);
+  Alcotest.(check bool) "first is uncached" true
+    (Serve.Jsonl.member "cached" r1 = Some (Serve.Jsonl.Bool false));
+  let r2 = parse_reply (Serve.Server.handle_request s q) in
+  Alcotest.(check bool) "second is cached" true
+    (Serve.Jsonl.member "cached" r2 = Some (Serve.Jsonl.Bool true));
+  Alcotest.(check (option string)) "cached report identical"
+    (Serve.Jsonl.str_member "report" r1)
+    (Serve.Jsonl.str_member "report" r2);
+  Alcotest.(check int) "one hit" 1 (Serve.Server.cache_hits s);
+  Alcotest.(check int) "one miss" 1 (Serve.Server.cache_misses s)
+
+let test_handle_errors () =
+  let s = fresh_server () in
+  let unknown =
+    parse_reply (Serve.Server.handle_request s {|{"id":2,"cmd":"analyze","nf":"bogus"}|})
+  in
+  Alcotest.(check bool) "unknown NF rejected" false (is_ok unknown);
+  (match Serve.Jsonl.member "valid" unknown with
+  | Some (Serve.Jsonl.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "unknown-NF reply lists valid names");
+  let malformed = parse_reply (Serve.Server.handle_request s "{not json") in
+  Alcotest.(check bool) "malformed rejected" false (is_ok malformed);
+  (match Serve.Jsonl.str_member "error" malformed with
+  | Some _ -> ()
+  | None -> Alcotest.fail "malformed reply carries an error");
+  let badw =
+    parse_reply
+      (Serve.Server.handle_request s {|{"cmd":"analyze","nf":"tcpack","workload":"bogus"}|})
+  in
+  Alcotest.(check bool) "unknown workload rejected" false (is_ok badw);
+  let nocmd = parse_reply (Serve.Server.handle_request s {|{"id":3}|}) in
+  Alcotest.(check bool) "missing cmd rejected" false (is_ok nocmd);
+  Alcotest.(check int) "every line counted" 4 (Serve.Server.served s)
+
+let test_handle_p4lite () =
+  let s = fresh_server () in
+  let q =
+    {|{"id":4,"cmd":"analyze","p4lite":{"name":"tinyacl","tables":[{"name":"acl","keys":["ip_src"],"actions":["drop","forward:1"],"default":"forward:0","size":16}]}}|}
+  in
+  let r = parse_reply (Serve.Server.handle_request s q) in
+  Alcotest.(check bool) "inline program analyzed" true (is_ok r);
+  Alcotest.(check (option string)) "labelled by program name" (Some "tinyacl")
+    (Serve.Jsonl.str_member "nf" r);
+  let r2 = parse_reply (Serve.Server.handle_request s q) in
+  Alcotest.(check bool) "same program hits the cache" true
+    (Serve.Jsonl.member "cached" r2 = Some (Serve.Jsonl.Bool true));
+  let badfield =
+    parse_reply
+      (Serve.Server.handle_request s
+         {|{"cmd":"analyze","p4lite":{"tables":[{"name":"t","keys":["no_such_field"],"actions":["drop"]}]}}|})
+  in
+  Alcotest.(check bool) "bad field rejected" false (is_ok badfield)
+
+(* -- batched pipelining over a socketpair (single process, no real
+   socket file) -- *)
+
+let test_batch_over_socketpair () =
+  with_jobs 4 (fun () ->
+      let s = fresh_server () in
+      let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let requests =
+        String.concat ""
+          (List.map
+             (fun (id, nf) ->
+               Printf.sprintf {|{"id":%d,"cmd":"analyze","nf":"%s","workload":"mixed"}|} id nf
+               ^ "\n")
+             [ (1, "tcpack"); (2, "udpipencap"); (3, "tcpack"); (4, "anonipaddr") ])
+      in
+      let n = Unix.write_substring client_fd requests 0 (String.length requests) in
+      Alcotest.(check int) "whole batch written" (String.length requests) n;
+      Unix.shutdown client_fd Unix.SHUTDOWN_SEND;
+      Serve.Server.serve_until_eof s server_fd;
+      Unix.close server_fd;
+      let ic = Unix.in_channel_of_descr client_fd in
+      let replies = List.init 4 (fun _ -> input_line ic) |> List.map parse_reply in
+      close_in ic;
+      List.iteri
+        (fun i r ->
+          Alcotest.(check bool) (Printf.sprintf "reply %d ok" (i + 1)) true (is_ok r);
+          Alcotest.(check (option (float 0.0)))
+            (Printf.sprintf "reply %d keeps its id" (i + 1))
+            (Some (float_of_int (i + 1)))
+            (Serve.Jsonl.num_member "id" r))
+        replies;
+      (* requests 1 and 3 share a key: one analysis, identical reports *)
+      let report i = Serve.Jsonl.str_member "report" (List.nth replies i) in
+      Alcotest.(check (option string)) "duplicate keys share one report" (report 0) (report 2))
+
+(* -- 8 concurrent clients against the real socket server -- *)
+
+let connect_with_retry path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go attempts =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when attempts > 0 ->
+      Unix.sleepf 0.05;
+      go (attempts - 1)
+  in
+  go 100
+
+let client_round path request =
+  let fd = connect_with_retry path in
+  let out = Unix.out_channel_of_descr fd in
+  output_string out (request ^ "\n");
+  flush out;
+  let line = input_line (Unix.in_channel_of_descr fd) in
+  Unix.close fd;
+  line
+
+let test_concurrent_burst () =
+  with_jobs 4 (fun () ->
+      let s = fresh_server () in
+      let path = Filename.temp_file "clara_serve_test" ".sock" in
+      Sys.remove path;
+      let nfs = [| "tcpack"; "udpipencap" |] in
+      let clients =
+        List.init 8 (fun i ->
+            Domain.spawn (fun () ->
+                let nf = nfs.(i mod 2) in
+                let req =
+                  Printf.sprintf {|{"id":%d,"cmd":"analyze","nf":"%s","workload":"mixed"}|} i nf
+                in
+                (nf, client_round path req)))
+      in
+      (* joins the burst from a helper domain, then asks the (main-domain)
+         server to stop *)
+      let closer =
+        Domain.spawn (fun () ->
+            let replies = List.map Domain.join clients in
+            let bye = client_round path {|{"id":99,"cmd":"shutdown"}|} in
+            (replies, bye))
+      in
+      Serve.Server.run s ~socket_path:path;
+      let replies, bye = Domain.join closer in
+      Alcotest.(check bool) "shutdown acknowledged" true (is_ok (parse_reply bye));
+      Alcotest.(check int) "8 replies" 8 (List.length replies);
+      let report_of line = Serve.Jsonl.str_member "report" (parse_reply line) in
+      List.iter
+        (fun (nf, line) ->
+          let r = parse_reply line in
+          Alcotest.(check bool) ("burst reply ok for " ^ nf) true (is_ok r);
+          Alcotest.(check (option string)) ("burst reply names " ^ nf) (Some nf)
+            (Serve.Jsonl.str_member "nf" r))
+        replies;
+      (* every client asking for the same NF got the identical report *)
+      Array.iter
+        (fun nf ->
+          match List.filter (fun (n, _) -> n = nf) replies with
+          | (_, first) :: rest ->
+            List.iter
+              (fun (_, line) ->
+                Alcotest.(check (option string))
+                  ("consistent report for " ^ nf)
+                  (report_of first) (report_of line))
+              rest
+          | [] -> Alcotest.fail "burst covered both NFs")
+        nfs;
+      Alcotest.(check bool) "socket removed on shutdown" false (Sys.file_exists path);
+      Alcotest.(check int) "served all 9 requests" 9 (Serve.Server.served s))
+
+let () =
+  Alcotest.run "serve"
+    [ ( "jsonl",
+        [ Alcotest.test_case "print/parse round-trip" `Quick test_json_roundtrip ] );
+      ("lru", [ Alcotest.test_case "eviction and stats" `Quick test_lru_semantics ]);
+      ( "server",
+        [ Alcotest.test_case "valid query and cache hit" `Quick test_handle_valid_and_cached;
+          Alcotest.test_case "error replies" `Quick test_handle_errors;
+          Alcotest.test_case "inline p4lite program" `Quick test_handle_p4lite;
+          Alcotest.test_case "pipelined batch over socketpair" `Quick test_batch_over_socketpair;
+          Alcotest.test_case "8-client concurrent burst" `Slow test_concurrent_burst ] ) ]
