@@ -12,12 +12,16 @@
     - `bench/main.exe parallel`: time the parallelized kernels under
       CLARA_JOBS=1 and the current job count and write the machine-readable
       BENCH_parallel.json summary (the cross-PR perf trajectory record).
+    - `bench/main.exe obs`: measure the Obs.Span instrumentation overhead
+      (bare kernel vs disabled spans vs enabled spans) and write
+      BENCH_obs.json; exits nonzero when disabled-mode overhead exceeds 5%.
     - `bench/main.exe list`: list experiment ids.
 
     CLARA_FULL=1 enlarges training sets and sweeps. *)
 
 let usage () =
-  print_endline "usage: main.exe [list | micro | parallel | <experiment id>...]";
+  print_endline
+    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -99,7 +103,7 @@ let run_all_concurrent jobs =
     exit 1
 
 let run_all () =
-  let jobs = Util.Pool.jobs () in
+  let jobs = Util.Pool.size () in
   if jobs > 1 then run_all_concurrent jobs else Experiments.Registry.run_all ();
   print_newline ();
   print_endline "All experiments complete. See EXPERIMENTS.md for paper-vs-measured notes."
@@ -325,13 +329,112 @@ let run_serve_report () =
   Printf.printf "  warm  (load + analyze)    %10.3f s   %8.1fx vs cold\n" warm (speedup warm);
   Printf.printf "  cached (LRU hit in serve) %10.6f s   %8.1fx vs cold\n" cached (speedup cached)
 
+(* -- BENCH_obs.json: what the span instrumentation costs — a bare kernel
+   vs the same kernel under [Obs.Span.with_] with recording disabled (the
+   always-compiled-in production configuration) vs enabled.  The disabled
+   overhead is the number that matters: it is paid by every instrumented
+   call in every untraced run, so the report gates on it. -- *)
+
+(* Roughly the size of the smallest instrumented units (a block encode, a
+   GBDT stage): big enough that one atomic load is noise, small enough
+   that a per-span cost would show. *)
+let obs_kernel () =
+  let acc = ref 0.0 in
+  for i = 1 to 256 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  !acc
+
+(* Minimum over reps sheds scheduler and GC noise. *)
+let obs_time ~iters ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let sink = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      sink := !sink +. f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    ignore (Sys.opaque_identity !sink);
+    if dt < !best then best := dt
+  done;
+  !best
+
+let run_obs_report () =
+  let iters = 100_000 and reps = 5 in
+  let saved = Obs.Span.enabled () in
+  let instrumented () = Obs.Span.with_ ~cat:"bench" "bench.obs_kernel" obs_kernel in
+  Obs.Span.set_enabled false;
+  let bare = obs_time ~iters ~reps obs_kernel in
+  let disabled = obs_time ~iters ~reps instrumented in
+  Obs.Span.set_enabled true;
+  Obs.Span.reset ();
+  let enabled = obs_time ~iters ~reps instrumented in
+  Obs.Span.reset ();
+  Obs.Span.set_enabled saved;
+  let per_call_ns t = t /. float_of_int iters *. 1e9 in
+  let overhead_pct t = (t -. bare) /. Float.max 1e-12 bare *. 100.0 in
+  let disabled_pct = overhead_pct disabled and enabled_pct = overhead_pct enabled in
+  let limit_pct = 5.0 in
+  let pass = disabled_pct <= limit_pct in
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-obs-bench/1\",\n\
+    \  \"iters\": %d,\n\
+    \  \"bare_ns_per_call\": %.2f,\n\
+    \  \"disabled_ns_per_call\": %.2f,\n\
+    \  \"enabled_ns_per_call\": %.2f,\n\
+    \  \"disabled_overhead_pct\": %.2f,\n\
+    \  \"enabled_overhead_pct\": %.2f,\n\
+    \  \"disabled_limit_pct\": %.1f,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    iters (per_call_ns bare) (per_call_ns disabled) (per_call_ns enabled) disabled_pct
+    enabled_pct limit_pct pass;
+  close_out oc;
+  Printf.printf "Span instrumentation overhead (also written to BENCH_obs.json):\n";
+  Printf.printf "  bare kernel       %10.1f ns/call\n" (per_call_ns bare);
+  Printf.printf "  spans disabled    %10.1f ns/call   overhead %+6.2f%% (limit %.1f%%)\n"
+    (per_call_ns disabled) disabled_pct limit_pct;
+  Printf.printf "  spans enabled     %10.1f ns/call   overhead %+6.2f%%\n" (per_call_ns enabled)
+    enabled_pct;
+  if not pass then begin
+    Printf.printf "FAIL: disabled-span overhead %.2f%% exceeds %.1f%%\n" disabled_pct limit_pct;
+    exit 1
+  end
+
+(* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
+   span recording when tracing, and flush both files when the run ends. *)
+let with_obs_flags args f =
+  let trace = ref None and metrics = ref None in
+  let rec strip = function
+    | "--trace" :: file :: rest ->
+      trace := Some file;
+      strip rest
+    | "--metrics" :: file :: rest ->
+      metrics := Some file;
+      strip rest
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let rest = strip args in
+  if !trace <> None then Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Obs.Span.write_chrome !trace;
+      Option.iter Obs.Metrics.write_file !metrics)
+    (fun () -> f rest)
+
 let () =
-  match Array.to_list Sys.argv with
+  with_obs_flags (List.tl (Array.to_list Sys.argv)) @@ fun args ->
+  match "main.exe" :: args with
   | [] | _ :: [] -> run_all ()
   | _ :: [ "list" ] -> usage ()
   | _ :: [ "micro" ] -> run_micro ()
   | _ :: [ "parallel" ] -> run_parallel_report ()
   | _ :: [ "serve" ] -> run_serve_report ()
+  | _ :: [ "obs" ] -> run_obs_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

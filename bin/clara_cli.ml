@@ -61,6 +61,38 @@ let iso8601_now () =
 
 let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Use full-size training sets.")
 
+(* -- observability plumbing -- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record timed spans and write a Chrome-trace JSON file (open in chrome://tracing).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write accumulated counters/gauges/histograms as Prometheus-style text on exit.")
+
+(** Enable span recording when [--trace] was given, run [f], then flush the
+    requested trace/metrics files (also on exceptions, so a crashed run still
+    leaves its telemetry behind). *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Obs.Span.write_chrome path;
+          Printf.eprintf "clara: wrote trace to %s (%d spans)\n%!" path
+            (List.length (Obs.Span.events ())))
+        trace;
+      Option.iter
+        (fun path ->
+          Obs.Metrics.write_file path;
+          Printf.eprintf "clara: wrote metrics to %s\n%!" path)
+        metrics)
+    f
+
 let model_arg =
   Arg.(value & opt (some dir) None
        & info [ "model" ] ~docv:"DIR" ~doc:"Warm-start from a saved model bundle instead of training.")
@@ -108,7 +140,8 @@ let show_cmd =
 (* -- train -- *)
 
 let train_cmd =
-  let run save full =
+  let run save full trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let models = train_models ~full in
     match save with
     | None -> print_endline "Training done (nothing persisted; pass --save DIR to keep it)."
@@ -127,12 +160,13 @@ let train_cmd =
          & info [ "save" ] ~docv:"DIR" ~doc:"Persist the trained bundle to this directory.")
   in
   Cmd.v (Cmd.info "train" ~doc:"Train Clara's models and optionally persist them")
-    Term.(const run $ save $ full_arg)
+    Term.(const run $ save $ full_arg $ trace_arg $ metrics_arg)
 
 (* -- analyze -- *)
 
 let analyze_cmd =
-  let run name spec full model =
+  let run name spec full model trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let elt = find_nf name in
     let models =
       match model with
@@ -149,7 +183,7 @@ let analyze_cmd =
       (100.0 *. Clara.Predictor.memory_accuracy elt)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Generate offloading insights for an unported NF")
-    Term.(const run $ nf_arg $ workload_arg $ full_arg $ model_arg)
+    Term.(const run $ nf_arg $ workload_arg $ full_arg $ model_arg $ trace_arg $ metrics_arg)
 
 (* -- serve -- *)
 

@@ -203,6 +203,7 @@ let feature_vector ?(mode : feature_mode = `Both) grams (elt : Ast.element) =
 (** Train one-vs-rest SVMs for every accelerator class on the labeled
     corpus of {!Algo_corpus}. *)
 let train ?(mode : feature_mode = `Both) ?(corpus : (Ast.element * Algo_corpus.label) list option) () =
+  Obs.Span.with_ ~cat:"pipeline" "algo.fit" @@ fun () ->
   let corpus = match corpus with Some c -> c | None -> Algo_corpus.labeled () in
   (* inference classifies loop components, so training must see them too:
      every element contributes its components under the element's label *)
@@ -245,6 +246,7 @@ let classify t (elt : Ast.element) : Algo_corpus.label =
 (** Scan a full NF: label every component and report detected accelerator
     opportunities as (component name, label). *)
 let detect t (elt : Ast.element) =
+  Obs.Span.with_ ~cat:"pipeline" "algo.detect" @@ fun () ->
   List.filter_map
     (fun (name, comp) ->
       match classify t comp with Algo_corpus.Other -> None | l -> Some (name, l))

@@ -41,6 +41,7 @@ let degradation objective (r : Nicsim.Colocate.result) =
     [group_size] random pairs; relevance = -degradation. *)
 let make_groups ?(n_groups = 30) ?(group_size = 6) ?(seed = 1601) objective
     (demands : Nicsim.Perf.demand array) =
+  Obs.Span.with_ ~cat:"pipeline" "colocation.groups" @@ fun () ->
   let rng = Util.Rng.create seed in
   let n = Array.length demands in
   List.init n_groups (fun _ ->
@@ -64,6 +65,7 @@ type t = { objective : objective; ranker : Mlkit.Rank.t }
 
 let train ?(groups : Mlkit.Rank.group list option) ?(objective = Total_throughput)
     (demands : Nicsim.Perf.demand array) =
+  Obs.Span.with_ ~cat:"pipeline" "colocation.fit" @@ fun () ->
   let groups = match groups with Some g -> g | None -> make_groups objective demands in
   { objective; ranker = Mlkit.Rank.fit groups }
 

@@ -38,6 +38,7 @@ let colocation_demands ~quick () =
     bundle covers every insight (off by default: only persisted bundles and
     colocation queries need it). *)
 let train ?(quick = false) ?(with_scaleout = true) ?(with_colocation = false) () =
+  Obs.Span.with_ ~cat:"pipeline" "pipeline.train" @@ fun () ->
   let ds = Predictor.synthesize_dataset ~n:(if quick then 30 else 120) () in
   let predictor = Predictor.train ~epochs:(if quick then 4 else 10) ds in
   let algo = Algo_id.train ~corpus:(Algo_corpus.labeled ~negatives:(if quick then 20 else 60) ()) () in
@@ -57,6 +58,7 @@ let train ?(quick = false) ?(with_scaleout = true) ?(with_colocation = false) ()
 (** Analyze an unported NF under a workload specification and produce the
     full insight bundle. *)
 let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t =
+  Obs.Span.with_ ~cat:"pipeline" "pipeline.analyze" @@ fun () ->
   let prep = Prepare.prepare m.predictor.Predictor.vocab elt in
   (* performance parameters: LSTM for compute, direct count for memory *)
   let per_block = Predictor.predict_element m.predictor elt in
@@ -68,12 +70,18 @@ let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t
       (fun (component, algorithm) -> { Insights.component; algorithm })
       (Algo_id.detect m.algo elt)
   in
-  let ported = Nicsim.Nic.port elt spec in
+  let ported = Obs.Span.with_ ~cat:"pipeline" "nic.port" (fun () -> Nicsim.Nic.port elt spec) in
   let suggested_cores =
     Option.map (fun s -> Scaleout.suggest s ported.Nicsim.Nic.demand) m.scaleout
   in
-  let placement = if elt.Ast.state = [] then [] else Placement.solve elt ported in
-  let packs = Coalesce.suggest elt ported.Nicsim.Nic.profile in
+  let placement =
+    if elt.Ast.state = [] then []
+    else Obs.Span.with_ ~cat:"pipeline" "placement.solve" (fun () -> Placement.solve elt ported)
+  in
+  let packs =
+    Obs.Span.with_ ~cat:"pipeline" "coalesce.suggest" (fun () ->
+        Coalesce.suggest elt ported.Nicsim.Nic.profile)
+  in
   {
     Insights.nf_name = elt.Ast.name;
     workload = spec.Workload.name;

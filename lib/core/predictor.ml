@@ -44,8 +44,8 @@ type raw_program = {
 }
 
 let raw_of_element (elt : Ast.element) =
-  let ir = Nf_frontend.Lower.lower_element elt in
-  let compiled = Nicsim.Nfcc.compile ir in
+  let ir = Obs.Span.with_ ~cat:"pipeline" "lower" (fun () -> Nf_frontend.Lower.lower_element elt) in
+  let compiled = Obs.Span.with_ ~cat:"pipeline" "nfcc.compile" (fun () -> Nicsim.Nfcc.compile ir) in
   {
     block_words =
       Array.map
@@ -79,10 +79,14 @@ let raw_of_element (elt : Ast.element) =
     and blocks in order, so token ids — and hence the whole dataset — are
     bit-identical to a serial build for any [CLARA_JOBS]. *)
 let synthesize_dataset ?(n = 120) ?(seed = 501) () =
+  Obs.Span.with_ ~cat:"pipeline" "dataset.synthesize" @@ fun () ->
   let vocab = Vocab.create () in
-  let programs = Synth.Generator.batch ~seed n in
+  let programs =
+    Obs.Span.with_ ~cat:"pipeline" "synth.generate" (fun () -> Synth.Generator.batch ~seed n)
+  in
   let raws = Util.Pool.parallel_map_list ~chunk:1 raw_of_element programs in
   let examples =
+    Obs.Span.with_ ~cat:"pipeline" "vocab.intern" @@ fun () ->
     List.concat_map
       (fun raw ->
         let tokens = Array.map (Array.map (Vocab.index vocab)) raw.block_words in
@@ -110,6 +114,7 @@ type t = {
     per Adam step with gradients computed concurrently on the domain pool;
     the fit is deterministic for any [CLARA_JOBS] value. *)
 let train ?(epochs = 10) ?(hidden = 32) ?(batch = 8) (ds : dataset) =
+  Obs.Span.with_ ~cat:"pipeline" "predictor.fit" @@ fun () ->
   Vocab.freeze ds.vocab;
   let lstm = Mlkit.Lstm.create ~hidden ~vocab:(Vocab.size ds.vocab) 211 in
   let data = Array.map (fun e -> (e.tokens, [| e.nic_compute |])) ds.examples in
@@ -121,6 +126,7 @@ let predict_block t tokens = max 0.0 (Mlkit.Lstm.predict t.lstm tokens).(0)
 
 (** Per-block predictions for a whole unported element. *)
 let predict_element t (elt : Ast.element) =
+  Obs.Span.with_ ~cat:"pipeline" "predict" @@ fun () ->
   let prep = Prepare.prepare t.vocab elt in
   List.map
     (fun (b : Prepare.block_info) ->

@@ -35,8 +35,10 @@ let count_annot b p =
 (** Prepare an element: lower, build the CFG, encode each block against the
     given vocabulary. *)
 let prepare (vocab : Vocab.t) (elt : Ast.element) : t =
-  let ir = Nf_frontend.Lower.lower_element elt in
+  Obs.Span.with_ ~cat:"pipeline" "prepare" @@ fun () ->
+  let ir = Obs.Span.with_ ~cat:"pipeline" "lower" (fun () -> Nf_frontend.Lower.lower_element elt) in
   let blocks =
+    Obs.Span.with_ ~cat:"pipeline" "vocab.encode" @@ fun () ->
     Array.to_list
       (Array.map
          (fun b ->

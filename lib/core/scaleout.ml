@@ -53,6 +53,7 @@ type sample = { x : float array; optimal : float }
     the simulator's optimal core count (the paper's automated pipeline of
     deploy-and-benchmark). *)
 let training_samples ?(n_programs = 40) ?(seed = 1301) ?(specs : Workload.spec list option) () =
+  Obs.Span.with_ ~cat:"pipeline" "scaleout.samples" @@ fun () ->
   let specs =
     match specs with
     | Some s -> s
@@ -79,6 +80,7 @@ let training_samples ?(n_programs = 40) ?(seed = 1301) ?(specs : Workload.spec l
 type t = { gbdt : Mlkit.Tree.gbdt }
 
 let train ?(samples : sample list option) () =
+  Obs.Span.with_ ~cat:"pipeline" "scaleout.fit" @@ fun () ->
   let samples = match samples with Some s -> s | None -> training_samples () in
   let xs = Array.of_list (List.map (fun s -> s.x) samples) in
   let ys = Array.of_list (List.map (fun s -> s.optimal) samples) in
@@ -89,6 +91,7 @@ let train ?(samples : sample list option) () =
 
 (** Suggested core count for an NF/workload, clamped to the NIC. *)
 let suggest ?(nic = Nicsim.Multicore.default_nic) t (d : Nicsim.Perf.demand) =
+  Obs.Span.with_ ~cat:"pipeline" "scaleout.suggest" @@ fun () ->
   let raw = Mlkit.Tree.gbdt_predict t.gbdt (features d) in
   max 1 (min nic.Nicsim.Multicore.n_cores (int_of_float (Float.round raw)))
 

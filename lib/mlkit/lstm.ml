@@ -252,17 +252,18 @@ let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(batch = 1)
       !err
     in
     for epoch = 1 to epochs do
-      Util.Rng.shuffle rng idx;
-      let total = ref 0.0 in
-      if batch <= 1 then Array.iter (fun k -> total := !total +. example_step k) idx
-      else begin
-        let b0 = ref 0 in
-        while !b0 < n do
-          let bsz = min batch (n - !b0) in
-          total := !total +. minibatch_step !b0 bsz;
-          b0 := !b0 + bsz
-        done
-      end;
-      progress ~epoch ~loss:(!total /. float_of_int n)
+      Obs.Span.with_ ~cat:"mlkit" "lstm.epoch" (fun () ->
+          Util.Rng.shuffle rng idx;
+          let total = ref 0.0 in
+          if batch <= 1 then Array.iter (fun k -> total := !total +. example_step k) idx
+          else begin
+            let b0 = ref 0 in
+            while !b0 < n do
+              let bsz = min batch (n - !b0) in
+              total := !total +. minibatch_step !b0 bsz;
+              b0 := !b0 + bsz
+            done
+          end;
+          progress ~epoch ~loss:(!total /. float_of_int n))
     done
   end

@@ -27,6 +27,7 @@ let lambdas (g : group) scores =
   lam
 
 let fit ?(n_stages = 50) ?(shrinkage = 0.15) ?(max_depth = 3) (groups : group list) =
+  Obs.Span.with_ ~cat:"mlkit" "rank.fit" @@ fun () ->
   let all_features = Array.concat (List.map (fun g -> g.features) groups) in
   let n = Array.length all_features in
   let scores = Array.make n 0.0 in

@@ -34,6 +34,7 @@ type svm = { w : float array; b : float; mu : float array; sd : float array }
     sampling each class with equal probability, which matters for the
     few-positives/many-negatives accelerator corpora. *)
 let svm_fit ?(lambda = 1e-3) ?(epochs = 60) ?(seed = 13) xs ys =
+  Obs.Span.with_ ~cat:"mlkit" "svm.fit" @@ fun () ->
   let xs', mu, sd = La.standardize xs in
   (* the bias rides along as a constant feature, regularized with w *)
   let xs' = Array.map (fun x -> Array.append x [| 1.0 |]) xs' in
@@ -79,6 +80,7 @@ type kmeans = { centroids : float array array }
 
 (** Lloyd's algorithm with k-means++-style seeding. *)
 let kmeans_fit ?(iters = 50) ?(seed = 17) ~k xs =
+  Obs.Span.with_ ~cat:"mlkit" "kmeans.fit" @@ fun () ->
   let n = Array.length xs in
   if n = 0 then { centroids = [||] }
   else begin

@@ -140,6 +140,7 @@ type gbdt = { init : float; shrinkage : float; stages : t list }
 
 (** Least-squares gradient boosting: each stage fits the residuals. *)
 let gbdt_fit ?(n_stages = 60) ?(shrinkage = 0.15) ?(config = { default_grow with max_depth = 3 }) xs ys =
+  Obs.Span.with_ ~cat:"mlkit" "gbdt.fit" @@ fun () ->
   let n = Array.length ys in
   let init = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
   let preds = Array.make n init in
@@ -158,6 +159,7 @@ let gbdt_predict g x =
 (** Binary classification via boosting on the logistic gradient; labels in
     {0,1}; prediction is a probability. *)
 let gbdt_fit_binary ?(n_stages = 60) ?(shrinkage = 0.2) ?(config = { default_grow with max_depth = 3 }) xs ys =
+  Obs.Span.with_ ~cat:"mlkit" "gbdt.fit_binary" @@ fun () ->
   let n = Array.length ys in
   let scores = Array.make n 0.0 in
   let stages = ref [] in

@@ -1,0 +1,3 @@
+(** Wall-clock for instrumentation timing. *)
+
+let now_s = Unix.gettimeofday

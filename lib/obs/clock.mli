@@ -1,0 +1,2 @@
+(** Wall-clock seconds since the epoch, for instrumentation timing. *)
+val now_s : unit -> float

@@ -1,0 +1,261 @@
+(** Process-wide metric registry (see metrics.mli). *)
+
+(* Counters store micro-units in an int atomic so fractional amounts
+   (seconds) accumulate lock-free; histograms keep per-bucket int atomics
+   and guard only the float sum with a mutex. *)
+
+let micro = 1_000_000
+
+type hist = {
+  bounds : float array;
+  counts : int Atomic.t array; (* length = Array.length bounds + 1 (+Inf) *)
+  h_lock : Mutex.t;
+  mutable h_sum : float;
+}
+
+type counter = { c_cell : int Atomic.t }
+type gauge = { g_cell : float Atomic.t }
+type histogram = hist
+
+type value = Counter of counter | Gauge of gauge | Histogram of hist
+
+type metric = {
+  base : string;
+  labels : (string * string) list;
+  help : string;
+  value : value;
+}
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_lock = Mutex.create ()
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | l ->
+    "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) l) ^ "}"
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register base labels help make extract =
+  let labels = List.sort compare labels in
+  let key = base ^ label_string labels in
+  Mutex.lock reg_lock;
+  let m =
+    match Hashtbl.find_opt registry key with
+    | Some m -> m
+    | None ->
+      let m = { base; labels; help; value = make () } in
+      Hashtbl.add registry key m;
+      m
+  in
+  Mutex.unlock reg_lock;
+  match extract m.value with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s is already registered as a %s" key (kind_name m.value))
+
+(* -- counters -- *)
+
+let counter ?(help = "") ?(labels = []) base =
+  register base labels help
+    (fun () -> Counter { c_cell = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.Metrics.add: counters are monotone";
+  ignore (Atomic.fetch_and_add c.c_cell (n * micro))
+
+let inc c = ignore (Atomic.fetch_and_add c.c_cell micro)
+
+let addf c v =
+  if not (v >= 0.0) then invalid_arg "Obs.Metrics.addf: counters are monotone";
+  ignore (Atomic.fetch_and_add c.c_cell (int_of_float ((v *. float_of_int micro) +. 0.5)))
+
+let counter_value c = float_of_int (Atomic.get c.c_cell) /. float_of_int micro
+
+(* -- gauges -- *)
+
+let gauge ?(help = "") ?(labels = []) base =
+  register base labels help
+    (fun () -> Gauge { g_cell = Atomic.make 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g_cell v
+
+let rec add_gauge g v =
+  let cur = Atomic.get g.g_cell in
+  if not (Atomic.compare_and_set g.g_cell cur (cur +. v)) then add_gauge g v
+
+let gauge_value g = Atomic.get g.g_cell
+
+(* -- histograms -- *)
+
+let default_buckets = [| 1e-4; 5e-4; 1e-3; 5e-3; 0.025; 0.1; 0.5; 2.5; 10.0; 30.0 |]
+
+let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) base =
+  let k = Array.length buckets in
+  if k = 0 then invalid_arg "Obs.Metrics.histogram: need at least one bucket";
+  for i = 1 to k - 1 do
+    if not (buckets.(i) > buckets.(i - 1)) then
+      invalid_arg "Obs.Metrics.histogram: bucket bounds must be strictly increasing"
+  done;
+  register base labels help
+    (fun () ->
+      Histogram
+        { bounds = Array.copy buckets;
+          counts = Array.init (k + 1) (fun _ -> Atomic.make 0);
+          h_lock = Mutex.create ();
+          h_sum = 0.0 })
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  let k = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < k && v > h.bounds.(!i) do
+    incr i
+  done;
+  Atomic.incr h.counts.(!i);
+  Mutex.lock h.h_lock;
+  h.h_sum <- h.h_sum +. v;
+  Mutex.unlock h.h_lock
+
+let histogram_count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+let histogram_sum h =
+  Mutex.lock h.h_lock;
+  let s = h.h_sum in
+  Mutex.unlock h.h_lock;
+  s
+
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
+(* -- export -- *)
+
+let collect () =
+  Mutex.lock reg_lock;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  List.sort (fun a b -> compare (a.base, a.labels) (b.base, b.labels)) ms
+
+let fmt_float f = Printf.sprintf "%.12g" f
+
+(* cumulative per-bucket counts plus the grand total, read once *)
+let hist_cumulative h =
+  let raw = Array.map Atomic.get h.counts in
+  let cum = Array.make (Array.length raw) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      acc := !acc + c;
+      cum.(i) <- !acc)
+    raw;
+  (cum, !acc)
+
+let bucket_labels labels le = labels @ [ ("le", le) ]
+
+let exposition () =
+  let b = Buffer.create 1024 in
+  let last_family = ref "" in
+  List.iter
+    (fun m ->
+      if m.base <> !last_family then begin
+        last_family := m.base;
+        if m.help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" m.base m.help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" m.base (kind_name m.value))
+      end;
+      match m.value with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" m.base (label_string m.labels) (fmt_float (counter_value c)))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" m.base (label_string m.labels) (fmt_float (gauge_value g)))
+      | Histogram h ->
+        let cum, total = hist_cumulative h in
+        Array.iteri
+          (fun i bound ->
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" m.base
+                 (label_string (bucket_labels m.labels (fmt_float bound)))
+                 cum.(i)))
+          h.bounds;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" m.base
+             (label_string (bucket_labels m.labels "+Inf"))
+             total);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" m.base (label_string m.labels)
+             (fmt_float (histogram_sum h)));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" m.base (label_string m.labels) total))
+    (collect ());
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%S" k v) labels)
+  ^ "}"
+
+let to_json_string () =
+  let b = Buffer.create 1024 in
+  let first = ref true in
+  let item s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"metrics\":[";
+  List.iter
+    (fun m ->
+      match m.value with
+      | Counter c ->
+        item
+          (Printf.sprintf "{\"name\":%S,\"kind\":\"counter\",\"labels\":%s,\"value\":%s}" m.base
+             (json_labels m.labels)
+             (fmt_float (counter_value c)))
+      | Gauge g ->
+        item
+          (Printf.sprintf "{\"name\":%S,\"kind\":\"gauge\",\"labels\":%s,\"value\":%s}" m.base
+             (json_labels m.labels)
+             (fmt_float (gauge_value g)))
+      | Histogram h ->
+        let cum, total = hist_cumulative h in
+        let buckets =
+          String.concat ","
+            (Array.to_list
+               (Array.mapi
+                  (fun i bound ->
+                    Printf.sprintf "{\"le\":%s,\"count\":%d}" (fmt_float bound) cum.(i))
+                  h.bounds)
+            @ [ Printf.sprintf "{\"le\":\"+Inf\",\"count\":%d}" total ])
+        in
+        item
+          (Printf.sprintf
+             "{\"name\":%S,\"kind\":\"histogram\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+             m.base (json_labels m.labels) total
+             (fmt_float (histogram_sum h))
+             buckets))
+    (collect ());
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_file path =
+  let oc = open_out path in
+  output_string oc (exposition ());
+  close_out oc
+
+let reset () =
+  List.iter
+    (fun m ->
+      match m.value with
+      | Counter c -> Atomic.set c.c_cell 0
+      | Gauge g -> Atomic.set g.g_cell 0.0
+      | Histogram h ->
+        Mutex.lock h.h_lock;
+        Array.iter (fun c -> Atomic.set c 0) h.counts;
+        h.h_sum <- 0.0;
+        Mutex.unlock h.h_lock)
+    (collect ())

@@ -1,0 +1,64 @@
+(** Named counters, gauges and fixed-bucket histograms with Prometheus-style
+    text exposition and a JSON dump.
+
+    Metrics live in one process-wide registry and are always on (updates
+    are an atomic add or a single short critical section — cheap enough
+    that, unlike spans, they need no runtime toggle).  Creation is
+    idempotent: asking for an existing (name, labels) pair returns the
+    registered instrument, so call sites can create at module init or on
+    the hot path without bookkeeping.
+
+    Counters are monotone (negative increments are rejected) and store
+    micro-units internally, so fractional values such as seconds accumulate
+    atomically without a lock. *)
+
+type counter
+type gauge
+type histogram
+
+(** @raise Invalid_argument if the (name, labels) pair is already
+    registered as a different metric kind. *)
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val inc : counter -> unit
+
+(** @raise Invalid_argument on negative increments (counters are monotone). *)
+val add : counter -> int -> unit
+
+(** Add a fractional amount (e.g. seconds); micro-unit resolution. *)
+val addf : counter -> float -> unit
+
+val counter_value : counter -> float
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** [buckets] are the inclusive upper bounds, strictly increasing; an
+    implicit +Inf bucket is appended.  Default buckets suit latencies in
+    seconds: 100us ... 30s. *)
+val histogram :
+  ?help:string -> ?labels:(string * string) list -> ?buckets:float array -> string -> histogram
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** Run [f ()], observe its wall-clock duration in seconds, return its
+    result (also on exception). *)
+val time : histogram -> (unit -> 'a) -> 'a
+
+(** Prometheus text exposition: [# HELP] / [# TYPE] per family, families
+    and label sets in sorted order, histograms with cumulative
+    [_bucket{le=...}] lines plus [_sum] and [_count]. *)
+val exposition : unit -> string
+
+(** One-line JSON dump of every registered metric. *)
+val to_json_string : unit -> string
+
+val write_file : string -> unit
+
+(** Zero every registered value (instruments stay registered).  Testing
+    only: counters are meant to be monotone over a process lifetime. *)
+val reset : unit -> unit

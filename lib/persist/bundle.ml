@@ -68,7 +68,11 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
+let m_load_seconds =
+  Obs.Metrics.histogram ~help:"Model-bundle load latency in seconds" "clara_persist_load_seconds"
+
 let save ~dir manifest models =
+  Obs.Span.with_ ~cat:"persist" "bundle.save" @@ fun () ->
   mkdir_p dir;
   List.iter (fun (file, data) -> Wire.write_file (Filename.concat dir file) data) (encode manifest models)
 
@@ -84,6 +88,8 @@ let load_optional dir file decode =
   else Ok None
 
 let load ~dir =
+  Obs.Span.with_ ~cat:"persist" "bundle.load" @@ fun () ->
+  Obs.Metrics.time m_load_seconds @@ fun () ->
   let* manifest = load_file dir manifest_file decode_manifest in
   let* predictor = load_file dir predictor_file Codec.decode_predictor in
   let* algo = load_file dir algo_file Codec.decode_algo in

@@ -233,12 +233,21 @@ let unframe ~component s =
 
 (* -- files -- *)
 
+let m_bytes_written =
+  Obs.Metrics.counter ~help:"Artifact bytes written by Persist.Wire" "clara_persist_bytes_written_total"
+
+let m_bytes_read =
+  Obs.Metrics.counter ~help:"Artifact bytes read by Persist.Wire" "clara_persist_bytes_read_total"
+
 let write_file path data =
+  Obs.Metrics.add m_bytes_written (String.length data);
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
-  | data -> Ok data
+  | data ->
+    Obs.Metrics.add m_bytes_read (String.length data);
+    Ok data
   | exception Sys_error msg -> Result.Error (Io_error msg)
 
 let save ~component path payload = write_file path (frame ~component payload)

@@ -248,5 +248,84 @@ let of_string s =
 
 let member key = function Obj l -> List.assoc_opt key l | _ -> None
 
+(* -- best-effort member salvage from malformed text --
+
+   Error replies must echo the request id even when the request line does
+   not parse, or pipelined clients lose correlation.  Scan the raw text for
+   the quoted key at object depth 1 (tracking strings so a key inside a
+   value cannot match), then parse the scalar that follows the ':'. *)
+
+let salvage_member key s =
+  let n = String.length s in
+  let klen = String.length key in
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  (* [i] points just after an opening quote; result points past the closing
+     quote (or [n] when the string never terminates) *)
+  let rec skip_string i =
+    if i >= n then n
+    else
+      match s.[i] with '\\' -> skip_string (i + 2) | '"' -> i + 1 | _ -> skip_string (i + 1)
+  in
+  let parse_scalar i =
+    let i = ref i in
+    while !i < n && is_ws s.[!i] do
+      incr i
+    done;
+    if !i >= n then None
+    else
+      match s.[!i] with
+      | '"' ->
+        let stop = skip_string (!i + 1) in
+        if stop <= n && stop > !i + 1 && s.[stop - 1] = '"' then
+          match of_string (String.sub s !i (stop - !i)) with Ok v -> Some v | Error _ -> None
+        else None
+      | 't' | 'f' | 'n' ->
+        let take w v =
+          if !i + String.length w <= n && String.sub s !i (String.length w) = w then Some v
+          else None
+        in
+        (match s.[!i] with
+        | 't' -> take "true" (Bool true)
+        | 'f' -> take "false" (Bool false)
+        | _ -> take "null" Null)
+      | '0' .. '9' | '-' | '+' | '.' ->
+        let stop = ref !i in
+        while
+          !stop < n
+          && match s.[!stop] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+        do
+          incr stop
+        done;
+        Option.map (fun f -> Num f) (float_of_string_opt (String.sub s !i (!stop - !i)))
+      | _ -> None
+  in
+  let found = ref None in
+  let depth = ref 0 in
+  let i = ref 0 in
+  while !found = None && !i < n do
+    match s.[!i] with
+    | '"' ->
+      let start = !i + 1 in
+      let stop = skip_string start in
+      (if !depth = 1 && stop <= n && stop > start && s.[stop - 1] = '"'
+          && stop - 1 - start = klen
+          && String.sub s start klen = key then begin
+         let j = ref stop in
+         while !j < n && is_ws s.[!j] do
+           incr j
+         done;
+         if !j < n && s.[!j] = ':' then found := parse_scalar (!j + 1)
+       end);
+      i := stop
+    | '{' | '[' ->
+      incr depth;
+      incr i
+    | '}' | ']' ->
+      decr depth;
+      incr i
+    | _ -> incr i
+  done;
+  !found
+
 let str_member key v = match member key v with Some (Str s) -> Some s | _ -> None
 let num_member key v = match member key v with Some (Num f) -> Some f | _ -> None

@@ -26,3 +26,10 @@ val member : string -> t -> t option
 val str_member : string -> t -> string option
 
 val num_member : string -> t -> float option
+
+(** Best-effort scalar-member extraction from possibly-{b malformed} text:
+    finds the quoted [key] at object depth 1 (never inside a string value)
+    and parses the scalar after the ':'.  Used to echo the request [id] in
+    error replies when the request line itself does not parse; [None] when
+    the key or a parseable scalar value cannot be found. *)
+val salvage_member : string -> string -> t option

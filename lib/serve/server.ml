@@ -16,6 +16,21 @@ let cache_misses t = Lru.misses t.cache
 
 let corpus_names () = List.map (fun e -> e.Nf_lang.Ast.name) (Nf_lang.Corpus.all ())
 
+(* -- service metrics -- *)
+
+let m_requests = Obs.Metrics.counter ~help:"Request lines handled" "clara_serve_requests_total"
+let m_errors = Obs.Metrics.counter ~help:"Error replies sent" "clara_serve_errors_total"
+let m_cache_hits = Obs.Metrics.counter ~help:"Report-cache hits" "clara_serve_cache_hits_total"
+
+let m_cache_misses =
+  Obs.Metrics.counter ~help:"Report-cache misses" "clara_serve_cache_misses_total"
+
+let m_in_flight =
+  Obs.Metrics.gauge ~help:"Request lines currently being processed" "clara_serve_in_flight"
+
+let m_latency =
+  Obs.Metrics.histogram ~help:"Per-request wall latency in seconds" "clara_serve_request_seconds"
+
 (* -- workloads -- *)
 
 let mixed_spec =
@@ -114,6 +129,7 @@ let program_of_json j =
 let ok_reply id fields = Jsonl.to_string (Jsonl.Obj (("id", id) :: ("ok", Jsonl.Bool true) :: fields))
 
 let err_reply ?valid id msg =
+  Obs.Metrics.inc m_errors;
   let fields = [ ("id", id); ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
   let fields =
     match valid with
@@ -174,16 +190,31 @@ let plan_analyze t id req =
     | Error reply -> Ready reply
     | Ok (elt, nf_label, key) -> (
       match Lru.find t.cache key with
-      | Some report -> Hit { id; nf_label; wname; report }
-      | None -> Miss { id; key; elt; spec; nf_label; wname }))
+      | Some report ->
+        Obs.Metrics.inc m_cache_hits;
+        Hit { id; nf_label; wname; report }
+      | None ->
+        Obs.Metrics.inc m_cache_misses;
+        Miss { id; key; elt; spec; nf_label; wname }))
 
 let plan_line t line =
   t.served_count <- t.served_count + 1;
+  Obs.Metrics.inc m_requests;
   match Jsonl.of_string line with
-  | Error msg -> Ready (err_reply Jsonl.Null ("malformed JSON: " ^ msg))
+  | Error msg ->
+    (* Even an unparseable line gets its id echoed back when one can be
+       salvaged, so pipelined clients keep request/reply correlation. *)
+    let id = Option.value (Jsonl.salvage_member "id" line) ~default:Jsonl.Null in
+    Ready (err_reply id ("malformed JSON: " ^ msg))
   | Ok req -> (
     let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
-    match Jsonl.str_member "cmd" req with
+    (* "op" is accepted as an alias for "cmd". *)
+    let cmd =
+      match Jsonl.str_member "cmd" req with
+      | Some _ as c -> c
+      | None -> Jsonl.str_member "op" req
+    in
+    match cmd with
     | Some "ping" -> Ready (ok_reply id [ ("pong", Jsonl.Bool true) ])
     | Some "list" ->
       Ready
@@ -197,6 +228,7 @@ let plan_line t line =
              ("cache_misses", Jsonl.Num (float_of_int (Lru.misses t.cache)));
              ("cache_length", Jsonl.Num (float_of_int (Lru.length t.cache)));
              ("cache_capacity", Jsonl.Num (float_of_int (Lru.capacity t.cache))) ])
+    | Some "metrics" -> Ready (ok_reply id [ ("metrics", Jsonl.Str (Obs.Metrics.exposition ())) ])
     | Some "shutdown" ->
       t.stop_requested <- true;
       Ready (ok_reply id [ ("stopping", Jsonl.Bool true) ])
@@ -205,6 +237,19 @@ let plan_line t line =
     | None -> Ready (err_reply id "missing \"cmd\""))
 
 let process_batch t lines =
+  Obs.Span.with_ ~cat:"serve" "serve.batch" @@ fun () ->
+  let n_lines = List.length lines in
+  Obs.Metrics.add_gauge m_in_flight (float_of_int n_lines);
+  let t0 = Obs.Clock.now_s () in
+  Fun.protect ~finally:(fun () ->
+      (* Replies for a batch are produced together, so each line's wall
+         latency is the batch's elapsed time. *)
+      let dt = Obs.Clock.now_s () -. t0 in
+      for _ = 1 to n_lines do
+        Obs.Metrics.observe m_latency dt
+      done;
+      Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines))
+  @@ fun () ->
   let plans = List.map (plan_line t) lines in
   (* Deduplicate this batch's cache misses, keeping first-seen order, then
      analyze the distinct jobs concurrently. *)

@@ -10,12 +10,17 @@
     {"id":3,"cmd":"list"}       corpus NF names
     {"id":4,"cmd":"stats"}      served / cache counters
     {"id":5,"cmd":"ping"}
-    {"id":6,"cmd":"shutdown"}   reply, then stop accepting
+    {"id":6,"cmd":"metrics"}    Prometheus-style exposition (Obs.Metrics)
+    {"id":7,"cmd":"shutdown"}   reply, then stop accepting
     v}
+
+    ["op"] is accepted as an alias for ["cmd"].
 
     Replies carry ["ok":true] plus command-specific fields (for [analyze]:
     ["nf"], ["workload"], ["cached"], ["report"]), or ["ok":false] with
     ["error"] — and, for unknown NFs, ["valid"] listing corpus names.
+    Error replies echo the request ["id"] whenever one is recoverable,
+    even from lines that fail to parse as JSON.
 
     Reports are memoized per (NF, workload) in a bounded {!Lru} cache;
     the distinct misses of a batch of lines are analyzed concurrently over

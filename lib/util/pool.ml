@@ -23,6 +23,30 @@
 
 let default_chunk n = max 1 ((n + 63) / 64)
 
+(* -- pool metrics (always on; see lib/obs) -- *)
+
+let m_regions = Obs.Metrics.counter ~help:"Parallel regions entered" "clara_pool_regions_total"
+let m_tasks = Obs.Metrics.counter ~help:"Pool tasks (chunks) executed" "clara_pool_tasks_total"
+
+let m_queue =
+  Obs.Metrics.gauge ~help:"Tasks enqueued by the most recent parallel region" "clara_pool_queue_depth"
+
+let m_size = Obs.Metrics.gauge ~help:"Effective job count (Pool.size)" "clara_pool_size"
+
+let m_util =
+  Obs.Metrics.gauge ~help:"Busy fraction of the last parallel region (busy / wall * jobs)"
+    "clara_pool_utilization"
+
+let busy_counter d =
+  Obs.Metrics.counter ~help:"Seconds spent executing pool tasks"
+    ~labels:[ ("domain", string_of_int d) ]
+    "clara_pool_busy_seconds_total"
+
+let idle_counter d =
+  Obs.Metrics.counter ~help:"Seconds workers spent parked waiting for work"
+    ~labels:[ ("domain", string_of_int d) ]
+    "clara_pool_idle_seconds_total"
+
 (* -- job-count policy -- *)
 
 let env_jobs () =
@@ -63,6 +87,10 @@ let n_workers = ref 0
 (* true while this domain is executing a pool task: nested regions go serial *)
 let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(** Effective parallelism of a region started here and now: 1 inside a
+    pool task (nested regions run serially), else [jobs ()]. *)
+let size () = if Domain.DLS.get inside_task then 1 else jobs ()
+
 let worker_loop () =
   let rec next () =
     (* called with [lock] held *)
@@ -71,7 +99,9 @@ let worker_loop () =
       match Queue.take_opt queue with
       | Some t -> Some t
       | None ->
+        let t0 = Obs.Clock.now_s () in
         Condition.wait work_available lock;
+        Obs.Metrics.addf (idle_counter (Domain.self () :> int)) (Obs.Clock.now_s () -. t0);
         next ()
   in
   let rec loop () =
@@ -120,6 +150,9 @@ let run_tasks (tasks : (unit -> unit) array) =
   let n = Array.length tasks in
   if n = 0 then ()
   else begin
+    Obs.Metrics.inc m_regions;
+    Obs.Metrics.add m_tasks n;
+    Obs.Metrics.set_gauge m_size (float_of_int (size ()));
     let serial () =
       Array.iter
         (fun t ->
@@ -128,16 +161,22 @@ let run_tasks (tasks : (unit -> unit) array) =
           Fun.protect ~finally:(fun () -> Domain.DLS.set inside_task saved) t)
         tasks
     in
-    if jobs () <= 1 || n = 1 || Domain.DLS.get inside_task then serial ()
+    if size () <= 1 || n = 1 then serial ()
     else begin
       ensure_workers (jobs () - 1);
+      let region_t0 = Obs.Clock.now_s () in
+      let busy_us = Atomic.make 0 in
       let remaining = Atomic.make n in
       let failure : exn option array = Array.make n None in
       let done_lock = Mutex.create () in
       let all_done = Condition.create () in
       let wrap i t () =
         Domain.DLS.set inside_task true;
+        let t0 = Obs.Clock.now_s () in
         (try t () with e -> failure.(i) <- Some e);
+        let dt = Obs.Clock.now_s () -. t0 in
+        Obs.Metrics.addf (busy_counter (Domain.self () :> int)) dt;
+        ignore (Atomic.fetch_and_add busy_us (int_of_float (dt *. 1e6)));
         Domain.DLS.set inside_task false;
         if Atomic.fetch_and_add remaining (-1) = 1 then begin
           Mutex.lock done_lock;
@@ -145,6 +184,7 @@ let run_tasks (tasks : (unit -> unit) array) =
           Mutex.unlock done_lock
         end
       in
+      Obs.Metrics.set_gauge m_queue (float_of_int n);
       Mutex.lock lock;
       Array.iteri (fun i t -> Queue.add (wrap i t) queue) tasks;
       Condition.broadcast work_available;
@@ -168,6 +208,11 @@ let run_tasks (tasks : (unit -> unit) array) =
         end
       in
       help ();
+      let wall = Obs.Clock.now_s () -. region_t0 in
+      let busy = float_of_int (Atomic.get busy_us) /. 1e6 in
+      Obs.Metrics.set_gauge m_util
+        (Float.min 1.0 (busy /. Float.max 1e-9 (wall *. float_of_int (jobs ()))));
+      Obs.Metrics.set_gauge m_queue 0.0;
       Array.iter (function Some e -> raise e | None -> ()) failure
     end
   end

@@ -15,6 +15,12 @@
     override. *)
 val jobs : unit -> int
 
+(** Effective parallelism of a region started by the calling domain right
+    now: 1 from inside a pool task (nested regions run serially), else
+    {!jobs}.  Callers wanting "how wide will my fan-out actually run?"
+    should use this instead of re-reading [CLARA_JOBS]. *)
+val size : unit -> int
+
 (** Override the job count (e.g. for serial/parallel equivalence tests).
     Takes effect for subsequent regions; already-spawned workers are kept
     parked, which never changes results.

@@ -1,0 +1,267 @@
+(** Tests for the observability layer: span recording semantics (nesting,
+    exception safety, disabled mode, ring eviction), the stable span-tree
+    structure of [Pipeline.analyze] under serial and 4-domain pools,
+    [Pool.size], the Prometheus-style exposition (parsed back and checked
+    for monotonicity and bucket/count consistency), and the validity of
+    both JSON exports.
+
+    Like test_parallel, the suite runs twice from dune — once with
+    CLARA_JOBS=1 and once with CLARA_JOBS=4 — so every assertion holds in
+    both ambient pool modes. *)
+
+let with_jobs n f =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Util.Pool.set_jobs saved) f
+
+let with_spans f =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ())
+    f
+
+let names_of evs = List.map (fun (e : Obs.Span.event) -> e.Obs.Span.name) evs
+
+(* -- span recording -- *)
+
+let test_span_disabled () =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled false;
+  let r = Obs.Span.with_ "off" (fun () -> 41 + 1) in
+  Alcotest.(check int) "body still runs" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Span.events ()))
+
+let test_span_nesting () =
+  with_spans @@ fun () ->
+  Obs.Span.with_ "a" (fun () ->
+      Obs.Span.with_ "b" (fun () -> ());
+      Obs.Span.with_ "c" (fun () -> ()));
+  Obs.Span.with_ "d" (fun () -> ());
+  Alcotest.(check (list string)) "start order" [ "a"; "b"; "c"; "d" ]
+    (names_of (Obs.Span.events ()));
+  match Obs.Span.forest () with
+  | [ ta; td ] ->
+    Alcotest.(check (list (pair string int)))
+      "a's subtree" [ ("a", 0); ("b", 1); ("c", 1) ] (Obs.Span.flatten ta);
+    Alcotest.(check (list (pair string int))) "d is its own root" [ ("d", 0) ]
+      (Obs.Span.flatten td);
+    Alcotest.(check int) "no orphans" 0 (List.length (Obs.Span.orphans ()))
+  | f -> Alcotest.failf "expected two roots, got %d" (List.length f)
+
+let test_span_exception_safety () =
+  with_spans @@ fun () ->
+  (try Obs.Span.with_ "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Obs.Span.with_ "after" (fun () -> ());
+  match Obs.Span.events () with
+  | [ boom; after ] ->
+    Alcotest.(check string) "raising span recorded" "boom" boom.Obs.Span.name;
+    Alcotest.(check int) "stack popped: next span is a root" (-1) after.Obs.Span.parent;
+    Alcotest.(check int) "next span back at depth 0" 0 after.Obs.Span.depth
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_ring_eviction () =
+  with_spans @@ fun () ->
+  let extra = 10 in
+  for i = 1 to Obs.Span.capacity + extra do
+    Obs.Span.with_ (if i <= extra then "old" else "new") (fun () -> ())
+  done;
+  Alcotest.(check int) "dropped counts evictions" extra (Obs.Span.dropped ());
+  let evs = Obs.Span.events () in
+  Alcotest.(check int) "ring holds exactly capacity" Obs.Span.capacity (List.length evs);
+  Alcotest.(check bool) "oldest events were the ones evicted" false
+    (List.exists (fun (e : Obs.Span.event) -> e.Obs.Span.name = "old") evs)
+
+(* -- Pool.size -- *)
+
+let test_pool_size () =
+  with_jobs 3 (fun () ->
+      Alcotest.(check int) "size = configured jobs outside tasks" 3 (Util.Pool.size ());
+      let inside = Util.Pool.parallel_map (fun _ -> Util.Pool.size ()) (Array.init 8 Fun.id) in
+      Array.iter
+        (Alcotest.(check int) "size = 1 inside a pool task (nested regions run serial)" 1)
+        inside);
+  with_jobs 1 (fun () -> Alcotest.(check int) "serial pool" 1 (Util.Pool.size ()))
+
+(* -- Pipeline.analyze span tree -- *)
+
+(* Tiny models, spans off during training so only [analyze] is recorded.
+   No scaleout model: its [suggest] span would otherwise appear too. *)
+let models =
+  lazy
+    (Obs.Span.set_enabled false;
+     Clara.Pipeline.train ~quick:true ~with_scaleout:false ())
+
+let spec = { Workload.default with Workload.n_packets = 200 }
+
+(* The exact preorder (name, relative depth) walk of one analyze call on a
+   stateful NF.  This is the structural contract: every pipeline stage
+   shows up, properly nested, in deterministic order. *)
+let expected_analyze_shape =
+  [ ("pipeline.analyze", 0);
+    ("prepare", 1);
+    ("lower", 2);
+    ("vocab.encode", 2);
+    ("predict", 1);
+    ("prepare", 2);
+    ("lower", 3);
+    ("vocab.encode", 3);
+    ("algo.detect", 1);
+    ("nic.port", 1);
+    ("placement.solve", 1);
+    ("coalesce.suggest", 1);
+    (* coalescing sweeps k = 1..3 cluster counts *)
+    ("kmeans.fit", 2);
+    ("kmeans.fit", 2);
+    ("kmeans.fit", 2) ]
+
+let analyze_shape ~jobs () =
+  let m = Lazy.force models in
+  let elt = Nf_lang.Corpus.find "Mazu-NAT" in
+  with_jobs jobs @@ fun () ->
+  with_spans @@ fun () ->
+  ignore (Clara.Pipeline.analyze m elt spec);
+  Alcotest.(check int) "no orphans" 0 (List.length (Obs.Span.orphans ()));
+  match
+    List.filter
+      (fun t -> t.Obs.Span.span.Obs.Span.name = "pipeline.analyze")
+      (Obs.Span.forest ())
+  with
+  | [ tree ] -> Obs.Span.flatten tree
+  | l -> Alcotest.failf "expected one pipeline.analyze root, got %d" (List.length l)
+
+let test_analyze_span_tree () =
+  let serial = analyze_shape ~jobs:1 () in
+  Alcotest.(check (list (pair string int)))
+    "every stage present, nested, in order (jobs=1)" expected_analyze_shape serial;
+  let parallel = analyze_shape ~jobs:4 () in
+  Alcotest.(check (list (pair string int)))
+    "identical structure under a 4-domain pool" expected_analyze_shape parallel
+
+(* -- Prometheus exposition golden test -- *)
+
+(* Parse one sample line back: "name value" or "name{labels} value". *)
+let parse_sample line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let name = String.sub line 0 i in
+    let v = float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) in
+    Option.map (fun v -> (name, v)) v
+
+let samples_of text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.filter_map parse_sample
+
+let test_exposition () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter ~help:"test counter" "test_obs_requests_total" in
+  let lc = Obs.Metrics.counter ~labels:[ ("mode", "x") ] "test_obs_labeled_total" in
+  let g = Obs.Metrics.gauge ~help:"test gauge" "test_obs_depth" in
+  let h = Obs.Metrics.histogram ~help:"test histogram" "test_obs_latency_seconds" in
+  Obs.Metrics.inc c;
+  let after_one = Obs.Metrics.counter_value c in
+  Obs.Metrics.add c 2;
+  Obs.Metrics.addf c 2.5;
+  Alcotest.(check bool) "counter is monotone" true (Obs.Metrics.counter_value c > after_one);
+  Alcotest.(check (float 1e-9)) "counter accumulates exactly" 5.5 (Obs.Metrics.counter_value c);
+  (match Obs.Metrics.add c (-1) with
+  | () -> Alcotest.fail "negative counter add must be rejected"
+  | exception Invalid_argument _ -> ());
+  Obs.Metrics.inc lc;
+  Obs.Metrics.set_gauge g 7.0;
+  Obs.Metrics.add_gauge g (-3.0);
+  let obs_values = [ 0.0003; 0.002; 0.07; 1.0; 100.0 ] in
+  List.iter (Obs.Metrics.observe h) obs_values;
+  let text = Obs.Metrics.exposition () in
+  let samples = samples_of text in
+  let value name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.failf "exposition is missing %s" name
+  in
+  Alcotest.(check (float 1e-9)) "counter sample" 5.5 (value "test_obs_requests_total");
+  Alcotest.(check (float 1e-9)) "labeled counter sample" 1.0
+    (value {|test_obs_labeled_total{mode="x"}|});
+  Alcotest.(check (float 1e-9)) "gauge sample" 4.0 (value "test_obs_depth");
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "HELP line present" true (contains "# HELP test_obs_requests_total" text);
+  Alcotest.(check bool) "counter TYPE line" true
+    (contains "# TYPE test_obs_requests_total counter" text);
+  Alcotest.(check bool) "histogram TYPE line" true
+    (contains "# TYPE test_obs_latency_seconds histogram" text);
+  (* histogram consistency: cumulative buckets are monotone, the +Inf
+     bucket equals _count, and _sum matches what was observed *)
+  let buckets =
+    List.filter (fun (n, _) -> contains "test_obs_latency_seconds_bucket{" n) samples
+  in
+  Alcotest.(check bool) "buckets emitted" true (List.length buckets > 1);
+  let cumulative = List.map snd buckets in
+  List.iteri
+    (fun i v ->
+      if i > 0 then
+        Alcotest.(check bool) "cumulative buckets never decrease" true
+          (v >= List.nth cumulative (i - 1)))
+    cumulative;
+  let count = value "test_obs_latency_seconds_count" in
+  Alcotest.(check (float 1e-9)) "+Inf bucket equals count"
+    count
+    (value {|test_obs_latency_seconds_bucket{le="+Inf"}|});
+  Alcotest.(check (float 1e-9)) "count matches observations"
+    (float_of_int (List.length obs_values))
+    count;
+  Alcotest.(check (float 1e-6)) "sum matches observations"
+    (List.fold_left ( +. ) 0.0 obs_values)
+    (value "test_obs_latency_seconds_sum");
+  Alcotest.(check int) "histogram_count agrees" (List.length obs_values)
+    (Obs.Metrics.histogram_count h);
+  (* [time] observes even when the body raises *)
+  (try Obs.Metrics.time h (fun () -> failwith "expected") with Failure _ -> ());
+  Alcotest.(check int) "time observes on exception" (List.length obs_values + 1)
+    (Obs.Metrics.histogram_count h)
+
+(* -- JSON exports parse -- *)
+
+let test_json_exports () =
+  (with_spans @@ fun () ->
+   Obs.Span.with_ "outer" (fun () -> Obs.Span.with_ {|in "ner"|} (fun () -> ()));
+   let txt = Obs.Span.to_chrome_json () in
+   match Serve.Jsonl.of_string txt with
+   | Error msg -> Alcotest.failf "chrome trace is not valid JSON: %s" msg
+   | Ok j -> (
+     match Serve.Jsonl.member "traceEvents" j with
+     | Some (Serve.Jsonl.Arr evs) ->
+       Alcotest.(check int) "one trace event per span" 2 (List.length evs);
+       List.iter
+         (fun e ->
+           Alcotest.(check (option string)) "complete events" (Some "X")
+             (Serve.Jsonl.str_member "ph" e))
+         evs
+     | _ -> Alcotest.fail "traceEvents array missing"));
+  match Serve.Jsonl.of_string (Obs.Metrics.to_json_string ()) with
+  | Error msg -> Alcotest.failf "metrics dump is not valid JSON: %s" msg
+  | Ok j -> (
+    match Serve.Jsonl.member "metrics" j with
+    | Some (Serve.Jsonl.Arr _) -> ()
+    | _ -> Alcotest.fail "metrics array missing")
+
+let () =
+  Alcotest.run "obs"
+    [ ( "span",
+        [ Alcotest.test_case "disabled records nothing" `Quick test_span_disabled;
+          Alcotest.test_case "nesting and forest" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "ring eviction" `Quick test_span_ring_eviction ] );
+      ("pool", [ Alcotest.test_case "Pool.size" `Quick test_pool_size ]);
+      ( "pipeline",
+        [ Alcotest.test_case "analyze span tree is stable" `Slow test_analyze_span_tree ] );
+      ( "metrics",
+        [ Alcotest.test_case "exposition golden" `Quick test_exposition;
+          Alcotest.test_case "JSON exports parse" `Quick test_json_exports ] ) ]

@@ -116,6 +116,46 @@ let test_handle_errors () =
   Alcotest.(check bool) "missing cmd rejected" false (is_ok nocmd);
   Alcotest.(check int) "every line counted" 4 (Serve.Server.served s)
 
+(* Error replies must echo the request id — including for lines that do
+   not parse as JSON at all (the id is salvaged from the raw text), or a
+   pipelined client can no longer match replies to requests. *)
+let test_id_echo_on_errors () =
+  let s = fresh_server () in
+  let id_of r = Serve.Jsonl.member "id" r in
+  let unknown = parse_reply (Serve.Server.handle_request s {|{"id":41,"cmd":"frobnicate"}|}) in
+  Alcotest.(check bool) "unknown cmd rejected" false (is_ok unknown);
+  Alcotest.(check bool) "unknown cmd echoes id" true
+    (id_of unknown = Some (Serve.Jsonl.Num 41.0));
+  let malformed = parse_reply (Serve.Server.handle_request s {|{"id":7,"cmd":"analyze"|}) in
+  Alcotest.(check bool) "malformed rejected" false (is_ok malformed);
+  Alcotest.(check bool) "malformed line still echoes numeric id" true
+    (id_of malformed = Some (Serve.Jsonl.Num 7.0));
+  let str_id = parse_reply (Serve.Server.handle_request s {|{"id":"req-9","cmd":"analyze"|}) in
+  Alcotest.(check bool) "malformed line still echoes string id" true
+    (id_of str_id = Some (Serve.Jsonl.Str "req-9"));
+  (* an "id" inside a string value must not be mistaken for the field *)
+  let decoy = parse_reply (Serve.Server.handle_request s {|{"x":"\"id\":9","cmd":|}) in
+  Alcotest.(check bool) "decoy id inside a string is not salvaged" true
+    (id_of decoy = Some Serve.Jsonl.Null)
+
+let test_op_alias_and_metrics () =
+  let s = fresh_server () in
+  let pong = parse_reply (Serve.Server.handle_request s {|{"id":5,"op":"ping"}|}) in
+  Alcotest.(check bool) "op works as a cmd alias" true (is_ok pong);
+  let r = parse_reply (Serve.Server.handle_request s {|{"id":6,"op":"metrics"}|}) in
+  Alcotest.(check bool) "metrics reply ok" true (is_ok r);
+  match Serve.Jsonl.str_member "metrics" r with
+  | None -> Alcotest.fail "metrics reply carries an exposition"
+  | Some text ->
+    let contains sub =
+      let n = String.length text and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "exposition has TYPE lines" true (contains "# TYPE");
+    Alcotest.(check bool) "exposition reports request counter" true
+      (contains "clara_serve_requests_total")
+
 let test_handle_p4lite () =
   let s = fresh_server () in
   let q =
@@ -251,6 +291,8 @@ let () =
       ( "server",
         [ Alcotest.test_case "valid query and cache hit" `Quick test_handle_valid_and_cached;
           Alcotest.test_case "error replies" `Quick test_handle_errors;
+          Alcotest.test_case "id echo on errors" `Quick test_id_echo_on_errors;
+          Alcotest.test_case "op alias and metrics" `Quick test_op_alias_and_metrics;
           Alcotest.test_case "inline p4lite program" `Quick test_handle_p4lite;
           Alcotest.test_case "pipelined batch over socketpair" `Quick test_batch_over_socketpair;
           Alcotest.test_case "8-client concurrent burst" `Slow test_concurrent_burst ] ) ]
