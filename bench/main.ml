@@ -360,8 +360,26 @@ let obs_time ~iters ~reps f =
   done;
   !best
 
+(* The committed baseline's disabled overhead, for the drift gate: a fresh
+   measurement more than [drift_limit_pp] percentage points away from the
+   checked-in BENCH_obs.json means the disabled path regressed (or the
+   baseline went stale) and the run exits nonzero. *)
+let read_committed_disabled_pct () =
+  if not (Sys.file_exists "BENCH_obs.json") then None
+  else
+    let ic = open_in_bin "BENCH_obs.json" in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    (* the file is pretty-printed; Jsonl wants one line *)
+    let flat = String.concat " " (String.split_on_char '\n' raw) in
+    match Serve.Jsonl.of_string flat with
+    | Ok j -> Serve.Jsonl.num_member "disabled_overhead_pct" j
+    | Error _ -> None
+
 let run_obs_report () =
   let iters = 100_000 and reps = 5 in
+  let committed = read_committed_disabled_pct () in
   let saved = Obs.Span.enabled () in
   let instrumented () = Obs.Span.with_ ~cat:"bench" "bench.obs_kernel" obs_kernel in
   Obs.Span.set_enabled false;
@@ -402,7 +420,19 @@ let run_obs_report () =
   if not pass then begin
     Printf.printf "FAIL: disabled-span overhead %.2f%% exceeds %.1f%%\n" disabled_pct limit_pct;
     exit 1
-  end
+  end;
+  let drift_limit_pp = 10.0 in
+  match committed with
+  | None -> Printf.printf "  (no committed BENCH_obs.json baseline; drift gate skipped)\n"
+  | Some baseline ->
+    let drift = Float.abs (disabled_pct -. baseline) in
+    Printf.printf "  drift vs committed baseline: %+.2f pp (baseline %+.2f%%, limit %.1f pp)\n"
+      (disabled_pct -. baseline) baseline drift_limit_pp;
+    if drift > drift_limit_pp then begin
+      Printf.printf "FAIL: disabled-span overhead drifted %.2f pp from the committed baseline\n"
+        drift;
+      exit 1
+    end
 
 (* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
    span recording when tracing, and flush both files when the run ends. *)

@@ -28,26 +28,35 @@ let nf_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc:"Corpus element name (see 'clara list').")
 
 (** [Corpus.find] with a usable failure mode: unknown names exit 1 after
-    listing what the corpus does contain. *)
+    logging what the corpus does contain. *)
 let find_nf name =
   match Nf_lang.Corpus.find name with
   | elt -> elt
   | exception Failure _ ->
-    Printf.eprintf "clara: unknown NF %S. Valid names:\n" name;
-    List.iter (Printf.eprintf "  %s\n") (Serve.Server.corpus_names ());
+    Obs.Log.error
+      ~fields:
+        [ ("nf", Obs.Log.Str name);
+          ("valid", Obs.Log.Str (String.concat ", " (Serve.Server.corpus_names ()))) ]
+      "unknown NF";
     exit 1
 
 let load_bundle dir =
   match Persist.Bundle.load ~dir with
   | Ok b ->
     if b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash <> Persist.Bundle.corpus_hash () then
-      Printf.eprintf
-        "clara: warning: bundle %s was trained against a different corpus (hash %s, now %s)\n%!"
-        dir b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash (Persist.Bundle.corpus_hash ());
+      Obs.Log.warn
+        ~fields:
+          [ ("bundle", Obs.Log.Str dir);
+            ("bundle_corpus_hash", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash);
+            ("current_corpus_hash", Obs.Log.Str (Persist.Bundle.corpus_hash ())) ]
+        "bundle was trained against a different corpus";
     b
   | Error e ->
-    Printf.eprintf "clara: cannot load model bundle from %s: %s\n" dir
-      (Persist.Wire.error_to_string e);
+    Obs.Log.error
+      ~fields:
+        [ ("bundle", Obs.Log.Str dir);
+          ("error", Obs.Log.Str (Persist.Wire.error_to_string e)) ]
+      "cannot load model bundle";
     exit 1
 
 let train_models ~full =
@@ -73,24 +82,42 @@ let metrics_arg =
        & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write accumulated counters/gauges/histograms as Prometheus-style text on exit.")
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Write per-epoch/per-round training loss series (Obs.Series) as JSON on exit.")
+
 (** Enable span recording when [--trace] was given, run [f], then flush the
-    requested trace/metrics files (also on exceptions, so a crashed run still
-    leaves its telemetry behind). *)
-let with_obs ~trace ~metrics f =
+    requested trace/metrics/telemetry files (also on exceptions, so a
+    crashed run still leaves its telemetry behind). *)
+let with_obs ?telemetry ~trace ~metrics f =
   if trace <> None then Obs.Span.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
       Option.iter
         (fun path ->
           Obs.Span.write_chrome path;
-          Printf.eprintf "clara: wrote trace to %s (%d spans)\n%!" path
-            (List.length (Obs.Span.events ())))
+          Obs.Log.info
+            ~fields:
+              [ ("path", Obs.Log.Str path);
+                ("spans", Obs.Log.Int (List.length (Obs.Span.events ()))) ]
+            "wrote trace")
         trace;
       Option.iter
         (fun path ->
+          Obs.Runtime.sample ();
           Obs.Metrics.write_file path;
-          Printf.eprintf "clara: wrote metrics to %s\n%!" path)
-        metrics)
+          Obs.Log.info ~fields:[ ("path", Obs.Log.Str path) ] "wrote metrics")
+        metrics;
+      Option.iter
+        (fun path ->
+          Obs.Series.write_file path;
+          Obs.Log.info
+            ~fields:
+              [ ("path", Obs.Log.Str path);
+                ("series", Obs.Log.Int (List.length (Obs.Series.names ()))) ]
+            "wrote training telemetry")
+        telemetry)
     f
 
 let model_arg =
@@ -140,8 +167,8 @@ let show_cmd =
 (* -- train -- *)
 
 let train_cmd =
-  let run save full trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+  let run save full trace metrics telemetry =
+    with_obs ?telemetry ~trace ~metrics @@ fun () ->
     let models = train_models ~full in
     match save with
     | None -> print_endline "Training done (nothing persisted; pass --save DIR to keep it)."
@@ -160,7 +187,7 @@ let train_cmd =
          & info [ "save" ] ~docv:"DIR" ~doc:"Persist the trained bundle to this directory.")
   in
   Cmd.v (Cmd.info "train" ~doc:"Train Clara's models and optionally persist them")
-    Term.(const run $ save $ full_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ save $ full_arg $ trace_arg $ metrics_arg $ telemetry_arg)
 
 (* -- analyze -- *)
 
@@ -188,29 +215,81 @@ let analyze_cmd =
 (* -- serve -- *)
 
 let serve_cmd =
-  let run model socket full cache_capacity =
+  let run model socket full cache_capacity http_port trace_requests slow_ms =
+    if trace_requests then Obs.Span.set_enabled true;
     let models =
       match model with
       | Some dir ->
         let b = load_bundle dir in
-        Printf.printf "Warm-started from %s (built %s)\n%!" dir
-          b.Persist.Bundle.manifest.Persist.Bundle.built_at;
+        Obs.Log.info
+          ~fields:
+            [ ("bundle", Obs.Log.Str dir);
+              ("built_at", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.built_at) ]
+          "warm-started from bundle";
         b.Persist.Bundle.models
       | None -> train_models ~full
     in
-    let server = Serve.Server.create ~cache_capacity models in
-    Printf.printf "clara: serving insights on %s (send {\"cmd\":\"shutdown\"} to stop)\n%!" socket;
+    let slow_threshold_s = Option.map (fun ms -> ms /. 1000.0) slow_ms in
+    let server = Serve.Server.create ~cache_capacity ?slow_threshold_s models in
+    (* The HTTP exporter runs on its own domain so a scrape never queues
+       behind the socket select loop; the Runtime sampler keeps GC gauges
+       fresh between scrapes. *)
+    let http =
+      Option.map
+        (fun port ->
+          let h = Serve.Http.create ~port () in
+          Obs.Runtime.start ();
+          (h, Domain.spawn (fun () -> Serve.Http.run h)))
+        http_port
+    in
+    Obs.Log.info
+      ~fields:
+        ([ ("socket", Obs.Log.Str socket);
+           ("jobs", Obs.Log.Int (Util.Pool.size ()));
+           ("cache_capacity", Obs.Log.Int cache_capacity);
+           ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
+        @ match http with
+          | Some (h, _) -> [ ("http_port", Obs.Log.Int (Serve.Http.port h)) ]
+          | None -> [])
+      "clara serve starting";
     Serve.Server.run server ~socket_path:socket;
-    Printf.printf "clara: served %d requests (%d cache hits, %d misses)\n"
-      (Serve.Server.served server) (Serve.Server.cache_hits server)
-      (Serve.Server.cache_misses server)
+    Option.iter
+      (fun (h, d) ->
+        Serve.Http.stop h;
+        Domain.join d;
+        Obs.Runtime.stop ())
+      http;
+    Obs.Log.info
+      ~fields:
+        [ ("served", Obs.Log.Int (Serve.Server.served server));
+          ("cache_hits", Obs.Log.Int (Serve.Server.cache_hits server));
+          ("cache_misses", Obs.Log.Int (Serve.Server.cache_misses server)) ]
+      "clara serve stopped"
   in
   let cache_capacity =
     Arg.(value & opt int 64
-         & info [ "cache" ] ~docv:"N" ~doc:"Report-cache capacity (LRU entries).")
+         & info [ "cache" ] ~docv:"N" ~doc:"Report-cache capacity (LRU entries; 0 disables caching).")
+  in
+  let http_port =
+    Arg.(value & opt (some int) None
+         & info [ "http" ] ~docv:"PORT"
+             ~doc:"Also serve GET /metrics, /healthz and /trace.json over HTTP on 127.0.0.1:PORT \
+                   (0 picks an ephemeral port).")
+  in
+  let trace_requests =
+    Arg.(value & flag
+         & info [ "trace-requests" ]
+             ~doc:"Record spans for every request so the 'trace' command (and /trace.json) can \
+                   return per-request span subtrees.")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log requests slower than this threshold (default: \\$CLARA_SLOW_MS, else 1000).")
   in
   Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
-    Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity)
+    Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ http_port
+          $ trace_requests $ slow_ms)
 
 (* -- query -- *)
 
@@ -220,8 +299,11 @@ let query_cmd =
     (match Unix.connect fd (Unix.ADDR_UNIX socket) with
     | () -> ()
     | exception Unix.Unix_error (err, _, _) ->
-      Printf.eprintf "clara: cannot connect to %s: %s (is 'clara serve' running?)\n" socket
-        (Unix.error_message err);
+      Obs.Log.error
+        ~fields:
+          [ ("socket", Obs.Log.Str socket);
+            ("error", Obs.Log.Str (Unix.error_message err)) ]
+        "cannot connect (is 'clara serve' running?)";
       exit 1);
     let request =
       Serve.Jsonl.(
@@ -236,13 +318,15 @@ let query_cmd =
       match input_line inc with
       | line -> line
       | exception End_of_file ->
-        Printf.eprintf "clara: server closed the connection without replying\n";
+        Obs.Log.error "server closed the connection without replying";
         exit 1
     in
     Unix.close fd;
     match Serve.Jsonl.of_string reply with
     | Error msg ->
-      Printf.eprintf "clara: unparseable reply (%s): %s\n" msg reply;
+      Obs.Log.error
+        ~fields:[ ("error", Obs.Log.Str msg); ("reply", Obs.Log.Str reply) ]
+        "unparseable reply";
       exit 1
     | Ok j -> (
       match Serve.Jsonl.member "ok" j with
@@ -255,14 +339,18 @@ let query_cmd =
         | _ -> ())
       | _ ->
         let msg = Option.value (Serve.Jsonl.str_member "error" j) ~default:reply in
-        Printf.eprintf "clara: server error: %s\n" msg;
-        (match Serve.Jsonl.member "valid" j with
-        | Some (Serve.Jsonl.Arr names) ->
-          Printf.eprintf "Valid names:\n";
-          List.iter
-            (function Serve.Jsonl.Str s -> Printf.eprintf "  %s\n" s | _ -> ())
-            names
-        | _ -> ());
+        let valid =
+          match Serve.Jsonl.member "valid" j with
+          | Some (Serve.Jsonl.Arr names) ->
+            [ ("valid",
+               Obs.Log.Str
+                 (String.concat ", "
+                    (List.filter_map
+                       (function Serve.Jsonl.Str s -> Some s | _ -> None)
+                       names))) ]
+          | _ -> []
+        in
+        Obs.Log.error ~fields:(("error", Obs.Log.Str msg) :: valid) "server error";
         exit 1)
   in
   let wname =

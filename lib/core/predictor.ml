@@ -118,7 +118,10 @@ let train ?(epochs = 10) ?(hidden = 32) ?(batch = 8) (ds : dataset) =
   Vocab.freeze ds.vocab;
   let lstm = Mlkit.Lstm.create ~hidden ~vocab:(Vocab.size ds.vocab) 211 in
   let data = Array.map (fun e -> (e.tokens, [| e.nic_compute |])) ds.examples in
-  Mlkit.Lstm.fit ~epochs ~batch lstm data;
+  let series = Obs.Series.create ~capacity:(max 16 epochs) "predictor.fit" in
+  Mlkit.Lstm.fit ~epochs ~batch
+    ~progress:(fun ~epoch ~loss -> Obs.Series.record series ~step:epoch loss)
+    lstm data;
   { vocab = ds.vocab; lstm }
 
 (** Predicted compute-instruction count for one block. *)

@@ -208,6 +208,7 @@ let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(batch = 1)
       Array.fold_left (fun acc (_, y) -> acc +. abs_float y.(0)) 0.0 data /. float_of_int n
     in
     t.y_scale <- max 1.0 mean_target;
+    let series = Obs.Series.create ~capacity:(max 16 epochs) "lstm.fit" in
     let opt = Nn.adam ~lr () in
     let rng = Util.Rng.create seed in
     let idx = Array.init n (fun i -> i) in
@@ -264,6 +265,8 @@ let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(batch = 1)
               b0 := !b0 + bsz
             done
           end;
-          progress ~epoch ~loss:(!total /. float_of_int n))
+          let loss = !total /. float_of_int n in
+          Obs.Series.record series ~step:epoch loss;
+          progress ~epoch ~loss)
     done
   end

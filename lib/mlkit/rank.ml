@@ -41,6 +41,7 @@ let fit ?(n_stages = 50) ?(shrinkage = 0.15) ?(max_depth = 3) (groups : group li
       groups
   in
   let stages = ref [] in
+  let series = Obs.Series.create ~capacity:(max 16 n_stages) "rank.fit" in
   for stage = 1 to n_stages do
     let grad = Array.make n 0.0 in
     List.iteri
@@ -50,6 +51,9 @@ let fit ?(n_stages = 50) ?(shrinkage = 0.15) ?(max_depth = 3) (groups : group li
         let lam = lambdas g local in
         Array.iteri (fun i l -> grad.(off + i) <- l) lam)
       groups;
+    (* mean |lambda|: pairwise ranking violation mass, ~0 when sorted *)
+    let lam_mass = Array.fold_left (fun acc l -> acc +. abs_float l) 0.0 grad in
+    Obs.Series.record series ~step:stage (lam_mass /. float_of_int (max 1 n));
     let tree =
       Tree.grow
         ~config:{ Tree.default_grow with Tree.max_depth; Tree.seed = 29 + stage }

@@ -53,7 +53,8 @@ let svm_fit ?(lambda = 1e-3) ?(epochs = 60) ?(seed = 13) xs ys =
     else neg.(Util.Rng.int rng (Array.length neg))
   in
   let t = ref 0 in
-  for _ = 1 to epochs do
+  let series = Obs.Series.create ~capacity:(max 16 epochs) "svm.fit" in
+  for epoch = 1 to epochs do
     for _ = 1 to max 1 n do
       incr t;
       let i = sample () in
@@ -64,7 +65,17 @@ let svm_fit ?(lambda = 1e-3) ?(epochs = 60) ?(seed = 13) xs ys =
       let shrink = 1.0 -. (eta *. lambda) in
       Array.iteri (fun j v -> w.(j) <- shrink *. v) w;
       if margin < 1.0 then La.axpy (eta *. y) xs'.(i) w
-    done
+    done;
+    (* Pegasos objective over the full set: lambda/2 ||w||^2 + mean hinge *)
+    let hinge = ref 0.0 in
+    for i = 0 to n - 1 do
+      let y = if ys.(i) > 0.5 then 1.0 else -1.0 in
+      hinge := !hinge +. Float.max 0.0 (1.0 -. (y *. (La.dot w xs'.(i) +. !b)))
+    done;
+    let objective =
+      (0.5 *. lambda *. La.dot w w) +. (!hinge /. float_of_int (max 1 n))
+    in
+    Obs.Series.record series ~step:epoch objective
   done;
   { w; b = !b; mu; sd }
 
@@ -103,7 +114,9 @@ let kmeans_fit ?(iters = 50) ?(seed = 17) ~k xs =
     done;
     let centroids = Array.map Array.copy centroids in
     let assign = Array.make n 0 in
-    for _ = 1 to iters do
+    let series = Obs.Series.create ~capacity:(max 16 iters) "kmeans.fit" in
+    for iter = 1 to iters do
+      let inertia = ref 0.0 in
       Array.iteri
         (fun i x ->
           let best = ref 0 and bd = ref infinity in
@@ -115,8 +128,10 @@ let kmeans_fit ?(iters = 50) ?(seed = 17) ~k xs =
                 best := c
               end)
             centroids;
+          inertia := !inertia +. (!bd *. !bd);
           assign.(i) <- !best)
         xs;
+      Obs.Series.record series ~step:iter !inertia;
       Array.iteri
         (fun c cen ->
           let members = ref [] in

@@ -145,11 +145,24 @@ let gbdt_fit ?(n_stages = 60) ?(shrinkage = 0.15) ?(config = { default_grow with
   let init = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
   let preds = Array.make n init in
   let stages = ref [] in
+  let series = Obs.Series.create ~capacity:(max 16 n_stages) "gbdt.fit" in
   for stage = 1 to n_stages do
     let residuals = Array.init n (fun i -> ys.(i) -. preds.(i)) in
     let tree = grow ~config:{ config with seed = config.seed + stage } xs residuals in
     Array.iteri (fun i x -> preds.(i) <- preds.(i) +. (shrinkage *. predict tree x)) xs;
-    stages := tree :: !stages
+    stages := tree :: !stages;
+    let mse =
+      if n = 0 then 0.0
+      else begin
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          let r = ys.(i) -. preds.(i) in
+          acc := !acc +. (r *. r)
+        done;
+        !acc /. float_of_int n
+      end
+    in
+    Obs.Series.record series ~step:stage mse
   done;
   { init; shrinkage; stages = List.rev !stages }
 
@@ -163,11 +176,24 @@ let gbdt_fit_binary ?(n_stages = 60) ?(shrinkage = 0.2) ?(config = { default_gro
   let n = Array.length ys in
   let scores = Array.make n 0.0 in
   let stages = ref [] in
+  let series = Obs.Series.create ~capacity:(max 16 n_stages) "gbdt.fit_binary" in
   for stage = 1 to n_stages do
     let grad = Array.init n (fun i -> ys.(i) -. La.sigmoid scores.(i)) in
     let tree = grow ~config:{ config with seed = config.seed + stage } xs grad in
     Array.iteri (fun i x -> scores.(i) <- scores.(i) +. (shrinkage *. predict tree x)) xs;
-    stages := tree :: !stages
+    stages := tree :: !stages;
+    let logloss =
+      if n = 0 then 0.0
+      else begin
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          let p = Float.min (1.0 -. 1e-12) (Float.max 1e-12 (La.sigmoid scores.(i))) in
+          acc := !acc -. ((ys.(i) *. log p) +. ((1.0 -. ys.(i)) *. log (1.0 -. p)))
+        done;
+        !acc /. float_of_int n
+      end
+    in
+    Obs.Series.record series ~step:stage logloss
   done;
   { init = 0.0; shrinkage; stages = List.rev !stages }
 

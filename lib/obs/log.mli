@@ -1,0 +1,59 @@
+(** Domain-safe, leveled, structured JSONL logging.
+
+    Every call emits one self-contained JSON object on one line:
+
+    {v
+    {"ts":"2026-08-05T12:00:00.123Z","level":"info","msg":"serve.start",
+     "trace":"abc","span":12,"socket":"/tmp/clara.sock","jobs":4}
+    v}
+
+    [ts], [level] and [msg] are always present.  [trace] and [span] are
+    added automatically when the calling domain has a current
+    {!Span.with_trace} id or an open span, correlating log lines with the
+    trace ring buffer.  Everything else comes from the caller's [fields].
+
+    The sink defaults to stderr; [CLARA_LOG] overrides it ("stderr"/"-"
+    keep the default, "off"/"none"/"0" silence logging, anything else is
+    an append-mode file path).  [CLARA_LOG_LEVEL] sets the threshold
+    (debug | info | warn | error; default info).  {!set_sink} swaps the
+    sink atomically — writers racing with the swap complete on the sink
+    they loaded, then the old file handle is closed.
+
+    Emission below the threshold costs one atomic load and no allocation,
+    so call sites need no gating. *)
+
+type level = Debug | Info | Warn | Error
+
+(** Field values; [Num nan]/[Num infinity] render as JSON [null]. *)
+type value = Str of string | Num of float | Int of int | Bool of bool
+
+type sink =
+  | Stderr  (** one flushed line per event *)
+  | File of string  (** append-mode, created 0o644, flushed per line *)
+  | Custom of (string -> unit)  (** receives each line without the newline *)
+  | Off
+
+val level_of_string : string -> level option
+val level_name : level -> string
+
+(** Threshold: events strictly below it are dropped. *)
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** Would an event at this level be emitted? *)
+val enabled : level -> bool
+
+(** Swap the sink; the previous sink's file handle (if any) is closed. *)
+val set_sink : sink -> unit
+
+(** [log lvl ~fields msg] emits one JSONL event.  Caller fields may not
+    override the reserved keys ([ts]/[level]/[msg]/[trace]/[span] win by
+    coming first; duplicate keys are technically invalid JSON, so pick
+    other names). *)
+val log : level -> ?fields:(string * value) list -> string -> unit
+
+val debug : ?fields:(string * value) list -> string -> unit
+val info : ?fields:(string * value) list -> string -> unit
+val warn : ?fields:(string * value) list -> string -> unit
+val error : ?fields:(string * value) list -> string -> unit

@@ -1,0 +1,76 @@
+(** GC/runtime gauges sampled from [Gc.quick_stat] (see runtime.mli). *)
+
+let g name help = Metrics.gauge ~help name
+
+let g_minor_words = g "clara_runtime_gc_minor_words" "Words allocated on the minor heap"
+let g_promoted_words = g "clara_runtime_gc_promoted_words" "Words promoted minor -> major"
+let g_major_words = g "clara_runtime_gc_major_words" "Words allocated on the major heap"
+let g_minor_gcs = g "clara_runtime_gc_minor_collections" "Minor collections"
+let g_major_gcs = g "clara_runtime_gc_major_collections" "Major collection cycles"
+let g_compactions = g "clara_runtime_gc_compactions" "Heap compactions"
+let g_heap_words = g "clara_runtime_gc_heap_words" "Major heap size in words"
+let g_top_heap_words = g "clara_runtime_gc_top_heap_words" "Largest major heap size in words"
+let g_uptime = g "clara_runtime_uptime_seconds" "Seconds since process start"
+
+let g_recommended_domains =
+  g "clara_runtime_recommended_domains" "Domain.recommended_domain_count"
+
+let started_at = Unix.gettimeofday ()
+
+let sample () =
+  let s = Gc.quick_stat () in
+  Metrics.set_gauge g_minor_words s.Gc.minor_words;
+  Metrics.set_gauge g_promoted_words s.Gc.promoted_words;
+  Metrics.set_gauge g_major_words s.Gc.major_words;
+  Metrics.set_gauge g_minor_gcs (float_of_int s.Gc.minor_collections);
+  Metrics.set_gauge g_major_gcs (float_of_int s.Gc.major_collections);
+  Metrics.set_gauge g_compactions (float_of_int s.Gc.compactions);
+  Metrics.set_gauge g_heap_words (float_of_int s.Gc.heap_words);
+  Metrics.set_gauge g_top_heap_words (float_of_int s.Gc.top_heap_words);
+  Metrics.set_gauge g_uptime (Unix.gettimeofday () -. started_at);
+  Metrics.set_gauge g_recommended_domains (float_of_int (Domain.recommended_domain_count ()))
+
+(* -- background sampler --
+
+   One spare domain sleeping in short slices so [stop] joins promptly.
+   Guarded by a mutex so concurrent start/stop calls cannot double-spawn
+   or double-join. *)
+
+let sampler : unit Domain.t option ref = ref None
+let sampler_lock = Mutex.create ()
+let stop_flag = Atomic.make false
+
+let running () =
+  Mutex.lock sampler_lock;
+  let r = !sampler <> None in
+  Mutex.unlock sampler_lock;
+  r
+
+let start ?(period_s = 1.0) () =
+  let period_s = Float.max 0.05 period_s in
+  Mutex.lock sampler_lock;
+  (if !sampler = None then begin
+     Atomic.set stop_flag false;
+     sampler :=
+       Some
+         (Domain.spawn (fun () ->
+              while not (Atomic.get stop_flag) do
+                sample ();
+                (* sleep in <=50ms slices so stop () returns quickly *)
+                let deadline = Unix.gettimeofday () +. period_s in
+                while (not (Atomic.get stop_flag)) && Unix.gettimeofday () < deadline do
+                  Unix.sleepf 0.05
+                done
+              done))
+   end);
+  Mutex.unlock sampler_lock
+
+let stop () =
+  Mutex.lock sampler_lock;
+  let d = !sampler in
+  sampler := None;
+  Atomic.set stop_flag true;
+  Mutex.unlock sampler_lock;
+  Option.iter Domain.join d
+
+let () = at_exit stop

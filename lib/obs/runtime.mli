@@ -1,0 +1,25 @@
+(** Runtime/GC statistics sampled into {!Metrics} gauges.
+
+    {!sample} reads [Gc.quick_stat] (cheap: no heap walk, no major slice)
+    and updates the [clara_runtime_*] gauges — allocation totals, GC
+    collection counts, heap size, uptime, and the domain counts; pool
+    utilization gauges are published by [Util.Pool] itself and appear in
+    the same exposition.
+
+    Pull-style exporters (the [metrics] server command, [GET /metrics])
+    call {!sample} before rendering, so gauges are fresh per scrape.
+    {!start} additionally spawns a background domain re-sampling on a
+    fixed period, for push-style consumers watching a metrics file.
+    Both are idempotent and safe from any domain. *)
+
+(** Update every [clara_runtime_*] gauge from [Gc.quick_stat]. *)
+val sample : unit -> unit
+
+(** Spawn the periodic sampler (default period 1s); no-op when already
+    running.  Clamped to >= 50ms. *)
+val start : ?period_s:float -> unit -> unit
+
+(** Stop and join the sampler; no-op when not running. *)
+val stop : unit -> unit
+
+val running : unit -> bool

@@ -1,0 +1,57 @@
+(** Bounded numeric series for training telemetry (learning curves).
+
+    A series is one {e run} of a named quantity — e.g. the per-epoch mean
+    loss of one [Lstm.fit] call.  Runs live in a process-wide registry:
+    {!create} opens a fresh run under its name (run numbers count up per
+    name), so repeated fits — including concurrent ones on pool domains —
+    never interleave their points.  Each run is a bounded ring keeping the
+    most recent [capacity] points; the registry keeps the most recent
+    {!max_runs} runs per name.  Recording is a mutex-guarded O(1) slot
+    write, cheap enough to leave always on (like {!Metrics}, unlike
+    {!Span}).
+
+    Export everything with {!to_json_string} / {!write_file}:
+
+    {v
+    {"series":[{"name":"lstm.fit","run":1,"dropped":0,
+                "points":[{"step":1,"value":214.8},...]},...]}
+    v}
+
+    Points within a run keep their recording order, so for the step-per-
+    round recording done by the fits, step indices are strictly
+    increasing within each run. *)
+
+type t
+
+(** Most recent runs kept per name; older runs are discarded. *)
+val max_runs : int
+
+(** Open a new run under [name].  [capacity] bounds its point count
+    (default 4096; values below 1 are clamped to 1). *)
+val create : ?capacity:int -> string -> t
+
+val name : t -> string
+
+(** 1-based run number within this series' name. *)
+val run : t -> int
+
+(** Append one point; evicts the oldest point when full. *)
+val record : t -> step:int -> float -> unit
+
+(** Buffered points in recording order. *)
+val points : t -> (int * float) list
+
+(** Points evicted from this run so far. *)
+val dropped : t -> int
+
+(** All registered run names, sorted, with duplicates. *)
+val names : unit -> string list
+
+(** One-line JSON of every buffered run, sorted by (name, run).
+    Non-finite values render as [null]. *)
+val to_json_string : unit -> string
+
+val write_file : string -> unit
+
+(** Drop every run (testing). *)
+val reset : unit -> unit

@@ -5,6 +5,7 @@ type event = {
   parent : int;
   name : string;
   cat : string;
+  trace : string;
   domain : int;
   depth : int;
   start_us : float;
@@ -34,7 +35,7 @@ let capacity =
    order even though events are pushed at span end. *)
 
 let dummy =
-  { id = -1; parent = -1; name = ""; cat = ""; domain = 0; depth = 0;
+  { id = -1; parent = -1; name = ""; cat = ""; trace = ""; domain = 0; depth = 0;
     start_us = 0.0; dur_us = 0.0; alloc_w = 0.0 }
 
 let buf = Array.make capacity dummy
@@ -74,6 +75,25 @@ let events () =
 (* (id, depth) per open span, innermost first, per domain *)
 let open_spans : (int * int) list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
+(* -- trace correlation --
+
+   A trace id names the logical request a span belongs to.  It lives in
+   domain-local storage, so code fanning work out to other domains must
+   re-establish it inside the task closure (the server does exactly that);
+   within one domain it is inherited by every nested span. *)
+
+let current_trace_key : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "")
+
+let current_trace () = Domain.DLS.get current_trace_key
+
+let with_trace trace f =
+  let old = Domain.DLS.get current_trace_key in
+  Domain.DLS.set current_trace_key trace;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_trace_key old) f
+
+let current_id () =
+  match Domain.DLS.get open_spans with [] -> -1 | (id, _) :: _ -> id
+
 let now_us () = Unix.gettimeofday () *. 1e6
 let alloc_words () = Gc.minor_words ()
 
@@ -94,7 +114,8 @@ let with_ ?(cat = "clara") name f =
         | _ :: rest -> Domain.DLS.set open_spans rest
         | [] -> ());
         record
-          { id; parent; name; cat; domain = (Domain.self () :> int); depth;
+          { id; parent; name; cat; trace = Domain.DLS.get current_trace_key;
+            domain = (Domain.self () :> int); depth;
             start_us = t0; dur_us; alloc_w })
       f
   end
@@ -108,10 +129,13 @@ module Ints = Set.Make (Int)
 let known_ids evs =
   List.fold_left (fun s (e : event) -> Ints.add e.id s) Ints.empty evs
 
-let forest ?domain () =
+let forest ?domain ?trace () =
   let evs = events () in
   let evs =
     match domain with None -> evs | Some d -> List.filter (fun e -> e.domain = d) evs
+  in
+  let evs =
+    match trace with None -> evs | Some t -> List.filter (fun e -> e.trace = t) evs
   in
   let ids = known_ids evs in
   let by_parent = Hashtbl.create 64 in
@@ -166,9 +190,9 @@ let to_chrome_json () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d,\"depth\":%d,\"alloc_words\":%.0f}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"id\":%d,\"parent\":%d,\"depth\":%d,\"alloc_words\":%.0f,\"trace\":\"%s\"}}"
            (json_escape e.name) (json_escape e.cat) (e.start_us -. t0) e.dur_us e.domain e.id
-           e.parent e.depth e.alloc_w))
+           e.parent e.depth e.alloc_w (json_escape e.trace)))
     evs;
   Buffer.add_string b
     (Printf.sprintf "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d}}" (dropped ()));

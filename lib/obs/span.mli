@@ -16,13 +16,15 @@
 
 (** One completed span.  [parent = -1] marks a root (no enclosing span on
     its domain).  [id]s are unique per process and increase in span-start
-    order.  [alloc_w] is the minor-heap words allocated by this domain
-    while the span was open. *)
+    order.  [trace] is the request trace id in effect when the span opened
+    ([""] when none — see {!with_trace}).  [alloc_w] is the minor-heap
+    words allocated by this domain while the span was open. *)
 type event = {
   id : int;
   parent : int;
   name : string;
   cat : string;
+  trace : string;
   domain : int;
   depth : int;
   start_us : float;
@@ -44,6 +46,21 @@ val capacity : int
     when [f] returns {i or raises}; the exception is re-raised. *)
 val with_ : ?cat:string -> string -> (unit -> 'a) -> 'a
 
+(** [with_trace id f] runs [f ()] with [id] as the current domain's trace
+    id: every span recorded by this domain inside [f] (and every {!Log}
+    line) carries it.  Trace ids are domain-local — code that fans work
+    out to other domains must call [with_trace] again inside each task
+    closure.  Restores the previous trace id on return or exception.
+    Always active (independent of {!enabled}). *)
+val with_trace : string -> (unit -> 'a) -> 'a
+
+(** The current domain's trace id ([""] when none). *)
+val current_trace : unit -> string
+
+(** Id of the innermost span currently open on this domain, or [-1] when
+    none (spans only open while {!enabled}). *)
+val current_id : unit -> int
+
 (** Drop all buffered events (the id counter keeps advancing). *)
 val reset : unit -> unit
 
@@ -57,8 +74,10 @@ val events : unit -> event list
 type tree = { span : event; children : tree list }
 
 (** Rebuild the forest from the buffer via exact parent links, roots in
-    start order.  [domain] restricts to one domain's spans. *)
-val forest : ?domain:int -> unit -> tree list
+    start order.  [domain] restricts to one domain's spans; [trace] to
+    spans carrying one trace id (a span whose parent is filtered out
+    becomes a root, so a request's subtree stands alone). *)
+val forest : ?domain:int -> ?trace:string -> unit -> tree list
 
 (** Preorder [(name, depth)] listing of a tree, for structural
     assertions that ignore wall-clock values. *)

@@ -1,0 +1,33 @@
+(** Minimal hand-rolled HTTP/1.1 telemetry exporter.
+
+    Serves three read-only endpoints over loopback TCP:
+
+    - [GET /healthz]    -> [200 "ok"] while the server is accepting
+    - [GET /metrics]    -> Prometheus text exposition ({!Obs.Metrics},
+                           after an {!Obs.Runtime.sample}) — byte-for-byte
+                           the same renderer as the socket [metrics] command
+    - [GET /trace.json] -> Chrome-trace JSON of the span ring buffer
+
+    Same discipline as {!Server.run}: a single-threaded select loop, one
+    short-lived connection per request ([Connection: close]), no analysis
+    work — so a scrape can never contend with the pool fan-out.  Unknown
+    paths get 404, non-GET methods 405, garbage 400.  Zero dependencies:
+    the parser reads one request head (request line + headers, 8 KiB cap)
+    and ignores the rest. *)
+
+type t
+
+(** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — read it
+    back with {!port}).  [backlog] defaults to 16.
+    @raise Unix.Unix_error when binding fails (e.g. port in use). *)
+val create : ?backlog:int -> port:int -> unit -> t
+
+(** The bound TCP port. *)
+val port : t -> int
+
+(** Accept-and-respond loop; returns after {!stop} (checked between
+    selects, <= 0.25s latency).  Closes the listener on exit. *)
+val run : t -> unit
+
+(** Ask a running {!run} loop to exit.  Idempotent, any domain. *)
+val stop : t -> unit

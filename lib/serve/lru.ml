@@ -11,8 +11,10 @@ type 'a t = {
 }
 
 let create ~capacity =
-  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
-  { cap = capacity; table = Hashtbl.create (2 * capacity); tick = 0; hit_count = 0; miss_count = 0 }
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be >= 0";
+  { cap = capacity;
+    table = Hashtbl.create (max 1 (2 * capacity));
+    tick = 0; hit_count = 0; miss_count = 0 }
 
 let capacity t = t.cap
 let length t = Hashtbl.length t.table
@@ -47,7 +49,9 @@ let evict_oldest t =
   match victim with Some (key, _) -> Hashtbl.remove t.table key | None -> ()
 
 let add t key value =
-  Hashtbl.replace t.table key { value; stamp = next_stamp t };
-  while Hashtbl.length t.table > t.cap do
-    evict_oldest t
-  done
+  if t.cap > 0 then begin
+    Hashtbl.replace t.table key { value; stamp = next_stamp t };
+    while Hashtbl.length t.table > t.cap do
+      evict_oldest t
+    done
+  end

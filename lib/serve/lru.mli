@@ -8,7 +8,9 @@
 
 type 'a t
 
-(** @raise Invalid_argument unless [capacity >= 1]. *)
+(** [capacity = 0] is a legal degenerate cache: every {!find} misses and
+    {!add} is a no-op (caching disabled, statistics still counted).
+    @raise Invalid_argument when [capacity < 0]. *)
 val create : capacity:int -> 'a t
 
 val capacity : 'a t -> int

@@ -3,12 +3,21 @@
 type t = {
   models : Clara.Pipeline.models;
   cache : string Lru.t;
+  slow_s : float;
   mutable served_count : int;
   mutable stop_requested : bool;
 }
 
-let create ?(cache_capacity = 64) models =
-  { models; cache = Lru.create ~capacity:cache_capacity; served_count = 0; stop_requested = false }
+(* Default slow-request threshold: CLARA_SLOW_MS, else 1s. *)
+let default_slow_s () =
+  match Option.bind (Sys.getenv_opt "CLARA_SLOW_MS") float_of_string_opt with
+  | Some ms when ms > 0.0 -> ms /. 1000.0
+  | Some _ | None -> 1.0
+
+let create ?(cache_capacity = 64) ?slow_threshold_s models =
+  let slow_s = match slow_threshold_s with Some s -> s | None -> default_slow_s () in
+  { models; cache = Lru.create ~capacity:cache_capacity; slow_s;
+    served_count = 0; stop_requested = false }
 
 let served t = t.served_count
 let cache_hits t = Lru.hits t.cache
@@ -124,13 +133,33 @@ let program_of_json j =
   if pipeline = [] then bad "p4lite program: empty pipeline";
   { Nf_lang.P4lite.p_name; pipeline }
 
+(* -- request trace ids --
+
+   Every request line gets a trace id: the client's ["trace_id"] when it
+   sent one, else a generated ["t-N"].  The id is echoed in the reply,
+   carried (via [Obs.Span.with_trace]) into every span the request
+   triggers — re-established inside pool-task closures, since DLS does
+   not cross domains — and stamped on slow-request log lines, so
+   [{"cmd":"trace","trace_id":...}] can pull one request's span subtree
+   out of the ring buffer. *)
+
+let trace_counter = Atomic.make 0
+
+let fresh_trace () = Printf.sprintf "t-%d" (1 + Atomic.fetch_and_add trace_counter 1)
+
 (* -- replies -- *)
 
-let ok_reply id fields = Jsonl.to_string (Jsonl.Obj (("id", id) :: ("ok", Jsonl.Bool true) :: fields))
+let ok_reply ~trace id fields =
+  Jsonl.to_string
+    (Jsonl.Obj
+       (("id", id) :: ("ok", Jsonl.Bool true) :: ("trace_id", Jsonl.Str trace) :: fields))
 
-let err_reply ?valid id msg =
+let err_reply ?valid ~trace id msg =
   Obs.Metrics.inc m_errors;
-  let fields = [ ("id", id); ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
+  let fields =
+    [ ("id", id); ("ok", Jsonl.Bool false); ("trace_id", Jsonl.Str trace);
+      ("error", Jsonl.Str msg) ]
+  in
   let fields =
     match valid with
     | None -> fields
@@ -138,8 +167,8 @@ let err_reply ?valid id msg =
   in
   Jsonl.to_string (Jsonl.Obj fields)
 
-let analyze_reply id ~nf ~wname ~cached report =
-  ok_reply id
+let analyze_reply ~trace id ~nf ~wname ~cached report =
+  ok_reply ~trace id
     [ ("nf", Jsonl.Str nf);
       ("workload", Jsonl.Str wname);
       ("cached", Jsonl.Bool cached);
@@ -151,9 +180,10 @@ let analyze_reply id ~nf ~wname ~cached report =
    to fan out. *)
 type plan =
   | Ready of string
-  | Hit of { id : Jsonl.t; nf_label : string; wname : string; report : string }
+  | Hit of { id : Jsonl.t; trace : string; nf_label : string; wname : string; report : string }
   | Miss of {
       id : Jsonl.t;
+      trace : string;
       key : string;
       elt : Nf_lang.Ast.element;
       spec : Workload.spec;
@@ -161,10 +191,14 @@ type plan =
       wname : string;
     }
 
-let plan_analyze t id req =
+let plan_trace = function
+  | Ready _ -> None
+  | Hit { trace; _ } | Miss { trace; _ } -> Some trace
+
+let plan_analyze t ~trace id req =
   let wname = Option.value (Jsonl.str_member "workload" req) ~default:"mixed" in
   match workload_named wname with
-  | Error msg -> Ready (err_reply id msg)
+  | Error msg -> Ready (err_reply ~trace id msg)
   | Ok spec -> (
     let target =
       match (Jsonl.str_member "nf" req, Jsonl.member "p4lite" req) with
@@ -172,7 +206,8 @@ let plan_analyze t id req =
         match Nf_lang.Corpus.find name with
         | elt -> Ok (elt, name, name ^ "|" ^ wname)
         | exception Failure _ ->
-          Error (err_reply ~valid:(corpus_names ()) id (Printf.sprintf "unknown NF %S" name)))
+          Error
+            (err_reply ~valid:(corpus_names ()) ~trace id (Printf.sprintf "unknown NF %S" name)))
       | None, Some pj -> (
         match program_of_json pj with
         | prog ->
@@ -183,8 +218,8 @@ let plan_analyze t id req =
               wname
           in
           Ok (elt, elt.Nf_lang.Ast.name, key)
-        | exception Bad_program msg -> Error (err_reply id ("bad p4lite program: " ^ msg)))
-      | None, None -> Error (err_reply id "analyze wants \"nf\" or \"p4lite\"")
+        | exception Bad_program msg -> Error (err_reply ~trace id ("bad p4lite program: " ^ msg)))
+      | None, None -> Error (err_reply ~trace id "analyze wants \"nf\" or \"p4lite\"")
     in
     match target with
     | Error reply -> Ready reply
@@ -192,22 +227,53 @@ let plan_analyze t id req =
       match Lru.find t.cache key with
       | Some report ->
         Obs.Metrics.inc m_cache_hits;
-        Hit { id; nf_label; wname; report }
+        Hit { id; trace; nf_label; wname; report }
       | None ->
         Obs.Metrics.inc m_cache_misses;
-        Miss { id; key; elt; spec; nf_label; wname }))
+        Miss { id; trace; key; elt; spec; nf_label; wname }))
+
+(* The [trace] command: one request's span subtree, rebuilt from the ring
+   buffer by trace-id filter.  Structure only — names, categories, order —
+   plus wall-clock durations for eyeballing; empty when tracing is off or
+   the ring has already evicted the request. *)
+
+let rec tree_json (node : Obs.Span.tree) =
+  Jsonl.Obj
+    [ ("name", Jsonl.Str node.Obs.Span.span.Obs.Span.name);
+      ("cat", Jsonl.Str node.Obs.Span.span.Obs.Span.cat);
+      ("dur_us", Jsonl.Num node.Obs.Span.span.Obs.Span.dur_us);
+      ("children", Jsonl.Arr (List.map tree_json node.Obs.Span.children)) ]
+
+let trace_reply ~trace id req =
+  match Jsonl.str_member "trace_id" req with
+  | None -> err_reply ~trace id "trace wants \"trace_id\""
+  | Some wanted ->
+    ok_reply ~trace id
+      [ ("queried", Jsonl.Str wanted);
+        ("tracing", Jsonl.Bool (Obs.Span.enabled ()));
+        ("spans", Jsonl.Arr (List.map tree_json (Obs.Span.forest ~trace:wanted ()))) ]
 
 let plan_line t line =
   t.served_count <- t.served_count + 1;
   Obs.Metrics.inc m_requests;
   match Jsonl.of_string line with
   | Error msg ->
-    (* Even an unparseable line gets its id echoed back when one can be
-       salvaged, so pipelined clients keep request/reply correlation. *)
+    (* Even an unparseable line gets its id (and trace id) echoed back when
+       one can be salvaged, so pipelined clients keep request/reply
+       correlation. *)
     let id = Option.value (Jsonl.salvage_member "id" line) ~default:Jsonl.Null in
-    Ready (err_reply id ("malformed JSON: " ^ msg))
+    let trace =
+      match Jsonl.salvage_member "trace_id" line with
+      | Some (Jsonl.Str s) -> s
+      | Some _ | None -> fresh_trace ()
+    in
+    Ready (err_reply ~trace id ("malformed JSON: " ^ msg))
   | Ok req -> (
     let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
+    let trace =
+      match Jsonl.str_member "trace_id" req with Some s -> s | None -> fresh_trace ()
+    in
+    Obs.Span.with_trace trace @@ fun () ->
     (* "op" is accepted as an alias for "cmd". *)
     let cmd =
       match Jsonl.str_member "cmd" req with
@@ -215,32 +281,36 @@ let plan_line t line =
       | None -> Jsonl.str_member "op" req
     in
     match cmd with
-    | Some "ping" -> Ready (ok_reply id [ ("pong", Jsonl.Bool true) ])
+    | Some "ping" -> Ready (ok_reply ~trace id [ ("pong", Jsonl.Bool true) ])
     | Some "list" ->
       Ready
-        (ok_reply id
+        (ok_reply ~trace id
            [ ("nfs", Jsonl.Arr (List.map (fun s -> Jsonl.Str s) (corpus_names ()))) ])
     | Some "stats" ->
       Ready
-        (ok_reply id
+        (ok_reply ~trace id
            [ ("served", Jsonl.Num (float_of_int t.served_count));
              ("cache_hits", Jsonl.Num (float_of_int (Lru.hits t.cache)));
              ("cache_misses", Jsonl.Num (float_of_int (Lru.misses t.cache)));
              ("cache_length", Jsonl.Num (float_of_int (Lru.length t.cache)));
              ("cache_capacity", Jsonl.Num (float_of_int (Lru.capacity t.cache))) ])
-    | Some "metrics" -> Ready (ok_reply id [ ("metrics", Jsonl.Str (Obs.Metrics.exposition ())) ])
+    | Some "metrics" ->
+      Obs.Runtime.sample ();
+      Ready (ok_reply ~trace id [ ("metrics", Jsonl.Str (Obs.Metrics.exposition ())) ])
+    | Some "trace" -> Ready (trace_reply ~trace id req)
     | Some "shutdown" ->
       t.stop_requested <- true;
-      Ready (ok_reply id [ ("stopping", Jsonl.Bool true) ])
-    | Some "analyze" -> plan_analyze t id req
-    | Some other -> Ready (err_reply id (Printf.sprintf "unknown cmd %S" other))
-    | None -> Ready (err_reply id "missing \"cmd\""))
+      Ready (ok_reply ~trace id [ ("stopping", Jsonl.Bool true) ])
+    | Some "analyze" -> plan_analyze t ~trace id req
+    | Some other -> Ready (err_reply ~trace id (Printf.sprintf "unknown cmd %S" other))
+    | None -> Ready (err_reply ~trace id "missing \"cmd\""))
 
 let process_batch t lines =
   Obs.Span.with_ ~cat:"serve" "serve.batch" @@ fun () ->
   let n_lines = List.length lines in
   Obs.Metrics.add_gauge m_in_flight (float_of_int n_lines);
   let t0 = Obs.Clock.now_s () in
+  let batch_traces = ref [] in
   Fun.protect ~finally:(fun () ->
       (* Replies for a batch are produced together, so each line's wall
          latency is the batch's elapsed time. *)
@@ -248,23 +318,39 @@ let process_batch t lines =
       for _ = 1 to n_lines do
         Obs.Metrics.observe m_latency dt
       done;
-      Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines))
+      Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines);
+      if dt > t.slow_s then
+        List.iter
+          (fun trace ->
+            Obs.Log.warn
+              ~fields:
+                [ ("trace_id", Obs.Log.Str trace);
+                  ("latency_s", Obs.Log.Num dt);
+                  ("threshold_s", Obs.Log.Num t.slow_s);
+                  ("batch_lines", Obs.Log.Int n_lines) ]
+              "serve.slow_request")
+          !batch_traces)
   @@ fun () ->
   let plans = List.map (plan_line t) lines in
-  (* Deduplicate this batch's cache misses, keeping first-seen order, then
-     analyze the distinct jobs concurrently. *)
+  batch_traces := List.filter_map plan_trace plans;
+  (* Deduplicate this batch's cache misses, keeping first-seen order (and
+     the first-seen request's trace id), then analyze the distinct jobs
+     concurrently.  The trace id is re-installed inside each task closure:
+     it lives in domain-local storage, so spans recorded on a worker
+     domain would otherwise lose their request attribution. *)
   let jobs =
     List.fold_left
       (fun acc plan ->
         match plan with
-        | Miss m when not (List.mem_assoc m.key acc) -> (m.key, (m.elt, m.spec)) :: acc
+        | Miss m when not (List.mem_assoc m.key acc) -> (m.key, (m.elt, m.spec, m.trace)) :: acc
         | _ -> acc)
       [] plans
     |> List.rev
   in
   let results =
     Util.Pool.parallel_map_list
-      (fun (key, (elt, spec)) ->
+      (fun (key, (elt, spec, trace)) ->
+        Obs.Span.with_trace trace @@ fun () ->
         let outcome =
           try Ok (Clara.Pipeline.report t.models elt spec)
           with e -> Error (Printexc.to_string e)
@@ -276,12 +362,12 @@ let process_batch t lines =
   List.map
     (function
       | Ready reply -> reply
-      | Hit { id; nf_label; wname; report } ->
-        analyze_reply id ~nf:nf_label ~wname ~cached:true report
-      | Miss { id; key; nf_label; wname; _ } -> (
+      | Hit { id; trace; nf_label; wname; report } ->
+        analyze_reply ~trace id ~nf:nf_label ~wname ~cached:true report
+      | Miss { id; trace; key; nf_label; wname; _ } -> (
         match List.assoc key results with
-        | Ok report -> analyze_reply id ~nf:nf_label ~wname ~cached:false report
-        | Error msg -> err_reply id ("analysis failed: " ^ msg)))
+        | Ok report -> analyze_reply ~trace id ~nf:nf_label ~wname ~cached:false report
+        | Error msg -> err_reply ~trace id ("analysis failed: " ^ msg)))
     plans
 
 let handle_request t line =
@@ -339,7 +425,20 @@ let run t ~socket_path =
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listener (Unix.ADDR_UNIX socket_path);
   Unix.listen listener 16;
+  Obs.Log.info
+    ~fields:
+      [ ("socket", Obs.Log.Str socket_path);
+        ("jobs", Obs.Log.Int (Util.Pool.size ()));
+        ("cache_capacity", Obs.Log.Int (Lru.capacity t.cache));
+        ("slow_threshold_s", Obs.Log.Num t.slow_s);
+        ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
+    "serve.start";
   let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let log_unix_error ~ctx err fn =
+    Obs.Log.warn
+      ~fields:[ ("error", Obs.Log.Str (Unix.error_message err)); ("fn", Obs.Log.Str fn) ]
+      ctx
+  in
   let drop fd =
     Hashtbl.remove clients fd;
     try Unix.close fd with Unix.Unix_error _ -> ()
@@ -349,8 +448,9 @@ let run t ~socket_path =
     let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
     let readable, _, _ = Unix.select fds [] [] 1.0 in
     if List.mem listener readable then begin
-      let fd, _ = Unix.accept listener in
-      Hashtbl.replace clients fd (Buffer.create 1024)
+      match Unix.accept listener with
+      | fd, _ -> Hashtbl.replace clients fd (Buffer.create 1024)
+      | exception Unix.Unix_error (err, fn, _) -> log_unix_error ~ctx:"serve.accept_error" err fn
     end;
     (* Collect every complete line that arrived this round, then answer them
        as one batch so independent clients share the pool fan-out. *)
@@ -370,7 +470,9 @@ let run t ~socket_path =
               Buffer.add_subbytes buf chunk 0 n;
               let lines = take_lines buf in
               if lines <> [] then pending := (fd, lines) :: !pending
-            | exception Unix.Unix_error _ -> drop fd))
+            | exception Unix.Unix_error (err, fn, _) ->
+              log_unix_error ~ctx:"serve.read_error" err fn;
+              drop fd))
       readable;
     let pending = List.rev !pending in
     let all_lines = List.concat_map snd pending in
@@ -384,7 +486,9 @@ let run t ~socket_path =
               | reply :: rest ->
                 replies := rest;
                 (try really_write fd (reply ^ "\n")
-                 with Unix.Unix_error _ -> drop fd)
+                 with Unix.Unix_error (err, fn, _) ->
+                   log_unix_error ~ctx:"serve.write_error" err fn;
+                   drop fd)
               | [] -> ())
             lines)
         pending
@@ -392,4 +496,10 @@ let run t ~socket_path =
   done;
   Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
   (try Unix.close listener with Unix.Unix_error _ -> ());
-  try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Obs.Log.info
+    ~fields:
+      [ ("served", Obs.Log.Int t.served_count);
+        ("cache_hits", Obs.Log.Int (Lru.hits t.cache));
+        ("cache_misses", Obs.Log.Int (Lru.misses t.cache)) ]
+    "serve.stop"

@@ -11,7 +11,8 @@
     {"id":4,"cmd":"stats"}      served / cache counters
     {"id":5,"cmd":"ping"}
     {"id":6,"cmd":"metrics"}    Prometheus-style exposition (Obs.Metrics)
-    {"id":7,"cmd":"shutdown"}   reply, then stop accepting
+    {"id":7,"cmd":"trace","trace_id":"abc"}   one request's span subtree
+    {"id":8,"cmd":"shutdown"}   reply, then stop accepting
     v}
 
     ["op"] is accepted as an alias for ["cmd"].
@@ -22,6 +23,17 @@
     Error replies echo the request ["id"] whenever one is recoverable,
     even from lines that fail to parse as JSON.
 
+    {b Request tracing.}  Every request line carries a trace id — the
+    client's ["trace_id"] field, or a generated ["t-N"] — echoed in its
+    reply as ["trace_id"].  While span recording is on ([CLARA_TRACE=1]
+    or [Obs.Span.set_enabled true]; e.g. [clara serve --trace-requests]),
+    the id is attached to every span the request triggers, across pool
+    domains, and [{"cmd":"trace","trace_id":"abc"}] answers with that
+    request's span subtree ([spans]: nested [name]/[cat]/[dur_us]/
+    [children] objects).  The subtree's structure is identical for any
+    [CLARA_JOBS] value.  Batches slower than the slow-request threshold
+    log one [serve.slow_request] line per request through {!Obs.Log}.
+
     Reports are memoized per (NF, workload) in a bounded {!Lru} cache;
     the distinct misses of a batch of lines are analyzed concurrently over
     [Util.Pool] (so a pipelined client, or several clients arriving in the
@@ -30,8 +42,10 @@
 type t
 
 (** Wrap warm-started (or freshly trained) models.  [cache_capacity]
-    bounds the report cache (default 64). *)
-val create : ?cache_capacity:int -> Clara.Pipeline.models -> t
+    bounds the report cache (default 64; 0 disables caching).
+    [slow_threshold_s] sets the slow-request log threshold in seconds
+    (default: [CLARA_SLOW_MS] in milliseconds, else 1s). *)
+val create : ?cache_capacity:int -> ?slow_threshold_s:float -> Clara.Pipeline.models -> t
 
 val corpus_names : unit -> string list
 
@@ -63,5 +77,7 @@ val serve_until_eof : t -> Unix.file_descr -> unit
 
 (** Bind [socket_path] (unlinking any stale socket), accept clients, and
     serve until a [shutdown] request arrives.  Single-threaded select
-    loop; analysis parallelism comes from {!process_batch}. *)
+    loop; analysis parallelism comes from {!process_batch}.  Logs its
+    effective config ([serve.start]) and accept/read/write errors through
+    {!Obs.Log} rather than dying or swallowing them. *)
 val run : t -> socket_path:string -> unit

@@ -227,6 +227,288 @@ let test_exposition () =
   Alcotest.(check int) "time observes on exception" (List.length obs_values + 1)
     (Obs.Metrics.histogram_count h)
 
+(* -- structured logging -- *)
+
+let with_log_capture f =
+  let buf = ref [] in
+  let saved_level = Obs.Log.level () in
+  Obs.Log.set_sink (Obs.Log.Custom (fun line -> buf := line :: !buf));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_sink Obs.Log.Stderr;
+      Obs.Log.set_level saved_level)
+    (fun () -> f buf)
+
+let parse_log_line line =
+  match Serve.Jsonl.of_string line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "log line %S is not JSON: %s" line msg
+
+let test_log_levels_and_fields () =
+  with_log_capture @@ fun buf ->
+  Obs.Log.set_level Obs.Log.Warn;
+  Obs.Log.info "dropped";
+  Alcotest.(check int) "below threshold emits nothing" 0 (List.length !buf);
+  Alcotest.(check bool) "enabled reflects threshold" false (Obs.Log.enabled Obs.Log.Info);
+  Alcotest.(check bool) "errors stay enabled" true (Obs.Log.enabled Obs.Log.Error);
+  Obs.Log.set_level Obs.Log.Debug;
+  Obs.Log.warn
+    ~fields:
+      [ ("socket", Obs.Log.Str "/tmp/x.sock"); ("jobs", Obs.Log.Int 4);
+        ("ratio", Obs.Log.Num 0.5); ("accepting", Obs.Log.Bool true);
+        ("bad", Obs.Log.Num Float.nan) ]
+    {|weird "msg"|};
+  match !buf with
+  | [ line ] ->
+    let j = parse_log_line line in
+    Alcotest.(check (option string)) "level" (Some "warn") (Serve.Jsonl.str_member "level" j);
+    Alcotest.(check (option string)) "msg survives escaping" (Some {|weird "msg"|})
+      (Serve.Jsonl.str_member "msg" j);
+    Alcotest.(check (option string)) "string field" (Some "/tmp/x.sock")
+      (Serve.Jsonl.str_member "socket" j);
+    Alcotest.(check (option (float 0.0))) "int field" (Some 4.0)
+      (Serve.Jsonl.num_member "jobs" j);
+    Alcotest.(check (option (float 0.0))) "float field" (Some 0.5)
+      (Serve.Jsonl.num_member "ratio" j);
+    Alcotest.(check bool) "bool field" true
+      (Serve.Jsonl.member "accepting" j = Some (Serve.Jsonl.Bool true));
+    Alcotest.(check bool) "non-finite field renders null" true
+      (Serve.Jsonl.member "bad" j = Some Serve.Jsonl.Null);
+    (match Serve.Jsonl.str_member "ts" j with
+    | Some ts ->
+      Alcotest.(check bool) "ISO-8601 UTC timestamp" true
+        (String.length ts = 24 && ts.[String.length ts - 1] = 'Z' && ts.[10] = 'T')
+    | None -> Alcotest.fail "ts missing")
+  | l -> Alcotest.failf "expected one log line, got %d" (List.length l)
+
+let test_log_trace_correlation () =
+  with_log_capture @@ fun buf ->
+  Obs.Log.set_level Obs.Log.Info;
+  Obs.Log.info "outside";
+  (with_spans @@ fun () ->
+   Obs.Span.with_trace "t-42" (fun () ->
+       Obs.Span.with_ "work" (fun () -> Obs.Log.info "inside")));
+  match List.rev !buf with
+  | [ outside; inside ] ->
+    let o = parse_log_line outside and i = parse_log_line inside in
+    Alcotest.(check (option string)) "no trace outside a request" None
+      (Serve.Jsonl.str_member "trace" o);
+    Alcotest.(check bool) "no span outside a span" true (Serve.Jsonl.member "span" o = None);
+    Alcotest.(check (option string)) "trace id attached" (Some "t-42")
+      (Serve.Jsonl.str_member "trace" i);
+    (match Serve.Jsonl.num_member "span" i with
+    | Some id -> Alcotest.(check bool) "span id is a valid index" true (id >= 0.0)
+    | None -> Alcotest.fail "span id missing inside an open span")
+  | l -> Alcotest.failf "expected two log lines, got %d" (List.length l)
+
+(* -- training-telemetry series -- *)
+
+let test_series_ring () =
+  Obs.Series.reset ();
+  let s = Obs.Series.create ~capacity:4 "test.series" in
+  for i = 1 to 10 do
+    Obs.Series.record s ~step:i (float_of_int (i * i))
+  done;
+  Alcotest.(check int) "dropped counts evictions" 6 (Obs.Series.dropped s);
+  Alcotest.(check (list (pair int (float 0.0)))) "ring keeps the last 4 points"
+    [ (7, 49.0); (8, 64.0); (9, 81.0); (10, 100.0) ]
+    (Obs.Series.points s);
+  let s2 = Obs.Series.create ~capacity:4 "test.series" in
+  Obs.Series.record s2 ~step:1 1.0;
+  Alcotest.(check int) "second fit opens run 2" 2 (Obs.Series.run s2);
+  Alcotest.(check (list (pair int (float 0.0)))) "runs never interleave"
+    [ (7, 49.0); (8, 64.0); (9, 81.0); (10, 100.0) ]
+    (Obs.Series.points s);
+  let tiny = Obs.Series.create ~capacity:0 "test.tiny" in
+  Obs.Series.record tiny ~step:1 1.0;
+  Obs.Series.record tiny ~step:2 2.0;
+  Alcotest.(check (list (pair int (float 0.0)))) "capacity clamps to one point"
+    [ (2, 2.0) ]
+    (Obs.Series.points tiny);
+  Obs.Series.reset ();
+  Alcotest.(check (list string)) "reset drops every run" [] (Obs.Series.names ())
+
+let test_series_json () =
+  Obs.Series.reset ();
+  let s = Obs.Series.create ~capacity:8 "test.json" in
+  Obs.Series.record s ~step:1 0.5;
+  Obs.Series.record s ~step:2 Float.nan;
+  (match Serve.Jsonl.of_string (Obs.Series.to_json_string ()) with
+  | Error msg -> Alcotest.failf "series dump is not valid JSON: %s" msg
+  | Ok j -> (
+    match Serve.Jsonl.member "series" j with
+    | Some (Serve.Jsonl.Arr [ run ]) -> (
+      Alcotest.(check (option string)) "name" (Some "test.json")
+        (Serve.Jsonl.str_member "name" run);
+      Alcotest.(check (option (float 0.0))) "run number" (Some 1.0)
+        (Serve.Jsonl.num_member "run" run);
+      match Serve.Jsonl.member "points" run with
+      | Some (Serve.Jsonl.Arr [ p1; p2 ]) ->
+        Alcotest.(check (option (float 0.0))) "step kept" (Some 1.0)
+          (Serve.Jsonl.num_member "step" p1);
+        Alcotest.(check (option (float 0.0))) "value kept" (Some 0.5)
+          (Serve.Jsonl.num_member "value" p1);
+        Alcotest.(check bool) "non-finite value renders null" true
+          (Serve.Jsonl.member "value" p2 = Some Serve.Jsonl.Null)
+      | _ -> Alcotest.fail "points array missing")
+    | _ -> Alcotest.fail "series array missing"));
+  Obs.Series.reset ()
+
+(* Every fitted model family publishes a learning curve: run each fit
+   small and direct, then check every buffered run has strictly
+   increasing step indices and finite losses (ISSUE acceptance). *)
+let test_training_series () =
+  Obs.Series.reset ();
+  let xs = Array.init 20 (fun i -> [| float_of_int i; float_of_int (i mod 3) |]) in
+  let ys = Array.map (fun x -> (2.0 *. x.(0)) +. x.(1)) xs in
+  let labels = Array.map (fun x -> if x.(0) > 10.0 then 1.0 else 0.0) xs in
+  ignore (Mlkit.Tree.gbdt_fit ~n_stages:5 xs ys);
+  ignore (Mlkit.Tree.gbdt_fit_binary ~n_stages:5 xs labels);
+  ignore (Mlkit.Simple.svm_fit ~epochs:3 xs labels);
+  ignore (Mlkit.Simple.kmeans_fit ~iters:3 ~k:2 xs);
+  ignore
+    (Mlkit.Rank.fit ~n_stages:4
+       [ { Mlkit.Rank.features = [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |];
+           relevance = [| 2.0; 1.0; 0.0 |] } ]);
+  let lstm = Mlkit.Lstm.create ~hidden:4 ~vocab:5 7 in
+  Mlkit.Lstm.fit ~epochs:2 lstm [| ([| 1; 2; 3 |], [| 4.0 |]); ([| 0; 4 |], [| 1.0 |]) |];
+  let expected =
+    [ "gbdt.fit"; "gbdt.fit_binary"; "kmeans.fit"; "lstm.fit"; "rank.fit"; "svm.fit" ]
+  in
+  let names = Obs.Series.names () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " recorded a run") true (List.mem name names))
+    expected;
+  (match Serve.Jsonl.of_string (Obs.Series.to_json_string ()) with
+  | Error msg -> Alcotest.failf "telemetry dump is not valid JSON: %s" msg
+  | Ok j -> (
+    match Serve.Jsonl.member "series" j with
+    | Some (Serve.Jsonl.Arr runs) ->
+      Alcotest.(check bool) "one run per fit" true (List.length runs >= List.length expected);
+      List.iter
+        (fun run ->
+          let name = Option.value ~default:"?" (Serve.Jsonl.str_member "name" run) in
+          match Serve.Jsonl.member "points" run with
+          | Some (Serve.Jsonl.Arr points) ->
+            Alcotest.(check bool) (name ^ " has points") true (points <> []);
+            let last = ref min_int in
+            List.iter
+              (fun p ->
+                (match Serve.Jsonl.num_member "step" p with
+                | Some s ->
+                  let s = int_of_float s in
+                  Alcotest.(check bool) (name ^ " steps strictly increase") true (s > !last);
+                  last := s
+                | None -> Alcotest.failf "%s point without a step" name);
+                match Serve.Jsonl.member "value" p with
+                | Some (Serve.Jsonl.Num v) ->
+                  Alcotest.(check bool) (name ^ " loss is finite") true (Float.is_finite v)
+                | _ -> Alcotest.failf "%s run has a non-finite loss" name)
+              points
+          | _ -> Alcotest.failf "%s run without points" name)
+        runs
+    | _ -> Alcotest.fail "series array missing"));
+  Obs.Series.reset ()
+
+(* -- runtime gauges -- *)
+
+let test_runtime_gauges () =
+  Obs.Runtime.sample ();
+  let samples = samples_of (Obs.Metrics.exposition ()) in
+  let value name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.failf "exposition is missing %s" name
+  in
+  Alcotest.(check bool) "heap words positive" true (value "clara_runtime_gc_heap_words" > 0.0);
+  Alcotest.(check bool) "minor words positive" true
+    (value "clara_runtime_gc_minor_words" > 0.0);
+  Alcotest.(check bool) "uptime nonnegative" true (value "clara_runtime_uptime_seconds" >= 0.0);
+  Alcotest.(check bool) "recommended domains >= 1" true
+    (value "clara_runtime_recommended_domains" >= 1.0);
+  Alcotest.(check bool) "sampler initially stopped" false (Obs.Runtime.running ());
+  Obs.Runtime.start ~period_s:0.05 ();
+  Alcotest.(check bool) "sampler running" true (Obs.Runtime.running ());
+  Obs.Runtime.start ();
+  Obs.Runtime.stop ();
+  Alcotest.(check bool) "sampler stopped" false (Obs.Runtime.running ());
+  Obs.Runtime.stop ()
+
+(* -- request-scoped tracing through the insight server -- *)
+
+let parse_reply line =
+  match Serve.Jsonl.of_string line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparseable reply %S: %s" line msg
+
+let rec flatten_span_json depth j =
+  let name = Option.value ~default:"?" (Serve.Jsonl.str_member "name" j) in
+  let children =
+    match Serve.Jsonl.member "children" j with Some (Serve.Jsonl.Arr cs) -> cs | _ -> []
+  in
+  (name, depth) :: List.concat_map (flatten_span_json (depth + 1)) children
+
+(* One request's span subtree via the server's [trace] command: echo of a
+   client-supplied trace_id, the subtree matching a direct
+   [Pipeline.analyze] of the same NF/workload, and exclusion of every
+   other request's spans. *)
+let server_trace_shape ~jobs ~trace () =
+  let m = Lazy.force models in
+  with_jobs jobs @@ fun () ->
+  with_spans @@ fun () ->
+  let s = Serve.Server.create ~cache_capacity:8 m in
+  let req =
+    Printf.sprintf
+      {|{"id":1,"cmd":"analyze","nf":"Mazu-NAT","workload":"mixed","trace_id":"%s"}|} trace
+  in
+  let r = parse_reply (Serve.Server.handle_request s req) in
+  Alcotest.(check bool) "traced analyze ok" true
+    (Serve.Jsonl.member "ok" r = Some (Serve.Jsonl.Bool true));
+  Alcotest.(check (option string)) "reply echoes the client trace id" (Some trace)
+    (Serve.Jsonl.str_member "trace_id" r);
+  (* a second request under a different trace must stay out of the subtree *)
+  let other =
+    parse_reply
+      (Serve.Server.handle_request s
+         {|{"id":2,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"other"}|})
+  in
+  Alcotest.(check (option string)) "other request keeps its own id" (Some "other")
+    (Serve.Jsonl.str_member "trace_id" other);
+  let tr =
+    parse_reply
+      (Serve.Server.handle_request s
+         (Printf.sprintf {|{"id":3,"cmd":"trace","trace_id":"%s"}|} trace))
+  in
+  Alcotest.(check bool) "trace reply ok" true
+    (Serve.Jsonl.member "ok" tr = Some (Serve.Jsonl.Bool true));
+  Alcotest.(check (option string)) "trace reply names the queried id" (Some trace)
+    (Serve.Jsonl.str_member "queried" tr);
+  Alcotest.(check bool) "trace reply reports tracing on" true
+    (Serve.Jsonl.member "tracing" tr = Some (Serve.Jsonl.Bool true));
+  match Serve.Jsonl.member "spans" tr with
+  | Some (Serve.Jsonl.Arr roots) -> List.concat_map (flatten_span_json 0) roots
+  | _ -> Alcotest.fail "trace reply carries a spans array"
+
+let test_request_trace () =
+  let m = Lazy.force models in
+  (* reference: the span subtree of one direct analyze, trace-filtered *)
+  let reference =
+    with_spans @@ fun () ->
+    Obs.Span.with_trace "ref" (fun () ->
+        ignore
+          (Clara.Pipeline.analyze m (Nf_lang.Corpus.find "Mazu-NAT") Serve.Server.mixed_spec));
+    match Obs.Span.forest ~trace:"ref" () with
+    | [ tree ] -> Obs.Span.flatten tree
+    | l -> Alcotest.failf "expected one traced root, got %d" (List.length l)
+  in
+  let serial = server_trace_shape ~jobs:1 ~trace:"abc" () in
+  Alcotest.(check (list (pair string int)))
+    "server trace = direct analyze subtree (jobs=1)" reference serial;
+  let parallel = server_trace_shape ~jobs:4 ~trace:"abc" () in
+  Alcotest.(check (list (pair string int)))
+    "identical subtree under a 4-domain pool" reference parallel
+
 (* -- JSON exports parse -- *)
 
 let test_json_exports () =
@@ -260,8 +542,17 @@ let () =
           Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
           Alcotest.test_case "ring eviction" `Quick test_span_ring_eviction ] );
       ("pool", [ Alcotest.test_case "Pool.size" `Quick test_pool_size ]);
+      ( "log",
+        [ Alcotest.test_case "levels, fields and escaping" `Quick test_log_levels_and_fields;
+          Alcotest.test_case "trace/span correlation" `Quick test_log_trace_correlation ] );
+      ( "series",
+        [ Alcotest.test_case "bounded ring and runs" `Quick test_series_ring;
+          Alcotest.test_case "JSON export" `Quick test_series_json;
+          Alcotest.test_case "every fit records a learning curve" `Slow test_training_series ] );
+      ("runtime", [ Alcotest.test_case "GC gauges and sampler" `Quick test_runtime_gauges ]);
       ( "pipeline",
-        [ Alcotest.test_case "analyze span tree is stable" `Slow test_analyze_span_tree ] );
+        [ Alcotest.test_case "analyze span tree is stable" `Slow test_analyze_span_tree;
+          Alcotest.test_case "request-scoped trace subtree" `Slow test_request_trace ] );
       ( "metrics",
         [ Alcotest.test_case "exposition golden" `Quick test_exposition;
           Alcotest.test_case "JSON exports parse" `Quick test_json_exports ] ) ]

@@ -58,6 +58,77 @@ let test_lru_semantics () =
   ignore (Serve.Lru.find c "nope");
   Alcotest.(check int) "find counts misses" (m0 + 1) (Serve.Lru.misses c)
 
+let test_lru_boundaries () =
+  (* capacity 0: a legal degenerate cache — never stores, still counts *)
+  let z = Serve.Lru.create ~capacity:0 in
+  Serve.Lru.add z "a" 1;
+  Alcotest.(check int) "capacity-0 stores nothing" 0 (Serve.Lru.length z);
+  Alcotest.(check (option int)) "capacity-0 always misses" None (Serve.Lru.find z "a");
+  Alcotest.(check int) "capacity-0 still counts misses" 1 (Serve.Lru.misses z);
+  Alcotest.(check int) "capacity-0 never hits" 0 (Serve.Lru.hits z);
+  (match Serve.Lru.create ~capacity:(-1) with
+  | _ -> Alcotest.fail "negative capacity must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* capacity 1: every insert evicts the previous entry *)
+  let one = Serve.Lru.create ~capacity:1 in
+  Serve.Lru.add one "a" 1;
+  Serve.Lru.add one "b" 2;
+  Alcotest.(check (option int)) "capacity-1 evicts the old entry" None (Serve.Lru.peek one "a");
+  Alcotest.(check (option int)) "capacity-1 keeps the new entry" (Some 2)
+    (Serve.Lru.peek one "b");
+  Alcotest.(check int) "capacity-1 stays bounded" 1 (Serve.Lru.length one)
+
+let test_lru_reinsert_promotes () =
+  let c = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.add c "a" 1;
+  Serve.Lru.add c "b" 2;
+  (* re-inserting "a" must refresh its recency (and overwrite its value),
+     making "b" the eviction victim *)
+  Serve.Lru.add c "a" 10;
+  Serve.Lru.add c "c" 3;
+  Alcotest.(check (option int)) "re-insert overwrote the value" (Some 10)
+    (Serve.Lru.peek c "a");
+  Alcotest.(check (option int)) "re-insert promoted: b evicted" None (Serve.Lru.peek c "b");
+  Alcotest.(check (option int)) "new entry present" (Some 3) (Serve.Lru.peek c "c");
+  Alcotest.(check int) "still bounded" 2 (Serve.Lru.length c)
+
+let test_lru_eviction_order_after_hit () =
+  let c = Serve.Lru.create ~capacity:2 in
+  Serve.Lru.add c "a" 1;
+  Serve.Lru.add c "b" 2;
+  ignore (Serve.Lru.find c "a");
+  (* the hit made "b" least recently used *)
+  Serve.Lru.add c "c" 3;
+  Alcotest.(check (option int)) "hit entry survives" (Some 1) (Serve.Lru.peek c "a");
+  Alcotest.(check (option int)) "unhit entry evicted" None (Serve.Lru.peek c "b");
+  Alcotest.(check (option int)) "new entry present" (Some 3) (Serve.Lru.peek c "c")
+
+(* -- salvage_member: scalar extraction from malformed request lines -- *)
+
+let test_salvage_member () =
+  let salv key src = Serve.Jsonl.salvage_member key src in
+  Alcotest.(check bool) "numeric id from a truncated line" true
+    (salv "id" {|{"id":7,"cmd":"analyze"|} = Some (Serve.Jsonl.Num 7.0));
+  Alcotest.(check bool) "string id from a truncated line" true
+    (salv "id" {|{"id":"req-9","cmd":|} = Some (Serve.Jsonl.Str "req-9"));
+  (* escaped quotes inside string values must not fool the scanner *)
+  Alcotest.(check bool) "escaped quotes inside a value" true
+    (salv "id" {|{"x":"a\"id\":7","id":3|} = Some (Serve.Jsonl.Num 3.0));
+  Alcotest.(check bool) "key inside a string value is not salvaged" true
+    (salv "id" {|{"x":"\"id\":9","cmd":|} = None);
+  (* keys are matched at object depth 1 only *)
+  Alcotest.(check bool) "key inside a nested object is not salvaged" true
+    (salv "id" {|{"a":{"id":5},"cmd":|} = None);
+  Alcotest.(check bool) "top-level key wins over a nested decoy" true
+    (salv "id" {|{"a":{"id":5},"id":8|} = Some (Serve.Jsonl.Num 8.0));
+  (* the same machinery salvages trace ids *)
+  Alcotest.(check bool) "string trace_id salvaged" true
+    (salv "trace_id" {|{"trace_id":"abc","cmd":"analyze"|} = Some (Serve.Jsonl.Str "abc"));
+  Alcotest.(check bool) "bool and null scalars parse" true
+    (salv "flag" {|{"flag":true,"cmd":|} = Some (Serve.Jsonl.Bool true)
+    && salv "flag" {|{"flag":null,"cmd":|} = Some Serve.Jsonl.Null);
+  Alcotest.(check bool) "absent key yields nothing" true (salv "id" {|{"cmd":"analyze"|} = None)
+
 (* -- request handling (in-process, tiny models) -- *)
 
 let models =
@@ -286,8 +357,13 @@ let test_concurrent_burst () =
 let () =
   Alcotest.run "serve"
     [ ( "jsonl",
-        [ Alcotest.test_case "print/parse round-trip" `Quick test_json_roundtrip ] );
-      ("lru", [ Alcotest.test_case "eviction and stats" `Quick test_lru_semantics ]);
+        [ Alcotest.test_case "print/parse round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "salvage_member on malformed lines" `Quick test_salvage_member ] );
+      ( "lru",
+        [ Alcotest.test_case "eviction and stats" `Quick test_lru_semantics;
+          Alcotest.test_case "capacity 0 and 1 boundaries" `Quick test_lru_boundaries;
+          Alcotest.test_case "re-insert promotes" `Quick test_lru_reinsert_promotes;
+          Alcotest.test_case "eviction order after a hit" `Quick test_lru_eviction_order_after_hit ] );
       ( "server",
         [ Alcotest.test_case "valid query and cache hit" `Quick test_handle_valid_and_cached;
           Alcotest.test_case "error replies" `Quick test_handle_errors;
