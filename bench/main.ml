@@ -15,13 +15,17 @@
     - `bench/main.exe obs`: measure the Obs.Span instrumentation overhead
       (bare kernel vs disabled spans vs enabled spans) and write
       BENCH_obs.json; exits nonzero when disabled-mode overhead exceeds 5%.
+    - `bench/main.exe robust`: measure warm-path request latency through
+      the retrying client (p50/p99) and the deterministic load-shedding
+      rate at 1x/4x/16x overload; writes BENCH_robust.json and exits
+      nonzero when the admission policy or the committed baseline drifts.
     - `bench/main.exe list`: list experiment ids.
 
     CLARA_FULL=1 enlarges training sets and sweeps. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | <experiment id>...]";
+    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -434,6 +438,129 @@ let run_obs_report () =
       exit 1
     end
 
+(* -- BENCH_robust.json: what the hardening layer costs and guarantees —
+   request latency through the retrying client against a live socket
+   server (p50/p99), and the load-shedding rate at 1x/4x/16x overload.
+   Shedding is deterministic: a batch of [f * max_pending] lines admits
+   exactly [max_pending], so the rate is 1 - 1/f bit-for-bit; the drift
+   gate on the 16x rate therefore catches any change to the admission
+   policy, not measurement noise. -- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) idx))
+
+let read_committed_shed_16x () =
+  if not (Sys.file_exists "BENCH_robust.json") then None
+  else
+    let ic = open_in_bin "BENCH_robust.json" in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let flat = String.concat " " (String.split_on_char '\n' raw) in
+    match Serve.Jsonl.of_string flat with
+    | Ok j -> Serve.Jsonl.num_member "shed_rate_16x" j
+    | Error _ -> None
+
+let run_robust_report () =
+  let committed = read_committed_shed_16x () in
+  let models =
+    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+    let predictor = Clara.Predictor.train ~epochs:1 ds in
+    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+  in
+  (* latency: warm-cache analyze round trips through Serve.Client against
+     the real socket server (connect is reused, ids are idempotent) *)
+  let n_requests = 200 in
+  let server = Serve.Server.create ~cache_capacity:16 models in
+  ignore
+    (Serve.Server.process_batch server [ {|{"cmd":"analyze","nf":"tcpack","workload":"mixed"}|} ]);
+  let path = Filename.temp_file "clara_bench_robust" ".sock" in
+  Sys.remove path;
+  let srv = Domain.spawn (fun () -> Serve.Server.run server ~socket_path:path) in
+  let client = Serve.Client.create ~timeout_s:10.0 ~retries:2 ~socket_path:path () in
+  let analyze_fields =
+    [ ("cmd", Serve.Jsonl.Str "analyze"); ("nf", Serve.Jsonl.Str "tcpack");
+      ("workload", Serve.Jsonl.Str "mixed") ]
+  in
+  let lat = Array.make n_requests 0.0 in
+  for i = 0 to n_requests - 1 do
+    let t0 = Unix.gettimeofday () in
+    (match Serve.Client.request client analyze_fields with
+    | Ok _ -> ()
+    | Error e -> failwith ("robust bench query failed: " ^ Serve.Client.error_to_string e));
+    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0
+  done;
+  ignore (Serve.Client.request client [ ("cmd", Serve.Jsonl.Str "shutdown") ]);
+  Serve.Client.close client;
+  Domain.join srv;
+  Array.sort compare lat;
+  let p50 = percentile lat 50.0 and p99 = percentile lat 99.0 in
+  (* shedding: oversized batches straight through process_batch on a
+     fresh server with a small admission bound *)
+  let max_pending = 64 in
+  let shed_rate factor =
+    let s = Serve.Server.create ~cache_capacity:16 ~max_pending models in
+    let total = factor * max_pending in
+    let lines =
+      List.init total (fun i -> Printf.sprintf {|{"id":%d,"cmd":"ping"}|} i)
+    in
+    let replies = Serve.Server.process_batch s lines in
+    let overloaded =
+      List.length
+        (List.filter
+           (fun line ->
+             match Serve.Jsonl.of_string line with
+             | Ok v -> Serve.Jsonl.member "overloaded" v = Some (Serve.Jsonl.Bool true)
+             | Error _ -> false)
+           replies)
+    in
+    if List.length replies <> total then failwith "robust bench: reply count mismatch";
+    float_of_int overloaded /. float_of_int total
+  in
+  let shed_1x = shed_rate 1 and shed_4x = shed_rate 4 and shed_16x = shed_rate 16 in
+  let oc = open_out "BENCH_robust.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-robust-bench/1\",\n\
+    \  \"requests\": %d,\n\
+    \  \"latency_p50_ms\": %.3f,\n\
+    \  \"latency_p99_ms\": %.3f,\n\
+    \  \"max_pending\": %d,\n\
+    \  \"shed_rate_1x\": %.4f,\n\
+    \  \"shed_rate_4x\": %.4f,\n\
+    \  \"shed_rate_16x\": %.4f\n\
+     }\n"
+    n_requests p50 p99 max_pending shed_1x shed_4x shed_16x;
+  close_out oc;
+  Printf.printf "Robustness report (also written to BENCH_robust.json):\n";
+  Printf.printf "  warm analyze via client   p50 %8.3f ms   p99 %8.3f ms   (%d requests)\n" p50
+    p99 n_requests;
+  Printf.printf "  shed rate (max_pending=%d)   1x %6.4f   4x %6.4f   16x %6.4f\n" max_pending
+    shed_1x shed_4x shed_16x;
+  let expected f = 1.0 -. (1.0 /. float_of_int f) in
+  List.iter
+    (fun (f, rate) ->
+      if Float.abs (rate -. expected f) > 1e-9 then begin
+        Printf.printf "FAIL: shed rate at %dx is %.4f, admission policy expects %.4f\n" f rate
+          (expected f);
+        exit 1
+      end)
+    [ (1, shed_1x); (4, shed_4x); (16, shed_16x) ];
+  let drift_limit = 0.02 in
+  match committed with
+  | None -> Printf.printf "  (no committed BENCH_robust.json baseline; drift gate skipped)\n"
+  | Some baseline ->
+    let drift = Float.abs (shed_16x -. baseline) in
+    Printf.printf "  drift vs committed baseline: %+.4f (baseline %.4f, limit %.2f)\n"
+      (shed_16x -. baseline) baseline drift_limit;
+    if drift > drift_limit then begin
+      Printf.printf "FAIL: 16x shed rate drifted %.4f from the committed baseline\n" drift;
+      exit 1
+    end
+
 (* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
    span recording when tracing, and flush both files when the run ends. *)
 let with_obs_flags args f =
@@ -465,6 +592,7 @@ let () =
   | _ :: [ "parallel" ] -> run_parallel_report ()
   | _ :: [ "serve" ] -> run_serve_report ()
   | _ :: [ "obs" ] -> run_obs_report ()
+  | _ :: [ "robust" ] -> run_robust_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

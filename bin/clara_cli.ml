@@ -40,9 +40,21 @@ let find_nf name =
       "unknown NF";
     exit 1
 
-let load_bundle dir =
-  match Persist.Bundle.load ~dir with
-  | Ok b ->
+(* Salvaging load: corrupt optional components are dropped (with a warning
+   each), so a torn write degrades the bundle instead of failing it; [None]
+   only when the manifest or a required model is unreadable. *)
+let salvage_bundle dir =
+  match Persist.Bundle.load_salvage ~dir with
+  | Ok (b, dropped) ->
+    List.iter
+      (fun (file, e) ->
+        Obs.Log.warn
+          ~fields:
+            [ ("bundle", Obs.Log.Str dir);
+              ("file", Obs.Log.Str file);
+              ("error", Obs.Log.Str (Persist.Wire.error_to_string e)) ]
+          "dropped corrupt optional component")
+      dropped;
     if b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash <> Persist.Bundle.corpus_hash () then
       Obs.Log.warn
         ~fields:
@@ -50,14 +62,16 @@ let load_bundle dir =
             ("bundle_corpus_hash", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.corpus_hash);
             ("current_corpus_hash", Obs.Log.Str (Persist.Bundle.corpus_hash ())) ]
         "bundle was trained against a different corpus";
-    b
+    Some b
   | Error e ->
     Obs.Log.error
       ~fields:
         [ ("bundle", Obs.Log.Str dir);
           ("error", Obs.Log.Str (Persist.Wire.error_to_string e)) ]
       "cannot load model bundle";
-    exit 1
+    None
+
+let load_bundle dir = match salvage_bundle dir with Some b -> b | None -> exit 1
 
 let train_models ~full =
   Printf.printf "Training Clara (%s mode)...\n%!" (if full then "full" else "quick");
@@ -215,22 +229,35 @@ let analyze_cmd =
 (* -- serve -- *)
 
 let serve_cmd =
-  let run model socket full cache_capacity http_port trace_requests slow_ms =
+  let run model socket full cache_capacity http_port trace_requests slow_ms deadline_ms
+      max_pending max_clients =
     if trace_requests then Obs.Span.set_enabled true;
     let models =
       match model with
-      | Some dir ->
-        let b = load_bundle dir in
-        Obs.Log.info
-          ~fields:
-            [ ("bundle", Obs.Log.Str dir);
-              ("built_at", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.built_at) ]
-          "warm-started from bundle";
-        b.Persist.Bundle.models
+      | Some dir -> (
+        (* A long-running service prefers a cold start over refusing to
+           start: an unreadable bundle (torn write, version skew) falls
+           back to training. *)
+        match salvage_bundle dir with
+        | Some b ->
+          Obs.Log.info
+            ~fields:
+              [ ("bundle", Obs.Log.Str dir);
+                ("built_at", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.built_at) ]
+            "warm-started from bundle";
+          b.Persist.Bundle.models
+        | None ->
+          Obs.Log.warn
+            ~fields:[ ("bundle", Obs.Log.Str dir) ]
+            "bundle unreadable; cold-starting (training)";
+          train_models ~full)
       | None -> train_models ~full
     in
     let slow_threshold_s = Option.map (fun ms -> ms /. 1000.0) slow_ms in
-    let server = Serve.Server.create ~cache_capacity ?slow_threshold_s models in
+    let server =
+      Serve.Server.create ~cache_capacity ?slow_threshold_s ?deadline_ms ~max_pending
+        ~max_clients models
+    in
     (* The HTTP exporter runs on its own domain so a scrape never queues
        behind the socket select loop; the Runtime sampler keeps GC gauges
        fresh between scrapes. *)
@@ -287,58 +314,66 @@ let serve_cmd =
          & info [ "slow-ms" ] ~docv:"MS"
              ~doc:"Log requests slower than this threshold (default: \\$CLARA_SLOW_MS, else 1000).")
   in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request time budget; overrun requests get a deadline_exceeded \
+                   reply.  A request's own \"deadline_ms\" field wins (default: \
+                   \\$CLARA_DEADLINE_MS, else unlimited).")
+  in
+  let max_pending =
+    Arg.(value & opt int 256
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Request lines admitted per batch; the rest are shed with an overloaded reply.")
+  in
+  let max_clients =
+    Arg.(value & opt int 64
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Concurrent connections held; extra connections get one overloaded reply and \
+                   are closed.")
+  in
   Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
     Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ http_port
-          $ trace_requests $ slow_ms)
+          $ trace_requests $ slow_ms $ deadline_ms $ max_pending $ max_clients)
 
 (* -- query -- *)
 
 let query_cmd =
-  let run socket name wname =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | () -> ()
-    | exception Unix.Unix_error (err, _, _) ->
+  let run socket name wname deadline_ms retries timeout_s =
+    (* The retrying client owns the failure modes: connect errors,
+       timeouts, disconnects and overloaded replies are re-attempted with
+       jittered backoff before we give up. *)
+    let client = Serve.Client.create ~timeout_s ~retries ~socket_path:socket () in
+    let fields =
+      Serve.Jsonl.
+        [ ("cmd", Str "analyze"); ("nf", Str name); ("workload", Str wname) ]
+      @ match deadline_ms with Some ms -> [ ("deadline_ms", Serve.Jsonl.Num ms) ] | None -> []
+    in
+    let outcome = Serve.Client.request client fields in
+    Serve.Client.close client;
+    match outcome with
+    | Error err ->
       Obs.Log.error
         ~fields:
           [ ("socket", Obs.Log.Str socket);
-            ("error", Obs.Log.Str (Unix.error_message err)) ]
-        "cannot connect (is 'clara serve' running?)";
-      exit 1);
-    let request =
-      Serve.Jsonl.(
-        to_string
-          (Obj [ ("id", Num 1.0); ("cmd", Str "analyze"); ("nf", Str name); ("workload", Str wname) ]))
-    in
-    let out = Unix.out_channel_of_descr fd in
-    output_string out (request ^ "\n");
-    flush out;
-    let inc = Unix.in_channel_of_descr fd in
-    let reply =
-      match input_line inc with
-      | line -> line
-      | exception End_of_file ->
-        Obs.Log.error "server closed the connection without replying";
-        exit 1
-    in
-    Unix.close fd;
-    match Serve.Jsonl.of_string reply with
-    | Error msg ->
-      Obs.Log.error
-        ~fields:[ ("error", Obs.Log.Str msg); ("reply", Obs.Log.Str reply) ]
-        "unparseable reply";
+            ("error", Obs.Log.Str (Serve.Client.error_to_string err));
+            ("attempts", Obs.Log.Int (Serve.Client.attempts client)) ]
+        "query failed (is 'clara serve' running?)";
       exit 1
     | Ok j -> (
       match Serve.Jsonl.member "ok" j with
       | Some (Serve.Jsonl.Bool true) ->
         (match Serve.Jsonl.str_member "report" j with
         | Some report -> print_string report
-        | None -> print_endline reply);
+        | None -> print_endline (Serve.Jsonl.to_string j));
         (match Serve.Jsonl.member "cached" j with
         | Some (Serve.Jsonl.Bool c) -> Printf.printf "\n; served %s\n" (if c then "from cache" else "freshly analyzed")
         | _ -> ())
       | _ ->
-        let msg = Option.value (Serve.Jsonl.str_member "error" j) ~default:reply in
+        let msg =
+          Option.value (Serve.Jsonl.str_member "error" j)
+            ~default:(Serve.Jsonl.to_string j)
+        in
         let valid =
           match Serve.Jsonl.member "valid" j with
           | Some (Serve.Jsonl.Arr names) ->
@@ -357,8 +392,23 @@ let query_cmd =
     Arg.(value & opt string "mixed"
          & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Traffic profile: mixed, large or small.")
   in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request time budget; the server answers deadline_exceeded when it runs out.")
+  in
+  let retries =
+    Arg.(value & opt int 4
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget for overloaded replies and transient I/O errors (jittered \
+                   exponential backoff).")
+  in
+  let timeout_s =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-attempt round-trip timeout.")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Query a running insight service for one NF")
-    Term.(const run $ socket_arg $ nf_arg $ wname)
+    Term.(const run $ socket_arg $ nf_arg $ wname $ deadline_ms $ retries $ timeout_s)
 
 (* -- port -- *)
 

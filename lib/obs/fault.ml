@@ -1,0 +1,124 @@
+(** Deterministic fault-injection registry (see fault.mli). *)
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected point -> Some (Printf.sprintf "injected fault at %s" point)
+    | _ -> None)
+
+type point_state = {
+  prob : float;
+  seed : int;
+  draws : int Atomic.t; (* next draw index when the caller supplies no key *)
+  hits : int Atomic.t;
+}
+
+let lock = Mutex.create ()
+let table : (string, point_state) Hashtbl.t = Hashtbl.create 8
+
+(* Fast path: [fire] on a disarmed registry is one atomic load. *)
+let n_armed = Atomic.make 0
+
+let m_injected point =
+  Metrics.counter ~help:"Faults injected by Obs.Fault"
+    ~labels:[ ("point", point) ]
+    "clara_fault_injected_total"
+
+(* splitmix64 finalizer: decision i of a point is a pure function of
+   (seed, i), so sequences replay exactly for a fixed seed. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float ~seed k =
+  let bits =
+    mix64 (Int64.add (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L) (Int64.of_int k))
+  in
+  Int64.to_float (Int64.shift_right_logical bits 11) *. (1.0 /. 9007199254740992.0)
+
+let parse spec =
+  let parse_one part =
+    match String.split_on_char ':' (String.trim part) with
+    | [ point; prob ] | [ point; prob; "" ] -> (
+      match float_of_string_opt prob with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (point, p, 1)
+      | _ -> Error (Printf.sprintf "bad probability %S in %S" prob part))
+    | [ point; prob; seed ] -> (
+      match (float_of_string_opt prob, int_of_string_opt seed) with
+      | Some p, Some s when p >= 0.0 && p <= 1.0 -> Ok (point, p, s)
+      | Some p, None when p >= 0.0 && p <= 1.0 ->
+        Error (Printf.sprintf "bad seed %S in %S" seed part)
+      | _ -> Error (Printf.sprintf "bad probability %S in %S" prob part))
+    | _ -> Error (Printf.sprintf "expected point:prob[:seed], got %S" part)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest when String.trim part = "" -> go acc rest
+    | part :: rest -> ( match parse_one part with Ok t -> go (t :: acc) rest | Error _ as e -> e)
+  in
+  go [] (String.split_on_char ',' spec)
+
+let set ~point ~prob ~seed =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg "Obs.Fault.set: probability must be in [0, 1]";
+  Mutex.lock lock;
+  if not (Hashtbl.mem table point) then Atomic.incr n_armed;
+  Hashtbl.replace table point { prob; seed; draws = Atomic.make 0; hits = Atomic.make 0 };
+  Mutex.unlock lock
+
+let remove point =
+  Mutex.lock lock;
+  if Hashtbl.mem table point then begin
+    Hashtbl.remove table point;
+    Atomic.decr n_armed
+  end;
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Atomic.set n_armed 0;
+  Mutex.unlock lock
+
+let active () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun p s acc -> (p, s.prob, s.seed) :: acc) table [] in
+  Mutex.unlock lock;
+  List.sort compare l
+
+let find point =
+  Mutex.lock lock;
+  let s = Hashtbl.find_opt table point in
+  Mutex.unlock lock;
+  s
+
+let fire ?k point =
+  if Atomic.get n_armed = 0 then false
+  else
+    match find point with
+    | None -> false
+    | Some s ->
+      let idx = match k with Some k -> k | None -> Atomic.fetch_and_add s.draws 1 in
+      let hit = s.prob > 0.0 && (s.prob >= 1.0 || unit_float ~seed:s.seed idx < s.prob) in
+      if hit then begin
+        Atomic.incr s.hits;
+        Metrics.inc (m_injected point)
+      end;
+      hit
+
+let guard ?k point = if fire ?k point then raise (Injected point)
+
+let fired point = match find point with Some s -> Atomic.get s.hits | None -> 0
+
+(* Arm points named in the environment at program start; tests arm
+   programmatically instead. *)
+let () =
+  match Sys.getenv_opt "CLARA_FAULT" with
+  | None -> ()
+  | Some spec -> (
+    match parse spec with
+    | Ok points -> List.iter (fun (point, prob, seed) -> set ~point ~prob ~seed) points
+    | Error msg ->
+      Log.warn ~fields:[ ("spec", Log.Str spec); ("error", Log.Str msg) ] "CLARA_FAULT ignored")

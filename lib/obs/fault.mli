@@ -1,0 +1,66 @@
+(** Deterministic, seedable fault injection.
+
+    Production code threads named {e fault points} through its failure
+    paths — [Persist.Wire] reads and writes, [Serve.Jsonl] parsing,
+    [Util.Pool] task bodies, the insight server's socket I/O — and the
+    adversarial test layer (plus [CLARA_FAULT] in the environment) arms
+    them.  A disarmed point costs one atomic load, so the hooks stay
+    compiled into release builds.
+
+    Configuration is [point:prob:seed], comma-separated for several
+    points, e.g.
+
+    {v
+    CLARA_FAULT=persist.read:1.0:42,serve.write:0.05:7
+    v}
+
+    Decisions are pure functions of [(seed, draw index)] (splitmix64
+    finalizer), so a fixed seed yields the same injection sequence on
+    every run.  When the caller supplies the draw key [k] explicitly
+    (e.g. a pool chunk index), the decision is independent of call order
+    too — identical under [CLARA_JOBS=1] and [=4].
+
+    Registered points (the convention, not an enforced list):
+    - [persist.read]  — {!Persist.Wire.read_file} returns [Io_error]
+    - [persist.write] — {!Persist.Wire.write_file} tears its temp file
+      and raises {!Injected}, simulating a writer killed mid-write
+    - [jsonl.parse]   — {!Serve.Jsonl.of_string} returns [Error]
+    - [pool.task]     — {!Util.Pool} raises {!Injected} in a task body
+    - [serve.accept] / [serve.read] / [serve.write] — the server raises
+      [Unix.Unix_error] ([EMFILE] / [ECONNRESET] / [EPIPE]) around the
+      corresponding socket call *)
+
+(** Raised by armed {!guard} calls (and by injection sites that simulate
+    a crash rather than an error return). *)
+exception Injected of string
+
+(** Parse a [CLARA_FAULT]-style spec into [(point, prob, seed)] triples.
+    The seed is optional ([point:prob] seeds with 1); probabilities must
+    lie in [0, 1]. *)
+val parse : string -> ((string * float * int) list, string) result
+
+(** Arm [point]: each draw fires with probability [prob], deterministic
+    in [seed].  Re-arming a point replaces its config and resets its
+    counters.
+    @raise Invalid_argument unless [0 <= prob <= 1]. *)
+val set : point:string -> prob:float -> seed:int -> unit
+
+val remove : string -> unit
+
+(** Disarm every point (including ones armed from the environment). *)
+val clear : unit -> unit
+
+(** Armed points as [(point, prob, seed)], sorted by name. *)
+val active : unit -> (string * float * int) list
+
+(** Should this draw inject a fault?  Disarmed points answer [false] in
+    one atomic load.  Without [k] the draw index is a per-point counter
+    (deterministic sequence, order-dependent assignment); with [k] the
+    decision depends only on [(seed, k)]. *)
+val fire : ?k:int -> string -> bool
+
+(** {!fire}, raising [Injected point] on [true]. *)
+val guard : ?k:int -> string -> unit
+
+(** Number of injections this point has performed since it was armed. *)
+val fired : string -> int

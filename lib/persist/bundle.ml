@@ -71,10 +71,19 @@ let rec mkdir_p dir =
 let m_load_seconds =
   Obs.Metrics.histogram ~help:"Model-bundle load latency in seconds" "clara_persist_load_seconds"
 
+(* The manifest is written last: each component file is individually
+   atomic (temp + rename in [Wire.write_file]), so a save that dies part
+   way leaves either the old manifest (bundle reads as the old version)
+   or no manifest (reads as no bundle) — never a manifest pointing at
+   half-written components. *)
 let save ~dir manifest models =
   Obs.Span.with_ ~cat:"persist" "bundle.save" @@ fun () ->
   mkdir_p dir;
-  List.iter (fun (file, data) -> Wire.write_file (Filename.concat dir file) data) (encode manifest models)
+  let files = encode manifest models in
+  let manifest_entry, components = List.partition (fun (f, _) -> f = manifest_file) files in
+  List.iter
+    (fun (file, data) -> Wire.write_file (Filename.concat dir file) data)
+    (components @ manifest_entry)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -96,3 +105,30 @@ let load ~dir =
   let* scaleout = load_optional dir scaleout_file Codec.decode_scaleout in
   let* colocation = load_optional dir colocation_file Codec.decode_colocation in
   Ok { manifest; models = { Clara.Pipeline.predictor; algo; scaleout; colocation } }
+
+(* Salvage: a torn write must degrade, not crash.  The manifest and the
+   required components (predictor, algo) decide whether the bundle is
+   usable at all; a corrupt *optional* component is dropped — the loaded
+   pipeline simply lacks that model, exactly as if it had never been
+   trained — and reported so the caller can log it. *)
+let salvage_optional dir file decode dropped =
+  if not (Sys.file_exists (Filename.concat dir file)) then None
+  else
+    match load_file dir file decode with
+    | Ok v -> Some v
+    | Error e ->
+      dropped := (file, e) :: !dropped;
+      None
+
+let load_salvage ~dir =
+  Obs.Span.with_ ~cat:"persist" "bundle.load_salvage" @@ fun () ->
+  Obs.Metrics.time m_load_seconds @@ fun () ->
+  let* manifest = load_file dir manifest_file decode_manifest in
+  let* predictor = load_file dir predictor_file Codec.decode_predictor in
+  let* algo = load_file dir algo_file Codec.decode_algo in
+  let dropped = ref [] in
+  let scaleout = salvage_optional dir scaleout_file Codec.decode_scaleout dropped in
+  let colocation = salvage_optional dir colocation_file Codec.decode_colocation dropped in
+  Ok
+    ( { manifest; models = { Clara.Pipeline.predictor; algo; scaleout; colocation } },
+      List.rev !dropped )

@@ -38,8 +38,18 @@ val decode_manifest : string -> (manifest, Wire.error) result
     writes — exposed for the serial/parallel byte-equivalence tests. *)
 val encode : manifest -> Clara.Pipeline.models -> (string * string) list
 
-(** Write the bundle, creating [dir] (and parents) as needed. *)
+(** Write the bundle, creating [dir] (and parents) as needed.  Each file
+    is written atomically (see {!Wire.write_file}) and the manifest goes
+    last, so a save killed part way leaves either the complete old bundle
+    or a manifest-less directory — never a torn one. *)
 val save : dir:string -> manifest -> Clara.Pipeline.models -> unit
 
 (** Load a bundle; the first broken component reports its typed error. *)
 val load : dir:string -> (t, Wire.error) result
+
+(** Like {!load}, but corrupt {e optional} components (scale-out,
+    colocation) are dropped instead of failing the load; the second
+    result lists the dropped [(file, error)] pairs for logging.  Still
+    [Error] when the manifest or a required component is broken — the
+    caller falls back to a cold start rather than crashing. *)
+val load_salvage : dir:string -> (t * (string * Wire.error) list, Wire.error) result

@@ -239,16 +239,34 @@ let m_bytes_written =
 let m_bytes_read =
   Obs.Metrics.counter ~help:"Artifact bytes read by Persist.Wire" "clara_persist_bytes_read_total"
 
+(* Writes are atomic: the bytes land in a sibling temp file which is
+   renamed over the target, so a writer killed mid-write leaves the old
+   artifact untouched (readers see either the complete old file or the
+   complete new one, never a torn mix).  An armed [persist.write] fault
+   simulates exactly that crash: half the bytes reach the temp file, the
+   rename never happens, and the writer dies with [Injected]. *)
+let tmp_suffix = ".tmp"
+
 let write_file path data =
   Obs.Metrics.add m_bytes_written (String.length data);
-  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+  let tmp = path ^ tmp_suffix in
+  if Obs.Fault.fire "persist.write" then begin
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (String.sub data 0 (String.length data / 2)));
+    raise (Obs.Fault.Injected "persist.write")
+  end;
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+  Sys.rename tmp path
 
 let read_file path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | data ->
-    Obs.Metrics.add m_bytes_read (String.length data);
-    Ok data
-  | exception Sys_error msg -> Result.Error (Io_error msg)
+  if Obs.Fault.fire "persist.read" then
+    Result.Error (Io_error ("injected fault: persist.read of " ^ path))
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | data ->
+      Obs.Metrics.add m_bytes_read (String.length data);
+      Ok data
+    | exception Sys_error msg -> Result.Error (Io_error msg)
 
 let save ~component path payload = write_file path (frame ~component payload)
 

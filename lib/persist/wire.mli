@@ -84,7 +84,14 @@ val unframe : component:string -> string -> (string, error) result
 
 (** {1 Files} *)
 
+(** Atomic: bytes are written to [path ^ ".tmp"] and renamed over [path],
+    so a crashed writer leaves any previous artifact intact.  An armed
+    [persist.write] {!Obs.Fault} point simulates the crash (torn temp
+    file, no rename, raises [Obs.Fault.Injected]). *)
 val write_file : string -> string -> unit
+
+(** [Io_error] on missing/unreadable files and on armed [persist.read]
+    {!Obs.Fault} draws. *)
 val read_file : string -> (string, error) result
 
 (** [save ~component path payload] / [load ~component path]: framed file

@@ -1,0 +1,173 @@
+(** Retrying insight-service client (see client.mli). *)
+
+type t = {
+  socket_path : string;
+  timeout_s : float;
+  retries : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  seed : int;
+  mutable fd : Unix.file_descr option;
+  mutable residue : string;  (* bytes read past the last reply's newline *)
+  mutable next_id : int;
+  mutable draw : int;  (* jitter-sequence position *)
+  mutable attempts : int;
+  mutable retries_used : int;
+}
+
+type error =
+  | Overloaded of string
+  | Timeout
+  | Io of string
+  | Bad_reply of string
+
+let error_to_string = function
+  | Overloaded msg -> "overloaded: " ^ msg
+  | Timeout -> "timed out awaiting reply"
+  | Io msg -> "I/O error: " ^ msg
+  | Bad_reply msg -> "unparseable reply: " ^ msg
+
+let create ?(timeout_s = 5.0) ?(retries = 4) ?(backoff_base_s = 0.05) ?(backoff_cap_s = 1.0)
+    ?(seed = 1) ~socket_path () =
+  if timeout_s <= 0.0 then invalid_arg "Client.create: timeout_s must be > 0";
+  if retries < 0 then invalid_arg "Client.create: retries must be >= 0";
+  { socket_path; timeout_s; retries; backoff_base_s; backoff_cap_s; seed; fd = None;
+    residue = ""; next_id = 1; draw = 0; attempts = 0; retries_used = 0 }
+
+let attempts t = t.attempts
+let retries_used t = t.retries_used
+
+let close t =
+  (match t.fd with Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  t.fd <- None;
+  t.residue <- ""
+
+(* splitmix64 finalizer, as in [Obs.Fault]: jitter draw [i] is a pure
+   function of (seed, i), so a fixed seed replays the backoff schedule. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float ~seed k =
+  let bits =
+    mix64 (Int64.add (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L) (Int64.of_int k))
+  in
+  Int64.to_float (Int64.shift_right_logical bits 11) *. (1.0 /. 9007199254740992.0)
+
+let backoff_sleep t ~attempt =
+  let jitter =
+    let k = t.draw in
+    t.draw <- k + 1;
+    0.5 +. (0.5 *. unit_float ~seed:t.seed k)
+  in
+  let base = t.backoff_base_s *. (2.0 ** float_of_int attempt) in
+  Unix.sleepf (Float.min t.backoff_cap_s base *. jitter)
+
+let connect t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    t.fd <- Some fd;
+    t.residue <- "";
+    fd
+
+let really_write fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+(* One attempt's outcome, before retry classification. *)
+type attempt = Reply of string | A_timeout | A_io of string
+
+(* Read up to the next newline, honouring the per-attempt deadline via
+   [select].  EOF before a newline means the server hung up on us
+   (e.g. the connection-limit shed closes right after its reply — that
+   reply still arrives whole first). *)
+let read_reply t fd =
+  let deadline = Unix.gettimeofday () +. t.timeout_s in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf t.residue;
+  t.residue <- "";
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i ->
+      let data = Buffer.contents buf in
+      t.residue <- String.sub data (i + 1) (String.length data - i - 1);
+      Reply (String.sub data 0 i)
+    | None -> (
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then A_timeout
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | [], _, _ -> A_timeout
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> A_io "server closed the connection"
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error (err, fn, _) ->
+            A_io (Printf.sprintf "%s: %s" fn (Unix.error_message err))))
+  in
+  loop ()
+
+let attempt_once t line =
+  t.attempts <- t.attempts + 1;
+  match connect t with
+  | exception Unix.Unix_error (err, fn, _) ->
+    A_io (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | fd -> (
+    match really_write fd (line ^ "\n") with
+    | () -> read_reply t fd
+    | exception Unix.Unix_error (err, fn, _) ->
+      A_io (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+
+let overloaded_msg reply =
+  match Jsonl.member "overloaded" reply with
+  | Some (Jsonl.Bool true) ->
+    Some (Option.value (Jsonl.str_member "error" reply) ~default:"overloaded")
+  | _ -> None
+
+let request t fields =
+  let fields =
+    if List.mem_assoc "id" fields then fields
+    else begin
+      (* One id per logical request, reused verbatim on every retry. *)
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      ("id", Jsonl.Num (float_of_int id)) :: fields
+    end
+  in
+  let line = Jsonl.to_string (Jsonl.Obj fields) in
+  let rec go attempt last_err =
+    if attempt > t.retries then Error last_err
+    else begin
+      if attempt > 0 then begin
+        t.retries_used <- t.retries_used + 1;
+        close t;
+        (* reconnect fresh: the failed socket may be half-dead *)
+        backoff_sleep t ~attempt:(attempt - 1)
+      end;
+      match attempt_once t line with
+      | A_timeout -> go (attempt + 1) Timeout
+      | A_io msg -> go (attempt + 1) (Io msg)
+      | Reply raw -> (
+        match Jsonl.of_string raw with
+        | Error msg -> Error (Bad_reply msg)
+        | Ok reply -> (
+          match overloaded_msg reply with
+          | Some msg -> go (attempt + 1) (Overloaded msg)
+          | None -> Ok reply))
+    end
+  in
+  go 0 (Io "no attempt made")

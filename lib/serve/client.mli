@@ -1,0 +1,63 @@
+(** A crash-safe client for the Clara insight service.
+
+    Wraps one Unix-domain-socket connection to {!Server.run} with the
+    retry discipline the protocol calls for:
+
+    - {b Per-attempt timeouts.}  Each round trip gets [timeout_s]; a
+      server that neither answers nor hangs up within it counts as a
+      transient failure.
+    - {b Retries with jittered exponential backoff.}  Transient failures
+      — connect errors, timeouts, mid-conversation disconnects, and
+      explicit ["overloaded":true] replies — are retried up to [retries]
+      times, sleeping [backoff_base_s * 2^attempt] (capped at
+      [backoff_cap_s]) scaled by a jitter factor in [0.5, 1).  The jitter
+      sequence is a pure function of [seed], so a fixed seed replays the
+      exact schedule.
+    - {b Idempotent request ids.}  Every logical request gets one ["id"]
+      (caller-supplied or generated) that is {e reused verbatim} across
+      its retry attempts, so a server or log-reader can deduplicate
+      re-sent work.
+
+    Replies that are neither transient nor overloaded — including
+    ["deadline_exceeded":true], whose budget was the request's own — are
+    returned to the caller as parsed JSON without retrying. *)
+
+type t
+
+type error =
+  | Overloaded of string  (** retries exhausted while the server shed load *)
+  | Timeout  (** no reply within [timeout_s], retries exhausted *)
+  | Io of string  (** connect/read/write failures, retries exhausted *)
+  | Bad_reply of string  (** the server's reply line did not parse *)
+
+val error_to_string : error -> string
+
+(** [create ~socket_path ()] — connection is opened lazily on the first
+    request and re-opened after any transient failure.  Defaults:
+    [timeout_s] 5.0, [retries] 4, [backoff_base_s] 0.05, [backoff_cap_s]
+    1.0, [seed] 1. *)
+val create :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_base_s:float ->
+  ?backoff_cap_s:float ->
+  ?seed:int ->
+  socket_path:string ->
+  unit ->
+  t
+
+(** Send one request object (given as its fields) and await its reply.
+    An ["id"] field is added when the caller did not supply one, and the
+    same id is sent on every retry of this request.  [Ok] is any parsed,
+    non-overloaded reply — inspect its ["ok"] member for server-side
+    errors such as [deadline_exceeded]. *)
+val request : t -> (string * Jsonl.t) list -> (Jsonl.t, error) result
+
+(** Round trips attempted / retries (attempts beyond each request's
+    first) — the bench's retry-rate counters. *)
+val attempts : t -> int
+
+val retries_used : t -> int
+
+(** Close the connection (idempotent; a later {!request} reconnects). *)
+val close : t -> unit

@@ -87,6 +87,8 @@ let utf8_encode b code =
   end
 
 let of_string s =
+  if Obs.Fault.fire "jsonl.parse" then Error "injected fault: jsonl.parse"
+  else
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in

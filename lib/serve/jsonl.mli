@@ -16,7 +16,9 @@ type t =
 (** One-line rendering; control characters in strings are escaped. *)
 val to_string : t -> string
 
-(** Parse a complete JSON document (trailing whitespace allowed). *)
+(** Parse a complete JSON document (trailing whitespace allowed).  Never
+    raises: every malformed input (and every armed [jsonl.parse]
+    {!Obs.Fault} draw) is an [Error]. *)
 val of_string : string -> (t, string) result
 
 (** Object field lookup ([None] on non-objects and missing keys). *)

@@ -4,8 +4,13 @@ type t = {
   models : Clara.Pipeline.models;
   cache : string Lru.t;
   slow_s : float;
+  deadline_s : float option;  (* default per-request budget; None = unlimited *)
+  max_pending : int;  (* request lines admitted per batch before shedding *)
+  max_clients : int;  (* accepted connections before connection-level shedding *)
   mutable served_count : int;
+  mutable shed_count : int;
   mutable stop_requested : bool;
+  mutable drain_requested : bool;
 }
 
 (* Default slow-request threshold: CLARA_SLOW_MS, else 1s. *)
@@ -14,14 +19,32 @@ let default_slow_s () =
   | Some ms when ms > 0.0 -> ms /. 1000.0
   | Some _ | None -> 1.0
 
-let create ?(cache_capacity = 64) ?slow_threshold_s models =
+(* Default request deadline: CLARA_DEADLINE_MS, else none. *)
+let default_deadline_s () =
+  match Option.bind (Sys.getenv_opt "CLARA_DEADLINE_MS") float_of_string_opt with
+  | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
+  | Some _ | None -> None
+
+let create ?(cache_capacity = 64) ?slow_threshold_s ?deadline_ms ?(max_pending = 256)
+    ?(max_clients = 64) models =
+  if max_pending < 1 then invalid_arg "Server.create: max_pending must be >= 1";
+  if max_clients < 1 then invalid_arg "Server.create: max_clients must be >= 1";
   let slow_s = match slow_threshold_s with Some s -> s | None -> default_slow_s () in
-  { models; cache = Lru.create ~capacity:cache_capacity; slow_s;
-    served_count = 0; stop_requested = false }
+  let deadline_s =
+    match deadline_ms with
+    | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
+    | Some _ -> None (* an explicit 0 disables any environment default *)
+    | None -> default_deadline_s ()
+  in
+  { models; cache = Lru.create ~capacity:cache_capacity; slow_s; deadline_s; max_pending;
+    max_clients; served_count = 0; shed_count = 0; stop_requested = false;
+    drain_requested = false }
 
 let served t = t.served_count
+let shed t = t.shed_count
 let cache_hits t = Lru.hits t.cache
 let cache_misses t = Lru.misses t.cache
+let request_drain t = t.drain_requested <- true
 
 let corpus_names () = List.map (fun e -> e.Nf_lang.Ast.name) (Nf_lang.Corpus.all ())
 
@@ -39,6 +62,17 @@ let m_in_flight =
 
 let m_latency =
   Obs.Metrics.histogram ~help:"Per-request wall latency in seconds" "clara_serve_request_seconds"
+
+let m_shed =
+  Obs.Metrics.counter ~help:"Requests shed with an overloaded reply" "clara_serve_shed_total"
+
+let m_deadline =
+  Obs.Metrics.counter ~help:"Requests answered with deadline_exceeded"
+    "clara_serve_deadline_total"
+
+let m_disconnects =
+  Obs.Metrics.counter ~help:"Clients that vanished mid-conversation (EPIPE/ECONNRESET)"
+    "clara_serve_client_disconnects_total"
 
 (* -- workloads -- *)
 
@@ -154,11 +188,21 @@ let ok_reply ~trace id fields =
     (Jsonl.Obj
        (("id", id) :: ("ok", Jsonl.Bool true) :: ("trace_id", Jsonl.Str trace) :: fields))
 
-let err_reply ?valid ~trace id msg =
+(* [overloaded]/[deadline] mark the two machine-actionable error classes:
+   a client should retry an overloaded reply after backing off (the
+   condition is the server's), and should NOT retry a deadline reply (the
+   budget was the request's own). *)
+let err_reply ?valid ?(overloaded = false) ?(deadline = false) ~trace id msg =
   Obs.Metrics.inc m_errors;
+  if overloaded then Obs.Metrics.inc m_shed;
+  if deadline then Obs.Metrics.inc m_deadline;
   let fields =
     [ ("id", id); ("ok", Jsonl.Bool false); ("trace_id", Jsonl.Str trace);
       ("error", Jsonl.Str msg) ]
+  in
+  let fields = if overloaded then fields @ [ ("overloaded", Jsonl.Bool true) ] else fields in
+  let fields =
+    if deadline then fields @ [ ("deadline_exceeded", Jsonl.Bool true) ] else fields
   in
   let fields =
     match valid with
@@ -189,13 +233,32 @@ type plan =
       spec : Workload.spec;
       nf_label : string;
       wname : string;
+      deadline : float option;  (* absolute Clock seconds; None = no budget *)
     }
 
 let plan_trace = function
   | Ready _ -> None
   | Hit { trace; _ } | Miss { trace; _ } -> Some trace
 
-let plan_analyze t ~trace id req =
+(* Per-request budget: the request's own ["deadline_ms"] wins (0 or
+   negative disables), else the server default.  Stored as an absolute
+   time so every later stage compares against the same clock. *)
+let deadline_of t ~now req =
+  let budget_s =
+    match Jsonl.num_member "deadline_ms" req with
+    | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
+    | Some _ -> None
+    | None -> t.deadline_s
+  in
+  Option.map (fun s -> now +. s) budget_s
+
+let expired deadline = match deadline with Some d -> Obs.Clock.now_s () > d | None -> false
+
+let deadline_reply ~trace id =
+  err_reply ~deadline:true ~trace id "deadline exceeded before the analysis finished"
+
+let plan_analyze t ~now ~trace id req =
+  let deadline = deadline_of t ~now req in
   let wname = Option.value (Jsonl.str_member "workload" req) ~default:"mixed" in
   match workload_named wname with
   | Error msg -> Ready (err_reply ~trace id msg)
@@ -230,7 +293,7 @@ let plan_analyze t ~trace id req =
         Hit { id; trace; nf_label; wname; report }
       | None ->
         Obs.Metrics.inc m_cache_misses;
-        Miss { id; trace; key; elt; spec; nf_label; wname }))
+        Miss { id; trace; key; elt; spec; nf_label; wname; deadline }))
 
 (* The [trace] command: one request's span subtree, rebuilt from the ring
    buffer by trace-id filter.  Structure only — names, categories, order —
@@ -253,7 +316,7 @@ let trace_reply ~trace id req =
         ("tracing", Jsonl.Bool (Obs.Span.enabled ()));
         ("spans", Jsonl.Arr (List.map tree_json (Obs.Span.forest ~trace:wanted ()))) ]
 
-let plan_line t line =
+let plan_line t ~now line =
   t.served_count <- t.served_count + 1;
   Obs.Metrics.inc m_requests;
   match Jsonl.of_string line with
@@ -301,74 +364,128 @@ let plan_line t line =
     | Some "shutdown" ->
       t.stop_requested <- true;
       Ready (ok_reply ~trace id [ ("stopping", Jsonl.Bool true) ])
-    | Some "analyze" -> plan_analyze t ~trace id req
+    | Some "analyze" -> plan_analyze t ~now ~trace id req
     | Some other -> Ready (err_reply ~trace id (Printf.sprintf "unknown cmd %S" other))
     | None -> Ready (err_reply ~trace id "missing \"cmd\""))
 
+(* What one deduplicated analysis job produced. *)
+type job_outcome = Report of string | Failed of string | Timed_out
+
+(* Load shedding: a line past the [max_pending] admission bound is
+   answered immediately with an explicit retryable [overloaded] error
+   (id and trace id still salvaged from the raw text) instead of queuing
+   unbounded work behind the pool. *)
+let shed_reply t line =
+  t.served_count <- t.served_count + 1;
+  t.shed_count <- t.shed_count + 1;
+  Obs.Metrics.inc m_requests;
+  let id = Option.value (Jsonl.salvage_member "id" line) ~default:Jsonl.Null in
+  let trace =
+    match Jsonl.salvage_member "trace_id" line with
+    | Some (Jsonl.Str s) -> s
+    | Some _ | None -> fresh_trace ()
+  in
+  err_reply ~overloaded:true ~trace id
+    (Printf.sprintf "overloaded: server admits %d request lines per batch" t.max_pending)
+
+let split_at n l =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
+
 let process_batch t lines =
   Obs.Span.with_ ~cat:"serve" "serve.batch" @@ fun () ->
-  let n_lines = List.length lines in
+  let now0 = Obs.Clock.now_s () in
+  let admitted, overflow = split_at t.max_pending lines in
+  let shed_replies = List.map (shed_reply t) overflow in
+  let n_lines = List.length admitted in
   Obs.Metrics.add_gauge m_in_flight (float_of_int n_lines);
-  let t0 = Obs.Clock.now_s () in
   let batch_traces = ref [] in
-  Fun.protect ~finally:(fun () ->
-      (* Replies for a batch are produced together, so each line's wall
-         latency is the batch's elapsed time. *)
-      let dt = Obs.Clock.now_s () -. t0 in
-      for _ = 1 to n_lines do
-        Obs.Metrics.observe m_latency dt
-      done;
-      Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines);
-      if dt > t.slow_s then
-        List.iter
-          (fun trace ->
-            Obs.Log.warn
-              ~fields:
-                [ ("trace_id", Obs.Log.Str trace);
-                  ("latency_s", Obs.Log.Num dt);
-                  ("threshold_s", Obs.Log.Num t.slow_s);
-                  ("batch_lines", Obs.Log.Int n_lines) ]
-              "serve.slow_request")
-          !batch_traces)
-  @@ fun () ->
-  let plans = List.map (plan_line t) lines in
-  batch_traces := List.filter_map plan_trace plans;
-  (* Deduplicate this batch's cache misses, keeping first-seen order (and
-     the first-seen request's trace id), then analyze the distinct jobs
-     concurrently.  The trace id is re-installed inside each task closure:
-     it lives in domain-local storage, so spans recorded on a worker
-     domain would otherwise lose their request attribution. *)
-  let jobs =
-    List.fold_left
-      (fun acc plan ->
-        match plan with
-        | Miss m when not (List.mem_assoc m.key acc) -> (m.key, (m.elt, m.spec, m.trace)) :: acc
-        | _ -> acc)
-      [] plans
-    |> List.rev
+  let admitted_replies =
+    Fun.protect ~finally:(fun () ->
+        (* Replies for a batch are produced together, so each line's wall
+           latency is the batch's elapsed time. *)
+        let dt = Obs.Clock.now_s () -. now0 in
+        for _ = 1 to n_lines do
+          Obs.Metrics.observe m_latency dt
+        done;
+        Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines);
+        if dt > t.slow_s then
+          List.iter
+            (fun trace ->
+              Obs.Log.warn
+                ~fields:
+                  [ ("trace_id", Obs.Log.Str trace);
+                    ("latency_s", Obs.Log.Num dt);
+                    ("threshold_s", Obs.Log.Num t.slow_s);
+                    ("batch_lines", Obs.Log.Int n_lines) ]
+                "serve.slow_request")
+            !batch_traces)
+    @@ fun () ->
+    let plans = List.map (plan_line t ~now:now0) admitted in
+    batch_traces := List.filter_map plan_trace plans;
+    (* Deduplicate this batch's cache misses, keeping first-seen order (and
+       the first-seen request's trace id), then analyze the distinct jobs
+       concurrently.  The trace id is re-installed inside each task closure:
+       it lives in domain-local storage, so spans recorded on a worker
+       domain would otherwise lose their request attribution.  Deadlines
+       are enforced between the pipeline stages: a miss whose budget ran
+       out during planning never becomes a job, a job checks its budget
+       again before computing, and the reply assembly below re-checks so
+       a report that arrived too late still answers [deadline_exceeded]
+       (the report is cached for the next asker all the same). *)
+    let jobs =
+      List.fold_left
+        (fun acc plan ->
+          match plan with
+          | Miss m when (not (expired m.deadline)) && not (List.mem_assoc m.key acc) ->
+            (m.key, (m.elt, m.spec, m.trace, m.deadline)) :: acc
+          | _ -> acc)
+        [] plans
+      |> List.rev
+    in
+    let results =
+      (* An armed [pool.task] fault aborts the whole fan-out; degrade it
+         to per-job failures so every requester still gets a typed reply. *)
+      match
+        Util.Pool.parallel_map_list
+          (fun (key, (elt, spec, trace, deadline)) ->
+            Obs.Span.with_trace trace @@ fun () ->
+            let outcome =
+              if expired deadline then Timed_out
+              else
+                try Report (Clara.Pipeline.report t.models elt spec)
+                with e -> Failed (Printexc.to_string e)
+            in
+            (key, outcome))
+          jobs
+      with
+      | results -> results
+      | exception e ->
+        let msg = Printexc.to_string e in
+        List.map (fun (key, _) -> (key, Failed msg)) jobs
+    in
+    List.iter
+      (function key, Report report -> Lru.add t.cache key report | _, (Failed _ | Timed_out) -> ())
+      results;
+    List.map
+      (function
+        | Ready reply -> reply
+        | Hit { id; trace; nf_label; wname; report } ->
+          analyze_reply ~trace id ~nf:nf_label ~wname ~cached:true report
+        | Miss { id; trace; key; nf_label; wname; deadline; _ } -> (
+          match List.assoc_opt key results with
+          | Some (Report report) ->
+            if expired deadline then deadline_reply ~trace id
+            else analyze_reply ~trace id ~nf:nf_label ~wname ~cached:false report
+          | Some (Failed msg) -> err_reply ~trace id ("analysis failed: " ^ msg)
+          | Some Timed_out | None -> deadline_reply ~trace id))
+      plans
   in
-  let results =
-    Util.Pool.parallel_map_list
-      (fun (key, (elt, spec, trace)) ->
-        Obs.Span.with_trace trace @@ fun () ->
-        let outcome =
-          try Ok (Clara.Pipeline.report t.models elt spec)
-          with e -> Error (Printexc.to_string e)
-        in
-        (key, outcome))
-      jobs
-  in
-  List.iter (function key, Ok report -> Lru.add t.cache key report | _, Error _ -> ()) results;
-  List.map
-    (function
-      | Ready reply -> reply
-      | Hit { id; trace; nf_label; wname; report } ->
-        analyze_reply ~trace id ~nf:nf_label ~wname ~cached:true report
-      | Miss { id; trace; key; nf_label; wname; _ } -> (
-        match List.assoc key results with
-        | Ok report -> analyze_reply ~trace id ~nf:nf_label ~wname ~cached:false report
-        | Error msg -> err_reply ~trace id ("analysis failed: " ^ msg)))
-    plans
+  admitted_replies @ shed_replies
 
 let handle_request t line =
   match process_batch t [ line ] with
@@ -377,7 +494,20 @@ let handle_request t line =
 
 (* -- I/O -- *)
 
+(* A peer that vanished mid-conversation is the client's lifecycle, not a
+   server fault: count it, log it at info, move on.  Anything else on a
+   client socket still warns. *)
+let is_disconnect = function Unix.EPIPE | Unix.ECONNRESET -> true | _ -> false
+
+let log_client_disconnect ~fn err =
+  Obs.Metrics.inc m_disconnects;
+  Obs.Log.info
+    ~fields:[ ("error", Obs.Log.Str (Unix.error_message err)); ("fn", Obs.Log.Str fn) ]
+    "serve.client_disconnected"
+
 let really_write fd s =
+  if Obs.Fault.fire "serve.write" then
+    raise (Unix.Unix_error (Unix.EPIPE, "write", "injected fault: serve.write"));
   let n = String.length s in
   let sent = ref 0 in
   while !sent < n do
@@ -416,11 +546,27 @@ let serve_until_eof t fd =
       loop ()
     end
   in
-  loop ()
+  try loop ()
+  with Unix.Unix_error (err, fn, _) when is_disconnect err -> log_client_disconnect ~fn err
 
 let run t ~socket_path =
   (if Sys.os_type = "Unix" then
      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* SIGTERM requests a graceful drain: stop accepting, answer what is
+     already buffered, log the final counters, exit [run].  The previous
+     handler is restored on the way out so tests can run several servers
+     in one process. *)
+  let old_sigterm =
+    if Sys.os_type = "Unix" then
+      try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_drain t)))
+      with Invalid_argument _ | Sys_error _ -> None
+    else None
+  in
+  Fun.protect ~finally:(fun () ->
+      match old_sigterm with
+      | Some h -> ( try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ())
+  @@ fun () ->
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listener (Unix.ADDR_UNIX socket_path);
@@ -431,6 +577,12 @@ let run t ~socket_path =
         ("jobs", Obs.Log.Int (Util.Pool.size ()));
         ("cache_capacity", Obs.Log.Int (Lru.capacity t.cache));
         ("slow_threshold_s", Obs.Log.Num t.slow_s);
+        ( "deadline_ms",
+          match t.deadline_s with
+          | Some s -> Obs.Log.Num (s *. 1000.0)
+          | None -> Obs.Log.Str "none" );
+        ("max_pending", Obs.Log.Int t.max_pending);
+        ("max_clients", Obs.Log.Int t.max_clients);
         ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
     "serve.start";
   let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
@@ -443,17 +595,13 @@ let run t ~socket_path =
     Hashtbl.remove clients fd;
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
+  let client_fds () = Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
   let chunk = Bytes.create 4096 in
-  while not t.stop_requested do
-    let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
-    let readable, _, _ = Unix.select fds [] [] 1.0 in
-    if List.mem listener readable then begin
-      match Unix.accept listener with
-      | fd, _ -> Hashtbl.replace clients fd (Buffer.create 1024)
-      | exception Unix.Unix_error (err, fn, _) -> log_unix_error ~ctx:"serve.accept_error" err fn
-    end;
-    (* Collect every complete line that arrived this round, then answer them
-       as one batch so independent clients share the pool fan-out. *)
+  (* Read every readable client socket, then answer all complete lines as
+     one batch so independent clients share the pool fan-out (and the
+     admission bound applies across them).  Also used by the drain phase,
+     with the listener already closed. *)
+  let service_round readable =
     let pending = ref [] in
     List.iter
       (fun fd ->
@@ -461,7 +609,11 @@ let run t ~socket_path =
           match Hashtbl.find_opt clients fd with
           | None -> ()
           | Some buf -> (
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            match
+              if Obs.Fault.fire "serve.read" then
+                raise (Unix.Unix_error (Unix.ECONNRESET, "read", "injected fault: serve.read"))
+              else Unix.read fd chunk 0 (Bytes.length chunk)
+            with
             | 0 ->
               let rest = String.trim (Buffer.contents buf) in
               if rest <> "" then pending := (fd, [ rest ]) :: !pending;
@@ -471,7 +623,8 @@ let run t ~socket_path =
               let lines = take_lines buf in
               if lines <> [] then pending := (fd, lines) :: !pending
             | exception Unix.Unix_error (err, fn, _) ->
-              log_unix_error ~ctx:"serve.read_error" err fn;
+              if is_disconnect err then log_client_disconnect ~fn err
+              else log_unix_error ~ctx:"serve.read_error" err fn;
               drop fd))
       readable;
     let pending = List.rev !pending in
@@ -487,19 +640,74 @@ let run t ~socket_path =
                 replies := rest;
                 (try really_write fd (reply ^ "\n")
                  with Unix.Unix_error (err, fn, _) ->
-                   log_unix_error ~ctx:"serve.write_error" err fn;
+                   if is_disconnect err then log_client_disconnect ~fn err
+                   else log_unix_error ~ctx:"serve.write_error" err fn;
                    drop fd)
               | [] -> ())
             lines)
         pending
     end
+  in
+  while not (t.stop_requested || t.drain_requested) do
+    let fds = listener :: client_fds () in
+    match Unix.select fds [] [] 1.0 with
+    (* EINTR: a signal (e.g. SIGTERM) interrupted the wait; re-check the
+       flags it may have set. *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      if List.mem listener readable then begin
+        match
+          if Obs.Fault.fire "serve.accept" then
+            raise (Unix.Unix_error (Unix.EMFILE, "accept", "injected fault: serve.accept"))
+          else Unix.accept listener
+        with
+        | fd, _ ->
+          if Hashtbl.length clients >= t.max_clients then begin
+            (* Connection-level shedding: tell the client it is the load,
+               not the request, then hang up. *)
+            t.shed_count <- t.shed_count + 1;
+            let reply =
+              err_reply ~overloaded:true ~trace:(fresh_trace ()) Jsonl.Null
+                (Printf.sprintf "overloaded: server at its %d-connection limit" t.max_clients)
+            in
+            (try really_write fd (reply ^ "\n") with Unix.Unix_error _ -> ());
+            try Unix.close fd with Unix.Unix_error _ -> ()
+          end
+          else Hashtbl.replace clients fd (Buffer.create 1024)
+        | exception Unix.Unix_error (err, fn, _) -> log_unix_error ~ctx:"serve.accept_error" err fn
+      end;
+      service_round readable
   done;
+  (* Graceful drain: the listener goes first, so new connections fail fast
+     while buffered requests still get real answers.  In-flight clients
+     get a short grace window; an idle 50ms round means nothing more is
+     coming and the drain completes early. *)
+  if t.drain_requested && not t.stop_requested then begin
+    Obs.Log.info ~fields:[ ("clients", Obs.Log.Int (Hashtbl.length clients)) ] "serve.drain";
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    let drain_until = Obs.Clock.now_s () +. 0.5 in
+    let quiescent = ref false in
+    while
+      (not !quiescent)
+      && (not t.stop_requested)
+      && Hashtbl.length clients > 0
+      && Obs.Clock.now_s () < drain_until
+    do
+      match Unix.select (client_fds ()) [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> quiescent := true
+      | readable, _, _ -> service_round readable
+    done
+  end;
   Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
   (try Unix.close listener with Unix.Unix_error _ -> ());
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   Obs.Log.info
     ~fields:
       [ ("served", Obs.Log.Int t.served_count);
+        ("shed", Obs.Log.Int t.shed_count);
+        ("drained", Obs.Log.Bool t.drain_requested);
         ("cache_hits", Obs.Log.Int (Lru.hits t.cache));
         ("cache_misses", Obs.Log.Int (Lru.misses t.cache)) ]
     "serve.stop"

@@ -37,15 +37,55 @@
     Reports are memoized per (NF, workload) in a bounded {!Lru} cache;
     the distinct misses of a batch of lines are analyzed concurrently over
     [Util.Pool] (so a pipelined client, or several clients arriving in the
-    same accept-loop round, fan out across domains). *)
+    same accept-loop round, fan out across domains).
+
+    {b Deadlines.}  An [analyze] request may carry ["deadline_ms"]: its
+    time budget, measured from batch arrival.  The budget is checked
+    between pipeline stages (before fan-out, inside the task, at reply
+    assembly); when it runs out the reply is ["ok":false] with
+    ["deadline_exceeded":true] — the server answers rather than hangs.
+    [deadline_ms] on {!create} (or [CLARA_DEADLINE_MS]) sets the default
+    budget for requests that do not name one; a request's own field wins,
+    and a value [<= 0] means unlimited.
+
+    {b Backpressure.}  At most [max_pending] request lines are admitted
+    per batch; the rest are shed immediately with ["ok":false],
+    ["overloaded":true] — a machine-readable "retry later" (see
+    {!Client}, which backs off and retries exactly these).  At most
+    [max_clients] connections are held; a connection beyond that is sent
+    one overloaded reply and closed.
+
+    {b Graceful drain.}  SIGTERM (or {!request_drain}) makes {!run} stop
+    accepting, answer buffered requests for a short grace window, log
+    final counters ([serve.stop]), and return.  Clients that vanish
+    mid-conversation (EPIPE/ECONNRESET) are counted and logged at info
+    level ([serve.client_disconnected]) — they are the client's
+    lifecycle, not a server error.
+
+    {b Fault injection.}  With {!Obs.Fault} points armed ([CLARA_FAULT]),
+    [serve.accept]/[serve.read]/[serve.write] raise the corresponding
+    [Unix_error]s inside the loop, [jsonl.parse] fails parses, and
+    [pool.task] aborts analyses — all surfaced as typed error replies,
+    never crashes. *)
 
 type t
 
 (** Wrap warm-started (or freshly trained) models.  [cache_capacity]
     bounds the report cache (default 64; 0 disables caching).
     [slow_threshold_s] sets the slow-request log threshold in seconds
-    (default: [CLARA_SLOW_MS] in milliseconds, else 1s). *)
-val create : ?cache_capacity:int -> ?slow_threshold_s:float -> Clara.Pipeline.models -> t
+    (default: [CLARA_SLOW_MS] in milliseconds, else 1s).  [deadline_ms]
+    is the default per-request budget (default: [CLARA_DEADLINE_MS],
+    else unlimited; [<= 0] forces unlimited).  [max_pending] bounds
+    request lines admitted per batch (default 256); [max_clients] bounds
+    held connections (default 64); both must be [>= 1]. *)
+val create :
+  ?cache_capacity:int ->
+  ?slow_threshold_s:float ->
+  ?deadline_ms:float ->
+  ?max_pending:int ->
+  ?max_clients:int ->
+  Clara.Pipeline.models ->
+  t
 
 val corpus_names : unit -> string list
 
@@ -68,16 +108,25 @@ val process_batch : t -> string list -> string list
 (** Counters for [stats] and the bench harness. *)
 val served : t -> int
 
+(** Requests (and connections) answered with an overloaded reply. *)
+val shed : t -> int
+
 val cache_hits : t -> int
 val cache_misses : t -> int
 
+(** Ask {!run} to drain and return (what the SIGTERM handler calls).
+    Safe from a signal handler or another domain. *)
+val request_drain : t -> unit
+
 (** Serve one already-connected stream (e.g. a socketpair end) until the
-    peer half-closes — the in-process test harness. *)
+    peer half-closes — the in-process test harness.  A disconnecting peer
+    (EPIPE/ECONNRESET) ends the conversation quietly instead of raising. *)
 val serve_until_eof : t -> Unix.file_descr -> unit
 
 (** Bind [socket_path] (unlinking any stale socket), accept clients, and
-    serve until a [shutdown] request arrives.  Single-threaded select
-    loop; analysis parallelism comes from {!process_batch}.  Logs its
-    effective config ([serve.start]) and accept/read/write errors through
-    {!Obs.Log} rather than dying or swallowing them. *)
+    serve until a [shutdown] request arrives or a drain is requested
+    (SIGTERM / {!request_drain}).  Single-threaded select loop; analysis
+    parallelism comes from {!process_batch}.  Logs its effective config
+    ([serve.start]) and accept/read/write errors through {!Obs.Log}
+    rather than dying or swallowing them. *)
 val run : t -> socket_path:string -> unit

@@ -154,11 +154,15 @@ let run_tasks (tasks : (unit -> unit) array) =
     Obs.Metrics.add m_tasks n;
     Obs.Metrics.set_gauge m_size (float_of_int (size ()));
     let serial () =
-      Array.iter
-        (fun t ->
+      Array.iteri
+        (fun i t ->
           let saved = Domain.DLS.get inside_task in
           Domain.DLS.set inside_task true;
-          Fun.protect ~finally:(fun () -> Domain.DLS.set inside_task saved) t)
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set inside_task saved)
+            (fun () ->
+              Obs.Fault.guard ~k:i "pool.task";
+              t ()))
         tasks
     in
     if size () <= 1 || n = 1 then serial ()
@@ -170,10 +174,17 @@ let run_tasks (tasks : (unit -> unit) array) =
       let failure : exn option array = Array.make n None in
       let done_lock = Mutex.create () in
       let all_done = Condition.create () in
+      (* Fault injection is keyed by chunk index, and the lowest-indexed
+         failure is the one re-raised below, so an armed [pool.task] point
+         surfaces the same exception whether the chunks ran serially or
+         across domains. *)
       let wrap i t () =
         Domain.DLS.set inside_task true;
         let t0 = Obs.Clock.now_s () in
-        (try t () with e -> failure.(i) <- Some e);
+        (try
+           Obs.Fault.guard ~k:i "pool.task";
+           t ()
+         with e -> failure.(i) <- Some e);
         let dt = Obs.Clock.now_s () -. t0 in
         Obs.Metrics.addf (busy_counter (Domain.self () :> int)) dt;
         ignore (Atomic.fetch_and_add busy_us (int_of_float (dt *. 1e6)));

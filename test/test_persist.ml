@@ -141,6 +141,169 @@ let test_predictions_survive_reload () =
     (Persist.Bundle.encode manifest models
     = Persist.Bundle.encode loaded.Persist.Bundle.manifest loaded.Persist.Bundle.models)
 
+(* -- crash matrix: every truncation point and every flipped byte of a
+   frame must decode to a typed error (or, for the length prefix, still a
+   valid value is impossible — the CRC covers the payload), never raise -- *)
+
+let test_crash_matrix () =
+  let good = Persist.Codec.encode_vocab (small_vocab ()) in
+  let len = String.length good in
+  let decode name bytes =
+    match Persist.Codec.decode_vocab bytes with
+    | Result.Ok _ -> ()
+    | Result.Error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s: decode raised %s instead of a typed error" name (Printexc.to_string e)
+  in
+  (* every prefix is a possible torn write *)
+  for i = 0 to len - 1 do
+    let bytes = String.sub good 0 i in
+    decode (Printf.sprintf "truncated to %d bytes" i) bytes;
+    (match Persist.Codec.decode_vocab bytes with
+    | Result.Ok _ -> Alcotest.failf "truncation to %d bytes decoded successfully" i
+    | Result.Error _ -> ())
+  done;
+  (* every single-byte corruption *)
+  for i = 0 to len - 1 do
+    decode (Printf.sprintf "byte %d flipped" i) (flip good i)
+  done;
+  (* a flipped byte anywhere must be detected: magic, version, tag and
+     lengths are validated, and the CRC covers the whole payload *)
+  for i = 0 to len - 1 do
+    match Persist.Codec.decode_vocab (flip good i) with
+    | Result.Ok _ -> Alcotest.failf "flip at byte %d went undetected" i
+    | Result.Error _ -> ()
+  done
+
+(* -- atomic writes: a writer killed mid-write (simulated by the armed
+   [persist.write] fault) leaves the previous artifact intact -- *)
+
+let with_fault ~point ~prob f =
+  Obs.Fault.set ~point ~prob ~seed:1;
+  Fun.protect ~finally:(fun () -> Obs.Fault.remove point) f
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_atomic_write_survives_kill () =
+  let path = Filename.temp_file "clara_atomic" ".clara" in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+  @@ fun () ->
+  Persist.Wire.save ~component:"v1" path "first version";
+  let v1 = read_file path in
+  (match
+     with_fault ~point:"persist.write" ~prob:1.0 (fun () ->
+         Persist.Wire.save ~component:"v1" path "second version, longer than the first")
+   with
+  | () -> Alcotest.fail "armed persist.write must kill the writer"
+  | exception Obs.Fault.Injected _ -> ());
+  Alcotest.(check string) "old artifact untouched by the killed writer" v1 (read_file path);
+  Alcotest.(check bool) "old artifact still loads" true
+    (Persist.Wire.load ~component:"v1" path = Result.Ok "first version");
+  (* the torn temp file is evidence of the crash, not part of the store *)
+  Alcotest.(check bool) "torn temp file left behind" true (Sys.file_exists (path ^ ".tmp"));
+  (* a healthy writer then replaces the artifact atomically *)
+  Persist.Wire.save ~component:"v1" path "second version, longer than the first";
+  Alcotest.(check bool) "healthy rewrite lands" true
+    (Persist.Wire.load ~component:"v1" path
+    = Result.Ok "second version, longer than the first")
+
+let test_read_fault_is_typed () =
+  let path = Filename.temp_file "clara_readfault" ".clara" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Persist.Wire.save ~component:"v1" path "payload";
+  with_fault ~point:"persist.read" ~prob:1.0 (fun () ->
+      match Persist.Wire.load ~component:"v1" path with
+      | Result.Error (Persist.Wire.Io_error _) -> ()
+      | Result.Ok _ -> Alcotest.fail "armed persist.read must fail the load"
+      | Result.Error e ->
+        Alcotest.failf "wrong error class: %s" (Persist.Wire.error_to_string e));
+  Alcotest.(check bool) "reads recover once the fault clears" true
+    (Persist.Wire.load ~component:"v1" path = Result.Ok "payload")
+
+(* -- bundle-level crash recovery -- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let fresh_bundle_dir () =
+  let dir = Filename.temp_file "clara_bundle_crash" ".d" in
+  Sys.remove dir;
+  dir
+
+let save_tiny dir =
+  let models = tiny_models () in
+  let manifest =
+    { Persist.Bundle.seed = 501; epochs = 1;
+      corpus_hash = Persist.Bundle.corpus_hash ();
+      built_at = "1970-01-01T00:00:00Z" }
+  in
+  Persist.Bundle.save ~dir manifest models;
+  (manifest, models)
+
+let test_bundle_salvage_drops_optional () =
+  let dir = fresh_bundle_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let manifest, _ = save_tiny dir in
+  (* a torn optional component: scaleout.clara exists but is garbage *)
+  Out_channel.with_open_bin (Filename.concat dir "scaleout.clara") (fun oc ->
+      Out_channel.output_string oc "CLARAOBJ garbage, not a frame");
+  (match Persist.Bundle.load ~dir with
+  | Result.Ok _ -> Alcotest.fail "strict load must reject the corrupt component"
+  | Result.Error _ -> ());
+  match Persist.Bundle.load_salvage ~dir with
+  | Result.Error e -> Alcotest.failf "salvage failed: %s" (Persist.Wire.error_to_string e)
+  | Result.Ok (b, dropped) ->
+    Alcotest.(check bool) "manifest survives" true (b.Persist.Bundle.manifest = manifest);
+    Alcotest.(check bool) "corrupt scaleout dropped" true
+      (b.Persist.Bundle.models.Clara.Pipeline.scaleout = None);
+    (match dropped with
+    | [ ("scaleout.clara", _) ] -> ()
+    | _ -> Alcotest.failf "expected one dropped component, got %d" (List.length dropped))
+
+let test_bundle_salvage_still_fails_on_required () =
+  let dir = fresh_bundle_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  ignore (save_tiny dir);
+  (* corrupt a REQUIRED component: salvage must refuse (caller cold-starts) *)
+  let pred = Filename.concat dir "predictor.clara" in
+  let bytes = read_file pred in
+  Out_channel.with_open_bin pred (fun oc ->
+      Out_channel.output_string oc (String.sub bytes 0 (String.length bytes / 2)));
+  match Persist.Bundle.load_salvage ~dir with
+  | Result.Ok _ -> Alcotest.fail "salvage must not invent a predictor"
+  | Result.Error (Persist.Wire.Truncated _ | Persist.Wire.Crc_mismatch _) -> ()
+  | Result.Error e -> Alcotest.failf "unexpected error class: %s" (Persist.Wire.error_to_string e)
+
+let test_bundle_save_killed_keeps_old () =
+  let dir = fresh_bundle_dir () in
+  Fun.protect ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let manifest, models = save_tiny dir in
+  (* a save killed at its first component write must leave the whole old
+     bundle readable (components are atomic; the manifest goes last) *)
+  (match
+     with_fault ~point:"persist.write" ~prob:1.0 (fun () ->
+         Persist.Bundle.save ~dir { manifest with Persist.Bundle.built_at = "2099-01-01" } models)
+   with
+  | () -> Alcotest.fail "armed persist.write must kill the save"
+  | exception Obs.Fault.Injected _ -> ());
+  match Persist.Bundle.load ~dir with
+  | Result.Error e ->
+    Alcotest.failf "old bundle unreadable after killed save: %s"
+      (Persist.Wire.error_to_string e)
+  | Result.Ok b ->
+    Alcotest.(check bool) "old manifest intact (save never reached it)" true
+      (b.Persist.Bundle.manifest = manifest)
+
 let () =
   Alcotest.run "persist"
     [ ( "codec",
@@ -148,5 +311,16 @@ let () =
           Alcotest.test_case "special floats" `Quick test_special_floats_roundtrip;
           Alcotest.test_case "corrupt frames rejected" `Quick test_corrupt_frames_rejected;
           Alcotest.test_case "manifest round-trip" `Quick test_manifest_roundtrip ] );
+      ( "crash",
+        [ Alcotest.test_case "truncation and bit-flip matrix" `Quick test_crash_matrix;
+          Alcotest.test_case "killed writer leaves old artifact" `Quick
+            test_atomic_write_survives_kill;
+          Alcotest.test_case "read faults are typed" `Quick test_read_fault_is_typed;
+          Alcotest.test_case "salvage drops corrupt optional components" `Slow
+            test_bundle_salvage_drops_optional;
+          Alcotest.test_case "salvage refuses a broken required component" `Slow
+            test_bundle_salvage_still_fails_on_required;
+          Alcotest.test_case "killed bundle save keeps the old bundle" `Slow
+            test_bundle_save_killed_keeps_old ] );
       ( "bundle",
         [ Alcotest.test_case "predictions survive reload" `Slow test_predictions_survive_reload ] ) ]
