@@ -46,28 +46,38 @@ type raw_program = {
 let raw_of_element (elt : Ast.element) =
   let ir = Obs.Span.with_ ~cat:"pipeline" "lower" (fun () -> Nf_frontend.Lower.lower_element elt) in
   let compiled = Obs.Span.with_ ~cat:"pipeline" "nfcc.compile" (fun () -> Nicsim.Nfcc.compile ir) in
+  (* one walk per IR block derives the word sequence and the stateful-mem
+     count together; one walk per compiled block derives both labels
+     (compute = not mem, so a single partition suffices) *)
+  let nb = Array.length ir.Ir.blocks in
+  let block_words = Array.make nb [||] in
+  let block_ir_mem = Array.make nb 0 in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      let mem = ref 0 in
+      let words =
+        List.map
+          (fun (ins : Ir.instr) ->
+            (match ins.Ir.annot with Ir.Mem_stateful _ -> incr mem | _ -> ());
+            Vocab.word ins)
+          b.Ir.instrs
+      in
+      block_words.(i) <- Array.of_list words;
+      block_ir_mem.(i) <- !mem)
+    ir.Ir.blocks;
   {
-    block_words =
-      Array.map
-        (fun (b : Ir.block) -> Array.of_list (List.map Vocab.word b.Ir.instrs))
-        ir.Ir.blocks;
-    block_ir_mem =
-      Array.map
-        (fun (b : Ir.block) ->
-          List.length
-            (List.filter
-               (fun (i : Ir.instr) ->
-                 match i.Ir.annot with Ir.Mem_stateful _ -> true | _ -> false)
-               b.Ir.instrs))
-        ir.Ir.blocks;
+    block_words;
+    block_ir_mem;
     labels =
       Array.map
         (fun (cb : Nicsim.Nfcc.compiled_block) ->
-          ( cb.Nicsim.Nfcc.bid,
-            float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs),
-            float_of_int
-              (Nicsim.Isa.count_mem cb.Nicsim.Nfcc.instrs
-              + Nicsim.Isa.count_local_mem cb.Nicsim.Nfcc.instrs) ))
+          let compute = ref 0 and mem = ref 0 in
+          List.iter
+            (fun (i : Nicsim.Isa.instr) ->
+              if Nicsim.Isa.is_mem i || Nicsim.Isa.is_local_mem i then incr mem
+              else incr compute)
+            cb.Nicsim.Nfcc.instrs;
+          (cb.Nicsim.Nfcc.bid, float_of_int !compute, float_of_int !mem))
         compiled.Nicsim.Nfcc.cblocks;
   }
 
@@ -84,23 +94,70 @@ let synthesize_dataset ?(n = 120) ?(seed = 501) () =
   let programs =
     Obs.Span.with_ ~cat:"pipeline" "synth.generate" (fun () -> Synth.Generator.batch ~seed n)
   in
-  let raws = Util.Pool.parallel_map_list ~chunk:1 raw_of_element programs in
+  (* ~70 us per program: small batches fall back to the serial path
+     instead of paying fan-out overhead (the jobs=2 regression this
+     replaced was 0.53x on exactly this kernel) *)
+  let raws = Util.Pool.parallel_map_list ~chunk:1 ~cost:70.0 raw_of_element programs in
   let examples =
     Obs.Span.with_ ~cat:"pipeline" "vocab.intern" @@ fun () ->
-    List.concat_map
+    (* fill a preallocated array instead of concat_map + filter + of_list:
+       the upper bound is the total compiled-block count *)
+    let total = List.fold_left (fun acc r -> acc + Array.length r.labels) 0 raws in
+    let buf =
+      Array.make total { tokens = [||]; nic_compute = 0.0; nic_mem = 0.0; ir_mem = 0.0 }
+    in
+    let filled = ref 0 in
+    List.iter
       (fun raw ->
         let tokens = Array.map (Array.map (Vocab.index vocab)) raw.block_words in
-        Array.to_list
-          (Array.map
-             (fun (bid, nic_compute, nic_mem) ->
-               {
-                 tokens = tokens.(bid);
-                 nic_compute;
-                 nic_mem;
-                 ir_mem = float_of_int raw.block_ir_mem.(bid);
-               })
-             raw.labels))
-      raws
+        Array.iter
+          (fun (bid, nic_compute, nic_mem) ->
+            let tk = tokens.(bid) in
+            if Array.length tk > 0 then begin
+              buf.(!filled) <-
+                { tokens = tk; nic_compute; nic_mem; ir_mem = float_of_int raw.block_ir_mem.(bid) };
+              incr filled
+            end)
+          raw.labels)
+      raws;
+    Array.sub buf 0 !filled
+  in
+  { vocab; examples }
+
+(** The retained pre-optimization synthesis pipeline: serial generation
+    with the corpus statistics recomputed per call, lowering through the
+    quadratic builder ({!Nf_frontend.Lower.Reference}), the reference
+    NFCC compiler and [String.concat]-based word interning, in the seed's
+    [examples_of_element] shape ([List.nth] included).  Produces a
+    dataset bit-identical to {!synthesize_dataset}; the baseline
+    `bench/main.exe parallel` times the fast path against. *)
+let synthesize_dataset_reference ?(n = 120) ?(seed = 501) () =
+  let vocab = Vocab.create () in
+  let stats = Synth.Ast_stats.of_corpus (Corpus.table2 ()) in
+  let programs =
+    List.init n (fun k ->
+        Synth.Generator.generate ~stats ~seed:(seed + (k * 7919)) (Printf.sprintf "syn_%d" k))
+  in
+  let examples_of elt =
+    let prep = Prepare.prepare_reference vocab elt in
+    let compiled = Nicsim.Nfcc.compile_reference prep.Prepare.ir in
+    Array.to_list
+      (Array.map
+         (fun (cb : Nicsim.Nfcc.compiled_block) ->
+           let info = List.nth prep.Prepare.blocks cb.Nicsim.Nfcc.bid in
+           {
+             tokens = info.Prepare.tokens;
+             nic_compute = float_of_int (Nicsim.Isa.count_compute cb.Nicsim.Nfcc.instrs);
+             nic_mem =
+               float_of_int
+                 (Nicsim.Isa.count_mem cb.Nicsim.Nfcc.instrs
+                 + Nicsim.Isa.count_local_mem cb.Nicsim.Nfcc.instrs);
+             ir_mem = float_of_int info.Prepare.ir_mem_stateful;
+           })
+         compiled.Nicsim.Nfcc.cblocks)
+  in
+  let examples =
+    List.concat_map examples_of programs
     |> List.filter (fun e -> Array.length e.tokens > 0)
   in
   { vocab; examples = Array.of_list examples }

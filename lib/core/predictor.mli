@@ -24,6 +24,12 @@ val examples_of_element : Vocab.t -> Nf_lang.Ast.element -> example list
     synthesis). *)
 val synthesize_dataset : ?n:int -> ?seed:int -> unit -> dataset
 
+(** The retained pre-optimization synthesis pipeline (serial, corpus
+    statistics recomputed per call, reference NFCC compiler).  Produces a
+    dataset bit-identical to {!synthesize_dataset}; the baseline
+    `bench/main.exe parallel` times the fast path against. *)
+val synthesize_dataset_reference : ?n:int -> ?seed:int -> unit -> dataset
+
 (** A trained predictor: the frozen vocabulary plus the LSTM+FC model. *)
 type t = { vocab : Vocab.t; lstm : Mlkit.Lstm.t }
 

@@ -30,7 +30,7 @@ let block_api_calls (b : Ir.block) =
     b.Ir.instrs
 
 let count_annot b p =
-  List.length (List.filter (fun (i : Ir.instr) -> p i.Ir.annot) b.Ir.instrs)
+  List.fold_left (fun acc (i : Ir.instr) -> if p i.Ir.annot then acc + 1 else acc) 0 b.Ir.instrs
 
 (** Prepare an element: lower, build the CFG, encode each block against the
     given vocabulary. *)
@@ -46,6 +46,29 @@ let prepare (vocab : Vocab.t) (elt : Ast.element) : t =
              bid = b.Ir.bid;
              src_sid = b.Ir.src_sid;
              tokens = Vocab.encode_block vocab b;
+             ir_compute = count_annot b (function Ir.Compute -> true | _ -> false);
+             ir_mem_stateful = count_annot b (function Ir.Mem_stateful _ -> true | _ -> false);
+             ir_mem_stateless = count_annot b (function Ir.Mem_stateless -> true | _ -> false);
+             api_calls = block_api_calls b;
+           })
+         ir.Ir.blocks)
+  in
+  { elt; ir; blocks; api_set = Nf_frontend.Lower.api_set ir; loc = Pp.loc elt }
+
+(** {!prepare} through the retained pre-optimization components: the
+    quadratic builder ({!Nf_frontend.Lower.Reference}) and
+    [String.concat]-based word derivation.  Identical output; the
+    baseline `bench/main.exe parallel` runs on this. *)
+let prepare_reference (vocab : Vocab.t) (elt : Ast.element) : t =
+  let ir = Nf_frontend.Lower.Reference.lower_element elt in
+  let blocks =
+    Array.to_list
+      (Array.map
+         (fun b ->
+           {
+             bid = b.Ir.bid;
+             src_sid = b.Ir.src_sid;
+             tokens = Vocab.encode_block_with ~word:Vocab.word_reference vocab b;
              ir_compute = count_annot b (function Ir.Compute -> true | _ -> false);
              ir_mem_stateful = count_annot b (function Ir.Mem_stateful _ -> true | _ -> false);
              ir_mem_stateless = count_annot b (function Ir.Mem_stateless -> true | _ -> false);

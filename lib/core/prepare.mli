@@ -32,6 +32,11 @@ val count_annot : Nf_ir.Ir.block -> (Nf_ir.Ir.annot -> bool) -> int
     [vocab]. *)
 val prepare : Vocab.t -> Nf_lang.Ast.element -> t
 
+(** {!prepare} through the retained pre-optimization builder and word
+    derivation: identical output, the baseline `bench/main.exe parallel`
+    runs on. *)
+val prepare_reference : Vocab.t -> Nf_lang.Ast.element -> t
+
 (** Direct memory-access estimate: stateful IR loads/stores, which map
     ~1:1 to NIC memory operations (96.4-100% in the paper, §3.2). *)
 val memory_estimate : t -> int

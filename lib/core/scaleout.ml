@@ -49,27 +49,55 @@ let features (d : Nicsim.Perf.demand) =
 
 type sample = { x : float array; optimal : float }
 
+let default_specs () =
+  [ { Workload.large_flows with Workload.n_packets = 400 };
+    { Workload.small_flows with Workload.n_packets = 400 };
+    { Workload.default with Workload.n_packets = 400; Workload.payload_len = 200 } ]
+
 (** Build training samples: synthesized NFs x workload specs, labeled with
     the simulator's optimal core count (the paper's automated pipeline of
-    deploy-and-benchmark). *)
+    deploy-and-benchmark).
+
+    The trace of each spec is generated once and replayed against every
+    program as fresh packet copies — workload generation is a pure
+    function of the spec, so benchmarking [n_programs] programs does not
+    need [n_programs] re-generations of the same (expensive, 256k-flow)
+    trace.  Samples are identical to the regenerate-per-pair path
+    ({!training_samples_reference}). *)
 let training_samples ?(n_programs = 40) ?(seed = 1301) ?(specs : Workload.spec list option) () =
   Obs.Span.with_ ~cat:"pipeline" "scaleout.samples" @@ fun () ->
-  let specs =
-    match specs with
-    | Some s -> s
-    | None ->
-      [ { Workload.large_flows with Workload.n_packets = 400 };
-        { Workload.small_flows with Workload.n_packets = 400 };
-        { Workload.default with Workload.n_packets = 400; Workload.payload_len = 200 } ]
-  in
+  let specs = match specs with Some s -> s | None -> default_specs () in
   let programs = Synth.Generator.batch ~seed n_programs in
+  let traces = List.map (fun spec -> (spec, Workload.generate spec)) specs in
   (* each program x spec deploy-and-benchmark is independent: fan the
      programs out on the domain pool, keeping sample order *)
-  Util.Pool.parallel_concat_map_list ~chunk:1
+  Util.Pool.parallel_concat_map_list ~chunk:1 ~cost:10_000.0
+    (fun elt ->
+      List.filter_map
+        (fun (spec, trace) ->
+          match
+            Nicsim.Nic.port ~packets:(List.map Nf_lang.Packet.copy trace) elt spec
+          with
+          | ported ->
+            let d = ported.Nicsim.Nic.demand in
+            Some { x = features d; optimal = float_of_int (Nicsim.Multicore.optimal_cores d) }
+          | exception _ -> None)
+        traces)
+    programs
+
+(** The pre-optimization sampling path, retained as the baseline
+    `bench/main.exe parallel` times {!training_samples} against: fully
+    serial, regenerating every workload trace per (program, spec) pair
+    with the linear-scan flow sampler.  Produces identical samples. *)
+let training_samples_reference ?(n_programs = 40) ?(seed = 1301)
+    ?(specs : Workload.spec list option) () =
+  let specs = match specs with Some s -> s | None -> default_specs () in
+  let programs = Synth.Generator.batch ~seed n_programs in
+  List.concat_map
     (fun elt ->
       List.filter_map
         (fun spec ->
-          match Nicsim.Nic.port elt spec with
+          match Nicsim.Nic.port ~packets:(Workload.generate_reference spec) elt spec with
           | ported ->
             let d = ported.Nicsim.Nic.demand in
             Some { x = features d; optimal = float_of_int (Nicsim.Multicore.optimal_cores d) }

@@ -20,6 +20,12 @@ type sample = { x : float array; optimal : float }
 val training_samples :
   ?n_programs:int -> ?seed:int -> ?specs:Workload.spec list -> unit -> sample list
 
+(** The pre-optimization sampling path (serial, regenerates every trace per
+    (program, spec) pair with the linear-scan sampler).  Produces identical
+    samples; the baseline `bench/main.exe parallel` times against. *)
+val training_samples_reference :
+  ?n_programs:int -> ?seed:int -> ?specs:Workload.spec list -> unit -> sample list
+
 type t = { gbdt : Mlkit.Tree.gbdt }
 
 (** Fit the GBDT cost model. *)

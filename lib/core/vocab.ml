@@ -24,8 +24,38 @@ let call_word name =
   match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
 
 (** The abstract word of an instruction, e.g.
-    ["add i32 VAR INT_S"] or ["load i16 HDR:ip_len"]. *)
+    ["add i32 VAR INT_S"] or ["load i16 HDR:ip_len"].  Built in one pass
+    over a per-domain scratch buffer — word derivation runs once per
+    instruction per synthesized program, so the [String.concat] chain of
+    intermediate lists it replaces was measurable in the dataset
+    pipeline. *)
+let word_buf = Domain.DLS.new_key (fun () -> Buffer.create 64)
+
 let word (i : Ir.instr) =
+  let buf = Domain.DLS.get word_buf in
+  Buffer.clear buf;
+  (match i.Ir.op with
+  | Ir.Call name ->
+    Buffer.add_string buf "call ";
+    Buffer.add_string buf (call_word name)
+  | Ir.Br _ -> Buffer.add_string buf "br"
+  | Ir.Cond_br (_, _) -> Buffer.add_string buf "condbr"
+  | Ir.Add | Ir.Sub | Ir.Mul | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr | Ir.Icmp _
+  | Ir.Zext | Ir.Trunc | Ir.Select | Ir.Load | Ir.Store | Ir.Gep | Ir.Ret ->
+    Buffer.add_string buf (Ir.opcode_str i.Ir.op));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Ir.typ_str i.Ir.ty);
+  List.iter
+    (fun a ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (operand_word a))
+    i.Ir.args;
+  Buffer.contents buf
+
+(** The retained pre-optimization {!word}: identical strings through
+    intermediate lists and [String.concat].  The baseline
+    `bench/main.exe parallel` interns with this. *)
+let word_reference (i : Ir.instr) =
   let opcode =
     match i.Ir.op with
     | Ir.Call name -> "call " ^ call_word name

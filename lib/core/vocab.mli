@@ -17,6 +17,11 @@ val call_word : string -> string
 (** The compacted word of an instruction, e.g. ["add i32 VAR INT_S"]. *)
 val word : Nf_ir.Ir.instr -> string
 
+(** The retained pre-optimization {!word} (intermediate lists +
+    [String.concat]): identical strings, the baseline
+    `bench/main.exe parallel` interns with. *)
+val word_reference : Nf_ir.Ir.instr -> string
+
 (** The unabstracted word (concrete registers/literals); used only by the
     vocabulary-compaction ablation, where it degrades accuracy exactly as
     the paper's §6 reports. *)

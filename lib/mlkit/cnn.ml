@@ -30,10 +30,11 @@ let params t = [ t.conv; t.fc ]
 (** Convolution activation of filter [f] at position [pos] (tokens are
     one-hot: pick one weight per window slot). *)
 let conv_at t (seq : int array) f pos =
-  let row = t.conv.Nn.w.(f) in
-  let acc = ref row.(t.window * t.vocab) in
+  let w = t.conv.Nn.w.La.Flat.a in
+  let base = f * t.conv.Nn.w.La.Flat.cols in
+  let acc = ref w.(base + (t.window * t.vocab)) in
   for k = 0 to t.window - 1 do
-    if pos + k < Array.length seq then acc := !acc +. row.((k * t.vocab) + seq.(pos + k))
+    if pos + k < Array.length seq then acc := !acc +. w.(base + (k * t.vocab) + seq.(pos + k))
   done;
   !acc
 
@@ -58,7 +59,7 @@ let forward t seq =
   (pooled, arg)
 
 let predict t seq =
-  if Array.length seq = 0 then Array.make (Array.length t.fc.Nn.w) 0.0
+  if Array.length seq = 0 then Array.make (Nn.rows t.fc) 0.0
   else begin
     let pooled, _ = forward t seq in
     Array.map (fun o -> o *. t.y_scale) (Nn.affine t.fc pooled)
@@ -70,34 +71,38 @@ let backward t seq target_scaled =
   let dout = Array.mapi (fun j o -> 2.0 *. (o -. target_scaled.(j))) out in
   let err = Array.fold_left (fun acc d -> acc +. (d *. d /. 4.0)) 0.0 dout in
   (* FC grads *)
+  let fcg = t.fc.Nn.g.La.Flat.a and fccols = t.fc.Nn.g.La.Flat.cols in
   Array.iteri
     (fun r d ->
-      let row = t.fc.Nn.g.(r) in
+      let base = r * fccols in
       for j = 0 to t.filters - 1 do
-        row.(j) <- row.(j) +. (d *. pooled.(j))
+        fcg.(base + j) <- fcg.(base + j) +. (d *. pooled.(j))
       done;
-      row.(t.filters) <- row.(t.filters) +. d)
+      fcg.(base + t.filters) <- fcg.(base + t.filters) +. d)
     dout;
   (* pooled grads *)
   let dpool = La.vec t.filters in
+  let fcw = t.fc.Nn.w.La.Flat.a in
   Array.iteri
     (fun r d ->
-      let row = t.fc.Nn.w.(r) in
+      let base = r * fccols in
       for j = 0 to t.filters - 1 do
-        dpool.(j) <- dpool.(j) +. (row.(j) *. d)
+        dpool.(j) <- dpool.(j) +. (fcw.(base + j) *. d)
       done)
     dout;
   (* through ReLU max-pool into the winning window only *)
+  let cg = t.conv.Nn.g.La.Flat.a and ccols = t.conv.Nn.g.La.Flat.cols in
   for f = 0 to t.filters - 1 do
     if pooled.(f) > 0.0 then begin
       let pos = arg.(f) in
-      let grow = t.conv.Nn.g.(f) in
+      let base = f * ccols in
       for k = 0 to t.window - 1 do
-        if pos + k < Array.length seq then
-          grow.((k * t.vocab) + seq.(pos + k)) <-
-            grow.((k * t.vocab) + seq.(pos + k)) +. dpool.(f)
+        if pos + k < Array.length seq then begin
+          let o = base + (k * t.vocab) + seq.(pos + k) in
+          cg.(o) <- cg.(o) +. dpool.(f)
+        end
       done;
-      grow.(t.window * t.vocab) <- grow.(t.window * t.vocab) +. dpool.(f)
+      cg.(base + (t.window * t.vocab)) <- cg.(base + (t.window * t.vocab)) +. dpool.(f)
     end
   done;
   err

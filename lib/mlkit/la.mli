@@ -50,3 +50,41 @@ val mean_vec : float array array -> float array
 val standardize : float array array -> float array array * float array * float array
 
 val apply_standardize : float array -> float array -> float array -> float array
+
+(** Flat row-major matrices for the hot training loops.  Every kernel
+    preserves the floating-point evaluation order of its naive
+    counterpart, so results are bit-identical to the row-of-rows code it
+    replaces (checked against {!Naive} by the equivalence suite). *)
+module Flat : sig
+  type mat = { a : float array; rows : int; cols : int }
+
+  val create : int -> int -> mat
+  val copy : mat -> mat
+  val fill : mat -> float -> unit
+  val get : mat -> int -> int -> float
+  val set : mat -> int -> int -> float -> unit
+
+  (** Xavier-style init; same draw order as {!randn_mat}. *)
+  val randn : Util.Rng.t -> int -> int -> mat
+
+  val of_rows : float array array -> mat
+  val to_rows : mat -> float array array
+
+  (** dst <- dst + m * x. *)
+  val gemv_add : float array -> mat -> float array -> unit
+
+  (** dst <- dst + m^T * y. *)
+  val gemv_t_add : float array -> mat -> float array -> unit
+
+  (** dst <- dst + column j of m (one-hot fast path). *)
+  val add_col_into : float array -> mat -> int -> unit
+
+  (** g <- g + a * b^T. *)
+  val outer_add : mat -> float array -> float array -> unit
+
+  (** c <- a * b, cache-blocked over a packed transpose of b; each cell
+      sums k ascending so the result matches the textbook triple loop
+      bit-for-bit.
+      @raise Invalid_argument on dimension mismatch. *)
+  val gemm : a:mat -> b:mat -> mat -> unit
+end

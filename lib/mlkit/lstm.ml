@@ -4,7 +4,17 @@
     compacted vocabulary) and regresses the number of SmartNIC instructions
     the block compiles to.  Input one-hot encoding means the input weight
     product reduces to a column lookup, so training is fast even in pure
-    OCaml.  Trained with truncated-free full BPTT and Adam. *)
+    OCaml.  Trained with truncated-free full BPTT and Adam.
+
+    Weights are flat row-major buffers ({!La.Flat}) and the recurrence
+    runs over per-domain preallocated scratch: the forward pass writes
+    gate activations into T x hidden sequence buffers instead of
+    allocating seven arrays per step, and backprop reuses a fixed set of
+    hidden-sized scratch vectors.  Every accumulation keeps the exact
+    order of the original per-step code (column lookup, then the
+    recurrent dot product, then the bias; backprop temp-then-axpy
+    structure preserved), so training is bit-identical to the retained
+    {!Naive} reference — the equivalence suite checks this. *)
 
 type t = {
   vocab : int;
@@ -39,45 +49,135 @@ let create ?(hidden = 32) ?(fc_dim = 16) ?(out_dim = 1) ~vocab seed =
     y_scale = 1.0;
   }
 
-type step_cache = {
-  tok : int;
-  i_g : float array; f_g : float array; o_g : float array; g_g : float array;
-  c : float array; h : float array; c_prev : float array; h_prev : float array;
-  tanh_c : float array;
+(* -- per-domain scratch --
+
+   One workspace per (domain, hidden size): sequence-length buffers for
+   the forward caches (grown on demand, never shrunk) and fixed
+   hidden-sized vectors for backprop.  A domain runs one backward at a
+   time — nested pool regions are serial — so reuse is race-free. *)
+
+type ws = {
+  mutable cap : int;  (* steps the sequence buffers can hold *)
+  mutable i_g : float array; mutable f_g : float array;
+  mutable o_g : float array; mutable g_g : float array;
+  mutable cs : float array; mutable tanh_cs : float array; mutable hs : float array;
+  zero : float array;  (* h zeros: the t=0 previous state; never written *)
+  hfin : float array;
+  dh : float array; dc : float array;
+  d_o : float array; dct : float array;
+  di : float array; df : float array; dg : float array;
+  dtmp : float array; dh_prev : float array;
 }
 
-let gate t w u b h_prev tok squash =
-  let h = t.hidden in
-  let z = Array.make h 0.0 in
-  La.add_column_into z w.Nn.w tok;
-  La.mat_vec_add_into z u.Nn.w h_prev;
-  for k = 0 to h - 1 do
-    z.(k) <- squash (z.(k) +. b.Nn.w.(k).(0))
-  done;
-  z
+let ws_key : (int, ws) Hashtbl.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
-(** Run the recurrence over a token sequence; returns the caches and the
-    final hidden state. *)
+let get_ws hidden steps =
+  let tbl = Domain.DLS.get ws_key in
+  let ws =
+    match Hashtbl.find_opt tbl hidden with
+    | Some ws -> ws
+    | None ->
+      let v () = Array.make hidden 0.0 in
+      let ws =
+        {
+          cap = 0; i_g = [||]; f_g = [||]; o_g = [||]; g_g = [||];
+          cs = [||]; tanh_cs = [||]; hs = [||];
+          zero = v (); hfin = v ();
+          dh = v (); dc = v (); d_o = v (); dct = v ();
+          di = v (); df = v (); dg = v (); dtmp = v (); dh_prev = v ();
+        }
+      in
+      Hashtbl.add tbl hidden ws;
+      ws
+  in
+  if ws.cap < steps then begin
+    let cap = max steps (max 64 (2 * ws.cap)) in
+    let buf () = Array.make (cap * hidden) 0.0 in
+    ws.cap <- cap;
+    ws.i_g <- buf (); ws.f_g <- buf (); ws.o_g <- buf (); ws.g_g <- buf ();
+    ws.cs <- buf (); ws.tanh_cs <- buf (); ws.hs <- buf ()
+  end;
+  ws
+
+(* z[k] = squash ((w column tok) + (u . h_prev) + b[k]); the three
+   additions happen in exactly that order, like the original add_column /
+   mat_vec_add / bias code.  All four gates are computed in one pass so
+   each h_prev element is loaded once per j instead of once per gate; the
+   gates only read h_prev, so interleaving them preserves every per-gate
+   accumulation order.  The sigmoid/tanh squashes are inlined (same
+   formulas as {!La.sigmoid} / [tanh]) to avoid a closure call per cell. *)
+let gates_into t ws base hprev hoff tok =
+  let h = t.hidden in
+  let wcols = t.wi.Nn.w.La.Flat.cols in
+  let wia = t.wi.Nn.w.La.Flat.a and wfa = t.wf.Nn.w.La.Flat.a in
+  let woa = t.wo.Nn.w.La.Flat.a and wga = t.wg.Nn.w.La.Flat.a in
+  let uia = t.ui.Nn.w.La.Flat.a and ufa = t.uf.Nn.w.La.Flat.a in
+  let uoa = t.uo.Nn.w.La.Flat.a and uga = t.ug.Nn.w.La.Flat.a in
+  let bia = t.bi.Nn.w.La.Flat.a and bfa = t.bf.Nn.w.La.Flat.a in
+  let boa = t.bo.Nn.w.La.Flat.a and bga = t.bg.Nn.w.La.Flat.a in
+  (* one guard hoists every bound of the h x h inner loops, which then run
+     unchecked — this loop pair is the forward pass's entire cost *)
+  if
+    tok < 0 || tok >= wcols || hoff + h > Array.length hprev
+    || base + h > Array.length ws.i_g || base + h > Array.length ws.f_g
+    || base + h > Array.length ws.o_g || base + h > Array.length ws.g_g
+    || h > Array.length bia || h > Array.length bfa || h > Array.length boa
+    || h > Array.length bga || (h * h) > Array.length uia || (h * h) > Array.length ufa
+    || (h * h) > Array.length uoa || (h * h) > Array.length uga
+    || ((h - 1) * wcols) + tok >= Array.length wia
+    || ((h - 1) * wcols) + tok >= Array.length wfa
+    || ((h - 1) * wcols) + tok >= Array.length woa
+    || ((h - 1) * wcols) + tok >= Array.length wga
+  then invalid_arg "Lstm.gates_into: out of bounds";
+  for k = 0 to h - 1 do
+    let wo = (k * wcols) + tok in
+    let zi = 0.0 +. Array.unsafe_get wia wo and zf = 0.0 +. Array.unsafe_get wfa wo in
+    let zo = 0.0 +. Array.unsafe_get woa wo and zg = 0.0 +. Array.unsafe_get wga wo in
+    let ubase = k * h in
+    let ai = ref 0.0 and af = ref 0.0 and ao = ref 0.0 and ag = ref 0.0 in
+    for j = 0 to h - 1 do
+      let hv = Array.unsafe_get hprev (hoff + j) in
+      ai := !ai +. (Array.unsafe_get uia (ubase + j) *. hv);
+      af := !af +. (Array.unsafe_get ufa (ubase + j) *. hv);
+      ao := !ao +. (Array.unsafe_get uoa (ubase + j) *. hv);
+      ag := !ag +. (Array.unsafe_get uga (ubase + j) *. hv)
+    done;
+    let b = base + k in
+    Array.unsafe_set ws.i_g b (1.0 /. (1.0 +. exp (-.(zi +. !ai +. Array.unsafe_get bia k))));
+    Array.unsafe_set ws.f_g b (1.0 /. (1.0 +. exp (-.(zf +. !af +. Array.unsafe_get bfa k))));
+    Array.unsafe_set ws.o_g b (1.0 /. (1.0 +. exp (-.(zo +. !ao +. Array.unsafe_get boa k))));
+    Array.unsafe_set ws.g_g b (tanh (zg +. !ag +. Array.unsafe_get bga k))
+  done
+
+(** Run the recurrence into the workspace buffers; returns the workspace
+    (step [s] lives at offset [s * hidden]) with [hfin] holding the final
+    hidden state. *)
 let forward t (seq : int array) =
-  let h0 = La.vec t.hidden and c0 = La.vec t.hidden in
-  let caches = ref [] in
-  let h_prev = ref h0 and c_prev = ref c0 in
-  Array.iter
-    (fun tok ->
-      let i_g = gate t t.wi t.ui t.bi !h_prev tok La.sigmoid in
-      let f_g = gate t t.wf t.uf t.bf !h_prev tok La.sigmoid in
-      let o_g = gate t t.wo t.uo t.bo !h_prev tok La.sigmoid in
-      let g_g = gate t t.wg t.ug t.bg !h_prev tok tanh in
-      let c = Array.init t.hidden (fun k -> (f_g.(k) *. !c_prev.(k)) +. (i_g.(k) *. g_g.(k))) in
-      let tanh_c = Array.map tanh c in
-      let h = Array.init t.hidden (fun k -> o_g.(k) *. tanh_c.(k)) in
-      caches :=
-        { tok; i_g; f_g; o_g; g_g; c; h; c_prev = !c_prev; h_prev = !h_prev; tanh_c }
-        :: !caches;
-      h_prev := h;
-      c_prev := c)
-    seq;
-  (!caches (* reverse chronological *), !h_prev)
+  let h = t.hidden in
+  let steps = Array.length seq in
+  let ws = get_ws h steps in
+  if steps * h > Array.length ws.hs then invalid_arg "Lstm.forward: workspace too small";
+  for s = 0 to steps - 1 do
+    let tok = seq.(s) in
+    let base = s * h in
+    let hprev, hoff = if s = 0 then (ws.zero, 0) else (ws.hs, (s - 1) * h) in
+    let cprev, coff = if s = 0 then (ws.zero, 0) else (ws.cs, (s - 1) * h) in
+    gates_into t ws base hprev hoff tok;
+    for k = 0 to h - 1 do
+      let b = base + k in
+      let c =
+        (Array.unsafe_get ws.f_g b *. Array.unsafe_get cprev (coff + k))
+        +. (Array.unsafe_get ws.i_g b *. Array.unsafe_get ws.g_g b)
+      in
+      Array.unsafe_set ws.cs b c;
+      let tc = tanh c in
+      Array.unsafe_set ws.tanh_cs b tc;
+      Array.unsafe_set ws.hs b (Array.unsafe_get ws.o_g b *. tc)
+    done
+  done;
+  if steps = 0 then Array.fill ws.hfin 0 h 0.0
+  else Array.blit ws.hs ((steps - 1) * h) ws.hfin 0 h;
+  ws
 
 let head_forward t h_final =
   let z1 = Nn.affine t.fc1 h_final in
@@ -89,84 +189,147 @@ let head_forward t h_final =
 let predict t seq =
   if Array.length seq = 0 then Array.make t.out_dim 0.0
   else
-    let _, h_final = forward t seq in
-    let _, _, out = head_forward t h_final in
+    let ws = forward t seq in
+    let _, _, out = head_forward t ws.hfin in
     Array.map (fun o -> o *. t.y_scale) out
+
+let acc_affine (p : Nn.param) x dz =
+  let n = Array.length x in
+  let g = p.Nn.g.La.Flat.a and cols = p.Nn.g.La.Flat.cols in
+  Array.iteri
+    (fun r d ->
+      let base = r * cols in
+      for j = 0 to n - 1 do
+        g.(base + j) <- g.(base + j) +. (d *. x.(j))
+      done;
+      g.(base + n) <- g.(base + n) +. d)
+    dz
+
+(* accumulate W^T dz into [dst] (caller zero-fills, matching the fresh
+   La.vec of the original) *)
+let back_affine_into dst (p : Nn.param) dz xlen =
+  let w = p.Nn.w.La.Flat.a and cols = p.Nn.w.La.Flat.cols in
+  Array.iteri
+    (fun r d ->
+      let base = r * cols in
+      for j = 0 to xlen - 1 do
+        dst.(j) <- dst.(j) +. (w.(base + j) *. d)
+      done)
+    dz
 
 (** Full BPTT for one (sequence, target) example; accumulates gradients and
     returns the squared error (in scaled space). *)
 let backward t seq target_scaled =
-  let caches, h_final = forward t seq in
-  let z1, a1, out = head_forward t h_final in
+  let h = t.hidden in
+  let ws = forward t seq in
+  let steps = Array.length seq in
+  let z1, a1, out = head_forward t ws.hfin in
   let dout = Array.mapi (fun j o -> 2.0 *. (o -. target_scaled.(j))) out in
   let err = Array.fold_left (fun acc d -> acc +. (d *. d /. 4.0)) 0.0 dout in
   (* head gradients *)
-  let acc_affine p x dz =
-    let n = Array.length x in
-    Array.iteri
-      (fun r d ->
-        let row = p.Nn.g.(r) in
-        for j = 0 to n - 1 do
-          row.(j) <- row.(j) +. (d *. x.(j))
-        done;
-        row.(n) <- row.(n) +. d)
-      dz
-  in
-  let back_affine p dz xlen =
-    let dx = La.vec xlen in
-    Array.iteri
-      (fun r d ->
-        let row = p.Nn.w.(r) in
-        for j = 0 to xlen - 1 do
-          dx.(j) <- dx.(j) +. (row.(j) *. d)
-        done)
-      dz;
-    dx
-  in
   acc_affine t.fc2 a1 dout;
-  let da1 = back_affine t.fc2 dout t.fc_dim in
+  let da1 = La.vec t.fc_dim in
+  back_affine_into da1 t.fc2 dout t.fc_dim;
   let dz1 = Array.mapi (fun j v -> if z1.(j) > 0.0 then v else 0.0) da1 in
-  acc_affine t.fc1 h_final dz1;
-  let dh = ref (back_affine t.fc1 dz1 t.hidden) in
-  let dc = ref (La.vec t.hidden) in
-  (* walk caches from the last step backwards *)
-  List.iter
-    (fun sc ->
-      let do_g = Array.init t.hidden (fun k -> !dh.(k) *. sc.tanh_c.(k) *. La.dsigmoid sc.o_g.(k)) in
-      let dc_total =
-        Array.init t.hidden (fun k ->
-            !dc.(k) +. (!dh.(k) *. sc.o_g.(k) *. La.dtanh sc.tanh_c.(k)))
-      in
-      let di = Array.init t.hidden (fun k -> dc_total.(k) *. sc.g_g.(k) *. La.dsigmoid sc.i_g.(k)) in
-      let df = Array.init t.hidden (fun k -> dc_total.(k) *. sc.c_prev.(k) *. La.dsigmoid sc.f_g.(k)) in
-      let dg = Array.init t.hidden (fun k -> dc_total.(k) *. sc.i_g.(k) *. La.dtanh sc.g_g.(k)) in
-      (* parameter grads: input columns, recurrent matrices, biases *)
-      let acc_gate w u b dz =
-        for k = 0 to t.hidden - 1 do
-          w.Nn.g.(k).(sc.tok) <- w.Nn.g.(k).(sc.tok) +. dz.(k);
-          b.Nn.g.(k).(0) <- b.Nn.g.(k).(0) +. dz.(k)
-        done;
-        La.outer_add_into u.Nn.g dz sc.h_prev
-      in
-      acc_gate t.wi t.ui t.bi di;
-      acc_gate t.wf t.uf t.bf df;
-      acc_gate t.wo t.uo t.bo do_g;
-      acc_gate t.wg t.ug t.bg dg;
-      (* propagate to previous h and c through the recurrent matrices *)
-      let dh_prev = La.vec t.hidden in
-      La.axpy 1.0 (La.mat_t_vec t.ui.Nn.w di) dh_prev;
-      La.axpy 1.0 (La.mat_t_vec t.uf.Nn.w df) dh_prev;
-      La.axpy 1.0 (La.mat_t_vec t.uo.Nn.w do_g) dh_prev;
-      La.axpy 1.0 (La.mat_t_vec t.ug.Nn.w dg) dh_prev;
-      dh := dh_prev;
-      dc := Array.init t.hidden (fun k -> dc_total.(k) *. sc.f_g.(k)))
-    caches;
+  acc_affine t.fc1 ws.hfin dz1;
+  Array.fill ws.dh 0 h 0.0;
+  back_affine_into ws.dh t.fc1 dz1 h;
+  Array.fill ws.dc 0 h 0.0;
+  (* walk the cached steps from the last backwards *)
+  for s = steps - 1 downto 0 do
+    let base = s * h in
+    let tok = seq.(s) in
+    let hprev, hoff = if s = 0 then (ws.zero, 0) else (ws.hs, (s - 1) * h) in
+    let cprev, coff = if s = 0 then (ws.zero, 0) else (ws.cs, (s - 1) * h) in
+    for k = 0 to h - 1 do
+      let b = base + k in
+      let dhk = Array.unsafe_get ws.dh k in
+      let og = Array.unsafe_get ws.o_g b and ig = Array.unsafe_get ws.i_g b in
+      let gg = Array.unsafe_get ws.g_g b and tc = Array.unsafe_get ws.tanh_cs b in
+      Array.unsafe_set ws.d_o k (dhk *. tc *. La.dsigmoid og);
+      let dct = Array.unsafe_get ws.dc k +. (dhk *. og *. La.dtanh tc) in
+      Array.unsafe_set ws.dct k dct;
+      Array.unsafe_set ws.di k (dct *. gg *. La.dsigmoid ig);
+      Array.unsafe_set ws.df k
+        (dct *. Array.unsafe_get cprev (coff + k) *. La.dsigmoid (Array.unsafe_get ws.f_g b));
+      Array.unsafe_set ws.dg k (dct *. ig *. La.dtanh gg)
+    done;
+    (* parameter grads: input columns and biases per gate, then the four
+       recurrent matrices fused in one pass sharing each h_prev load.  The
+       four gates write disjoint buffers, so regrouping the writes leaves
+       every individual accumulation order — and hence every value —
+       unchanged. *)
+    let acc_gate_wb (w : Nn.param) (b : Nn.param) (dz : float array) =
+      let wg = w.Nn.g.La.Flat.a and wcols = w.Nn.g.La.Flat.cols in
+      let bg = b.Nn.g.La.Flat.a in
+      if tok < 0 || ((h - 1) * wcols) + tok >= Array.length wg || h > Array.length bg then
+        invalid_arg "Lstm.acc_gate_wb: out of bounds";
+      for k = 0 to h - 1 do
+        let o = (k * wcols) + tok in
+        let dzk = Array.unsafe_get dz k in
+        Array.unsafe_set wg o (Array.unsafe_get wg o +. dzk);
+        Array.unsafe_set bg k (Array.unsafe_get bg k +. dzk)
+      done
+    in
+    acc_gate_wb t.wi t.bi ws.di;
+    acc_gate_wb t.wf t.bf ws.df;
+    acc_gate_wb t.wo t.bo ws.d_o;
+    acc_gate_wb t.wg t.bg ws.dg;
+    let uig = t.ui.Nn.g.La.Flat.a and ufg = t.uf.Nn.g.La.Flat.a in
+    let uog = t.uo.Nn.g.La.Flat.a and ugg = t.ug.Nn.g.La.Flat.a in
+    if
+      (h * h) > Array.length uig || (h * h) > Array.length ufg || (h * h) > Array.length uog
+      || (h * h) > Array.length ugg || hoff + h > Array.length hprev
+    then invalid_arg "Lstm.backward: out of bounds";
+    for k = 0 to h - 1 do
+      let ubase = k * h in
+      let zi = Array.unsafe_get ws.di k and zf = Array.unsafe_get ws.df k in
+      let zo = Array.unsafe_get ws.d_o k and zg = Array.unsafe_get ws.dg k in
+      for j = 0 to h - 1 do
+        let o = ubase + j in
+        let hv = Array.unsafe_get hprev (hoff + j) in
+        Array.unsafe_set uig o (Array.unsafe_get uig o +. (zi *. hv));
+        Array.unsafe_set ufg o (Array.unsafe_get ufg o +. (zf *. hv));
+        Array.unsafe_set uog o (Array.unsafe_get uog o +. (zo *. hv));
+        Array.unsafe_set ugg o (Array.unsafe_get ugg o +. (zg *. hv))
+      done
+    done;
+    (* propagate to previous h and c through the recurrent matrices; each
+       gate goes through a zeroed temp then an axpy, like the original
+       mat_t_vec / axpy pair, to keep the additions bit-identical *)
+    Array.fill ws.dh_prev 0 h 0.0;
+    let through (u : Nn.param) (dz : float array) =
+      Array.fill ws.dtmp 0 h 0.0;
+      let ua = u.Nn.w.La.Flat.a in
+      let dtmp = ws.dtmp in
+      if (h * h) > Array.length ua || h > Array.length dtmp then
+        invalid_arg "Lstm.through: out of bounds";
+      for r = 0 to h - 1 do
+        let ubase = r * h in
+        let ar = dz.(r) in
+        for j = 0 to h - 1 do
+          Array.unsafe_set dtmp j (Array.unsafe_get dtmp j +. (Array.unsafe_get ua (ubase + j) *. ar))
+        done
+      done;
+      let dhp = ws.dh_prev in
+      for j = 0 to h - 1 do
+        Array.unsafe_set dhp j (Array.unsafe_get dhp j +. (1.0 *. Array.unsafe_get dtmp j))
+      done
+    in
+    through t.ui ws.di;
+    through t.uf ws.df;
+    through t.uo ws.d_o;
+    through t.ug ws.dg;
+    Array.blit ws.dh_prev 0 ws.dh 0 h;
+    for k = 0 to h - 1 do
+      Array.unsafe_set ws.dc k (Array.unsafe_get ws.dct k *. Array.unsafe_get ws.f_g (base + k))
+    done
+  done;
   err
 
 (* A shadow shares the weights and Adam moments but owns a private zeroed
    gradient buffer, so concurrent [backward] calls never race. *)
-let shadow_param (p : Nn.param) =
-  { p with Nn.g = Array.map (fun row -> Array.make (Array.length row) 0.0) p.Nn.g }
+let shadow_param (p : Nn.param) = { p with Nn.g = La.Flat.create (Nn.rows p) (Nn.cols p) }
 
 let shadow_model t =
   {
@@ -183,11 +346,11 @@ let shadow_model t =
 let add_grads ~into sh =
   List.iter2
     (fun (p : Nn.param) (sp : Nn.param) ->
-      Array.iteri
-        (fun r row ->
-          let dst = p.Nn.g.(r) in
-          Array.iteri (fun c g -> dst.(c) <- dst.(c) +. g) row)
-        sp.Nn.g)
+      let dst = p.Nn.g.La.Flat.a and src = sp.Nn.g.La.Flat.a in
+      if Array.length src <> Array.length dst then invalid_arg "Lstm.add_grads: shape mismatch";
+      for k = 0 to Array.length dst - 1 do
+        Array.unsafe_set dst k (Array.unsafe_get dst k +. Array.unsafe_get src k)
+      done)
     (params into) (params sh)
 
 (** Fit on (sequence, target) pairs.  Targets are scaled internally by
@@ -226,7 +389,7 @@ let fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(batch = 1)
     in
     let minibatch_step b0 bsz =
       let contributions =
-        Util.Pool.parallel_init ~chunk:1 bsz (fun j ->
+        Util.Pool.parallel_init ~chunk:1 ~cost:300.0 bsz (fun j ->
             let seq, y = data.(idx.(b0 + j)) in
             if Array.length seq = 0 then None
             else begin

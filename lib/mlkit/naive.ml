@@ -1,0 +1,435 @@
+(** Retained naive reference implementations for the flat-buffer compute
+    core.
+
+    These are the pre-flat row-of-rows kernels, kept for two jobs:
+
+    - the equivalence suite proves the flat {!La.Flat} / {!Nn} / {!Lstm} /
+      {!Tree} rewrites bit-identical to them, and
+    - `bench/main.exe parallel` times the optimized kernels against them,
+      so the reported speedups measure real algorithmic + layout wins,
+      not a self-comparison.
+
+    Everything here is deliberately serial and allocation-happy — that is
+    the point of a baseline.  The only intentional divergence from the
+    original seed code is the tree split search: ties in a feature column
+    are ordered by (value, original index) — a total order shared with
+    the flat implementation — where the seed's unstable sort left tie
+    order unspecified. *)
+
+(* -- dense matrix product, textbook triple loop -- *)
+
+let matmul a b =
+  let n = Array.length a in
+  let kdim = if n = 0 then 0 else Array.length a.(0) in
+  let m = if Array.length b = 0 then 0 else Array.length b.(0) in
+  Array.init n (fun i ->
+      let row = a.(i) in
+      Array.init m (fun j ->
+          let acc = ref 0.0 in
+          for k = 0 to kdim - 1 do
+            acc := !acc +. (row.(k) *. b.(k).(j))
+          done;
+          !acc))
+
+(* -- boxed parameters (the old Nn.param) -- *)
+
+type bparam = {
+  w : float array array;
+  g : float array array;
+  m : float array array;
+  v : float array array;
+}
+
+let bparam rng rows cols =
+  { w = La.randn_mat rng rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+
+let zero_bparam rows cols =
+  { w = La.mat rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+
+let zero_grad p = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) p.g
+
+type adam = { lr : float; beta1 : float; beta2 : float; eps : float; mutable t : int }
+
+let adam ?(lr = 0.01) () = { lr; beta1 = 0.9; beta2 = 0.999; eps = 1e-8; t = 0 }
+
+let adam_step opt params =
+  opt.t <- opt.t + 1;
+  let bc1 = 1.0 -. (opt.beta1 ** float_of_int opt.t) in
+  let bc2 = 1.0 -. (opt.beta2 ** float_of_int opt.t) in
+  List.iter
+    (fun p ->
+      for i = 0 to Array.length p.w - 1 do
+        for j = 0 to Array.length p.w.(i) - 1 do
+          let g = p.g.(i).(j) in
+          p.m.(i).(j) <- (opt.beta1 *. p.m.(i).(j)) +. ((1.0 -. opt.beta1) *. g);
+          p.v.(i).(j) <- (opt.beta2 *. p.v.(i).(j)) +. ((1.0 -. opt.beta2) *. g *. g);
+          let mh = p.m.(i).(j) /. bc1 and vh = p.v.(i).(j) /. bc2 in
+          p.w.(i).(j) <- p.w.(i).(j) -. (opt.lr *. mh /. (sqrt vh +. opt.eps))
+        done
+      done)
+    params
+
+let clip_gradients params limit =
+  let total =
+    List.fold_left
+      (fun acc p ->
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun acc g -> acc +. (g *. g)) acc row)
+          acc p.g)
+      0.0 params
+  in
+  let norm = sqrt total in
+  if norm > limit then begin
+    let s = limit /. norm in
+    List.iter
+      (fun p -> Array.iter (fun row -> Array.iteri (fun j g -> row.(j) <- s *. g) row) p.g)
+      params
+  end
+
+let affine p x =
+  let rows = Array.length p.w in
+  Array.init rows (fun i ->
+      let row = p.w.(i) in
+      let n = Array.length x in
+      let acc = ref row.(n) in
+      for j = 0 to n - 1 do
+        acc := !acc +. (row.(j) *. x.(j))
+      done;
+      !acc)
+
+(* -- the old per-step-allocating LSTM -- *)
+
+type lstm = {
+  vocab : int;
+  hidden : int;
+  wi : bparam; wf : bparam; wo : bparam; wg : bparam;
+  ui : bparam; uf : bparam; uo : bparam; ug : bparam;
+  bi : bparam; bf : bparam; bo : bparam; bg : bparam;
+  fc1 : bparam;
+  fc2 : bparam;
+  fc_dim : int;
+  out_dim : int;
+  mutable y_scale : float;
+}
+
+let lstm_params t =
+  [ t.wi; t.wf; t.wo; t.wg; t.ui; t.uf; t.uo; t.ug; t.bi; t.bf; t.bo; t.bg; t.fc1; t.fc2 ]
+
+let lstm_create ?(hidden = 32) ?(fc_dim = 16) ?(out_dim = 1) ~vocab seed =
+  let rng = Util.Rng.create seed in
+  let p r c = bparam rng r c in
+  {
+    vocab; hidden;
+    wi = p hidden vocab; wf = p hidden vocab; wo = p hidden vocab; wg = p hidden vocab;
+    ui = p hidden hidden; uf = p hidden hidden; uo = p hidden hidden; ug = p hidden hidden;
+    bi = zero_bparam hidden 1; bf = zero_bparam hidden 1; bo = zero_bparam hidden 1;
+    bg = zero_bparam hidden 1;
+    fc1 = p fc_dim (hidden + 1);
+    fc2 = p out_dim (fc_dim + 1);
+    fc_dim; out_dim;
+    y_scale = 1.0;
+  }
+
+type step_cache = {
+  tok : int;
+  i_g : float array; f_g : float array; o_g : float array; g_g : float array;
+  c : float array; h : float array; c_prev : float array; h_prev : float array;
+  tanh_c : float array;
+}
+
+let gate t w u b h_prev tok squash =
+  let h = t.hidden in
+  let z = Array.make h 0.0 in
+  La.add_column_into z w.w tok;
+  La.mat_vec_add_into z u.w h_prev;
+  for k = 0 to h - 1 do
+    z.(k) <- squash (z.(k) +. b.w.(k).(0))
+  done;
+  z
+
+let lstm_forward t (seq : int array) =
+  let h0 = La.vec t.hidden and c0 = La.vec t.hidden in
+  let caches = ref [] in
+  let h_prev = ref h0 and c_prev = ref c0 in
+  Array.iter
+    (fun tok ->
+      let i_g = gate t t.wi t.ui t.bi !h_prev tok La.sigmoid in
+      let f_g = gate t t.wf t.uf t.bf !h_prev tok La.sigmoid in
+      let o_g = gate t t.wo t.uo t.bo !h_prev tok La.sigmoid in
+      let g_g = gate t t.wg t.ug t.bg !h_prev tok tanh in
+      let c = Array.init t.hidden (fun k -> (f_g.(k) *. !c_prev.(k)) +. (i_g.(k) *. g_g.(k))) in
+      let tanh_c = Array.map tanh c in
+      let h = Array.init t.hidden (fun k -> o_g.(k) *. tanh_c.(k)) in
+      caches :=
+        { tok; i_g; f_g; o_g; g_g; c; h; c_prev = !c_prev; h_prev = !h_prev; tanh_c }
+        :: !caches;
+      h_prev := h;
+      c_prev := c)
+    seq;
+  (!caches (* reverse chronological *), !h_prev)
+
+let head_forward t h_final =
+  let z1 = affine t.fc1 h_final in
+  let a1 = Array.map La.relu z1 in
+  let out = affine t.fc2 a1 in
+  (z1, a1, out)
+
+let lstm_predict t seq =
+  if Array.length seq = 0 then Array.make t.out_dim 0.0
+  else
+    let _, h_final = lstm_forward t seq in
+    let _, _, out = head_forward t h_final in
+    Array.map (fun o -> o *. t.y_scale) out
+
+let lstm_backward t seq target_scaled =
+  let caches, h_final = lstm_forward t seq in
+  let z1, a1, out = head_forward t h_final in
+  let dout = Array.mapi (fun j o -> 2.0 *. (o -. target_scaled.(j))) out in
+  let err = Array.fold_left (fun acc d -> acc +. (d *. d /. 4.0)) 0.0 dout in
+  let acc_affine p x dz =
+    let n = Array.length x in
+    Array.iteri
+      (fun r d ->
+        let row = p.g.(r) in
+        for j = 0 to n - 1 do
+          row.(j) <- row.(j) +. (d *. x.(j))
+        done;
+        row.(n) <- row.(n) +. d)
+      dz
+  in
+  let back_affine p dz xlen =
+    let dx = La.vec xlen in
+    Array.iteri
+      (fun r d ->
+        let row = p.w.(r) in
+        for j = 0 to xlen - 1 do
+          dx.(j) <- dx.(j) +. (row.(j) *. d)
+        done)
+      dz;
+    dx
+  in
+  acc_affine t.fc2 a1 dout;
+  let da1 = back_affine t.fc2 dout t.fc_dim in
+  let dz1 = Array.mapi (fun j v -> if z1.(j) > 0.0 then v else 0.0) da1 in
+  acc_affine t.fc1 h_final dz1;
+  let dh = ref (back_affine t.fc1 dz1 t.hidden) in
+  let dc = ref (La.vec t.hidden) in
+  List.iter
+    (fun sc ->
+      let do_g = Array.init t.hidden (fun k -> !dh.(k) *. sc.tanh_c.(k) *. La.dsigmoid sc.o_g.(k)) in
+      let dc_total =
+        Array.init t.hidden (fun k ->
+            !dc.(k) +. (!dh.(k) *. sc.o_g.(k) *. La.dtanh sc.tanh_c.(k)))
+      in
+      let di = Array.init t.hidden (fun k -> dc_total.(k) *. sc.g_g.(k) *. La.dsigmoid sc.i_g.(k)) in
+      let df = Array.init t.hidden (fun k -> dc_total.(k) *. sc.c_prev.(k) *. La.dsigmoid sc.f_g.(k)) in
+      let dg = Array.init t.hidden (fun k -> dc_total.(k) *. sc.i_g.(k) *. La.dtanh sc.g_g.(k)) in
+      let acc_gate w u b dz =
+        for k = 0 to t.hidden - 1 do
+          w.g.(k).(sc.tok) <- w.g.(k).(sc.tok) +. dz.(k);
+          b.g.(k).(0) <- b.g.(k).(0) +. dz.(k)
+        done;
+        La.outer_add_into u.g dz sc.h_prev
+      in
+      acc_gate t.wi t.ui t.bi di;
+      acc_gate t.wf t.uf t.bf df;
+      acc_gate t.wo t.uo t.bo do_g;
+      acc_gate t.wg t.ug t.bg dg;
+      let dh_prev = La.vec t.hidden in
+      La.axpy 1.0 (La.mat_t_vec t.ui.w di) dh_prev;
+      La.axpy 1.0 (La.mat_t_vec t.uf.w df) dh_prev;
+      La.axpy 1.0 (La.mat_t_vec t.uo.w do_g) dh_prev;
+      La.axpy 1.0 (La.mat_t_vec t.ug.w dg) dh_prev;
+      dh := dh_prev;
+      dc := Array.init t.hidden (fun k -> dc_total.(k) *. sc.f_g.(k)))
+    caches;
+  err
+
+let shadow_bparam (p : bparam) =
+  { p with g = Array.map (fun row -> Array.make (Array.length row) 0.0) p.g }
+
+let shadow_lstm t =
+  {
+    t with
+    wi = shadow_bparam t.wi; wf = shadow_bparam t.wf;
+    wo = shadow_bparam t.wo; wg = shadow_bparam t.wg;
+    ui = shadow_bparam t.ui; uf = shadow_bparam t.uf;
+    uo = shadow_bparam t.uo; ug = shadow_bparam t.ug;
+    bi = shadow_bparam t.bi; bf = shadow_bparam t.bf;
+    bo = shadow_bparam t.bo; bg = shadow_bparam t.bg;
+    fc1 = shadow_bparam t.fc1; fc2 = shadow_bparam t.fc2;
+  }
+
+let add_grads ~into sh =
+  List.iter2
+    (fun (p : bparam) (sp : bparam) ->
+      Array.iteri
+        (fun r row ->
+          let dst = p.g.(r) in
+          Array.iteri (fun c g -> dst.(c) <- dst.(c) +. g) row)
+        sp.g)
+    (lstm_params into) (lstm_params sh)
+
+(** The old fit loop; the minibatch path computes shadow gradients with a
+    plain serial loop (the pool version merged them in example order, so
+    the result is the same). *)
+let lstm_fit ?(epochs = 12) ?(lr = 0.008) ?(seed = 11) ?(batch = 1) t data =
+  let n = Array.length data in
+  if n = 0 then ()
+  else begin
+    let mean_target =
+      Array.fold_left (fun acc (_, y) -> acc +. abs_float y.(0)) 0.0 data /. float_of_int n
+    in
+    t.y_scale <- max 1.0 mean_target;
+    let opt = adam ~lr () in
+    let rng = Util.Rng.create seed in
+    let idx = Array.init n (fun i -> i) in
+    let example_step k =
+      let seq, y = data.(k) in
+      if Array.length seq = 0 then ()
+      else begin
+        List.iter zero_grad (lstm_params t);
+        let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
+        ignore (lstm_backward t seq y_scaled);
+        clip_gradients (lstm_params t) 5.0;
+        adam_step opt (lstm_params t)
+      end
+    in
+    let minibatch_step b0 bsz =
+      let contributions =
+        Array.init bsz (fun j ->
+            let seq, y = data.(idx.(b0 + j)) in
+            if Array.length seq = 0 then None
+            else begin
+              let sh = shadow_lstm t in
+              let y_scaled = Array.map (fun v -> v /. t.y_scale) y in
+              ignore (lstm_backward sh seq y_scaled);
+              Some sh
+            end)
+      in
+      List.iter zero_grad (lstm_params t);
+      let contributed = ref false in
+      Array.iter
+        (function
+          | None -> ()
+          | Some sh ->
+            contributed := true;
+            add_grads ~into:t sh)
+        contributions;
+      if !contributed then begin
+        clip_gradients (lstm_params t) 5.0;
+        adam_step opt (lstm_params t)
+      end
+    in
+    for _epoch = 1 to epochs do
+      Util.Rng.shuffle rng idx;
+      if batch <= 1 then Array.iter example_step idx
+      else begin
+        let b0 = ref 0 in
+        while !b0 < n do
+          let bsz = min batch (n - !b0) in
+          minibatch_step !b0 bsz;
+          b0 := !b0 + bsz
+        done
+      end
+    done
+  end
+
+(* -- the old per-node-sorting tree grower -- *)
+
+let mean_of idx ys =
+  let n = Array.length idx in
+  if n = 0 then 0.0
+  else Array.fold_left (fun acc i -> acc +. ys.(i)) 0.0 idx /. float_of_int n
+
+(** Grow a regression tree by sorting every feature at every node —
+    O(features * n log n) per node, fully serial.  Ties order by
+    (value, original index), the shared canonical order. *)
+let grow ?(config = Tree.default_grow) xs ys =
+  let dim = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let rng = Util.Rng.create config.Tree.seed in
+  let rec build idx depth =
+    let n = Array.length idx in
+    if n <= config.Tree.min_leaf || depth >= config.Tree.max_depth then
+      Tree.Leaf (mean_of idx ys)
+    else begin
+      let features =
+        match config.Tree.feature_subset with
+        | None -> Array.init dim (fun f -> f)
+        | Some k -> Util.Rng.sample_without_replacement rng dim (min k dim)
+      in
+      let total_y = Array.fold_left (fun acc i -> acc +. ys.(i)) 0.0 idx in
+      let total_y2 = Array.fold_left (fun acc i -> acc +. (ys.(i) *. ys.(i))) 0.0 idx in
+      let base = total_y2 -. (total_y *. total_y /. float_of_int n) in
+      let feature_best f =
+        let best = ref None in
+        let sorted = Array.copy idx in
+        Array.sort
+          (fun a b ->
+            let va = xs.(a).(f) and vb = xs.(b).(f) in
+            if va < vb then -1 else if va > vb then 1 else Stdlib.compare a b)
+          sorted;
+        let left_y = ref 0.0 and left_y2 = ref 0.0 in
+        for k = 0 to n - 2 do
+          let i = sorted.(k) in
+          left_y := !left_y +. ys.(i);
+          left_y2 := !left_y2 +. (ys.(i) *. ys.(i));
+          let nl = k + 1 and nr = n - k - 1 in
+          if
+            nl >= config.Tree.min_leaf && nr >= config.Tree.min_leaf
+            && xs.(sorted.(k)).(f) < xs.(sorted.(k + 1)).(f)
+          then begin
+            let ry = total_y -. !left_y and ry2 = total_y2 -. !left_y2 in
+            let sse_l = !left_y2 -. (!left_y *. !left_y /. float_of_int nl) in
+            let sse_r = ry2 -. (ry *. ry /. float_of_int nr) in
+            let gain = base -. sse_l -. sse_r in
+            let thr = 0.5 *. (xs.(sorted.(k)).(f) +. xs.(sorted.(k + 1)).(f)) in
+            match !best with
+            | Some (g, _, _, _) when g >= gain -> ()
+            | _ -> best := Some (gain, f, thr, k + 1)
+          end
+        done;
+        !best
+      in
+      let better a b =
+        match (a, b) with
+        | Some (ga, _, _, _), Some (gb, _, _, _) -> if gb > ga then b else a
+        | Some _, None -> a
+        | None, _ -> b
+      in
+      let n_features = Array.length features in
+      let best =
+        if n_features = 0 then None
+        else begin
+          let acc = ref (feature_best features.(0)) in
+          for fi = 1 to n_features - 1 do
+            acc := better !acc (feature_best features.(fi))
+          done;
+          !acc
+        end
+      in
+      match best with
+      | Some (gain, f, thr, _) when gain > 1e-12 ->
+        let left = Array.of_list (List.filter (fun i -> xs.(i).(f) <= thr) (Array.to_list idx)) in
+        let right = Array.of_list (List.filter (fun i -> xs.(i).(f) > thr) (Array.to_list idx)) in
+        Tree.Split
+          { feature = f; threshold = thr; left = build left (depth + 1); right = build right (depth + 1) }
+      | Some _ | None -> Tree.Leaf (mean_of idx ys)
+    end
+  in
+  { Tree.root = build (Array.init (Array.length xs) (fun i -> i)) 0 }
+
+(** The old boosting loop over {!grow}; returns a regular {!Tree.gbdt}. *)
+let gbdt_fit ?(n_stages = 60) ?(shrinkage = 0.15)
+    ?(config = { Tree.default_grow with Tree.max_depth = 3 }) xs ys =
+  let n = Array.length ys in
+  let init = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
+  let preds = Array.make n init in
+  let stages = ref [] in
+  for stage = 1 to n_stages do
+    let residuals = Array.init n (fun i -> ys.(i) -. preds.(i)) in
+    let tree = grow ~config:{ config with Tree.seed = config.Tree.seed + stage } xs residuals in
+    Array.iteri (fun i x -> preds.(i) <- preds.(i) +. (shrinkage *. Tree.predict tree x)) xs;
+    stages := tree :: !stages
+  done;
+  { Tree.init; Tree.shrinkage; Tree.stages = List.rev !stages }

@@ -1,0 +1,33 @@
+(** Retained naive reference implementations (the pre-flat row-of-rows
+    kernels).  The equivalence suite proves the flat compute core
+    bit-identical to these, and `bench/main.exe parallel` times the
+    optimized kernels against them so reported speedups are real
+    algorithmic + layout wins. *)
+
+(** Textbook triple-loop matrix product (k ascending — the order
+    {!La.Flat.gemm} must reproduce). *)
+val matmul : float array array -> float array array -> float array array
+
+(** {1 Boxed-parameter LSTM (the old {!Lstm})} *)
+
+type lstm
+
+val lstm_create : ?hidden:int -> ?fc_dim:int -> ?out_dim:int -> vocab:int -> int -> lstm
+val lstm_predict : lstm -> int array -> float array
+
+(** Fit on (sequence, target) pairs; [batch > 1] accumulates minibatch
+    gradients serially in example order — the same merge order the pool
+    version uses, so results match any job count. *)
+val lstm_fit :
+  ?epochs:int -> ?lr:float -> ?seed:int -> ?batch:int -> lstm -> (int array * float array) array -> unit
+
+(** {1 Per-node-sorting tree grower (the old {!Tree.grow})} *)
+
+(** Serial split search that re-sorts every feature at every node; ties
+    order by (value, original index), the canonical order shared with the
+    flat grower. *)
+val grow : ?config:Tree.grow_config -> float array array -> float array -> Tree.t
+
+(** The old boosting loop over {!grow}. *)
+val gbdt_fit :
+  ?n_stages:int -> ?shrinkage:float -> ?config:Tree.grow_config -> float array array -> float array -> Tree.gbdt

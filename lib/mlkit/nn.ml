@@ -1,25 +1,46 @@
 (** Neural-network building blocks: Adam-optimized dense parameters and a
-    multi-layer perceptron (the "DNN" baseline of Figures 8/9/11). *)
+    multi-layer perceptron (the "DNN" baseline of Figures 8/9/11).
+
+    Parameters live in flat row-major buffers ({!La.Flat}); the optimizer
+    and backprop loops walk them in the same row-major element order the
+    old row-of-rows code used, so training trajectories are bit-identical
+    to the naive representation. *)
 
 (** A dense parameter matrix with its gradient and Adam moments. *)
 type param = {
-  w : float array array;
-  g : float array array;
-  m : float array array;
-  v : float array array;
+  w : La.Flat.mat;
+  g : La.Flat.mat;
+  m : La.Flat.mat;
+  v : La.Flat.mat;
 }
 
 let param rng rows cols =
-  { w = La.randn_mat rng rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+  {
+    w = La.Flat.randn rng rows cols;
+    g = La.Flat.create rows cols;
+    m = La.Flat.create rows cols;
+    v = La.Flat.create rows cols;
+  }
 
-let zero_param rows cols = { w = La.mat rows cols; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+let zero_param rows cols =
+  {
+    w = La.Flat.create rows cols;
+    g = La.Flat.create rows cols;
+    m = La.Flat.create rows cols;
+    v = La.Flat.create rows cols;
+  }
 
-let param_of_weights w =
-  let rows = Array.length w in
-  let cols = if rows = 0 then 0 else Array.length w.(0) in
-  { w; g = La.mat rows cols; m = La.mat rows cols; v = La.mat rows cols }
+let param_of_weights rows_m =
+  let w = La.Flat.of_rows rows_m in
+  let rows = w.La.Flat.rows and cols = w.La.Flat.cols in
+  { w; g = La.Flat.create rows cols; m = La.Flat.create rows cols; v = La.Flat.create rows cols }
 
-let zero_grad p = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) p.g
+let weights_of_param p = La.Flat.to_rows p.w
+
+let rows p = p.w.La.Flat.rows
+let cols p = p.w.La.Flat.cols
+
+let zero_grad p = La.Flat.fill p.g 0.0
 
 type adam = { lr : float; beta1 : float; beta2 : float; eps : float; mutable t : int }
 
@@ -32,14 +53,19 @@ let adam_step opt params =
   let bc2 = 1.0 -. (opt.beta2 ** float_of_int opt.t) in
   List.iter
     (fun p ->
-      for i = 0 to Array.length p.w - 1 do
-        for j = 0 to Array.length p.w.(i) - 1 do
-          let g = p.g.(i).(j) in
-          p.m.(i).(j) <- (opt.beta1 *. p.m.(i).(j)) +. ((1.0 -. opt.beta1) *. g);
-          p.v.(i).(j) <- (opt.beta2 *. p.v.(i).(j)) +. ((1.0 -. opt.beta2) *. g *. g);
-          let mh = p.m.(i).(j) /. bc1 and vh = p.v.(i).(j) /. bc2 in
-          p.w.(i).(j) <- p.w.(i).(j) -. (opt.lr *. mh /. (sqrt vh +. opt.eps))
-        done
+      let w = p.w.La.Flat.a and g = p.g.La.Flat.a in
+      let m = p.m.La.Flat.a and v = p.v.La.Flat.a in
+      let len = Array.length w in
+      if Array.length g <> len || Array.length m <> len || Array.length v <> len then
+        invalid_arg "Nn.adam_step: shape mismatch";
+      for k = 0 to len - 1 do
+        let gk = Array.unsafe_get g k in
+        let mk = (opt.beta1 *. Array.unsafe_get m k) +. ((1.0 -. opt.beta1) *. gk) in
+        Array.unsafe_set m k mk;
+        let vk = (opt.beta2 *. Array.unsafe_get v k) +. ((1.0 -. opt.beta2) *. gk *. gk) in
+        Array.unsafe_set v k vk;
+        let mh = mk /. bc1 and vh = vk /. bc2 in
+        Array.unsafe_set w k (Array.unsafe_get w k -. (opt.lr *. mh /. (sqrt vh +. opt.eps)))
       done)
     params
 
@@ -47,10 +73,7 @@ let adam_step opt params =
 let clip_gradients params limit =
   let total =
     List.fold_left
-      (fun acc p ->
-        Array.fold_left
-          (fun acc row -> Array.fold_left (fun acc g -> acc +. (g *. g)) acc row)
-          acc p.g)
+      (fun acc p -> Array.fold_left (fun acc g -> acc +. (g *. g)) acc p.g.La.Flat.a)
       0.0 params
   in
   let norm = sqrt total in
@@ -58,8 +81,10 @@ let clip_gradients params limit =
     let s = limit /. norm in
     List.iter
       (fun p ->
-        Array.iter (fun row -> Array.iteri (fun j g -> row.(j) <- s *. g) row)
-        p.g)
+        let g = p.g.La.Flat.a in
+        for k = 0 to Array.length g - 1 do
+          g.(k) <- s *. g.(k)
+        done)
       params
   end
 
@@ -83,13 +108,13 @@ let mlp_create rng ~in_dim ~hidden ~out_dim =
   }
 
 let affine p x =
-  let rows = Array.length p.w in
-  Array.init rows (fun i ->
-      let row = p.w.(i) in
-      let n = Array.length x in
-      let acc = ref row.(n) in
+  let w = p.w.La.Flat.a and cols = p.w.La.Flat.cols in
+  let n = Array.length x in
+  Array.init p.w.La.Flat.rows (fun i ->
+      let base = i * cols in
+      let acc = ref w.(base + n) in
       for j = 0 to n - 1 do
-        acc := !acc +. (row.(j) *. x.(j))
+        acc := !acc +. (w.(base + j) *. x.(j))
       done;
       !acc)
 
@@ -122,20 +147,21 @@ let mlp_backward net caches dout =
       (* dout arrives already masked for this layer; accumulate grads, then
          mask by the previous layer's pre-activation before recursing *)
       let n = Array.length x in
+      let g = p.g.La.Flat.a and w = p.w.La.Flat.a and cols = p.w.La.Flat.cols in
       Array.iteri
         (fun i d ->
-          let row = p.g.(i) in
+          let base = i * cols in
           for j = 0 to n - 1 do
-            row.(j) <- row.(j) +. (d *. x.(j))
+            g.(base + j) <- g.(base + j) +. (d *. x.(j))
           done;
-          row.(n) <- row.(n) +. d)
+          g.(base + n) <- g.(base + n) +. d)
         dout;
       let dx = La.vec n in
       Array.iteri
         (fun i d ->
-          let row = p.w.(i) in
+          let base = i * cols in
           for j = 0 to n - 1 do
-            dx.(j) <- dx.(j) +. (row.(j) *. d)
+            dx.(j) <- dx.(j) +. (w.(base + j) *. d)
           done)
         dout;
       (match crest with

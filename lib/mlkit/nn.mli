@@ -1,12 +1,15 @@
 (** Neural-network building blocks: Adam-optimized dense parameters and a
     multi-layer perceptron (the "DNN" baseline of Figures 8/9/11). *)
 
-(** A dense parameter matrix with its gradient and Adam moments. *)
+(** A dense parameter matrix with its gradient and Adam moments, all in
+    flat row-major buffers.  The optimizer walks elements in row-major
+    order — the same order the old row-of-rows representation used, so
+    training trajectories are unchanged bit-for-bit. *)
 type param = {
-  w : float array array;
-  g : float array array;
-  m : float array array;
-  v : float array array;
+  w : La.Flat.mat;
+  g : La.Flat.mat;
+  m : La.Flat.mat;
+  v : La.Flat.mat;
 }
 
 (** Xavier-initialized parameter. *)
@@ -14,9 +17,17 @@ val param : Util.Rng.t -> int -> int -> param
 
 val zero_param : int -> int -> param
 
-(** Wrap an existing weight matrix as a parameter with zeroed gradient and
-    Adam state — the constructor model-persistence codecs rebuild from. *)
+(** Wrap an existing weight matrix (given as rows) as a parameter with
+    zeroed gradient and Adam state — the constructor model-persistence
+    codecs rebuild from. *)
 val param_of_weights : float array array -> param
+
+(** The weights back as rows (for the wire codecs; the on-disk format
+    predates the flat representation and stays row-oriented). *)
+val weights_of_param : param -> float array array
+
+val rows : param -> int
+val cols : param -> int
 
 val zero_grad : param -> unit
 

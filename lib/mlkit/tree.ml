@@ -24,15 +24,49 @@ type grow_config = { max_depth : int; min_leaf : int; max_cuts : int; feature_su
 
 let default_grow = { max_depth = 5; min_leaf = 3; max_cuts = 16; feature_subset = None; seed = 3 }
 
-(** Grow a regression tree.  Split search sorts each feature once per node
-    and scans split positions with prefix sums, so a node costs
-    O(features * n log n) rather than O(features * cuts * n). *)
+(** Grow a regression tree on flat column-major feature buffers.
+
+    The rows are transposed once into one [float array] per-feature
+    column, each column's index order is sorted once at the root (by
+    (value, original index) — the canonical total order shared with
+    {!Naive.grow}), and every split partitions the per-feature orders
+    with a stable sweep.  A node therefore costs O(features * n) — no
+    per-node sorting, no polymorphic compare, no row pointer chasing —
+    against the reference's O(features * n log n), while scanning cut
+    candidates in exactly the reference's order, so the grown tree is
+    bit-identical to the naive grower. *)
 let grow ?(config = default_grow) xs ys =
-  let dim = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let n = Array.length xs in
+  let dim = if n = 0 then 0 else Array.length xs.(0) in
   let rng = Util.Rng.create config.seed in
-  let rec build idx depth =
-    let n = Array.length idx in
-    if n <= config.min_leaf || depth >= config.max_depth then Leaf (mean_of idx ys)
+  (* column-major copy: feature f of row i at cols.(f*n + i) *)
+  let cols = Array.make (max 1 (dim * n)) 0.0 in
+  for i = 0 to n - 1 do
+    let xi = xs.(i) in
+    for f = 0 to dim - 1 do
+      cols.((f * n) + i) <- xi.(f)
+    done
+  done;
+  (* root candidate order, one segment of n indices per feature *)
+  let root_order = Array.make (max 1 (dim * n)) 0 in
+  for f = 0 to dim - 1 do
+    let cbase = f * n in
+    let seg = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let va = cols.(cbase + a) and vb = cols.(cbase + b) in
+        if va < vb then -1 else if va > vb then 1 else Stdlib.compare a b)
+      seg;
+    Array.blit seg 0 root_order cbase n
+  done;
+  (* scratch for split partitioning, indexed by original row *)
+  let side = Array.make (max 1 n) false in
+  (* [idx] is the node's rows in ascending original order (the order the
+     reference accumulates node totals and leaf means in); [order] holds
+     [dim] segments of the same rows, each in its feature's sorted order. *)
+  let rec build (idx : int array) (order : int array) depth =
+    let m = Array.length idx in
+    if m <= config.min_leaf || depth >= config.max_depth then Leaf (mean_of idx ys)
     else begin
       let features =
         match config.feature_subset with
@@ -43,31 +77,30 @@ let grow ?(config = default_grow) xs ys =
          sse = sum(y^2) - (sum y)^2 / n *)
       let total_y = Array.fold_left (fun acc i -> acc +. ys.(i)) 0.0 idx in
       let total_y2 = Array.fold_left (fun acc i -> acc +. (ys.(i) *. ys.(i))) 0.0 idx in
-      let base = total_y2 -. (total_y *. total_y /. float_of_int n) in
+      let base = total_y2 -. (total_y *. total_y /. float_of_int m) in
       (* Per-feature scans are independent: fan them out on the domain pool
          and keep the serial tie-breaking (earliest feature in [features]
          order, then earliest cut) via a left-biased ordered reduction, so
          the grown tree is bit-identical to a serial scan. *)
       let feature_best f =
         let best = ref None in
-        let sorted = Array.copy idx in
-        Array.sort (fun a b -> compare xs.(a).(f) xs.(b).(f)) sorted;
+        let obase = f * m in
+        let cbase = f * n in
         let left_y = ref 0.0 and left_y2 = ref 0.0 in
-        for k = 0 to n - 2 do
-          let i = sorted.(k) in
+        for k = 0 to m - 2 do
+          let i = order.(obase + k) in
           left_y := !left_y +. ys.(i);
           left_y2 := !left_y2 +. (ys.(i) *. ys.(i));
-          let nl = k + 1 and nr = n - k - 1 in
+          let nl = k + 1 and nr = m - k - 1 in
           (* a valid cut needs distinct adjacent values and min_leaf sizes *)
-          if
-            nl >= config.min_leaf && nr >= config.min_leaf
-            && xs.(sorted.(k)).(f) < xs.(sorted.(k + 1)).(f)
-          then begin
+          let vk = cols.(cbase + i) in
+          let vk1 = cols.(cbase + order.(obase + k + 1)) in
+          if nl >= config.min_leaf && nr >= config.min_leaf && vk < vk1 then begin
             let ry = total_y -. !left_y and ry2 = total_y2 -. !left_y2 in
             let sse_l = !left_y2 -. (!left_y *. !left_y /. float_of_int nl) in
             let sse_r = ry2 -. (ry *. ry /. float_of_int nr) in
             let gain = base -. sse_l -. sse_r in
-            let thr = 0.5 *. (xs.(sorted.(k)).(f) +. xs.(sorted.(k + 1)).(f)) in
+            let thr = 0.5 *. (vk +. vk1) in
             match !best with
             | Some (g, _, _, _) when g >= gain -> ()
             | _ -> best := Some (gain, f, thr, k + 1)
@@ -84,7 +117,7 @@ let grow ?(config = default_grow) xs ys =
       let n_features = Array.length features in
       let best =
         if n_features = 0 then None
-        else if n * n_features < 4096 then begin
+        else if m * n_features < 4096 then begin
           (* node too small to amortize a parallel region; the pool's serial
              path computes the same left-biased ordered reduction *)
           let acc = ref (feature_best features.(0)) in
@@ -94,19 +127,61 @@ let grow ?(config = default_grow) xs ys =
           !acc
         end
         else
-          Util.Pool.parallel_reduce ~chunk:1 ~combine:better
+          Util.Pool.parallel_reduce ~chunk:1 ~cost:(0.01 *. float_of_int m) ~combine:better
             (fun fi -> feature_best features.(fi))
             n_features
       in
       match best with
       | Some (gain, f, thr, _) when gain > 1e-12 ->
-        let left = Array.of_list (List.filter (fun i -> xs.(i).(f) <= thr) (Array.to_list idx)) in
-        let right = Array.of_list (List.filter (fun i -> xs.(i).(f) > thr) (Array.to_list idx)) in
-        Split { feature = f; threshold = thr; left = build left (depth + 1); right = build right (depth + 1) }
+        let cfbase = f * n in
+        let ml = ref 0 in
+        Array.iter
+          (fun i ->
+            let l = cols.(cfbase + i) <= thr in
+            side.(i) <- l;
+            if l then incr ml)
+          idx;
+        let ml = !ml and mr = m - !ml in
+        let lidx = Array.make (max 1 ml) 0 and ridx = Array.make (max 1 mr) 0 in
+        let li = ref 0 and ri = ref 0 in
+        Array.iter
+          (fun i ->
+            if side.(i) then begin lidx.(!li) <- i; incr li end
+            else begin ridx.(!ri) <- i; incr ri end)
+          idx;
+        let lidx = Array.sub lidx 0 ml and ridx = Array.sub ridx 0 mr in
+        (* stable partition of every feature's order segment: a subsequence
+           of a (value, index)-sorted sequence is still sorted, so children
+           need no re-sorting *)
+        let lorder = Array.make (max 1 (dim * ml)) 0 in
+        let rorder = Array.make (max 1 (dim * mr)) 0 in
+        for f' = 0 to dim - 1 do
+          let obase = f' * m in
+          let lbase = f' * ml and rbase = f' * mr in
+          let li = ref 0 and ri = ref 0 in
+          for k = 0 to m - 1 do
+            let i = order.(obase + k) in
+            if side.(i) then begin
+              lorder.(lbase + !li) <- i;
+              incr li
+            end
+            else begin
+              rorder.(rbase + !ri) <- i;
+              incr ri
+            end
+          done
+        done;
+        Split
+          {
+            feature = f;
+            threshold = thr;
+            left = build lidx lorder (depth + 1);
+            right = build ridx rorder (depth + 1);
+          }
       | Some _ | None -> Leaf (mean_of idx ys)
     end
   in
-  { root = build (Array.init (Array.length xs) (fun i -> i)) 0 }
+  { root = build (Array.init n (fun i -> i)) root_order 0 }
 
 (* -- Random forest (regression; classify by thresholding the mean) -- *)
 

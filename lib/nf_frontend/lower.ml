@@ -20,7 +20,31 @@
 
 open Nf_lang
 open Nf_ir
-module B = Builder
+
+(** The builder operations lowering needs.  Lowering is a functor over
+    this signature so the retained pre-optimization builder
+    ({!Nf_ir.Builder_reference}) can drive the identical translation —
+    the baseline `bench/main.exe parallel` times the flat builder
+    against. *)
+module type BUILDER = sig
+  type t
+
+  val create : string -> t
+  val emit_value : t -> op:Ir.op -> args:Ir.operand list -> ty:Ir.typ -> annot:Ir.annot -> int
+  val emit_void : t -> op:Ir.op -> args:Ir.operand list -> ty:Ir.typ -> annot:Ir.annot -> unit
+  val start_block : t -> sid:int -> Ir.block
+  val current_bid : t -> int
+  val terminated : t -> bool
+  val br : t -> int -> unit
+  val ret : t -> unit
+  val block : t -> int -> Ir.block
+  val prev_block : t -> Ir.block option
+  val block_terminated : Ir.block -> bool
+  val append_terminator : Ir.block -> Ir.instr -> unit
+  val finish : t -> Ir.func
+end
+
+module Make (B : BUILDER) = struct
 
 type env = {
   b : B.t;
@@ -314,34 +338,27 @@ and lower_stmt env (s : Ast.stmt) ~(next_sid : int) =
     let join = B.start_block b ~sid:next_sid in
     (* Patch branches now that all block ids are known. *)
     let patch_br src_bid target =
-      let blk = List.find (fun blk -> blk.Ir.bid = src_bid) b.B.blocks in
-      match List.rev blk.Ir.instrs with
-      | last :: _ when Ir.is_terminator last -> ()
-      | _ ->
-        blk.Ir.instrs <-
-          blk.Ir.instrs
-          @ [ { Ir.res = None; op = Ir.Br target; args = []; ty = Ir.I32; annot = Ir.Control } ]
+      let blk = B.block b src_bid in
+      if not (B.block_terminated blk) then
+        B.append_terminator blk
+          { Ir.res = None; op = Ir.Br target; args = []; ty = Ir.I32; annot = Ir.Control }
     in
     (match else_info with
     | None ->
-      let blk = List.find (fun blk -> blk.Ir.bid = cond_bid) b.B.blocks in
-      blk.Ir.instrs <-
-        blk.Ir.instrs
-        @ [ { Ir.res = None;
-              op = Ir.Cond_br (then_b.Ir.bid, join.Ir.bid);
-              args = [ Ir.Reg cond ];
-              ty = Ir.I1;
-              annot = Ir.Control } ];
+      B.append_terminator (B.block b cond_bid)
+        { Ir.res = None;
+          op = Ir.Cond_br (then_b.Ir.bid, join.Ir.bid);
+          args = [ Ir.Reg cond ];
+          ty = Ir.I1;
+          annot = Ir.Control };
       if not then_terminated then patch_br then_end join.Ir.bid
     | Some (else_bid, else_end, else_terminated) ->
-      let blk = List.find (fun blk -> blk.Ir.bid = cond_bid) b.B.blocks in
-      blk.Ir.instrs <-
-        blk.Ir.instrs
-        @ [ { Ir.res = None;
-              op = Ir.Cond_br (then_b.Ir.bid, else_bid);
-              args = [ Ir.Reg cond ];
-              ty = Ir.I1;
-              annot = Ir.Control } ];
+      B.append_terminator (B.block b cond_bid)
+        { Ir.res = None;
+          op = Ir.Cond_br (then_b.Ir.bid, else_bid);
+          args = [ Ir.Reg cond ];
+          ty = Ir.I1;
+          annot = Ir.Control };
       if not then_terminated then patch_br then_end join.Ir.bid;
       if not else_terminated then patch_br else_end join.Ir.bid)
   | Ast.While (c, body) ->
@@ -357,17 +374,14 @@ and lower_stmt env (s : Ast.stmt) ~(next_sid : int) =
     lower_stmts env body ~next_sid:(-(s.sid + 1));
     B.br b header.Ir.bid;
     let exit = B.start_block b ~sid:next_sid in
-    let blk = List.find (fun blk -> blk.Ir.bid = header_end) b.B.blocks in
-    (match List.rev blk.Ir.instrs with
-    | last :: _ when Ir.is_terminator last -> ()
-    | _ ->
-      blk.Ir.instrs <-
-        blk.Ir.instrs
-        @ [ { Ir.res = None;
-              op = Ir.Cond_br (body_b.Ir.bid, exit.Ir.bid);
-              args = [ Ir.Reg cond ];
-              ty = Ir.I1;
-              annot = Ir.Control } ])
+    let blk = B.block b header_end in
+    if not (B.block_terminated blk) then
+      B.append_terminator blk
+        { Ir.res = None;
+          op = Ir.Cond_br (body_b.Ir.bid, exit.Ir.bid);
+          args = [ Ir.Reg cond ];
+          ty = Ir.I1;
+          annot = Ir.Control }
   | Ast.For (v, lo, hi, body) ->
     (* for (v = lo; v < hi; v++) body — lowered as init + while *)
     let lo_r = lower_expr env lo in
@@ -401,17 +415,14 @@ and lower_stmt env (s : Ast.stmt) ~(next_sid : int) =
     store_local env v inc;
     B.br b header.Ir.bid;
     let exit = B.start_block b ~sid:next_sid in
-    let blk = List.find (fun blk -> blk.Ir.bid = header_end) b.B.blocks in
-    (match List.rev blk.Ir.instrs with
-    | last :: _ when Ir.is_terminator last -> ()
-    | _ ->
-      blk.Ir.instrs <-
-        blk.Ir.instrs
-        @ [ { Ir.res = None;
-              op = Ir.Cond_br (body_b.Ir.bid, exit.Ir.bid);
-              args = [ Ir.Reg cond ];
-              ty = Ir.I1;
-              annot = Ir.Control } ])
+    let blk = B.block b header_end in
+    if not (B.block_terminated blk) then
+      B.append_terminator blk
+        { Ir.res = None;
+          op = Ir.Cond_br (body_b.Ir.bid, exit.Ir.bid);
+          args = [ Ir.Reg cond ];
+          ty = Ir.I1;
+          annot = Ir.Control }
   | Ast.Api_stmt (name, args) ->
     let arg_rs = List.map (fun a -> Ir.Reg (lower_expr env a)) args in
     B.emit_void b ~op:(Ir.Call name) ~args:arg_rs ~ty:Ir.I32 ~annot:(Ir.Api name)
@@ -435,15 +446,12 @@ and lower_stmt env (s : Ast.stmt) ~(next_sid : int) =
 (** If the previous block does not yet branch anywhere, fall through into
     [target].  Used when opening loop headers. *)
 and patch_prev_br env target =
-  match env.b.B.blocks with
-  | _current :: prev :: _ ->
-    (match List.rev prev.Ir.instrs with
-    | last :: _ when Ir.is_terminator last -> ()
-    | _ ->
-      prev.Ir.instrs <-
-        prev.Ir.instrs
-        @ [ { Ir.res = None; op = Ir.Br target; args = []; ty = Ir.I32; annot = Ir.Control } ])
-  | [ _ ] | [] -> ()
+  match B.prev_block env.b with
+  | Some prev ->
+    if not (B.block_terminated prev) then
+      B.append_terminator prev
+        { Ir.res = None; op = Ir.Br target; args = []; ty = Ir.I32; annot = Ir.Control }
+  | None -> ()
 
 (** Lower a full element into one IR function (handler with subroutines
     inlined). *)
@@ -463,3 +471,12 @@ let api_set (f : Ir.func) =
       | _ -> acc)
     [] f
   |> List.sort_uniq compare
+
+end
+
+include Make (Builder)
+
+(** Lowering through the retained pre-optimization builder: the same
+    translation, paying the quadratic block appends the flat builder
+    removed.  Produces bit-identical IR. *)
+module Reference = Make (Builder_reference)

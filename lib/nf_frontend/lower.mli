@@ -13,3 +13,11 @@ val lower_element : Nf_lang.Ast.element -> Nf_ir.Ir.func
 (** The set of framework API calls appearing in a lowered function —
     the paper's GETAPI step feeding reverse porting. *)
 val api_set : Nf_ir.Ir.func -> string list
+
+(** The same translation driven through the retained pre-optimization
+    builder ({!Nf_ir.Builder_reference}): bit-identical IR, quadratic
+    block appends.  The baseline `bench/main.exe parallel` times
+    {!lower_element} against. *)
+module Reference : sig
+  val lower_element : Nf_lang.Ast.element -> Nf_ir.Ir.func
+end

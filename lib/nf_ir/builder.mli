@@ -1,14 +1,14 @@
 (** Imperative IR construction helper used by the frontend: maintains a
     current block, fresh register numbering, and block creation with
-    source-statement attribution. *)
+    source-statement attribution.
 
-type t = {
-  fname : string;
-  mutable blocks : Ir.block list;  (** reverse creation order *)
-  mutable current : Ir.block;
-  mutable next_reg : int;
-  mutable next_bid : int;
-}
+    Blocks under construction store instructions in reverse execution
+    order ([emit] is a constant-time prepend); [finish] restores execution
+    order.  The type is abstract so mid-build access goes through
+    {!block} / {!block_terminated} / {!append_terminator}, which respect
+    that invariant. *)
+
+type t
 
 (** Fresh builder; the entry block carries [src_sid = 0] (once per
     packet). *)
@@ -38,6 +38,21 @@ val start_block : t -> sid:int -> Ir.block
 
 val current_bid : t -> int
 
+(** The under-construction block with id [bid]; raises [Not_found] if no
+    such block was started. *)
+val block : t -> int -> Ir.block
+
+(** The block created just before the current one (used to patch
+    fall-through edges when opening loop headers). *)
+val prev_block : t -> Ir.block option
+
+(** Does an under-construction block already end in a terminator? *)
+val block_terminated : Ir.block -> bool
+
+(** Append an instruction (typically a terminator) to an
+    under-construction block in execution order. *)
+val append_terminator : Ir.block -> Ir.instr -> unit
+
 (** Does the current block already end in a terminator? *)
 val terminated : t -> bool
 
@@ -50,5 +65,5 @@ val cond_br : t -> Ir.operand -> then_:int -> else_:int -> unit
 val ret : t -> unit
 
 (** Seal the function: order blocks by id, terminate stragglers with
-    [Ret], and populate successor lists. *)
+    [Ret], restore execution order, and populate successor lists. *)
 val finish : t -> Ir.func

@@ -1,0 +1,88 @@
+(** The retained pre-optimization IR builder: blocks store instructions in
+    execution order, so [emit] is a quadratic list append, the terminator
+    checks pay a full [List.rev], and [block] scans the block list.
+
+    Kept verbatim (like {!Mlkit.Naive} and [Nfcc.compile_reference]) as
+    the representation {!Lower.Reference} lowers through — the baseline
+    `bench/main.exe parallel` times the flat builder against.  Produces
+    IR bit-identical to {!Builder}. *)
+
+type t = {
+  fname : string;
+  mutable blocks : Ir.block list;  (** reverse creation order *)
+  mutable current : Ir.block;
+  mutable next_reg : int;
+  mutable next_bid : int;
+}
+
+let create fname =
+  let entry = { Ir.bid = 0; src_sid = 0; instrs = []; succs = [] } in
+  { fname; blocks = [ entry ]; current = entry; next_reg = 1; next_bid = 1 }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let emit t ?res ~op ~args ~ty ~annot () =
+  let instr = { Ir.res; op; args; ty; annot } in
+  t.current.instrs <- t.current.instrs @ [ instr ];
+  res
+
+let emit_value t ~op ~args ~ty ~annot =
+  let r = fresh_reg t in
+  ignore (emit t ~res:r ~op ~args ~ty ~annot ());
+  r
+
+let emit_void t ~op ~args ~ty ~annot = ignore (emit t ~op ~args ~ty ~annot ())
+
+let start_block t ~sid =
+  let b = { Ir.bid = t.next_bid; src_sid = sid; instrs = []; succs = [] } in
+  t.next_bid <- t.next_bid + 1;
+  t.blocks <- b :: t.blocks;
+  t.current <- b;
+  b
+
+let current_bid t = t.current.Ir.bid
+
+let block t bid = List.find (fun (b : Ir.block) -> b.Ir.bid = bid) t.blocks
+
+let prev_block t = match t.blocks with _current :: prev :: _ -> Some prev | _ -> None
+
+let block_terminated (b : Ir.block) =
+  match List.rev b.Ir.instrs with i :: _ -> Ir.is_terminator i | [] -> false
+
+let append_terminator (b : Ir.block) instr = b.Ir.instrs <- b.Ir.instrs @ [ instr ]
+
+let terminated t = block_terminated t.current
+
+let br t target =
+  if not (terminated t) then
+    emit_void t ~op:(Ir.Br target) ~args:[] ~ty:Ir.I32 ~annot:Ir.Control
+
+let ret t = if not (terminated t) then emit_void t ~op:Ir.Ret ~args:[] ~ty:Ir.I32 ~annot:Ir.Control
+
+let finish t =
+  ret t;
+  let blocks = List.sort (fun a b -> compare a.Ir.bid b.Ir.bid) (List.rev t.blocks) in
+  let arr = Array.of_list blocks in
+  Array.iter
+    (fun b ->
+      (match List.rev b.Ir.instrs with
+      | i :: _ when Ir.is_terminator i -> ()
+      | _ ->
+        b.Ir.instrs <-
+          b.Ir.instrs
+          @ [ { Ir.res = None; op = Ir.Ret; args = []; ty = Ir.I32; annot = Ir.Control } ]);
+      let succs =
+        List.concat_map
+          (fun i ->
+            match i.Ir.op with
+            | Ir.Br target -> [ target ]
+            | Ir.Cond_br (a, b) -> [ a; b ]
+            | _ -> [])
+          b.Ir.instrs
+      in
+      b.Ir.succs <- List.sort_uniq compare succs)
+    arr;
+  { Ir.fname = t.fname; blocks = arr }

@@ -130,6 +130,11 @@ let set_payload_byte p off v =
   if off >= 0 && off < Bytes.length p.payload then
     Bytes.set p.payload off (Char.chr (v land 0xff))
 
+(** Deep copy with a fresh payload buffer.  Interpreters mutate packets in
+    place, so replaying one generated trace against several NFs needs a
+    fresh copy per run. *)
+let copy p = { p with payload = Bytes.copy p.payload }
+
 (** The canonical 5-tuple identifying the packet's flow. *)
 let flow_key p =
   let l4 =

@@ -54,6 +54,10 @@ val get_payload_byte : t -> int -> int
 
 val set_payload_byte : t -> int -> int -> unit
 
+(** Deep copy with a fresh payload buffer, so one generated trace can be
+    replayed against several (mutating) interpreter runs. *)
+val copy : t -> t
+
 (** The canonical 5-tuple (src ip, dst ip, proto, sport, dport), using the
     UDP ports for UDP packets. *)
 val flow_key : t -> int * int * int * int * int

@@ -74,6 +74,9 @@ let op_str = function
   | Accel_call a -> "accel[" ^ a ^ "]"
   | Nop -> "nop"
 
-let count_compute instrs = List.length (List.filter is_compute instrs)
-let count_mem instrs = List.length (List.filter is_mem instrs)
-let count_local_mem instrs = List.length (List.filter is_local_mem instrs)
+(* counting folds: these run per compiled block in the dataset pipeline,
+   so they avoid materializing the filtered lists *)
+let count p instrs = List.fold_left (fun acc i -> if p i then acc + 1 else acc) 0 instrs
+let count_compute instrs = count is_compute instrs
+let count_mem instrs = count is_mem instrs
+let count_local_mem instrs = count is_local_mem instrs

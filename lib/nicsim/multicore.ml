@@ -131,13 +131,60 @@ let queues_at ?(hw = agilio_hw) (d : Perf.demand) rate q_levels q_accel =
 let solve ?(hw = agilio_hw) nic (d : Perf.demand) ~cores =
   let wire = wire_limit nic ~wire_bytes:d.Perf.wire_bytes in
   let cap = bandwidth_cap ~hw d in
-  let q_levels = Array.make 5 0.0 in
-  let q_accel_init = List.map (fun (e, _) -> (e, 0.0)) d.Perf.accel_ops in
+  (* The bisection below evaluates the queue state ~50 times per call and
+     the sweep calls [solve] once per core count, so the per-level and
+     per-engine constants (bandwidths, unloaded latencies, demand rates)
+     are hoisted into arrays here: same values, same [Mem.all_levels] /
+     [accel_ops] iteration order as the list-walking {!queues_at} /
+     {!service_time} (engine keys are unique — [Perf.demand_of] builds
+     them from a hash table), just no allocation or assoc scans in the
+     inner loop. *)
+  let n_levels = 5 in
+  let lvl_bw =
+    Array.init n_levels (fun i ->
+        level_bandwidth ~hw ~emem_hit:d.Perf.emem_hit (Mem.level_of_index i))
+  in
+  let lvl_l0 =
+    Array.init n_levels (fun i ->
+        level_base_latency ~hw ~emem_hit:d.Perf.emem_hit (Mem.level_of_index i))
+  in
+  let accel_n = Array.of_list (List.map snd d.Perf.accel_ops) in
+  let n_accel = Array.length accel_n in
+  let accel_bw = Array.of_list (List.map (fun (e, _) -> Accel.bandwidth e) d.Perf.accel_ops) in
+  let accel_l0 =
+    Array.of_list
+      (List.map (fun (e, _) -> Accel.latency e ~payload_bytes:d.Perf.payload_bytes) d.Perf.accel_ops)
+  in
+  let q_levels = Array.make n_levels 0.0 in
+  let q_accel = Array.make (max 1 n_accel) 0.0 in
+  let queues_into rate =
+    for i = 0 to n_levels - 1 do
+      let b = lvl_bw.(i) in
+      let rho = min rho_cap (rate *. d.Perf.levels.(i) /. b) in
+      q_levels.(i) <- queue_delay ~bandwidth:b ~rho
+    done;
+    for i = 0 to n_accel - 1 do
+      let b = accel_bw.(i) in
+      let rho = min rho_cap (rate *. accel_n.(i) /. b) in
+      q_accel.(i) <- queue_delay ~bandwidth:b ~rho
+    done
+  in
+  let service () =
+    let mem = ref 0.0 in
+    for i = 0 to n_levels - 1 do
+      mem := !mem +. (d.Perf.levels.(i) *. (lvl_l0.(i) +. q_levels.(i)))
+    done;
+    let accel = ref 0.0 in
+    for i = 0 to n_accel - 1 do
+      accel := !accel +. (accel_n.(i) *. (accel_l0.(i) +. q_accel.(i)))
+    done;
+    d.Perf.compute +. !mem +. !accel
+  in
   (* phase A: throughput.  g(t) = min(cores/s(t), wire, cap) is decreasing
      in t, so the fixed point g(t) = t is unique: bisect. *)
   let g t =
-    let qa = queues_at ~hw d t q_levels q_accel_init in
-    let s = service_time ~hw d q_levels qa in
+    queues_into t;
+    let s = service () in
     min (float_of_int cores /. s) (min wire cap)
   in
   let lo = ref 0.0 and hi = ref (min wire cap) in
@@ -146,14 +193,13 @@ let solve ?(hw = agilio_hw) nic (d : Perf.demand) ~cores =
     if g mid >= mid then lo := mid else hi := mid
   done;
   let throughput = !lo in
-  let q_accel = ref (queues_at ~hw d throughput q_levels q_accel_init) in
-  let s_served = service_time ~hw d q_levels !q_accel in
+  queues_into throughput;
+  let s_served = service () in
   (* phase B: latency under the offered pressure *)
   let offered = float_of_int cores /. s_served in
   let pressure = min offered (1.02 *. min wire cap) in
-  let q2 = Array.make 5 0.0 in
-  let qa2 = queues_at ~hw d pressure q2 !q_accel in
-  let s_offered = service_time ~hw d q2 qa2 in
+  queues_into pressure;
+  let s_offered = service () in
   let t_internal = min (float_of_int cores /. s_offered) cap in
   let latency =
     if wire < t_internal then s_offered

@@ -86,8 +86,10 @@ let alu_fusable (j : Ir.instr) =
 let compile_block ctx (b : Ir.block) : Isa.instr list =
   (* [fused_shifts] and [fused_cmps] hold result regs whose producing
      instruction was folded into a later consumer. *)
+  (* [out] accumulates in reverse emission order (constant-time prepend);
+     it is re-reversed once before burst merging. *)
   let out = ref [] in
-  let emit is = out := !out @ is in
+  let emit is = out := List.rev_append is !out in
   let rec go (instrs : Ir.instr list) =
     match instrs with
     | [] -> ()
@@ -198,7 +200,9 @@ let compile_block ctx (b : Ir.block) : Isa.instr list =
     in
     extra @ [ Isa.mk Isa.Alu ]
   and prev_was_load (_ : Ir.instr) emitted =
-    match List.rev emitted with
+    (* [emitted] is the reverse-order accumulator: its head is the most
+       recently emitted ISA instruction *)
+    match emitted with
     | { Isa.op = Isa.Ld_field } :: _ | { Isa.op = Isa.Mem (Isa.Read, _) } :: _
     | { Isa.op = Isa.Local_mem Isa.Read } :: _ ->
       true
@@ -247,15 +251,178 @@ let compile_block ctx (b : Ir.block) : Isa.instr list =
       let last = match last with Some (d, g, dist) -> Some (d, g, dist + 1) | None -> None in
       x :: merge_bursts last rest
   in
-  merge_bursts None !out
+  merge_bursts None (List.rev !out)
 
 (** Compile a function to NIC assembly. *)
 let compile ?(config = default_config) (f : Ir.func) : compiled =
   let regs = register_allocated f ~budget:config.register_budget in
-  let ctx = { cfg = config; in_regs = (fun s -> List.mem s regs) } in
+  let reg_set = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace reg_set s ()) regs;
+  let ctx = { cfg = config; in_regs = Hashtbl.mem reg_set } in
   let cblocks =
     Array.map
       (fun b -> { bid = b.Ir.bid; src_sid = b.Ir.src_sid; instrs = compile_block ctx b })
+      f.Ir.blocks
+  in
+  { source = f; cblocks }
+
+(* -- retained reference implementation -- *)
+
+(** The pre-optimization [compile_block]: quadratic list-append
+    accumulator, full [List.rev] per peephole lookback and linear
+    [List.mem] register lookups.  Kept verbatim (like {!Mlkit.Naive}) as
+    the baseline `bench/main.exe parallel` times {!compile} against and
+    the oracle `test_parallel` checks bit-equivalence with.  Selection
+    rules are identical to {!compile_block} — only the accumulator
+    representation differs. *)
+let compile_block_reference ctx (b : Ir.block) : Isa.instr list =
+  let out = ref [] in
+  let emit is = out := !out @ is in
+  let rec go (instrs : Ir.instr list) =
+    match instrs with
+    | [] -> ()
+    | i :: rest -> (
+      let next = match rest with n :: _ -> Some n | [] -> None in
+      (match i.Ir.op with
+      | Ir.Shl | Ir.Lshr -> (
+        match (i.Ir.res, next) with
+        | Some r, Some n when alu_fusable n && uses_reg r n ->
+          emit [ Isa.mk Isa.Alu_shf ];
+          go (List.tl rest)
+        | _ ->
+          emit [ Isa.mk Isa.Shf ];
+          go rest)
+      | Ir.Icmp _ -> (
+        match (i.Ir.res, next) with
+        | Some r, Some ({ Ir.op = Ir.Cond_br (_, _); _ } as n) when uses_reg r n ->
+          emit [ Isa.mk Isa.Br_cmp ];
+          go (List.tl rest)
+        | Some r, Some ({ Ir.op = Ir.Zext; _ } as n) when uses_reg r n ->
+          emit [ Isa.mk Isa.Alu ];
+          go (List.tl rest)
+        | _ ->
+          emit [ Isa.mk Isa.Alu ];
+          go rest)
+      | Ir.Add | Ir.Sub | Ir.And | Ir.Xor ->
+        emit (alu_cost i);
+        go rest
+      | Ir.Or -> (
+        match i.Ir.args with
+        | [ Ir.Imm n; Ir.Imm 0 ] ->
+          emit
+            (match imm_magnitude n with
+            | `Small -> [ Isa.mk Isa.Alu ]
+            | `Medium -> [ Isa.mk Isa.Immed ]
+            | `Large -> [ Isa.mk Isa.Immed; Isa.mk Isa.Immed ]);
+          go rest
+        | _ ->
+          emit (alu_cost i);
+          go rest)
+      | Ir.Mul -> (
+        match i.Ir.args with
+        | [ _; Ir.Imm n ] when is_pow2 n ->
+          emit [ Isa.mk Isa.Shf ];
+          go rest
+        | [ _; Ir.Imm n ] when imm_magnitude n <> `Large ->
+          emit [ Isa.mk Isa.Mul_step; Isa.mk Isa.Mul_step; Isa.mk Isa.Alu ];
+          go rest
+        | _ ->
+          emit
+            [ Isa.mk Isa.Mul_step; Isa.mk Isa.Mul_step; Isa.mk Isa.Mul_step;
+              Isa.mk Isa.Mul_step; Isa.mk Isa.Alu ];
+          go rest)
+      | Ir.Zext | Ir.Trunc ->
+        emit (if prev_was_load !out then [] else [ Isa.mk Isa.Ld_field ]);
+        go rest
+      | Ir.Select ->
+        emit [ Isa.mk Isa.Alu; Isa.mk Isa.Alu ];
+        go rest
+      | Ir.Gep -> (
+        match (i.Ir.res, i.Ir.args, next) with
+        | _, [ _; Ir.Imm _ ], _ -> go rest
+        | Some r, _, Some ({ Ir.op = Ir.Load | Ir.Store; _ } as n) when uses_reg r n ->
+          emit [ Isa.mk Isa.Alu ];
+          go rest
+        | _ ->
+          emit [ Isa.mk Isa.Shf; Isa.mk Isa.Alu ];
+          go rest)
+      | Ir.Load ->
+        emit (load_cost i);
+        go rest
+      | Ir.Store ->
+        emit (store_cost i);
+        go rest
+      | Ir.Call api ->
+        emit (call_cost i api);
+        go rest
+      | Ir.Br _ ->
+        emit [ Isa.mk Isa.Br ];
+        go rest
+      | Ir.Cond_br (_, _) ->
+        emit [ Isa.mk Isa.Br_cmp ];
+        go rest
+      | Ir.Ret ->
+        emit [ Isa.mk Isa.Br ];
+        go rest))
+  and alu_cost (i : Ir.instr) =
+    let extra =
+      List.concat_map (function Ir.Imm n -> immed_cost n | _ -> []) i.Ir.args
+    in
+    extra @ [ Isa.mk Isa.Alu ]
+  and prev_was_load emitted =
+    match List.rev emitted with
+    | { Isa.op = Isa.Ld_field } :: _ | { Isa.op = Isa.Mem (Isa.Read, _) } :: _
+    | { Isa.op = Isa.Local_mem Isa.Read } :: _ ->
+      true
+    | _ -> false
+  and load_cost (i : Ir.instr) =
+    match (i.Ir.annot, i.Ir.args) with
+    | Ir.Mem_stateless, [ Ir.Slot s ] ->
+      if ctx.in_regs s then [] else [ Isa.mk (Isa.Local_mem Isa.Read) ]
+    | Ir.Mem_stateful g, _ -> [ Isa.mk (Isa.Mem (Isa.Read, g)) ]
+    | Ir.Mem_packet, [ Ir.Hdr _ ] -> [ Isa.mk Isa.Ld_field ]
+    | Ir.Mem_packet, _ -> [ Isa.mk (Isa.Mem (Isa.Read, "__pkt")) ]
+    | (Ir.Compute | Ir.Api _ | Ir.Control | Ir.Mem_stateless), _ ->
+      [ Isa.mk Isa.Ld_field ]
+  and store_cost (i : Ir.instr) =
+    match (i.Ir.annot, i.Ir.args) with
+    | Ir.Mem_stateless, [ _; Ir.Slot s ] ->
+      if ctx.in_regs s then [] else [ Isa.mk (Isa.Local_mem Isa.Write) ]
+    | Ir.Mem_stateful g, _ -> [ Isa.mk (Isa.Mem (Isa.Write, g)) ]
+    | Ir.Mem_packet, [ _; Ir.Hdr _ ] -> [ Isa.mk Isa.Ld_field ]
+    | Ir.Mem_packet, _ -> [ Isa.mk (Isa.Mem (Isa.Write, "__pkt")) ]
+    | (Ir.Compute | Ir.Api _ | Ir.Control | Ir.Mem_stateless), _ ->
+      [ Isa.mk Isa.Ld_field ]
+  and call_cost (i : Ir.instr) api =
+    if ctx.cfg.accel api then [ Isa.mk (Isa.Accel_call api) ]
+    else
+      let nargs = List.length i.Ir.args in
+      Isa.mk Isa.Csr :: List.init ((nargs + 1) / 2) (fun _ -> Isa.mk Isa.Alu)
+  in
+  go b.Ir.instrs;
+  let merge_window = 2 in
+  let rec merge_bursts last = function
+    | [] -> []
+    | ({ Isa.op = Isa.Mem (d, g) } as x) :: rest -> (
+      match last with
+      | Some (d', g', dist) when d = d' && String.equal g g' && dist <= merge_window ->
+        merge_bursts None rest
+      | Some _ | None -> x :: merge_bursts (Some (d, g, 0)) rest)
+    | x :: rest ->
+      let last = match last with Some (d, g, dist) -> Some (d, g, dist + 1) | None -> None in
+      x :: merge_bursts last rest
+  in
+  merge_bursts None !out
+
+(** Compile with the retained pre-optimization block compiler and linear
+    register lookups.  Output is identical to {!compile}. *)
+let compile_reference ?(config = default_config) (f : Ir.func) : compiled =
+  let regs = register_allocated f ~budget:config.register_budget in
+  let ctx = { cfg = config; in_regs = (fun s -> List.mem s regs) } in
+  let cblocks =
+    Array.map
+      (fun b ->
+        { bid = b.Ir.bid; src_sid = b.Ir.src_sid; instrs = compile_block_reference ctx b })
       f.Ir.blocks
   in
   { source = f; cblocks }

@@ -29,6 +29,11 @@ val register_allocated : Nf_ir.Ir.func -> budget:int -> string list
 (** Compile a function to NIC assembly. *)
 val compile : ?config:config -> Nf_ir.Ir.func -> compiled
 
+(** The retained pre-optimization compiler (quadratic accumulator, linear
+    register lookups): the baseline `bench/main.exe parallel` times
+    {!compile} against.  Output is identical to {!compile}. *)
+val compile_reference : ?config:config -> Nf_ir.Ir.func -> compiled
+
 (** All emitted instructions in block order. *)
 val all_instrs : compiled -> Isa.instr list
 

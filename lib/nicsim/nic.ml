@@ -34,13 +34,20 @@ let state_sizes (elt : Ast.element) =
   List.map (fun d -> (Ast.state_name d, Ast.state_size_bytes d)) elt.Ast.state
 
 (** Lower, compile, profile and assemble the demand of an element under a
-    porting configuration and workload. *)
-let port ?(config = naive_port) (elt : Ast.element) (spec : Workload.spec) : ported =
+    porting configuration and workload.
+
+    [packets] lets a caller that benchmarks many elements under one spec
+    generate the trace once and replay it (pass fresh
+    {!Nf_lang.Packet.copy} copies — the interpreter mutates packets).
+    The list must be the trace [Workload.generate spec] would produce;
+    omitted, it is generated here. *)
+let port ?(config = naive_port) ?packets (elt : Ast.element) (spec : Workload.spec) : ported =
   let ir = Nf_frontend.Lower.lower_element elt in
   let nfcc_config = Accel.accel_config config.accel_apis in
   let compiled = Nfcc.compile ~config:nfcc_config ir in
   let interp = Interp.create ~mode:State.Nic elt in
-  let profile = Interp.run interp (Workload.generate spec) in
+  let packets = match packets with Some ps -> ps | None -> Workload.generate spec in
+  let profile = Interp.run interp packets in
   let placement =
     match config.placement with
     | Some p -> p

@@ -30,8 +30,12 @@ val state_names : Nf_lang.Ast.element -> string list
 val state_sizes : Nf_lang.Ast.element -> (string * int) list
 
 (** Lower, compile, profile and assemble the demand of an element under a
-    porting configuration and workload. *)
-val port : ?config:port_config -> Nf_lang.Ast.element -> Workload.spec -> ported
+    porting configuration and workload.  [packets] replays a pre-generated
+    trace (pass fresh {!Nf_lang.Packet.copy} copies — the interpreter
+    mutates packets); it must equal the trace [Workload.generate spec]
+    would produce. *)
+val port :
+  ?config:port_config -> ?packets:Nf_lang.Packet.t list -> Nf_lang.Ast.element -> Workload.spec -> ported
 
 (** Re-derive the demand under a new placement/packing without re-running
     the compiler or interpreter (neither depends on those knobs);

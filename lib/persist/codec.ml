@@ -63,7 +63,7 @@ let get_vocab r =
 
 (* -- neural parameters: weights only -- *)
 
-let put_param w (p : Mlkit.Nn.param) = Wire.fmat w p.Mlkit.Nn.w
+let put_param w (p : Mlkit.Nn.param) = Wire.fmat w (Mlkit.Nn.weights_of_param p)
 let get_param r = Mlkit.Nn.param_of_weights (Wire.r_fmat r)
 
 let put_lstm w (m : Mlkit.Lstm.t) =

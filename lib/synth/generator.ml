@@ -25,10 +25,24 @@ type env = {
   scalars : string list;
   arrays : (string * int) list;
   maps : string list;  (** maps with a (find, read-field) protocol *)
+  expr_scratch : float array;  (** reusable copy of [stats.expr_leaves] *)
+  stmt_scratch : float array;  (** reusable copy of [stats.stmt_kinds] *)
 }
 
+(* expression and statement weights are tweaked (entries zeroed) before
+   every draw, thousands of times per program; refreshing a per-env
+   scratch array avoids an [Array.copy] allocation at each site.  The
+   draw itself consumes the weights before any recursion, so reuse is
+   safe. *)
+let refresh scratch src =
+  Array.blit src 0 scratch 0 (Array.length src);
+  scratch
+
+(* local names are drawn thousands of times per batch; plain concatenation
+   is several times cheaper than [Printf.sprintf] and yields the same
+   strings *)
 let fresh_local env =
-  let name = Printf.sprintf "v%d" env.n_locals in
+  let name = "v" ^ string_of_int env.n_locals in
   env.n_locals <- env.n_locals + 1;
   env.locals <- name :: env.locals;
   name
@@ -46,7 +60,7 @@ let gen_const env =
 
 let rec gen_expr env depth =
   let leaf () =
-    let weights = Array.copy env.cfg.stats.Ast_stats.expr_leaves in
+    let weights = refresh env.expr_scratch env.cfg.stats.Ast_stats.expr_leaves in
     (* disable unavailable leaves *)
     if env.locals = [] then weights.(1) <- 0.0;
     if env.scalars = [] then weights.(2) <- 0.0;
@@ -75,7 +89,7 @@ let gen_cond env =
 
 let rec gen_stmt env depth : Ast.stmt list =
   let stats = env.cfg.stats in
-  let weights = Array.copy stats.Ast_stats.stmt_kinds in
+  let weights = refresh env.stmt_scratch stats.Ast_stats.stmt_kinds in
   (* kinds: let set_hdr set_global arr map if for api payload verdict *)
   if env.scalars = [] then weights.(2) <- 0.0;
   if env.arrays = [] then weights.(3) <- 0.0;
@@ -154,8 +168,8 @@ let generate ?(config : config option) ~(stats : Ast_stats.t) ~seed name =
     else 0
   in
   let with_map = stateful && Util.Rng.bernoulli rng stats.Ast_stats.map_fraction in
-  let scalars = List.init n_scalars (fun i -> Printf.sprintf "g%d" i) in
-  let arrays = List.init n_arrays (fun i -> (Printf.sprintf "tbl%d" i, 256 lsl Util.Rng.int rng 3)) in
+  let scalars = List.init n_scalars (fun i -> "g" ^ string_of_int i) in
+  let arrays = List.init n_arrays (fun i -> ("tbl" ^ string_of_int i, 256 lsl Util.Rng.int rng 3)) in
   let maps = if with_map then [ "state_map" ] else [] in
   let state =
     List.map (fun s -> Build.scalar s) scalars
@@ -165,7 +179,19 @@ let generate ?(config : config option) ~(stats : Ast_stats.t) ~seed name =
              ~capacity:(1024 lsl Util.Rng.int rng 3) ]
        else [])
   in
-  let env = { rng; cfg; locals = []; n_locals = 0; scalars; arrays; maps } in
+  let env =
+    {
+      rng;
+      cfg;
+      locals = [];
+      n_locals = 0;
+      scalars;
+      arrays;
+      maps;
+      expr_scratch = Array.make (Array.length stats.Ast_stats.expr_leaves) 0.0;
+      stmt_scratch = Array.make (Array.length stats.Ast_stats.stmt_kinds) 0.0;
+    }
+  in
   let len =
     max 3 (int_of_float stats.Ast_stats.mean_handler_len / 2 + Util.Rng.int rng (max 1 (int_of_float stats.Ast_stats.mean_handler_len)))
   in
@@ -176,17 +202,25 @@ let generate ?(config : config option) ~(stats : Ast_stats.t) ~seed name =
   in
   Build.element name ~state (body @ verdict)
 
+(** The default guidance profile.  [Corpus.table2 ()] rebuilds all 17
+    corpus elements and [Ast_stats.of_corpus] walks every handler, so the
+    result — a pure function of the static corpus — is computed once and
+    shared across batches. *)
+let corpus_stats = lazy (Ast_stats.of_corpus (Corpus.table2 ()))
+
 (** Generate a batch of [n] elements with distinct seeds.  Each element is
     deterministic in its own derived seed, so the batch fans out on the
     domain pool without changing a single generated program. *)
 let batch ?(stats : Ast_stats.t option) ?(seed = 1000) n =
-  let stats = match stats with Some s -> s | None -> Ast_stats.of_corpus (Corpus.table2 ()) in
+  let stats = match stats with Some s -> s | None -> Lazy.force corpus_stats in
+  (* ~30 us per program: small batches stay serial under cost-aware
+     chunking *)
   Array.to_list
-    (Util.Pool.parallel_init n (fun k ->
+    (Util.Pool.parallel_init ~cost:30.0 n (fun k ->
          generate ~stats ~seed:(seed + (k * 7919)) (Printf.sprintf "syn_%d" k)))
 
 (** Baseline batch: ignores the corpus distribution (uniform weights). *)
 let baseline_batch ?(seed = 2000) n =
   Array.to_list
-    (Util.Pool.parallel_init n (fun k ->
+    (Util.Pool.parallel_init ~cost:30.0 n (fun k ->
          generate ~stats:Ast_stats.uniform ~seed:(seed + (k * 7919)) (Printf.sprintf "base_%d" k)))

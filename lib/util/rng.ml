@@ -31,6 +31,26 @@ let int t bound =
   let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   v mod bound
 
+(** Fill [dst.(pos .. pos+len-1)] with the exact byte sequence that [len]
+    successive [int t 256] calls would produce (one state advance per
+    byte).  The mix runs on a local state cell so the hot loop touches the
+    record field once at entry and once at exit; for the non-negative
+    62-bit [v] the [mod 256] of {!int} is [land 255]. *)
+let fill_bytes t dst pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then
+    invalid_arg "Rng.fill_bytes: range out of bounds";
+  let s = ref t.state in
+  for i = pos to pos + len - 1 do
+    let st = Int64.add !s golden_gamma in
+    s := st;
+    let z = Int64.mul (Int64.logxor st (Int64.shift_right_logical st 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let v = Int64.to_int (Int64.shift_right_logical z 2) in
+    Bytes.unsafe_set dst i (Char.unsafe_chr (v land 255))
+  done;
+  t.state <- !s
+
 (** Uniform float in [\[0, 1)]. *)
 let float t =
   let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
@@ -69,6 +89,38 @@ let weighted_index t weights =
       if target < acc then i else scan (i + 1) acc
   in
   scan 0 0.0
+
+(** Precomputed cumulative-weight table for repeated weighted draws.
+    [cum.(i)] is built by the same left-to-right [acc +. w] accumulation
+    as the linear scan in {!weighted_index}, and the lookup uses the same
+    [target < cum] predicate, so a draw through the table consumes one
+    state advance and returns the exact index the scan would — it is a
+    drop-in O(log n) replacement, bit-for-bit. *)
+type cdf = { cum : float array }
+
+let cdf_of_weights weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Rng.cdf_of_weights: empty weights";
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. weights.(i);
+    cum.(i) <- !acc
+  done;
+  if cum.(n - 1) <= 0.0 then invalid_arg "Rng.weighted_index: no positive weight";
+  { cum }
+
+let weighted_index_cdf t { cum } =
+  let n = Array.length cum in
+  let target = float t *. cum.(n - 1) in
+  (* first index in [0, n-2] with target < cum.(i); default n-1 — the same
+     answer as the linear scan, found by bisection *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if target < cum.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
 
 (** Pick an element from weighted (weight, value) choices. *)
 let weighted_choose t choices =

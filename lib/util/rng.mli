@@ -16,6 +16,12 @@ val split : t -> t
     @raise Invalid_argument unless bound > 0. *)
 val int : t -> int -> int
 
+(** Fill [dst.(pos .. pos+len-1)] with the exact bytes [len] successive
+    [int t 256] calls would yield, advancing the state identically, but
+    without a per-byte boxed-int64 round trip through the record.
+    @raise Invalid_argument when the range is out of bounds. *)
+val fill_bytes : t -> Bytes.t -> int -> int -> unit
+
 (** Uniform float in [0, 1). *)
 val float : t -> float
 
@@ -35,6 +41,18 @@ val choose : t -> 'a list -> 'a
 (** Index sampled proportionally to non-negative [weights].
     @raise Invalid_argument when no weight is positive. *)
 val weighted_index : t -> float array -> int
+
+(** Precomputed cumulative table for repeated weighted draws.  Sampling
+    through it advances the generator once and returns exactly the index
+    {!weighted_index} would for the same weights and state (same
+    accumulation order, same comparison), in O(log n) instead of O(n). *)
+type cdf
+
+(** @raise Invalid_argument when [weights] is empty or no weight is
+    positive. *)
+val cdf_of_weights : float array -> cdf
+
+val weighted_index_cdf : t -> cdf -> int
 
 (** Value sampled from weighted (weight, value) choices. *)
 val weighted_choose : t -> (float * 'a) list -> 'a

@@ -52,7 +52,25 @@ type flow = {
   mutable next_seq : int;
 }
 
-let zipf_weights n s = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s))
+(* Zipf weight vectors are O(n_flows) to build and requested repeatedly
+   with the same (n, s) — by generation and by the NIC memory model's
+   locality figure — so they are memoized.  Memoized arrays are shared
+   read-only. *)
+let zipf_memo : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_lock = Mutex.create ()
+
+let zipf_weights n s =
+  Mutex.lock zipf_lock;
+  let w =
+    match Hashtbl.find_opt zipf_memo (n, s) with
+    | Some w -> w
+    | None ->
+      let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+      Hashtbl.add zipf_memo (n, s) w;
+      w
+  in
+  Mutex.unlock zipf_lock;
+  w
 
 (** Generate the packet sequence for a spec.  Deterministic in [spec.seed].
     The first packet of each flow carries TCP SYN, later ones ACK, matching
@@ -63,8 +81,90 @@ let zipf_weights n s = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)
     state (flow choice, ip_id, per-flow sequence numbers, SYN detection)
     and forks one child rng per packet; packet construction and payload
     fill then fan out in parallel, each packet reading only its own rng.
-    The packet list is a pure function of [spec] for any [CLARA_JOBS]. *)
-let generate (spec : spec) : Nf_lang.Packet.t list =
+    The packet list is a pure function of [spec] for any [CLARA_JOBS].
+
+    [sampler] picks the flow-draw implementation: [`Cdf] (the default)
+    binary-searches a prefix-sum table, [`Scan] is the retained O(n_flows)
+    linear scan.  The two share the same partial sums, comparison
+    predicate and single rng draw per packet, so they select identical
+    flows — the choice is pure speed (a 256k-flow spec costs 18 table
+    probes instead of a 256k-element scan per packet). *)
+let generate_with ~sampler (spec : spec) : Nf_lang.Packet.t list =
+  let rng = Util.Rng.create spec.seed in
+  let mk_flow i =
+    let proto =
+      match spec.proto with
+      | Tcp -> Nf_lang.Packet.tcp_proto
+      | Udp -> Nf_lang.Packet.udp_proto
+      | Mixed ->
+        if Util.Rng.bool rng then Nf_lang.Packet.tcp_proto else Nf_lang.Packet.udp_proto
+    in
+    {
+      src_ip = 0x0a000000 lor Util.Rng.int rng 0xffff lor ((i land 0xff) lsl 16);
+      dst_ip = 0xc0a80000 lor Util.Rng.int rng 0xffff;
+      f_proto = proto;
+      sport = 1024 + Util.Rng.int rng 60000;
+      dport = (match Util.Rng.int rng 4 with 0 -> 80 | 1 -> 443 | 2 -> 53 | _ -> 8080);
+      next_seq = Util.Rng.int rng 1_000_000;
+    }
+  in
+  let flows = Array.init (max 1 spec.n_flows) mk_flow in
+  let weights =
+    match spec.flow_dist with
+    | Uniform -> Array.make (Array.length flows) 1.0
+    | Zipf s -> zipf_weights (Array.length flows) s
+  in
+  let draw_flow =
+    match sampler with
+    | `Scan -> fun rng -> Util.Rng.weighted_index rng weights
+    | `Cdf ->
+      let cdf = Util.Rng.cdf_of_weights weights in
+      fun rng -> Util.Rng.weighted_index_cdf rng cdf
+  in
+  let seen = Hashtbl.create (Array.length flows) in
+  let plans = Array.make (max 0 spec.n_packets) None in
+  for k = 0 to spec.n_packets - 1 do
+    let fi = draw_flow rng in
+    let flow = flows.(fi) in
+    let first = not (Hashtbl.mem seen fi) in
+    if first then Hashtbl.replace seen fi ();
+    let ip_id = Util.Rng.int rng 0x10000 in
+    let seq = flow.next_seq in
+    flow.next_seq <- (flow.next_seq + spec.payload_len) land 0xffffffff;
+    plans.(k) <- Some (flow, first, ip_id, seq, Util.Rng.split rng)
+  done;
+  Array.to_list
+    (Util.Pool.parallel_map ~cost:0.5
+       (fun plan ->
+         let flow, first, ip_id, seq, prng =
+           match plan with Some p -> p | None -> assert false
+         in
+         let p = Nf_lang.Packet.create ~payload_len:spec.payload_len () in
+         p.Nf_lang.Packet.ip_src <- flow.src_ip;
+         p.Nf_lang.Packet.ip_dst <- flow.dst_ip;
+         p.Nf_lang.Packet.ip_proto <- flow.f_proto;
+         p.Nf_lang.Packet.ip_id <- ip_id;
+         p.Nf_lang.Packet.tcp_sport <- flow.sport;
+         p.Nf_lang.Packet.tcp_dport <- flow.dport;
+         p.Nf_lang.Packet.udp_sport <- flow.sport;
+         p.Nf_lang.Packet.udp_dport <- flow.dport;
+         p.Nf_lang.Packet.tcp_seq <- seq;
+         p.Nf_lang.Packet.tcp_flags <- (if first then 0x02 (* SYN *) else 0x10 (* ACK *));
+         (* bulk payload fill: same byte stream as per-byte [Rng.int prng
+            256] calls, minus their boxing *)
+         Util.Rng.fill_bytes prng p.Nf_lang.Packet.payload 0 spec.payload_len;
+         p)
+       plans)
+
+let generate spec = generate_with ~sampler:`Cdf spec
+
+(** The retained pre-optimization generator, pinned verbatim from the seed
+    revision (like {!Mlkit.Naive}): O(n_flows) linear-scan flow draws,
+    per-byte payload fill, uncached Zipf weights.  It produces the
+    identical packet list for every spec (the equivalence suite asserts
+    it) and is what `bench/main.exe parallel` times {!generate} against. *)
+let generate_reference (spec : spec) : Nf_lang.Packet.t list =
+  let zipf_weights n s = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
   let rng = Util.Rng.create spec.seed in
   let mk_flow i =
     let proto =

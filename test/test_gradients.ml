@@ -23,19 +23,19 @@ let lstm_loss (m : Lstm.t) seq target =
 let check_param_gradients name (params : Nn.param list) analytic_of numeric_of =
   List.iteri
     (fun pi (p : Nn.param) ->
-      let rows = Array.length p.Nn.w in
-      let cols = Array.length p.Nn.w.(0) in
+      let rows = Nn.rows p in
+      let cols = Nn.cols p in
       (* probe a deterministic subset of coordinates *)
       for k = 0 to min 3 ((rows * cols) - 1) do
         let i = k mod rows and j = (k * 7) mod cols in
         let analytic = analytic_of p in
-        let a = analytic.(i).(j) in
-        let saved = p.Nn.w.(i).(j) in
-        p.Nn.w.(i).(j) <- saved +. epsilon;
+        let a = La.Flat.get analytic i j in
+        let saved = La.Flat.get p.Nn.w i j in
+        La.Flat.set p.Nn.w i j (saved +. epsilon);
         let up = numeric_of () in
-        p.Nn.w.(i).(j) <- saved -. epsilon;
+        La.Flat.set p.Nn.w i j (saved -. epsilon);
         let down = numeric_of () in
-        p.Nn.w.(i).(j) <- saved;
+        La.Flat.set p.Nn.w i j saved;
         let numeric = (up -. down) /. (2.0 *. epsilon) in
         Alcotest.(check bool)
           (Printf.sprintf "%s param %d coord (%d,%d): %.6f vs %.6f" name pi i j a numeric)
@@ -64,9 +64,7 @@ let test_lstm_gradients_nonzero () =
   let total =
     List.fold_left
       (fun acc (p : Nn.param) ->
-        Array.fold_left
-          (fun acc row -> Array.fold_left (fun acc g -> acc +. abs_float g) acc row)
-          acc p.Nn.g)
+        Array.fold_left (fun acc g -> acc +. abs_float g) acc p.Nn.g.La.Flat.a)
       0.0 (Lstm.params m)
   in
   Alcotest.(check bool) "gradient mass flows" true (total > 1e-3)

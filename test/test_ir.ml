@@ -30,10 +30,9 @@ let test_builder_succs () =
   let exit_b = Builder.start_block b ~sid:2 in
   (* terminate entry *)
   let f =
-    let entry_blk = List.nth (List.rev b.Builder.blocks) 0 in
-    entry_blk.Ir.instrs <-
-      entry_blk.Ir.instrs
-      @ [ { Ir.res = None; op = Ir.Cond_br (then_b.Ir.bid, exit_b.Ir.bid); args = [ Ir.Reg cond ]; ty = Ir.I1; annot = Ir.Control } ];
+    let entry_blk = Builder.block b 0 in
+    Builder.append_terminator entry_blk
+      { Ir.res = None; op = Ir.Cond_br (then_b.Ir.bid, exit_b.Ir.bid); args = [ Ir.Reg cond ]; ty = Ir.I1; annot = Ir.Control };
     Builder.finish b
   in
   Alcotest.(check (list int)) "entry successors" [ then_b.Ir.bid; exit_b.Ir.bid ]

@@ -66,10 +66,10 @@ let test_mlp_binary_classifier () =
 
 let test_gradient_clipping () =
   let p = Nn.zero_param 1 2 in
-  p.Nn.g.(0).(0) <- 30.0;
-  p.Nn.g.(0).(1) <- 40.0;
+  La.Flat.set p.Nn.g 0 0 30.0;
+  La.Flat.set p.Nn.g 0 1 40.0;
   Nn.clip_gradients [ p ] 5.0;
-  let norm = sqrt ((p.Nn.g.(0).(0) ** 2.0) +. (p.Nn.g.(0).(1) ** 2.0)) in
+  let norm = sqrt ((La.Flat.get p.Nn.g 0 0 ** 2.0) +. (La.Flat.get p.Nn.g 0 1 ** 2.0)) in
   Alcotest.(check (float 1e-6)) "clipped to limit" 5.0 norm
 
 let test_adam_reduces_loss () =
@@ -78,10 +78,10 @@ let test_adam_reduces_loss () =
   let opt = Nn.adam ~lr:0.1 () in
   for _ = 1 to 200 do
     Nn.zero_grad p;
-    p.Nn.g.(0).(0) <- 2.0 *. (p.Nn.w.(0).(0) -. 3.0);
+    La.Flat.set p.Nn.g 0 0 (2.0 *. (La.Flat.get p.Nn.w 0 0 -. 3.0));
     Nn.adam_step opt [ p ]
   done;
-  Alcotest.(check bool) "converged to 3" true (abs_float (p.Nn.w.(0).(0) -. 3.0) < 0.05)
+  Alcotest.(check bool) "converged to 3" true (abs_float (La.Flat.get p.Nn.w 0 0 -. 3.0) < 0.05)
 
 (* -- LSTM -- *)
 

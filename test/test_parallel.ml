@@ -246,6 +246,134 @@ let test_bundle_bytes_equivalent () =
   Alcotest.(check bool) "bundle includes the colocation ranker" true
     (List.mem_assoc "colocation.clara" a)
 
+(* -- optimized kernels vs retained references: the bench gate
+   (`bench/main.exe parallel`) measures speedup against these pinned
+   baselines, so their bit-equivalence is what makes the speedups
+   meaningful.  Each test runs under whatever CLARA_JOBS the dune rule
+   set (1 and 4), so the flat kernels are checked on both schedules. -- *)
+
+let test_flat_gemm_matches_naive () =
+  let rng = Util.Rng.create 19 in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Mlkit.La.randn_mat rng m k and b = Mlkit.La.randn_mat rng k n in
+      let fc = Mlkit.La.Flat.create m n in
+      Mlkit.La.Flat.gemm ~a:(Mlkit.La.Flat.of_rows a) ~b:(Mlkit.La.Flat.of_rows b) fc;
+      let expected = Mlkit.Naive.matmul a b in
+      Array.iteri
+        (fun i row -> check_float_array (Printf.sprintf "row %d of %dx%dx%d" i m k n) row (Mlkit.La.Flat.to_rows fc).(i))
+        expected)
+    (* odd sizes exercise the tile and unroll remainders *)
+    [ (1, 1, 1); (3, 5, 2); (17, 23, 9); (48, 48, 48); (50, 49, 51) ];
+  Alcotest.check_raises "dimension mismatch rejected"
+    (Invalid_argument "La.Flat.gemm: dimension mismatch") (fun () ->
+      Mlkit.La.Flat.gemm
+        ~a:(Mlkit.La.Flat.create 2 3)
+        ~b:(Mlkit.La.Flat.create 4 2)
+        (Mlkit.La.Flat.create 2 2))
+
+let test_flat_lstm_matches_naive () =
+  let rng = Util.Rng.create 23 in
+  let data =
+    Array.init 24 (fun _ ->
+        ( Array.init (3 + Util.Rng.int rng 9) (fun _ -> Util.Rng.int rng 20),
+          [| Util.Rng.float rng *. 30.0 |] ))
+  in
+  let probe = Array.init 8 (fun i -> [| i; (i + 7) mod 20; (3 * i) mod 20 |]) in
+  let fast =
+    let m = Mlkit.Lstm.create ~vocab:20 9 in
+    Mlkit.Lstm.fit ~epochs:2 ~batch:4 m data;
+    Array.map (Mlkit.Lstm.predict m) probe
+  in
+  let naive =
+    let m = Mlkit.Naive.lstm_create ~vocab:20 9 in
+    Mlkit.Naive.lstm_fit ~epochs:2 ~batch:4 m data;
+    Array.map (Mlkit.Naive.lstm_predict m) probe
+  in
+  Array.iteri
+    (fun i out -> check_float_array (Printf.sprintf "probe %d predictions" i) naive.(i) out)
+    fast
+
+let test_flat_gbdt_matches_naive () =
+  let xs = Array.init 180 (fun i -> Array.init 7 (fun d -> float_of_int ((i * (d + 5)) mod 19))) in
+  let ys = Array.map (fun x -> x.(0) +. (x.(2) *. x.(5)) -. (2.0 *. x.(6))) xs in
+  let fast = Mlkit.Tree.gbdt_fit ~n_stages:18 xs ys in
+  let naive = Mlkit.Naive.gbdt_fit ~n_stages:18 xs ys in
+  check_float_array "gbdt predictions match the re-sorting reference"
+    (Array.map (Mlkit.Tree.gbdt_predict naive) xs)
+    (Array.map (Mlkit.Tree.gbdt_predict fast) xs)
+
+let test_synthesize_matches_reference () =
+  let a = Clara.Predictor.synthesize_dataset ~n:6 () in
+  let b = Clara.Predictor.synthesize_dataset_reference ~n:6 () in
+  Alcotest.(check int) "vocab size" (Clara.Vocab.size b.Clara.Predictor.vocab)
+    (Clara.Vocab.size a.Clara.Predictor.vocab);
+  Alcotest.(check bool) "examples structurally identical" true
+    (a.Clara.Predictor.examples = b.Clara.Predictor.examples);
+  Alcotest.(check bool) "dataset non-empty" true (Array.length a.Clara.Predictor.examples > 0)
+
+let test_workload_matches_reference () =
+  List.iter
+    (fun spec ->
+      let fingerprint (p : Nf_lang.Packet.t) =
+        ( Nf_lang.Packet.flow_key p, p.Nf_lang.Packet.ip_id, p.Nf_lang.Packet.tcp_seq,
+          p.Nf_lang.Packet.tcp_flags, Bytes.to_string p.Nf_lang.Packet.payload )
+      in
+      let a = List.map fingerprint (Workload.generate spec) in
+      let b = List.map fingerprint (Workload.generate_reference spec) in
+      Alcotest.(check bool) (spec.Workload.name ^ " identical to reference") true (a = b))
+    [ { Workload.default with Workload.n_packets = 400 };
+      { Workload.large_flows with Workload.n_packets = 400 };
+      { Workload.small_flows with Workload.n_packets = 200 } ]
+
+let test_scaleout_matches_reference () =
+  let specs = [ { Workload.large_flows with Workload.n_packets = 50 } ] in
+  let a = Clara.Scaleout.training_samples ~n_programs:3 ~specs () in
+  let b = Clara.Scaleout.training_samples_reference ~n_programs:3 ~specs () in
+  Alcotest.(check bool) "samples identical to reference" true (a = b);
+  Alcotest.(check bool) "samples non-empty" true (a <> [])
+
+(* -- cost-aware chunking: the serial-fallback policy itself -- *)
+
+let test_cost_cutoff_policy () =
+  (* no cost hint: never forced serial *)
+  Alcotest.(check bool) "no hint" false (Util.Pool.too_small_for_parallelism 1_000_000);
+  (* 100 items at 0.5 us = 50 us of work: serial *)
+  Alcotest.(check bool) "tiny region serial" true
+    (Util.Pool.too_small_for_parallelism ~cost:0.5 100);
+  (* 1 ms of estimated work is the (exclusive) boundary *)
+  Alcotest.(check bool) "at cutoff goes parallel" false
+    (Util.Pool.too_small_for_parallelism ~cost:10.0 100);
+  Alcotest.(check bool) "just below cutoff stays serial" true
+    (Util.Pool.too_small_for_parallelism ~cost:9.99 100);
+  (* big regions with per-item hints parallelize *)
+  Alcotest.(check bool) "big region parallel" false
+    (Util.Pool.too_small_for_parallelism ~cost:0.5 100_000)
+
+let test_cost_hint_preserves_results () =
+  (* the hint is a scheduling decision only: same results with and
+     without it, serial or parallel, including through parallel_map_list *)
+  let input = Array.init 2048 (fun i -> i) in
+  let expected = Array.map (fun x -> (7 * x) mod 1001) input in
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "cheap hint jobs=%d" jobs)
+            expected
+            (Util.Pool.parallel_map ~cost:0.01 (fun x -> (7 * x) mod 1001) input);
+          Alcotest.(check (array int))
+            (Printf.sprintf "expensive hint jobs=%d" jobs)
+            expected
+            (Util.Pool.parallel_map ~cost:500.0 (fun x -> (7 * x) mod 1001) input);
+          Alcotest.(check (list int))
+            (Printf.sprintf "list map hint jobs=%d" jobs)
+            (Array.to_list expected)
+            (Util.Pool.parallel_map_list ~cost:0.01
+               (fun x -> (7 * x) mod 1001)
+               (Array.to_list input))))
+    [ 1; 4 ]
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -266,4 +394,14 @@ let () =
           Alcotest.test_case "predictor end-to-end" `Slow test_predictor_train_equivalent;
           Alcotest.test_case "workload generation" `Quick test_workload_equivalent;
           Alcotest.test_case "scale-out samples" `Slow test_scaleout_samples_equivalent;
-          Alcotest.test_case "persisted bundle bytes" `Slow test_bundle_bytes_equivalent ] ) ]
+          Alcotest.test_case "persisted bundle bytes" `Slow test_bundle_bytes_equivalent ] );
+      ( "reference",
+        [ Alcotest.test_case "flat gemm vs naive" `Quick test_flat_gemm_matches_naive;
+          Alcotest.test_case "flat lstm vs naive" `Quick test_flat_lstm_matches_naive;
+          Alcotest.test_case "flat gbdt vs naive" `Quick test_flat_gbdt_matches_naive;
+          Alcotest.test_case "synthesize vs reference" `Slow test_synthesize_matches_reference;
+          Alcotest.test_case "workload vs reference" `Quick test_workload_matches_reference;
+          Alcotest.test_case "scale-out vs reference" `Slow test_scaleout_matches_reference ] );
+      ( "chunking",
+        [ Alcotest.test_case "cost cutoff policy" `Quick test_cost_cutoff_policy;
+          Alcotest.test_case "cost hint preserves results" `Quick test_cost_hint_preserves_results ] ) ]
