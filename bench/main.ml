@@ -25,7 +25,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | <experiment id>...]";
+    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -667,6 +667,186 @@ let run_robust_report () =
       exit 1
     end
 
+(* -- BENCH_fastpath.json: what the fast-path/slow-path split buys — the
+   in-process latency of a warm fast-path hit (p50/p99 over blocks of
+   calls, gated hard at p50 < 15 µs), and sustained req/s through the
+   event-loop socket server at 1/4/16 concurrent pipelined clients on a
+   warm cache (gated hard at >= 100k req/s for the best concurrency).
+   The replies themselves are cross-checked first: a fast-path reply must
+   equal the slow-path reply for the same request modulo exactly the
+   cached/path fields, so the numbers can never come from a route that
+   answers something different. -- *)
+
+let read_committed_fastpath_rate () =
+  if not (Sys.file_exists "BENCH_fastpath.json") then None
+  else
+    let ic = open_in_bin "BENCH_fastpath.json" in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let flat = String.concat " " (String.split_on_char '\n' raw) in
+    match Serve.Jsonl.of_string flat with
+    | Ok j -> Serve.Jsonl.num_member "warm_reqs_per_s_best" j
+    | Error _ -> None
+
+(* Replace the single occurrence of [sub] in [s] with [by]; None when
+   absent. *)
+let subst_once s sub by =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+  in
+  Option.map (fun i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)) (go 0)
+
+let run_fastpath_report () =
+  let committed = read_committed_fastpath_rate () in
+  let models =
+    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+    let predictor = Clara.Predictor.train ~epochs:1 ds in
+    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+  in
+  (* max_pending must cover a full round of every client's pipelined
+     block (16 clients x depth 200) or the rates would count overload
+     errors instead of served requests *)
+  let server = Serve.Server.create ~cache_capacity:16 ~max_pending:8192 models in
+  let warm_line = {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"b"}|} in
+  let fresh = Serve.Server.handle_request server warm_line in
+  (* correctness cross-check before any timing: byte equality modulo the
+     cached/path markers *)
+  let fast = Serve.Server.handle_request server warm_line in
+  let slow_hit =
+    (* the escaped member pushes the same request down the slow path *)
+    Serve.Server.handle_request server
+      {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"b","x":"a\\b"}|}
+  in
+  let fast_marker = {|"cached":true,"path":"fast"|} in
+  (match subst_once fast fast_marker {|"cached":true,"path":"slow"|} with
+  | Some normalized when normalized = slow_hit -> ()
+  | _ ->
+    Printf.printf "FAIL: fast-path reply is not byte-equal to the slow-path reply\n";
+    Printf.printf "  fast: %s\n  slow: %s\n" fast slow_hit;
+    exit 1);
+  (match subst_once fast fast_marker {|"cached":false,"path":"slow"|} with
+  | Some normalized when normalized = fresh -> ()
+  | _ ->
+    Printf.printf "FAIL: fast-path reply is not byte-equal to the install reply\n";
+    exit 1);
+  (* in-process fast-path latency: blocks of calls bound the 1 µs clock
+     granularity; keep the per-request time of each block *)
+  let block = 64 and n_blocks = 300 in
+  let samples = Array.make n_blocks 0.0 in
+  for b = 0 to n_blocks - 1 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to block do
+      ignore (Serve.Server.handle_request server warm_line)
+    done;
+    samples.(b) <- (Unix.gettimeofday () -. t0) /. float_of_int block *. 1e6
+  done;
+  Array.sort compare samples;
+  let p50_us = percentile samples 50.0 and p99_us = percentile samples 99.0 in
+  (* sustained throughput through the socket server: pipelined blocks on
+     warm cache, counting reply newlines *)
+  let path = Filename.temp_file "clara_bench_fastpath" ".sock" in
+  Sys.remove path;
+  let srv = Domain.spawn (fun () -> Serve.Server.run server ~socket_path:path) in
+  let connect_with_retry () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec go attempts =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when attempts > 0 ->
+        Unix.sleepf 0.02;
+        go (attempts - 1)
+    in
+    go 200
+  in
+  let pipeline_depth = 200 in
+  let request_block =
+    String.concat ""
+      (List.init pipeline_depth (fun i ->
+           Printf.sprintf {|{"id":%d,"cmd":"analyze","nf":"tcpack","workload":"mixed"}|} i ^ "\n"))
+  in
+  let client_loop dur =
+    let fd = connect_with_retry () in
+    let buf = Bytes.create 65536 in
+    let count = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < dur do
+      let len = String.length request_block in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write_substring fd request_block !off (len - !off)
+      done;
+      let replies = ref 0 in
+      while !replies < pipeline_depth do
+        let n = Unix.read fd buf 0 (Bytes.length buf) in
+        if n = 0 then failwith "fastpath bench: server closed mid-block";
+        for i = 0 to n - 1 do
+          if Bytes.get buf i = '\n' then incr replies
+        done
+      done;
+      count := !count + pipeline_depth
+    done;
+    Unix.close fd;
+    !count
+  in
+  let throughput concurrency =
+    let dur = 0.6 in
+    let t0 = Unix.gettimeofday () in
+    let clients = List.init concurrency (fun _ -> Domain.spawn (fun () -> client_loop dur)) in
+    let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 clients in
+    float_of_int total /. (Unix.gettimeofday () -. t0)
+  in
+  let rate_1 = throughput 1 in
+  let rate_4 = throughput 4 in
+  let rate_16 = throughput 16 in
+  (* stop the server through the front door *)
+  let fd = connect_with_retry () in
+  let bye = {|{"cmd":"shutdown"}|} ^ "\n" in
+  ignore (Unix.write_substring fd bye 0 (String.length bye));
+  ignore (Unix.read fd (Bytes.create 256) 0 256);
+  Unix.close fd;
+  Domain.join srv;
+  let best = Float.max rate_1 (Float.max rate_4 rate_16) in
+  let oc = open_out "BENCH_fastpath.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-fastpath-bench/1\",\n\
+    \  \"fast_hit_p50_us\": %.3f,\n\
+    \  \"fast_hit_p99_us\": %.3f,\n\
+    \  \"pipeline_depth\": %d,\n\
+    \  \"warm_reqs_per_s_1c\": %.0f,\n\
+    \  \"warm_reqs_per_s_4c\": %.0f,\n\
+    \  \"warm_reqs_per_s_16c\": %.0f,\n\
+    \  \"warm_reqs_per_s_best\": %.0f\n\
+     }\n"
+    p50_us p99_us pipeline_depth rate_1 rate_4 rate_16 best;
+  close_out oc;
+  Printf.printf "Fast-path report (also written to BENCH_fastpath.json):\n";
+  Printf.printf "  warm fast-path hit (in-process)   p50 %8.3f us   p99 %8.3f us\n" p50_us p99_us;
+  Printf.printf
+    "  sustained warm req/s (pipelined x%d)   1c %9.0f   4c %9.0f   16c %9.0f\n"
+    pipeline_depth rate_1 rate_4 rate_16;
+  let failed = ref false in
+  if p50_us >= 15.0 then begin
+    Printf.printf "FAIL: warm fast-path p50 %.3f us breaches the 15 us gate\n" p50_us;
+    failed := true
+  end;
+  if best < 100_000.0 then begin
+    Printf.printf "FAIL: best sustained rate %.0f req/s under the 100k req/s gate\n" best;
+    failed := true
+  end;
+  (match committed with
+  | None -> Printf.printf "  (no committed BENCH_fastpath.json baseline; drift gate skipped)\n"
+  | Some baseline ->
+    Printf.printf "  best vs committed baseline: %.0f / %.0f req/s\n" best baseline;
+    if best < 0.4 *. baseline then begin
+      Printf.printf "FAIL: best rate fell below 40%% of the committed baseline\n";
+      failed := true
+    end);
+  if !failed then exit 1
+
 (* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
    span recording when tracing, and flush both files when the run ends. *)
 let with_obs_flags args f =
@@ -699,6 +879,7 @@ let () =
   | _ :: [ "serve" ] -> run_serve_report ()
   | _ :: [ "obs" ] -> run_obs_report ()
   | _ :: [ "robust" ] -> run_robust_report ()
+  | _ :: [ "fastpath" ] -> run_fastpath_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

@@ -229,7 +229,7 @@ let analyze_cmd =
 (* -- serve -- *)
 
 let serve_cmd =
-  let run model socket full cache_capacity http_port trace_requests slow_ms deadline_ms
+  let run model socket full cache_capacity shards http_port trace_requests slow_ms deadline_ms
       max_pending max_clients =
     if trace_requests then Obs.Span.set_enabled true;
     let models =
@@ -255,7 +255,7 @@ let serve_cmd =
     in
     let slow_threshold_s = Option.map (fun ms -> ms /. 1000.0) slow_ms in
     let server =
-      Serve.Server.create ~cache_capacity ?slow_threshold_s ?deadline_ms ~max_pending
+      Serve.Server.create ~cache_capacity ~shards ?slow_threshold_s ?deadline_ms ~max_pending
         ~max_clients models
     in
     (* The HTTP exporter runs on its own domain so a scrape never queues
@@ -274,6 +274,7 @@ let serve_cmd =
         ([ ("socket", Obs.Log.Str socket);
            ("jobs", Obs.Log.Int (Util.Pool.size ()));
            ("cache_capacity", Obs.Log.Int cache_capacity);
+           ("cache_shards", Obs.Log.Int shards);
            ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
         @ match http with
           | Some (h, _) -> [ ("http_port", Obs.Log.Int (Serve.Http.port h)) ]
@@ -295,7 +296,13 @@ let serve_cmd =
   in
   let cache_capacity =
     Arg.(value & opt int 64
-         & info [ "cache" ] ~docv:"N" ~doc:"Report-cache capacity (LRU entries; 0 disables caching).")
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Flow-cache capacity (total entries across shards; 0 disables caching).")
+  in
+  let shards =
+    Arg.(value & opt int 8
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Flow-cache shard count (one lock and one serving lane per shard).")
   in
   let http_port =
     Arg.(value & opt (some int) None
@@ -333,7 +340,7 @@ let serve_cmd =
                    are closed.")
   in
   Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
-    Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ http_port
+    Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ shards $ http_port
           $ trace_requests $ slow_ms $ deadline_ms $ max_pending $ max_clients)
 
 (* -- query -- *)
@@ -367,7 +374,15 @@ let query_cmd =
         | Some report -> print_string report
         | None -> print_endline (Serve.Jsonl.to_string j));
         (match Serve.Jsonl.member "cached" j with
-        | Some (Serve.Jsonl.Bool c) -> Printf.printf "\n; served %s\n" (if c then "from cache" else "freshly analyzed")
+        | Some (Serve.Jsonl.Bool c) ->
+          let via =
+            match Serve.Jsonl.str_member "path" j with
+            | Some p -> Printf.sprintf " via the %s path" p
+            | None -> ""
+          in
+          Printf.printf "\n; served %s%s\n"
+            (if c then "from cache" else "freshly analyzed")
+            via
         | _ -> ())
       | _ ->
         let msg =

@@ -55,13 +55,18 @@ let train ?(quick = false) ?(with_scaleout = true) ?(with_colocation = false) ()
   in
   { predictor; algo; scaleout; colocation }
 
-(** Analyze an unported NF under a workload specification and produce the
-    full insight bundle. *)
-let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t =
+(* The analyze body, parameterized over the two learned-inference entry
+   points that have compiled (allocation-free) twins.  Both instantiations
+   run the same float operations in the same order and open the same
+   spans, so insights — and recorded traces — are identical between the
+   direct and compiled paths. *)
+let analyze_with ~(predict_element : Ast.element -> (int * float * float) list)
+    ~(suggest : Nicsim.Perf.demand -> int option) (m : models) (elt : Ast.element)
+    (spec : Workload.spec) : Insights.t =
   Obs.Span.with_ ~cat:"pipeline" "pipeline.analyze" @@ fun () ->
   let prep = Prepare.prepare m.predictor.Predictor.vocab elt in
   (* performance parameters: LSTM for compute, direct count for memory *)
-  let per_block = Predictor.predict_element m.predictor elt in
+  let per_block = predict_element elt in
   let predicted_compute = List.fold_left (fun acc (_, c, _) -> acc +. c) 0.0 per_block in
   let predicted_memory = float_of_int (Prepare.memory_estimate prep) in
   (* porting-strategy insights *)
@@ -71,9 +76,7 @@ let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t
       (Algo_id.detect m.algo elt)
   in
   let ported = Obs.Span.with_ ~cat:"pipeline" "nic.port" (fun () -> Nicsim.Nic.port elt spec) in
-  let suggested_cores =
-    Option.map (fun s -> Scaleout.suggest s ported.Nicsim.Nic.demand) m.scaleout
-  in
+  let suggested_cores = suggest ported.Nicsim.Nic.demand in
   let placement =
     if elt.Ast.state = [] then []
     else Obs.Span.with_ ~cat:"pipeline" "placement.solve" (fun () -> Placement.solve elt ported)
@@ -94,5 +97,43 @@ let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t
     packs;
   }
 
+(** Analyze an unported NF under a workload specification and produce the
+    full insight bundle. *)
+let analyze (m : models) (elt : Ast.element) (spec : Workload.spec) : Insights.t =
+  analyze_with
+    ~predict_element:(fun e -> Predictor.predict_element m.predictor e)
+    ~suggest:(fun d -> Option.map (fun s -> Scaleout.suggest s d) m.scaleout)
+    m elt spec
+
 (** Analyze and render the textual report. *)
 let report m elt spec = Insights.render (analyze m elt spec)
+
+(* -- compiled serving bundle --
+
+   The models plus their allocation-free inference twins: the LSTM
+   predictor with preallocated scratch, the scale-out GBDT flattened to
+   node arrays.  [analyze_compiled] produces insights bit-identical to
+   [analyze] with the same span tree.  Not thread-safe (the predictor
+   scratch is shared): the serving layer keeps one compiled bundle per
+   flow-cache shard, used under that shard's lock. *)
+
+type compiled = {
+  c_models : models;
+  c_predictor : Predictor.compiled;
+  c_scaleout : Scaleout.compiled option;
+}
+
+let compile (m : models) =
+  {
+    c_models = m;
+    c_predictor = Predictor.compile m.predictor;
+    c_scaleout = Option.map Scaleout.compile m.scaleout;
+  }
+
+let analyze_compiled (c : compiled) (elt : Ast.element) (spec : Workload.spec) : Insights.t =
+  analyze_with
+    ~predict_element:(fun e -> Predictor.predict_element_compiled c.c_predictor e)
+    ~suggest:(fun d -> Option.map (fun s -> Scaleout.suggest_compiled s d) c.c_scaleout)
+    c.c_models elt spec
+
+let report_compiled c elt spec = Insights.render (analyze_compiled c elt spec)

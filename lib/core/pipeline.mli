@@ -23,3 +23,15 @@ val analyze : models -> Nf_lang.Ast.element -> Workload.spec -> Insights.t
 
 (** [analyze] rendered as the textual report. *)
 val report : models -> Nf_lang.Ast.element -> Workload.spec -> string
+
+(** The bundle compiled for serving: the LSTM predictor bound to a
+    preallocated scratch and the scale-out GBDT flattened to node arrays,
+    so repeat analyses are allocation-free in the learned-inference
+    stages.  [analyze_compiled] is bit-identical to {!analyze}, with the
+    same span tree.  Not thread-safe — the serving layer keeps one per
+    flow-cache shard under that shard's lock. *)
+type compiled
+
+val compile : models -> compiled
+val analyze_compiled : compiled -> Nf_lang.Ast.element -> Workload.spec -> Insights.t
+val report_compiled : compiled -> Nf_lang.Ast.element -> Workload.spec -> string

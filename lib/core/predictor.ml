@@ -193,6 +193,32 @@ let predict_element t (elt : Ast.element) =
       (b.Prepare.bid, predict_block t b.Prepare.tokens, float_of_int b.Prepare.ir_mem_stateful))
     prep.Prepare.blocks
 
+(* -- compiled inference --
+
+   A compiled predictor shares the trained weights but owns a
+   preallocated {!Mlkit.Lstm.scratch}, so repeated serving queries run
+   the LSTM allocation-free.  Predictions are bit-identical to
+   {!predict_element} and the span shape is unchanged — the trace of a
+   compiled analysis must be indistinguishable from a direct one.  A
+   compiled predictor is not thread-safe (the scratch is shared state):
+   the serving layer keeps one per flow-cache shard, under the shard's
+   lock. *)
+
+type compiled = { c_base : t; c_scratch : Mlkit.Lstm.scratch }
+
+let compile t = { c_base = t; c_scratch = Mlkit.Lstm.scratch t.lstm }
+
+let predict_block_compiled c tokens =
+  max 0.0 (Mlkit.Lstm.predict_into c.c_base.lstm c.c_scratch tokens).(0)
+
+let predict_element_compiled c (elt : Ast.element) =
+  Obs.Span.with_ ~cat:"pipeline" "predict" @@ fun () ->
+  let prep = Prepare.prepare c.c_base.vocab elt in
+  List.map
+    (fun (b : Prepare.block_info) ->
+      (b.Prepare.bid, predict_block_compiled c b.Prepare.tokens, float_of_int b.Prepare.ir_mem_stateful))
+    prep.Prepare.blocks
+
 (** Ground-truth per-block NIC compute counts for accuracy evaluation. *)
 let ground_truth (elt : Ast.element) =
   let ir = Nf_frontend.Lower.lower_element elt in

@@ -45,6 +45,16 @@ val predict_block : t -> int array -> float
     unported element. *)
 val predict_element : t -> Nf_lang.Ast.element -> (int * float * float) list
 
+(** A predictor compiled for serving: shares the trained weights, owns a
+    preallocated LSTM scratch so repeat queries are allocation-free.
+    Predictions and span shape are identical to {!predict_element}.  Not
+    thread-safe — keep one per serving shard under that shard's lock. *)
+type compiled
+
+val compile : t -> compiled
+val predict_block_compiled : compiled -> int array -> float
+val predict_element_compiled : compiled -> Nf_lang.Ast.element -> (int * float * float) list
+
 (** Ground truth [(bid, NIC compute, NIC memory)] from the NIC compiler —
     what the paper obtains by actually porting and compiling with NFCC. *)
 val ground_truth : Nf_lang.Ast.element -> (int * float * float) list

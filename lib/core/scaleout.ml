@@ -128,6 +128,21 @@ let suggest_for ?(nic = Nicsim.Multicore.default_nic) t (elt : Ast.element) spec
   let ported = Nicsim.Nic.port elt spec in
   suggest ~nic t ported.Nicsim.Nic.demand
 
+(* -- compiled inference --
+
+   The GBDT flattened to {!Mlkit.Tree.Flat} node arrays: same suggestions
+   ([Flat.gbdt_eval] is bit-identical to [gbdt_predict]), no boxed-tree
+   pointer chasing on the serving fast path. *)
+
+type compiled = { flat : Mlkit.Tree.Flat.gbdt_flat }
+
+let compile t = { flat = Mlkit.Tree.Flat.of_gbdt t.gbdt }
+
+let suggest_compiled ?(nic = Nicsim.Multicore.default_nic) c (d : Nicsim.Perf.demand) =
+  Obs.Span.with_ ~cat:"pipeline" "scaleout.suggest" @@ fun () ->
+  let raw = Mlkit.Tree.Flat.gbdt_eval c.flat (features d) in
+  max 1 (min nic.Nicsim.Multicore.n_cores (int_of_float (Float.round raw)))
+
 (* -- Figure 11a baselines -- *)
 
 type baseline = B_knn of Mlkit.Simple.knn | B_dnn of Mlkit.Nn.mlp | B_automl of Mlkit.Automl.fitted

@@ -38,6 +38,13 @@ val suggest : ?nic:Nicsim.Multicore.nic -> t -> Nicsim.Perf.demand -> int
 val suggest_for :
   ?nic:Nicsim.Multicore.nic -> t -> Nf_lang.Ast.element -> Workload.spec -> int
 
+(** The cost model flattened to {!Mlkit.Tree.Flat} node arrays for the
+    serving fast path; suggestions are identical to {!suggest}. *)
+type compiled
+
+val compile : t -> compiled
+val suggest_compiled : ?nic:Nicsim.Multicore.nic -> compiled -> Nicsim.Perf.demand -> int
+
 (** Figure 11a baselines trained on the same samples. *)
 type baseline =
   | B_knn of Mlkit.Simple.knn

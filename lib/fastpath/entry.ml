@@ -1,0 +1,69 @@
+(** Pre-rendered flow-entry replies (see entry.mli). *)
+
+(* Same escaping as [Serve.Jsonl.add_escaped]; the byte-equality tests
+   between fast-path and slow-path replies pin the two together. *)
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+type t = {
+  nf : string;
+  workload : string;
+  report : string;
+  mid : string;  (** pre-escaped [,"nf":...,"workload":...] segment *)
+  report_json : string;  (** pre-escaped report, quotes included *)
+}
+
+let make ~nf ~workload ~report =
+  let b = Buffer.create (String.length nf + String.length workload + 32) in
+  Buffer.add_string b ",\"nf\":\"";
+  add_escaped b nf;
+  Buffer.add_string b "\",\"workload\":\"";
+  add_escaped b workload;
+  Buffer.add_char b '"';
+  let mid = Buffer.contents b in
+  let rb = Buffer.create (String.length report + 16) in
+  Buffer.add_char rb '"';
+  add_escaped rb report;
+  Buffer.add_char rb '"';
+  { nf; workload; report; mid; report_json = Buffer.contents rb }
+
+let nf t = t.nf
+let workload t = t.workload
+let report t = t.report
+
+let render_tail b t ~cached ~path =
+  Buffer.add_string b t.mid;
+  Buffer.add_string b (if cached then ",\"cached\":true,\"path\":\"" else ",\"cached\":false,\"path\":\"");
+  Buffer.add_string b path;
+  Buffer.add_string b "\",\"report\":";
+  Buffer.add_string b t.report_json;
+  Buffer.add_char b '}'
+
+let render_into b t ~id_src ~id_off ~id_len ~trace_src ~trace_off ~trace_len ~cached ~path =
+  Buffer.add_string b "{\"id\":";
+  if id_len = 0 then Buffer.add_string b "null"
+  else Buffer.add_substring b id_src id_off id_len;
+  Buffer.add_string b ",\"ok\":true,\"trace_id\":\"";
+  Buffer.add_substring b trace_src trace_off trace_len;
+  Buffer.add_char b '"';
+  render_tail b t ~cached ~path
+
+let render t ~id ~trace ~cached ~path =
+  let b = Buffer.create (String.length t.report_json + String.length t.mid + 96) in
+  Buffer.add_string b "{\"id\":";
+  Buffer.add_string b (if id = "" then "null" else id);
+  Buffer.add_string b ",\"ok\":true,\"trace_id\":\"";
+  add_escaped b trace;
+  Buffer.add_char b '"';
+  render_tail b t ~cached ~path;
+  Buffer.contents b

@@ -1,0 +1,184 @@
+(** Level-triggered event loop (see evloop.mli). *)
+
+(* Per-connection state machine:
+
+     Reading --(EOF with buffered partial line)--> Closing --(write
+     buffer drained)--> Dead
+
+   [Reading] connections contribute complete lines to each round's batch;
+   [Closing] connections only drain their pending replies (the peer
+   half-closed after a final unterminated line); [Dead] is closed and
+   detached.  Writes are coalesced: every reply of a round is appended to
+   the connection's write buffer and drained in as few [write] calls as
+   the kernel allows when the round flushes. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  wbuf : Buffer.t;  (** replies not yet handed to [write] *)
+  mutable wpend : string;  (** in-flight flush remainder *)
+  mutable woff : int;
+  mutable closing : bool;
+  mutable dead : bool;
+}
+
+type callbacks = {
+  on_reject : Unix.file_descr -> unit;
+  on_disconnect : fn:string -> Unix.error -> unit;
+  on_error : ctx:string -> fn:string -> Unix.error -> unit;
+}
+
+type t = {
+  listener : Unix.file_descr;
+  max_clients : int;
+  cb : callbacks;
+  mutable conns : conn list;  (** accept order, newest last *)
+  mutable n_conns : int;
+  mutable accepting : bool;
+  chunk : Bytes.t;
+}
+
+let create ~listener ~max_clients cb =
+  { listener; max_clients; cb; conns = []; n_conns = 0; accepting = true; chunk = Bytes.create 65536 }
+
+let clients t = t.n_conns
+let stop_accepting t = t.accepting <- false
+
+let drop t c =
+  if not c.dead then begin
+    c.dead <- true;
+    t.conns <- List.filter (fun c' -> c' != c) t.conns;
+    t.n_conns <- t.n_conns - 1;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end
+
+let close_all t = List.iter (fun c -> drop t c) t.conns
+
+let send c reply =
+  Buffer.add_string c.wbuf reply;
+  Buffer.add_char c.wbuf '\n'
+
+let pending c = c.woff < String.length c.wpend || Buffer.length c.wbuf > 0
+
+let has_pending t = List.exists pending t.conns
+
+(* Drain the connection's whole write queue in one go: a round's replies
+   are coalesced into as few [write] calls as the kernel allows, and the
+   fds stay blocking so no reply is ever stranded in user space at
+   shutdown (matching the pre-event-loop server, which wrote replies
+   synchronously).  EPIPE/ECONNRESET (and the armed serve.write fault)
+   are the peer's lifecycle: count, log at info via the callback, drop. *)
+let flush_conn t c =
+  if (not c.dead) && pending c then begin
+    try
+      if Obs.Fault.fire "serve.write" then
+        raise (Unix.Unix_error (Unix.EPIPE, "write", "injected fault: serve.write"));
+      let continue = ref true in
+      while !continue do
+        if c.woff >= String.length c.wpend then
+          if Buffer.length c.wbuf > 0 then begin
+            c.wpend <- Buffer.contents c.wbuf;
+            c.woff <- 0;
+            Buffer.clear c.wbuf
+          end
+          else continue := false
+        else
+          match Unix.write_substring c.fd c.wpend c.woff (String.length c.wpend - c.woff) with
+          | n -> c.woff <- c.woff + n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      if c.closing then drop t c
+    with
+    | Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as err), _, _) ->
+      t.cb.on_disconnect ~fn:"write" err;
+      drop t c
+    | Unix.Unix_error (err, _, _) ->
+      t.cb.on_error ~ctx:"serve.write_error" ~fn:"write" err;
+      drop t c
+  end
+
+let flush t = List.iter (fun c -> flush_conn t c) t.conns
+
+(* Split [rbuf] at its last newline: complete lines (blank-filtered) are
+   delivered, the partial tail stays buffered. *)
+let take_lines c =
+  let data = Buffer.contents c.rbuf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some i ->
+    Buffer.clear c.rbuf;
+    Buffer.add_substring c.rbuf data (i + 1) (String.length data - i - 1);
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' (String.sub data 0 i))
+
+let accept_one t =
+  try
+    if Obs.Fault.fire "serve.accept" then
+      raise (Unix.Unix_error (Unix.EMFILE, "accept", "injected fault: serve.accept"));
+    let fd, _ = Unix.accept t.listener in
+    if t.n_conns >= t.max_clients then t.cb.on_reject fd
+    else begin
+      let c =
+        { fd; rbuf = Buffer.create 256; wbuf = Buffer.create 256; wpend = ""; woff = 0;
+          closing = false; dead = false }
+      in
+      t.conns <- t.conns @ [ c ];
+      t.n_conns <- t.n_conns + 1
+    end
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error (err, _, _) -> t.cb.on_error ~ctx:"serve.accept_error" ~fn:"accept" err
+
+let read_conn t c acc =
+  try
+    if Obs.Fault.fire "serve.read" then
+      raise (Unix.Unix_error (Unix.ECONNRESET, "read", "injected fault: serve.read"));
+    let n = Unix.read c.fd t.chunk 0 (Bytes.length t.chunk) in
+    if n = 0 then begin
+      (* EOF: answer a final unterminated line before closing *)
+      let rest = String.trim (Buffer.contents c.rbuf) in
+      Buffer.clear c.rbuf;
+      if rest <> "" then begin
+        c.closing <- true;
+        (c, [ rest ]) :: acc
+      end
+      else begin
+        if pending c then c.closing <- true else drop t c;
+        acc
+      end
+    end
+    else begin
+      Buffer.add_subbytes c.rbuf t.chunk 0 n;
+      match take_lines c with [] -> acc | lines -> (c, lines) :: acc
+    end
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> acc
+  | Unix.Unix_error (((Unix.ECONNRESET | Unix.EPIPE) as err), _, _) ->
+    t.cb.on_disconnect ~fn:"read" err;
+    drop t c;
+    acc
+  | Unix.Unix_error (err, _, _) ->
+    t.cb.on_error ~ctx:"serve.read_error" ~fn:"read" err;
+    drop t c;
+    acc
+
+let poll t ~timeout_s =
+  let rfds =
+    let conn_fds = List.filter_map (fun c -> if c.dead || c.closing then None else Some c.fd) t.conns in
+    if t.accepting then t.listener :: conn_fds else conn_fds
+  in
+  let wfds = List.filter_map (fun c -> if (not c.dead) && pending c then Some c.fd else None) t.conns in
+  match Unix.select rfds wfds [] timeout_s with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Eintr
+  | readable, writable, _ ->
+    List.iter
+      (fun c -> if (not c.dead) && List.memq c.fd writable then flush_conn t c)
+      t.conns;
+    if t.accepting && List.memq t.listener readable then accept_one t;
+    let batches =
+      List.fold_left
+        (fun acc c ->
+          if (not c.dead) && (not c.closing) && List.memq c.fd readable then read_conn t c acc
+          else acc)
+        [] t.conns
+    in
+    `Round (List.rev batches)

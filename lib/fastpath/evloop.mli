@@ -1,0 +1,56 @@
+(** Level-triggered poll loop with per-connection state machines — the
+    serving layer's replacement for its inline select-per-round loop.
+
+    The abstraction is epoll-style even though the backend is
+    [Unix.select] (portable, and the fd counts here are bounded by
+    [max_clients]): each {!poll} is one level-triggered round that
+    flushes writable connections, accepts at most one new client, batches
+    every complete request line that arrived, and returns the batches for
+    the caller to answer via {!send} (coalesced into one write per
+    connection per round).
+
+    Connection lifecycle: [Reading] (contributing lines to rounds) →
+    [Closing] (peer half-closed with a final unterminated line or
+    undrained replies; only flushes) → [Dead] (closed, detached).
+
+    Fault points: [serve.accept], [serve.read] and [serve.write] fire
+    inside the corresponding syscall wrappers, surfacing as the matching
+    [Unix_error]s ([EMFILE]/[ECONNRESET]/[EPIPE]) routed through the
+    callbacks — identical to the pre-event-loop server's behavior.
+    Disconnecting peers (EPIPE/ECONNRESET) go to [on_disconnect]; other
+    I/O errors to [on_error] with a log-context string; a connection
+    beyond [max_clients] is handed to [on_reject] (which owns the fd). *)
+
+type conn
+
+type callbacks = {
+  on_reject : Unix.file_descr -> unit;
+  on_disconnect : fn:string -> Unix.error -> unit;
+  on_error : ctx:string -> fn:string -> Unix.error -> unit;
+}
+
+type t
+
+val create : listener:Unix.file_descr -> max_clients:int -> callbacks -> t
+
+val clients : t -> int
+
+(** Stop accepting (drain phase); existing connections keep being served. *)
+val stop_accepting : t -> unit
+
+(** One round: flush, accept, read.  Returns the complete request lines
+    per connection, in connection-accept order, or [`Eintr] if the wait
+    was interrupted by a signal. *)
+val poll : t -> timeout_s:float -> [ `Eintr | `Round of (conn * string list) list ]
+
+(** Queue one reply line (newline appended) on the connection's write
+    buffer; actually written on the next flush. *)
+val send : conn -> string -> unit
+
+(** Attempt a write on every connection with queued output. *)
+val flush : t -> unit
+
+(** Any connection still holding unwritten replies? *)
+val has_pending : t -> bool
+
+val close_all : t -> unit

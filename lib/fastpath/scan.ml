@@ -1,0 +1,167 @@
+(** Non-allocating request-line scanner (see scan.mli). *)
+
+(* The fast path must never accept a line the full parser would reject,
+   or reject-to-slow-path differently than [Jsonl.of_string] would — the
+   two routes answer byte-identically only if they agree on what a
+   request means.  So the scanner recognizes a *strict subset* of the
+   JSONL grammar: one flat object whose keys and string values contain no
+   escapes and whose numbers use a conservative charwise shape that
+   [float_of_string] always accepts.  Anything else — nested [p4lite]
+   programs, escaped strings, exotic numbers, malformed text — answers
+   [false] / [None] and the caller takes the slow path. *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_digit c = c >= '0' && c <= '9'
+
+let skip_ws s n i =
+  let i = ref i in
+  while !i < n && is_ws s.[!i] do
+    incr i
+  done;
+  !i
+
+(* [i] just after the opening quote of a *simple* string: no backslash,
+   no control chars.  Returns the index of the closing quote, or -1. *)
+let simple_string_end s n i =
+  let i = ref i in
+  let bad = ref false in
+  while (not !bad) && !i < n && s.[!i] <> '"' do
+    if s.[!i] = '\\' || Char.code s.[!i] < 0x20 then bad := true else incr i
+  done;
+  if !bad || !i >= n then -1 else !i
+
+(* strict number: -?digits(.digits)?([eE][+-]?digits)? — a subset of what
+   [float_of_string] accepts.  Returns the index past the number, or -1. *)
+let number_end s n i =
+  let i = ref i in
+  if !i < n && s.[!i] = '-' then incr i;
+  let d0 = !i in
+  while !i < n && is_digit s.[!i] do
+    incr i
+  done;
+  if !i = d0 then -1
+  else begin
+    (if !i < n && s.[!i] = '.' then begin
+       incr i;
+       let d1 = !i in
+       while !i < n && is_digit s.[!i] do
+         incr i
+       done;
+       if !i = d1 then i := -1
+     end);
+    if !i >= 0 && !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+      incr i;
+      if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+      let d2 = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      if !i = d2 then i := -1
+    end;
+    !i
+  end
+
+let literal_end s n i word =
+  let l = String.length word in
+  if i + l <= n && String.sub s i l = word then i + l else -1
+
+(* Span of one simple value starting at [i]; -1 if not simple. *)
+let value_end s n i =
+  if i >= n then -1
+  else
+    match s.[i] with
+    | '"' ->
+      let stop = simple_string_end s n (i + 1) in
+      if stop < 0 then -1 else stop + 1
+    | 't' -> literal_end s n i "true"
+    | 'f' -> literal_end s n i "false"
+    | 'n' -> literal_end s n i "null"
+    | '-' | '0' .. '9' -> number_end s n i
+    | _ -> -1
+
+(* Walk the flat-object grammar; [f key_off key_len val_off val_len] per
+   member.  Returns true iff the whole line matches the subset. *)
+let walk s f =
+  let n = String.length s in
+  let i = skip_ws s n 0 in
+  if i >= n || s.[i] <> '{' then false
+  else begin
+    let i = ref (skip_ws s n (i + 1)) in
+    let ok = ref true in
+    if !i < n && s.[!i] = '}' then incr i
+    else begin
+      let continue = ref true in
+      while !ok && !continue do
+        (* key *)
+        if !i >= n || s.[!i] <> '"' then ok := false
+        else begin
+          let koff = !i + 1 in
+          let kend = simple_string_end s n koff in
+          if kend < 0 then ok := false
+          else begin
+            i := skip_ws s n (kend + 1);
+            if !i >= n || s.[!i] <> ':' then ok := false
+            else begin
+              i := skip_ws s n (!i + 1);
+              let voff = !i in
+              let vend = value_end s n voff in
+              if vend < 0 then ok := false
+              else begin
+                f koff (kend - koff) voff (vend - voff);
+                i := skip_ws s n vend;
+                if !i < n && s.[!i] = ',' then i := skip_ws s n (!i + 1)
+                else if !i < n && s.[!i] = '}' then begin
+                  incr i;
+                  continue := false
+                end
+                else ok := false
+              end
+            end
+          end
+        end
+      done
+    end;
+    !ok && skip_ws s n !i = n
+  end
+
+let simple_object s = walk s (fun _ _ _ _ -> ())
+
+let key_matches s off len key = len = String.length key && String.sub s off len = key
+
+let member s key =
+  let found = ref None in
+  let ok =
+    walk s (fun koff klen voff vlen ->
+        if !found = None && key_matches s koff klen key then found := Some (voff, vlen))
+  in
+  if ok then !found else None
+
+let span_is s (off, len) lit =
+  len = String.length lit && String.sub s off len = lit
+
+let string_contents s (off, len) =
+  if len >= 2 && s.[off] = '"' && s.[off + len - 1] = '"' then Some (off + 1, len - 2) else None
+
+(* Would [Jsonl.to_string (parse span)] reproduce the raw bytes?  Simple
+   strings and the literals round-trip by construction; numbers only when
+   they are plain integers short enough that float -> "%.0f" is exact. *)
+let canonical_scalar s (off, len) =
+  if len = 0 then false
+  else
+    match s.[off] with
+    | '"' -> s.[off + len - 1] = '"' && len >= 2
+    | 't' -> span_is s (off, len) "true"
+    | 'f' -> span_is s (off, len) "false"
+    | 'n' -> span_is s (off, len) "null"
+    | '-' | '0' .. '9' ->
+      let doff = if s.[off] = '-' then off + 1 else off in
+      let dlen = len - (doff - off) in
+      dlen > 0 && dlen <= 15
+      && (s.[doff] <> '0' || dlen = 1)
+      &&
+      let all = ref true in
+      for k = doff to off + len - 1 do
+        if not (is_digit s.[k]) then all := false
+      done;
+      !all
+    | _ -> false

@@ -1,0 +1,34 @@
+(** Non-allocating scanner over a raw request line — the fast path's
+    replacement for building an intermediate JSON tree.
+
+    The scanner recognizes a {e strict subset} of the server's JSONL
+    grammar: exactly one flat object whose keys and string values contain
+    no escape sequences or control characters, and whose numbers have a
+    conservative shape [float_of_string] always accepts.  Every line the
+    scanner accepts, {!Serve.Jsonl.of_string} parses to the same members;
+    every line outside the subset (nested values such as [p4lite]
+    programs, escaped strings, malformed text) is reported as such and
+    the caller falls back to the full parser.  Spans are [(offset, len)]
+    pairs into the original line, so extracting a member allocates
+    nothing beyond the pair. *)
+
+(** Is the line inside the scanner's subset? *)
+val simple_object : string -> bool
+
+(** Raw-value span of the first depth-1 member named [key]; [None] when
+    the member is absent {e or} the line is outside the subset. *)
+val member : string -> string -> (int * int) option
+
+(** Do the raw bytes of the span equal [lit] (e.g. ["\"analyze\""])? *)
+val span_is : string -> int * int -> string -> bool
+
+(** Contents span of a quoted string span (drops the quotes). *)
+val string_contents : string -> int * int -> (int * int) option
+
+(** Would the raw token survive a parse/print round-trip byte-for-byte
+    ([Jsonl.to_string (Jsonl.of_string raw)] = [raw])?  True for simple
+    strings, [true]/[false]/[null], and plain integers of at most 15
+    digits without leading zeros.  The fast path only splices such tokens
+    verbatim into replies, so its ids render exactly as the slow path
+    would render them. *)
+val canonical_scalar : string -> int * int -> bool

@@ -71,32 +71,36 @@ type ws = {
 
 let ws_key : (int, ws) Hashtbl.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
-let get_ws hidden steps =
-  let tbl = Domain.DLS.get ws_key in
-  let ws =
-    match Hashtbl.find_opt tbl hidden with
-    | Some ws -> ws
-    | None ->
-      let v () = Array.make hidden 0.0 in
-      let ws =
-        {
-          cap = 0; i_g = [||]; f_g = [||]; o_g = [||]; g_g = [||];
-          cs = [||]; tanh_cs = [||]; hs = [||];
-          zero = v (); hfin = v ();
-          dh = v (); dc = v (); d_o = v (); dct = v ();
-          di = v (); df = v (); dg = v (); dtmp = v (); dh_prev = v ();
-        }
-      in
-      Hashtbl.add tbl hidden ws;
-      ws
-  in
+let fresh_ws hidden =
+  let v () = Array.make hidden 0.0 in
+  {
+    cap = 0; i_g = [||]; f_g = [||]; o_g = [||]; g_g = [||];
+    cs = [||]; tanh_cs = [||]; hs = [||];
+    zero = v (); hfin = v ();
+    dh = v (); dc = v (); d_o = v (); dct = v ();
+    di = v (); df = v (); dg = v (); dtmp = v (); dh_prev = v ();
+  }
+
+let ensure_ws ws hidden steps =
   if ws.cap < steps then begin
     let cap = max steps (max 64 (2 * ws.cap)) in
     let buf () = Array.make (cap * hidden) 0.0 in
     ws.cap <- cap;
     ws.i_g <- buf (); ws.f_g <- buf (); ws.o_g <- buf (); ws.g_g <- buf ();
     ws.cs <- buf (); ws.tanh_cs <- buf (); ws.hs <- buf ()
-  end;
+  end
+
+let get_ws hidden steps =
+  let tbl = Domain.DLS.get ws_key in
+  let ws =
+    match Hashtbl.find_opt tbl hidden with
+    | Some ws -> ws
+    | None ->
+      let ws = fresh_ws hidden in
+      Hashtbl.add tbl hidden ws;
+      ws
+  in
+  ensure_ws ws hidden steps;
   ws
 
 (* z[k] = squash ((w column tok) + (u . h_prev) + b[k]); the three
@@ -152,10 +156,9 @@ let gates_into t ws base hprev hoff tok =
 (** Run the recurrence into the workspace buffers; returns the workspace
     (step [s] lives at offset [s * hidden]) with [hfin] holding the final
     hidden state. *)
-let forward t (seq : int array) =
+let forward_ws t ws (seq : int array) =
   let h = t.hidden in
   let steps = Array.length seq in
-  let ws = get_ws h steps in
   if steps * h > Array.length ws.hs then invalid_arg "Lstm.forward: workspace too small";
   for s = 0 to steps - 1 do
     let tok = seq.(s) in
@@ -179,6 +182,10 @@ let forward t (seq : int array) =
   else Array.blit ws.hs ((steps - 1) * h) ws.hfin 0 h;
   ws
 
+let forward t (seq : int array) =
+  let ws = get_ws t.hidden (Array.length seq) in
+  forward_ws t ws seq
+
 let head_forward t h_final =
   let z1 = Nn.affine t.fc1 h_final in
   let a1 = Array.map La.relu z1 in
@@ -192,6 +199,65 @@ let predict t seq =
     let ws = forward t seq in
     let _, _, out = head_forward t ws.hfin in
     Array.map (fun o -> o *. t.y_scale) out
+
+(* -- explicit scratch: the serving fast path's allocation-free predict --
+
+   [predict] leans on per-domain DLS scratch but still allocates in the
+   head ([Nn.affine] x 2, two [Array.map]s).  A [scratch] owns the whole
+   working set — recurrence workspace plus head buffers — so a caller
+   that guards it with its own lock (e.g. one per flow-cache shard) can
+   evaluate without allocating or touching DLS.  [affine_into] repeats
+   {!Nn.affine}'s accumulation order exactly (bias first, then ascending
+   [j]), so [predict_into] is bit-identical to [predict]. *)
+
+type scratch = {
+  s_ws : ws;
+  s_z1 : float array;
+  s_a1 : float array;
+  s_out : float array;
+  s_y : float array;
+}
+
+let scratch t =
+  {
+    s_ws = fresh_ws t.hidden;
+    s_z1 = Array.make t.fc_dim 0.0;
+    s_a1 = Array.make t.fc_dim 0.0;
+    s_out = Array.make t.out_dim 0.0;
+    s_y = Array.make t.out_dim 0.0;
+  }
+
+let affine_into (p : Nn.param) x (dst : float array) =
+  let w = p.Nn.w.La.Flat.a and cols = p.Nn.w.La.Flat.cols in
+  let n = Array.length x in
+  if Array.length dst < p.Nn.w.La.Flat.rows then invalid_arg "Lstm.affine_into: dst too small";
+  for i = 0 to p.Nn.w.La.Flat.rows - 1 do
+    let base = i * cols in
+    let acc = ref w.(base + n) in
+    for j = 0 to n - 1 do
+      acc := !acc +. (w.(base + j) *. x.(j))
+    done;
+    dst.(i) <- !acc
+  done
+
+let predict_into t sc seq =
+  if Array.length seq = 0 then begin
+    Array.fill sc.s_y 0 t.out_dim 0.0;
+    sc.s_y
+  end
+  else begin
+    ensure_ws sc.s_ws t.hidden (Array.length seq);
+    ignore (forward_ws t sc.s_ws seq);
+    affine_into t.fc1 sc.s_ws.hfin sc.s_z1;
+    for j = 0 to t.fc_dim - 1 do
+      sc.s_a1.(j) <- La.relu sc.s_z1.(j)
+    done;
+    affine_into t.fc2 sc.s_a1 sc.s_out;
+    for j = 0 to t.out_dim - 1 do
+      sc.s_y.(j) <- sc.s_out.(j) *. t.y_scale
+    done;
+    sc.s_y
+  end
 
 let acc_affine (p : Nn.param) x dz =
   let n = Array.length x in

@@ -29,6 +29,20 @@ val create : ?hidden:int -> ?fc_dim:int -> ?out_dim:int -> vocab:int -> int -> t
     empty sequence. *)
 val predict : t -> int array -> float array
 
+(** Preallocated inference working set (recurrence workspace + head
+    buffers) for {!predict_into}.  Not thread-safe: guard each scratch
+    with the caller's own lock (the serving layer keeps one per
+    flow-cache shard). *)
+type scratch
+
+(** Fresh scratch sized for [t] (sequence buffers grow on demand). *)
+val scratch : t -> scratch
+
+(** [predict_into t sc seq] is bit-identical to [predict t seq] but
+    allocation-free after warm-up: results land in (and alias) buffers
+    owned by [sc], valid until the next call on the same scratch. *)
+val predict_into : t -> scratch -> int array -> float array
+
 (** Full BPTT for one (sequence, scaled target) example: accumulates
     gradients into {!params} and returns the squared error.  Exposed for
     the finite-difference gradient checks. *)

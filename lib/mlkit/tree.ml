@@ -273,3 +273,82 @@ let gbdt_fit_binary ?(n_stages = 60) ?(shrinkage = 0.2) ?(config = { default_gro
   { init = 0.0; shrinkage; stages = List.rev !stages }
 
 let gbdt_predict_binary g x = La.sigmoid (gbdt_predict g x -. g.init +. g.init)
+
+(* -- Flattened ensembles --
+
+   Pointer-chasing over boxed [node] trees costs a cache miss per level;
+   the serving fast path wants ensembles it can install once and evaluate
+   allocation-free.  [Flat] lowers a tree to {!La.Flat}-style parallel
+   arrays — per node a feature index (or [-1] for a leaf), a threshold
+   (reused as the leaf value) and child indices — in preorder, so a root
+   to leaf walk is a few array reads.  Every comparison and accumulation
+   keeps the exact order of {!predict} / {!forest_predict} /
+   {!gbdt_predict}, so evaluation is bit-identical to the boxed path (the
+   equivalence tests check this). *)
+
+module Flat = struct
+  type tree = {
+    feat : int array;  (** >= 0: split feature; -1: leaf *)
+    thr : float array;  (** threshold, or the leaf value *)
+    left : int array;
+    right : int array;
+  }
+
+  let of_tree (t : t) =
+    let rec count = function Leaf _ -> 1 | Split s -> 1 + count s.left + count s.right in
+    let n = count t.root in
+    let feat = Array.make n (-1) and thr = Array.make n 0.0 in
+    let left = Array.make n 0 and right = Array.make n 0 in
+    let next = ref 0 in
+    let rec emit node =
+      let i = !next in
+      incr next;
+      (match node with
+      | Leaf v -> thr.(i) <- v
+      | Split s ->
+        feat.(i) <- s.feature;
+        thr.(i) <- s.threshold;
+        left.(i) <- emit s.left;
+        right.(i) <- emit s.right);
+      i
+    in
+    ignore (emit t.root);
+    { feat; thr; left; right }
+
+  (* same decision as [predict_node]: x.(feature) <= threshold goes left *)
+  let eval ft x =
+    let i = ref 0 in
+    let f = ref ft.feat.(0) in
+    while !f >= 0 do
+      i := (if x.(!f) <= ft.thr.(!i) then ft.left.(!i) else ft.right.(!i));
+      f := ft.feat.(!i)
+    done;
+    ft.thr.(!i)
+
+  type gbdt_flat = { g_init : float; g_shrinkage : float; g_stages : tree array }
+
+  let of_gbdt (g : gbdt) =
+    { g_init = g.init;
+      g_shrinkage = g.shrinkage;
+      g_stages = Array.of_list (List.map of_tree g.stages) }
+
+  let gbdt_eval g x =
+    let acc = ref g.g_init in
+    for k = 0 to Array.length g.g_stages - 1 do
+      acc := !acc +. (g.g_shrinkage *. eval g.g_stages.(k) x)
+    done;
+    !acc
+
+  type forest_flat = { f_trees : tree array; f_n : float }
+
+  let of_forest (f : forest) =
+    { f_trees = Array.of_list (List.map of_tree f.trees);
+      f_n = float_of_int (max 1 (List.length f.trees)) }
+
+  let forest_eval f x =
+    let acc = ref 0.0 in
+    for k = 0 to Array.length f.f_trees - 1 do
+      acc := !acc +. eval f.f_trees.(k) x
+    done;
+    !acc /. f.f_n
+end

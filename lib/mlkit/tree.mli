@@ -51,3 +51,32 @@ val gbdt_fit_binary :
 
 (** Positive-class probability. *)
 val gbdt_predict_binary : gbdt -> float array -> float
+
+(** {1 Flattened ensembles}
+
+    Trees lowered to {!La.Flat}-style parallel node arrays for
+    allocation-free, cache-friendly evaluation on the serving fast path.
+    Evaluation is bit-identical to {!predict} / {!forest_predict} /
+    {!gbdt_predict} on the boxed representation. *)
+
+module Flat : sig
+  type tree = {
+    feat : int array;  (** >= 0: split feature; -1: leaf *)
+    thr : float array;  (** threshold, or the leaf value *)
+    left : int array;
+    right : int array;
+  }
+
+  val of_tree : t -> tree
+  val eval : tree -> float array -> float
+
+  type gbdt_flat = { g_init : float; g_shrinkage : float; g_stages : tree array }
+
+  val of_gbdt : gbdt -> gbdt_flat
+  val gbdt_eval : gbdt_flat -> float array -> float
+
+  type forest_flat = { f_trees : tree array; f_n : float }
+
+  val of_forest : forest -> forest_flat
+  val forest_eval : forest_flat -> float array -> float
+end

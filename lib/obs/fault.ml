@@ -94,6 +94,13 @@ let find point =
   Mutex.unlock lock;
   s
 
+(* Armed-ness check without consuming a draw: one atomic load when the
+   registry is empty (the common case), a locked lookup otherwise.  The
+   serving fast path uses this to fall back to the full parser whenever
+   its parse point is armed, so injected-fault draw sequences stay
+   identical to the pre-fast-path server. *)
+let armed point = Atomic.get n_armed > 0 && find point <> None
+
 let fire ?k point =
   if Atomic.get n_armed = 0 then false
   else

@@ -59,6 +59,12 @@ val active : unit -> (string * float * int) list
     decision depends only on [(seed, k)]. *)
 val fire : ?k:int -> string -> bool
 
+(** Is [point] armed?  Unlike {!fire} this consumes no draw, so code can
+    route around an armed point (e.g. the serving fast path handing armed
+    parse faults to the full parser) without perturbing the deterministic
+    draw sequence. *)
+val armed : string -> bool
+
 (** {!fire}, raising [Injected point] on [true]. *)
 val guard : ?k:int -> string -> unit
 

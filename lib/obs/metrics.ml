@@ -157,43 +157,78 @@ let hist_cumulative h =
 
 let bucket_labels labels le = labels @ [ ("le", le) ]
 
-let exposition () =
+(* -- snapshots --
+
+   Scrapes used to read and format in one pass, holding metric locks
+   interleaved with formatting while the HTTP accept loop (or the socket
+   server's reply assembly) waited.  A snapshot copies every value out
+   under the short per-metric reads only; rendering is then pure string
+   work over immutable data — a slow scrape can hold a snapshot for as
+   long as it likes without stalling admission. *)
+
+type sampled =
+  | S_scalar of float
+  | S_hist of { sh_bounds : float array; sh_cum : int array; sh_total : int; sh_sum : float }
+
+type sample = {
+  s_base : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_kind : string;
+  s_value : sampled;
+}
+
+type snapshot = sample list
+
+let snapshot () =
+  List.map
+    (fun m ->
+      let s_value =
+        match m.value with
+        | Counter c -> S_scalar (counter_value c)
+        | Gauge g -> S_scalar (gauge_value g)
+        | Histogram h ->
+          let cum, total = hist_cumulative h in
+          S_hist { sh_bounds = h.bounds; sh_cum = cum; sh_total = total; sh_sum = histogram_sum h }
+      in
+      { s_base = m.base; s_labels = m.labels; s_help = m.help; s_kind = kind_name m.value; s_value })
+    (collect ())
+
+let render_snapshot (snap : snapshot) =
   let b = Buffer.create 1024 in
   let last_family = ref "" in
   List.iter
-    (fun m ->
-      if m.base <> !last_family then begin
-        last_family := m.base;
-        if m.help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" m.base m.help);
-        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" m.base (kind_name m.value))
+    (fun s ->
+      if s.s_base <> !last_family then begin
+        last_family := s.s_base;
+        if s.s_help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" s.s_base s.s_help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" s.s_base s.s_kind)
       end;
-      match m.value with
-      | Counter c ->
+      match s.s_value with
+      | S_scalar v ->
         Buffer.add_string b
-          (Printf.sprintf "%s%s %s\n" m.base (label_string m.labels) (fmt_float (counter_value c)))
-      | Gauge g ->
-        Buffer.add_string b
-          (Printf.sprintf "%s%s %s\n" m.base (label_string m.labels) (fmt_float (gauge_value g)))
-      | Histogram h ->
-        let cum, total = hist_cumulative h in
+          (Printf.sprintf "%s%s %s\n" s.s_base (label_string s.s_labels) (fmt_float v))
+      | S_hist h ->
         Array.iteri
           (fun i bound ->
             Buffer.add_string b
-              (Printf.sprintf "%s_bucket%s %d\n" m.base
-                 (label_string (bucket_labels m.labels (fmt_float bound)))
-                 cum.(i)))
-          h.bounds;
+              (Printf.sprintf "%s_bucket%s %d\n" s.s_base
+                 (label_string (bucket_labels s.s_labels (fmt_float bound)))
+                 h.sh_cum.(i)))
+          h.sh_bounds;
         Buffer.add_string b
-          (Printf.sprintf "%s_bucket%s %d\n" m.base
-             (label_string (bucket_labels m.labels "+Inf"))
-             total);
+          (Printf.sprintf "%s_bucket%s %d\n" s.s_base
+             (label_string (bucket_labels s.s_labels "+Inf"))
+             h.sh_total);
         Buffer.add_string b
-          (Printf.sprintf "%s_sum%s %s\n" m.base (label_string m.labels)
-             (fmt_float (histogram_sum h)));
+          (Printf.sprintf "%s_sum%s %s\n" s.s_base (label_string s.s_labels) (fmt_float h.sh_sum));
         Buffer.add_string b
-          (Printf.sprintf "%s_count%s %d\n" m.base (label_string m.labels) total))
-    (collect ());
+          (Printf.sprintf "%s_count%s %d\n" s.s_base (label_string s.s_labels) h.sh_total))
+    snap;
   Buffer.contents b
+
+let exposition () = render_snapshot (snapshot ())
 
 let json_labels labels =
   "{"

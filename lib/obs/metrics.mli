@@ -49,9 +49,19 @@ val histogram_sum : histogram -> float
     result (also on exception). *)
 val time : histogram -> (unit -> 'a) -> 'a
 
+(** A point-in-time copy of every registered value, taken under the short
+    per-metric reads only.  Rendering a snapshot is pure string work over
+    immutable data, so a slow scrape (or a scrape serialized behind an
+    accept loop) never holds registry or histogram locks. *)
+type snapshot
+
+val snapshot : unit -> snapshot
+val render_snapshot : snapshot -> string
+
 (** Prometheus text exposition: [# HELP] / [# TYPE] per family, families
     and label sets in sorted order, histograms with cumulative
-    [_bucket{le=...}] lines plus [_sum] and [_count]. *)
+    [_bucket{le=...}] lines plus [_sum] and [_count].  Equivalent to
+    [render_snapshot (snapshot ())]. *)
 val exposition : unit -> string
 
 (** One-line JSON dump of every registered metric. *)

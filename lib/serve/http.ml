@@ -53,7 +53,11 @@ let handle ~meth ~path =
   | "GET", "/metrics" ->
     Obs.Metrics.inc m_metrics;
     Obs.Runtime.sample ();
-    response ~status:"200 OK" ~content_type:prom (Obs.Metrics.exposition ())
+    (* Snapshot under the registry locks, render the text outside them:
+       instrument updates (and other scrapers) never wait on string
+       formatting for a slow reader. *)
+    let snap = Obs.Metrics.snapshot () in
+    response ~status:"200 OK" ~content_type:prom (Obs.Metrics.render_snapshot snap)
   | "GET", "/trace.json" ->
     Obs.Metrics.inc m_trace;
     response ~status:"200 OK" ~content_type:"application/json" (Obs.Span.to_chrome_json ())
@@ -101,6 +105,8 @@ let really_write fd s =
 
 let serve_connection fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+  (* A reader that stops consuming must not wedge the accept loop. *)
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
   match read_head fd with
   | None -> ()
   | Some head ->

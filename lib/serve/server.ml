@@ -1,12 +1,21 @@
 (** Clara insight service (see server.mli). *)
 
+(* One serving lane per flow-cache shard: a compiled pipeline (LSTM bound
+   to preallocated scratch, scale-out GBDT flattened to node arrays)
+   guarded by its own mutex.  Slow-path analyses for keys in shard [i]
+   run on lane [i], so concurrent pool tasks on different shards never
+   share inference scratch. *)
+type lane = { l_lock : Mutex.t; l_compiled : Clara.Pipeline.compiled }
+
 type t = {
   models : Clara.Pipeline.models;
-  cache : string Lru.t;
+  flows : Fastpath.Entry.t Fastpath.Shards.t;  (* installed flow entries *)
+  lanes : lane array;
   slow_s : float;
   deadline_s : float option;  (* default per-request budget; None = unlimited *)
   max_pending : int;  (* request lines admitted per batch before shedding *)
   max_clients : int;  (* accepted connections before connection-level shedding *)
+  fast_buf : Buffer.t;  (* fast-path render scratch (process_batch is single-caller) *)
   mutable served_count : int;
   mutable shed_count : int;
   mutable stop_requested : bool;
@@ -25,10 +34,11 @@ let default_deadline_s () =
   | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
   | Some _ | None -> None
 
-let create ?(cache_capacity = 64) ?slow_threshold_s ?deadline_ms ?(max_pending = 256)
-    ?(max_clients = 64) models =
+let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
+    ?(max_pending = 256) ?(max_clients = 64) models =
   if max_pending < 1 then invalid_arg "Server.create: max_pending must be >= 1";
   if max_clients < 1 then invalid_arg "Server.create: max_clients must be >= 1";
+  if shards < 1 then invalid_arg "Server.create: shards must be >= 1";
   let slow_s = match slow_threshold_s with Some s -> s | None -> default_slow_s () in
   let deadline_s =
     match deadline_ms with
@@ -36,14 +46,18 @@ let create ?(cache_capacity = 64) ?slow_threshold_s ?deadline_ms ?(max_pending =
     | Some _ -> None (* an explicit 0 disables any environment default *)
     | None -> default_deadline_s ()
   in
-  { models; cache = Lru.create ~capacity:cache_capacity; slow_s; deadline_s; max_pending;
-    max_clients; served_count = 0; shed_count = 0; stop_requested = false;
-    drain_requested = false }
+  { models;
+    flows = Fastpath.Shards.create ~shards ~capacity:cache_capacity ();
+    lanes =
+      Array.init shards (fun _ ->
+          { l_lock = Mutex.create (); l_compiled = Clara.Pipeline.compile models });
+    slow_s; deadline_s; max_pending; max_clients; fast_buf = Buffer.create 1024;
+    served_count = 0; shed_count = 0; stop_requested = false; drain_requested = false }
 
 let served t = t.served_count
 let shed t = t.shed_count
-let cache_hits t = Lru.hits t.cache
-let cache_misses t = Lru.misses t.cache
+let cache_hits t = Fastpath.Shards.hits t.flows
+let cache_misses t = Fastpath.Shards.misses t.flows
 let request_drain t = t.drain_requested <- true
 
 let corpus_names () = List.map (fun e -> e.Nf_lang.Ast.name) (Nf_lang.Corpus.all ())
@@ -211,12 +225,17 @@ let err_reply ?valid ?(overloaded = false) ?(deadline = false) ~trace id msg =
   in
   Jsonl.to_string (Jsonl.Obj fields)
 
-let analyze_reply ~trace id ~nf ~wname ~cached report =
-  ok_reply ~trace id
-    [ ("nf", Jsonl.Str nf);
-      ("workload", Jsonl.Str wname);
-      ("cached", Jsonl.Bool cached);
-      ("report", Jsonl.Str report) ]
+(* Analyze replies render through the flow entry's pre-serialized bytes on
+   every route.  The slow path goes through [Entry.render] with the id
+   printed by [Jsonl.to_string]; the fast path splices the raw id token
+   from the request line.  Both produce the same field order (id, ok,
+   trace_id, nf, workload, cached, path, report) with identical escaping,
+   so the two replies for one request differ in exactly the
+   [cached]/[path] values. *)
+let analyze_reply ~trace id ~cached ~path entry =
+  Fastpath.Entry.render entry
+    ~id:(match id with Jsonl.Null -> "" | id -> Jsonl.to_string id)
+    ~trace ~cached ~path
 
 (* -- request planning -- *)
 
@@ -224,7 +243,7 @@ let analyze_reply ~trace id ~nf ~wname ~cached report =
    to fan out. *)
 type plan =
   | Ready of string
-  | Hit of { id : Jsonl.t; trace : string; nf_label : string; wname : string; report : string }
+  | Hit of { id : Jsonl.t; trace : string; entry : Fastpath.Entry.t }
   | Miss of {
       id : Jsonl.t;
       trace : string;
@@ -287,10 +306,10 @@ let plan_analyze t ~now ~trace id req =
     match target with
     | Error reply -> Ready reply
     | Ok (elt, nf_label, key) -> (
-      match Lru.find t.cache key with
-      | Some report ->
+      match Fastpath.Shards.find t.flows key with
+      | Some entry ->
         Obs.Metrics.inc m_cache_hits;
-        Hit { id; trace; nf_label; wname; report }
+        Hit { id; trace; entry }
       | None ->
         Obs.Metrics.inc m_cache_misses;
         Miss { id; trace; key; elt; spec; nf_label; wname; deadline }))
@@ -316,7 +335,101 @@ let trace_reply ~trace id req =
         ("tracing", Jsonl.Bool (Obs.Span.enabled ()));
         ("spans", Jsonl.Arr (List.map tree_json (Obs.Span.forest ~trace:wanted ()))) ]
 
-let plan_line t ~now line =
+(* -- the fast path --
+
+   A repeat [analyze] query never builds a JSON tree: the raw line is
+   scanned in place (strict subset of the JSONL grammar — anything the
+   scanner rejects falls through to the full parser below), the flow
+   table is probed, and on a hit the pre-rendered reply bytes are spliced
+   together with the request's own id/trace tokens.  Guards keep the two
+   routes byte-compatible:
+
+   - an armed [jsonl.parse] fault forces the slow path, so fault-draw
+     sequences are identical whether or not the cache is warm;
+   - the id must be a canonical scalar (round-trips through parse/print
+     unchanged) so splicing it verbatim matches [Jsonl.to_string];
+   - the workload name must be one the server knows, the NF must be a
+     plain string, and [p4lite] requests always take the slow path;
+   - a probe miss counts nothing — the slow path's [Shards.find] counts
+     the miss — so each line still counts exactly one lookup outcome.
+
+   Cache hits never consulted the deadline before the split and still do
+   not: a hit is answered from memory well inside any budget. *)
+let fast_track t line =
+  if Obs.Fault.armed "jsonl.parse" then None
+  else
+    let cmd =
+      match Fastpath.Scan.member line "cmd" with
+      | Some _ as c -> c
+      | None -> Fastpath.Scan.member line "op"
+    in
+    match cmd with
+    | Some cspan when Fastpath.Scan.span_is line cspan "\"analyze\"" -> (
+      match Fastpath.Scan.member line "p4lite" with
+      | Some _ -> None
+      | None -> (
+        match
+          Option.bind (Fastpath.Scan.member line "nf") (Fastpath.Scan.string_contents line)
+        with
+        | None -> None
+        | Some (nf_off, nf_len) -> (
+          let wname =
+            match Fastpath.Scan.member line "workload" with
+            | None -> Some "mixed"
+            | Some wspan -> (
+              match Fastpath.Scan.string_contents line wspan with
+              | None -> None
+              | Some (w_off, w_len) -> (
+                match String.sub line w_off w_len with
+                | ("mixed" | "large" | "small") as w -> Some w
+                | _ -> None))
+          in
+          match wname with
+          | None -> None
+          | Some wname -> (
+            let id_span =
+              match Fastpath.Scan.member line "id" with
+              | None -> Some (0, 0) (* absent: render null *)
+              | Some span ->
+                if Fastpath.Scan.canonical_scalar line span then Some span else None
+            in
+            match id_span with
+            | None -> None
+            | Some (id_off, id_len) -> (
+              let trace_span =
+                match Fastpath.Scan.member line "trace_id" with
+                | None -> Some `Fresh
+                | Some span -> (
+                  match Fastpath.Scan.string_contents line span with
+                  | Some (o, l) -> Some (`Span (o, l))
+                  | None -> None)
+              in
+              match trace_span with
+              | None -> None
+              | Some tr -> (
+                let key = String.sub line nf_off nf_len ^ "|" ^ wname in
+                match Fastpath.Shards.probe t.flows key with
+                | None -> None
+                | Some entry ->
+                  t.served_count <- t.served_count + 1;
+                  Obs.Metrics.inc m_requests;
+                  Obs.Metrics.inc m_cache_hits;
+                  let b = t.fast_buf in
+                  Buffer.clear b;
+                  (match tr with
+                  | `Span (t_off, t_len) ->
+                    Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
+                      ~trace_src:line ~trace_off:t_off ~trace_len:t_len ~cached:true
+                      ~path:"fast"
+                  | `Fresh ->
+                    let trace = fresh_trace () in
+                    Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
+                      ~trace_src:trace ~trace_off:0 ~trace_len:(String.length trace)
+                      ~cached:true ~path:"fast");
+                  Some (Buffer.contents b)))))))
+    | Some _ | None -> None
+
+let plan_line_slow t ~now line =
   t.served_count <- t.served_count + 1;
   Obs.Metrics.inc m_requests;
   match Jsonl.of_string line with
@@ -353,13 +466,19 @@ let plan_line t ~now line =
       Ready
         (ok_reply ~trace id
            [ ("served", Jsonl.Num (float_of_int t.served_count));
-             ("cache_hits", Jsonl.Num (float_of_int (Lru.hits t.cache)));
-             ("cache_misses", Jsonl.Num (float_of_int (Lru.misses t.cache)));
-             ("cache_length", Jsonl.Num (float_of_int (Lru.length t.cache)));
-             ("cache_capacity", Jsonl.Num (float_of_int (Lru.capacity t.cache))) ])
+             ("cache_hits", Jsonl.Num (float_of_int (Fastpath.Shards.hits t.flows)));
+             ("cache_misses", Jsonl.Num (float_of_int (Fastpath.Shards.misses t.flows)));
+             ("cache_length", Jsonl.Num (float_of_int (Fastpath.Shards.length t.flows)));
+             ("cache_capacity", Jsonl.Num (float_of_int (Fastpath.Shards.capacity t.flows)));
+             ("cache_shards", Jsonl.Num (float_of_int (Fastpath.Shards.shard_count t.flows)));
+             ("cache_installs", Jsonl.Num (float_of_int (Fastpath.Shards.installs t.flows)));
+             ("cache_evictions", Jsonl.Num (float_of_int (Fastpath.Shards.evictions t.flows))) ])
     | Some "metrics" ->
+      (* Snapshot under the registry locks, render outside them: a slow
+         reader never holds the instruments hostage. *)
       Obs.Runtime.sample ();
-      Ready (ok_reply ~trace id [ ("metrics", Jsonl.Str (Obs.Metrics.exposition ())) ])
+      let snap = Obs.Metrics.snapshot () in
+      Ready (ok_reply ~trace id [ ("metrics", Jsonl.Str (Obs.Metrics.render_snapshot snap)) ])
     | Some "trace" -> Ready (trace_reply ~trace id req)
     | Some "shutdown" ->
       t.stop_requested <- true;
@@ -367,6 +486,11 @@ let plan_line t ~now line =
     | Some "analyze" -> plan_analyze t ~now ~trace id req
     | Some other -> Ready (err_reply ~trace id (Printf.sprintf "unknown cmd %S" other))
     | None -> Ready (err_reply ~trace id "missing \"cmd\""))
+
+let plan_line t ~now line =
+  match fast_track t line with
+  | Some reply -> Ready reply
+  | None -> plan_line_slow t ~now line
 
 (* What one deduplicated analysis job produced. *)
 type job_outcome = Report of string | Failed of string | Timed_out
@@ -442,22 +566,30 @@ let process_batch t lines =
         (fun acc plan ->
           match plan with
           | Miss m when (not (expired m.deadline)) && not (List.mem_assoc m.key acc) ->
-            (m.key, (m.elt, m.spec, m.trace, m.deadline)) :: acc
+            (m.key, (m.elt, m.spec, m.trace, m.deadline, m.nf_label, m.wname)) :: acc
           | _ -> acc)
         [] plans
       |> List.rev
     in
     let results =
       (* An armed [pool.task] fault aborts the whole fan-out; degrade it
-         to per-job failures so every requester still gets a typed reply. *)
+         to per-job failures so every requester still gets a typed reply.
+         Each job runs on the lane of its key's shard: the compiled
+         pipeline's inference scratch is not shareable, and the lane
+         mutex serializes only same-shard jobs. *)
       match
         Util.Pool.parallel_map_list
-          (fun (key, (elt, spec, trace, deadline)) ->
+          (fun (key, (elt, spec, trace, deadline, _, _)) ->
             Obs.Span.with_trace trace @@ fun () ->
             let outcome =
               if expired deadline then Timed_out
               else
-                try Report (Clara.Pipeline.report t.models elt spec)
+                try
+                  let lane = t.lanes.(Fastpath.Shards.shard_of_key t.flows key) in
+                  Mutex.lock lane.l_lock;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock lane.l_lock)
+                    (fun () -> Report (Clara.Pipeline.report_compiled lane.l_compiled elt spec))
                 with e -> Failed (Printexc.to_string e)
             in
             (key, outcome))
@@ -468,19 +600,31 @@ let process_batch t lines =
         let msg = Printexc.to_string e in
         List.map (fun (key, _) -> (key, Failed msg)) jobs
     in
-    List.iter
-      (function key, Report report -> Lru.add t.cache key report | _, (Failed _ | Timed_out) -> ())
-      results;
+    (* Fresh reports become flow entries: reply bytes pre-serialized once,
+       installed into the key's shard for every later fast-path probe.
+       The entry also answers this batch's own requesters (even with
+       caching disabled, where [install] drops it). *)
+    let entries =
+      List.filter_map
+        (function
+          | key, Report report ->
+            let _, _, _, _, nf_label, wname = List.assoc key jobs in
+            let entry = Fastpath.Entry.make ~nf:nf_label ~workload:wname ~report in
+            Fastpath.Shards.install t.flows key entry;
+            Some (key, entry)
+          | _, (Failed _ | Timed_out) -> None)
+        results
+    in
     List.map
       (function
         | Ready reply -> reply
-        | Hit { id; trace; nf_label; wname; report } ->
-          analyze_reply ~trace id ~nf:nf_label ~wname ~cached:true report
-        | Miss { id; trace; key; nf_label; wname; deadline; _ } -> (
+        | Hit { id; trace; entry } -> analyze_reply ~trace id ~cached:true ~path:"slow" entry
+        | Miss { id; trace; key; deadline; _ } -> (
           match List.assoc_opt key results with
-          | Some (Report report) ->
+          | Some (Report _) ->
             if expired deadline then deadline_reply ~trace id
-            else analyze_reply ~trace id ~nf:nf_label ~wname ~cached:false report
+            else
+              analyze_reply ~trace id ~cached:false ~path:"slow" (List.assoc key entries)
           | Some (Failed msg) -> err_reply ~trace id ("analysis failed: " ^ msg)
           | Some Timed_out | None -> deadline_reply ~trace id))
       plans
@@ -575,7 +719,8 @@ let run t ~socket_path =
     ~fields:
       [ ("socket", Obs.Log.Str socket_path);
         ("jobs", Obs.Log.Int (Util.Pool.size ()));
-        ("cache_capacity", Obs.Log.Int (Lru.capacity t.cache));
+        ("cache_capacity", Obs.Log.Int (Fastpath.Shards.capacity t.flows));
+        ("cache_shards", Obs.Log.Int (Fastpath.Shards.shard_count t.flows));
         ("slow_threshold_s", Obs.Log.Num t.slow_s);
         ( "deadline_ms",
           match t.deadline_s with
@@ -585,105 +730,66 @@ let run t ~socket_path =
         ("max_clients", Obs.Log.Int t.max_clients);
         ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
     "serve.start";
-  let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
   let log_unix_error ~ctx err fn =
     Obs.Log.warn
       ~fields:[ ("error", Obs.Log.Str (Unix.error_message err)); ("fn", Obs.Log.Str fn) ]
       ctx
   in
-  let drop fd =
-    Hashtbl.remove clients fd;
-    try Unix.close fd with Unix.Unix_error _ -> ()
+  let callbacks =
+    { Fastpath.Evloop.on_reject =
+        (fun fd ->
+          (* Connection-level shedding: tell the client it is the load,
+             not the request, then hang up. *)
+          t.shed_count <- t.shed_count + 1;
+          let reply =
+            err_reply ~overloaded:true ~trace:(fresh_trace ()) Jsonl.Null
+              (Printf.sprintf "overloaded: server at its %d-connection limit" t.max_clients)
+          in
+          (try really_write fd (reply ^ "\n") with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()));
+      on_disconnect = (fun ~fn err -> log_client_disconnect ~fn err);
+      on_error = (fun ~ctx ~fn err -> log_unix_error ~ctx err fn)
+    }
   in
-  let client_fds () = Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
-  let chunk = Bytes.create 4096 in
-  (* Read every readable client socket, then answer all complete lines as
-     one batch so independent clients share the pool fan-out (and the
-     admission bound applies across them).  Also used by the drain phase,
-     with the listener already closed. *)
-  let service_round readable =
-    let pending = ref [] in
-    List.iter
-      (fun fd ->
-        if fd <> listener then
-          match Hashtbl.find_opt clients fd with
-          | None -> ()
-          | Some buf -> (
-            match
-              if Obs.Fault.fire "serve.read" then
-                raise (Unix.Unix_error (Unix.ECONNRESET, "read", "injected fault: serve.read"))
-              else Unix.read fd chunk 0 (Bytes.length chunk)
-            with
-            | 0 ->
-              let rest = String.trim (Buffer.contents buf) in
-              if rest <> "" then pending := (fd, [ rest ]) :: !pending;
-              drop fd
-            | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              let lines = take_lines buf in
-              if lines <> [] then pending := (fd, lines) :: !pending
-            | exception Unix.Unix_error (err, fn, _) ->
-              if is_disconnect err then log_client_disconnect ~fn err
-              else log_unix_error ~ctx:"serve.read_error" err fn;
-              drop fd))
-      readable;
-    let pending = List.rev !pending in
-    let all_lines = List.concat_map snd pending in
+  let loop = Fastpath.Evloop.create ~listener ~max_clients:t.max_clients callbacks in
+  (* Answer every complete line of a round as one batch, so independent
+     clients share the pool fan-out (and the admission bound applies
+     across them); replies are distributed back per connection and
+     coalesced into one flush. *)
+  let service batches =
+    let all_lines = List.concat_map snd batches in
     if all_lines <> [] then begin
       let replies = ref (process_batch t all_lines) in
       List.iter
-        (fun (fd, lines) ->
+        (fun (conn, lines) ->
           List.iter
             (fun _ ->
               match !replies with
               | reply :: rest ->
                 replies := rest;
-                (try really_write fd (reply ^ "\n")
-                 with Unix.Unix_error (err, fn, _) ->
-                   if is_disconnect err then log_client_disconnect ~fn err
-                   else log_unix_error ~ctx:"serve.write_error" err fn;
-                   drop fd)
+                Fastpath.Evloop.send conn reply
               | [] -> ())
             lines)
-        pending
+        batches;
+      Fastpath.Evloop.flush loop
     end
   in
   while not (t.stop_requested || t.drain_requested) do
-    let fds = listener :: client_fds () in
-    match Unix.select fds [] [] 1.0 with
+    match Fastpath.Evloop.poll loop ~timeout_s:1.0 with
     (* EINTR: a signal (e.g. SIGTERM) interrupted the wait; re-check the
        flags it may have set. *)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-      if List.mem listener readable then begin
-        match
-          if Obs.Fault.fire "serve.accept" then
-            raise (Unix.Unix_error (Unix.EMFILE, "accept", "injected fault: serve.accept"))
-          else Unix.accept listener
-        with
-        | fd, _ ->
-          if Hashtbl.length clients >= t.max_clients then begin
-            (* Connection-level shedding: tell the client it is the load,
-               not the request, then hang up. *)
-            t.shed_count <- t.shed_count + 1;
-            let reply =
-              err_reply ~overloaded:true ~trace:(fresh_trace ()) Jsonl.Null
-                (Printf.sprintf "overloaded: server at its %d-connection limit" t.max_clients)
-            in
-            (try really_write fd (reply ^ "\n") with Unix.Unix_error _ -> ());
-            try Unix.close fd with Unix.Unix_error _ -> ()
-          end
-          else Hashtbl.replace clients fd (Buffer.create 1024)
-        | exception Unix.Unix_error (err, fn, _) -> log_unix_error ~ctx:"serve.accept_error" err fn
-      end;
-      service_round readable
+    | `Eintr -> ()
+    | `Round batches -> service batches
   done;
   (* Graceful drain: the listener goes first, so new connections fail fast
      while buffered requests still get real answers.  In-flight clients
      get a short grace window; an idle 50ms round means nothing more is
      coming and the drain completes early. *)
   if t.drain_requested && not t.stop_requested then begin
-    Obs.Log.info ~fields:[ ("clients", Obs.Log.Int (Hashtbl.length clients)) ] "serve.drain";
+    Obs.Log.info
+      ~fields:[ ("clients", Obs.Log.Int (Fastpath.Evloop.clients loop)) ]
+      "serve.drain";
+    Fastpath.Evloop.stop_accepting loop;
     (try Unix.close listener with Unix.Unix_error _ -> ());
     (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
     let drain_until = Obs.Clock.now_s () +. 0.5 in
@@ -691,16 +797,17 @@ let run t ~socket_path =
     while
       (not !quiescent)
       && (not t.stop_requested)
-      && Hashtbl.length clients > 0
+      && Fastpath.Evloop.clients loop > 0
       && Obs.Clock.now_s () < drain_until
     do
-      match Unix.select (client_fds ()) [] [] 0.05 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | [], _, _ -> quiescent := true
-      | readable, _, _ -> service_round readable
+      match Fastpath.Evloop.poll loop ~timeout_s:0.05 with
+      | `Eintr -> ()
+      | `Round [] ->
+        if not (Fastpath.Evloop.has_pending loop) then quiescent := true
+      | `Round batches -> service batches
     done
   end;
-  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  Fastpath.Evloop.close_all loop;
   (try Unix.close listener with Unix.Unix_error _ -> ());
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   Obs.Log.info
@@ -708,6 +815,6 @@ let run t ~socket_path =
       [ ("served", Obs.Log.Int t.served_count);
         ("shed", Obs.Log.Int t.shed_count);
         ("drained", Obs.Log.Bool t.drain_requested);
-        ("cache_hits", Obs.Log.Int (Lru.hits t.cache));
-        ("cache_misses", Obs.Log.Int (Lru.misses t.cache)) ]
+        ("cache_hits", Obs.Log.Int (Fastpath.Shards.hits t.flows));
+        ("cache_misses", Obs.Log.Int (Fastpath.Shards.misses t.flows)) ]
     "serve.stop"

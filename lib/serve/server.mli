@@ -18,10 +18,25 @@
     ["op"] is accepted as an alias for ["cmd"].
 
     Replies carry ["ok":true] plus command-specific fields (for [analyze]:
-    ["nf"], ["workload"], ["cached"], ["report"]), or ["ok":false] with
-    ["error"] — and, for unknown NFs, ["valid"] listing corpus names.
-    Error replies echo the request ["id"] whenever one is recoverable,
-    even from lines that fail to parse as JSON.
+    ["nf"], ["workload"], ["cached"], ["path"], ["report"]), or
+    ["ok":false] with ["error"] — and, for unknown NFs, ["valid"] listing
+    corpus names.  Error replies echo the request ["id"] whenever one is
+    recoverable, even from lines that fail to parse as JSON.
+
+    {b Fast path / slow path.}  The service is split DOCA-style: the
+    {e slow path} parses the request, runs the full analysis pipeline on
+    a per-shard serving lane (compiled predictors: flattened tree
+    ensembles, LSTM inference into preallocated scratch) and installs a
+    flow entry — pre-serialized reply bytes — into a sharded, mutex-per-
+    shard flow cache ({!Fastpath.Shards}).  The {e fast path} answers a
+    repeat [analyze] query without building any intermediate JSON: the
+    raw line is scanned in place ({!Fastpath.Scan}), the flow cache is
+    probed, and the entry's bytes are spliced with the request's own
+    id/trace tokens.  Replies state which route answered them in
+    ["path"] ([{"path":"fast"}] only for the zero-parse route; a cache
+    hit that went through the full parser reports ["slow"] with
+    ["cached":true]).  Fast- and slow-path replies for the same request
+    are byte-identical apart from exactly those two fields.
 
     {b Request tracing.}  Every request line carries a trace id — the
     client's ["trace_id"] field, or a generated ["t-N"] — echoed in its
@@ -34,10 +49,11 @@
     [CLARA_JOBS] value.  Batches slower than the slow-request threshold
     log one [serve.slow_request] line per request through {!Obs.Log}.
 
-    Reports are memoized per (NF, workload) in a bounded {!Lru} cache;
-    the distinct misses of a batch of lines are analyzed concurrently over
-    [Util.Pool] (so a pipelined client, or several clients arriving in the
-    same accept-loop round, fan out across domains).
+    Reports are memoized per (NF, workload) in the bounded sharded flow
+    cache; the distinct misses of a batch of lines are analyzed
+    concurrently over [Util.Pool] (so a pipelined client, or several
+    clients arriving in the same event-loop round, fan out across
+    domains), each on the serving lane of its key's shard.
 
     {b Deadlines.}  An [analyze] request may carry ["deadline_ms"]: its
     time budget, measured from batch arrival.  The budget is checked
@@ -71,15 +87,19 @@
 type t
 
 (** Wrap warm-started (or freshly trained) models.  [cache_capacity]
-    bounds the report cache (default 64; 0 disables caching).
-    [slow_threshold_s] sets the slow-request log threshold in seconds
-    (default: [CLARA_SLOW_MS] in milliseconds, else 1s).  [deadline_ms]
-    is the default per-request budget (default: [CLARA_DEADLINE_MS],
-    else unlimited; [<= 0] forces unlimited).  [max_pending] bounds
-    request lines admitted per batch (default 256); [max_clients] bounds
-    held connections (default 64); both must be [>= 1]. *)
+    bounds the flow cache's total entry budget (default 64; 0 disables
+    caching); [shards] is the flow-cache shard count — and serving-lane
+    count — (default 8, must be [>= 1]; per-shard bounds round up, see
+    {!Fastpath.Shards.create}).  [slow_threshold_s] sets the slow-request
+    log threshold in seconds (default: [CLARA_SLOW_MS] in milliseconds,
+    else 1s).  [deadline_ms] is the default per-request budget (default:
+    [CLARA_DEADLINE_MS], else unlimited; [<= 0] forces unlimited).
+    [max_pending] bounds request lines admitted per batch (default 256);
+    [max_clients] bounds held connections (default 64); both must be
+    [>= 1]. *)
 val create :
   ?cache_capacity:int ->
+  ?shards:int ->
   ?slow_threshold_s:float ->
   ?deadline_ms:float ->
   ?max_pending:int ->
@@ -125,8 +145,10 @@ val serve_until_eof : t -> Unix.file_descr -> unit
 
 (** Bind [socket_path] (unlinking any stale socket), accept clients, and
     serve until a [shutdown] request arrives or a drain is requested
-    (SIGTERM / {!request_drain}).  Single-threaded select loop; analysis
-    parallelism comes from {!process_batch}.  Logs its effective config
+    (SIGTERM / {!request_drain}).  Single-threaded event loop
+    ({!Fastpath.Evloop}: level-triggered rounds, per-connection state
+    machines, batched reads, coalesced writes); analysis parallelism
+    comes from {!process_batch}.  Logs its effective config
     ([serve.start]) and accept/read/write errors through {!Obs.Log}
     rather than dying or swallowing them. *)
 val run : t -> socket_path:string -> unit

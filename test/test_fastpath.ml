@@ -1,0 +1,437 @@
+(** Tests for the fast-path subsystem: the sharded flow table (stable
+    shard assignment, per-shard LRU eviction, the capacity-0 degenerate),
+    the non-allocating request scanner, pre-rendered flow entries, the
+    flattened predictors (bit-identical to their boxed references), and
+    the served fast/slow split itself — byte-equal replies, path-field
+    correctness, and robustness (faults, shedding, deadlines) on the
+    fast path.  The dune rules run this executable under both
+    [CLARA_JOBS=1] and [CLARA_JOBS=4]: every assertion, including the
+    independent FNV re-implementation pinning shard assignment, must
+    hold in both ambient modes. *)
+
+let with_fault ~point ~prob f =
+  Obs.Fault.set ~point ~prob ~seed:1;
+  Fun.protect ~finally:(fun () -> Obs.Fault.remove point) f
+
+(* -- Shards -- *)
+
+(* An independent FNV-1a/64 so a silent change of the hash (which would
+   re-shuffle every deployed cache) fails loudly. *)
+let fnv1a64 key =
+  let h = ref (-3750763034362895579L) (* 0xCBF29CE484222325 *) in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 1099511628211L)
+    key;
+  Int64.to_int !h land max_int
+
+let some_keys =
+  List.init 64 (fun i -> Printf.sprintf "nf%d|mixed" i)
+  @ [ "tcpack|mixed"; "tcpack|large"; "udpipencap|small"; "p4lite:00c0ffee|mixed"; "" ]
+
+let test_shard_assignment_stable () =
+  let t : int Fastpath.Shards.t = Fastpath.Shards.create ~shards:8 ~capacity:64 () in
+  let t' : int Fastpath.Shards.t = Fastpath.Shards.create ~shards:8 ~capacity:8 () in
+  List.iter
+    (fun key ->
+      let s = Fastpath.Shards.shard_of_key t key in
+      Alcotest.(check int)
+        (Printf.sprintf "FNV-1a pins shard of %S" key)
+        (fnv1a64 key mod 8) s;
+      Alcotest.(check int)
+        (Printf.sprintf "assignment of %S is capacity-independent" key)
+        s
+        (Fastpath.Shards.shard_of_key t' key);
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 8))
+    some_keys;
+  (* installs and lookups must not perturb assignment *)
+  List.iteri (fun i key -> Fastpath.Shards.install t key i) some_keys;
+  List.iter
+    (fun key ->
+      Alcotest.(check int) "assignment survives traffic"
+        (fnv1a64 key mod 8)
+        (Fastpath.Shards.shard_of_key t key))
+    some_keys;
+  (* 69 keys over 8 shards: the spread must actually use several shards *)
+  let used =
+    List.sort_uniq compare (List.map (Fastpath.Shards.shard_of_key t) some_keys)
+  in
+  Alcotest.(check bool) "keys spread over shards" true (List.length used >= 4)
+
+let test_per_shard_eviction () =
+  let t : int Fastpath.Shards.t = Fastpath.Shards.create ~shards:4 ~capacity:8 () in
+  Alcotest.(check int) "per-shard bound of 2, totalling 8" 8 (Fastpath.Shards.capacity t);
+  (* collect >= 4 keys of one shard; pressure must evict there and only
+     there *)
+  let shard, keys =
+    let by_shard = Array.make 4 [] in
+    List.iter
+      (fun key ->
+        let s = Fastpath.Shards.shard_of_key t key in
+        by_shard.(s) <- key :: by_shard.(s))
+      (List.init 64 (fun i -> Printf.sprintf "k%d" i));
+    let rec pick i = if List.length by_shard.(i) >= 4 then (i, by_shard.(i)) else pick (i + 1) in
+    pick 0
+  in
+  List.iteri (fun i key -> Fastpath.Shards.install t key i) keys;
+  Alcotest.(check int) "pressured shard stays at its bound" 2
+    (Fastpath.Shards.shard_length t shard);
+  Alcotest.(check int) "whole table holds just that shard" 2 (Fastpath.Shards.length t);
+  Alcotest.(check int) "evictions counted" (List.length keys - 2) (Fastpath.Shards.evictions t);
+  List.iteri
+    (fun i _ -> if i <> shard then
+        Alcotest.(check int) "other shards untouched" 0 (Fastpath.Shards.shard_length t i))
+    [ (); (); (); () ];
+  (* LRU within the shard: a find promotes, the unpromoted entry goes *)
+  let t : string Fastpath.Shards.t = Fastpath.Shards.create ~shards:1 ~capacity:2 () in
+  Fastpath.Shards.install t "a" "A";
+  Fastpath.Shards.install t "b" "B";
+  Alcotest.(check (option string)) "promote a" (Some "A") (Fastpath.Shards.find t "a");
+  Fastpath.Shards.install t "c" "C";
+  Alcotest.(check (option string)) "b was evicted" None (Fastpath.Shards.probe t "b");
+  Alcotest.(check (option string)) "a survived its promotion" (Some "A")
+    (Fastpath.Shards.probe t "a");
+  (* re-install refreshes recency and value *)
+  Fastpath.Shards.install t "a" "A2";
+  Fastpath.Shards.install t "d" "D";
+  Alcotest.(check (option string)) "refreshed entry survives" (Some "A2")
+    (Fastpath.Shards.probe t "a");
+  Alcotest.(check (option string)) "stale entry evicted" None (Fastpath.Shards.probe t "c")
+
+let test_degenerate_and_counters () =
+  let t : int Fastpath.Shards.t = Fastpath.Shards.create ~shards:4 ~capacity:0 () in
+  Alcotest.(check int) "capacity 0 disables every shard" 0 (Fastpath.Shards.capacity t);
+  Fastpath.Shards.install t "a" 1;
+  Alcotest.(check int) "installs are dropped" 0 (Fastpath.Shards.length t);
+  Alcotest.(check (option int)) "finds miss" None (Fastpath.Shards.find t "a");
+  Alcotest.(check int) "the miss is counted" 1 (Fastpath.Shards.misses t);
+  Alcotest.(check int) "no installs counted" 0 (Fastpath.Shards.installs t);
+  (* probe counts only hits: a probe miss must not inflate the miss
+     counter (the slow path's find counts it) *)
+  Alcotest.(check (option int)) "probe misses silently" None (Fastpath.Shards.probe t "a");
+  Alcotest.(check int) "probe miss uncounted" 1 (Fastpath.Shards.misses t);
+  (match Fastpath.Shards.create ~shards:0 ~capacity:8 () with
+  | (_ : int Fastpath.Shards.t) -> Alcotest.fail "shards=0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Fastpath.Shards.create ~shards:4 ~capacity:(-1) () with
+  | (_ : int Fastpath.Shards.t) -> Alcotest.fail "negative capacity must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* tiny capacities round the per-shard bound up to one entry *)
+  let t : int Fastpath.Shards.t = Fastpath.Shards.create ~shards:8 ~capacity:3 () in
+  Alcotest.(check int) "per-shard bound rounds up" 8 (Fastpath.Shards.capacity t)
+
+(* -- Scan -- *)
+
+let span_str line = function
+  | Some (off, len) -> Some (String.sub line off len)
+  | None -> None
+
+let test_scanner_members () =
+  let line = {|{"id":7,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"t-9"}|} in
+  Alcotest.(check bool) "inside the subset" true (Fastpath.Scan.simple_object line);
+  Alcotest.(check (option string)) "cmd span" (Some {|"analyze"|})
+    (span_str line (Fastpath.Scan.member line "cmd"));
+  Alcotest.(check (option string)) "numeric id span" (Some "7")
+    (span_str line (Fastpath.Scan.member line "id"));
+  Alcotest.(check bool) "span_is matches raw bytes" true
+    (Fastpath.Scan.span_is line (Option.get (Fastpath.Scan.member line "cmd")) {|"analyze"|});
+  (match
+     Option.bind (Fastpath.Scan.member line "nf") (Fastpath.Scan.string_contents line)
+   with
+  | Some (off, len) -> Alcotest.(check string) "string_contents drops quotes" "tcpack" (String.sub line off len)
+  | None -> Alcotest.fail "nf should scan");
+  Alcotest.(check (option string)) "absent member" None
+    (span_str line (Fastpath.Scan.member line "p4lite"));
+  (* first match wins, as in Jsonl.member (assoc) *)
+  let dup = {|{"a":1,"a":2}|} in
+  Alcotest.(check (option string)) "first duplicate wins" (Some "1")
+    (span_str dup (Fastpath.Scan.member dup "a"))
+
+let test_scanner_rejects_outside_subset () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "%S outside subset" line) false
+        (Fastpath.Scan.simple_object line);
+      Alcotest.(check (option string)) (Printf.sprintf "%S yields no members" line) None
+        (span_str line (Fastpath.Scan.member line "cmd")))
+    [ {|{"cmd":"analyze","p4lite":{"tables":[]}}|} (* nested object *);
+      {|{"cmd":"analyze","x":[1,2]}|} (* nested array *);
+      {|{"cmd":"ana\"lyze"}|} (* escape in a string *);
+      {|{"cmd":"analyze"} trailing|} (* trailing garbage *);
+      {|{"cmd":"analyze",}|} (* trailing comma *);
+      {|{"cmd" "analyze"}|} (* missing colon *);
+      {|["cmd","analyze"]|} (* not an object *);
+      "{" (* truncated *) ]
+
+let test_canonical_scalar () =
+  let canon tok =
+    let line = Printf.sprintf {|{"id":%s}|} tok in
+    match Fastpath.Scan.member line "id" with
+    | Some span -> Fastpath.Scan.canonical_scalar line span
+    | None -> false
+  in
+  List.iter
+    (fun tok -> Alcotest.(check bool) (tok ^ " is canonical") true (canon tok))
+    [ "7"; "-42"; "0"; {|"req-9"|}; {|""|}; "true"; "false"; "null"; "999999999999999" ];
+  List.iter
+    (fun tok -> Alcotest.(check bool) (tok ^ " is not canonical") false (canon tok))
+    [ "1.5" (* prints as 1.5 but rounds through float *); "007" (* leading zeros *);
+      "1e3" (* scientific *); {|"a\"b"|} (* escape *); "1000000000000000" (* 16 digits *) ]
+
+(* -- Entry: pre-rendered bytes match Jsonl rendering -- *)
+
+let test_entry_matches_jsonl () =
+  let nf = "tcpack" and workload = "mixed" in
+  let report = "line1\nline\t\"two\"\\three" in
+  let entry = Fastpath.Entry.make ~nf ~workload ~report in
+  let expect ~id ~trace ~cached =
+    Serve.Jsonl.to_string
+      (Serve.Jsonl.Obj
+         [ ("id", id); ("ok", Serve.Jsonl.Bool true); ("trace_id", Serve.Jsonl.Str trace);
+           ("nf", Serve.Jsonl.Str nf); ("workload", Serve.Jsonl.Str workload);
+           ("cached", Serve.Jsonl.Bool cached); ("path", Serve.Jsonl.Str "slow");
+           ("report", Serve.Jsonl.Str report) ])
+  in
+  Alcotest.(check string) "render matches Jsonl (numeric id)"
+    (expect ~id:(Serve.Jsonl.Num 7.0) ~trace:"t-1" ~cached:false)
+    (Fastpath.Entry.render entry ~id:"7" ~trace:"t-1" ~cached:false ~path:"slow");
+  Alcotest.(check string) "render matches Jsonl (null id)"
+    (expect ~id:Serve.Jsonl.Null ~trace:"t-2" ~cached:true)
+    (Fastpath.Entry.render entry ~id:"" ~trace:"t-2" ~cached:true ~path:"slow");
+  let line = {|{"id":"req-9","trace_id":"abc"}|} in
+  let id_off, id_len = Option.get (Fastpath.Scan.member line "id") in
+  let trace_off, trace_len =
+    Option.get
+      (Option.bind (Fastpath.Scan.member line "trace_id") (Fastpath.Scan.string_contents line))
+  in
+  let b = Buffer.create 64 in
+  Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len ~trace_src:line ~trace_off
+    ~trace_len ~cached:true ~path:"slow";
+  Alcotest.(check string) "render_into splices raw tokens"
+    (expect ~id:(Serve.Jsonl.Str "req-9") ~trace:"abc" ~cached:true)
+    (Buffer.contents b)
+
+(* -- flattened predictors: bit-identical to the boxed references -- *)
+
+let synth_xy n =
+  let xs =
+    Array.init n (fun i ->
+        [| float_of_int (i mod 7); float_of_int (i mod 5) *. 0.5; float_of_int (i mod 3) |])
+  in
+  let ys = Array.map (fun x -> (2.0 *. x.(0)) -. (1.5 *. x.(1)) +. (x.(2) *. x.(2))) xs in
+  (xs, ys)
+
+let test_flat_tree_ensembles () =
+  let xs, ys = synth_xy 80 in
+  let probes = Array.init 200 (fun i -> [| float_of_int (i mod 11); float_of_int (i mod 6) *. 0.25; float_of_int (i mod 4) |]) in
+  let tree = Mlkit.Tree.grow xs ys in
+  let ft = Mlkit.Tree.Flat.of_tree tree in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "flat tree bit-identical" true
+        (Float.equal (Mlkit.Tree.predict tree x) (Mlkit.Tree.Flat.eval ft x)))
+    probes;
+  let gbdt = Mlkit.Tree.gbdt_fit ~n_stages:12 xs ys in
+  let fg = Mlkit.Tree.Flat.of_gbdt gbdt in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "flat gbdt bit-identical" true
+        (Float.equal (Mlkit.Tree.gbdt_predict gbdt x) (Mlkit.Tree.Flat.gbdt_eval fg x)))
+    probes;
+  let forest = Mlkit.Tree.forest_fit ~n_trees:7 xs ys in
+  let ff = Mlkit.Tree.Flat.of_forest forest in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "flat forest bit-identical" true
+        (Float.equal (Mlkit.Tree.forest_predict forest x) (Mlkit.Tree.Flat.forest_eval ff x)))
+    probes
+
+let models =
+  lazy
+    (let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+     let predictor = Clara.Predictor.train ~epochs:1 ds in
+     let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+     { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None })
+
+let test_compiled_pipeline_identical () =
+  let m = Lazy.force models in
+  let compiled = Clara.Pipeline.compile m in
+  let spec = Serve.Server.mixed_spec in
+  List.iter
+    (fun name ->
+      let elt = Nf_lang.Corpus.find name in
+      Alcotest.(check string)
+        (name ^ ": compiled report byte-identical")
+        (Clara.Pipeline.report m elt spec)
+        (Clara.Pipeline.report_compiled compiled elt spec);
+      (* scratch reuse: a second evaluation must not be polluted by the
+         first *)
+      Alcotest.(check string)
+        (name ^ ": compiled report stable on reuse")
+        (Clara.Pipeline.report m elt spec)
+        (Clara.Pipeline.report_compiled compiled elt spec))
+    [ "tcpack"; "udpipencap"; "anonipaddr" ];
+  let elt = Nf_lang.Corpus.find "tcpack" in
+  let direct = Clara.Predictor.predict_element m.Clara.Pipeline.predictor elt in
+  let pc = Clara.Predictor.compile m.Clara.Pipeline.predictor in
+  Alcotest.(check bool) "compiled per-block predictions bit-identical" true
+    (List.for_all2
+       (fun (b1, p1, m1) (b2, p2, m2) -> b1 = b2 && Float.equal p1 p2 && Float.equal m1 m2)
+       direct
+       (Clara.Predictor.predict_element_compiled pc elt))
+
+(* -- the served fast/slow split -- *)
+
+let mk_server ?(cache_capacity = 8) ?max_pending () =
+  Serve.Server.create ~cache_capacity ?max_pending (Lazy.force models)
+
+let parse_reply line =
+  match Serve.Jsonl.of_string line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unparseable reply %S: %s" line msg
+
+let is_ok reply = Serve.Jsonl.member "ok" reply = Some (Serve.Jsonl.Bool true)
+let path_of line = Serve.Jsonl.str_member "path" (parse_reply line)
+
+(* Replace the single occurrence of [sub] in [s] with [by]. *)
+let subst s sub by =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  match go 0 with
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+  | None -> Alcotest.failf "%S does not contain %S" s sub
+
+let fast_marker = {|"cached":true,"path":"fast"|}
+let hit_marker = {|"cached":true,"path":"slow"|}
+let fresh_marker = {|"cached":false,"path":"slow"|}
+
+let test_fast_slow_byte_equality () =
+  let s = mk_server () in
+  let line = {|{"id":7,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"tt"}|} in
+  let fresh = Serve.Server.handle_request s line in
+  Alcotest.(check (option string)) "install is slow" (Some "slow") (path_of fresh);
+  let fast = Serve.Server.handle_request s line in
+  Alcotest.(check (option string)) "repeat is fast" (Some "fast") (path_of fast);
+  (* the same request with a member outside the scanner subset takes the
+     slow path — but still hits the cache *)
+  let slow_hit =
+    Serve.Server.handle_request s
+      {|{"id":7,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"tt","x":"a\\b"}|}
+  in
+  Alcotest.(check (option string)) "escaped member forces slow" (Some "slow") (path_of slow_hit);
+  Alcotest.(check bool) "slow hit is cached" true
+    (Serve.Jsonl.member "cached" (parse_reply slow_hit) = Some (Serve.Jsonl.Bool true));
+  (* byte equality modulo exactly the cached/path markers *)
+  Alcotest.(check string) "fast reply == slow cache hit (modulo path)"
+    slow_hit
+    (subst fast fast_marker hit_marker);
+  Alcotest.(check string) "fast reply == fresh reply (modulo cached+path)"
+    fresh
+    (subst fast fast_marker fresh_marker)
+
+let test_fast_path_id_variants () =
+  let s = mk_server () in
+  ignore (Serve.Server.handle_request s {|{"cmd":"analyze","nf":"tcpack"}|});
+  (* workload defaulted to mixed: the warm entry answers these too *)
+  let string_id = Serve.Server.handle_request s {|{"id":"req-9","cmd":"analyze","nf":"tcpack"}|} in
+  Alcotest.(check (option string)) "string id rides the fast path" (Some "fast")
+    (path_of string_id);
+  Alcotest.(check bool) "string id echoed" true
+    (Serve.Jsonl.member "id" (parse_reply string_id) = Some (Serve.Jsonl.Str "req-9"));
+  let no_id = Serve.Server.handle_request s {|{"cmd":"analyze","nf":"tcpack"}|} in
+  Alcotest.(check bool) "absent id echoes null" true
+    (Serve.Jsonl.member "id" (parse_reply no_id) = Some Serve.Jsonl.Null);
+  Alcotest.(check (option string)) "absent id rides the fast path" (Some "fast") (path_of no_id);
+  let op = Serve.Server.handle_request s {|{"id":1,"op":"analyze","nf":"tcpack"}|} in
+  Alcotest.(check (option string)) "op alias rides the fast path" (Some "fast") (path_of op);
+  (* non-canonical ids (would not round-trip byte-identically) fall back *)
+  let float_id = Serve.Server.handle_request s {|{"id":1.5,"cmd":"analyze","nf":"tcpack"}|} in
+  Alcotest.(check (option string)) "non-canonical id falls back to slow" (Some "slow")
+    (path_of float_id);
+  Alcotest.(check bool) "fallback still answers from cache" true
+    (Serve.Jsonl.member "cached" (parse_reply float_id) = Some (Serve.Jsonl.Bool true));
+  (* unknown workloads and unknown NFs never fast-match *)
+  let bad = Serve.Server.handle_request s {|{"cmd":"analyze","nf":"tcpack","workload":"bogus"}|} in
+  Alcotest.(check bool) "unknown workload still rejected" false (is_ok (parse_reply bad));
+  let trace =
+    Serve.Server.handle_request s {|{"id":2,"cmd":"analyze","nf":"tcpack","trace_id":"zz"}|}
+  in
+  Alcotest.(check (option string)) "client trace id echoed on the fast path" (Some "zz")
+    (Serve.Jsonl.str_member "trace_id" (parse_reply trace))
+
+let test_fast_path_robustness () =
+  let s = mk_server ~max_pending:1 () in
+  let line = {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed"}|} in
+  ignore (Serve.Server.handle_request s line);
+  Alcotest.(check (option string)) "warm" (Some "fast")
+    (path_of (Serve.Server.handle_request s line));
+  (* an armed jsonl.parse fault disables the fast path: the reply must be
+     the injected parse error, not a stale cached answer (parsed only
+     after disarming — the test's own parser shares the fault point) *)
+  let faulted =
+    with_fault ~point:"jsonl.parse" ~prob:1.0 (fun () -> Serve.Server.handle_request s line)
+  in
+  let r = parse_reply faulted in
+  Alcotest.(check bool) "armed parse fault short-circuits the fast path" false (is_ok r);
+  (match Serve.Jsonl.str_member "error" r with
+  | Some msg ->
+    Alcotest.(check bool) "the error is the injected fault" true
+      (String.length msg >= 14 && String.sub msg 0 14 = "malformed JSON")
+  | None -> Alcotest.fail "fault reply carries an error");
+  (* the fault disarmed, the fast path resumes *)
+  Alcotest.(check (option string)) "fast path resumes once disarmed" (Some "fast")
+    (path_of (Serve.Server.handle_request s line));
+  (* admission control applies before the fast path: the second line of a
+     batch is shed even though it would have been a warm hit *)
+  (match Serve.Server.process_batch s [ line; line ] with
+  | [ first; second ] ->
+    Alcotest.(check (option string)) "admitted line is fast" (Some "fast") (path_of first);
+    let r2 = parse_reply second in
+    Alcotest.(check bool) "overflow line is shed" true
+      (Serve.Jsonl.member "overloaded" r2 = Some (Serve.Jsonl.Bool true))
+  | replies -> Alcotest.failf "expected 2 replies, got %d" (List.length replies));
+  (* deadlines: a warm hit answers inside any budget (same contract as
+     the pre-split cache hit) *)
+  let tight = {|{"id":9,"cmd":"analyze","nf":"tcpack","workload":"mixed","deadline_ms":10000}|} in
+  Alcotest.(check (option string)) "deadline request still rides the fast path" (Some "fast")
+    (path_of (Serve.Server.handle_request s tight))
+
+let test_fastpath_metrics_exposed () =
+  let s = mk_server () in
+  let line = {|{"id":1,"cmd":"analyze","nf":"udpipencap","workload":"mixed"}|} in
+  ignore (Serve.Server.handle_request s line);
+  ignore (Serve.Server.handle_request s line);
+  let r = parse_reply (Serve.Server.handle_request s {|{"id":2,"cmd":"metrics"}|}) in
+  match Serve.Jsonl.str_member "metrics" r with
+  | None -> Alcotest.fail "metrics reply carries an exposition"
+  | Some text ->
+    List.iter
+      (fun needle ->
+        let n = String.length text and m = String.length needle in
+        let rec go i = i + m <= n && (String.sub text i m = needle || go (i + 1)) in
+        Alcotest.(check bool) (needle ^ " exposed") true (go 0))
+      [ "clara_fastpath_hits_total"; "clara_fastpath_misses_total";
+        "clara_slowpath_installs_total"; "clara_fastpath_evictions_total";
+        "clara_fastpath_shard_occupancy" ]
+
+let () =
+  Alcotest.run "fastpath"
+    [ ( "shards",
+        [ Alcotest.test_case "stable FNV shard assignment" `Quick test_shard_assignment_stable;
+          Alcotest.test_case "per-shard LRU eviction" `Quick test_per_shard_eviction;
+          Alcotest.test_case "degenerate capacities and counters" `Quick
+            test_degenerate_and_counters ] );
+      ( "scan",
+        [ Alcotest.test_case "member spans" `Quick test_scanner_members;
+          Alcotest.test_case "subset rejections" `Quick test_scanner_rejects_outside_subset;
+          Alcotest.test_case "canonical scalars" `Quick test_canonical_scalar ] );
+      ( "entry",
+        [ Alcotest.test_case "pre-rendered bytes match Jsonl" `Quick test_entry_matches_jsonl ] );
+      ( "compiled",
+        [ Alcotest.test_case "flat tree ensembles bit-identical" `Quick test_flat_tree_ensembles;
+          Alcotest.test_case "compiled pipeline byte-identical" `Quick
+            test_compiled_pipeline_identical ] );
+      ( "served",
+        [ Alcotest.test_case "fast/slow byte equality" `Quick test_fast_slow_byte_equality;
+          Alcotest.test_case "id and trace variants" `Quick test_fast_path_id_variants;
+          Alcotest.test_case "faults, shedding, deadlines" `Quick test_fast_path_robustness;
+          Alcotest.test_case "fastpath metrics exposed" `Quick test_fastpath_metrics_exposed ] ) ]

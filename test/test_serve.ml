@@ -155,9 +155,13 @@ let test_handle_valid_and_cached () =
   Alcotest.(check (option string)) "nf echoed" (Some "tcpack") (Serve.Jsonl.str_member "nf" r1);
   Alcotest.(check bool) "first is uncached" true
     (Serve.Jsonl.member "cached" r1 = Some (Serve.Jsonl.Bool false));
+  Alcotest.(check (option string)) "first is answered by the slow path" (Some "slow")
+    (Serve.Jsonl.str_member "path" r1);
   let r2 = parse_reply (Serve.Server.handle_request s q) in
   Alcotest.(check bool) "second is cached" true
     (Serve.Jsonl.member "cached" r2 = Some (Serve.Jsonl.Bool true));
+  Alcotest.(check (option string)) "second is answered by the fast path" (Some "fast")
+    (Serve.Jsonl.str_member "path" r2);
   Alcotest.(check (option string)) "cached report identical"
     (Serve.Jsonl.str_member "report" r1)
     (Serve.Jsonl.str_member "report" r2);
@@ -239,6 +243,9 @@ let test_handle_p4lite () =
   let r2 = parse_reply (Serve.Server.handle_request s q) in
   Alcotest.(check bool) "same program hits the cache" true
     (Serve.Jsonl.member "cached" r2 = Some (Serve.Jsonl.Bool true));
+  (* inline programs always parse fully: a hit, but on the slow path *)
+  Alcotest.(check (option string)) "p4lite hits stay on the slow path" (Some "slow")
+    (Serve.Jsonl.str_member "path" r2);
   let badfield =
     parse_reply
       (Serve.Server.handle_request s
