@@ -19,13 +19,17 @@
       the retrying client (p50/p99) and the deterministic load-shedding
       rate at 1x/4x/16x overload; writes BENCH_robust.json and exits
       nonzero when the admission policy or the committed baseline drifts.
+    - `bench/main.exe quality`: gate the prediction-quality telemetry:
+      shadow-off warm fast-path p50 inside the 15 µs envelope, and a
+      synthetic nicsim profile shift detected in a deterministic number
+      of shadow samples; writes BENCH_quality.json.
     - `bench/main.exe list`: list experiment ids.
 
     CLARA_FULL=1 enlarges training sets and sweeps. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | <experiment id>...]";
+    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | quality | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -847,6 +851,127 @@ let run_fastpath_report () =
     end);
   if !failed then exit 1
 
+(* -- BENCH_quality.json: what shadow evaluation costs and guarantees —
+   the warm fast-path hit latency with shadowing disabled must stay
+   inside the 15 µs BENCH_fastpath envelope (rate 0 is one float compare
+   on the hit path), the rate-1.0 latency is reported for context, and a
+   synthetic 1.4x nicsim memory-profile shift must trip the per-NF drift
+   detector in a deterministic number of shadow samples.  Shadow
+   selection, evaluation order, and the detectors are all deterministic,
+   so the detection latency is gated by exact match against the
+   committed baseline, not a tolerance band. -- *)
+
+let read_committed_drift_samples () =
+  if not (Sys.file_exists "BENCH_quality.json") then None
+  else
+    let ic = open_in_bin "BENCH_quality.json" in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let flat = String.concat " " (String.split_on_char '\n' raw) in
+    match Serve.Jsonl.of_string flat with
+    | Ok j -> Serve.Jsonl.num_member "drift_detect_samples" j
+    | Error _ -> None
+
+let run_quality_report () =
+  let committed = read_committed_drift_samples () in
+  let models =
+    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+    let predictor = Clara.Predictor.train ~epochs:1 ds in
+    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+  in
+  let warm_line = {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed"}|} in
+  (* warm fast-path hit latency at a given shadow rate (blocks of calls
+     bound the 1 µs clock granularity, same method as the fastpath gate) *)
+  let hit_p50 ~shadow_rate =
+    let server = Serve.Server.create ~cache_capacity:16 ~shadow_rate models in
+    ignore (Serve.Server.handle_request server warm_line);
+    let block = 64 and n_blocks = 300 in
+    let samples = Array.make n_blocks 0.0 in
+    for b = 0 to n_blocks - 1 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to block do
+        ignore (Serve.Server.handle_request server warm_line)
+      done;
+      samples.(b) <- (Unix.gettimeofday () -. t0) /. float_of_int block *. 1e6
+    done;
+    Array.sort compare samples;
+    percentile samples 50.0
+  in
+  let p50_off_us = hit_p50 ~shadow_rate:0.0 in
+  let p50_shadow_us = hit_p50 ~shadow_rate:1.0 in
+  (* drift scenario: warm an NF whose memory prediction matches the
+     unperturbed simulator exactly, shift the simulated memory profile by
+     1.4x, and count shadow samples until the detector latches *)
+  Nicsim.Perturb.reset ();
+  let detect_samples, control_quiet =
+    Fun.protect ~finally:Nicsim.Perturb.reset @@ fun () ->
+    let server = Serve.Server.create ~cache_capacity:16 ~shadow_rate:1.0 models in
+    let q = Serve.Server.quality server in
+    let send i =
+      ignore
+        (Serve.Server.handle_request server
+           (Printf.sprintf {|{"id":%d,"cmd":"analyze","nf":"webtcp"}|} i))
+    in
+    for i = 1 to 24 do send i done;
+    Serve.Server.drain_quality server;
+    if Serve.Quality.drift_active q "webtcp/memory" then begin
+      Printf.printf "FAIL: memory drift detector fired before the perturbation\n";
+      exit 1
+    end;
+    Nicsim.Perturb.set ~memory_scale:1.4 ();
+    let budget = ref 0 in
+    while (not (Serve.Quality.drift_active q "webtcp/memory")) && !budget < 64 do
+      incr budget;
+      send (24 + !budget)
+    done;
+    (* the unshifted compute-error stream must have stayed quiet *)
+    (!budget, not (Serve.Quality.drift_active q "webtcp"))
+  in
+  let oc = open_out "BENCH_quality.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-quality-bench/1\",\n\
+    \  \"fast_hit_p50_us_shadow_off\": %.3f,\n\
+    \  \"fast_hit_p50_us_shadow_full\": %.3f,\n\
+    \  \"drift_nf\": \"webtcp\",\n\
+    \  \"drift_detector\": \"memory\",\n\
+    \  \"drift_memory_scale\": 1.4,\n\
+    \  \"drift_warmup_samples\": 24,\n\
+    \  \"drift_detect_samples\": %d\n\
+     }\n"
+    p50_off_us p50_shadow_us detect_samples;
+  close_out oc;
+  Printf.printf "Prediction-quality report (also written to BENCH_quality.json):\n";
+  Printf.printf "  warm fast-path hit p50   shadow off %8.3f us   shadow 1.0 %8.3f us\n"
+    p50_off_us p50_shadow_us;
+  Printf.printf "  1.4x memory-profile shift detected after %d shadow samples\n" detect_samples;
+  let failed = ref false in
+  if p50_off_us >= 15.0 then begin
+    Printf.printf "FAIL: shadow-off warm hit p50 %.3f us breaches the 15 us gate\n" p50_off_us;
+    failed := true
+  end;
+  if detect_samples >= 64 then begin
+    Printf.printf "FAIL: drift not detected within the 64-sample budget\n";
+    failed := true
+  end;
+  if not control_quiet then begin
+    Printf.printf "FAIL: unshifted compute-error stream tripped its detector\n";
+    failed := true
+  end;
+  (match committed with
+  | None -> Printf.printf "  (no committed BENCH_quality.json baseline; drift gate skipped)\n"
+  | Some baseline ->
+    Printf.printf "  detection latency vs committed baseline: %d / %.0f samples\n"
+      detect_samples baseline;
+    if float_of_int detect_samples <> baseline then begin
+      Printf.printf
+        "FAIL: detection latency moved from the committed baseline (deterministic pipeline)\n";
+      failed := true
+    end);
+  if !failed then exit 1
+
 (* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
    span recording when tracing, and flush both files when the run ends. *)
 let with_obs_flags args f =
@@ -880,6 +1005,7 @@ let () =
   | _ :: [ "obs" ] -> run_obs_report ()
   | _ :: [ "robust" ] -> run_robust_report ()
   | _ :: [ "fastpath" ] -> run_fastpath_report ()
+  | _ :: [ "quality" ] -> run_quality_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

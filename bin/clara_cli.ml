@@ -7,6 +7,7 @@
     - [train --save DIR]          train once and persist the model bundle
     - [serve --socket PATH]       long-running insight service (see lib/serve)
     - [query --socket PATH NF]    one request against a running service
+    - [quality --socket PATH]     prediction-quality telemetry of a running service
     - [port NF]                   measure naive vs Clara-configured port
     - [sweep NF]                  print the core-count sweep
     - [experiment ID...]          run paper experiments (or 'all') *)
@@ -230,8 +231,24 @@ let analyze_cmd =
 
 let serve_cmd =
   let run model socket full cache_capacity shards http_port trace_requests slow_ms deadline_ms
-      max_pending max_clients =
+      max_pending max_clients shadow_rate log_file log_level =
     if trace_requests then Obs.Span.set_enabled true;
+    (* --log / --log-level win over the CLARA_LOG/CLARA_LOG_LEVEL
+       environment defaults already applied at startup. *)
+    let log_sink_name =
+      match log_file with
+      | None -> "default"
+      | Some ("stderr" | "-") ->
+        Obs.Log.set_sink Obs.Log.Stderr;
+        "stderr"
+      | Some ("off" | "none") ->
+        Obs.Log.set_sink Obs.Log.Off;
+        "off"
+      | Some path ->
+        Obs.Log.set_sink (Obs.Log.File path);
+        path
+    in
+    Option.iter Obs.Log.set_level log_level;
     let models =
       match model with
       | Some dir -> (
@@ -256,7 +273,7 @@ let serve_cmd =
     let slow_threshold_s = Option.map (fun ms -> ms /. 1000.0) slow_ms in
     let server =
       Serve.Server.create ~cache_capacity ~shards ?slow_threshold_s ?deadline_ms ~max_pending
-        ~max_clients models
+        ~max_clients ?shadow_rate models
     in
     (* The HTTP exporter runs on its own domain so a scrape never queues
        behind the socket select loop; the Runtime sampler keeps GC gauges
@@ -264,7 +281,11 @@ let serve_cmd =
     let http =
       Option.map
         (fun port ->
-          let h = Serve.Http.create ~port () in
+          let h =
+            Serve.Http.create ~port
+              ~quality:(fun () -> Serve.Server.quality_json server)
+              ()
+          in
           Obs.Runtime.start ();
           (h, Domain.spawn (fun () -> Serve.Http.run h)))
         http_port
@@ -275,6 +296,9 @@ let serve_cmd =
            ("jobs", Obs.Log.Int (Util.Pool.size ()));
            ("cache_capacity", Obs.Log.Int cache_capacity);
            ("cache_shards", Obs.Log.Int shards);
+           ("shadow_rate", Obs.Log.Num (Serve.Quality.rate (Serve.Server.quality server)));
+           ("log_sink", Obs.Log.Str log_sink_name);
+           ("log_level", Obs.Log.Str (Obs.Log.level_name (Obs.Log.level ())));
            ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
         @ match http with
           | Some (h, _) -> [ ("http_port", Obs.Log.Int (Serve.Http.port h)) ]
@@ -339,9 +363,37 @@ let serve_cmd =
              ~doc:"Concurrent connections held; extra connections get one overloaded reply and \
                    are closed.")
   in
+  let shadow_rate =
+    Arg.(value & opt (some float) None
+         & info [ "shadow-rate" ] ~docv:"R"
+             ~doc:"Shadow-evaluate this fraction of analyze answers (0..1) against the cheap \
+                   simulator ground truth, feeding the 'quality' telemetry (default: \
+                   \\$CLARA_SHADOW_RATE, else 0 = off).")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Write structured JSONL logs to FILE ('stderr'/'-' for stderr, 'off'/'none' to \
+                   silence; default: \\$CLARA_LOG, else stderr).")
+  in
+  let log_level =
+    let level_conv =
+      let parse s =
+        match Obs.Log.level_of_string s with
+        | Some l -> Ok l
+        | None -> Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
+      in
+      Arg.conv (parse, fun fmt l -> Format.fprintf fmt "%s" (Obs.Log.level_name l))
+    in
+    Arg.(value & opt (some level_conv) None
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Log threshold: debug, info, warn or error (default: \\$CLARA_LOG_LEVEL, else \
+                   info).")
+  in
   Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
     Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ shards $ http_port
-          $ trace_requests $ slow_ms $ deadline_ms $ max_pending $ max_clients)
+          $ trace_requests $ slow_ms $ deadline_ms $ max_pending $ max_clients $ shadow_rate
+          $ log_file $ log_level)
 
 (* -- query -- *)
 
@@ -424,6 +476,46 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Query a running insight service for one NF")
     Term.(const run $ socket_arg $ nf_arg $ wname $ deadline_ms $ retries $ timeout_s)
+
+(* -- quality -- *)
+
+let quality_cmd =
+  let run socket retries timeout_s =
+    let client = Serve.Client.create ~timeout_s ~retries ~socket_path:socket () in
+    let outcome = Serve.Client.request client [ ("cmd", Serve.Jsonl.Str "quality") ] in
+    Serve.Client.close client;
+    match outcome with
+    | Error err ->
+      Obs.Log.error
+        ~fields:
+          [ ("socket", Obs.Log.Str socket);
+            ("error", Obs.Log.Str (Serve.Client.error_to_string err));
+            ("attempts", Obs.Log.Int (Serve.Client.attempts client)) ]
+        "quality query failed (is 'clara serve' running?)";
+      exit 1
+    | Ok j -> (
+      match Serve.Jsonl.str_member "quality" j with
+      | Some q -> print_endline q
+      | None ->
+        Obs.Log.error
+          ~fields:[ ("reply", Obs.Log.Str (Serve.Jsonl.to_string j)) ]
+          "server did not return quality telemetry";
+        exit 1)
+  in
+  let retries =
+    Arg.(value & opt int 4
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget for overloaded replies and transient I/O errors.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-attempt round-trip timeout.")
+  in
+  Cmd.v
+    (Cmd.info "quality"
+       ~doc:"Fetch prediction-quality telemetry (error sketches, drift, SLO burn rates) from a \
+             running service")
+    Term.(const run $ socket_arg $ retries $ timeout_s)
 
 (* -- port -- *)
 
@@ -511,5 +603,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; train_cmd; analyze_cmd; serve_cmd; query_cmd; port_cmd;
-            sweep_cmd; profile_cmd; experiment_cmd ]))
+          [ list_cmd; show_cmd; train_cmd; analyze_cmd; serve_cmd; query_cmd; quality_cmd;
+            port_cmd; sweep_cmd; profile_cmd; experiment_cmd ]))

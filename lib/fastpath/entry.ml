@@ -21,9 +21,11 @@ type t = {
   report : string;
   mid : string;  (** pre-escaped [,"nf":...,"workload":...] segment *)
   report_json : string;  (** pre-escaped report, quotes included *)
+  pred_compute : float;
+  pred_memory : float;
 }
 
-let make ~nf ~workload ~report =
+let make ?(pred_compute = 0.0) ?(pred_memory = 0.0) ~nf ~workload ~report () =
   let b = Buffer.create (String.length nf + String.length workload + 32) in
   Buffer.add_string b ",\"nf\":\"";
   add_escaped b nf;
@@ -35,11 +37,13 @@ let make ~nf ~workload ~report =
   Buffer.add_char rb '"';
   add_escaped rb report;
   Buffer.add_char rb '"';
-  { nf; workload; report; mid; report_json = Buffer.contents rb }
+  { nf; workload; report; mid; report_json = Buffer.contents rb; pred_compute; pred_memory }
 
 let nf t = t.nf
 let workload t = t.workload
 let report t = t.report
+let pred_compute t = t.pred_compute
+let pred_memory t = t.pred_memory
 
 let render_tail b t ~cached ~path =
   Buffer.add_string b t.mid;

@@ -11,11 +11,18 @@
 
 type t
 
-val make : nf:string -> workload:string -> report:string -> t
+(** [pred_compute]/[pred_memory] carry the model's raw predictions so
+    fast-path hits can still feed shadow evaluation without re-parsing
+    the rendered report (default 0.0 when the installer has none). *)
+val make :
+  ?pred_compute:float -> ?pred_memory:float ->
+  nf:string -> workload:string -> report:string -> unit -> t
 
 val nf : t -> string
 val workload : t -> string
 val report : t -> string
+val pred_compute : t -> float
+val pred_memory : t -> float
 
 (** Splice a reply into [b] with the id token and trace-id contents taken
     as raw substrings ([id_len = 0] renders a [null] id; the trace span

@@ -1,0 +1,34 @@
+(* Process-wide multiplicative perturbation of simulated ground truth.
+   Scales live in atomics as int-encoded millis so reads on the shadow
+   path are one atomic load with no float boxing in the common
+   (inactive) case. *)
+
+let encode s = int_of_float (Float.round (s *. 1000.0))
+let decode i = float_of_int i /. 1000.0
+
+let compute_millis = Atomic.make (encode 1.0)
+let memory_millis = Atomic.make (encode 1.0)
+
+let set ?compute_scale ?memory_scale () =
+  (match compute_scale with
+  | Some s ->
+      if not (Float.is_finite s && s > 0.0) then
+        invalid_arg "Nicsim.Perturb.set: compute_scale must be finite and positive";
+      Atomic.set compute_millis (encode s)
+  | None -> ());
+  match memory_scale with
+  | Some s ->
+      if not (Float.is_finite s && s > 0.0) then
+        invalid_arg "Nicsim.Perturb.set: memory_scale must be finite and positive";
+      Atomic.set memory_millis (encode s)
+  | None -> ()
+
+let reset () =
+  Atomic.set compute_millis (encode 1.0);
+  Atomic.set memory_millis (encode 1.0)
+
+let compute_scale () = decode (Atomic.get compute_millis)
+let memory_scale () = decode (Atomic.get memory_millis)
+
+let active () =
+  Atomic.get compute_millis <> encode 1.0 || Atomic.get memory_millis <> encode 1.0

@@ -1,0 +1,23 @@
+(** Process-wide multiplicative perturbation of simulated ground truth.
+
+    Test and bench hook for drift scenarios: scaling the compute or
+    memory counts the simulator reports mid-stream emulates a NIC
+    profile shift (firmware change, contention onset) without touching
+    any cached model state.  Consumers that derive ground truth (the
+    shadow-evaluation path in [Serve.Quality]) multiply their raw
+    counts by these scales at use time, so caches can keep unperturbed
+    values.  Scales are stored at milli resolution in atomics — safe
+    to flip from any domain mid-stream. *)
+
+val set : ?compute_scale:float -> ?memory_scale:float -> unit -> unit
+(** Set either scale (unset arguments keep their current value).
+    Raises [Invalid_argument] on non-positive or non-finite scales. *)
+
+val reset : unit -> unit
+(** Back to the identity (1.0 / 1.0). *)
+
+val compute_scale : unit -> float
+val memory_scale : unit -> float
+
+val active : unit -> bool
+(** True iff either scale differs from 1.0. *)

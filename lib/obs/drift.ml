@@ -1,0 +1,151 @@
+(** Windowed drift detection over error series (see drift.mli). *)
+
+type config = {
+  ph_delta : float;
+  ph_lambda : float;
+  window : int;
+  q_threshold : float;
+  min_samples : int;
+}
+
+let default_config =
+  { ph_delta = 0.005; ph_lambda = 0.5; window = 32; q_threshold = 0.25; min_samples = 16 }
+
+type t = {
+  config : config;
+  name : string;
+  (* Page-Hinkley state, two-sided *)
+  mutable n : int;
+  mutable mean : float;
+  mutable m_inc : float; (* cumulative deviation for upward shifts *)
+  mutable m_inc_min : float;
+  mutable m_dec : float; (* cumulative deviation for downward shifts *)
+  mutable m_dec_max : float;
+  (* two-window ring: last 2*window samples in arrival order *)
+  ring : float array;
+  mutable ring_n : int; (* total samples ever written to the ring *)
+  (* firing state, latched until reset *)
+  mutable fired : string option; (* "ph" | "qdist" *)
+  mutable fired_at : int;
+  mutable fired_stat : float;
+  lock : Mutex.t;
+}
+
+let create ?(config = default_config) ~name () =
+  if config.window < 2 then invalid_arg "Obs.Drift.create: window must be >= 2";
+  { config; name;
+    n = 0; mean = 0.0; m_inc = 0.0; m_inc_min = 0.0; m_dec = 0.0; m_dec_max = 0.0;
+    ring = Array.make (2 * config.window) 0.0; ring_n = 0;
+    fired = None; fired_at = -1; fired_stat = 0.0;
+    lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let gauge_for t detector =
+  Metrics.gauge ~help:"1 while a drift detector is latched active"
+    ~labels:[ ("detector", detector); ("nf", t.name) ]
+    "clara_drift_active"
+
+let fire t detector stat =
+  t.fired <- Some detector;
+  t.fired_at <- t.n;
+  t.fired_stat <- stat;
+  Metrics.set_gauge (gauge_for t detector) 1.0;
+  Log.warn
+    ~fields:
+      [ ("event", Log.Str "drift"); ("detector", Log.Str detector);
+        ("name", Log.Str t.name); ("stat", Log.Num stat); ("sample", Log.Int t.n) ]
+    "drift.detected"
+
+(* Rank-based quantile of a sorted window: ceil(q*n) clamped to [1,n]. *)
+let quantile_sorted sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+let qdist_quantiles = [| 0.1; 0.25; 0.5; 0.75; 0.9 |]
+
+(* Distance between the older-half and newer-half windows: mean absolute
+   quantile gap, relative to the reference window's largest magnitude. *)
+let qdist_stat t =
+  let w = t.config.window in
+  if t.ring_n < 2 * w then None
+  else begin
+    (* reconstruct arrival order: oldest sample lives at ring_n mod 2w *)
+    let len = 2 * w in
+    let start = t.ring_n mod len in
+    let ordered = Array.init len (fun i -> t.ring.((start + i) mod len)) in
+    let older = Array.sub ordered 0 w in
+    let newer = Array.sub ordered w w in
+    Array.sort compare older;
+    Array.sort compare newer;
+    let scale =
+      Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 older
+    in
+    let scale = Float.max scale 1e-9 in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun q ->
+        acc := !acc +. Float.abs (quantile_sorted newer q -. quantile_sorted older q))
+      qdist_quantiles;
+    Some (!acc /. (float_of_int (Array.length qdist_quantiles) *. scale))
+  end
+
+let observe t x =
+  if Float.is_finite x then
+    with_lock t @@ fun () ->
+    t.n <- t.n + 1;
+    t.mean <- t.mean +. ((x -. t.mean) /. float_of_int t.n);
+    (* Page-Hinkley, two-sided, using the running mean *)
+    t.m_inc <- t.m_inc +. (x -. t.mean -. t.config.ph_delta);
+    if t.m_inc < t.m_inc_min then t.m_inc_min <- t.m_inc;
+    t.m_dec <- t.m_dec +. (x -. t.mean +. t.config.ph_delta);
+    if t.m_dec > t.m_dec_max then t.m_dec_max <- t.m_dec;
+    (* ring append *)
+    t.ring.(t.ring_n mod Array.length t.ring) <- x;
+    t.ring_n <- t.ring_n + 1;
+    if t.fired = None && t.n >= t.config.min_samples then begin
+      let ph_up = t.m_inc -. t.m_inc_min in
+      let ph_down = t.m_dec_max -. t.m_dec in
+      let ph = Float.max ph_up ph_down in
+      if ph > t.config.ph_lambda then fire t "ph" ph
+      else
+        match qdist_stat t with
+        | Some d when d > t.config.q_threshold -> fire t "qdist" d
+        | _ -> ()
+    end
+
+let active t = with_lock t (fun () -> t.fired <> None)
+let detector t = with_lock t (fun () -> t.fired)
+let fired_at t = with_lock t (fun () -> t.fired_at)
+let samples t = with_lock t (fun () -> t.n)
+let name t = t.name
+
+let reset t =
+  with_lock t @@ fun () ->
+  (match t.fired with
+  | Some d -> Metrics.set_gauge (gauge_for t d) 0.0
+  | None -> ());
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m_inc <- 0.0;
+  t.m_inc_min <- 0.0;
+  t.m_dec <- 0.0;
+  t.m_dec_max <- 0.0;
+  t.ring_n <- 0;
+  t.fired <- None;
+  t.fired_at <- -1;
+  t.fired_stat <- 0.0
+
+let fmt_float f = if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let to_json_string t =
+  with_lock t @@ fun () ->
+  Printf.sprintf
+    "{\"name\":%S,\"samples\":%d,\"mean\":%s,\"active\":%b,\"detector\":%s,\"fired_at\":%d,\"stat\":%s}"
+    t.name t.n (fmt_float t.mean)
+    (t.fired <> None)
+    (match t.fired with Some d -> Printf.sprintf "%S" d | None -> "null")
+    t.fired_at (fmt_float t.fired_stat)

@@ -1,0 +1,63 @@
+(** Windowed drift detection over a scalar error series.
+
+    Two complementary detectors watch every observed stream:
+
+    - {b Page-Hinkley} ("ph"): cumulative deviation from the running
+      mean, two-sided.  Fires when the gap between the cumulative sum
+      and its historical extremum exceeds [ph_lambda] — sensitive to
+      sustained mean shifts, robust to isolated outliers.
+    - {b two-window quantile distance} ("qdist"): compares the
+      quantiles (p10..p90) of the older and newer halves of a sliding
+      [2*window] ring.  Fires when the mean absolute quantile gap,
+      relative to the reference window's magnitude, exceeds
+      [q_threshold] — catches distribution-shape changes (e.g.
+      variance blow-ups) that leave the mean untouched.
+
+    Detection is a pure function of the observation sequence — no
+    clocks, no randomness — so streams fed in the same order fire at
+    the same sample index regardless of [CLARA_JOBS].  A firing is
+    latched until {!reset}: it emits one [drift] event into {!Log} and
+    raises the [clara_drift_active{detector,nf}] gauge.  All
+    operations are thread-safe. *)
+
+type config = {
+  ph_delta : float;  (** PH drift tolerance subtracted per sample (default 0.005) *)
+  ph_lambda : float;  (** PH firing threshold (default 0.5) *)
+  window : int;  (** half-width of the two-window ring (default 32) *)
+  q_threshold : float;  (** relative quantile-distance threshold (default 0.25) *)
+  min_samples : int;  (** no detector fires before this many samples (default 16) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> name:string -> unit -> t
+(** [create ~name ()] makes a quiet detector.  [name] labels log
+    events and the gauge (typically the NF name).  Raises
+    [Invalid_argument] if [config.window < 2]. *)
+
+val observe : t -> float -> unit
+(** Feed one sample.  Non-finite values are ignored.  May latch the
+    detector active (side effects: one log event, gauge set to 1). *)
+
+val active : t -> bool
+(** Has any detector fired since the last {!reset}? *)
+
+val detector : t -> string option
+(** Which detector fired first ("ph" or "qdist"), if any. *)
+
+val fired_at : t -> int
+(** 1-based sample index at which the detector fired, or [-1]. *)
+
+val samples : t -> int
+(** Samples observed since the last {!reset}. *)
+
+val name : t -> string
+
+val reset : t -> unit
+(** Unlatch and forget all state; sets the gauge back to 0. *)
+
+val to_json_string : t -> string
+(** One-line JSON: name, samples, mean, active, detector, fired_at,
+    stat. *)

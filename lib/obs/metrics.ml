@@ -94,6 +94,37 @@ let gauge_value g = Atomic.get g.g_cell
 
 let default_buckets = [| 1e-4; 5e-4; 1e-3; 5e-3; 0.025; 0.1; 0.5; 2.5; 10.0; 30.0 |]
 
+(* Bucket bounds for request-latency histograms.  The generic defaults
+   start at 100 us, which collapses every sub-15 us fast-path hit into
+   one bucket; these go down to 1 us.  CLARA_LATENCY_BUCKETS overrides
+   with a comma-separated list of strictly increasing seconds; a
+   malformed list falls back to the built-in bounds (telemetry config
+   must never take the server down). *)
+let default_latency_buckets =
+  [| 1e-6; 2e-6; 5e-6; 1e-5; 2.5e-5; 1e-4; 5e-4; 1e-3; 5e-3; 0.025; 0.1; 0.5; 2.5; 10.0 |]
+
+let parse_buckets s =
+  match
+    String.split_on_char ',' s
+    |> List.filter_map (fun tok ->
+           let tok = String.trim tok in
+           if tok = "" then None else Some (float_of_string tok))
+  with
+  | exception Failure _ -> None
+  | [] -> None
+  | bounds ->
+      let a = Array.of_list bounds in
+      let ok = ref (Float.is_finite a.(0)) in
+      for i = 1 to Array.length a - 1 do
+        if not (Float.is_finite a.(i) && a.(i) > a.(i - 1)) then ok := false
+      done;
+      if !ok then Some a else None
+
+let latency_buckets () =
+  match Sys.getenv_opt "CLARA_LATENCY_BUCKETS" with
+  | None | Some "" -> default_latency_buckets
+  | Some s -> ( match parse_buckets s with Some a -> a | None -> default_latency_buckets)
+
 let histogram ?(help = "") ?(labels = []) ?(buckets = default_buckets) base =
   let k = Array.length buckets in
   if k = 0 then invalid_arg "Obs.Metrics.histogram: need at least one bucket";

@@ -41,6 +41,13 @@ val gauge_value : gauge -> float
 val histogram :
   ?help:string -> ?labels:(string * string) list -> ?buckets:float array -> string -> histogram
 
+(** Bucket bounds for request-latency histograms: finer than the
+    defaults at the low end (down to 1 us) so sub-15 us fast-path hits
+    resolve instead of collapsing into one bucket.  Overridable via
+    [CLARA_LATENCY_BUCKETS], a comma-separated strictly increasing
+    list of seconds; malformed values fall back to the built-ins. *)
+val latency_buckets : unit -> float array
+
 val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float

@@ -1,0 +1,150 @@
+(** Declarative SLOs with multi-window burn-rate alerts (see slo.mli). *)
+
+type kind = Latency of float | Availability
+
+(* One alert window: [buckets] time buckets of [width] seconds each,
+   reset lazily when a bucket's epoch goes stale (standard ring-of-
+   counters rolling window — O(1) record, O(buckets) read). *)
+type window = {
+  w_name : string;
+  span_s : float;
+  threshold : float;
+  width : float;
+  epochs : int array;
+  good : int array;
+  bad : int array;
+}
+
+type t = {
+  name : string;
+  objective : float;
+  kind : kind;
+  windows : window list;
+  lock : Mutex.t;
+}
+
+let buckets_per_window = 60
+
+let default_windows = [ ("fast", 300.0, 14.4); ("slow", 3600.0, 6.0) ]
+
+let make_window (w_name, span_s, threshold) =
+  if span_s <= 0.0 then invalid_arg "Obs.Slo: window span must be positive";
+  { w_name; span_s; threshold;
+    width = span_s /. float_of_int buckets_per_window;
+    epochs = Array.make buckets_per_window (-1);
+    good = Array.make buckets_per_window 0;
+    bad = Array.make buckets_per_window 0 }
+
+let create ?(windows = default_windows) ~name ~objective kind =
+  if not (objective > 0.0 && objective < 1.0) then
+    invalid_arg "Obs.Slo.create: objective must be in (0, 1)";
+  if windows = [] then invalid_arg "Obs.Slo.create: need at least one window";
+  { name; objective; kind; windows = List.map make_window windows; lock = Mutex.create () }
+
+let name t = t.name
+let objective t = t.objective
+let kind t = t.kind
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let touch w now =
+  let epoch = int_of_float (Float.floor (now /. w.width)) in
+  let slot = ((epoch mod buckets_per_window) + buckets_per_window) mod buckets_per_window in
+  if w.epochs.(slot) <> epoch then begin
+    w.epochs.(slot) <- epoch;
+    w.good.(slot) <- 0;
+    w.bad.(slot) <- 0
+  end;
+  slot
+
+let record ?now t ~good =
+  let now = match now with Some n -> n | None -> Clock.now_s () in
+  with_lock t @@ fun () ->
+  List.iter
+    (fun w ->
+      let slot = touch w now in
+      if good then w.good.(slot) <- w.good.(slot) + 1
+      else w.bad.(slot) <- w.bad.(slot) + 1)
+    t.windows
+
+let record_latency ?now t dt_s =
+  match t.kind with
+  | Latency threshold -> record ?now t ~good:(dt_s <= threshold)
+  | Availability -> invalid_arg "Obs.Slo.record_latency: availability SLO"
+
+(* Sum a window's buckets that are still inside [now - span, now]. *)
+let window_totals w now =
+  let epoch_now = int_of_float (Float.floor (now /. w.width)) in
+  let lo = epoch_now - buckets_per_window + 1 in
+  let good = ref 0 and bad = ref 0 in
+  for slot = 0 to buckets_per_window - 1 do
+    let e = w.epochs.(slot) in
+    if e >= lo && e <= epoch_now then begin
+      good := !good + w.good.(slot);
+      bad := !bad + w.bad.(slot)
+    end
+  done;
+  (!good, !bad)
+
+let burn_of t good bad =
+  let total = good + bad in
+  if total = 0 then 0.0
+  else
+    let bad_ratio = float_of_int bad /. float_of_int total in
+    bad_ratio /. (1.0 -. t.objective)
+
+let burn_rates ?now t =
+  let now = match now with Some n -> n | None -> Clock.now_s () in
+  with_lock t @@ fun () ->
+  List.map
+    (fun w ->
+      let good, bad = window_totals w now in
+      (w.w_name, burn_of t good bad))
+    t.windows
+
+let firing ?now t =
+  let now = match now with Some n -> n | None -> Clock.now_s () in
+  with_lock t @@ fun () ->
+  List.for_all
+    (fun w ->
+      let good, bad = window_totals w now in
+      burn_of t good bad > w.threshold)
+    t.windows
+
+let fmt_float f = if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let to_json_string ?now t =
+  let now = match now with Some n -> n | None -> Clock.now_s () in
+  with_lock t @@ fun () ->
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":%S,\"objective\":%s,\"kind\":%s" t.name
+       (fmt_float t.objective)
+       (match t.kind with
+       | Latency thr -> Printf.sprintf "{\"latency_s\":%s}" (fmt_float thr)
+       | Availability -> "\"availability\""));
+  Buffer.add_string b ",\"windows\":[";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char b ',';
+      let good, bad = window_totals w now in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"window\":%S,\"span_s\":%s,\"good\":%d,\"bad\":%d,\"burn_rate\":%s,\"threshold\":%s,\"over\":%b}"
+           w.w_name (fmt_float w.span_s) good bad
+           (fmt_float (burn_of t good bad))
+           (fmt_float w.threshold)
+           (burn_of t good bad > w.threshold)))
+    t.windows;
+  Buffer.add_string b "]";
+  let all_over =
+    List.for_all
+      (fun w ->
+        let good, bad = window_totals w now in
+        burn_of t good bad > w.threshold)
+      t.windows
+  in
+  Buffer.add_string b (Printf.sprintf ",\"firing\":%b}" all_over);
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Declarative service-level objectives with multi-window burn-rate
+    alerts.
+
+    An SLO is an objective ratio (e.g. 0.999 of requests good) plus a
+    set of alert windows in the SRE fast/slow-burn style: the default
+    pair is a 5-minute window firing at burn rate 14.4 and a 1-hour
+    window firing at burn rate 6.  Burn rate is
+    [bad_ratio / (1 - objective)] — 1.0 means the error budget is
+    consumed exactly at the sustainable pace.  The alert {!firing}
+    only when {e all} windows are over their thresholds, which keeps
+    short blips from paging while catching sustained burns fast.
+
+    Each window is a ring of 60 time buckets reset lazily by epoch, so
+    [record] is O(windows) and reads are O(windows * 60) with no
+    allocation on the record path.  All entry points take an optional
+    [?now] (seconds, any monotone origin) so tests can drive time
+    deterministically; the default is wall clock.  Thread-safe. *)
+
+type kind =
+  | Latency of float  (** good iff latency <= this many seconds *)
+  | Availability  (** good iff the request succeeded *)
+
+type t
+
+val create : ?windows:(string * float * float) list -> name:string -> objective:float -> kind -> t
+(** [create ~name ~objective kind] with [windows] as
+    [(name, span_s, burn_threshold)] triples (default: fast 300 s @
+    14.4, slow 3600 s @ 6).  Raises [Invalid_argument] unless
+    [0 < objective < 1], windows is non-empty, and spans are
+    positive. *)
+
+val name : t -> string
+val objective : t -> float
+val kind : t -> kind
+
+val record : ?now:float -> t -> good:bool -> unit
+(** Count one request outcome into every window. *)
+
+val record_latency : ?now:float -> t -> float -> unit
+(** [record_latency t dt_s] records good/bad against the [Latency]
+    threshold.  Raises [Invalid_argument] on an [Availability] SLO. *)
+
+val burn_rates : ?now:float -> t -> (string * float) list
+(** Per-window burn rate, in window declaration order.  An empty
+    window burns at 0. *)
+
+val firing : ?now:float -> t -> bool
+(** True iff every window's burn rate exceeds its threshold. *)
+
+val to_json_string : ?now:float -> t -> string
+(** One-line JSON: objective, kind, per-window good/bad counts and
+    burn rates, and the overall firing flag.  [now] is used for
+    bucket expiry but never printed. *)

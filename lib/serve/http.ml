@@ -4,6 +4,7 @@ type t = {
   listener : Unix.file_descr;
   h_port : int;
   stop_flag : bool Atomic.t;
+  quality : (unit -> string) option;  (* renders the /quality document *)
 }
 
 let m_requests path =
@@ -14,9 +15,10 @@ let m_requests path =
 let m_healthz = m_requests "/healthz"
 let m_metrics = m_requests "/metrics"
 let m_trace = m_requests "/trace.json"
+let m_quality = m_requests "/quality"
 let m_other = m_requests "other"
 
-let create ?(backlog = 16) ~port () =
+let create ?(backlog = 16) ?quality ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -28,7 +30,7 @@ let create ?(backlog = 16) ~port () =
   let h_port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  { listener = fd; h_port; stop_flag = Atomic.make false }
+  { listener = fd; h_port; stop_flag = Atomic.make false; quality }
 
 let port t = t.h_port
 let stop t = Atomic.set t.stop_flag true
@@ -45,8 +47,16 @@ let text = "text/plain; charset=utf-8"
 (* Prometheus text exposition format 0.0.4 (what scrapers negotiate for). *)
 let prom = "text/plain; version=0.0.4; charset=utf-8"
 
-let handle ~meth ~path =
+let handle t ~meth ~path =
   match (meth, path) with
+  | "GET", "/quality" -> (
+    match t.quality with
+    | Some render ->
+      Obs.Metrics.inc m_quality;
+      response ~status:"200 OK" ~content_type:"application/json" (render ())
+    | None ->
+      Obs.Metrics.inc m_other;
+      response ~status:"404 Not Found" ~content_type:text "no quality source\n")
   | "GET", "/healthz" ->
     Obs.Metrics.inc m_healthz;
     response ~status:"200 OK" ~content_type:text "ok\n"
@@ -103,7 +113,7 @@ let really_write fd s =
     sent := !sent + Unix.write_substring fd s !sent (n - !sent)
   done
 
-let serve_connection fd =
+let serve_connection t fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
   (* A reader that stops consuming must not wedge the accept loop. *)
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
@@ -125,7 +135,7 @@ let serve_connection fd =
           | None -> target
         in
         Obs.Log.debug ~fields:[ ("method", Obs.Log.Str meth); ("path", Obs.Log.Str path) ] "http.request";
-        handle ~meth ~path
+        handle t ~meth ~path
       | _ ->
         Obs.Metrics.inc m_other;
         response ~status:"400 Bad Request" ~content_type:text "bad request\n"
@@ -140,7 +150,7 @@ let run t =
     | _ :: _, _, _ -> (
       match Unix.accept t.listener with
       | fd, _ ->
-        (try serve_connection fd
+        (try serve_connection t fd
          with Unix.Unix_error (err, fn, _) ->
            Obs.Log.warn
              ~fields:[ ("error", Obs.Log.Str (Unix.error_message err)); ("fn", Obs.Log.Str fn) ]

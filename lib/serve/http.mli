@@ -7,6 +7,10 @@
                            after an {!Obs.Runtime.sample}) — byte-for-byte
                            the same renderer as the socket [metrics] command
     - [GET /trace.json] -> Chrome-trace JSON of the span ring buffer
+    - [GET /quality]    -> prediction-quality JSON (error sketches, drift,
+                           SLO burn rates) when a [quality] renderer was
+                           wired at {!create}; 404 otherwise — byte-for-byte
+                           what the socket [quality] command embeds
 
     Same discipline as {!Server.run}: a single-threaded select loop, one
     short-lived connection per request ([Connection: close]), no analysis
@@ -18,9 +22,11 @@
 type t
 
 (** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — read it
-    back with {!port}).  [backlog] defaults to 16.
+    back with {!port}).  [backlog] defaults to 16.  [quality] renders
+    the [/quality] document on demand (typically
+    [fun () -> Server.quality_json server]); without it the path 404s.
     @raise Unix.Unix_error when binding fails (e.g. port in use). *)
-val create : ?backlog:int -> port:int -> unit -> t
+val create : ?backlog:int -> ?quality:(unit -> string) -> port:int -> unit -> t
 
 (** The bound TCP port. *)
 val port : t -> int

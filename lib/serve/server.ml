@@ -11,6 +11,7 @@ type t = {
   models : Clara.Pipeline.models;
   flows : Fastpath.Entry.t Fastpath.Shards.t;  (* installed flow entries *)
   lanes : lane array;
+  quality : Quality.t;  (* shadow evaluation, error sketches, drift, SLOs *)
   slow_s : float;
   deadline_s : float option;  (* default per-request budget; None = unlimited *)
   max_pending : int;  (* request lines admitted per batch before shedding *)
@@ -35,7 +36,7 @@ let default_deadline_s () =
   | Some _ | None -> None
 
 let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
-    ?(max_pending = 256) ?(max_clients = 64) models =
+    ?(max_pending = 256) ?(max_clients = 64) ?shadow_rate ?shadow_seed models =
   if max_pending < 1 then invalid_arg "Server.create: max_pending must be >= 1";
   if max_clients < 1 then invalid_arg "Server.create: max_clients must be >= 1";
   if shards < 1 then invalid_arg "Server.create: shards must be >= 1";
@@ -51,6 +52,7 @@ let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
     lanes =
       Array.init shards (fun _ ->
           { l_lock = Mutex.create (); l_compiled = Clara.Pipeline.compile models });
+    quality = Quality.create ?rate:shadow_rate ?seed:shadow_seed ~shards ();
     slow_s; deadline_s; max_pending; max_clients; fast_buf = Buffer.create 1024;
     served_count = 0; shed_count = 0; stop_requested = false; drain_requested = false }
 
@@ -59,6 +61,29 @@ let shed t = t.shed_count
 let cache_hits t = Fastpath.Shards.hits t.flows
 let cache_misses t = Fastpath.Shards.misses t.flows
 let request_drain t = t.drain_requested <- true
+let quality t = t.quality
+let drain_quality t = Quality.drain t.quality
+let quality_json ?now t = Quality.to_json_string ?now t.quality
+
+(* Inline p4lite programs are not in the corpus, so shadow evaluation
+   cannot re-derive their ground truth; skip offering them. *)
+let shadowable_key key =
+  String.length key < 7 || String.sub key 0 7 <> "p4lite:"
+
+(* The id token as rendered in the reply ("null" for an absent id):
+   the shadow-sampling hash input, identical on both serving paths. *)
+let id_token = function Jsonl.Null -> "null" | id -> Jsonl.to_string id
+
+(* Offer one selected analyze answer for shadow evaluation. *)
+let maybe_shadow t ~id ~key entry =
+  if Quality.enabled t.quality && shadowable_key key
+     && Quality.should_shadow t.quality ~id ~key
+  then
+    Quality.offer t.quality
+      ~shard:(Fastpath.Shards.shard_of_key t.flows key)
+      ~nf:(Fastpath.Entry.nf entry)
+      ~pred_compute:(Fastpath.Entry.pred_compute entry)
+      ~pred_memory:(Fastpath.Entry.pred_memory entry)
 
 let corpus_names () = List.map (fun e -> e.Nf_lang.Ast.name) (Nf_lang.Corpus.all ())
 
@@ -75,7 +100,8 @@ let m_in_flight =
   Obs.Metrics.gauge ~help:"Request lines currently being processed" "clara_serve_in_flight"
 
 let m_latency =
-  Obs.Metrics.histogram ~help:"Per-request wall latency in seconds" "clara_serve_request_seconds"
+  Obs.Metrics.histogram ~help:"Per-request wall latency in seconds"
+    ~buckets:(Obs.Metrics.latency_buckets ()) "clara_serve_request_seconds"
 
 let m_shed =
   Obs.Metrics.counter ~help:"Requests shed with an overloaded reply" "clara_serve_shed_total"
@@ -243,7 +269,7 @@ let analyze_reply ~trace id ~cached ~path entry =
    to fan out. *)
 type plan =
   | Ready of string
-  | Hit of { id : Jsonl.t; trace : string; entry : Fastpath.Entry.t }
+  | Hit of { id : Jsonl.t; trace : string; key : string; entry : Fastpath.Entry.t }
   | Miss of {
       id : Jsonl.t;
       trace : string;
@@ -309,7 +335,7 @@ let plan_analyze t ~now ~trace id req =
       match Fastpath.Shards.find t.flows key with
       | Some entry ->
         Obs.Metrics.inc m_cache_hits;
-        Hit { id; trace; entry }
+        Hit { id; trace; key; entry }
       | None ->
         Obs.Metrics.inc m_cache_misses;
         Miss { id; trace; key; elt; spec; nf_label; wname; deadline }))
@@ -355,7 +381,7 @@ let trace_reply ~trace id req =
 
    Cache hits never consulted the deadline before the split and still do
    not: a hit is answered from memory well inside any budget. *)
-let fast_track t line =
+let fast_track t ~now line =
   if Obs.Fault.armed "jsonl.parse" then None
   else
     let cmd =
@@ -426,6 +452,19 @@ let fast_track t line =
                     Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
                       ~trace_src:trace ~trace_off:0 ~trace_len:(String.length trace)
                       ~cached:true ~path:"fast");
+                  (* Quality telemetry costs one float compare when
+                     disabled, keeping the rate-0 fast path inside its
+                     bench envelope. *)
+                  if Quality.enabled t.quality then begin
+                    Quality.record_fast_latency t.quality
+                      ~shard:(Fastpath.Shards.shard_of_key t.flows key)
+                      ~nf:(Fastpath.Entry.nf entry)
+                      (Obs.Clock.now_s () -. now);
+                    let id =
+                      if id_len = 0 then "null" else String.sub line id_off id_len
+                    in
+                    maybe_shadow t ~id ~key entry
+                  end;
                   Some (Buffer.contents b)))))))
     | Some _ | None -> None
 
@@ -480,6 +519,10 @@ let plan_line_slow t ~now line =
       let snap = Obs.Metrics.snapshot () in
       Ready (ok_reply ~trace id [ ("metrics", Jsonl.Str (Obs.Metrics.render_snapshot snap)) ])
     | Some "trace" -> Ready (trace_reply ~trace id req)
+    | Some "quality" ->
+      (* Drain first so everything offered by earlier lines is visible
+         in the same deterministic order it was enqueued. *)
+      Ready (ok_reply ~trace id [ ("quality", Jsonl.Str (quality_json t)) ])
     | Some "shutdown" ->
       t.stop_requested <- true;
       Ready (ok_reply ~trace id [ ("stopping", Jsonl.Bool true) ])
@@ -488,12 +531,17 @@ let plan_line_slow t ~now line =
     | None -> Ready (err_reply ~trace id "missing \"cmd\""))
 
 let plan_line t ~now line =
-  match fast_track t line with
+  match fast_track t ~now line with
   | Some reply -> Ready reply
   | None -> plan_line_slow t ~now line
 
-(* What one deduplicated analysis job produced. *)
-type job_outcome = Report of string | Failed of string | Timed_out
+(* What one deduplicated analysis job produced.  A report carries the
+   raw predictions alongside the rendered text so the flow entry (and
+   shadow evaluation through it) sees them without re-parsing. *)
+type job_outcome =
+  | Report of { text : string; pc : float; pm : float }
+  | Failed of string
+  | Timed_out
 
 (* Load shedding: a line past the [max_pending] admission bound is
    answered immediately with an explicit retryable [overloaded] error
@@ -511,6 +559,16 @@ let shed_reply t line =
   in
   err_reply ~overloaded:true ~trace id
     (Printf.sprintf "overloaded: server admits %d request lines per batch" t.max_pending)
+
+let reply_ok reply =
+  let pat = "\"ok\":" in
+  let n = String.length reply and pn = String.length pat in
+  let rec find i =
+    if i + pn > n then false
+    else if String.sub reply i pn = pat then i + pn < n && reply.[i + pn] = 't'
+    else find (i + 1)
+  in
+  find 0
 
 let split_at n l =
   let rec go n acc = function
@@ -534,7 +592,8 @@ let process_batch t lines =
            latency is the batch's elapsed time. *)
         let dt = Obs.Clock.now_s () -. now0 in
         for _ = 1 to n_lines do
-          Obs.Metrics.observe m_latency dt
+          Obs.Metrics.observe m_latency dt;
+          if Quality.enabled t.quality then Quality.record_request_latency t.quality dt
         done;
         Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines);
         if dt > t.slow_s then
@@ -589,7 +648,12 @@ let process_batch t lines =
                   Mutex.lock lane.l_lock;
                   Fun.protect
                     ~finally:(fun () -> Mutex.unlock lane.l_lock)
-                    (fun () -> Report (Clara.Pipeline.report_compiled lane.l_compiled elt spec))
+                    (fun () ->
+                      let ins = Clara.Pipeline.analyze_compiled lane.l_compiled elt spec in
+                      Report
+                        { text = Clara.Insights.render ins;
+                          pc = ins.Clara.Insights.predicted_compute;
+                          pm = ins.Clara.Insights.predicted_memory })
                 with e -> Failed (Printexc.to_string e)
             in
             (key, outcome))
@@ -607,33 +671,52 @@ let process_batch t lines =
     let entries =
       List.filter_map
         (function
-          | key, Report report ->
+          | key, Report { text; pc; pm } ->
             let _, _, _, _, nf_label, wname = List.assoc key jobs in
-            let entry = Fastpath.Entry.make ~nf:nf_label ~workload:wname ~report in
+            let entry =
+              Fastpath.Entry.make ~pred_compute:pc ~pred_memory:pm ~nf:nf_label
+                ~workload:wname ~report:text ()
+            in
             Fastpath.Shards.install t.flows key entry;
             Some (key, entry)
           | _, (Failed _ | Timed_out) -> None)
         results
     in
+    (* Reply assembly is serial and in plan order, so shadow offers made
+       here land in the pending queue deterministically. *)
     List.map
       (function
         | Ready reply -> reply
-        | Hit { id; trace; entry } -> analyze_reply ~trace id ~cached:true ~path:"slow" entry
+        | Hit { id; trace; key; entry } ->
+          if Quality.enabled t.quality then maybe_shadow t ~id:(id_token id) ~key entry;
+          analyze_reply ~trace id ~cached:true ~path:"slow" entry
         | Miss { id; trace; key; deadline; _ } -> (
           match List.assoc_opt key results with
           | Some (Report _) ->
             if expired deadline then deadline_reply ~trace id
-            else
-              analyze_reply ~trace id ~cached:false ~path:"slow" (List.assoc key entries)
+            else begin
+              let entry = List.assoc key entries in
+              if Quality.enabled t.quality then maybe_shadow t ~id:(id_token id) ~key entry;
+              analyze_reply ~trace id ~cached:false ~path:"slow" entry
+            end
           | Some (Failed msg) -> err_reply ~trace id ("analysis failed: " ^ msg)
           | Some Timed_out | None -> deadline_reply ~trace id))
       plans
   in
-  admitted_replies @ shed_replies
+  let replies = admitted_replies @ shed_replies in
+  (* SLO accounting: every reply line counts availability by its own
+     ["ok"] flag.  The first raw "ok": in the rendered bytes is the
+     flag itself: the only content before it is the id, whose string
+     form is escaped, so a quote-containing id cannot fake a match. *)
+  if Quality.enabled t.quality then
+    List.iter (fun reply -> Quality.record_reply t.quality ~ok:(reply_ok reply)) replies;
+  replies
 
 let handle_request t line =
   match process_batch t [ line ] with
-  | [ reply ] -> reply
+  | [ reply ] ->
+    if Quality.enabled t.quality then drain_quality t;
+    reply
   | _ -> assert false
 
 (* -- I/O -- *)
@@ -728,6 +811,7 @@ let run t ~socket_path =
           | None -> Obs.Log.Str "none" );
         ("max_pending", Obs.Log.Int t.max_pending);
         ("max_clients", Obs.Log.Int t.max_clients);
+        ("shadow_rate", Obs.Log.Num (Quality.rate t.quality));
         ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
     "serve.start";
   let log_unix_error ~ctx err fn =
@@ -771,7 +855,11 @@ let run t ~socket_path =
               | [] -> ())
             lines)
         batches;
-      Fastpath.Evloop.flush loop
+      Fastpath.Evloop.flush loop;
+      (* Shadow evaluation runs strictly after the replies left: ground
+         truth is cheap but not free, and the client should not wait
+         on it. *)
+      if Quality.enabled t.quality then drain_quality t
     end
   in
   while not (t.stop_requested || t.drain_requested) do

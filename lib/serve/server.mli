@@ -12,7 +12,8 @@
     {"id":5,"cmd":"ping"}
     {"id":6,"cmd":"metrics"}    Prometheus-style exposition (Obs.Metrics)
     {"id":7,"cmd":"trace","trace_id":"abc"}   one request's span subtree
-    {"id":8,"cmd":"shutdown"}   reply, then stop accepting
+    {"id":8,"cmd":"quality"}    prediction-quality telemetry (JSON string)
+    {"id":9,"cmd":"shutdown"}   reply, then stop accepting
     v}
 
     ["op"] is accepted as an alias for ["cmd"].
@@ -82,7 +83,16 @@
     [serve.accept]/[serve.read]/[serve.write] raise the corresponding
     [Unix_error]s inside the loop, [jsonl.parse] fails parses, and
     [pool.task] aborts analyses — all surfaced as typed error replies,
-    never crashes. *)
+    never crashes.
+
+    {b Quality telemetry.}  With a positive shadow rate ([shadow_rate]
+    on {!create}, or [CLARA_SHADOW_RATE]), a deterministic sample of
+    analyze answers is re-checked against the cheap simulator ground
+    truth off the reply path, building per-NF error sketches, drift
+    detectors and SLO burn rates (see {!Quality}).  The
+    [{"cmd":"quality"}] request returns the full state as a JSON
+    string — the same document [GET /quality] serves over
+    {!Http}. *)
 
 type t
 
@@ -96,7 +106,10 @@ type t
     [CLARA_DEADLINE_MS], else unlimited; [<= 0] forces unlimited).
     [max_pending] bounds request lines admitted per batch (default 256);
     [max_clients] bounds held connections (default 64); both must be
-    [>= 1]. *)
+    [>= 1].  [shadow_rate] is the shadow-evaluation sampling rate in
+    [[0, 1]] (default: [CLARA_SHADOW_RATE], else 0 = disabled) and
+    [shadow_seed] perturbs the sampling hash (default:
+    [CLARA_SHADOW_SEED]). *)
 val create :
   ?cache_capacity:int ->
   ?shards:int ->
@@ -104,6 +117,8 @@ val create :
   ?deadline_ms:float ->
   ?max_pending:int ->
   ?max_clients:int ->
+  ?shadow_rate:float ->
+  ?shadow_seed:int ->
   Clara.Pipeline.models ->
   t
 
@@ -133,6 +148,17 @@ val shed : t -> int
 
 val cache_hits : t -> int
 val cache_misses : t -> int
+
+(** The server's quality-telemetry state (sketches, drift, SLOs). *)
+val quality : t -> Quality.t
+
+(** Evaluate pending shadow tasks now (also runs automatically after
+    event-loop rounds and {!handle_request} when telemetry is on). *)
+val drain_quality : t -> unit
+
+(** Drain, then render the quality document ({!Quality.to_json_string}):
+    what the [quality] socket command and [GET /quality] return. *)
+val quality_json : ?now:float -> t -> string
 
 (** Ask {!run} to drain and return (what the SIGTERM handler calls).
     Safe from a signal handler or another domain. *)

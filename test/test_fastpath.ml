@@ -182,7 +182,7 @@ let test_canonical_scalar () =
 let test_entry_matches_jsonl () =
   let nf = "tcpack" and workload = "mixed" in
   let report = "line1\nline\t\"two\"\\three" in
-  let entry = Fastpath.Entry.make ~nf ~workload ~report in
+  let entry = Fastpath.Entry.make ~nf ~workload ~report () in
   let expect ~id ~trace ~cached =
     Serve.Jsonl.to_string
       (Serve.Jsonl.Obj

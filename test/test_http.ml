@@ -183,6 +183,57 @@ let test_errors () =
   let garbage = parse_response (http_request ~port "GARBAGE\r\n\r\n") in
   Alcotest.(check string) "unparsable request line" "400 Bad Request" garbage.status
 
+let test_quality_endpoint () =
+  (* without a wired renderer the path is just another 404 *)
+  with_http (fun port ->
+      let r = get ~port "/quality" in
+      Alcotest.(check string) "404 without a quality source" "404 Not Found" r.status);
+  (* with a renderer the endpoint serves whatever the renderer returns *)
+  let doc = {|{"enabled":false,"rate":0,"probe":"http"}|} in
+  let h = Serve.Http.create ~quality:(fun () -> doc) ~port:0 () in
+  let d = Domain.spawn (fun () -> Serve.Http.run h) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Http.stop h;
+      Domain.join d)
+    (fun () ->
+      let port = Serve.Http.port h in
+      let r = get ~port "/quality" in
+      Alcotest.(check string) "status" "200 OK" r.status;
+      Alcotest.(check (option string)) "json content type" (Some "application/json")
+        (header r "content-type");
+      Alcotest.(check string) "body is the rendered document" doc r.body;
+      match Serve.Jsonl.of_string r.body with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "quality body is not JSON: %s" msg)
+
+(* Repeated scrapes (including /quality) must not leak fds, and stopping
+   the Obs.Runtime sampler afterwards must leave it cleanly stopped. *)
+let test_fd_hygiene () =
+  let fd_count () = Array.length (Sys.readdir "/proc/self/fd") in
+  let h = Serve.Http.create ~quality:(fun () -> "{\"enabled\":false}") ~port:0 () in
+  let d = Domain.spawn (fun () -> Serve.Http.run h) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Http.stop h;
+      Domain.join d)
+    (fun () ->
+      let port = Serve.Http.port h in
+      Obs.Runtime.start ~period_s:0.05 ();
+      (* warm up allocators / lazy metric registration before the baseline *)
+      ignore (get ~port "/healthz");
+      ignore (get ~port "/metrics");
+      ignore (get ~port "/quality");
+      let baseline = fd_count () in
+      for _ = 1 to 25 do
+        ignore (get ~port "/healthz");
+        ignore (get ~port "/metrics");
+        ignore (get ~port "/quality")
+      done;
+      Obs.Runtime.stop ();
+      Alcotest.(check int) "no fds leaked across 75 scrapes" baseline (fd_count ());
+      Alcotest.(check bool) "runtime sampler stopped" false (Obs.Runtime.running ()))
+
 let test_stop_closes_listener () =
   let h = Serve.Http.create ~port:0 () in
   let port = Serve.Http.port h in
@@ -216,6 +267,8 @@ let () =
           Alcotest.test_case "metrics matches the socket command" `Slow
             test_metrics_matches_socket_command;
           Alcotest.test_case "trace.json export" `Quick test_trace_json;
+          Alcotest.test_case "quality endpoint" `Quick test_quality_endpoint;
           Alcotest.test_case "error statuses" `Quick test_errors ] );
       ( "lifecycle",
-        [ Alcotest.test_case "stop closes the listener" `Quick test_stop_closes_listener ] ) ]
+        [ Alcotest.test_case "stop closes the listener" `Quick test_stop_closes_listener;
+          Alcotest.test_case "fd hygiene under repeated scrapes" `Quick test_fd_hygiene ] ) ]
