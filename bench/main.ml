@@ -23,13 +23,17 @@
       shadow-off warm fast-path p50 inside the 15 µs envelope, and a
       synthetic nicsim profile shift detected in a deterministic number
       of shadow samples; writes BENCH_quality.json.
+    - `bench/main.exe flight`: gate the flight recorder: warm fast-path
+      hit p50 with recording on must stay within 10% of recording off
+      (and off must stay inside the 15 µs envelope — the profiler-off
+      span hook is part of that path); writes BENCH_flight.json.
     - `bench/main.exe list`: list experiment ids.
 
     CLARA_FULL=1 enlarges training sets and sweeps. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | quality | <experiment id>...]";
+    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | quality | flight | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -345,11 +349,15 @@ let run_parallel_report () =
         (fun k (j, eff, bf, br) ->
           Printf.fprintf oc
             "      {\"jobs\": %d, \"effective_jobs\": %d, \"fast_s\": %.6f, \"ref_s\": %.6f, \
-             \"speedup\": %.3f%s}%s\n"
+             \"speedup\": %.3f%s%s}%s\n"
             j eff bf br (speedup bf br)
             (match parallel_floor ~name ~jobs:j with
             | Some f -> Printf.sprintf ", \"floor\": %.1f" f
             | None -> "")
+            (* a clamped level measured the rewrite, not domain
+               parallelism: mark it so readers don't compare the number
+               across hosts *)
+            (if eff < j then ", \"degraded\": true" else "")
             (if k = List.length levels - 1 then "" else ","))
         levels;
       Printf.fprintf oc "    ]}%s\n" (if i = List.length rows - 1 then "" else ","))
@@ -373,6 +381,12 @@ let run_parallel_report () =
       | [] -> ());
       print_newline ())
     rows;
+  let max_jobs = List.fold_left max 1 parallel_jobs_levels in
+  if cores < max_jobs then
+    Printf.printf
+      "WARNING: %d core(s) < jobs=%d; clamped levels are marked \"degraded\" in \
+       BENCH_parallel.json and measure the serial rewrite only\n"
+      cores max_jobs;
   if not pass then begin
     List.iter (fun v -> Printf.printf "FAIL: %s\n" v) (List.rev !violations);
     exit 1
@@ -972,6 +986,127 @@ let run_quality_report () =
     end);
   if !failed then exit 1
 
+(* -- BENCH_flight.json: what always-on flight recording costs — the warm
+   fast-path hit p50 with recording on must stay within 10% of recording
+   off (the record is a clip check, one allocation and an O(1) ring write
+   off the reply bytes already built), and the recording-off p50 must
+   stay inside the 15 µs fastpath envelope — which also bounds the
+   profiler-off cost of the Prof hook in Span.with_ at ~0 (one atomic
+   load).  The profiler-on p50 is reported for context only: on a
+   single-core host the ticker domain steals cycles from the serving
+   loop, which is the profiler's documented cost model, not a
+   regression.  Off/on blocks run interleaved so machine drift cancels
+   out of the ratio. -- *)
+
+let read_committed_flight_ratio () =
+  if not (Sys.file_exists "BENCH_flight.json") then None
+  else
+    let ic = open_in_bin "BENCH_flight.json" in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let flat = String.concat " " (String.split_on_char '\n' raw) in
+    match Serve.Jsonl.of_string flat with
+    | Ok j -> Serve.Jsonl.num_member "flight_on_ratio" j
+    | Error _ -> None
+
+let run_flight_report () =
+  let committed = read_committed_flight_ratio () in
+  let models =
+    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+    let predictor = Clara.Predictor.train ~epochs:1 ds in
+    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+  in
+  (* the pinned trace_id keeps replies byte-comparable across servers
+     (generated t-N ids draw from a process-global counter) *)
+  let warm_line = {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed","trace_id":"b"}|} in
+  let server_off = Serve.Server.create ~cache_capacity:16 ~flight_capacity:0 models in
+  let server_on = Serve.Server.create ~cache_capacity:16 ~flight_capacity:64 models in
+  let reply_off = Serve.Server.handle_request server_off warm_line in
+  let reply_on = Serve.Server.handle_request server_on warm_line in
+  (* recording must never perturb the bytes on the wire *)
+  let hit_off = Serve.Server.handle_request server_off warm_line in
+  let hit_on = Serve.Server.handle_request server_on warm_line in
+  if hit_off <> hit_on || reply_off <> reply_on then begin
+    Printf.printf "FAIL: flight-on reply differs from flight-off reply\n";
+    Printf.printf "  off: %s\n  on:  %s\n" hit_off hit_on;
+    exit 1
+  end;
+  let block = 64 and n_blocks = 300 in
+  let time_block server =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to block do
+      ignore (Serve.Server.handle_request server warm_line)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int block *. 1e6
+  in
+  let s_off = Array.make n_blocks 0.0 and s_on = Array.make n_blocks 0.0 in
+  for b = 0 to n_blocks - 1 do
+    s_off.(b) <- time_block server_off;
+    s_on.(b) <- time_block server_on
+  done;
+  Array.sort compare s_off;
+  Array.sort compare s_on;
+  let p50_off = percentile s_off 50.0 and p50_on = percentile s_on 50.0 in
+  if Obs.Flight.recorded (Serve.Server.flight server_on) = 0 then begin
+    Printf.printf "FAIL: the flight-on server recorded nothing while being timed\n";
+    exit 1
+  end;
+  (* profiler-on context number: same loop with the ticker running *)
+  let prof_hz = 200.0 in
+  Obs.Prof.start ~hz:prof_hz ();
+  let s_prof = Array.make n_blocks 0.0 in
+  for b = 0 to n_blocks - 1 do
+    s_prof.(b) <- time_block server_off
+  done;
+  Obs.Prof.stop ();
+  Obs.Prof.reset ();
+  Array.sort compare s_prof;
+  let p50_prof = percentile s_prof 50.0 in
+  let ratio = p50_on /. Float.max 1e-9 p50_off in
+  let oc = open_out "BENCH_flight.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-flight-bench/1\",\n\
+    \  \"flight_off_p50_us\": %.3f,\n\
+    \  \"flight_on_p50_us\": %.3f,\n\
+    \  \"flight_on_ratio\": %.3f,\n\
+    \  \"prof_hz\": %.0f,\n\
+    \  \"prof_on_p50_us\": %.3f\n\
+     }\n"
+    p50_off p50_on ratio prof_hz p50_prof;
+  close_out oc;
+  Printf.printf "Flight-recorder report (also written to BENCH_flight.json):\n";
+  Printf.printf
+    "  warm fast-path hit p50   flight off %8.3f us   flight on %8.3f us   (%.3fx)\n" p50_off
+    p50_on ratio;
+  Printf.printf "  with profiler at %.0f Hz  %8.3f us   (context only, not gated)\n" prof_hz
+    p50_prof;
+  let failed = ref false in
+  if p50_off >= 15.0 then begin
+    Printf.printf "FAIL: flight-off warm hit p50 %.3f us breaches the 15 us gate\n" p50_off;
+    failed := true
+  end;
+  (* 10% relative budget with a 0.2 µs absolute grace: at ~2 µs a p50,
+     one clock quantum of noise is already 5% *)
+  if p50_on > (1.10 *. p50_off) +. 0.2 then begin
+    Printf.printf "FAIL: flight-on p50 %.3f us exceeds 1.10x off (%.3f us) + 0.2 us\n" p50_on
+      p50_off;
+    failed := true
+  end;
+  (match committed with
+  | None -> Printf.printf "  (no committed BENCH_flight.json baseline; drift gate skipped)\n"
+  | Some baseline ->
+    Printf.printf "  ratio vs committed baseline: %.3f / %.3f\n" ratio baseline;
+    if ratio > baseline +. 0.15 then begin
+      Printf.printf "FAIL: flight-on ratio drifted %.3f above the committed baseline\n"
+        (ratio -. baseline);
+      failed := true
+    end);
+  if !failed then exit 1;
+  Printf.printf "PASS: flight recording stays inside the fast-path budget\n"
+
 (* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
    span recording when tracing, and flush both files when the run ends. *)
 let with_obs_flags args f =
@@ -1006,6 +1141,7 @@ let () =
   | _ :: [ "robust" ] -> run_robust_report ()
   | _ :: [ "fastpath" ] -> run_fastpath_report ()
   | _ :: [ "quality" ] -> run_quality_report ()
+  | _ :: [ "flight" ] -> run_flight_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

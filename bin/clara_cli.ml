@@ -8,8 +8,12 @@
     - [serve --socket PATH]       long-running insight service (see lib/serve)
     - [query --socket PATH NF]    one request against a running service
     - [quality --socket PATH]     prediction-quality telemetry of a running service
+    - [flight --socket PATH]      flight-recorder snapshot (optionally dump to a file)
+    - [replay DUMP --model DIR]   re-issue a flight dump and byte-diff the replies
     - [port NF]                   measure naive vs Clara-configured port
     - [sweep NF]                  print the core-count sweep
+    - [profile [NF]]              NF execution profile, or a running service's
+                                  continuous-profiler flamegraph
     - [experiment ID...]          run paper experiments (or 'all') *)
 
 open Cmdliner
@@ -231,7 +235,8 @@ let analyze_cmd =
 
 let serve_cmd =
   let run model socket full cache_capacity shards http_port trace_requests slow_ms deadline_ms
-      max_pending max_clients shadow_rate log_file log_level =
+      max_pending max_clients shadow_rate flight_capacity flight_dir profile_hz log_file
+      log_level =
     if trace_requests then Obs.Span.set_enabled true;
     (* --log / --log-level win over the CLARA_LOG/CLARA_LOG_LEVEL
        environment defaults already applied at startup. *)
@@ -249,7 +254,7 @@ let serve_cmd =
         path
     in
     Option.iter Obs.Log.set_level log_level;
-    let models =
+    let models, bundle_version =
       match model with
       | Some dir -> (
         (* A long-running service prefers a cold start over refusing to
@@ -262,19 +267,25 @@ let serve_cmd =
               [ ("bundle", Obs.Log.Str dir);
                 ("built_at", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.built_at) ]
             "warm-started from bundle";
-          b.Persist.Bundle.models
+          (b.Persist.Bundle.models, b.Persist.Bundle.manifest.Persist.Bundle.built_at)
         | None ->
           Obs.Log.warn
             ~fields:[ ("bundle", Obs.Log.Str dir) ]
             "bundle unreadable; cold-starting (training)";
-          train_models ~full)
-      | None -> train_models ~full
+          (train_models ~full, "trained"))
+      | None -> (train_models ~full, "trained")
     in
     let slow_threshold_s = Option.map (fun ms -> ms /. 1000.0) slow_ms in
     let server =
       Serve.Server.create ~cache_capacity ~shards ?slow_threshold_s ?deadline_ms ~max_pending
-        ~max_clients ?shadow_rate models
+        ~max_clients ?shadow_rate ?flight_capacity ?flight_dir models
     in
+    (* --profile HZ starts the continuous profiler; CLARA_PROF_HZ alone
+       also turns it on (the env value supplies the rate). *)
+    (match profile_hz with
+    | Some hz -> Obs.Prof.start ~hz ()
+    | None -> if Sys.getenv_opt "CLARA_PROF_HZ" <> None then Obs.Prof.start ());
+    let started_s = Unix.gettimeofday () in
     (* The HTTP exporter runs on its own domain so a scrape never queues
        behind the socket select loop; the Runtime sampler keeps GC gauges
        fresh between scrapes. *)
@@ -284,6 +295,15 @@ let serve_cmd =
           let h =
             Serve.Http.create ~port
               ~quality:(fun () -> Serve.Server.quality_json server)
+              ~health:(fun () ->
+                Printf.sprintf
+                  "{\"ok\":true,\"uptime_s\":%.1f,\"bundle\":\"%s\",\"shards\":%d,\"pid\":%d,\"draining\":%b}\n"
+                  (Unix.gettimeofday () -. started_s)
+                  bundle_version
+                  (Serve.Server.shard_count server)
+                  (Unix.getpid ())
+                  (Serve.Server.draining server))
+              ~flight:(fun () -> Serve.Server.flight_json server)
               ()
           in
           Obs.Runtime.start ();
@@ -299,12 +319,16 @@ let serve_cmd =
            ("shadow_rate", Obs.Log.Num (Serve.Quality.rate (Serve.Server.quality server)));
            ("log_sink", Obs.Log.Str log_sink_name);
            ("log_level", Obs.Log.Str (Obs.Log.level_name (Obs.Log.level ())));
-           ("tracing", Obs.Log.Bool (Obs.Span.enabled ())) ]
+           ("tracing", Obs.Log.Bool (Obs.Span.enabled ()));
+           ("flight_capacity",
+            Obs.Log.Int (Obs.Flight.capacity (Serve.Server.flight server)));
+           ("profiling", Obs.Log.Bool (Obs.Prof.enabled ())) ]
         @ match http with
           | Some (h, _) -> [ ("http_port", Obs.Log.Int (Serve.Http.port h)) ]
           | None -> [])
       "clara serve starting";
     Serve.Server.run server ~socket_path:socket;
+    Obs.Prof.stop ();
     Option.iter
       (fun (h, d) ->
         Serve.Http.stop h;
@@ -370,6 +394,25 @@ let serve_cmd =
                    simulator ground truth, feeding the 'quality' telemetry (default: \
                    \\$CLARA_SHADOW_RATE, else 0 = off).")
   in
+  let flight_capacity =
+    Arg.(value & opt (some int) None
+         & info [ "flight" ] ~docv:"N"
+             ~doc:"Flight-recorder slots per shard (default: \\$CLARA_FLIGHT, else 64; 0 \
+                   disables recording).")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"Write triggered flight dumps (slow requests, deadline overruns, faults, \
+                   exceptions) into DIR as JSONL; without it triggers only count.  SIGQUIT \
+                   dumps always write (temp dir fallback).  Default: \\$CLARA_FLIGHT_DIR.")
+  in
+  let profile_hz =
+    Arg.(value & opt (some float) None
+         & info [ "profile" ] ~docv:"HZ"
+             ~doc:"Start the sampling continuous profiler at HZ samples/s (see 'clara profile' \
+                   and GET /profile.folded).  Default: off, or \\$CLARA_PROF_HZ.")
+  in
   let log_file =
     Arg.(value & opt (some string) None
          & info [ "log" ] ~docv:"FILE"
@@ -393,7 +436,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
     Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ shards $ http_port
           $ trace_requests $ slow_ms $ deadline_ms $ max_pending $ max_clients $ shadow_rate
-          $ log_file $ log_level)
+          $ flight_capacity $ flight_dir $ profile_hz $ log_file $ log_level)
 
 (* -- query -- *)
 
@@ -517,6 +560,129 @@ let quality_cmd =
              running service")
     Term.(const run $ socket_arg $ retries $ timeout_s)
 
+(* -- flight -- *)
+
+let flight_cmd =
+  let run socket dump retries timeout_s =
+    let client = Serve.Client.create ~timeout_s ~retries ~socket_path:socket () in
+    let fields =
+      ("cmd", Serve.Jsonl.Str "flight")
+      :: (match dump with Some path -> [ ("dump", Serve.Jsonl.Str path) ] | None -> [])
+    in
+    let outcome = Serve.Client.request client fields in
+    Serve.Client.close client;
+    match outcome with
+    | Error err ->
+      Obs.Log.error
+        ~fields:
+          [ ("socket", Obs.Log.Str socket);
+            ("error", Obs.Log.Str (Serve.Client.error_to_string err));
+            ("attempts", Obs.Log.Int (Serve.Client.attempts client)) ]
+        "flight query failed (is 'clara serve' running?)";
+      exit 1
+    | Ok j -> (
+      match Serve.Jsonl.str_member "flight" j with
+      | Some doc -> (
+        print_endline doc;
+        match
+          (Serve.Jsonl.str_member "dumped" j, Serve.Jsonl.str_member "dump_error" j)
+        with
+        | Some path, _ ->
+          Obs.Log.info ~fields:[ ("path", Obs.Log.Str path) ] "server wrote flight dump"
+        | None, Some msg ->
+          Obs.Log.error ~fields:[ ("error", Obs.Log.Str msg) ] "server could not write dump";
+          exit 1
+        | None, None -> ())
+      | None ->
+        Obs.Log.error
+          ~fields:[ ("reply", Obs.Log.Str (Serve.Jsonl.to_string j)) ]
+          "server did not return a flight snapshot";
+        exit 1)
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"PATH"
+             ~doc:"Also have the server write its rings as a JSONL dump to PATH (server-side \
+                   path; feed it to 'clara replay').")
+  in
+  let retries =
+    Arg.(value & opt int 4
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry budget for overloaded replies and transient I/O errors.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 10.0
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-attempt round-trip timeout.")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:"Fetch a running service's flight-recorder snapshot (and optionally dump it to a \
+             file for 'clara replay')")
+    Term.(const run $ socket_arg $ dump $ retries $ timeout_s)
+
+(* -- replay -- *)
+
+let replay_cmd =
+  let run dump model shards cache json =
+    let header, records =
+      match Serve.Replay.load dump with
+      | Ok hr -> hr
+      | Error msg ->
+        Obs.Log.error
+          ~fields:[ ("dump", Obs.Log.Str dump); ("error", Obs.Log.Str msg) ]
+          "cannot load flight dump";
+        exit 1
+    in
+    let b = load_bundle model in
+    let server =
+      Serve.Replay.server_for ~shards ~cache_capacity:cache b.Persist.Bundle.models
+    in
+    let r = Serve.Replay.replay ~server records in
+    if json then print_endline (Serve.Replay.to_json_string r)
+    else begin
+      Printf.printf
+        "replayed %s (trigger %s, pid %d): %d records, %d compared, %d matched, %d diverged\n"
+        dump header.Serve.Replay.h_trigger header.Serve.Replay.h_pid r.Serve.Replay.total
+        r.Serve.Replay.compared r.Serve.Replay.matched
+        (List.length r.Serve.Replay.diverged);
+      if r.Serve.Replay.skipped_env + r.Serve.Replay.skipped_volatile
+         + r.Serve.Replay.skipped_truncated > 0
+      then
+        Printf.printf "skipped: %d environmental, %d volatile-command, %d truncated\n"
+          r.Serve.Replay.skipped_env r.Serve.Replay.skipped_volatile
+          r.Serve.Replay.skipped_truncated;
+      List.iter
+        (fun (d : Serve.Replay.divergence) ->
+          Printf.printf "DIVERGED seq %d\n  request:  %s\n  expected: %s\n  got:      %s\n"
+            d.Serve.Replay.d_seq d.Serve.Replay.d_request d.Serve.Replay.d_expected
+            d.Serve.Replay.d_got)
+        r.Serve.Replay.diverged
+    end;
+    if r.Serve.Replay.diverged <> [] then exit 1
+  in
+  let dump =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"DUMP" ~doc:"A flight dump (JSONL) written by the server or 'clara flight --dump'.")
+  in
+  let model =
+    Arg.(required & opt (some dir) None
+         & info [ "model" ] ~docv:"DIR" ~doc:"Model bundle to replay against (see 'clara train --save').")
+  in
+  let shards =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc:"Replay server's flow-cache shard count.")
+  in
+  let cache =
+    Arg.(value & opt int 64 & info [ "cache" ] ~docv:"N" ~doc:"Replay server's flow-cache capacity.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the replay result as one JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Deterministically re-issue a flight dump against a bundle and byte-diff the \
+             replies (modulo the volatile id/trace/cached/path fields); exits 1 on divergence")
+    Term.(const run $ dump $ model $ shards $ cache $ json)
+
 (* -- port -- *)
 
 let port_cmd =
@@ -571,14 +737,55 @@ let sweep_cmd =
 (* -- profile -- *)
 
 let profile_cmd =
-  let run name spec =
-    let elt = find_nf name in
-    let interp = Nf_lang.Interp.create ~mode:Nf_lang.State.Nic elt in
-    let profile = Nf_lang.Interp.run interp (Workload.generate spec) in
-    print_string (Nf_lang.Profile_report.render elt profile)
+  let run name spec socket json =
+    match name with
+    | Some name ->
+      (* NF-interpreter profile: run the element over a workload. *)
+      let elt = find_nf name in
+      let interp = Nf_lang.Interp.create ~mode:Nf_lang.State.Nic elt in
+      let profile = Nf_lang.Interp.run interp (Workload.generate spec) in
+      print_string (Nf_lang.Profile_report.render elt profile)
+    | None -> (
+      (* No NF named: fetch the continuous profiler of a running service
+         and print the collapsed flamegraph text (or the JSON document). *)
+      let client = Serve.Client.create ~timeout_s:10.0 ~retries:4 ~socket_path:socket () in
+      let outcome = Serve.Client.request client [ ("cmd", Serve.Jsonl.Str "profile") ] in
+      Serve.Client.close client;
+      match outcome with
+      | Error err ->
+        Obs.Log.error
+          ~fields:
+            [ ("socket", Obs.Log.Str socket);
+              ("error", Obs.Log.Str (Serve.Client.error_to_string err)) ]
+          "profile query failed (name an NF, or start 'clara serve --profile HZ')";
+        exit 1
+      | Ok j -> (
+        let key = if json then "profile" else "folded" in
+        match Serve.Jsonl.str_member key j with
+        | Some doc -> print_string doc
+        | None ->
+          Obs.Log.error
+            ~fields:[ ("reply", Obs.Log.Str (Serve.Jsonl.to_string j)) ]
+            "server did not return profiler state";
+          exit 1))
   in
-  Cmd.v (Cmd.info "profile" ~doc:"Run an NF over a workload and print its execution profile")
-    Term.(const run $ nf_arg $ workload_arg)
+  let nf_opt =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NF"
+             ~doc:"Corpus element to profile (see 'clara list').  Without it, fetch the \
+                   continuous profiler of a running service instead.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"With no NF: print the profiler's JSON document instead of collapsed \
+                   flamegraph text.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile an NF over a workload, or fetch a running service's continuous-profiler \
+             flamegraph")
+    Term.(const run $ nf_opt $ workload_arg $ socket_arg $ json)
 
 (* -- experiment -- *)
 
@@ -604,4 +811,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; train_cmd; analyze_cmd; serve_cmd; query_cmd; quality_cmd;
-            port_cmd; sweep_cmd; profile_cmd; experiment_cmd ]))
+            flight_cmd; replay_cmd; port_cmd; sweep_cmd; profile_cmd; experiment_cmd ]))

@@ -97,27 +97,41 @@ let current_id () =
 let now_us () = Unix.gettimeofday () *. 1e6
 let alloc_words () = Gc.minor_words ()
 
+(* The profiler piggybacks on span boundaries: when it is running, each
+   enter/exit also maintains this domain's published name stack so the
+   ticker domain can sample it (Prof owns that cell — DLS here is not
+   readable cross-domain).  [pushed] pairs the pop with the push even if
+   the profiler stops mid-span.  With both tracing and profiling off the
+   hook costs two atomic loads. *)
 let with_ ?(cat = "clara") name f =
-  if not (Atomic.get enabled_flag) then f ()
+  let span_on = Atomic.get enabled_flag in
+  let prof_on = Prof.enabled () in
+  if not (span_on || prof_on) then f ()
   else begin
-    let id = Atomic.fetch_and_add next_id 1 in
-    let stack = Domain.DLS.get open_spans in
-    let parent, depth = match stack with [] -> (-1, 0) | (p, d) :: _ -> (p, d + 1) in
-    Domain.DLS.set open_spans ((id, depth) :: stack);
-    let a0 = alloc_words () in
-    let t0 = now_us () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dur_us = now_us () -. t0 in
-        let alloc_w = alloc_words () -. a0 in
-        (match Domain.DLS.get open_spans with
-        | _ :: rest -> Domain.DLS.set open_spans rest
-        | [] -> ());
-        record
-          { id; parent; name; cat; trace = Domain.DLS.get current_trace_key;
-            domain = (Domain.self () :> int); depth;
-            start_us = t0; dur_us; alloc_w })
-      f
+    let pushed = prof_on && Prof.enter name in
+    if not span_on then
+      Fun.protect ~finally:(fun () -> if pushed then Prof.exit_ ()) f
+    else begin
+      let id = Atomic.fetch_and_add next_id 1 in
+      let stack = Domain.DLS.get open_spans in
+      let parent, depth = match stack with [] -> (-1, 0) | (p, d) :: _ -> (p, d + 1) in
+      Domain.DLS.set open_spans ((id, depth) :: stack);
+      let a0 = alloc_words () in
+      let t0 = now_us () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dur_us = now_us () -. t0 in
+          let alloc_w = alloc_words () -. a0 in
+          (match Domain.DLS.get open_spans with
+          | _ :: rest -> Domain.DLS.set open_spans rest
+          | [] -> ());
+          record
+            { id; parent; name; cat; trace = Domain.DLS.get current_trace_key;
+              domain = (Domain.self () :> int); depth;
+              start_us = t0; dur_us; alloc_w };
+          if pushed then Prof.exit_ ())
+        f
+    end
   end
 
 (* -- tree reconstruction -- *)

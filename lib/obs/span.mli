@@ -43,7 +43,10 @@ val set_enabled : bool -> unit
 val capacity : int
 
 (** [with_ ?cat name f] runs [f ()] inside a span.  The span is recorded
-    when [f] returns {i or raises}; the exception is re-raised. *)
+    when [f] returns {i or raises}; the exception is re-raised.  While
+    {!Prof.enabled}, the enter/exit also maintains this domain's
+    published stack for the sampling profiler (one extra atomic load
+    when it is off). *)
 val with_ : ?cat:string -> string -> (unit -> 'a) -> 'a
 
 (** [with_trace id f] runs [f ()] with [id] as the current domain's trace

@@ -5,6 +5,9 @@ type t = {
   h_port : int;
   stop_flag : bool Atomic.t;
   quality : (unit -> string) option;  (* renders the /quality document *)
+  health : (unit -> string) option;  (* renders the /healthz document *)
+  flight : (unit -> string) option;  (* renders the /flight.json document *)
+  start_s : float;  (* creation time, for the default /healthz uptime *)
 }
 
 let m_requests path =
@@ -16,9 +19,11 @@ let m_healthz = m_requests "/healthz"
 let m_metrics = m_requests "/metrics"
 let m_trace = m_requests "/trace.json"
 let m_quality = m_requests "/quality"
+let m_flight = m_requests "/flight.json"
+let m_profile = m_requests "/profile.folded"
 let m_other = m_requests "other"
 
-let create ?(backlog = 16) ?quality ~port () =
+let create ?(backlog = 16) ?quality ?health ?flight ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -30,7 +35,8 @@ let create ?(backlog = 16) ?quality ~port () =
   let h_port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  { listener = fd; h_port; stop_flag = Atomic.make false; quality }
+  { listener = fd; h_port; stop_flag = Atomic.make false; quality; health; flight;
+    start_s = Unix.gettimeofday () }
 
 let port t = t.h_port
 let stop t = Atomic.set t.stop_flag true
@@ -59,7 +65,15 @@ let handle t ~meth ~path =
       response ~status:"404 Not Found" ~content_type:text "no quality source\n")
   | "GET", "/healthz" ->
     Obs.Metrics.inc m_healthz;
-    response ~status:"200 OK" ~content_type:text "ok\n"
+    let body =
+      match t.health with
+      | Some render -> render ()
+      | None ->
+        (* Allocation-light and lock-free: three scalars, one sprintf. *)
+        Printf.sprintf "{\"ok\":true,\"uptime_s\":%.1f,\"pid\":%d}\n"
+          (Unix.gettimeofday () -. t.start_s) (Unix.getpid ())
+    in
+    response ~status:"200 OK" ~content_type:"application/json" body
   | "GET", "/metrics" ->
     Obs.Metrics.inc m_metrics;
     Obs.Runtime.sample ();
@@ -71,6 +85,20 @@ let handle t ~meth ~path =
   | "GET", "/trace.json" ->
     Obs.Metrics.inc m_trace;
     response ~status:"200 OK" ~content_type:"application/json" (Obs.Span.to_chrome_json ())
+  | "GET", "/flight.json" -> (
+    match t.flight with
+    | Some render ->
+      Obs.Metrics.inc m_flight;
+      response ~status:"200 OK" ~content_type:"application/json" (render ())
+    | None ->
+      Obs.Metrics.inc m_other;
+      response ~status:"404 Not Found" ~content_type:text "no flight recorder\n")
+  | "GET", "/profile.folded" ->
+    (* Collapsed flamegraph text straight from the global profiler: empty
+       until [Obs.Prof.start] has sampled something, which is itself a
+       useful signal. *)
+    Obs.Metrics.inc m_profile;
+    response ~status:"200 OK" ~content_type:text (Obs.Prof.folded ())
   | "GET", _ ->
     Obs.Metrics.inc m_other;
     response ~status:"404 Not Found" ~content_type:text "not found\n"

@@ -1,8 +1,14 @@
 (** Minimal hand-rolled HTTP/1.1 telemetry exporter.
 
-    Serves three read-only endpoints over loopback TCP:
+    Serves read-only endpoints over loopback TCP:
 
-    - [GET /healthz]    -> [200 "ok"] while the server is accepting
+    - [GET /healthz]    -> small liveness JSON.  With a [health] renderer
+                           wired at {!create} it is the server's document
+                           (uptime, bundle version, shard count, pid,
+                           draining flag); otherwise a built-in
+                           [{"ok":true,"uptime_s":..,"pid":..}].  Either
+                           way it is allocation-light and takes no
+                           registry lock — safe to probe at any rate
     - [GET /metrics]    -> Prometheus text exposition ({!Obs.Metrics},
                            after an {!Obs.Runtime.sample}) — byte-for-byte
                            the same renderer as the socket [metrics] command
@@ -11,6 +17,13 @@
                            SLO burn rates) when a [quality] renderer was
                            wired at {!create}; 404 otherwise — byte-for-byte
                            what the socket [quality] command embeds
+    - [GET /flight.json]   -> flight-recorder snapshot when a [flight]
+                           renderer was wired ({!Server.flight_json});
+                           404 otherwise
+    - [GET /profile.folded] -> the continuous profiler's collapsed
+                           flamegraph text ({!Obs.Prof.folded}; pipe it
+                           into [flamegraph.pl]).  Empty until sampling
+                           has started
 
     Same discipline as {!Server.run}: a single-threaded select loop, one
     short-lived connection per request ([Connection: close]), no analysis
@@ -25,8 +38,18 @@ type t
     back with {!port}).  [backlog] defaults to 16.  [quality] renders
     the [/quality] document on demand (typically
     [fun () -> Server.quality_json server]); without it the path 404s.
+    [health] overrides the built-in [/healthz] JSON; [flight] renders
+    [/flight.json] (typically [fun () -> Server.flight_json server]),
+    without it that path 404s.
     @raise Unix.Unix_error when binding fails (e.g. port in use). *)
-val create : ?backlog:int -> ?quality:(unit -> string) -> port:int -> unit -> t
+val create :
+  ?backlog:int ->
+  ?quality:(unit -> string) ->
+  ?health:(unit -> string) ->
+  ?flight:(unit -> string) ->
+  port:int ->
+  unit ->
+  t
 
 (** The bound TCP port. *)
 val port : t -> int

@@ -17,10 +17,12 @@ type t = {
   max_pending : int;  (* request lines admitted per batch before shedding *)
   max_clients : int;  (* accepted connections before connection-level shedding *)
   fast_buf : Buffer.t;  (* fast-path render scratch (process_batch is single-caller) *)
+  flight : Obs.Flight.t;  (* always-on postmortem rings (capacity 0 disables) *)
   mutable served_count : int;
   mutable shed_count : int;
   mutable stop_requested : bool;
   mutable drain_requested : bool;
+  mutable flight_dump_requested : bool;  (* set by the SIGQUIT handler *)
 }
 
 (* Default slow-request threshold: CLARA_SLOW_MS, else 1s. *)
@@ -36,7 +38,8 @@ let default_deadline_s () =
   | Some _ | None -> None
 
 let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
-    ?(max_pending = 256) ?(max_clients = 64) ?shadow_rate ?shadow_seed models =
+    ?(max_pending = 256) ?(max_clients = 64) ?shadow_rate ?shadow_seed ?flight_capacity
+    ?flight_dir models =
   if max_pending < 1 then invalid_arg "Server.create: max_pending must be >= 1";
   if max_clients < 1 then invalid_arg "Server.create: max_clients must be >= 1";
   if shards < 1 then invalid_arg "Server.create: shards must be >= 1";
@@ -54,13 +57,19 @@ let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
           { l_lock = Mutex.create (); l_compiled = Clara.Pipeline.compile models });
     quality = Quality.create ?rate:shadow_rate ?seed:shadow_seed ~shards ();
     slow_s; deadline_s; max_pending; max_clients; fast_buf = Buffer.create 1024;
-    served_count = 0; shed_count = 0; stop_requested = false; drain_requested = false }
+    flight = Obs.Flight.create ~shards ?capacity:flight_capacity ?dir:flight_dir ();
+    served_count = 0; shed_count = 0; stop_requested = false; drain_requested = false;
+    flight_dump_requested = false }
 
 let served t = t.served_count
 let shed t = t.shed_count
 let cache_hits t = Fastpath.Shards.hits t.flows
 let cache_misses t = Fastpath.Shards.misses t.flows
 let request_drain t = t.drain_requested <- true
+let draining t = t.drain_requested
+let shard_count t = Fastpath.Shards.shard_count t.flows
+let flight t = t.flight
+let flight_json t = Obs.Flight.to_json_string t.flight
 let quality t = t.quality
 let drain_quality t = Quality.drain t.quality
 let quality_json ?now t = Quality.to_json_string ?now t.quality
@@ -265,9 +274,12 @@ let analyze_reply ~trace id ~cached ~path entry =
 
 (* -- request planning -- *)
 
-(* A parsed request line: already answerable, a cache hit, or an analysis
-   to fan out. *)
+(* A parsed request line: answered by the fast path, already answerable,
+   a cache hit, or an analysis to fan out.  [Fast] keeps the shard/trace
+   the scanner already had in hand so the flight recorder never re-scans
+   a fast-path reply (both fields are empty-ish when recording is off). *)
 type plan =
+  | Fast of { reply : string; shard : int; trace : string }
   | Ready of string
   | Hit of { id : Jsonl.t; trace : string; key : string; entry : Fastpath.Entry.t }
   | Miss of {
@@ -282,7 +294,7 @@ type plan =
     }
 
 let plan_trace = function
-  | Ready _ -> None
+  | Fast _ | Ready _ -> None
   | Hit { trace; _ } | Miss { trace; _ } -> Some trace
 
 (* Per-request budget: the request's own ["deadline_ms"] wins (0 or
@@ -442,16 +454,24 @@ let fast_track t ~now line =
                   Obs.Metrics.inc m_cache_hits;
                   let b = t.fast_buf in
                   Buffer.clear b;
-                  (match tr with
-                  | `Span (t_off, t_len) ->
-                    Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
-                      ~trace_src:line ~trace_off:t_off ~trace_len:t_len ~cached:true
-                      ~path:"fast"
-                  | `Fresh ->
-                    let trace = fresh_trace () in
-                    Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
-                      ~trace_src:trace ~trace_off:0 ~trace_len:(String.length trace)
-                      ~cached:true ~path:"fast");
+                  (* The flight recorder's shard/trace come from what the
+                     scanner already holds; when recording is off neither
+                     costs anything beyond one atomic-backed check. *)
+                  let fl = Obs.Flight.enabled t.flight in
+                  let ftrace =
+                    match tr with
+                    | `Span (t_off, t_len) ->
+                      Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
+                        ~trace_src:line ~trace_off:t_off ~trace_len:t_len ~cached:true
+                        ~path:"fast";
+                      if fl then String.sub line t_off t_len else ""
+                    | `Fresh ->
+                      let trace = fresh_trace () in
+                      Fastpath.Entry.render_into b entry ~id_src:line ~id_off ~id_len
+                        ~trace_src:trace ~trace_off:0 ~trace_len:(String.length trace)
+                        ~cached:true ~path:"fast";
+                      trace
+                  in
                   (* Quality telemetry costs one float compare when
                      disabled, keeping the rate-0 fast path inside its
                      bench envelope. *)
@@ -465,7 +485,12 @@ let fast_track t ~now line =
                     in
                     maybe_shadow t ~id ~key entry
                   end;
-                  Some (Buffer.contents b)))))))
+                  Some
+                    (Fast
+                       { reply = Buffer.contents b;
+                         shard =
+                           (if fl then Fastpath.Shards.shard_of_key t.flows key else -1);
+                         trace = ftrace })))))))
     | Some _ | None -> None
 
 let plan_line_slow t ~now line =
@@ -523,6 +548,25 @@ let plan_line_slow t ~now line =
       (* Drain first so everything offered by earlier lines is visible
          in the same deterministic order it was enqueued. *)
       Ready (ok_reply ~trace id [ ("quality", Jsonl.Str (quality_json t)) ])
+    | Some "flight" ->
+      (* On-demand snapshot; an optional "dump" member also writes the
+         rings as a JSONL dump to that path on the server side. *)
+      let dumped =
+        match Jsonl.str_member "dump" req with
+        | None -> []
+        | Some path -> (
+          match Obs.Flight.dump_to_file t.flight ~trigger:"manual" path with
+          | () -> [ ("dumped", Jsonl.Str path) ]
+          | exception Sys_error msg -> [ ("dump_error", Jsonl.Str msg) ])
+      in
+      Ready
+        (ok_reply ~trace id
+           (("flight", Jsonl.Str (Obs.Flight.to_json_string t.flight)) :: dumped))
+    | Some "profile" ->
+      Ready
+        (ok_reply ~trace id
+           [ ("profile", Jsonl.Str (Obs.Prof.to_json_string ()));
+             ("folded", Jsonl.Str (Obs.Prof.folded ())) ])
     | Some "shutdown" ->
       t.stop_requested <- true;
       Ready (ok_reply ~trace id [ ("stopping", Jsonl.Bool true) ])
@@ -532,7 +576,7 @@ let plan_line_slow t ~now line =
 
 let plan_line t ~now line =
   match fast_track t ~now line with
-  | Some reply -> Ready reply
+  | Some plan -> plan
   | None -> plan_line_slow t ~now line
 
 (* What one deduplicated analysis job produced.  A report carries the
@@ -578,6 +622,77 @@ let split_at n l =
   in
   go n [] l
 
+(* -- flight recording --
+
+   Every reply line leaves one postmortem record behind (when the rings
+   are enabled).  Fast-path hits carry their shard/trace out of the
+   scanner, so only the cold routes pay the substring scans below.  The
+   outcome class is read off the rendered bytes — the same bytes the
+   client got — so the record can never disagree with the reply. *)
+
+let find_sub pat s =
+  let n = String.length s and m = String.length pat in
+  let rec go i = if i + m > n then None else if String.sub s i m = pat then Some i else go (i + 1) in
+  go 0
+
+let contains_sub pat s = find_sub pat s <> None
+
+(* "deadline" and "overloaded" are the machine-actionable flags the reply
+   itself carries; "fault" marks errors produced by an injected fault (an
+   environmental outcome replay cannot and should not reproduce). *)
+let classify_reply reply =
+  if reply_ok reply then "ok"
+  else if contains_sub "\"deadline_exceeded\":true" reply then "deadline"
+  else if contains_sub "\"overloaded\":true" reply then "overloaded"
+  else if contains_sub "injected fault" reply || contains_sub "Fault.Injected" reply then "fault"
+  else "error"
+
+(* The trace id as rendered in the reply (every reply carries one; reports
+   embed quotes only in escaped form, so the first match is the field). *)
+let trace_of_reply reply =
+  let pat = "\"trace_id\":\"" in
+  match find_sub pat reply with
+  | None -> ""
+  | Some i ->
+    let vstart = i + String.length pat in
+    let n = String.length reply in
+    let rec fin j =
+      if j >= n then n else if reply.[j] = '"' && reply.[j - 1] <> '\\' then j else fin (j + 1)
+    in
+    let vend = fin vstart in
+    String.sub reply vstart (vend - vstart)
+
+let record_flight t ~now0 ~lines ~plans ~replies =
+  if Obs.Flight.enabled t.flight then begin
+    let latency_us = (Obs.Clock.now_s () -. now0) *. 1e6 in
+    let rec go lines plans replies =
+      match (lines, plans, replies) with
+      | line :: ls, plan :: ps, reply :: rs ->
+        (match plan with
+        | Fast { shard; trace; _ } ->
+          Obs.Flight.record t.flight ~shard ~trace ~path:"fast" ~latency_us ~outcome:"ok"
+            ~request:line ~reply
+        | Hit { key; trace; _ } ->
+          Obs.Flight.record t.flight ~shard:(Fastpath.Shards.shard_of_key t.flows key)
+            ~trace ~path:"slow" ~latency_us ~outcome:"ok" ~request:line ~reply
+        | Miss { key; trace; _ } ->
+          let outcome = classify_reply reply in
+          if outcome = "deadline" then ignore (Obs.Flight.trigger t.flight "deadline")
+          else if outcome = "fault" then ignore (Obs.Flight.trigger t.flight "fault");
+          Obs.Flight.record t.flight ~shard:(Fastpath.Shards.shard_of_key t.flows key)
+            ~trace ~path:"slow" ~latency_us ~outcome ~request:line ~reply
+        | Ready _ ->
+          let outcome = classify_reply reply in
+          if outcome = "deadline" then ignore (Obs.Flight.trigger t.flight "deadline")
+          else if outcome = "fault" then ignore (Obs.Flight.trigger t.flight "fault");
+          Obs.Flight.record t.flight ~shard:(-1) ~trace:(trace_of_reply reply) ~path:"slow"
+            ~latency_us ~outcome ~request:line ~reply);
+        go ls ps rs
+      | _ -> ()
+    in
+    go lines plans replies
+  end
+
 let process_batch t lines =
   Obs.Span.with_ ~cat:"serve" "serve.batch" @@ fun () ->
   let now0 = Obs.Clock.now_s () in
@@ -596,7 +711,7 @@ let process_batch t lines =
           if Quality.enabled t.quality then Quality.record_request_latency t.quality dt
         done;
         Obs.Metrics.add_gauge m_in_flight (-.float_of_int n_lines);
-        if dt > t.slow_s then
+        if dt > t.slow_s then begin
           List.iter
             (fun trace ->
               Obs.Log.warn
@@ -606,7 +721,9 @@ let process_batch t lines =
                     ("threshold_s", Obs.Log.Num t.slow_s);
                     ("batch_lines", Obs.Log.Int n_lines) ]
                 "serve.slow_request")
-            !batch_traces)
+            !batch_traces;
+          ignore (Obs.Flight.trigger t.flight "slow_request")
+        end)
     @@ fun () ->
     let plans = List.map (plan_line t ~now:now0) admitted in
     batch_traces := List.filter_map plan_trace plans;
@@ -684,25 +801,40 @@ let process_batch t lines =
     in
     (* Reply assembly is serial and in plan order, so shadow offers made
        here land in the pending queue deterministically. *)
-    List.map
-      (function
-        | Ready reply -> reply
+    let assembled =
+      List.map
+        (function
+          | Fast { reply; _ } -> reply
+          | Ready reply -> reply
         | Hit { id; trace; key; entry } ->
           if Quality.enabled t.quality then maybe_shadow t ~id:(id_token id) ~key entry;
           analyze_reply ~trace id ~cached:true ~path:"slow" entry
-        | Miss { id; trace; key; deadline; _ } -> (
-          match List.assoc_opt key results with
-          | Some (Report _) ->
-            if expired deadline then deadline_reply ~trace id
-            else begin
-              let entry = List.assoc key entries in
-              if Quality.enabled t.quality then maybe_shadow t ~id:(id_token id) ~key entry;
-              analyze_reply ~trace id ~cached:false ~path:"slow" entry
-            end
-          | Some (Failed msg) -> err_reply ~trace id ("analysis failed: " ^ msg)
-          | Some Timed_out | None -> deadline_reply ~trace id))
-      plans
+          | Miss { id; trace; key; deadline; _ } -> (
+            match List.assoc_opt key results with
+            | Some (Report _) ->
+              if expired deadline then deadline_reply ~trace id
+              else begin
+                let entry = List.assoc key entries in
+                if Quality.enabled t.quality then maybe_shadow t ~id:(id_token id) ~key entry;
+                analyze_reply ~trace id ~cached:false ~path:"slow" entry
+              end
+            | Some (Failed msg) -> err_reply ~trace id ("analysis failed: " ^ msg)
+            | Some Timed_out | None -> deadline_reply ~trace id))
+        plans
+    in
+    record_flight t ~now0 ~lines:admitted ~plans ~replies:assembled;
+    assembled
   in
+  (* Shed lines leave postmortem records too: an overload burst is exactly
+     the moment the black box exists for. *)
+  if Obs.Flight.enabled t.flight && overflow <> [] then begin
+    let latency_us = (Obs.Clock.now_s () -. now0) *. 1e6 in
+    List.iter2
+      (fun line reply ->
+        Obs.Flight.record t.flight ~shard:(-1) ~trace:(trace_of_reply reply) ~path:"slow"
+          ~latency_us ~outcome:"overloaded" ~request:line ~reply)
+      overflow shed_replies
+  end;
   let replies = admitted_replies @ shed_replies in
   (* SLO accounting: every reply line counts availability by its own
      ["ok"] flag.  The first raw "ok": in the rendered bytes is the
@@ -789,9 +921,22 @@ let run t ~socket_path =
       with Invalid_argument _ | Sys_error _ -> None
     else None
   in
+  (* SIGQUIT is the classic black-box trigger: dump the flight rings on
+     the next loop turn (EINTR wakes the select) and keep serving. *)
+  let old_sigquit =
+    if Sys.os_type = "Unix" then
+      try
+        Some
+          (Sys.signal Sys.sigquit (Sys.Signal_handle (fun _ -> t.flight_dump_requested <- true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    else None
+  in
   Fun.protect ~finally:(fun () ->
-      match old_sigterm with
+      (match old_sigterm with
       | Some h -> ( try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      match old_sigquit with
+      | Some h -> ( try Sys.set_signal Sys.sigquit h with Invalid_argument _ | Sys_error _ -> ())
       | None -> ())
   @@ fun () ->
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
@@ -819,6 +964,14 @@ let run t ~socket_path =
       ~fields:[ ("error", Obs.Log.Str (Unix.error_message err)); ("fn", Obs.Log.Str fn) ]
       ctx
   in
+  (* An error or disconnect while a serve-side fault point is armed is an
+     armed-fault hit: ask the black box for a (rate-limited) dump. *)
+  let maybe_fault_trigger () =
+    if
+      Obs.Fault.armed "serve.read" || Obs.Fault.armed "serve.write"
+      || Obs.Fault.armed "serve.accept"
+    then ignore (Obs.Flight.trigger t.flight "fault")
+  in
   let callbacks =
     { Fastpath.Evloop.on_reject =
         (fun fd ->
@@ -831,8 +984,14 @@ let run t ~socket_path =
           in
           (try really_write fd (reply ^ "\n") with Unix.Unix_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ()));
-      on_disconnect = (fun ~fn err -> log_client_disconnect ~fn err);
-      on_error = (fun ~ctx ~fn err -> log_unix_error ~ctx err fn)
+      on_disconnect =
+        (fun ~fn err ->
+          maybe_fault_trigger ();
+          log_client_disconnect ~fn err);
+      on_error =
+        (fun ~ctx ~fn err ->
+          maybe_fault_trigger ();
+          log_unix_error ~ctx err fn)
     }
   in
   let loop = Fastpath.Evloop.create ~listener ~max_clients:t.max_clients callbacks in
@@ -840,7 +999,7 @@ let run t ~socket_path =
      clients share the pool fan-out (and the admission bound applies
      across them); replies are distributed back per connection and
      coalesced into one flush. *)
-  let service batches =
+  let service_round batches =
     let all_lines = List.concat_map snd batches in
     if all_lines <> [] then begin
       let replies = ref (process_batch t all_lines) in
@@ -862,13 +1021,42 @@ let run t ~socket_path =
       if Quality.enabled t.quality then drain_quality t
     end
   in
+  (* An exception escaping a service round is a server bug: dump the
+     black box (its last records are the requests in flight) before the
+     crash propagates. *)
+  let service batches =
+    try service_round batches
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (match Obs.Flight.dump_now t.flight ~trigger:"exception" with
+      | Some path ->
+        Obs.Log.warn
+          ~fields:
+            [ ("error", Obs.Log.Str (Printexc.to_string e)); ("dump", Obs.Log.Str path) ]
+          "serve.exception"
+      | None ->
+        Obs.Log.warn
+          ~fields:[ ("error", Obs.Log.Str (Printexc.to_string e)) ]
+          "serve.exception");
+      Printexc.raise_with_backtrace e bt
+  in
+  let flush_flight_dump () =
+    if t.flight_dump_requested then begin
+      t.flight_dump_requested <- false;
+      match Obs.Flight.dump_now t.flight ~trigger:"sigquit" with
+      | Some path -> Obs.Log.info ~fields:[ ("dump", Obs.Log.Str path) ] "serve.flight_dump"
+      | None -> ()
+    end
+  in
   while not (t.stop_requested || t.drain_requested) do
+    flush_flight_dump ();
     match Fastpath.Evloop.poll loop ~timeout_s:1.0 with
-    (* EINTR: a signal (e.g. SIGTERM) interrupted the wait; re-check the
-       flags it may have set. *)
+    (* EINTR: a signal (e.g. SIGTERM / SIGQUIT) interrupted the wait;
+       re-check the flags it may have set. *)
     | `Eintr -> ()
     | `Round batches -> service batches
   done;
+  flush_flight_dump ();
   (* Graceful drain: the listener goes first, so new connections fail fast
      while buffered requests still get real answers.  In-flight clients
      get a short grace window; an idle 50ms round means nothing more is

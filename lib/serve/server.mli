@@ -13,7 +13,12 @@
     {"id":6,"cmd":"metrics"}    Prometheus-style exposition (Obs.Metrics)
     {"id":7,"cmd":"trace","trace_id":"abc"}   one request's span subtree
     {"id":8,"cmd":"quality"}    prediction-quality telemetry (JSON string)
-    {"id":9,"cmd":"shutdown"}   reply, then stop accepting
+    {"id":9,"cmd":"flight"}     flight-recorder snapshot (JSON string);
+                                optional "dump":"PATH" also writes a JSONL
+                                dump server-side
+    {"id":10,"cmd":"profile"}   continuous-profiler state ("profile": JSON
+                                string, "folded": collapsed flamegraph text)
+    {"id":11,"cmd":"shutdown"}  reply, then stop accepting
     v}
 
     ["op"] is accepted as an alias for ["cmd"].
@@ -92,7 +97,18 @@
     detectors and SLO burn rates (see {!Quality}).  The
     [{"cmd":"quality"}] request returns the full state as a JSON
     string — the same document [GET /quality] serves over
-    {!Http}. *)
+    {!Http}.
+
+    {b Flight recorder.}  Unless disabled ([flight_capacity 0]), every
+    reply line leaves a postmortem record in per-shard rings
+    ({!Obs.Flight}): raw request and reply bytes, fast/slow route, shard,
+    latency, trace id and outcome class.  Dumps are written as JSONL on
+    SIGQUIT, and — rate-limited, when a dump directory is configured
+    ([flight_dir] / [CLARA_FLIGHT_DIR]) — on slow requests,
+    deadline-exceeded replies, armed-fault hits and uncaught service
+    exceptions.  [{"cmd":"flight"}] snapshots the rings on demand;
+    [clara replay] turns any dump into a deterministic repro case (see
+    {!Replay}). *)
 
 type t
 
@@ -109,7 +125,10 @@ type t
     [>= 1].  [shadow_rate] is the shadow-evaluation sampling rate in
     [[0, 1]] (default: [CLARA_SHADOW_RATE], else 0 = disabled) and
     [shadow_seed] perturbs the sampling hash (default:
-    [CLARA_SHADOW_SEED]). *)
+    [CLARA_SHADOW_SEED]).  [flight_capacity] sizes the flight recorder's
+    per-shard rings (default: [CLARA_FLIGHT], else 64; 0 disables
+    recording) and [flight_dir] is where triggered dumps land (default:
+    [CLARA_FLIGHT_DIR], else triggers only count). *)
 val create :
   ?cache_capacity:int ->
   ?shards:int ->
@@ -119,6 +138,8 @@ val create :
   ?max_clients:int ->
   ?shadow_rate:float ->
   ?shadow_seed:int ->
+  ?flight_capacity:int ->
+  ?flight_dir:string ->
   Clara.Pipeline.models ->
   t
 
@@ -163,6 +184,21 @@ val quality_json : ?now:float -> t -> string
 (** Ask {!run} to drain and return (what the SIGTERM handler calls).
     Safe from a signal handler or another domain. *)
 val request_drain : t -> unit
+
+(** Has a drain been requested (and not yet completed)?  What the
+    [/healthz] document reports as ["draining"]. *)
+val draining : t -> bool
+
+(** Flow-cache shard count (= serving-lane and flight-ring count). *)
+val shard_count : t -> int
+
+(** The server's flight recorder (always present; disabled when
+    [flight_capacity] was 0). *)
+val flight : t -> Obs.Flight.t
+
+(** The flight snapshot document: what the [flight] socket command and
+    [GET /flight.json] return. *)
+val flight_json : t -> string
 
 (** Serve one already-connected stream (e.g. a socketpair end) until the
     peer half-closes — the in-process test harness.  A disconnecting peer

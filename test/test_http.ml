@@ -109,7 +109,18 @@ let test_healthz () =
   with_http @@ fun port ->
   let r = get ~port "/healthz" in
   Alcotest.(check string) "status" "200 OK" r.status;
-  Alcotest.(check string) "body" "ok\n" r.body;
+  Alcotest.(check (option string)) "json content type" (Some "application/json")
+    (header r "content-type");
+  (match Serve.Jsonl.of_string r.body with
+  | Error msg -> Alcotest.failf "healthz body is not JSON: %s" msg
+  | Ok j ->
+    Alcotest.(check (option string)) "ok flag" (Some "true")
+      (Option.map Serve.Jsonl.to_string (Serve.Jsonl.member "ok" j));
+    Alcotest.(check (option (float 0.0))) "pid" (Some (float_of_int (Unix.getpid ())))
+      (Serve.Jsonl.num_member "pid" j);
+    (match Serve.Jsonl.num_member "uptime_s" j with
+    | Some u when u >= 0.0 -> ()
+    | _ -> Alcotest.fail "uptime_s missing or negative"));
   Alcotest.(check (option string)) "content-length matches"
     (Some (string_of_int (String.length r.body)))
     (header r "content-length");
@@ -117,7 +128,18 @@ let test_healthz () =
     (header r "connection");
   (* query strings are stripped: the endpoints take no parameters *)
   let q = get ~port "/healthz?verbose=1" in
-  Alcotest.(check string) "query string ignored" "200 OK" q.status
+  Alcotest.(check string) "query string ignored" "200 OK" q.status;
+  (* a wired renderer overrides the built-in document *)
+  let doc = {|{"ok":true,"bundle":"b1","shards":4,"draining":false}|} in
+  let h = Serve.Http.create ~health:(fun () -> doc) ~port:0 () in
+  let d = Domain.spawn (fun () -> Serve.Http.run h) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Http.stop h;
+      Domain.join d)
+    (fun () ->
+      let r = get ~port:(Serve.Http.port h) "/healthz" in
+      Alcotest.(check string) "custom health document served" doc r.body)
 
 let test_metrics_matches_socket_command () =
   with_http @@ fun port ->
@@ -175,13 +197,55 @@ let test_errors () =
   with_http @@ fun port ->
   let missing = get ~port "/nope" in
   Alcotest.(check string) "unknown path" "404 Not Found" missing.status;
+  Alcotest.(check string) "404 body names the condition" "not found\n" missing.body;
+  Alcotest.(check (option string)) "404 is plain text"
+    (Some "text/plain; charset=utf-8") (header missing "content-type");
   let post =
     parse_response
       (http_request ~port "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
   in
   Alcotest.(check string) "non-GET method" "405 Method Not Allowed" post.status;
+  Alcotest.(check string) "405 body names the condition" "method not allowed\n" post.body;
   let garbage = parse_response (http_request ~port "GARBAGE\r\n\r\n") in
-  Alcotest.(check string) "unparsable request line" "400 Bad Request" garbage.status
+  Alcotest.(check string) "unparsable request line" "400 Bad Request" garbage.status;
+  (* a head beyond the 8 KiB cap is dropped without a reply (the reader
+     gives up rather than buffering unboundedly) *)
+  let oversized =
+    http_request ~port ("GET /" ^ String.make 9000 'a' ^ " HTTP/1.1\r\nHost: x\r\n\r\n")
+  in
+  Alcotest.(check string) "oversized request head gets no reply" "" oversized;
+  (* and the server is still fine afterwards *)
+  let after = get ~port "/healthz" in
+  Alcotest.(check string) "still serving after abuse" "200 OK" after.status
+
+let test_flight_and_profile_endpoints () =
+  (* without a wired renderer, /flight.json is a 404 like any unknown path *)
+  with_http (fun port ->
+      let r = get ~port "/flight.json" in
+      Alcotest.(check string) "404 without a flight source" "404 Not Found" r.status);
+  let doc = {|{"enabled":true,"recorded":3,"records":[]}|} in
+  let h = Serve.Http.create ~flight:(fun () -> doc) ~port:0 () in
+  let d = Domain.spawn (fun () -> Serve.Http.run h) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Http.stop h;
+      Domain.join d)
+    (fun () ->
+      let port = Serve.Http.port h in
+      let r = get ~port "/flight.json" in
+      Alcotest.(check string) "status" "200 OK" r.status;
+      Alcotest.(check (option string)) "json content type" (Some "application/json")
+        (header r "content-type");
+      Alcotest.(check string) "body is the rendered snapshot" doc r.body;
+      (* /profile.folded serves the global profiler's collapsed stacks *)
+      Obs.Prof.reset ();
+      ignore (Obs.Prof.enter "httptest.span");
+      let p = get ~port "/profile.folded" in
+      Obs.Prof.exit_ ();
+      Obs.Prof.reset ();
+      Alcotest.(check string) "profile status" "200 OK" p.status;
+      Alcotest.(check (option string)) "profile is plain text"
+        (Some "text/plain; charset=utf-8") (header p "content-type"))
 
 let test_quality_endpoint () =
   (* without a wired renderer the path is just another 404 *)
@@ -207,8 +271,10 @@ let test_quality_endpoint () =
       | Ok _ -> ()
       | Error msg -> Alcotest.failf "quality body is not JSON: %s" msg)
 
-(* Repeated scrapes (including /quality) must not leak fds, and stopping
-   the Obs.Runtime sampler afterwards must leave it cleanly stopped. *)
+(* Repeated scrapes (including /quality) — and a stream of bad requests:
+   404s, bad request lines, oversized heads — must not leak fds, and
+   stopping the Obs.Runtime sampler afterwards must leave it cleanly
+   stopped. *)
 let test_fd_hygiene () =
   let fd_count () = Array.length (Sys.readdir "/proc/self/fd") in
   let h = Serve.Http.create ~quality:(fun () -> "{\"enabled\":false}") ~port:0 () in
@@ -224,14 +290,21 @@ let test_fd_hygiene () =
       ignore (get ~port "/healthz");
       ignore (get ~port "/metrics");
       ignore (get ~port "/quality");
+      ignore (get ~port "/nope");
+      ignore (http_request ~port "GARBAGE\r\n\r\n");
+      let oversized = "GET /" ^ String.make 9000 'a' ^ " HTTP/1.1\r\n\r\n" in
+      ignore (http_request ~port oversized);
       let baseline = fd_count () in
       for _ = 1 to 25 do
         ignore (get ~port "/healthz");
         ignore (get ~port "/metrics");
-        ignore (get ~port "/quality")
+        ignore (get ~port "/quality");
+        ignore (get ~port "/nope");
+        ignore (http_request ~port "GARBAGE\r\n\r\n");
+        ignore (http_request ~port oversized)
       done;
       Obs.Runtime.stop ();
-      Alcotest.(check int) "no fds leaked across 75 scrapes" baseline (fd_count ());
+      Alcotest.(check int) "no fds leaked across 150 requests" baseline (fd_count ());
       Alcotest.(check bool) "runtime sampler stopped" false (Obs.Runtime.running ()))
 
 let test_stop_closes_listener () =
@@ -268,6 +341,8 @@ let () =
             test_metrics_matches_socket_command;
           Alcotest.test_case "trace.json export" `Quick test_trace_json;
           Alcotest.test_case "quality endpoint" `Quick test_quality_endpoint;
+          Alcotest.test_case "flight and profile endpoints" `Quick
+            test_flight_and_profile_endpoints;
           Alcotest.test_case "error statuses" `Quick test_errors ] );
       ( "lifecycle",
         [ Alcotest.test_case "stop closes the listener" `Quick test_stop_closes_listener;
