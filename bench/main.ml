@@ -27,13 +27,18 @@
       hit p50 with recording on must stay within 10% of recording off
       (and off must stay inside the 15 µs envelope — the profiler-off
       span hook is part of that path); writes BENCH_flight.json.
+    - `bench/main.exe router`: gate the scale-out front: warm analyze
+      round-trip p50 direct to one worker vs through the router (the
+      routed overhead, drift-gated), and pipelined throughput through a
+      1-worker vs 3-worker topology (>= 1.8x on a box with enough cores;
+      report-only "degraded" below that); writes BENCH_router.json.
     - `bench/main.exe list`: list experiment ids.
 
     CLARA_FULL=1 enlarges training sets and sweeps. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | quality | flight | <experiment id>...]";
+    "usage: main.exe [--trace FILE] [--metrics FILE] [list | micro | parallel | serve | obs | robust | fastpath | quality | flight | router | <experiment id>...]";
   print_endline "experiments:";
   List.iter
     (fun e -> Printf.printf "  %-8s %s\n" e.Experiments.Registry.id e.Experiments.Registry.title)
@@ -1107,6 +1112,255 @@ let run_flight_report () =
   if !failed then exit 1;
   Printf.printf "PASS: flight recording stays inside the fast-path budget\n"
 
+(* -- BENCH_router.json: what the scale-out front costs and buys — the
+   p50 of a warm analyze round trip direct to one worker vs through the
+   router (the routed overhead, drift-gated against the committed
+   baseline), and sustained pipelined throughput through a 1-worker vs a
+   3-worker topology.  The scale-out gate (>= 1.8x) only fires on a box
+   with at least as many cores as workers; below that the topologies
+   time-slice one core and the run is marked report-only "degraded". -- *)
+
+let router_workers = 3
+
+let read_committed_routed_p50 () =
+  if not (Sys.file_exists "BENCH_router.json") then None
+  else
+    let ic = open_in_bin "BENCH_router.json" in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let flat = String.concat " " (String.split_on_char '\n' raw) in
+    match Serve.Jsonl.of_string flat with
+    | Ok j -> Serve.Jsonl.num_member "routed_p50_us" j
+    | Error _ -> None
+
+let run_router_report () =
+  let committed = read_committed_routed_p50 () in
+  let cores = Domain.recommended_domain_count () in
+  let models =
+    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+    let predictor = Clara.Predictor.train ~epochs:1 ds in
+    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+  in
+  let bundle = Filename.temp_file "clara_bench_router" ".d" in
+  Sys.remove bundle;
+  let manifest =
+    { Persist.Bundle.seed = 501; epochs = 1;
+      corpus_hash = Persist.Bundle.corpus_hash ();
+      built_at = "1970-01-01T00:00:00Z" }
+  in
+  Persist.Bundle.save ~dir:bundle manifest models;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists bundle then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat bundle f)) (Sys.readdir bundle);
+        Unix.rmdir bundle
+      end)
+  @@ fun () ->
+  let sock k = Printf.sprintf "%s/clara_bench_rt_%d_w%d.sock" (Filename.get_temp_dir_name ()) (Unix.getpid ()) k in
+  let connect_with_retry path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec go attempts =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when attempts > 0 ->
+        Unix.sleepf 0.02;
+        go (attempts - 1)
+    in
+    go 200
+  in
+  let really_write fd s =
+    let n = String.length s in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write_substring fd s !off (n - !off)
+    done
+  in
+  let read_replies fd buf n =
+    let replies = ref 0 in
+    while !replies < n do
+      let k = Unix.read fd buf 0 (Bytes.length buf) in
+      if k = 0 then failwith "router bench: peer closed mid-block";
+      for i = 0 to k - 1 do
+        if Bytes.get buf i = '\n' then incr replies
+      done
+    done
+  in
+  let warm_line = {|{"id":1,"cmd":"analyze","nf":"tcpack","workload":"mixed"}|} ^ "\n" in
+  (* sequential round-trip p50 over a connected socket, in blocks (the
+     1 µs clock is too coarse for single round trips) *)
+  let rtt_p50 path =
+    let fd = connect_with_retry path in
+    let buf = Bytes.create 65536 in
+    for _ = 1 to 32 do
+      really_write fd warm_line;
+      read_replies fd buf 1
+    done;
+    let block = 16 and n_blocks = 200 in
+    let samples = Array.make n_blocks 0.0 in
+    for b = 0 to n_blocks - 1 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to block do
+        really_write fd warm_line;
+        read_replies fd buf 1
+      done;
+      samples.(b) <- (Unix.gettimeofday () -. t0) /. float_of_int block *. 1e6
+    done;
+    Unix.close fd;
+    Array.sort compare samples;
+    percentile samples 50.0
+  in
+  (* pipelined throughput: distinct analyze keys so a multi-worker ring
+     actually spreads the load *)
+  let key_block =
+    let names =
+      let all = Serve.Server.corpus_names () in
+      List.filteri (fun i _ -> i < 8) all
+    in
+    String.concat ""
+      (List.concat_map
+         (fun w ->
+           List.mapi
+             (fun i nf ->
+               Printf.sprintf {|{"id":%d,"cmd":"analyze","nf":"%s","workload":"%s"}|} i nf w
+               ^ "\n")
+             names)
+         [ "mixed"; "small" ])
+  in
+  let block_lines =
+    List.length (String.split_on_char '\n' key_block) - 1
+  in
+  let throughput path ~concurrency ~dur =
+    (* warm every key on its pinned worker before timing *)
+    let fd = connect_with_retry path in
+    let buf = Bytes.create 65536 in
+    really_write fd key_block;
+    read_replies fd buf block_lines;
+    Unix.close fd;
+    let client () =
+      let fd = connect_with_retry path in
+      let buf = Bytes.create 65536 in
+      let count = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      while Unix.gettimeofday () -. t0 < dur do
+        really_write fd key_block;
+        read_replies fd buf block_lines;
+        count := !count + block_lines
+      done;
+      Unix.close fd;
+      !count
+    in
+    let t0 = Unix.gettimeofday () in
+    let clients = List.init concurrency (fun _ -> Domain.spawn client) in
+    let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 clients in
+    float_of_int total /. (Unix.gettimeofday () -. t0)
+  in
+  (* one topology: spawn n workers, front them, measure, shut down
+     through the front door (the router broadcasts shutdown) *)
+  let with_topology n f =
+    let fleet =
+      List.init n (fun k ->
+          Router.Spawn.spawn ~name:(Printf.sprintf "w%d" k) ~socket_path:(sock k) ~bundle ())
+    in
+    List.iter
+      (fun sp ->
+        if not (Router.Spawn.wait_ready sp) then begin
+          Printf.printf "FAIL: bench worker %s never came up\n" sp.Router.Spawn.sp_name;
+          exit 1
+        end)
+      fleet;
+    let front =
+      Router.Front.create ~forward_timeout_s:10.0
+        ~workers:(List.map (fun sp -> (sp.Router.Spawn.sp_name, sp.Router.Spawn.sp_socket)) fleet)
+        ()
+    in
+    let path = Filename.temp_file "clara_bench_router" ".sock" in
+    Sys.remove path;
+    let rtr = Domain.spawn (fun () -> Router.Front.run front ~socket_path:path) in
+    let out = f path in
+    let fd = connect_with_retry path in
+    let bye = {|{"cmd":"shutdown"}|} ^ "\n" in
+    really_write fd bye;
+    ignore (Unix.read fd (Bytes.create 256) 0 256);
+    Unix.close fd;
+    Domain.join rtr;
+    List.iter Router.Spawn.wait fleet;
+    List.iter (fun sp -> try Sys.remove sp.Router.Spawn.sp_socket with Sys_error _ -> ()) fleet;
+    out
+  in
+  (* direct baseline: one worker, no router in the path *)
+  let lone =
+    Router.Spawn.spawn ~name:"direct" ~socket_path:(sock 9) ~bundle ()
+  in
+  if not (Router.Spawn.wait_ready lone) then begin
+    Printf.printf "FAIL: bench worker direct never came up\n";
+    exit 1
+  end;
+  let direct_p50 = rtt_p50 lone.Router.Spawn.sp_socket in
+  Router.Spawn.terminate lone;
+  Router.Spawn.wait lone;
+  (try Sys.remove lone.Router.Spawn.sp_socket with Sys_error _ -> ());
+  let dur = 0.6 in
+  let rate_1w = with_topology 1 (fun path -> throughput path ~concurrency:4 ~dur) in
+  let routed_p50, rate_3w =
+    with_topology router_workers (fun path ->
+        let p50 = rtt_p50 path in
+        (p50, throughput path ~concurrency:4 ~dur))
+  in
+  let overhead = routed_p50 -. direct_p50 in
+  let scale = rate_3w /. Float.max 1.0 rate_1w in
+  let degraded = cores < router_workers in
+  let oc = open_out "BENCH_router.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"clara-router-bench/1\",\n\
+    \  \"cores\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"direct_p50_us\": %.3f,\n\
+    \  \"routed_p50_us\": %.3f,\n\
+    \  \"routed_overhead_us\": %.3f,\n\
+    \  \"block_lines\": %d,\n\
+    \  \"reqs_per_s_1w\": %.0f,\n\
+    \  \"reqs_per_s_3w\": %.0f,\n\
+    \  \"scaleout_x\": %.3f%s\n\
+     }\n"
+    cores router_workers direct_p50 routed_p50 overhead block_lines rate_1w rate_3w scale
+    (if degraded then ",\n  \"degraded\": true" else "");
+  close_out oc;
+  Printf.printf "Router report (also written to BENCH_router.json):\n";
+  Printf.printf "  warm analyze round trip   direct %8.3f us   routed %8.3f us   (+%.3f us)\n"
+    direct_p50 routed_p50 overhead;
+  Printf.printf
+    "  sustained warm req/s (x%d keys, 4 clients)   1 worker %9.0f   %d workers %9.0f   \
+     (%.2fx)\n"
+    block_lines rate_1w router_workers rate_3w scale;
+  let failed = ref false in
+  if routed_p50 >= 2000.0 then begin
+    Printf.printf "FAIL: routed warm p50 %.3f us breaches the 2 ms sanity gate\n" routed_p50;
+    failed := true
+  end;
+  if degraded then
+    Printf.printf
+      "  (%d core(s) < %d workers: topologies time-slice one core, so the %.1fx scale-out \
+       gate is reported as \"degraded\", not enforced)\n"
+      cores router_workers 1.8
+  else if scale < 1.8 then begin
+    Printf.printf "FAIL: %d-worker throughput only %.2fx a single worker (gate 1.8x)\n"
+      router_workers scale;
+    failed := true
+  end;
+  (match committed with
+  | None -> Printf.printf "  (no committed BENCH_router.json baseline; drift gate skipped)\n"
+  | Some baseline ->
+    Printf.printf "  routed p50 vs committed baseline: %.3f / %.3f us\n" routed_p50 baseline;
+    if routed_p50 > 3.0 *. baseline then begin
+      Printf.printf "FAIL: routed p50 drifted above 3x the committed baseline\n";
+      failed := true
+    end);
+  if !failed then exit 1;
+  Printf.printf "PASS: routed overhead and scale-out inside budget\n"
+
 (* Peel `--trace FILE` / `--metrics FILE` off argv (any position), enable
    span recording when tracing, and flush both files when the run ends. *)
 let with_obs_flags args f =
@@ -1130,6 +1384,8 @@ let with_obs_flags args f =
     (fun () -> f rest)
 
 let () =
+  (* in a re-exec'd router-bench worker child this serves and exits *)
+  Router.Spawn.worker_main_if_requested ();
   with_obs_flags (List.tl (Array.to_list Sys.argv)) @@ fun args ->
   match "main.exe" :: args with
   | [] | _ :: [] -> run_all ()
@@ -1142,6 +1398,7 @@ let () =
   | _ :: [ "fastpath" ] -> run_fastpath_report ()
   | _ :: [ "quality" ] -> run_quality_report ()
   | _ :: [ "flight" ] -> run_flight_report ()
+  | _ :: [ "router" ] -> run_router_report ()
   | _ :: ids ->
     List.iter
       (fun id ->

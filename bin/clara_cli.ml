@@ -6,6 +6,10 @@
     - [analyze NF]                print insights (train, or warm-start via --model)
     - [train --save DIR]          train once and persist the model bundle
     - [serve --socket PATH]       long-running insight service (see lib/serve)
+    - [router --socket PATH]      scale-out front: spawn N workers and
+                                  consistent-hash requests over them (lib/router)
+    - [rollout ACTION]            drive a canary rollout on a running router
+                                  (start / promote / rollback / status)
     - [query --socket PATH NF]    one request against a running service
     - [quality --socket PATH]     prediction-quality telemetry of a running service
     - [flight --socket PATH]      flight-recorder snapshot (optionally dump to a file)
@@ -147,6 +151,47 @@ let socket_arg =
   Arg.(value & opt string "/tmp/clara.sock"
        & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
 
+(* Shared by the daemon verbs (serve, router). *)
+let log_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log" ] ~docv:"FILE"
+           ~doc:"Write structured JSONL logs to FILE ('stderr'/'-' for stderr, 'off'/'none' to \
+                 silence; default: \\$CLARA_LOG, else stderr).")
+
+let log_level_arg =
+  let level_conv =
+    let parse s =
+      match Obs.Log.level_of_string s with
+      | Some l -> Ok l
+      | None -> Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
+    in
+    Arg.conv (parse, fun fmt l -> Format.fprintf fmt "%s" (Obs.Log.level_name l))
+  in
+  Arg.(value & opt (some level_conv) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Log threshold: debug, info, warn or error (default: \\$CLARA_LOG_LEVEL, else \
+                 info).")
+
+(* --log / --log-level win over the CLARA_LOG/CLARA_LOG_LEVEL environment
+   defaults already applied at startup; returns the sink name for the
+   startup log line. *)
+let apply_log_opts log_file log_level =
+  let sink_name =
+    match log_file with
+    | None -> "default"
+    | Some ("stderr" | "-") ->
+      Obs.Log.set_sink Obs.Log.Stderr;
+      "stderr"
+    | Some ("off" | "none") ->
+      Obs.Log.set_sink Obs.Log.Off;
+      "off"
+    | Some path ->
+      Obs.Log.set_sink (Obs.Log.File path);
+      path
+  in
+  Option.iter Obs.Log.set_level log_level;
+  sink_name
+
 (* -- list -- *)
 
 let list_cmd =
@@ -238,22 +283,7 @@ let serve_cmd =
       max_pending max_clients shadow_rate flight_capacity flight_dir profile_hz log_file
       log_level =
     if trace_requests then Obs.Span.set_enabled true;
-    (* --log / --log-level win over the CLARA_LOG/CLARA_LOG_LEVEL
-       environment defaults already applied at startup. *)
-    let log_sink_name =
-      match log_file with
-      | None -> "default"
-      | Some ("stderr" | "-") ->
-        Obs.Log.set_sink Obs.Log.Stderr;
-        "stderr"
-      | Some ("off" | "none") ->
-        Obs.Log.set_sink Obs.Log.Off;
-        "off"
-      | Some path ->
-        Obs.Log.set_sink (Obs.Log.File path);
-        path
-    in
-    Option.iter Obs.Log.set_level log_level;
+    let log_sink_name = apply_log_opts log_file log_level in
     let models, bundle_version =
       match model with
       | Some dir -> (
@@ -262,12 +292,14 @@ let serve_cmd =
            back to training. *)
         match salvage_bundle dir with
         | Some b ->
+          let version = Persist.Bundle.version b.Persist.Bundle.manifest in
           Obs.Log.info
             ~fields:
               [ ("bundle", Obs.Log.Str dir);
+                ("version", Obs.Log.Str version);
                 ("built_at", Obs.Log.Str b.Persist.Bundle.manifest.Persist.Bundle.built_at) ]
             "warm-started from bundle";
-          (b.Persist.Bundle.models, b.Persist.Bundle.manifest.Persist.Bundle.built_at)
+          (b.Persist.Bundle.models, version)
         | None ->
           Obs.Log.warn
             ~fields:[ ("bundle", Obs.Log.Str dir) ]
@@ -278,7 +310,7 @@ let serve_cmd =
     let slow_threshold_s = Option.map (fun ms -> ms /. 1000.0) slow_ms in
     let server =
       Serve.Server.create ~cache_capacity ~shards ?slow_threshold_s ?deadline_ms ~max_pending
-        ~max_clients ?shadow_rate ?flight_capacity ?flight_dir models
+        ~max_clients ?shadow_rate ?flight_capacity ?flight_dir ~version:bundle_version models
     in
     (* --profile HZ starts the continuous profiler; CLARA_PROF_HZ alone
        also turns it on (the env value supplies the rate). *)
@@ -413,30 +445,10 @@ let serve_cmd =
              ~doc:"Start the sampling continuous profiler at HZ samples/s (see 'clara profile' \
                    and GET /profile.folded).  Default: off, or \\$CLARA_PROF_HZ.")
   in
-  let log_file =
-    Arg.(value & opt (some string) None
-         & info [ "log" ] ~docv:"FILE"
-             ~doc:"Write structured JSONL logs to FILE ('stderr'/'-' for stderr, 'off'/'none' to \
-                   silence; default: \\$CLARA_LOG, else stderr).")
-  in
-  let log_level =
-    let level_conv =
-      let parse s =
-        match Obs.Log.level_of_string s with
-        | Some l -> Ok l
-        | None -> Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
-      in
-      Arg.conv (parse, fun fmt l -> Format.fprintf fmt "%s" (Obs.Log.level_name l))
-    in
-    Arg.(value & opt (some level_conv) None
-         & info [ "log-level" ] ~docv:"LEVEL"
-             ~doc:"Log threshold: debug, info, warn or error (default: \\$CLARA_LOG_LEVEL, else \
-                   info).")
-  in
   Cmd.v (Cmd.info "serve" ~doc:"Run the long-lived insight service on a Unix socket")
     Term.(const run $ model_arg $ socket_arg $ full_arg $ cache_capacity $ shards $ http_port
           $ trace_requests $ slow_ms $ deadline_ms $ max_pending $ max_clients $ shadow_rate
-          $ flight_capacity $ flight_dir $ profile_hz $ log_file $ log_level)
+          $ flight_capacity $ flight_dir $ profile_hz $ log_file_arg $ log_level_arg)
 
 (* -- query -- *)
 
@@ -519,6 +531,245 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Query a running insight service for one NF")
     Term.(const run $ socket_arg $ nf_arg $ wname $ deadline_ms $ retries $ timeout_s)
+
+(* -- router -- *)
+
+let router_cmd =
+  let run model socket full workers vnodes tenant_quota health_period_s forward_timeout_s
+      max_clients http_port worker_cache worker_shards worker_max_pending worker_max_clients
+      log_file log_level =
+    let log_sink_name = apply_log_opts log_file log_level in
+    (* Workers load their models from a bundle directory; without --model,
+       train once here and persist a fleet bundle for them. *)
+    let bundle_dir =
+      match model with
+      | Some dir -> dir
+      | None ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "clara-router-bundle-%d" (Unix.getpid ()))
+        in
+        let models = train_models ~full in
+        let manifest =
+          { Persist.Bundle.seed = 501;
+            epochs = (if full then 10 else 4);
+            corpus_hash = Persist.Bundle.corpus_hash ();
+            built_at = iso8601_now () }
+        in
+        Persist.Bundle.save ~dir manifest models;
+        Obs.Log.info ~fields:[ ("bundle", Obs.Log.Str dir) ] "trained and saved fleet bundle";
+        dir
+    in
+    match Persist.Bundle.peek_version ~dir:bundle_dir with
+    | Error e ->
+      Obs.Log.error
+        ~fields:
+          [ ("bundle", Obs.Log.Str bundle_dir);
+            ("error", Obs.Log.Str (Persist.Wire.error_to_string e)) ]
+        "cannot read fleet bundle";
+      exit 1
+    | Ok version ->
+      let spawned =
+        List.init workers (fun k ->
+            let name = Printf.sprintf "w%d" k in
+            Router.Spawn.spawn ~quiet:false ~cache_capacity:worker_cache ~shards:worker_shards
+              ~max_pending:worker_max_pending ~max_clients:worker_max_clients ~name
+              ~socket_path:(Printf.sprintf "%s.%s" socket name) ~bundle:bundle_dir ())
+      in
+      let reap_all () =
+        List.iter Router.Spawn.terminate spawned;
+        List.iter Router.Spawn.wait spawned
+      in
+      if not (List.for_all (fun sp -> Router.Spawn.wait_ready sp) spawned) then begin
+        Obs.Log.error ~fields:[ ("workers", Obs.Log.Int workers) ] "a worker never came up";
+        List.iter Router.Spawn.kill spawned;
+        List.iter Router.Spawn.wait spawned;
+        exit 1
+      end;
+      let front =
+        Router.Front.create ~vnodes ~tenant_quota ~forward_timeout_s ~health_period_s
+          ~max_clients ~active_bundle:bundle_dir
+          ~workers:
+            (List.map (fun sp -> (sp.Router.Spawn.sp_name, sp.Router.Spawn.sp_socket)) spawned)
+          ()
+      in
+      (* /healthz serves the aggregated fan-in document the router
+         rebuilds after every round and probe sweep. *)
+      let http =
+        Option.map
+          (fun port ->
+            let h =
+              Serve.Http.create ~port
+                ~health:(fun () -> Router.Front.healthz_cached front ^ "\n")
+                ()
+            in
+            Obs.Runtime.start ();
+            (h, Domain.spawn (fun () -> Serve.Http.run h)))
+          http_port
+      in
+      Obs.Log.info
+        ~fields:
+          ([ ("socket", Obs.Log.Str socket);
+             ("workers", Obs.Log.Int workers);
+             ("bundle", Obs.Log.Str bundle_dir);
+             ("version", Obs.Log.Str version);
+             ("tenant_quota", Obs.Log.Int tenant_quota);
+             ("log_sink", Obs.Log.Str log_sink_name) ]
+          @ match http with
+            | Some (h, _) -> [ ("http_port", Obs.Log.Int (Serve.Http.port h)) ]
+            | None -> [])
+        "clara router starting";
+      Router.Front.run front ~socket_path:socket;
+      Option.iter
+        (fun (h, d) ->
+          Serve.Http.stop h;
+          Domain.join d;
+          Obs.Runtime.stop ())
+        http;
+      reap_all ();
+      Obs.Log.info
+        ~fields:
+          [ ("served", Obs.Log.Int (Router.Front.served front));
+            ("forwarded", Obs.Log.Int (Router.Front.forwarded front));
+            ("unavailable", Obs.Log.Int (Router.Front.unavailable front));
+            ("failovers", Obs.Log.Int (Router.Front.failovers front)) ]
+        "clara router stopped"
+  in
+  let workers =
+    Arg.(value & opt int 3
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker processes to spawn (each is one server).")
+  in
+  let vnodes =
+    Arg.(value & opt int 64
+         & info [ "vnodes" ] ~docv:"N" ~doc:"Virtual nodes per worker on the consistent-hash ring.")
+  in
+  let tenant_quota =
+    Arg.(value & opt int 0
+         & info [ "tenant-quota" ] ~docv:"N"
+             ~doc:"Request lines admitted per tenant per round; over-quota lines are shed with \
+                   a typed overloaded reply (0 = unlimited).")
+  in
+  let health_period_s =
+    Arg.(value & opt float 0.5
+         & info [ "health-period" ] ~docv:"SECONDS"
+             ~doc:"Seconds between worker health sweeps (version/draining fan-in, failback).")
+  in
+  let forward_timeout_s =
+    Arg.(value & opt float 5.0
+         & info [ "forward-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-round budget for a worker's replies; overruns mark it down.")
+  in
+  let max_clients =
+    Arg.(value & opt int 64
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Concurrent router connections held; extra connections get one overloaded \
+                   reply and are closed.")
+  in
+  let http_port =
+    Arg.(value & opt (some int) None
+         & info [ "http" ] ~docv:"PORT"
+             ~doc:"Also serve the aggregated GET /healthz (and /metrics) over HTTP on \
+                   127.0.0.1:PORT (0 picks an ephemeral port).")
+  in
+  let worker_cache =
+    Arg.(value & opt int 64
+         & info [ "worker-cache" ] ~docv:"N" ~doc:"Each worker's flow-cache capacity.")
+  in
+  let worker_shards =
+    Arg.(value & opt int 8
+         & info [ "worker-shards" ] ~docv:"N" ~doc:"Each worker's flow-cache shard count.")
+  in
+  let worker_max_pending =
+    Arg.(value & opt int 256
+         & info [ "worker-max-pending" ] ~docv:"N"
+             ~doc:"Each worker's per-batch admission bound.")
+  in
+  let worker_max_clients =
+    Arg.(value & opt int 64
+         & info [ "worker-max-clients" ] ~docv:"N"
+             ~doc:"Each worker's connection bound (the router holds one).")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:"Run the scale-out front: spawn worker processes and consistent-hash requests over \
+             them")
+    Term.(const run $ model_arg $ socket_arg $ full_arg $ workers $ vnodes $ tenant_quota
+          $ health_period_s $ forward_timeout_s $ max_clients $ http_port $ worker_cache
+          $ worker_shards $ worker_max_pending $ worker_max_clients $ log_file_arg
+          $ log_level_arg)
+
+(* -- rollout -- *)
+
+let rollout_cmd =
+  let run socket action bundle fraction seed retries timeout_s =
+    let client = Serve.Client.create ~timeout_s ~retries ~socket_path:socket () in
+    let fields =
+      match action with
+      | "start" -> (
+        match bundle with
+        | None ->
+          Obs.Log.error "rollout start needs --bundle DIR";
+          exit 1
+        | Some dir ->
+          Serve.Jsonl.
+            [ ("cmd", Str "rollout"); ("bundle", Str dir); ("fraction", Num fraction) ]
+          @ (match seed with
+            | Some s -> [ ("seed", Serve.Jsonl.Num (float_of_int s)) ]
+            | None -> []))
+      | "promote" -> [ ("cmd", Serve.Jsonl.Str "promote") ]
+      | "rollback" -> [ ("cmd", Serve.Jsonl.Str "rollback") ]
+      | "status" -> [ ("cmd", Serve.Jsonl.Str "health") ]
+      | other ->
+        Obs.Log.error ~fields:[ ("action", Obs.Log.Str other) ]
+          "unknown action (start|promote|rollback|status)";
+        exit 1
+    in
+    let outcome = Serve.Client.request client fields in
+    Serve.Client.close client;
+    match outcome with
+    | Error err ->
+      Obs.Log.error
+        ~fields:
+          [ ("socket", Obs.Log.Str socket);
+            ("error", Obs.Log.Str (Serve.Client.error_to_string err)) ]
+        "rollout failed (is 'clara router' running?)";
+      exit 1
+    | Ok j -> (
+      print_endline (Serve.Jsonl.to_string j);
+      match Serve.Jsonl.member "ok" j with
+      | Some (Serve.Jsonl.Bool true) -> ()
+      | _ -> exit 1)
+  in
+  let action =
+    Arg.(value & pos 0 string "status"
+         & info [] ~docv:"ACTION"
+             ~doc:"start (canary --bundle at --fraction), promote, rollback, or status.")
+  in
+  let bundle =
+    Arg.(value & opt (some dir) None
+         & info [ "bundle" ] ~docv:"DIR" ~doc:"Model-bundle directory to roll out.")
+  in
+  let fraction =
+    Arg.(value & opt float 0.1
+         & info [ "fraction" ] ~docv:"F" ~doc:"Keyspace fraction steered at the canaries (0..1].")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"N" ~doc:"Canary-draw seed (default: the router's).")
+  in
+  let retries =
+    Arg.(value & opt int 4
+         & info [ "retries" ] ~docv:"N" ~doc:"Retry budget for transient failures.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-attempt timeout (reloads recompile serving lanes; allow headroom).")
+  in
+  Cmd.v
+    (Cmd.info "rollout"
+       ~doc:"Drive a zero-downtime canary rollout against a running router")
+    Term.(const run $ socket_arg $ action $ bundle $ fraction $ seed $ retries $ timeout_s)
 
 (* -- quality -- *)
 
@@ -805,10 +1056,14 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Run paper experiments") Term.(const run $ ids)
 
 let () =
+  (* Worker children re-exec this binary with a sentinel argv; in a
+     worker this serves until shutdown and never returns. *)
+  Router.Spawn.worker_main_if_requested ();
   let doc = "Clara: automated SmartNIC offloading insights (SOSP'21 reproduction)" in
   let info = Cmd.info "clara" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; train_cmd; analyze_cmd; serve_cmd; query_cmd; quality_cmd;
-            flight_cmd; replay_cmd; port_cmd; sweep_cmd; profile_cmd; experiment_cmd ]))
+          [ list_cmd; show_cmd; train_cmd; analyze_cmd; serve_cmd; router_cmd; rollout_cmd;
+            query_cmd; quality_cmd; flight_cmd; replay_cmd; port_cmd; sweep_cmd; profile_cmd;
+            experiment_cmd ]))

@@ -50,6 +50,19 @@ let decode_manifest s =
       Ok m
     with Wire.Error e -> Error e)
 
+(* A bundle's version is the CRC of its canonical manifest frame: any
+   provenance change (seed, epochs, corpus, build time) yields a new
+   version, and two processes loading the same directory always agree. *)
+let version m = Printf.sprintf "%08lx" (Wire.crc32 (encode_manifest m))
+
+let peek_manifest ~dir =
+  match Wire.read_file (Filename.concat dir manifest_file) with
+  | Error _ as e -> e
+  | Ok data -> decode_manifest data
+
+let peek_version ~dir =
+  match peek_manifest ~dir with Ok m -> Ok (version m) | Error _ as e -> e
+
 let encode manifest (models : Clara.Pipeline.models) =
   [ (manifest_file, encode_manifest manifest);
     (predictor_file, Codec.encode_predictor models.Clara.Pipeline.predictor);

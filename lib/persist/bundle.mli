@@ -34,6 +34,21 @@ val corpus_hash : unit -> string
 val encode_manifest : manifest -> string
 val decode_manifest : string -> (manifest, Wire.error) result
 
+(** The bundle's version token: CRC-32 of the canonical manifest frame.
+    Pure, so every process that can read the manifest derives the same
+    token — what the serving layer's hot-reload negotiation compares. *)
+val version : manifest -> string
+
+(** Read and decode only [DIR/MANIFEST.clara] — the cheap probe a router
+    uses to learn a bundle's identity before asking workers to load it.
+    A mid-publish kill leaves either the old manifest or none (the
+    manifest is written last, atomically), so this never observes a torn
+    version. *)
+val peek_manifest : dir:string -> (manifest, Wire.error) result
+
+(** [peek_manifest] composed with {!version}. *)
+val peek_version : dir:string -> (string, Wire.error) result
+
 (** The bundle as [(filename, framed bytes)] pairs, exactly what {!save}
     writes — exposed for the serial/parallel byte-equivalence tests. *)
 val encode : manifest -> Clara.Pipeline.models -> (string * string) list

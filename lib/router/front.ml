@@ -1,0 +1,802 @@
+(** The scale-out front (see front.mli). *)
+
+module Jsonl = Serve.Jsonl
+
+type worker = {
+  w_name : string;
+  w_socket : string;
+  mutable w_up : bool;
+  mutable w_draining : bool;
+  mutable w_version : string;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr option;
+  mutable w_residue : string;  (* bytes read past the last reply's newline *)
+  mutable w_forwarded : int;
+}
+
+type rollout =
+  | Idle
+  | Canary of {
+      bundle : string;
+      version : string;
+      fraction : float;
+      seed : int;
+      canaries : string list;
+    }
+
+type t = {
+  workers : worker array;  (* sorted by name; membership is fixed *)
+  vnodes : int;
+  quota : Quota.t;
+  forward_timeout_s : float;
+  health_period_s : float;
+  canary_seed : int;
+  max_clients : int;
+  mutable active_bundle : string option;
+  mutable ring : Chash.t;  (* live, non-draining, non-canary workers *)
+  mutable canary_ring : Chash.t;  (* live canaries during a rollout *)
+  mutable rollout : rollout;
+  mutable served_count : int;
+  mutable forwarded_count : int;
+  mutable conn_shed_count : int;
+  mutable unavailable_count : int;
+  mutable canary_count : int;
+  mutable failover_count : int;
+  mutable trace_counter : int;
+  mutable stop_requested : bool;
+  mutable drain_requested : bool;
+  healthz_cache : string Atomic.t;
+}
+
+type route = {
+  rt_worker : string option;
+  rt_canary : bool;
+  rt_key : string;
+  rt_tenant : string;
+}
+
+(* -- metrics (registered once per process) -- *)
+
+let m_requests =
+  Obs.Metrics.counter ~help:"Request lines entering the router" "clara_router_requests_total"
+
+let m_forwarded =
+  Obs.Metrics.counter ~help:"Request lines forwarded to workers" "clara_router_forwarded_total"
+
+let m_quota_shed =
+  Obs.Metrics.counter ~help:"Lines shed by per-tenant quotas" "clara_router_quota_shed_total"
+
+let m_unavailable =
+  Obs.Metrics.counter ~help:"Lines answered unavailable (worker died mid-request)"
+    "clara_router_unavailable_total"
+
+let m_canaried =
+  Obs.Metrics.counter ~help:"Lines steered to canary workers" "clara_router_canaried_total"
+
+let m_failovers =
+  Obs.Metrics.counter ~help:"Worker up-to-down transitions" "clara_router_failovers_total"
+
+let m_workers_up = Obs.Metrics.gauge ~help:"Workers currently up" "clara_router_workers_up"
+
+(* -- construction -- *)
+
+let canaries_of t = match t.rollout with Idle -> [] | Canary c -> c.canaries
+
+let rebuild_rings t =
+  let live =
+    Array.to_list t.workers
+    |> List.filter (fun w -> w.w_up && not w.w_draining)
+    |> List.map (fun w -> w.w_name)
+  in
+  let canaries = canaries_of t in
+  let mains, cans = List.partition (fun n -> not (List.mem n canaries)) live in
+  t.ring <- Chash.create ~vnodes:t.vnodes mains;
+  t.canary_ring <- Chash.create ~vnodes:t.vnodes cans;
+  Obs.Metrics.set_gauge m_workers_up (float_of_int (List.length live))
+
+let create ?(vnodes = 64) ?(tenant_quota = 0) ?(forward_timeout_s = 5.0)
+    ?(health_period_s = 0.5) ?(canary_seed = 1) ?(max_clients = 64) ?active_bundle ~workers ()
+    =
+  if workers = [] then invalid_arg "Front.create: need at least one worker";
+  (* A worker SIGKILLed mid-round turns the next pipelined write into a
+     SIGPIPE; failover depends on seeing the EPIPE instead — ignore it
+     here, not just in [run], so in-process harnesses calling
+     [route_batch] directly survive worker kills too. *)
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let names = List.map fst workers in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Front.create: worker names must be unique";
+  let workers =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) workers
+    |> List.map (fun (name, socket) ->
+           (* Presumed up until a probe or a failed forward says otherwise:
+              the ring must be well-defined before the first health sweep. *)
+           { w_name = name; w_socket = socket; w_up = true; w_draining = false;
+             w_version = "unknown"; w_pid = 0; w_fd = None; w_residue = "";
+             w_forwarded = 0 })
+    |> Array.of_list
+  in
+  let t =
+    { workers; vnodes; quota = Quota.create ~limit:tenant_quota (); forward_timeout_s;
+      health_period_s; canary_seed; max_clients; active_bundle;
+      ring = Chash.create ~vnodes []; canary_ring = Chash.create ~vnodes [];
+      rollout = Idle; served_count = 0; forwarded_count = 0; conn_shed_count = 0;
+      unavailable_count = 0; canary_count = 0; failover_count = 0; trace_counter = 0;
+      stop_requested = false; drain_requested = false; healthz_cache = Atomic.make "{}" }
+  in
+  rebuild_rings t;
+  t
+
+let fresh_trace t =
+  t.trace_counter <- t.trace_counter + 1;
+  Printf.sprintf "r-%d" t.trace_counter
+
+(* -- replies (same field layout as the worker's) -- *)
+
+let ok_reply ~trace id fields =
+  Jsonl.to_string
+    (Jsonl.Obj
+       (("id", id) :: ("ok", Jsonl.Bool true) :: ("trace_id", Jsonl.Str trace) :: fields))
+
+let err_reply ?(extra = []) ~trace id msg =
+  Jsonl.to_string
+    (Jsonl.Obj
+       (("id", id) :: ("ok", Jsonl.Bool false) :: ("trace_id", Jsonl.Str trace)
+        :: ("error", Jsonl.Str msg) :: extra))
+
+(* Echo id/trace even from lines that failed to parse. *)
+let salvage_identity t line =
+  let id = Option.value (Jsonl.salvage_member "id" line) ~default:Jsonl.Null in
+  let trace =
+    match Jsonl.salvage_member "trace_id" line with
+    | Some (Jsonl.Str s) -> s
+    | _ -> fresh_trace t
+  in
+  (id, trace)
+
+let unavailable_reply t ~worker line =
+  t.unavailable_count <- t.unavailable_count + 1;
+  Obs.Metrics.inc m_unavailable;
+  let id, trace = salvage_identity t line in
+  err_reply ~trace id
+    (Printf.sprintf "worker %s unavailable; retry re-hashes to a live worker" worker)
+    ~extra:[ ("unavailable", Jsonl.Bool true); ("worker", Jsonl.Str worker) ]
+
+let quota_reply t ~tenant line =
+  Obs.Metrics.inc m_quota_shed;
+  let id, trace = salvage_identity t line in
+  err_reply ~trace id
+    (Printf.sprintf "overloaded: tenant %s over its %d-lines-per-round quota" tenant
+       (Quota.limit t.quota))
+    ~extra:[ ("overloaded", Jsonl.Bool true); ("tenant", Jsonl.Str tenant) ]
+
+(* -- worker connections -- *)
+
+let close_conn w =
+  (match w.w_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  w.w_fd <- None;
+  w.w_residue <- ""
+
+let mark_down t w ~why =
+  close_conn w;
+  if w.w_up then begin
+    w.w_up <- false;
+    t.failover_count <- t.failover_count + 1;
+    Obs.Metrics.inc m_failovers;
+    Obs.Log.warn
+      ~fields:[ ("worker", Obs.Log.Str w.w_name); ("error", Obs.Log.Str why) ]
+      "router.worker_down"
+  end
+
+let ensure_conn t w =
+  match w.w_fd with
+  | Some fd -> Ok fd
+  | None -> (
+    match Upstream.connect ~socket_path:w.w_socket with
+    | Ok fd ->
+      w.w_fd <- Some fd;
+      w.w_residue <- "";
+      Ok fd
+    | Error e ->
+      mark_down t w ~why:e;
+      Error e)
+
+(* One request/one reply over the persistent connection (rollout
+   control and the up-worker health probe). *)
+let worker_request t w ~timeout_s line =
+  match ensure_conn t w with
+  | Error _ as e -> e
+  | Ok fd -> (
+    match Upstream.send_lines fd [ line ] with
+    | Error e ->
+      mark_down t w ~why:e;
+      Error e
+    | Ok () -> (
+      match Upstream.read_lines fd ~residue:w.w_residue ~n:1 ~timeout_s with
+      | Ok (reply :: _, residue) ->
+        w.w_residue <- residue;
+        Ok reply
+      | Ok ([], _) -> Error "protocol error: empty reply batch"
+      | Error e ->
+        mark_down t w ~why:e;
+        Error e))
+
+(* -- health -- *)
+
+let health_line = {|{"cmd":"health","id":"hc"}|}
+
+let apply_health w reply =
+  match Jsonl.of_string reply with
+  | Error _ -> false
+  | Ok j ->
+    (match Jsonl.str_member "version" j with Some v -> w.w_version <- v | None -> ());
+    (match Jsonl.member "draining" j with
+    | Some (Jsonl.Bool b) -> w.w_draining <- b
+    | _ -> ());
+    (match Jsonl.num_member "pid" j with
+    | Some p -> w.w_pid <- int_of_float p
+    | None -> ());
+    true
+
+let healthz_fields t =
+  let workers =
+    Array.to_list t.workers
+    |> List.map (fun w ->
+           Jsonl.Obj
+             [ ("name", Jsonl.Str w.w_name); ("socket", Jsonl.Str w.w_socket);
+               ("up", Jsonl.Bool w.w_up); ("draining", Jsonl.Bool w.w_draining);
+               ("version", Jsonl.Str w.w_version);
+               ("pid", Jsonl.Num (float_of_int w.w_pid));
+               ("forwarded", Jsonl.Num (float_of_int w.w_forwarded)) ])
+  in
+  let rollout =
+    match t.rollout with
+    | Idle -> Jsonl.Obj [ ("state", Jsonl.Str "idle") ]
+    | Canary { bundle; version; fraction; seed; canaries } ->
+      Jsonl.Obj
+        [ ("state", Jsonl.Str "canary"); ("bundle", Jsonl.Str bundle);
+          ("version", Jsonl.Str version); ("fraction", Jsonl.Num fraction);
+          ("seed", Jsonl.Num (float_of_int seed));
+          ("canaries", Jsonl.Arr (List.map (fun n -> Jsonl.Str n) canaries)) ]
+  in
+  let up = Array.fold_left (fun n w -> if w.w_up then n + 1 else n) 0 t.workers in
+  [ ("role", Jsonl.Str "router");
+    ("pid", Jsonl.Num (float_of_int (Unix.getpid ())));
+    ("workers_up", Jsonl.Num (float_of_int up));
+    ("served", Jsonl.Num (float_of_int t.served_count));
+    ("forwarded", Jsonl.Num (float_of_int t.forwarded_count));
+    ("shed", Jsonl.Num (float_of_int (Quota.shed t.quota + t.conn_shed_count)));
+    ("unavailable", Jsonl.Num (float_of_int t.unavailable_count));
+    ("canaried", Jsonl.Num (float_of_int t.canary_count));
+    ("failovers", Jsonl.Num (float_of_int t.failover_count));
+    ("tenant_quota", Jsonl.Num (float_of_int (Quota.limit t.quota)));
+    ("rollout", rollout); ("workers", Jsonl.Arr workers) ]
+
+let healthz_json t =
+  let ok = Array.exists (fun w -> w.w_up) t.workers in
+  Jsonl.to_string (Jsonl.Obj (("ok", Jsonl.Bool ok) :: healthz_fields t))
+
+let refresh_healthz t = Atomic.set t.healthz_cache (healthz_json t)
+let healthz_cached t = Atomic.get t.healthz_cache
+
+let probe t =
+  Array.iter
+    (fun w ->
+      if w.w_up then begin
+        match worker_request t w ~timeout_s:t.forward_timeout_s health_line with
+        | Ok reply -> ignore (apply_health w reply)
+        | Error _ -> ()  (* worker_request already marked it down *)
+      end
+      else
+        match Upstream.oneshot ~socket_path:w.w_socket ~timeout_s:t.forward_timeout_s
+                health_line
+        with
+        | Ok reply when apply_health w reply ->
+          w.w_up <- true;
+          Obs.Log.info ~fields:[ ("worker", Obs.Log.Str w.w_name) ] "router.worker_up"
+        | Ok _ | Error _ -> ())
+    t.workers;
+  rebuild_rings t;
+  refresh_healthz t
+
+(* -- placement -- *)
+
+let cmd_of req =
+  match Jsonl.str_member "cmd" req with Some _ as c -> c | None -> Jsonl.str_member "op" req
+
+let local_cmd = function
+  | Some
+      ( "health" | "topology" | "rollout" | "promote" | "rollback" | "reload" | "metrics"
+      | "shutdown" ) ->
+    true
+  | Some _ | None -> false
+
+(* The placement key: [analyze] requests collapse to "nf|workload" so one
+   worker's flow cache warms per key; anything else (including malformed
+   lines, which the worker answers with typed errors) keys on the raw
+   line. *)
+let forward_key req_opt line =
+  match req_opt with
+  | None ->
+    let tenant =
+      match Jsonl.salvage_member "tenant" line with Some (Jsonl.Str s) -> s | _ -> "default"
+    in
+    (line, tenant)
+  | Some req ->
+    let tenant = Option.value (Jsonl.str_member "tenant" req) ~default:"default" in
+    let key =
+      match cmd_of req with
+      | Some "analyze" -> (
+        match Jsonl.str_member "nf" req with
+        | Some nf ->
+          nf ^ "|" ^ Option.value (Jsonl.str_member "workload" req) ~default:"mixed"
+        | None -> line)
+      | _ -> line
+    in
+    (key, tenant)
+
+let make_route t ~key ~tenant =
+  let canary =
+    match t.rollout with
+    | Canary c -> Chash.canary_draw ~seed:c.seed key < c.fraction
+    | Idle -> false
+  in
+  let primary, fallback =
+    if canary then (t.canary_ring, t.ring) else (t.ring, t.canary_ring)
+  in
+  let worker =
+    match Chash.lookup primary key with Some _ as w -> w | None -> Chash.lookup fallback key
+  in
+  { rt_worker = worker; rt_canary = canary; rt_key = key; rt_tenant = tenant }
+
+let target t line =
+  match Jsonl.of_string line with
+  | Error _ ->
+    let key, tenant = forward_key None line in
+    Some (make_route t ~key ~tenant)
+  | Ok req ->
+    if local_cmd (cmd_of req) then None
+    else begin
+      let key, tenant = forward_key (Some req) line in
+      Some (make_route t ~key ~tenant)
+    end
+
+(* -- rollout control -- *)
+
+let reload_line ~bundle ~expect =
+  let fields =
+    [ ("cmd", Jsonl.Str "reload"); ("bundle", Jsonl.Str bundle); ("id", Jsonl.Str "rollout") ]
+  in
+  let fields =
+    match expect with None -> fields | Some v -> fields @ [ ("expect", Jsonl.Str v) ]
+  in
+  Jsonl.to_string (Jsonl.Obj fields)
+
+(* Reloads wait longer than forwards: the worker loads a bundle and
+   recompiles its serving lanes before answering. *)
+let reload_worker t w ~bundle ~expect =
+  let timeout_s = Float.max 10.0 t.forward_timeout_s in
+  match worker_request t w ~timeout_s (reload_line ~bundle ~expect) with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match Jsonl.of_string reply with
+    | Error m -> Error ("unparseable reload reply: " ^ m)
+    | Ok j -> (
+      match Jsonl.member "ok" j with
+      | Some (Jsonl.Bool true) ->
+        (match Jsonl.str_member "version" j with Some v -> w.w_version <- v | None -> ());
+        Ok ()
+      | _ -> Error (Option.value (Jsonl.str_member "error" j) ~default:reply)))
+
+let live_workers t =
+  Array.to_list t.workers |> List.filter (fun w -> w.w_up && not w.w_draining)
+
+let start_rollout t ~bundle ~fraction ?seed () =
+  let seed = Option.value seed ~default:t.canary_seed in
+  if t.rollout <> Idle then
+    Error "a rollout is already in progress (promote or rollback first)"
+  else if not (fraction > 0.0 && fraction <= 1.0) then Error "fraction must be in (0, 1]"
+  else
+    match Persist.Bundle.peek_version ~dir:bundle with
+    | Error e ->
+      Error (Printf.sprintf "cannot read bundle %s: %s" bundle (Persist.Wire.error_to_string e))
+    | Ok version -> (
+      match live_workers t with
+      | [] -> Error "no live workers to canary"
+      | live ->
+        let n_live = List.length live in
+        let n_can =
+          if fraction >= 1.0 then n_live
+          else
+            (* keep at least one worker on the old version when we can *)
+            max 1
+              (min
+                 (int_of_float (Float.ceil (fraction *. float_of_int n_live)))
+                 (max 1 (n_live - 1)))
+        in
+        let chosen = List.filteri (fun i _ -> i < n_can) live in
+        let rec reload_all done_ = function
+          | [] -> Ok ()
+          | w :: rest -> (
+            match reload_worker t w ~bundle ~expect:(Some version) with
+            | Ok () -> reload_all (w :: done_) rest
+            | Error e ->
+              (* Undo the half-rolled canaries so the fleet stays on one
+                 version; best effort — a worker that just died stays
+                 down and reloads on re-admission anyway. *)
+              (match t.active_bundle with
+              | Some old ->
+                List.iter (fun w -> ignore (reload_worker t w ~bundle:old ~expect:None)) done_
+              | None -> ());
+              Error (Printf.sprintf "canary reload failed on %s: %s" w.w_name e))
+        in
+        (match reload_all [] chosen with
+        | Error _ as e ->
+          rebuild_rings t;
+          refresh_healthz t;
+          e
+        | Ok () ->
+          t.rollout <-
+            Canary
+              { bundle; version; fraction; seed;
+                canaries = List.map (fun w -> w.w_name) chosen };
+          rebuild_rings t;
+          refresh_healthz t;
+          Obs.Log.info
+            ~fields:
+              [ ("bundle", Obs.Log.Str bundle); ("version", Obs.Log.Str version);
+                ("fraction", Obs.Log.Num fraction); ("canaries", Obs.Log.Int n_can) ]
+            "router.rollout_start";
+          Ok version))
+
+let promote t =
+  match t.rollout with
+  | Idle -> Error "no rollout in progress"
+  | Canary { bundle; version; canaries; _ } ->
+    let failed = ref [] in
+    Array.iter
+      (fun w ->
+        if not (List.mem w.w_name canaries) then
+          if not w.w_up then failed := w.w_name :: !failed
+          else
+            match reload_worker t w ~bundle ~expect:(Some version) with
+            | Ok () -> ()
+            | Error _ -> failed := w.w_name :: !failed)
+      t.workers;
+    t.active_bundle <- Some bundle;
+    t.rollout <- Idle;
+    rebuild_rings t;
+    refresh_healthz t;
+    Obs.Log.info
+      ~fields:
+        [ ("version", Obs.Log.Str version); ("failed", Obs.Log.Int (List.length !failed)) ]
+      "router.promote";
+    Ok (version, List.rev !failed)
+
+let rollback t =
+  match t.rollout with
+  | Idle -> Error "no rollout in progress"
+  | Canary { canaries; _ } -> (
+    match t.active_bundle with
+    | None -> Error "no active bundle recorded (router started without one); cannot rollback"
+    | Some old ->
+      let expect =
+        match Persist.Bundle.peek_version ~dir:old with Ok v -> Some v | Error _ -> None
+      in
+      let failed = ref [] in
+      Array.iter
+        (fun w ->
+          if List.mem w.w_name canaries then
+            if not w.w_up then failed := w.w_name :: !failed
+            else
+              match reload_worker t w ~bundle:old ~expect with
+              | Ok () -> ()
+              | Error _ -> failed := w.w_name :: !failed)
+        t.workers;
+      t.rollout <- Idle;
+      rebuild_rings t;
+      refresh_healthz t;
+      Obs.Log.info
+        ~fields:[ ("bundle", Obs.Log.Str old); ("failed", Obs.Log.Int (List.length !failed)) ]
+        "router.rollback";
+      Ok (List.rev !failed))
+
+(* -- router-local commands -- *)
+
+let topology_reply t ~trace id =
+  ok_reply ~trace id
+    [ ("ring", Jsonl.Arr (List.map (fun n -> Jsonl.Str n) (Chash.members t.ring)));
+      ("canary_ring",
+       Jsonl.Arr (List.map (fun n -> Jsonl.Str n) (Chash.members t.canary_ring)));
+      ("vnodes", Jsonl.Num (float_of_int t.vnodes)) ]
+
+let rollout_reply t ~trace id req =
+  match Jsonl.str_member "bundle" req with
+  | None -> err_reply ~trace id "rollout wants \"bundle\" (a model-bundle directory)"
+  | Some bundle -> (
+    let fraction = Option.value (Jsonl.num_member "fraction" req) ~default:0.1 in
+    let seed = Option.map int_of_float (Jsonl.num_member "seed" req) in
+    match start_rollout t ~bundle ~fraction ?seed () with
+    | Error msg -> err_reply ~trace id msg
+    | Ok version ->
+      ok_reply ~trace id
+        [ ("rollout", Jsonl.Str "canary"); ("version", Jsonl.Str version);
+          ("fraction", Jsonl.Num fraction);
+          ("canaries",
+           Jsonl.Arr (List.map (fun n -> Jsonl.Str n) (canaries_of t))) ])
+
+let promote_reply t ~trace id =
+  match promote t with
+  | Error msg -> err_reply ~trace id msg
+  | Ok (version, failed) ->
+    ok_reply ~trace id
+      [ ("promoted", Jsonl.Bool true); ("version", Jsonl.Str version);
+        ("failed", Jsonl.Arr (List.map (fun n -> Jsonl.Str n) failed)) ]
+
+let rollback_reply t ~trace id =
+  match rollback t with
+  | Error msg -> err_reply ~trace id msg
+  | Ok failed ->
+    ok_reply ~trace id
+      [ ("rolled_back", Jsonl.Bool true);
+        ("failed", Jsonl.Arr (List.map (fun n -> Jsonl.Str n) failed)) ]
+
+let shutdown_reply t ~trace id =
+  let line = {|{"cmd":"shutdown","id":"rollout"}|} in
+  Array.iter
+    (fun w -> if w.w_up then ignore (worker_request t w ~timeout_s:1.0 line))
+    t.workers;
+  t.stop_requested <- true;
+  ok_reply ~trace id [ ("stopping", Jsonl.Bool true) ]
+
+type decision = Local of string | Forward of route
+
+let decide t line =
+  match Jsonl.of_string line with
+  | Error _ ->
+    let key, tenant = forward_key None line in
+    Forward (make_route t ~key ~tenant)
+  | Ok req -> (
+    let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
+    let trace =
+      match Jsonl.str_member "trace_id" req with Some s -> s | None -> fresh_trace t
+    in
+    match cmd_of req with
+    | Some "health" -> Local (ok_reply ~trace id (healthz_fields t))
+    | Some "topology" -> Local (topology_reply t ~trace id)
+    | Some "rollout" -> Local (rollout_reply t ~trace id req)
+    | Some "promote" -> Local (promote_reply t ~trace id)
+    | Some "rollback" -> Local (rollback_reply t ~trace id)
+    | Some "metrics" ->
+      Local (ok_reply ~trace id [ ("metrics", Jsonl.Str (Obs.Metrics.exposition ())) ])
+    | Some "reload" ->
+      Local
+        (err_reply ~trace id
+           "reload is worker-scoped; drive fleet versions with rollout/promote/rollback")
+    | Some "shutdown" -> Local (shutdown_reply t ~trace id)
+    | _ ->
+      let key, tenant = forward_key (Some req) line in
+      Forward (make_route t ~key ~tenant))
+
+(* -- the batch path -- *)
+
+let route_batch t lines =
+  Quota.begin_round t.quota;
+  let lines_a = Array.of_list lines in
+  let n = Array.length lines_a in
+  let replies = Array.make n "" in
+  (* worker name -> reversed [(index, line)] *)
+  let groups : (string, (int * string) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let membership_changed = ref false in
+  Array.iteri
+    (fun i line ->
+      t.served_count <- t.served_count + 1;
+      Obs.Metrics.inc m_requests;
+      match decide t line with
+      | Local reply -> replies.(i) <- reply
+      | Forward { rt_worker = None; _ } -> replies.(i) <- unavailable_reply t ~worker:"none" line
+      | Forward { rt_worker = Some name; rt_canary; rt_tenant; _ } ->
+        if not (Quota.admit t.quota ~tenant:rt_tenant) then
+          replies.(i) <- quota_reply t ~tenant:rt_tenant line
+        else begin
+          if rt_canary then begin
+            t.canary_count <- t.canary_count + 1;
+            Obs.Metrics.inc m_canaried
+          end;
+          let g =
+            match Hashtbl.find_opt groups name with
+            | Some g -> g
+            | None ->
+              let g = ref [] in
+              Hashtbl.add groups name g;
+              g
+          in
+          g := (i, line) :: !g
+        end)
+    lines_a;
+  let fail_group w items why =
+    mark_down t w ~why;
+    membership_changed := true;
+    List.iter (fun (i, line) -> replies.(i) <- unavailable_reply t ~worker:w.w_name line) items
+  in
+  (* Phase 1: write every group; phase 2: read counted replies.  Writes
+     all go first so the workers crunch their batches concurrently. *)
+  let pending =
+    Array.to_list t.workers
+    |> List.filter_map (fun w ->
+           match Hashtbl.find_opt groups w.w_name with
+           | None -> None
+           | Some g -> Some (w, List.rev !g))
+    |> List.filter_map (fun (w, items) ->
+           match ensure_conn t w with
+           | Error e ->
+             fail_group w items e;
+             membership_changed := true;
+             None
+           | Ok fd -> (
+             match Upstream.send_lines fd (List.map snd items) with
+             | Error e ->
+               fail_group w items e;
+               None
+             | Ok () -> Some (w, fd, items)))
+  in
+  List.iter
+    (fun (w, fd, items) ->
+      let count = List.length items in
+      match
+        Upstream.read_lines fd ~residue:w.w_residue ~n:count ~timeout_s:t.forward_timeout_s
+      with
+      | Ok (worker_replies, residue) ->
+        w.w_residue <- residue;
+        w.w_forwarded <- w.w_forwarded + count;
+        t.forwarded_count <- t.forwarded_count + count;
+        Obs.Metrics.add m_forwarded count;
+        List.iter2 (fun (i, _) reply -> replies.(i) <- reply) items worker_replies
+      | Error e -> fail_group w items e)
+    pending;
+  if !membership_changed then rebuild_rings t;
+  refresh_healthz t;
+  Array.to_list replies
+
+(* -- counters -- *)
+
+let served t = t.served_count
+let forwarded t = t.forwarded_count
+let shed t = Quota.shed t.quota + t.conn_shed_count
+let unavailable t = t.unavailable_count
+let canaried t = t.canary_count
+let failovers t = t.failover_count
+let request_drain t = t.drain_requested <- true
+let close t = Array.iter close_conn t.workers
+
+(* -- the event loop (same shape as Serve.Server.run) -- *)
+
+let really_write fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let run t ~socket_path =
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let old_sigterm =
+    if Sys.os_type = "Unix" then
+      try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_drain t)))
+      with Invalid_argument _ | Sys_error _ -> None
+    else None
+  in
+  Fun.protect ~finally:(fun () ->
+      match old_sigterm with
+      | Some h -> ( try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ())
+  @@ fun () ->
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 16;
+  probe t;
+  Obs.Log.info
+    ~fields:
+      [ ("socket", Obs.Log.Str socket_path);
+        ("workers", Obs.Log.Int (Array.length t.workers));
+        ("vnodes", Obs.Log.Int t.vnodes);
+        ("tenant_quota", Obs.Log.Int (Quota.limit t.quota));
+        ("health_period_s", Obs.Log.Num t.health_period_s);
+        ("max_clients", Obs.Log.Int t.max_clients) ]
+    "router.start";
+  let callbacks =
+    { Fastpath.Evloop.on_reject =
+        (fun fd ->
+          t.conn_shed_count <- t.conn_shed_count + 1;
+          let reply =
+            err_reply ~trace:(fresh_trace t) Jsonl.Null
+              (Printf.sprintf "overloaded: router at its %d-connection limit" t.max_clients)
+              ~extra:[ ("overloaded", Jsonl.Bool true) ]
+          in
+          (try really_write fd (reply ^ "\n") with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()));
+      on_disconnect =
+        (fun ~fn err ->
+          Obs.Log.info
+            ~fields:
+              [ ("fn", Obs.Log.Str fn); ("error", Obs.Log.Str (Unix.error_message err)) ]
+            "router.client_disconnected");
+      on_error =
+        (fun ~ctx ~fn err ->
+          Obs.Log.warn
+            ~fields:
+              [ ("fn", Obs.Log.Str fn); ("error", Obs.Log.Str (Unix.error_message err)) ]
+            ctx)
+    }
+  in
+  let loop = Fastpath.Evloop.create ~listener ~max_clients:t.max_clients callbacks in
+  let service_round batches =
+    let all_lines = List.concat_map snd batches in
+    if all_lines <> [] then begin
+      let replies = ref (route_batch t all_lines) in
+      List.iter
+        (fun (conn, lines) ->
+          List.iter
+            (fun _ ->
+              match !replies with
+              | reply :: rest ->
+                replies := rest;
+                Fastpath.Evloop.send conn reply
+              | [] -> ())
+            lines)
+        batches;
+      Fastpath.Evloop.flush loop
+    end
+  in
+  let next_health = ref (Obs.Clock.now_s () +. t.health_period_s) in
+  let maybe_probe () =
+    let now = Obs.Clock.now_s () in
+    if now >= !next_health then begin
+      probe t;
+      next_health := Obs.Clock.now_s () +. t.health_period_s
+    end
+  in
+  while not (t.stop_requested || t.drain_requested) do
+    maybe_probe ();
+    match Fastpath.Evloop.poll loop ~timeout_s:0.25 with
+    | `Eintr -> ()
+    | `Round batches -> service_round batches
+  done;
+  if t.drain_requested && not t.stop_requested then begin
+    Obs.Log.info
+      ~fields:[ ("clients", Obs.Log.Int (Fastpath.Evloop.clients loop)) ]
+      "router.drain";
+    Fastpath.Evloop.stop_accepting loop;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    let drain_until = Obs.Clock.now_s () +. 0.5 in
+    let quiescent = ref false in
+    while
+      (not !quiescent)
+      && (not t.stop_requested)
+      && Fastpath.Evloop.clients loop > 0
+      && Obs.Clock.now_s () < drain_until
+    do
+      match Fastpath.Evloop.poll loop ~timeout_s:0.05 with
+      | `Eintr -> ()
+      | `Round [] -> if not (Fastpath.Evloop.has_pending loop) then quiescent := true
+      | `Round batches -> service_round batches
+    done
+  end;
+  Fastpath.Evloop.close_all loop;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  close t;
+  Obs.Log.info
+    ~fields:
+      [ ("served", Obs.Log.Int t.served_count);
+        ("forwarded", Obs.Log.Int t.forwarded_count);
+        ("unavailable", Obs.Log.Int t.unavailable_count);
+        ("failovers", Obs.Log.Int t.failover_count);
+        ("drained", Obs.Log.Bool t.drain_requested) ]
+    "router.stop"

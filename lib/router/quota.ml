@@ -1,0 +1,34 @@
+(** Per-tenant, per-round admission quotas (see quota.mli). *)
+
+type t = {
+  limit : int;
+  counts : (string, int ref) Hashtbl.t;
+  mutable shed_count : int;
+}
+
+let create ?(limit = 0) () = { limit; counts = Hashtbl.create 16; shed_count = 0 }
+let limit t = t.limit
+let begin_round t = Hashtbl.reset t.counts
+
+let admit t ~tenant =
+  if t.limit <= 0 then true
+  else begin
+    let r =
+      match Hashtbl.find_opt t.counts tenant with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.add t.counts tenant r;
+        r
+    in
+    if !r < t.limit then begin
+      incr r;
+      true
+    end
+    else begin
+      t.shed_count <- t.shed_count + 1;
+      false
+    end
+  end
+
+let shed t = t.shed_count

@@ -1,0 +1,26 @@
+(** Per-tenant admission quotas, layered in front of the workers' own
+    [max_pending]/[max_clients] shedding.
+
+    The router charges each forwarded request line to its tenant (the
+    request's ["tenant"] member, or ["default"]) and admits at most
+    [limit] lines per tenant {e per event-loop round} — the same unit
+    the workers' [max_pending] batch bound uses, so one noisy tenant
+    cannot monopolize a round's worth of worker capacity.  Requests over
+    quota are shed router-side with a typed ["overloaded":true] reply
+    (the client's retry/backoff loop already understands it).
+
+    Counts reset at {!begin_round}; a [limit <= 0] disables the quota. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+val limit : t -> int
+
+(** Forget this round's per-tenant charges. *)
+val begin_round : t -> unit
+
+(** Charge [tenant] one line; [false] means shed (and is counted). *)
+val admit : t -> tenant:string -> bool
+
+(** Total lines shed over quota since {!create}. *)
+val shed : t -> int

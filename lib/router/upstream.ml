@@ -1,0 +1,78 @@
+(** Blocking line I/O to one worker socket (see upstream.mli). *)
+
+let unix_msg fn err = Printf.sprintf "%s: %s" fn (Unix.error_message err)
+
+let connect ~socket_path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, fn, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (unix_msg fn err)
+
+let send_lines fd lines =
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let n = String.length payload in
+  match
+    let sent = ref 0 in
+    while !sent < n do
+      sent := !sent + Unix.write_substring fd payload !sent (n - !sent)
+    done
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, fn, _) -> Error (unix_msg fn err)
+
+let read_lines fd ~residue ~n ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf residue;
+  let chunk = Bytes.create 8192 in
+  let lines = ref [] and got = ref 0 and scanned = ref 0 in
+  let rec take () =
+    (* Scan only bytes not yet scanned: the buffer grows monotonically. *)
+    let data = Buffer.contents buf in
+    match String.index_from_opt data !scanned '\n' with
+    | Some i when !got < n ->
+      lines := String.sub data !scanned (i - !scanned) :: !lines;
+      incr got;
+      scanned := i + 1;
+      take ()
+    | _ ->
+      if !got >= n then begin
+        let data = Buffer.contents buf in
+        Ok (List.rev !lines, String.sub data !scanned (String.length data - !scanned))
+      end
+      else begin
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then Error "timed out awaiting worker reply"
+        else
+          match Unix.select [ fd ] [] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+          | exception Unix.Unix_error (err, fn, _) -> Error (unix_msg fn err)
+          | [], _, _ -> Error "timed out awaiting worker reply"
+          | _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Error "worker closed the connection"
+            | r ->
+              Buffer.add_subbytes buf chunk 0 r;
+              take ()
+            | exception Unix.Unix_error (err, fn, _) -> Error (unix_msg fn err))
+      end
+  in
+  take ()
+
+let oneshot ~socket_path ~timeout_s line =
+  match connect ~socket_path with
+  | Error _ as e -> e
+  | Ok fd ->
+    let out =
+      match send_lines fd [ line ] with
+      | Error _ as e -> e
+      | Ok () -> (
+        match read_lines fd ~residue:"" ~n:1 ~timeout_s with
+        | Ok ([ reply ], _) -> Ok reply
+        | Ok _ -> Error "protocol error: expected one reply line"
+        | Error _ as e -> e)
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    out

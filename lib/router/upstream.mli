@@ -1,0 +1,29 @@
+(** Blocking line I/O to one worker socket.
+
+    The router keeps one persistent connection per live worker and
+    pipelines each round's request lines down it; these helpers do the
+    raw byte work and map every [Unix_error] (and timeout, and EOF) to
+    [Error msg] so the caller can treat "this worker just died" as data.
+    All sockets are opened close-on-exec: respawned worker children must
+    not inherit the router's descriptors. *)
+
+(** Connect to a Unix-domain socket. *)
+val connect : socket_path:string -> (Unix.file_descr, string) result
+
+(** Write [lines] (newline-terminated) fully. *)
+val send_lines : Unix.file_descr -> string list -> (unit, string) result
+
+(** Read exactly [n] reply lines, starting from [residue] (bytes already
+    read past the previous round's last newline), within [timeout_s]
+    overall.  Returns the lines plus the new residue.  EOF before [n]
+    lines is an error — a worker never half-answers a batch. *)
+val read_lines :
+  Unix.file_descr ->
+  residue:string ->
+  n:int ->
+  timeout_s:float ->
+  (string list * string, string) result
+
+(** One-shot request: connect, send one line, read one reply, close.
+    What the health prober uses on workers it holds no connection to. *)
+val oneshot : socket_path:string -> timeout_s:float -> string -> (string, string) result

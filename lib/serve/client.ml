@@ -132,11 +132,20 @@ let attempt_once t line =
     | exception Unix.Unix_error (err, fn, _) ->
       A_io (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
 
+(* Replies flagged ["overloaded":true] (admission/connection shedding)
+   or ["unavailable":true] (a router's worker died mid-request; the next
+   attempt re-hashes to a live one) are the server saying "retry later" —
+   both feed the same backoff loop. *)
 let overloaded_msg reply =
-  match Jsonl.member "overloaded" reply with
-  | Some (Jsonl.Bool true) ->
-    Some (Option.value (Jsonl.str_member "error" reply) ~default:"overloaded")
-  | _ -> None
+  let flagged name fallback =
+    match Jsonl.member name reply with
+    | Some (Jsonl.Bool true) ->
+      Some (Option.value (Jsonl.str_member "error" reply) ~default:fallback)
+    | _ -> None
+  in
+  match flagged "overloaded" "overloaded" with
+  | Some _ as m -> m
+  | None -> flagged "unavailable" "unavailable"
 
 let request t fields =
   let fields =

@@ -8,7 +8,9 @@
       transient failure.
     - {b Retries with jittered exponential backoff.}  Transient failures
       — connect errors, timeouts, mid-conversation disconnects, and
-      explicit ["overloaded":true] replies — are retried up to [retries]
+      explicit ["overloaded":true] or ["unavailable":true] replies (the
+      latter from a router whose hashed worker died mid-request; the
+      retry re-hashes to a live one) — are retried up to [retries]
       times, sleeping [backoff_base_s * 2^attempt] (capped at
       [backoff_cap_s]) scaled by a jitter factor in [0.5, 1).  The jitter
       sequence is a pure function of [seed], so a fixed seed replays the
@@ -25,7 +27,9 @@
 type t
 
 type error =
-  | Overloaded of string  (** retries exhausted while the server shed load *)
+  | Overloaded of string
+      (** retries exhausted while the server shed load (or a router kept
+          answering [unavailable]) *)
   | Timeout  (** no reply within [timeout_s], retries exhausted *)
   | Io of string  (** connect/read/write failures, retries exhausted *)
   | Bad_reply of string  (** the server's reply line did not parse *)

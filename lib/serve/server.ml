@@ -7,10 +7,14 @@
    share inference scratch. *)
 type lane = { l_lock : Mutex.t; l_compiled : Clara.Pipeline.compiled }
 
+(* [models]/[flows]/[lanes] are mutable for hot reload: the swap happens
+   inside the serial planning path, so every request line is answered
+   entirely by one bundle version — never a torn mix. *)
 type t = {
-  models : Clara.Pipeline.models;
-  flows : Fastpath.Entry.t Fastpath.Shards.t;  (* installed flow entries *)
-  lanes : lane array;
+  mutable models : Clara.Pipeline.models;
+  mutable flows : Fastpath.Entry.t Fastpath.Shards.t;  (* installed flow entries *)
+  mutable lanes : lane array;
+  mutable version : string;  (* bundle version token (Persist.Bundle.version) *)
   quality : Quality.t;  (* shadow evaluation, error sketches, drift, SLOs *)
   slow_s : float;
   deadline_s : float option;  (* default per-request budget; None = unlimited *)
@@ -39,7 +43,7 @@ let default_deadline_s () =
 
 let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
     ?(max_pending = 256) ?(max_clients = 64) ?shadow_rate ?shadow_seed ?flight_capacity
-    ?flight_dir models =
+    ?flight_dir ?(version = "trained") models =
   if max_pending < 1 then invalid_arg "Server.create: max_pending must be >= 1";
   if max_clients < 1 then invalid_arg "Server.create: max_clients must be >= 1";
   if shards < 1 then invalid_arg "Server.create: shards must be >= 1";
@@ -55,6 +59,7 @@ let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
     lanes =
       Array.init shards (fun _ ->
           { l_lock = Mutex.create (); l_compiled = Clara.Pipeline.compile models });
+    version;
     quality = Quality.create ?rate:shadow_rate ?seed:shadow_seed ~shards ();
     slow_s; deadline_s; max_pending; max_clients; fast_buf = Buffer.create 1024;
     flight = Obs.Flight.create ~shards ?capacity:flight_capacity ?dir:flight_dir ();
@@ -63,6 +68,7 @@ let create ?(cache_capacity = 64) ?(shards = 8) ?slow_threshold_s ?deadline_ms
 
 let served t = t.served_count
 let shed t = t.shed_count
+let version t = t.version
 let cache_hits t = Fastpath.Shards.hits t.flows
 let cache_misses t = Fastpath.Shards.misses t.flows
 let request_drain t = t.drain_requested <- true
@@ -493,6 +499,77 @@ let fast_track t ~now line =
                          trace = ftrace })))))))
     | Some _ | None -> None
 
+(* -- hot reload --
+
+   [{"cmd":"reload","bundle":DIR}] swaps the serving models for the
+   bundle in DIR without dropping a request: the load (salvaging torn
+   optional components), the version computation and the swap all run in
+   the serial planning path, so any request line — in this batch or any
+   other — is answered entirely by one version.  A failed load, or a
+   version differing from the caller's optional ["expect"] token (the
+   negotiation handshake: the caller peeked the bundle's manifest first),
+   changes nothing: the old models keep serving and the reply says so.
+   The flow cache restarts empty on success — its entries are renders of
+   the previous version. *)
+
+let m_reloads =
+  Obs.Metrics.counter ~help:"Successful hot reloads" "clara_serve_reloads_total"
+
+let m_reload_failures =
+  Obs.Metrics.counter ~help:"Rejected hot reloads (old models kept serving)"
+    "clara_serve_reload_failures_total"
+
+let reload_reply t ~trace id req =
+  match Jsonl.str_member "bundle" req with
+  | None -> err_reply ~trace id "reload wants \"bundle\" (a model-bundle directory)"
+  | Some dir -> (
+    match Persist.Bundle.load_salvage ~dir with
+    | Error e ->
+      Obs.Metrics.inc m_reload_failures;
+      Obs.Log.warn
+        ~fields:
+          [ ("bundle", Obs.Log.Str dir);
+            ("error", Obs.Log.Str (Persist.Wire.error_to_string e));
+            ("version", Obs.Log.Str t.version) ]
+        "serve.reload_failed";
+      err_reply ~trace id
+        (Printf.sprintf "reload failed, still serving version %s: %s" t.version
+           (Persist.Wire.error_to_string e))
+    | Ok (b, dropped) -> (
+      let next = Persist.Bundle.version b.Persist.Bundle.manifest in
+      match Jsonl.str_member "expect" req with
+      | Some want when want <> next ->
+        Obs.Metrics.inc m_reload_failures;
+        err_reply ~trace id
+          (Printf.sprintf
+             "reload version mismatch: bundle %s is version %s, caller expected %s (still \
+              serving %s)"
+             dir next want t.version)
+      | Some _ | None ->
+        let shards = Fastpath.Shards.shard_count t.flows in
+        let capacity = Fastpath.Shards.capacity t.flows in
+        let models = b.Persist.Bundle.models in
+        t.models <- models;
+        t.lanes <-
+          Array.init shards (fun _ ->
+              { l_lock = Mutex.create (); l_compiled = Clara.Pipeline.compile models });
+        t.flows <- Fastpath.Shards.create ~shards ~capacity ();
+        let previous = t.version in
+        t.version <- next;
+        Obs.Metrics.inc m_reloads;
+        Obs.Log.info
+          ~fields:
+            [ ("bundle", Obs.Log.Str dir);
+              ("version", Obs.Log.Str next);
+              ("previous", Obs.Log.Str previous);
+              ("dropped_components", Obs.Log.Int (List.length dropped)) ]
+          "serve.reloaded";
+        ok_reply ~trace id
+          [ ("reloaded", Jsonl.Bool true);
+            ("version", Jsonl.Str next);
+            ("previous", Jsonl.Str previous);
+            ("dropped", Jsonl.Num (float_of_int (List.length dropped))) ]))
+
 let plan_line_slow t ~now line =
   t.served_count <- t.served_count + 1;
   Obs.Metrics.inc m_requests;
@@ -543,6 +620,18 @@ let plan_line_slow t ~now line =
       Obs.Runtime.sample ();
       let snap = Obs.Metrics.snapshot () in
       Ready (ok_reply ~trace id [ ("metrics", Jsonl.Str (Obs.Metrics.render_snapshot snap)) ])
+    | Some "health" ->
+      (* One line of liveness for a fronting router: enough to decide
+         membership (draining), attribute replies (version) and manage
+         the process (pid) without scraping /metrics. *)
+      Ready
+        (ok_reply ~trace id
+           [ ("version", Jsonl.Str t.version);
+             ("draining", Jsonl.Bool t.drain_requested);
+             ("pid", Jsonl.Num (float_of_int (Unix.getpid ())));
+             ("served", Jsonl.Num (float_of_int t.served_count));
+             ("shed", Jsonl.Num (float_of_int t.shed_count)) ])
+    | Some "reload" -> Ready (reload_reply t ~trace id req)
     | Some "trace" -> Ready (trace_reply ~trace id req)
     | Some "quality" ->
       (* Drain first so everything offered by earlier lines is visible

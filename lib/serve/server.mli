@@ -19,6 +19,10 @@
     {"id":10,"cmd":"profile"}   continuous-profiler state ("profile": JSON
                                 string, "folded": collapsed flamegraph text)
     {"id":11,"cmd":"shutdown"}  reply, then stop accepting
+    {"id":12,"cmd":"health"}    liveness doc: version, draining, pid,
+                                served/shed counters
+    {"id":13,"cmd":"reload","bundle":"DIR"}   hot-swap the serving models
+                                for the bundle in DIR (see below)
     v}
 
     ["op"] is accepted as an alias for ["cmd"].
@@ -90,6 +94,20 @@
     [pool.task] aborts analyses — all surfaced as typed error replies,
     never crashes.
 
+    {b Hot reload.}  [{"cmd":"reload","bundle":DIR}] swaps the serving
+    models for the bundle in [DIR] without dropping a request: load
+    (through {!Persist.Bundle.load_salvage}), version derivation
+    ({!Persist.Bundle.version}) and the models/lanes/flow-cache swap all
+    happen in the serial planning path, so every request line — in this
+    batch or any other — is answered entirely by one version.  An
+    optional ["expect"] member is the negotiation handshake: when it
+    differs from the loaded bundle's version the reload is rejected.
+    Any failure keeps the old models serving and replies typed
+    ([ok:false], naming the version still in service); the flow cache
+    restarts empty on success.  [{"cmd":"health"}] reports the active
+    [version], [draining] and [pid] — what a fronting router aggregates
+    into its [/healthz] fan-in.
+
     {b Quality telemetry.}  With a positive shadow rate ([shadow_rate]
     on {!create}, or [CLARA_SHADOW_RATE]), a deterministic sample of
     analyze answers is re-checked against the cheap simulator ground
@@ -128,7 +146,10 @@ type t
     [CLARA_SHADOW_SEED]).  [flight_capacity] sizes the flight recorder's
     per-shard rings (default: [CLARA_FLIGHT], else 64; 0 disables
     recording) and [flight_dir] is where triggered dumps land (default:
-    [CLARA_FLIGHT_DIR], else triggers only count). *)
+    [CLARA_FLIGHT_DIR], else triggers only count).  [version] is the
+    initial bundle-version token reported by [health] (default
+    ["trained"]; pass {!Persist.Bundle.version} of the loaded manifest
+    when warm-starting). *)
 val create :
   ?cache_capacity:int ->
   ?shards:int ->
@@ -140,8 +161,13 @@ val create :
   ?shadow_seed:int ->
   ?flight_capacity:int ->
   ?flight_dir:string ->
+  ?version:string ->
   Clara.Pipeline.models ->
   t
+
+(** The bundle-version token currently serving (updated by a successful
+    [reload]). *)
+val version : t -> string
 
 val corpus_names : unit -> string list
 

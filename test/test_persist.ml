@@ -304,6 +304,80 @@ let test_bundle_save_killed_keeps_old () =
     Alcotest.(check bool) "old manifest intact (save never reached it)" true
       (b.Persist.Bundle.manifest = manifest)
 
+(* -- hot-reload publish crash matrix: a publisher killed mid-write of
+   the new bundle's manifest — at EVERY truncation prefix — must leave a
+   serving worker on the old version with its cached replies intact.
+   The manifest is written last ([Persist.Bundle.save]) and peeked first
+   ([peek_version]), so a torn manifest is exactly what a crashed
+   publish looks like to the reload path. -- *)
+
+let test_hot_reload_publish_crash_matrix () =
+  let dir_a = fresh_bundle_dir () and dir_b = fresh_bundle_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir_a; rm_rf dir_b) @@ fun () ->
+  let manifest_a, models = save_tiny dir_a in
+  let version_a = Persist.Bundle.version manifest_a in
+  let manifest_b = { manifest_a with Persist.Bundle.built_at = "1999-01-01T00:00:00Z" } in
+  Persist.Bundle.save ~dir:dir_b manifest_b models;
+  let version_b = Persist.Bundle.version manifest_b in
+  Alcotest.(check bool) "bundles version differently" true (version_a <> version_b);
+  let srv = Serve.Server.create ~cache_capacity:16 ~version:version_a models in
+  (* fixed id + trace_id: the server echoes both, so a warm cached reply
+     is byte-for-byte reproducible *)
+  let analyze =
+    {|{"id":7,"trace_id":"t-fixed","cmd":"analyze","nf":"tcpack","workload":"mixed"}|}
+  in
+  ignore (Serve.Server.handle_request srv analyze);
+  let baseline = Serve.Server.handle_request srv analyze in
+  let reload_line =
+    Printf.sprintf {|{"id":9,"trace_id":"t-reload","cmd":"reload","bundle":"%s","expect":"%s"}|}
+      dir_b version_b
+  in
+  let reload_refused tag =
+    (match Serve.Jsonl.of_string (Serve.Server.handle_request srv reload_line) with
+    | Error e -> Alcotest.failf "%s: reload reply unparseable: %s" tag e
+    | Ok r ->
+      if Serve.Jsonl.member "ok" r <> Some (Serve.Jsonl.Bool false) then
+        Alcotest.failf "%s: torn bundle must refuse to load" tag);
+    Alcotest.(check string) (tag ^ ": old version keeps serving") version_a
+      (Serve.Server.version srv);
+    Alcotest.(check string) (tag ^ ": cached reply untouched") baseline
+      (Serve.Server.handle_request srv analyze)
+  in
+  let truncate_to path bytes =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes)
+  in
+  (* the manifest, killed at every byte *)
+  let manifest_path = Filename.concat dir_b "MANIFEST.clara" in
+  let whole_manifest = read_file manifest_path in
+  for i = 0 to String.length whole_manifest - 1 do
+    truncate_to manifest_path (String.sub whole_manifest 0 i);
+    reload_refused (Printf.sprintf "manifest torn at %d" i)
+  done;
+  truncate_to manifest_path whole_manifest;
+  (* a required component torn (sampled prefixes — the codec matrix
+     already proves every prefix is rejected byte-exactly) *)
+  let pred_path = Filename.concat dir_b "predictor.clara" in
+  let whole_pred = read_file pred_path in
+  let plen = String.length whole_pred in
+  List.iter
+    (fun i ->
+      truncate_to pred_path (String.sub whole_pred 0 i);
+      reload_refused (Printf.sprintf "predictor torn at %d" i))
+    [ 0; plen / 4; plen / 2; 3 * plen / 4; plen - 1 ];
+  truncate_to pred_path whole_pred;
+  (* bundle healthy again: the same negotiation now lands the new version *)
+  (match Serve.Jsonl.of_string (Serve.Server.handle_request srv reload_line) with
+  | Error e -> Alcotest.failf "restored reload reply unparseable: %s" e
+  | Ok r ->
+    if Serve.Jsonl.member "ok" r <> Some (Serve.Jsonl.Bool true) then
+      Alcotest.fail "restored bundle must reload cleanly");
+  Alcotest.(check string) "new version serving" version_b (Serve.Server.version srv);
+  (* the flow cache restarted with the new version: same request, same
+     report, fresh entry *)
+  ignore (Serve.Server.handle_request srv analyze);
+  Alcotest.(check string) "rewarmed reply identical across versions" baseline
+    (Serve.Server.handle_request srv analyze)
+
 let () =
   Alcotest.run "persist"
     [ ( "codec",
@@ -321,6 +395,8 @@ let () =
           Alcotest.test_case "salvage refuses a broken required component" `Slow
             test_bundle_salvage_still_fails_on_required;
           Alcotest.test_case "killed bundle save keeps the old bundle" `Slow
-            test_bundle_save_killed_keeps_old ] );
+            test_bundle_save_killed_keeps_old;
+          Alcotest.test_case "hot-reload publish crash matrix" `Slow
+            test_hot_reload_publish_crash_matrix ] );
       ( "bundle",
         [ Alcotest.test_case "predictions survive reload" `Slow test_predictions_survive_reload ] ) ]

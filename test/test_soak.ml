@@ -11,7 +11,18 @@
     ~10s.  [serve.read] is armed via [CLARA_FAULT] in the dune rule —
     the env path — and [jsonl.parse] is armed programmatically once the
     models have trained and the report cache is warm (arming earlier
-    would fault the warm-up instead of the server). *)
+    would fault the warm-up instead of the server).
+
+    A second phase soaks the scale-out topology: a router fronting three
+    worker processes takes the same traffic mix while a chaos domain
+    SIGKILLs and rolling-restarts the workers, and asserts the same
+    invariants on the router process (zero leaked fds, monotone
+    [clara_router_*] counters, clean drain) plus: clients keep
+    succeeding across kill windows (the retry re-hashes), and every
+    shed/failure reply stays typed.  Workers are spawned by re-exec —
+    hence the {!Router.Spawn.worker_main_if_requested} hook below. *)
+
+let () = Router.Spawn.worker_main_if_requested ()
 
 let soak_s =
   match Sys.getenv_opt "CLARA_SOAK_S" with
@@ -167,18 +178,7 @@ let watched_counters () =
       ("clara_serve_shed_total", []); ("clara_serve_client_disconnects_total", []);
       ("clara_fault_injected_total", [ ("point", "serve.read") ]) ]
 
-let () =
-  (* a soak under fault injection would otherwise print thousands of
-     warn/info lines; the assertions below are the signal *)
-  Obs.Log.set_sink Obs.Log.Off;
-  (* warm the domain machinery before the fd baseline *)
-  Domain.join (Domain.spawn (fun () -> ()));
-  let models =
-    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
-    let predictor = Clara.Predictor.train ~epochs:1 ds in
-    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
-    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
-  in
+let single_server_soak models =
   let fd_before = fd_count () in
   let server =
     Serve.Server.create ~cache_capacity:16 ~slow_threshold_s:30.0 ~max_pending:64
@@ -248,3 +248,155 @@ let () =
     soak_s n_clients sent ok client_errors raw_lines overloaded
     (Serve.Server.served server) (Serve.Server.shed server)
     (Obs.Fault.fired "serve.read") !samples fd_after
+
+(* -- phase 2: topology soak — router + 3 workers + chaos -- *)
+
+let n_workers = 3
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let watched_router_counters () =
+  List.map
+    (fun name -> (name, Obs.Metrics.counter name))
+    [ "clara_router_requests_total"; "clara_router_forwarded_total";
+      "clara_router_quota_shed_total"; "clara_router_unavailable_total";
+      "clara_router_failovers_total" ]
+
+(* Kill (hard or soft, alternating) one worker at a time, reap it, and
+   respawn it on the same name and socket — a rolling restart under
+   fire.  The router's prober re-admits each respawn; placement is
+   deterministic, so its keys come straight back. *)
+let chaos_loop fleet ~bundle ~until =
+  let kills = ref 0 in
+  let i = ref 0 in
+  while Unix.gettimeofday () < until do
+    Unix.sleepf 0.25;
+    if Unix.gettimeofday () < until then begin
+      let k = !i mod Array.length fleet in
+      let sp = fleet.(k) in
+      if !i mod 2 = 0 then Router.Spawn.kill sp else Router.Spawn.terminate sp;
+      Router.Spawn.wait sp;
+      incr kills;
+      let sp' =
+        Router.Spawn.spawn ~name:sp.Router.Spawn.sp_name
+          ~socket_path:sp.Router.Spawn.sp_socket ~bundle ()
+      in
+      ignore (Router.Spawn.wait_ready ~timeout_s:5.0 sp');
+      fleet.(k) <- sp';
+      incr i
+    end
+  done;
+  !kills
+
+let topology_soak models =
+  (* the bundle every worker (and every chaos respawn) serves *)
+  let bundle = Filename.temp_file "clara_soak_bundle" ".d" in
+  Sys.remove bundle;
+  let manifest =
+    { Persist.Bundle.seed = 501; epochs = 1;
+      corpus_hash = Persist.Bundle.corpus_hash ();
+      built_at = "1970-01-01T00:00:00Z" }
+  in
+  Persist.Bundle.save ~dir:bundle manifest models;
+  Fun.protect ~finally:(fun () -> rm_rf bundle) @@ fun () ->
+  let fd_before = fd_count () in
+  let sockets =
+    List.init n_workers (fun k ->
+        Printf.sprintf "%s/clara_soak_%d_w%d.sock" (Filename.get_temp_dir_name ())
+          (Unix.getpid ()) k)
+  in
+  let fleet =
+    Array.of_list
+      (List.mapi
+         (fun k socket_path ->
+           Router.Spawn.spawn ~name:(Printf.sprintf "w%d" k) ~socket_path ~bundle ())
+         sockets)
+  in
+  Array.iter
+    (fun sp ->
+      if not (Router.Spawn.wait_ready sp) then
+        fail "topology: worker %s never came up" sp.Router.Spawn.sp_name)
+    fleet;
+  let front =
+    Router.Front.create ~vnodes:32 ~health_period_s:0.2 ~forward_timeout_s:2.0
+      ~max_clients:32 ~active_bundle:bundle
+      ~workers:
+        (Array.to_list
+           (Array.map (fun sp -> (sp.Router.Spawn.sp_name, sp.Router.Spawn.sp_socket)) fleet))
+      ()
+  in
+  let path = Filename.temp_file "clara_soak_router" ".sock" in
+  Sys.remove path;
+  let rtr = Domain.spawn (fun () -> Router.Front.run front ~socket_path:path) in
+  let until = Unix.gettimeofday () +. soak_s in
+  let clients =
+    List.init n_clients (fun i -> Domain.spawn (fun () -> client_loop path (200 + i) until))
+  in
+  let chaos = Domain.spawn (fun () -> chaos_loop fleet ~bundle ~until) in
+  (* monotone sampling on the router's own counters, while the chaos
+     domain keeps killing the processes behind them *)
+  let watched = watched_router_counters () in
+  let prev = Array.make (List.length watched) 0.0 in
+  let samples = ref 0 in
+  while Unix.gettimeofday () < until do
+    List.iteri
+      (fun idx (name, c) ->
+        let v = Obs.Metrics.counter_value c in
+        if v < prev.(idx) then
+          fail "topology: counter %s went backwards: %g -> %g" name prev.(idx) v;
+        prev.(idx) <- v)
+      watched;
+    incr samples;
+    Unix.sleepf 0.05
+  done;
+  let tallies = List.map Domain.join clients in
+  let kills = Domain.join chaos in
+  (* graceful drain of the router (workers still up underneath) *)
+  Router.Front.request_drain front;
+  Domain.join rtr;
+  if Sys.file_exists path then fail "topology: router socket survived the drain";
+  Array.iter Router.Spawn.terminate fleet;
+  Array.iter Router.Spawn.wait fleet;
+  List.iter (fun s -> try Sys.remove s with Sys_error _ -> ()) sockets;
+  let fd_after = fd_count () in
+  if fd_after <> fd_before then
+    fail "topology: leaked %d file descriptor(s): %d before, %d after" (fd_after - fd_before)
+      fd_before fd_after;
+  let total f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let sent = total (fun t -> t.sent)
+  and ok = total (fun t -> t.ok)
+  and client_errors = total (fun t -> t.client_errors)
+  and raw_lines = total (fun t -> t.raw_lines)
+  and overloaded = total (fun t -> t.overloaded) in
+  if sent = 0 then fail "topology: no traffic was generated";
+  if ok = 0 then fail "topology: no client request ever succeeded through the chaos";
+  if Router.Front.served front = 0 then fail "topology: router served nothing";
+  if Router.Front.forwarded front = 0 then fail "topology: router forwarded nothing";
+  if soak_s >= 5.0 && kills = 0 then fail "topology: chaos never killed a worker";
+  if !samples = 0 then fail "topology: counter sampler never ran";
+  Printf.printf
+    "soak: topology OK  %.1fs  %d clients  %d workers  kills=%d  sent=%d ok=%d \
+     client_errors=%d raw_lines=%d overloaded=%d  router: served=%d forwarded=%d shed=%d \
+     unavailable=%d failovers=%d  samples=%d fds=%d\n"
+    soak_s n_clients n_workers kills sent ok client_errors raw_lines overloaded
+    (Router.Front.served front) (Router.Front.forwarded front) (Router.Front.shed front)
+    (Router.Front.unavailable front) (Router.Front.failovers front) !samples fd_after
+
+let () =
+  (* a soak under fault injection would otherwise print thousands of
+     warn/info lines; the assertions below are the signal *)
+  Obs.Log.set_sink Obs.Log.Off;
+  (* warm the domain machinery before the fd baseline *)
+  Domain.join (Domain.spawn (fun () -> ()));
+  let models =
+    let ds = Clara.Predictor.synthesize_dataset ~n:6 () in
+    let predictor = Clara.Predictor.train ~epochs:1 ds in
+    let algo = Clara.Algo_id.train ~corpus:(Clara.Algo_corpus.labeled ~negatives:5 ()) () in
+    { Clara.Pipeline.predictor; algo; scaleout = None; colocation = None }
+  in
+  single_server_soak models;
+  topology_soak models
